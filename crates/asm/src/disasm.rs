@@ -1,0 +1,153 @@
+//! Disassembler: machine form → human-readable machine-assembly listing.
+//!
+//! The output mirrors the paper's Figure 4(b): names are gone, every data
+//! reference is a `source index` pair, and globals print as hex function
+//! identifiers (annotated with their retained symbol or primitive mnemonic
+//! when known). The listing is for humans; the parseable surface syntax is
+//! the named form printed by `zarf_core::ast`.
+
+use std::fmt::Write as _;
+
+use zarf_core::machine::{MExpr, MItem, MPattern, MProgram, Operand, Source};
+use zarf_core::prim::PrimOp;
+
+fn operand_str(m: &MProgram, op: &Operand) -> String {
+    match op.source {
+        Source::Local => format!("local {}", op.index),
+        Source::Arg => format!("arg {}", op.index),
+        Source::Imm => format!("imm {}", op.index),
+        Source::Global => {
+            let id = op.index as u32;
+            let note = PrimOp::from_index(id)
+                .map(|p| p.name().to_string())
+                .or_else(|| m.lookup(id).and_then(|i| i.name.clone()));
+            match note {
+                Some(n) => format!("global {id:#x} ({n})"),
+                None => format!("global {id:#x}"),
+            }
+        }
+    }
+}
+
+fn write_expr(m: &MProgram, e: &MExpr, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth + 1);
+    match e {
+        MExpr::Let { callee, args, body } => {
+            let _ = write!(out, "{pad}let {}", operand_str(m, callee));
+            for a in args {
+                let _ = write!(out, ", {}", operand_str(m, a));
+            }
+            out.push('\n');
+            write_expr(m, body, depth, out);
+        }
+        MExpr::Case { scrutinee, branches, default } => {
+            let _ = writeln!(out, "{pad}case {}", operand_str(m, scrutinee));
+            for b in branches {
+                match b.pattern {
+                    MPattern::Lit(n) => {
+                        let _ = writeln!(out, "{pad}pattern literal {n}");
+                    }
+                    MPattern::Con(id) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}pattern cons {}",
+                            operand_str(m, &Operand::global(id))
+                        );
+                    }
+                }
+                write_expr(m, &b.body, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}pattern else");
+            write_expr(m, default, depth + 1, out);
+        }
+        MExpr::Result(op) => {
+            let _ = writeln!(out, "{pad}result {}", operand_str(m, op));
+        }
+    }
+}
+
+fn item_header(m: &MProgram, idx: usize, item: &MItem) -> String {
+    let id = m.id_of(idx);
+    let kind = if item.is_con() { "con" } else { "fun" };
+    let sym = item
+        .name
+        .as_deref()
+        .map(|n| format!(" ({n})"))
+        .unwrap_or_default();
+    format!(
+        "{kind} {id:#x}{sym}  arity={} locals={}\n",
+        item.arity, item.locals
+    )
+}
+
+/// Produce the full machine-assembly listing for a program.
+pub fn disassemble(m: &MProgram) -> String {
+    let mut out = String::new();
+    for (i, item) in m.items().iter().enumerate() {
+        out.push_str(&item_header(m, i, item));
+        if let Some(body) = item.body() {
+            write_expr(m, body, 0, &mut out);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    #[test]
+    fn listing_contains_indexed_references() {
+        let src = r#"
+con Nil
+con Cons head tail
+fun map f list =
+  case list of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons x rest =>
+    let x' = f x in
+    let rest' = map f rest in
+    let list' = Cons x' rest' in
+    result list'
+  else
+    let e = Nil in
+    result e
+fun main =
+  let n = Nil in
+  result n
+"#;
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let text = disassemble(&m);
+        assert!(text.contains("fun 0x100 (main)"));
+        assert!(text.contains("arg 1"), "scrutinee of map is arg 1");
+        // Paper Fig 4(b): list' becomes a local reference.
+        assert!(text.contains("local 2"));
+        assert!(text.contains("pattern cons"));
+        assert!(text.contains("pattern else"));
+    }
+
+    #[test]
+    fn primitives_annotated_by_mnemonic() {
+        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap())
+            .unwrap();
+        let text = disassemble(&m);
+        assert!(text.contains("(add)"));
+        assert!(text.contains("imm 1, imm 2"));
+    }
+
+    #[test]
+    fn decoded_binary_disassembles_without_names() {
+        use crate::encode::{decode, encode};
+        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap())
+            .unwrap();
+        let d = decode(&encode(&m).unwrap()).unwrap();
+        let text = disassemble(&d);
+        assert!(text.contains("fun 0x100"));
+        assert!(!text.contains("(main)"), "names are not in the binary");
+    }
+}

@@ -1,0 +1,286 @@
+//! Tokenizer for the Zarf high-level assembly text format.
+//!
+//! The syntax is the one produced by `zarf_core::ast`'s `Display`
+//! implementation (paper Figure 4(a)):
+//!
+//! ```text
+//! con Nil
+//! con Cons head tail
+//!
+//! fun map f list =
+//!   case list of
+//!   | Nil =>
+//!     let e = Nil in
+//!     result e
+//!   | Cons x rest =>
+//!     ...
+//!   else
+//!     ...
+//! ```
+//!
+//! Comments run from `;` to end of line. Whitespace is insignificant except
+//! as a token separator.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `con`
+    Con,
+    /// `fun`
+    Fun,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `case`
+    Case,
+    /// `of`
+    Of,
+    /// `else`
+    Else,
+    /// `result`
+    Result,
+    /// `=`
+    Equals,
+    /// `=>`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// An identifier.
+    Ident(String),
+    /// A signed integer literal.
+    Int(i32),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Con => write!(f, "con"),
+            Token::Fun => write!(f, "fun"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::Case => write!(f, "case"),
+            Token::Of => write!(f, "of"),
+            Token::Else => write!(f, "else"),
+            Token::Result => write!(f, "result"),
+            Token::Equals => write!(f, "="),
+            Token::Arrow => write!(f, "=>"),
+            Token::Pipe => write!(f, "|"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A token together with the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexical errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that cannot begin any token.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// An integer literal outside `i32` range.
+    IntOutOfRange {
+        /// The literal text.
+        text: String,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, line } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            LexError::IntOutOfRange { text, line } => {
+                write!(f, "line {line}: integer literal `{text}` out of 32-bit range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '|' => {
+                chars.next();
+                out.push(Spanned { token: Token::Pipe, line });
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Spanned { token: Token::Arrow, line });
+                } else {
+                    out.push(Spanned { token: Token::Equals, line });
+                }
+            }
+            '-' | '0'..='9' => {
+                let start_line = line;
+                let mut text = String::new();
+                text.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if text == "-" {
+                    return Err(LexError::UnexpectedChar { ch: '-', line: start_line });
+                }
+                let n: i32 = text.parse().map_err(|_| LexError::IntOutOfRange {
+                    text: text.clone(),
+                    line: start_line,
+                })?;
+                out.push(Spanned { token: Token::Int(n), line: start_line });
+            }
+            c if is_ident_start(c) => {
+                let start_line = line;
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_continue(d) {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let token = match text.as_str() {
+                    "con" => Token::Con,
+                    "fun" => Token::Fun,
+                    "let" => Token::Let,
+                    "in" => Token::In,
+                    "case" => Token::Case,
+                    "of" => Token::Of,
+                    "else" => Token::Else,
+                    "result" => Token::Result,
+                    _ => Token::Ident(text),
+                };
+                out.push(Spanned { token, line: start_line });
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, line }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fun main = result 0"),
+            vec![
+                Token::Fun,
+                Token::Ident("main".into()),
+                Token::Equals,
+                Token::Result,
+                Token::Int(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_equals() {
+        assert_eq!(toks("= =>"), vec![Token::Equals, Token::Arrow]);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(toks("-42 7"), vec![Token::Int(-42), Token::Int(7)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("let ; this is a comment\n in"),
+            vec![Token::Let, Token::In]
+        );
+    }
+
+    #[test]
+    fn primes_allowed_in_idents() {
+        assert_eq!(toks("x' rest'"), vec![
+            Token::Ident("x'".into()),
+            Token::Ident("rest'".into())
+        ]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spanned = lex("fun\nmain").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn bare_minus_is_error() {
+        assert!(matches!(
+            lex("- 5"),
+            Err(LexError::UnexpectedChar { ch: '-', .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_int_is_error() {
+        assert!(matches!(
+            lex("99999999999"),
+            Err(LexError::IntOutOfRange { .. })
+        ));
+    }
+}

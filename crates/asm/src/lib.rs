@@ -1,0 +1,115 @@
+//! # zarf-asm — assembler and binary toolchain for the Zarf functional ISA
+//!
+//! This crate turns programs between the four representations of the paper's
+//! Figure 4:
+//!
+//! ```text
+//!   assembly text ── parse ──▶ named AST ── lower ──▶ machine form ── encode ──▶ binary words
+//!        ▲                        │    ▲                  │    ▲                     │
+//!        └──── Display ───────────┘    └───── lift ───────┘    └────── decode ──────┘
+//! ```
+//!
+//! * [`parse`] — text → [`zarf_core::ast::Program`] (named AST);
+//! * [`lower()`] — named AST → [`zarf_core::machine::MProgram`]
+//!   (indexed machine form, globals numbered from `0x100` with `main`
+//!   first);
+//! * [`encode()`] / [`decode`] — machine form ⇄ the 32-bit word binary format;
+//! * [`lift`] — machine form → named AST with synthesized names, enabling
+//!   analysis and reference execution of *decoded binaries*;
+//! * [`disassemble`] — machine form → human-readable listing.
+//!
+//! [`assemble`] composes parse → lower → encode.
+//!
+//! ```
+//! use zarf_asm::{assemble, decode, lift};
+//! use zarf_core::{Evaluator, NullPorts};
+//!
+//! let words = assemble("fun main =\n let x = add 40 2 in\n result x").unwrap();
+//! // A consumer can decode the binary and re-run it on the reference
+//! // semantics without ever having seen the source.
+//! let program = lift(&decode(&words).unwrap()).unwrap();
+//! let v = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+//! assert_eq!(v.as_int(), Some(42));
+//! ```
+
+pub mod disasm;
+pub mod encode;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod prelude;
+
+pub use disasm::disassemble;
+pub use encode::{decode, encode, hexdump, DecodeError, EncodeError, MAGIC};
+pub use lexer::{lex, LexError};
+pub use lower::{lift, lower, LiftError, LowerError};
+pub use parser::{parse, ParseError};
+pub use prelude::{with_prelude, PRELUDE_SRC};
+
+use zarf_core::Word;
+
+/// Errors from the complete [`assemble`] pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Lowering failed.
+    Lower(LowerError),
+    /// Encoding failed.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::Parse(e) => write!(f, "parse error: {e}"),
+            AsmError::Lower(e) => write!(f, "lowering error: {e}"),
+            AsmError::Encode(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ParseError> for AsmError {
+    fn from(e: ParseError) -> Self {
+        AsmError::Parse(e)
+    }
+}
+
+impl From<LowerError> for AsmError {
+    fn from(e: LowerError) -> Self {
+        AsmError::Lower(e)
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+/// Assemble source text all the way to binary words.
+pub fn assemble(src: &str) -> Result<Vec<Word>, AsmError> {
+    let program = parse(src)?;
+    let machine = lower(&program)?;
+    Ok(encode(&machine)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_pipeline() {
+        let words = assemble("fun main = result 7").unwrap();
+        assert_eq!(words[0], MAGIC);
+        let m = decode(&words).unwrap();
+        assert_eq!(m.items().len(), 1);
+    }
+
+    #[test]
+    fn assemble_reports_parse_errors() {
+        assert!(matches!(assemble("fun = ="), Err(AsmError::Parse(_))));
+    }
+}

@@ -1,0 +1,542 @@
+//! Lowering: named AST → indexed machine form, and lifting back.
+//!
+//! Lowering replaces every name with the (source, index) reference scheme of
+//! the hardware (paper Figure 4(b)): parameters become `arg n`, `let`-bound
+//! values and pattern binders become sequential `local n` slots along each
+//! execution path, and globals become function identifiers — `main` is
+//! always `0x100`, with the remaining declarations numbered upward in
+//! declaration order.
+//!
+//! [`lift`] is the inverse: it synthesizes fresh names (`a0…` for arguments,
+//! `l0…` for locals, declaration names where retained) so that a *decoded
+//! binary* can be re-run on the reference evaluator or re-analyzed by the
+//! name-based tooling. `lift(lower(p))` is semantically equivalent to `p`
+//! (α-renamed), which the round-trip tests exercise.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zarf_core::ast::{
+    Arg, Branch, Callee, ConDecl, Decl, Expr, FunDecl, Pattern, Program, ProgramError,
+};
+use zarf_core::machine::{
+    MBranch, MExpr, MItem, MItemKind, MPattern, MProgram, MachineError, Operand, Source,
+};
+use zarf_core::prim::{PrimOp, FIRST_USER_INDEX};
+
+/// Lowering failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A variable reference has no binding (malformed hand-built AST).
+    Unbound(String),
+    /// A global reference has no declaration (malformed hand-built AST).
+    UnknownGlobal(String),
+    /// The machine form failed validation (should be unreachable from a
+    /// valid named program; surfaced for hand-built machine code paths).
+    Machine(MachineError),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Unbound(x) => write!(f, "unbound variable `{x}` during lowering"),
+            LowerError::UnknownGlobal(g) => write!(f, "unknown global `{g}` during lowering"),
+            LowerError::Machine(e) => write!(f, "lowered program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<MachineError> for LowerError {
+    fn from(e: MachineError) -> Self {
+        LowerError::Machine(e)
+    }
+}
+
+/// Lower a named program to machine form.
+pub fn lower(program: &Program) -> Result<MProgram, LowerError> {
+    // Identifier assignment: main first, then declaration order.
+    let mut order: Vec<&Decl> = Vec::with_capacity(program.decls().len());
+    let main_decl = program
+        .decls()
+        .iter()
+        .find(|d| &**d.name() == "main")
+        .expect("Program guarantees main");
+    order.push(main_decl);
+    order.extend(program.decls().iter().filter(|d| &**d.name() != "main"));
+
+    let ids: HashMap<&str, u32> = order
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (&**d.name(), FIRST_USER_INDEX + i as u32))
+        .collect();
+
+    let mut items = Vec::with_capacity(order.len());
+    for d in order {
+        items.push(match d {
+            Decl::Con(c) => MItem {
+                arity: c.arity(),
+                locals: 0,
+                kind: MItemKind::Con,
+                name: Some(c.name.to_string()),
+            },
+            Decl::Fun(f) => lower_fn(f, &ids)?,
+        });
+    }
+    Ok(MProgram::new(items)?)
+}
+
+fn lower_fn(f: &FunDecl, ids: &HashMap<&str, u32>) -> Result<MItem, LowerError> {
+    let mut scope: Vec<(&str, Operand)> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (&**p, Operand::arg(i)))
+        .collect();
+    let mut max_locals = 0usize;
+    let body = lower_expr(&f.body, &mut scope, 0, &mut max_locals, ids)?;
+    Ok(MItem {
+        arity: f.arity(),
+        locals: max_locals,
+        kind: MItemKind::Fun { body },
+        name: Some(f.name.to_string()),
+    })
+}
+
+fn lookup(scope: &[(&str, Operand)], name: &str) -> Result<Operand, LowerError> {
+    scope
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == name)
+        .map(|(_, op)| *op)
+        .ok_or_else(|| LowerError::Unbound(name.to_string()))
+}
+
+fn lower_arg(
+    arg: &Arg,
+    scope: &[(&str, Operand)],
+) -> Result<Operand, LowerError> {
+    match arg {
+        Arg::Lit(n) => Ok(Operand::imm(*n)),
+        Arg::Var(x) => lookup(scope, x),
+    }
+}
+
+fn global_id(ids: &HashMap<&str, u32>, name: &str) -> Result<u32, LowerError> {
+    ids.get(name)
+        .copied()
+        .ok_or_else(|| LowerError::UnknownGlobal(name.to_string()))
+}
+
+fn lower_expr<'a>(
+    expr: &'a Expr,
+    scope: &mut Vec<(&'a str, Operand)>,
+    next_local: usize,
+    max_locals: &mut usize,
+    ids: &HashMap<&str, u32>,
+) -> Result<MExpr, LowerError> {
+    match expr {
+        Expr::Result(arg) => Ok(MExpr::Result(lower_arg(arg, scope)?)),
+        Expr::Let { var, callee, args, body } => {
+            let callee_op = match callee {
+                Callee::Var(x) => lookup(scope, x)?,
+                Callee::Fn(n) | Callee::Con(n) => Operand::global(global_id(ids, n)?),
+                Callee::Prim(p) => Operand::global(p.index()),
+            };
+            let margs = args
+                .iter()
+                .map(|a| lower_arg(a, scope))
+                .collect::<Result<Vec<_>, _>>()?;
+            *max_locals = (*max_locals).max(next_local + 1);
+            scope.push((&**var, Operand::local(next_local)));
+            let mbody = lower_expr(body, scope, next_local + 1, max_locals, ids)?;
+            scope.pop();
+            Ok(MExpr::Let {
+                callee: callee_op,
+                args: margs,
+                body: Box::new(mbody),
+            })
+        }
+        Expr::Case { scrutinee, branches, default } => {
+            let mscrut = lower_arg(scrutinee, scope)?;
+            let mut mbranches = Vec::with_capacity(branches.len());
+            for b in branches {
+                let (pattern, binders): (MPattern, &[zarf_core::ast::Name]) = match &b.pattern
+                {
+                    Pattern::Lit(n) => (MPattern::Lit(*n), &[]),
+                    Pattern::Con(name, vars) => {
+                        (MPattern::Con(global_id(ids, name)?), vars.as_slice())
+                    }
+                };
+                let before = scope.len();
+                for (i, v) in binders.iter().enumerate() {
+                    scope.push((&**v, Operand::local(next_local + i)));
+                }
+                *max_locals = (*max_locals).max(next_local + binders.len());
+                let body = lower_expr(
+                    &b.body,
+                    scope,
+                    next_local + binders.len(),
+                    max_locals,
+                    ids,
+                )?;
+                scope.truncate(before);
+                mbranches.push(MBranch { pattern, body });
+            }
+            let mdefault = lower_expr(default, scope, next_local, max_locals, ids)?;
+            Ok(MExpr::Case {
+                scrutinee: mscrut,
+                branches: mbranches,
+                default: Box::new(mdefault),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lifting: machine form → named AST with synthesized names.
+// ---------------------------------------------------------------------------
+
+/// Lift failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// A `Global` operand names neither a primitive nor an item.
+    DanglingGlobal(u32),
+    /// A constructor identifier appears where a function is required or
+    /// vice versa — e.g. a pattern naming a non-constructor.
+    KindMismatch(u32),
+    /// A local/argument index exceeds what the item declares.
+    IndexRange(String),
+    /// The lifted declarations do not form a valid program.
+    Program(ProgramError),
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::DanglingGlobal(id) => write!(f, "dangling global {id:#x}"),
+            LiftError::KindMismatch(id) => write!(f, "global {id:#x} used at the wrong kind"),
+            LiftError::IndexRange(msg) => write!(f, "index out of range: {msg}"),
+            LiftError::Program(e) => write!(f, "lifted program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+impl From<ProgramError> for LiftError {
+    fn from(e: ProgramError) -> Self {
+        LiftError::Program(e)
+    }
+}
+
+/// Synthesized name of the item with identifier `id` (used when the machine
+/// program retained no symbol).
+fn item_name(m: &MProgram, id: u32) -> String {
+    match m.lookup(id).and_then(|it| it.name.clone()) {
+        Some(n) => n,
+        None => {
+            if id == FIRST_USER_INDEX {
+                "main".to_string()
+            } else {
+                format!("g_{id:x}")
+            }
+        }
+    }
+}
+
+/// Lift a machine program back to the named AST.
+///
+/// Argument slots become `a0, a1, …`; local slots become `l0, l1, …`. Items
+/// keep their retained symbol if present, otherwise get `g_<id>` (and item 0
+/// is always `main`).
+pub fn lift(m: &MProgram) -> Result<Program, LiftError> {
+    let mut decls = Vec::with_capacity(m.items().len());
+    for (i, item) in m.items().iter().enumerate() {
+        let id = m.id_of(i);
+        let name = item_name(m, id);
+        match &item.kind {
+            MItemKind::Con => {
+                let fields: Vec<String> =
+                    (0..item.arity).map(|k| format!("f{k}")).collect();
+                decls.push(Decl::Con(ConDecl::new(&name, &fields)));
+            }
+            MItemKind::Fun { body } => {
+                let params: Vec<String> =
+                    (0..item.arity).map(|k| format!("a{k}")).collect();
+                let body = lift_expr(m, body, item, 0)?;
+                decls.push(Decl::Fun(FunDecl::new(&name, &params, body)));
+            }
+        }
+    }
+    Ok(Program::new(decls)?)
+}
+
+fn lift_operand(_m: &MProgram, op: &Operand, item: &MItem) -> Result<Arg, LiftError> {
+    match op.source {
+        Source::Imm => Ok(Arg::lit(op.index)),
+        Source::Arg => {
+            if op.index < 0 || op.index as usize >= item.arity {
+                return Err(LiftError::IndexRange(format!(
+                    "arg {} with arity {}",
+                    op.index, item.arity
+                )));
+            }
+            Ok(Arg::var(format!("a{}", op.index)))
+        }
+        Source::Local => {
+            if op.index < 0 || op.index as usize >= item.locals {
+                return Err(LiftError::IndexRange(format!(
+                    "local {} with {} slot(s)",
+                    op.index, item.locals
+                )));
+            }
+            Ok(Arg::var(format!("l{}", op.index)))
+        }
+        Source::Global => Err(LiftError::IndexRange(
+            "global operand in argument position must be wrapped in a let".into(),
+        )),
+    }
+}
+
+fn lift_callee(m: &MProgram, op: &Operand, item: &MItem) -> Result<Callee, LiftError> {
+    match op.source {
+        Source::Global => {
+            let id = op.index as u32;
+            if let Some(p) = PrimOp::from_index(id) {
+                return Ok(Callee::Prim(p));
+            }
+            match m.lookup(id) {
+                Some(it) if it.is_con() => {
+                    Ok(Callee::Con(std::rc::Rc::from(item_name(m, id).as_str())))
+                }
+                Some(_) => Ok(Callee::Fn(std::rc::Rc::from(item_name(m, id).as_str()))),
+                None => Err(LiftError::DanglingGlobal(id)),
+            }
+        }
+        _ => {
+            // A local/arg callee is a closure-valued variable.
+            let arg = lift_operand(m, op, item)?;
+            match arg {
+                Arg::Var(x) => Ok(Callee::Var(x)),
+                Arg::Lit(_) => Err(LiftError::IndexRange(
+                    "immediate in callee position".into(),
+                )),
+            }
+        }
+    }
+}
+
+fn lift_expr(
+    m: &MProgram,
+    expr: &MExpr,
+    item: &MItem,
+    next_local: usize,
+) -> Result<Expr, LiftError> {
+    match expr {
+        MExpr::Result(op) => Ok(Expr::Result(lift_operand(m, op, item)?)),
+        MExpr::Let { callee, args, body } => {
+            let c = lift_callee(m, callee, item)?;
+            let largs = args
+                .iter()
+                .map(|a| lift_operand(m, a, item))
+                .collect::<Result<Vec<_>, _>>()?;
+            let body = lift_expr(m, body, item, next_local + 1)?;
+            Ok(Expr::let_(format!("l{next_local}"), c, largs, body))
+        }
+        MExpr::Case { scrutinee, branches, default } => {
+            let s = lift_operand(m, scrutinee, item)?;
+            let mut lbranches = Vec::with_capacity(branches.len());
+            for b in branches {
+                match b.pattern {
+                    MPattern::Lit(n) => {
+                        let body = lift_expr(m, &b.body, item, next_local)?;
+                        lbranches.push(Branch::lit(n, body));
+                    }
+                    MPattern::Con(id) => {
+                        let it = m.lookup(id).ok_or(LiftError::DanglingGlobal(id))?;
+                        if !it.is_con() {
+                            return Err(LiftError::KindMismatch(id));
+                        }
+                        let binders: Vec<String> = (0..it.arity)
+                            .map(|k| format!("l{}", next_local + k))
+                            .collect();
+                        let body =
+                            lift_expr(m, &b.body, item, next_local + it.arity)?;
+                        lbranches.push(Branch::con(item_name(m, id), &binders, body));
+                    }
+                }
+            }
+            let d = lift_expr(m, default, item, next_local)?;
+            Ok(Expr::case_(s, lbranches, d))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use zarf_core::eval::Evaluator;
+    use zarf_core::io::{NullPorts, VecPorts};
+
+    const SRC: &str = r#"
+con Nil
+con Cons head tail
+
+fun map f list =
+  case list of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons x rest =>
+    let x' = f x in
+    let rest' = map f rest in
+    let list' = Cons x' rest' in
+    result list'
+  else
+    let e = Nil in
+    result e
+
+fun double n =
+  let m = mul n 2 in
+  result m
+
+fun sum l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let s = sum t in
+    let r = add h s in
+    result r
+  else result -1
+
+fun main =
+  let nil = Nil in
+  let l2 = Cons 20 nil in
+  let l1 = Cons 1 l2 in
+  let f = double in
+  let mapped = map f l1 in
+  let total = sum mapped in
+  result total
+"#;
+
+    #[test]
+    fn main_gets_first_user_index() {
+        let p = parse(SRC).unwrap();
+        let m = lower(&p).unwrap();
+        assert_eq!(m.main().name.as_deref(), Some("main"));
+        assert_eq!(m.id_of(0), FIRST_USER_INDEX);
+    }
+
+    #[test]
+    fn map_lowering_matches_paper_indices() {
+        let p = parse(SRC).unwrap();
+        let m = lower(&p).unwrap();
+        // map is declared after Nil and Cons → id 0x103 (main=0x100,
+        // Nil=0x101, Cons=0x102).
+        let map = m.lookup(0x103).unwrap();
+        assert_eq!(map.name.as_deref(), Some("map"));
+        assert_eq!(map.arity, 2);
+        // Paper Fig. 4: list' is local 2 (after x', rest' … with binders
+        // x=local0? The binders x,rest take locals 0,1; x'=2, rest'=3,
+        // list'=4 → 5 locals max on that path; Nil branch uses 1.
+        assert_eq!(map.locals, 5);
+        let body = map.body().unwrap();
+        match body {
+            MExpr::Case { scrutinee, branches, .. } => {
+                assert_eq!(*scrutinee, Operand::arg(1));
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[0].pattern, MPattern::Con(0x101)); // Nil
+                assert_eq!(branches[1].pattern, MPattern::Con(0x102)); // Cons
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lift_of_lower_is_semantically_identical() {
+        let p = parse(SRC).unwrap();
+        let m = lower(&p).unwrap();
+        let q = lift(&m).unwrap();
+        let v1 = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        let v2 = Evaluator::new(&q).run(&mut NullPorts).unwrap();
+        assert_eq!(v1.as_int(), v2.as_int());
+        assert_eq!(v1.as_int(), Some(42));
+    }
+
+    #[test]
+    fn lower_lift_lower_is_stable() {
+        let p = parse(SRC).unwrap();
+        let m1 = lower(&p).unwrap();
+        let m2 = lower(&lift(&m1).unwrap()).unwrap();
+        // After one round the names are already synthesized, so a second
+        // round must be a fixed point structurally.
+        let strip = |m: &MProgram| -> Vec<(usize, usize, bool)> {
+            m.items()
+                .iter()
+                .map(|i| (i.arity, i.locals, i.is_con()))
+                .collect()
+        };
+        assert_eq!(strip(&m1), strip(&m2));
+        for (a, b) in m1.items().iter().zip(m2.items()) {
+            assert_eq!(a.body(), b.body());
+        }
+    }
+
+    #[test]
+    fn branch_local_slots_are_reused_across_branches() {
+        let src = r#"
+fun main =
+  case 1 of
+  | 1 =>
+    let a = add 1 2 in
+    result a
+  | 2 =>
+    let b = add 3 4 in
+    result b
+  else result 0
+"#;
+        let p = parse(src).unwrap();
+        let m = lower(&p).unwrap();
+        // Both branches bind exactly one local → slot 0 reused, max 1.
+        assert_eq!(m.main().locals, 1);
+        if let Some(MExpr::Case { branches, .. }) = m.main().body() {
+            for b in branches {
+                if let MExpr::Let { body, .. } = &b.body {
+                    assert_eq!(**body, MExpr::Result(Operand::local(0)));
+                }
+            }
+        } else {
+            panic!("expected case body");
+        }
+    }
+
+    #[test]
+    fn io_program_round_trips_through_lift() {
+        let src = r#"
+fun main =
+  let a = getint 0 in
+  let b = mul a 3 in
+  let c = putint 1 b in
+  result c
+"#;
+        let p = parse(src).unwrap();
+        let q = lift(&lower(&p).unwrap()).unwrap();
+        let mut ports = VecPorts::new();
+        ports.push_input(0, [14]);
+        let v = Evaluator::new(&q).run(&mut ports).unwrap();
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(ports.output(1), &[42]);
+    }
+
+    #[test]
+    fn unbound_variable_in_hand_built_ast() {
+        // Builder allows constructing an expression referencing a name that
+        // was never bound; lowering must reject it.
+        use zarf_core::builder::{seq, var};
+        let p = Program::new(vec![Decl::main(seq().result(var("ghost")))]).unwrap();
+        assert_eq!(lower(&p).unwrap_err(), LowerError::Unbound("ghost".into()));
+    }
+}

@@ -1,0 +1,537 @@
+//! Parser: assembly text → named [`Program`].
+//!
+//! Parsing is two-pass. The first pass scans top-level declaration headers
+//! so that, in the second pass, every bare name in callee position can be
+//! resolved to the right [`Callee`] namespace:
+//!
+//! 1. names bound in the current function (parameters, `let` bindings,
+//!    pattern binders) → [`Callee::Var`];
+//! 2. declared functions → [`Callee::Fn`]; declared constructors →
+//!    [`Callee::Con`];
+//! 3. primitive mnemonics → [`Callee::Prim`].
+//!
+//! Locals therefore shadow globals and primitives, exactly as local-slot
+//! indexing does on the hardware. Declaring a global whose name collides
+//! with a primitive mnemonic is rejected outright — it could never be
+//! referenced.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zarf_core::ast::{
+    Arg, Branch, Callee, ConDecl, Decl, Expr, FunDecl, Pattern, Program, ProgramError,
+};
+use zarf_core::prim::PrimOp;
+
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Got one token where another was required.
+    Unexpected {
+        /// What was found (or "end of input").
+        found: String,
+        /// What the parser needed.
+        expected: String,
+        /// 1-based source line (0 at end of input).
+        line: u32,
+    },
+    /// A name in callee or pattern position resolves to nothing.
+    UnknownName {
+        /// The unresolvable name.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A top-level declaration shadows a primitive mnemonic.
+    ShadowsPrimitive {
+        /// The colliding name.
+        name: String,
+    },
+    /// A constructor pattern's binder count disagrees with the declaration.
+    PatternArity {
+        /// The constructor.
+        name: String,
+        /// Declared arity.
+        declared: usize,
+        /// Binders written in the pattern.
+        written: usize,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// The assembled declarations do not form a valid program.
+    Program(ProgramError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, line } => {
+                write!(f, "line {line}: expected {expected}, found {found}")
+            }
+            ParseError::UnknownName { name, line } => {
+                write!(f, "line {line}: `{name}` is not a local, function, constructor, or primitive")
+            }
+            ParseError::ShadowsPrimitive { name } => {
+                write!(f, "declaration `{name}` shadows a primitive mnemonic")
+            }
+            ParseError::PatternArity { name, declared, written, line } => {
+                write!(
+                    f,
+                    "line {line}: pattern `{name}` binds {written} field(s) but the constructor declares {declared}"
+                )
+            }
+            ParseError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+impl From<ProgramError> for ParseError {
+    fn from(e: ProgramError) -> Self {
+        ParseError::Program(e)
+    }
+}
+
+/// What a top-level name was declared as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlobalKind {
+    Fun,
+    Con { arity: usize },
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    globals: HashMap<String, GlobalKind>,
+}
+
+/// Parse assembly text into a validated [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let globals = scan_globals(&tokens)?;
+    let mut p = Parser { tokens, pos: 0, globals };
+    let mut decls = Vec::new();
+    while !p.at_end() {
+        decls.push(p.decl()?);
+    }
+    Ok(Program::new(decls)?)
+}
+
+/// First pass: collect declaration names and kinds.
+fn scan_globals(tokens: &[Spanned]) -> Result<HashMap<String, GlobalKind>, ParseError> {
+    let mut globals = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].token {
+            Token::Con => {
+                if let Some(Spanned { token: Token::Ident(name), .. }) = tokens.get(i + 1) {
+                    // Count field names until the next keyword.
+                    let mut arity = 0;
+                    let mut j = i + 2;
+                    while let Some(Spanned { token: Token::Ident(_), .. }) = tokens.get(j) {
+                        arity += 1;
+                        j += 1;
+                    }
+                    check_prim_shadow(name)?;
+                    globals.insert(name.clone(), GlobalKind::Con { arity });
+                    i = j;
+                    continue;
+                }
+                i += 1;
+            }
+            Token::Fun => {
+                if let Some(Spanned { token: Token::Ident(name), .. }) = tokens.get(i + 1) {
+                    check_prim_shadow(name)?;
+                    globals.insert(name.clone(), GlobalKind::Fun);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(globals)
+}
+
+fn check_prim_shadow(name: &str) -> Result<(), ParseError> {
+    if PrimOp::from_name(name).is_some() {
+        return Err(ParseError::ShadowsPrimitive { name: name.to_string() });
+    }
+    Ok(())
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self
+                .peek()
+                .map(|t| format!("`{t}`"))
+                .unwrap_or_else(|| "end of input".to_string()),
+            expected: expected.to_string(),
+            line: self.line(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, desc: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.unexpected(desc))
+        }
+    }
+
+    fn ident(&mut self, desc: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.advance() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.unexpected(desc)),
+        }
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        match self.peek() {
+            Some(Token::Con) => {
+                self.pos += 1;
+                let name = self.ident("constructor name")?;
+                let mut fields = Vec::new();
+                while let Some(Token::Ident(_)) = self.peek() {
+                    fields.push(self.ident("field name")?);
+                }
+                Ok(Decl::Con(ConDecl::new(&name, &fields)))
+            }
+            Some(Token::Fun) => {
+                self.pos += 1;
+                let name = self.ident("function name")?;
+                let mut params = Vec::new();
+                while let Some(Token::Ident(_)) = self.peek() {
+                    params.push(self.ident("parameter name")?);
+                }
+                self.expect(&Token::Equals, "`=` after function header")?;
+                let mut scope: Vec<String> = params.clone();
+                let body = self.expr(&mut scope)?;
+                Ok(Decl::Fun(FunDecl::new(&name, &params, body)))
+            }
+            _ => Err(self.unexpected("`con` or `fun`")),
+        }
+    }
+
+    fn arg(&mut self, desc: &str) -> Result<Arg, ParseError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Arg::lit(n))
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident(desc)?;
+                Ok(Arg::var(name))
+            }
+            _ => Err(self.unexpected(desc)),
+        }
+    }
+
+    fn resolve_callee(&self, name: &str, scope: &[String], line: u32) -> Result<Callee, ParseError> {
+        if scope.iter().any(|s| s == name) {
+            return Ok(Callee::Var(std::rc::Rc::from(name)));
+        }
+        match self.globals.get(name) {
+            Some(GlobalKind::Fun) => return Ok(Callee::Fn(std::rc::Rc::from(name))),
+            Some(GlobalKind::Con { .. }) => return Ok(Callee::Con(std::rc::Rc::from(name))),
+            None => {}
+        }
+        if let Some(p) = PrimOp::from_name(name) {
+            return Ok(Callee::Prim(p));
+        }
+        Err(ParseError::UnknownName { name: name.to_string(), line })
+    }
+
+    fn expr(&mut self, scope: &mut Vec<String>) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Let) => {
+                self.pos += 1;
+                let var = self.ident("binding name")?;
+                self.expect(&Token::Equals, "`=` in let")?;
+                let line = self.line();
+                let callee_name = self.ident("callee name")?;
+                let callee = self.resolve_callee(&callee_name, scope, line)?;
+                let mut args = Vec::new();
+                while matches!(self.peek(), Some(Token::Int(_)) | Some(Token::Ident(_))) {
+                    args.push(self.arg("argument")?);
+                }
+                self.expect(&Token::In, "`in` closing let")?;
+                scope.push(var.clone());
+                let body = self.expr(scope)?;
+                scope.pop();
+                Ok(Expr::let_(&var, callee, args, body))
+            }
+            Some(Token::Case) => {
+                self.pos += 1;
+                let scrutinee = self.arg("case scrutinee")?;
+                self.expect(&Token::Of, "`of` after scrutinee")?;
+                let mut branches = Vec::new();
+                while self.peek() == Some(&Token::Pipe) {
+                    self.pos += 1;
+                    branches.push(self.branch(scope)?);
+                }
+                self.expect(&Token::Else, "`else` branch closing case")?;
+                let default = self.expr(scope)?;
+                Ok(Expr::case_(scrutinee, branches, default))
+            }
+            Some(Token::Result) => {
+                self.pos += 1;
+                let arg = self.arg("result value")?;
+                Ok(Expr::Result(arg))
+            }
+            _ => Err(self.unexpected("`let`, `case`, or `result`")),
+        }
+    }
+
+    fn branch(&mut self, scope: &mut Vec<String>) -> Result<Branch, ParseError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                self.expect(&Token::Arrow, "`=>` after pattern")?;
+                let body = self.expr(scope)?;
+                Ok(Branch { pattern: Pattern::Lit(n), body })
+            }
+            Some(Token::Ident(_)) => {
+                let line = self.line();
+                let name = self.ident("constructor pattern")?;
+                let declared = match self.globals.get(&name) {
+                    Some(GlobalKind::Con { arity }) => *arity,
+                    _ => return Err(ParseError::UnknownName { name, line }),
+                };
+                let mut binders = Vec::new();
+                while let Some(Token::Ident(_)) = self.peek() {
+                    binders.push(self.ident("pattern binder")?);
+                }
+                if binders.len() != declared {
+                    return Err(ParseError::PatternArity {
+                        name,
+                        declared,
+                        written: binders.len(),
+                        line,
+                    });
+                }
+                self.expect(&Token::Arrow, "`=>` after pattern")?;
+                let before = scope.len();
+                scope.extend(binders.iter().cloned());
+                let body = self.expr(scope)?;
+                scope.truncate(before);
+                Ok(Branch {
+                    pattern: Pattern::Con(
+                        std::rc::Rc::from(name.as_str()),
+                        binders.iter().map(|b| std::rc::Rc::from(b.as_str())).collect(),
+                    ),
+                    body,
+                })
+            }
+            _ => Err(self.unexpected("integer or constructor pattern")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_core::eval::Evaluator;
+    use zarf_core::io::NullPorts;
+
+    const MAP_SRC: &str = r#"
+; The paper's Figure 4 example.
+con Nil
+con Cons head tail
+
+fun map f list =
+  case list of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons x rest =>
+    let x' = f x in
+    let rest' = map f rest in
+    let list' = Cons x' rest' in
+    result list'
+  else
+    let e = Nil in
+    result e
+
+fun inc n =
+  let m = add n 1 in
+  result m
+
+fun sum l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let s = sum t in
+    let r = add h s in
+    result r
+  else result -1
+
+fun main =
+  let nil = Nil in
+  let l3 = Cons 3 nil in
+  let l2 = Cons 2 l3 in
+  let l1 = Cons 1 l2 in
+  let f = inc in
+  let mapped = map f l1 in
+  let total = sum mapped in
+  result total
+"#;
+
+    #[test]
+    fn parses_and_runs_the_map_program() {
+        let p = parse(MAP_SRC).unwrap();
+        let v = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(9));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let p = parse(MAP_SRC).unwrap();
+        let printed = p.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        // Parameter named like a function: resolved as Var.
+        let src = r#"
+fun f x = result x
+fun g f =
+  let y = f 1 in
+  result y
+fun main =
+  let h = f in
+  let r = g h in
+  result r
+"#;
+        let p = parse(src).unwrap();
+        let g = p.function("g").unwrap();
+        match &g.body {
+            Expr::Let { callee, .. } => assert!(matches!(callee, Callee::Var(_))),
+            other => panic!("unexpected body {other:?}"),
+        }
+        let v = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(1));
+    }
+
+    #[test]
+    fn primitive_resolution() {
+        let p = parse("fun main =\n let x = add 1 2 in\n result x").unwrap();
+        match &p.main().body {
+            Expr::Let { callee, .. } => {
+                assert_eq!(callee, &Callee::Prim(PrimOp::Add));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_reported_with_line() {
+        let err = parse("fun main =\n let x = ghost 1 in\n result x").unwrap_err();
+        match err {
+            ParseError::UnknownName { name, line } => {
+                assert_eq!(name, "ghost");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn prim_shadowing_declaration_rejected() {
+        let err = parse("fun add a b = result a\nfun main = result 0").unwrap_err();
+        assert_eq!(err, ParseError::ShadowsPrimitive { name: "add".into() });
+    }
+
+    #[test]
+    fn pattern_arity_mismatch_rejected() {
+        let src = r#"
+con Pair a b
+fun main =
+  let p = Pair 1 2 in
+  case p of
+  | Pair x => result x
+  else result 0
+"#;
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, ParseError::PatternArity { declared: 2, written: 1, .. }));
+    }
+
+    #[test]
+    fn case_requires_else() {
+        let src = "fun main =\n case 1 of\n | 1 => result 1\n";
+        assert!(matches!(parse(src), Err(ParseError::Unexpected { .. })));
+    }
+
+    #[test]
+    fn missing_main_is_program_error() {
+        let err = parse("con Nil").unwrap_err();
+        assert_eq!(err, ParseError::Program(ProgramError::MissingMain));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // `main` calls `helper` declared after it.
+        let src = "fun main =\n let x = helper in\n result x\nfun helper = result 5";
+        let p = parse(src).unwrap();
+        let v = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(5));
+    }
+
+    #[test]
+    fn negative_literals_in_patterns_and_args() {
+        let src = r#"
+fun main =
+  let x = add -5 3 in
+  case x of
+  | -2 => result 99
+  else result 0
+"#;
+        let p = parse(src).unwrap();
+        let v = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(99));
+    }
+}

@@ -1,0 +1,600 @@
+//! A standard library for the Zarf functional ISA.
+//!
+//! The ISA is complete — "it is entirely possible that all code in the
+//! system be written to be purely functional and run on the λ-execution
+//! layer" (§3) — and programs written for it want the usual functional
+//! vocabulary. This module provides it as assembly source: `List`,
+//! `Option`, and `Either`-style data groups and the classic combinators
+//! (`map`, `filter`, folds, `append`, `reverse`, `length`, `take`, `drop`,
+//! `nth`, `zip_add`, `range`, `all`/`any`), all lambda-lifted and ANF as
+//! the hardware requires.
+//!
+//! Use [`with_prelude`] to prepend the library to a program's source:
+//!
+//! ```
+//! use zarf_asm::prelude::with_prelude;
+//! use zarf_asm::parse;
+//! use zarf_core::{Evaluator, NullPorts};
+//!
+//! let src = with_prelude(r#"
+//! fun main =
+//!   let xs = range 1 5 in
+//!   let n = length xs in
+//!   result n
+//! "#);
+//! let program = parse(&src).unwrap();
+//! let v = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+//! assert_eq!(v.as_int(), Some(5));
+//! ```
+
+/// The prelude's assembly source.
+pub const PRELUDE_SRC: &str = r#"
+; --- zarf prelude: data groups -----------------------------------------------
+con Nil
+con Cons head tail
+con None
+con Some value
+con Left value
+con Right value
+con MkPair fst snd
+
+; --- list basics ---------------------------------------------------------------
+fun length l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let n = length t in
+    let m = add n 1 in
+    result m
+  else result 0
+
+fun append a b =
+  case a of
+  | Nil => result b
+  | Cons h t =>
+    let rest = append t b in
+    let r = Cons h rest in
+    result r
+  else result b
+
+fun reverse_go acc l =
+  case l of
+  | Nil => result acc
+  | Cons h t =>
+    let acc' = Cons h acc in
+    let r = reverse_go acc' t in
+    result r
+  else result acc
+
+fun reverse l =
+  let nil = Nil in
+  let r = reverse_go nil l in
+  result r
+
+fun take n l =
+  case n of
+  | 0 =>
+    let e = Nil in
+    result e
+  else
+    case l of
+    | Nil =>
+      let e = Nil in
+      result e
+    | Cons h t =>
+      let m = sub n 1 in
+      let rest = take m t in
+      let r = Cons h rest in
+      result r
+    else
+      let e = Nil in
+      result e
+
+fun drop n l =
+  case n of
+  | 0 => result l
+  else
+    case l of
+    | Nil =>
+      let e = Nil in
+      result e
+    | Cons h t =>
+      let m = sub n 1 in
+      let r = drop m t in
+      result r
+    else
+      let e = Nil in
+      result e
+
+; nth: Option-returning indexed access (0-based)
+fun nth n l =
+  case l of
+  | Nil =>
+    let e = None in
+    result e
+  | Cons h t =>
+    case n of
+    | 0 =>
+      let s = Some h in
+      result s
+    else
+      let m = sub n 1 in
+      let r = nth m t in
+      result r
+  else
+    let e = None in
+    result e
+
+fun range lo hi =
+  let past = gt lo hi in
+  case past of
+  | 1 =>
+    let e = Nil in
+    result e
+  else
+    let next = add lo 1 in
+    let rest = range next hi in
+    let r = Cons lo rest in
+    result r
+
+; --- higher-order combinators ----------------------------------------------------
+fun map f l =
+  case l of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons h t =>
+    let h' = f h in
+    let t' = map f t in
+    let r = Cons h' t' in
+    result r
+  else
+    let e = Nil in
+    result e
+
+fun filter p l =
+  case l of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons h t =>
+    let keep = p h in
+    let t' = filter p t in
+    case keep of
+    | 1 =>
+      let r = Cons h t' in
+      result r
+    else result t'
+  else
+    let e = Nil in
+    result e
+
+fun foldr f z l =
+  case l of
+  | Nil => result z
+  | Cons h t =>
+    let rest = foldr f z t in
+    let r = f h rest in
+    result r
+  else result z
+
+fun foldl f z l =
+  case l of
+  | Nil => result z
+  | Cons h t =>
+    let z' = f z h in
+    let r = foldl f z' t in
+    result r
+  else result z
+
+fun all p l =
+  case l of
+  | Nil => result 1
+  | Cons h t =>
+    let ok = p h in
+    case ok of
+    | 0 => result 0
+    else
+      let r = all p t in
+      result r
+  else result 1
+
+fun any p l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let ok = p h in
+    case ok of
+    | 1 => result 1
+    else
+      let r = any p t in
+      result r
+  else result 0
+
+; element-wise sum of two integer lists (shorter one wins)
+fun zip_add a b =
+  case a of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons x xs =>
+    case b of
+    | Nil =>
+      let e = Nil in
+      result e
+    | Cons y ys =>
+      let s = add x y in
+      let rest = zip_add xs ys in
+      let r = Cons s rest in
+      result r
+    else
+      let e = Nil in
+      result e
+  else
+    let e = Nil in
+    result e
+
+fun sum l =
+  let plus = add in
+  let r = foldl plus 0 l in
+  result r
+
+; --- merge sort -----------------------------------------------------------------
+; split a list into (evens, odds) by position
+fun split l =
+  case l of
+  | Nil =>
+    let n = Nil in
+    let p = MkPair n n in
+    result p
+  | Cons h t =>
+    let rest = split t in
+    case rest of
+    | MkPair a b =>
+      let a' = Cons h b in
+      let p = MkPair a' a in
+      result p
+    else
+      let n = Nil in
+      let p = MkPair n n in
+      result p
+  else
+    let n = Nil in
+    let p = MkPair n n in
+    result p
+
+fun merge a b =
+  case a of
+  | Nil => result b
+  | Cons x xs =>
+    case b of
+    | Nil => result a
+    | Cons y ys =>
+      let le_ = le x y in
+      case le_ of
+      | 1 =>
+        let rest = merge xs b in
+        let r = Cons x rest in
+        result r
+      else
+        let rest = merge a ys in
+        let r = Cons y rest in
+        result r
+    else result a
+  else result b
+
+fun msort l =
+  case l of
+  | Nil =>
+    let n = Nil in
+    result n
+  | Cons h t =>
+    case t of
+    | Nil => result l
+    else
+      let halves = split l in
+      case halves of
+      | MkPair a b =>
+        let sa = msort a in
+        let sb = msort b in
+        let r = merge sa sb in
+        result r
+      else result l
+  else
+    let n = Nil in
+    result n
+
+; --- option / either helpers -------------------------------------------------------
+fun option_or default o =
+  case o of
+  | Some v => result v
+  | None => result default
+  else result default
+
+fun either_fold fl fr e =
+  case e of
+  | Left v =>
+    let r = fl v in
+    result r
+  | Right v =>
+    let r = fr v in
+    result r
+  else result 0
+"#;
+
+/// Prepend the prelude to a program's source.
+pub fn with_prelude(src: &str) -> String {
+    let mut out = String::with_capacity(PRELUDE_SRC.len() + src.len() + 1);
+    out.push_str(PRELUDE_SRC);
+    out.push('\n');
+    out.push_str(src);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use zarf_core::{Evaluator, NullPorts};
+
+    /// Run a `main` body against the prelude on the reference evaluator.
+    fn run(main_src: &str) -> i32 {
+        let src = with_prelude(main_src);
+        let program = parse(&src).unwrap();
+        Evaluator::new(&program)
+            .run(&mut NullPorts)
+            .unwrap()
+            .as_int()
+            .expect("integer result")
+    }
+
+    #[test]
+    fn length_append_reverse() {
+        assert_eq!(
+            run(r#"
+fun main =
+  let a = range 1 4 in
+  let b = range 5 6 in
+  let ab = append a b in
+  let r = reverse ab in
+  let n = length r in
+  case r of
+  | Cons h t =>
+    let hn = mul h 100 in
+    let out = add hn n in
+    result out
+  else result -1
+"#),
+            606 // reversed head is 6, length 6
+        );
+    }
+
+    #[test]
+    fn take_drop_nth() {
+        assert_eq!(
+            run(r#"
+fun main =
+  let xs = range 10 20 in
+  let mid = drop 3 xs in
+  let two = take 2 mid in
+  let s = sum two in
+  let third = nth 2 xs in
+  let v = option_or -1 third in
+  let out = add s v in
+  result out
+"#),
+            13 + 14 + 12
+        );
+    }
+
+    #[test]
+    fn map_filter_folds() {
+        assert_eq!(
+            run(r#"
+fun is_odd x =
+  let r = mod x 2 in
+  result r
+fun main =
+  let xs = range 1 10 in
+  let odd = is_odd in
+  let odds = filter odd xs in
+  let dbl = mul 2 in
+  let doubled = map dbl odds in
+  let total = sum doubled in
+  result total
+"#),
+            2 * (1 + 3 + 5 + 7 + 9)
+        );
+    }
+
+    #[test]
+    fn foldr_builds_right_associated() {
+        // foldr sub 0 [1,2,3] = 1 - (2 - (3 - 0)) = 2
+        assert_eq!(
+            run(r#"
+fun main =
+  let xs = range 1 3 in
+  let minus = sub in
+  let r = foldr minus 0 xs in
+  result r
+"#),
+            2
+        );
+    }
+
+    #[test]
+    fn foldl_builds_left_associated() {
+        // foldl sub 0 [1,2,3] = ((0-1)-2)-3 = -6
+        assert_eq!(
+            run(r#"
+fun main =
+  let xs = range 1 3 in
+  let minus = sub in
+  let r = foldl minus 0 xs in
+  result r
+"#),
+            -6
+        );
+    }
+
+    #[test]
+    fn all_any_short_circuit() {
+        assert_eq!(
+            run(r#"
+fun positive x =
+  let r = gt x 0 in
+  result r
+fun main =
+  let xs = range 1 5 in
+  let pos = positive in
+  let a = all pos xs in
+  let ys = range -2 2 in
+  let b = all pos ys in
+  let c = any pos ys in
+  let t0 = mul a 100 in
+  let t1 = mul b 10 in
+  let t2 = add t0 t1 in
+  let out = add t2 c in
+  result out
+"#),
+            101
+        );
+    }
+
+    #[test]
+    fn zip_add_truncates() {
+        assert_eq!(
+            run(r#"
+fun main =
+  let a = range 1 5 in
+  let b = range 10 12 in
+  let z = zip_add a b in
+  let n = length z in
+  let s = sum z in
+  let t = mul n 1000 in
+  let out = add t s in
+  result out
+"#),
+            3000 + (11 + 13 + 15)
+        );
+    }
+
+    #[test]
+    fn either_dispatch() {
+        assert_eq!(
+            run(r#"
+fun double x =
+  let r = mul x 2 in
+  result r
+fun negate x =
+  let r = neg x in
+  result r
+fun main =
+  let l = Left 21 in
+  let d = double in
+  let n = negate in
+  let r = either_fold d n l in
+  result r
+"#),
+            42
+        );
+    }
+
+    #[test]
+    fn msort_sorts() {
+        assert_eq!(
+            run(r#"
+fun mk l n =
+  case n of
+  | 0 => result l
+  else
+    let x = mul n 37 in
+    let m = mod x 19 in
+    let l' = Cons m l in
+    let n' = sub n 1 in
+    let r = mk l' n' in
+    result r
+fun sorted l =
+  case l of
+  | Nil => result 1
+  | Cons h t =>
+    case t of
+    | Nil => result 1
+    | Cons h2 t2 =>
+      let ok = le h h2 in
+      case ok of
+      | 0 => result 0
+      else
+        let r = sorted t in
+        result r
+    else result 1
+  else result 1
+fun main =
+  let nil = Nil in
+  let xs = mk nil 30 in
+  let s = msort xs in
+  let ok = sorted s in
+  let n = length s in
+  let t = mul ok 1000 in
+  let out = add t n in
+  result out
+"#),
+            1030 // sorted=1, length preserved=30
+        );
+    }
+
+    #[test]
+    fn msort_is_a_permutation() {
+        // Sum is invariant under sorting.
+        assert_eq!(
+            run(r#"
+fun mk l n =
+  case n of
+  | 0 => result l
+  else
+    let x = mul n 97 in
+    let m = mod x 23 in
+    let l' = Cons m l in
+    let n' = sub n 1 in
+    let r = mk l' n' in
+    result r
+fun main =
+  let nil = Nil in
+  let xs = mk nil 25 in
+  let s1 = sum xs in
+  let ys = msort xs in
+  let s2 = sum ys in
+  let d = sub s1 s2 in
+  result d
+"#),
+            0
+        );
+    }
+
+    #[test]
+    fn prelude_runs_on_all_engines() {
+        use crate::lower;
+        use zarf_core::step::Machine;
+        let src = with_prelude(
+            r#"
+fun main =
+  let xs = range 1 30 in
+  let r = reverse xs in
+  let s = sum r in
+  result s
+"#,
+        );
+        let program = parse(&src).unwrap();
+        let expected = (1..=30).sum::<i32>();
+        let big = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+        assert_eq!(big.as_int(), Some(expected));
+        let small = Machine::new(&program)
+            .run(&mut NullPorts, 10_000_000)
+            .unwrap();
+        assert_eq!(small.as_int(), Some(expected));
+        // The hardware simulator lives downstream of this crate; the
+        // engine-agreement integration suite covers it for the prelude too.
+        let machine = lower(&program).unwrap();
+        assert!(machine.items().len() > 20);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests on the assembler toolchain.
+
+use proptest::prelude::*;
+use zarf_asm::{decode, encode, lex, lift, lower, parse};
+use zarf_core::machine::{MItem, MItemKind, MProgram, Operand, Source};
+use zarf_core::{Evaluator, NullPorts};
+
+proptest! {
+    /// The lexer never panics, whatever bytes arrive.
+    #[test]
+    fn lexer_is_panic_free(src in "\\PC*") {
+        let _ = lex(&src);
+    }
+
+    /// The parser never panics on arbitrary token-ish text.
+    #[test]
+    fn parser_is_panic_free(src in "[a-z0-9 =|;()\\n]*") {
+        let _ = parse(&src);
+    }
+
+    /// The decoder never panics on arbitrary word streams; it either
+    /// produces a validated program or a structured error.
+    #[test]
+    fn decoder_is_panic_free(words in prop::collection::vec(any::<u32>(), 0..64)) {
+        let _ = decode(&words);
+    }
+
+    /// Operand immediates survive the 20-bit packing across the documented
+    /// range.
+    #[test]
+    fn immediates_round_trip(n in -(1i32 << 19)..(1i32 << 19)) {
+        let item = MItem {
+            arity: 0,
+            locals: 1,
+            kind: MItemKind::Fun {
+                body: zarf_core::machine::MExpr::Let {
+                    callee: Operand::global(zarf_core::prim::PrimOp::Add.index()),
+                    args: vec![Operand::imm(n), Operand::imm(0)],
+                    body: Box::new(zarf_core::machine::MExpr::Result(Operand::local(0))),
+                },
+            },
+            name: None,
+        };
+        let m = MProgram::new(vec![item]).unwrap();
+        let words = encode(&m).unwrap();
+        let d = decode(&words).unwrap();
+        if let Some(zarf_core::machine::MExpr::Let { args, .. }) = d.main().body() {
+            prop_assert_eq!(args[0], Operand::imm(n));
+            prop_assert_eq!(args[0].source, Source::Imm);
+        } else {
+            prop_assert!(false, "decoded shape changed");
+        }
+    }
+
+    /// Pretty-print → parse is the identity on generated programs, and
+    /// lower → encode → decode → lift preserves evaluation.
+    #[test]
+    fn full_pipeline_preserves_semantics(
+        chain in prop::collection::vec((0usize..3, -20i32..20), 1..8),
+        arg in -20i32..20,
+    ) {
+        // A helper function plus a main that calls it.
+        let ops = ["add", "sub", "mul"];
+        let mut body = String::new();
+        for (i, &(op, k)) in chain.iter().enumerate() {
+            let prev = if i == 0 { "x".to_string() } else { format!("v{}", i - 1) };
+            body.push_str(&format!("  let v{i} = {} {prev} {k} in\n", ops[op]));
+        }
+        body.push_str(&format!("  result v{}\n", chain.len() - 1));
+        let src = format!("fun f x =\n{body}fun main =\n  let r = f {arg} in\n  result r\n");
+
+        let p1 = parse(&src).unwrap();
+        // Display → parse identity.
+        let p2 = parse(&p1.to_string()).unwrap();
+        prop_assert_eq!(&p1, &p2);
+
+        // Pipeline preserves the final value.
+        let expected = Evaluator::new(&p1).run(&mut NullPorts).unwrap();
+        let lifted = lift(&decode(&encode(&lower(&p1).unwrap()).unwrap()).unwrap()).unwrap();
+        let got = Evaluator::new(&lifted).run(&mut NullPorts).unwrap();
+        prop_assert_eq!(expected.as_int(), got.as_int());
+    }
+
+    /// Corrupting any single word of a valid binary never panics the
+    /// decoder (it may still decode, or fail cleanly).
+    #[test]
+    fn single_word_corruption_is_handled(pos in 0usize..30, val in any::<u32>()) {
+        let src = "fun f x =\n  let a = add x 1 in\n  case a of\n  | 0 => result 0\n  else result a\nfun main =\n  let r = f 4 in\n  result r";
+        let mut words = encode(&lower(&parse(src).unwrap()).unwrap()).unwrap();
+        let idx = pos % words.len();
+        words[idx] = val;
+        let _ = decode(&words);
+    }
+}

@@ -1,0 +1,28 @@
+//! Static-analysis runtimes on the shipped kernel binary: WCET extraction
+//! and integrity typechecking. These are the costs a developer pays per
+//! build, so they are benchmarked like any toolchain pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zarf_hw::CostModel;
+use zarf_kernel::program::kernel_program;
+use zarf_verify::integrity::check_program;
+use zarf_verify::sigs::kernel_signatures;
+use zarf_verify::timing::kernel_timing;
+
+fn analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/kernel");
+    let cost = CostModel::default();
+    group.bench_function("wcet+gc-bound", |b| {
+        b.iter(|| black_box(kernel_timing(&cost).unwrap().total_cycles()))
+    });
+    let program = kernel_program();
+    let sigs = kernel_signatures();
+    group.bench_function("integrity-typecheck", |b| {
+        b.iter(|| check_program(black_box(&program), black_box(&sigs)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analysis);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Engine throughput: the same Zarf program on the big-step reference
+//! evaluator, the small-step machine, and the cycle-accurate hardware
+//! simulator. Not a paper table per se, but the foundation for every
+//! simulated number: how much host time one simulated workload costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zarf_asm::{lower, parse};
+use zarf_core::io::NullPorts;
+use zarf_core::step::Machine;
+use zarf_core::Evaluator;
+use zarf_hw::Hw;
+
+const SRC: &str = r#"
+con Nil
+con Cons head tail
+fun upto n =
+  case n of
+  | 0 =>
+    let e = Nil in
+    result e
+  else
+    let m = sub n 1 in
+    let r = upto m in
+    let l = Cons n r in
+    result l
+fun sum l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let s = sum t in
+    let r = add h s in
+    result r
+  else result -1
+fun main =
+  let l = upto 100 in
+  let s = sum l in
+  result s
+"#;
+
+fn engines(c: &mut Criterion) {
+    let program = parse(SRC).unwrap();
+    let machine = lower(&program).unwrap();
+    let mut group = c.benchmark_group("engines/list-sum-100");
+
+    group.bench_function("bigstep", |b| {
+        b.iter(|| {
+            let v = Evaluator::new(black_box(&program))
+                .run(&mut NullPorts)
+                .unwrap();
+            assert_eq!(v.as_int(), Some(5050));
+        })
+    });
+
+    group.bench_function("smallstep", |b| {
+        b.iter(|| {
+            let v = Machine::new(black_box(&program))
+                .run(&mut NullPorts, u64::MAX)
+                .unwrap();
+            assert_eq!(v.as_int(), Some(5050));
+        })
+    });
+
+    group.bench_function("hw-sim", |b| {
+        b.iter(|| {
+            let mut hw = Hw::from_machine(black_box(&machine)).unwrap();
+            let v = hw.run(&mut NullPorts).unwrap();
+            assert_eq!(hw.as_int(v), Some(5050));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

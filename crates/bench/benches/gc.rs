@@ -1,0 +1,48 @@
+//! E9 — semispace collection cost as a function of live-set size. The
+//! paper's cost model says pause time is linear in the live set (`N + 4`
+//! cycles per object, 2 per reference), not in total allocation; this
+//! bench demonstrates both the host-time and the modeled-cycle behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zarf_hw::{CostModel, HValue, Heap, HeapObj};
+
+/// Build a heap with `live` reachable list cells and an equal amount of
+/// garbage; returns (heap, root).
+fn build(live: usize) -> (Heap, HValue) {
+    let mut heap = Heap::new(1 << 22);
+    let mut head = HValue::Int(0);
+    for i in 0..live {
+        let cell = heap
+            .alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Int(i as i32), head] })
+            .unwrap();
+        head = HValue::Ref(cell);
+        // Interleave garbage of the same shape.
+        heap.alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Int(-1), HValue::Int(-1)] })
+            .unwrap();
+    }
+    (heap, head)
+}
+
+fn gc(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("gc/pause-vs-live-set");
+    for live in [100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            b.iter_batched(
+                || build(live),
+                |(mut heap, root)| {
+                    let mut roots = [root];
+                    let report = heap.collect(&mut roots, &cost);
+                    assert_eq!(report.objects_copied, live as u64);
+                    black_box(report.cycles)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gc);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Per-iteration cost of the ICD on every implementation level: the Rust
+//! stream spec, the extracted assembly on the reference evaluator, the full
+//! kernel iteration on the hardware simulator, and the unverified baseline
+//! on the imperative core. Host-time companion to experiment E3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zarf_bench::fast_workload;
+use zarf_core::io::NullPorts;
+use zarf_core::value::Value;
+use zarf_core::Evaluator;
+use zarf_icd::extract::{icd_program, INIT_FN, STEP_FN};
+use zarf_icd::spec::IcdSpec;
+use zarf_kernel::baseline::baseline_cpu;
+use zarf_kernel::devices::HeartPorts;
+use zarf_kernel::system::System;
+
+fn icd(c: &mut Criterion) {
+    let samples = fast_workload(1.0); // 200 iterations per measured batch
+    let mut group = c.benchmark_group("icd/200-samples");
+
+    group.bench_function("spec", |b| {
+        b.iter(|| {
+            let mut spec = IcdSpec::new();
+            let mut acc = 0i64;
+            for &x in black_box(&samples) {
+                acc += spec.step(x).word() as i64;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("extracted-on-bigstep", |b| {
+        let program = icd_program();
+        b.iter(|| {
+            let mut eval = Evaluator::new(&program).with_fuel(u64::MAX);
+            let mut state = eval.call(INIT_FN, vec![], &mut NullPorts).unwrap();
+            let mut acc = 0i64;
+            for &x in black_box(&samples) {
+                let pair = eval
+                    .call(STEP_FN, vec![state.clone(), Value::int(x)], &mut NullPorts)
+                    .unwrap();
+                let (_, fields) = pair.as_con().unwrap();
+                state = fields[0].clone();
+                acc += fields[1].as_int().unwrap() as i64;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("kernel-on-hw-sim", |b| {
+        b.iter(|| {
+            let mut sys = System::new(black_box(samples.clone())).unwrap();
+            let report = sys.run().unwrap();
+            black_box(report.lambda_stats.total_cycles())
+        })
+    });
+
+    group.bench_function("baseline-on-imperative", |b| {
+        b.iter(|| {
+            let mut ports = HeartPorts::new(black_box(samples.clone()));
+            let mut cpu = baseline_cpu();
+            cpu.run(&mut ports, u64::MAX).unwrap();
+            black_box(cpu.cycles())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, icd);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Toolchain round-trip costs on the real kernel program: parse, lower,
+//! encode, decode, lift, typecheck-input production.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zarf_asm::{decode, encode, lift, lower, parse};
+use zarf_kernel::program::kernel_source;
+
+fn toolchain(c: &mut Criterion) {
+    let src = kernel_source();
+    let program = parse(&src).unwrap();
+    let machine = lower(&program).unwrap();
+    let words = encode(&machine).unwrap();
+
+    let mut group = c.benchmark_group("toolchain/kernel");
+    group.bench_function("parse", |b| b.iter(|| parse(black_box(&src)).unwrap()));
+    group.bench_function("lower", |b| b.iter(|| lower(black_box(&program)).unwrap()));
+    group.bench_function("encode", |b| b.iter(|| encode(black_box(&machine)).unwrap()));
+    group.bench_function("decode", |b| b.iter(|| decode(black_box(&words)).unwrap()));
+    group.bench_function("lift", |b| b.iter(|| lift(black_box(&machine)).unwrap()));
+    group.bench_function("full-round-trip", |b| {
+        b.iter(|| {
+            let m = lower(&parse(black_box(&src)).unwrap()).unwrap();
+            let w = encode(&m).unwrap();
+            decode(&w).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, toolchain);
+criterion_main!(benches);

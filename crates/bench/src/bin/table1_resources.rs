@@ -1,0 +1,49 @@
+//! E1 — Table 1: hardware resource usage of the two layers.
+//!
+//! Regenerated from the analytic model in `zarf_hw::resources` (we cannot
+//! synthesize RTL from Rust; see DESIGN.md §2 for the substitution).
+
+use zarf_bench::{header, row};
+use zarf_hw::resources::{LambdaLayerModel, STATE_GROUPS};
+
+fn main() {
+    let model = LambdaLayerModel::default();
+    let lambda = model.lambda_layer();
+    let blaze = model.microblaze();
+
+    header("Table 1: resource usage (Artix-7)");
+    row("λ-layer LUTs", lambda.luts, 4_337, "LUTs");
+    row("λ-layer FFs", lambda.ffs, 2_779, "FFs");
+    row("λ-layer cycle time", lambda.cycle_ns, 20, "ns");
+    row("λ-layer clock", lambda.mhz(), 50, "MHz");
+    row("λ-layer gates", lambda.gates, 29_980, "gates");
+    row("MicroBlaze LUTs", blaze.luts, 1_840, "LUTs");
+    row("MicroBlaze FFs", blaze.ffs, 1_556, "FFs");
+    row("MicroBlaze cycle time", blaze.cycle_ns, 10, "ns");
+    row(
+        "LUT ratio λ:MicroBlaze",
+        format!("{:.2}x", model.lut_ratio()),
+        "~2x",
+        "",
+    );
+    row(
+        "Artix-7 utilization",
+        format!("{:.1}%", 100.0 * model.artix7_utilization()),
+        "<7%",
+        "",
+    );
+
+    println!("\nControl FSM: {} states", model.total_states());
+    for g in STATE_GROUPS {
+        println!("  {:<24} {:>3} states", g.name, g.states);
+    }
+    let (groups, datapath) = model.breakdown();
+    println!("\nAnalytic gate decomposition:");
+    for g in &groups {
+        println!("  {:<24} {:>6} gates {:>6} LUTs", g.group.name, g.gates, g.luts);
+    }
+    println!(
+        "  {:<24} {:>6} gates {:>6} LUTs",
+        datapath.group.name, datapath.gates, datapath.luts
+    );
+}

@@ -1,0 +1,716 @@
+//! The named abstract syntax of the Zarf functional ISA (paper Figure 2).
+//!
+//! This is the *surface* form in which programs are written, verified, and
+//! pretty-printed: identifiers are human-readable names. The indexed
+//! *machine* form that the hardware actually decodes lives in
+//! [`crate::machine`]; the `zarf-asm` crate lowers between the two.
+//!
+//! The grammar, verbatim from the paper:
+//!
+//! ```text
+//! p    ::= decl… fun main = e
+//! decl ::= con cn x…  |  fun fn x… = e
+//! e    ::= let x = id arg… in e
+//!        | case arg of br… else e
+//!        | result arg
+//! br   ::= cn x… => e  |  n => e
+//! id   ::= x | fn | cn | ⊕
+//! arg  ::= n | x
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::prim::PrimOp;
+use crate::Int;
+
+/// An interned identifier. Cloning is cheap (reference-counted).
+pub type Name = Rc<str>;
+
+/// An argument position: either an integer literal or a variable reference
+/// (`arg ::= n | x`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Arg {
+    /// An immediate signed 32-bit integer.
+    Lit(Int),
+    /// A reference to a local or parameter in the current frame.
+    Var(Name),
+}
+
+impl Arg {
+    /// Create a literal argument.
+    pub fn lit(n: Int) -> Self {
+        Arg::Lit(n)
+    }
+
+    /// Create a variable-reference argument.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Arg::Var(Rc::from(name.as_ref()))
+    }
+}
+
+impl From<Int> for Arg {
+    fn from(n: Int) -> Self {
+        Arg::Lit(n)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(s: &str) -> Self {
+        Arg::var(s)
+    }
+}
+
+/// The callee position of a `let` instruction (`id ::= x | fn | cn | ⊕`).
+///
+/// In the named surface form we keep the four alternatives distinct so the
+/// pretty-printer and type checker can treat them precisely; the assembler
+/// resolves which namespace a bare name belongs to during lowering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A variable holding a closure (or, erroneously, an integer).
+    Var(Name),
+    /// A top-level function by name.
+    Fn(Name),
+    /// A constructor by name.
+    Con(Name),
+    /// A hardware primitive operation.
+    Prim(PrimOp),
+}
+
+impl Callee {
+    /// The name this callee displays as.
+    pub fn display_name(&self) -> String {
+        match self {
+            Callee::Var(n) | Callee::Fn(n) | Callee::Con(n) => n.to_string(),
+            Callee::Prim(p) => p.name().to_string(),
+        }
+    }
+}
+
+/// A pattern at the head of a `case` branch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Matches an exact integer value.
+    Lit(Int),
+    /// Matches a saturated application of the named constructor, binding its
+    /// fields to the given fresh variables.
+    Con(Name, Vec<Name>),
+}
+
+/// One branch of a `case` instruction: a pattern and the expression to
+/// evaluate if it matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// The pattern compared against the scrutinee.
+    pub pattern: Pattern,
+    /// Evaluated when the pattern matches.
+    pub body: Expr,
+}
+
+impl Branch {
+    /// A branch matching an integer literal.
+    pub fn lit(n: Int, body: Expr) -> Self {
+        Branch { pattern: Pattern::Lit(n), body }
+    }
+
+    /// A branch matching a constructor, binding its fields.
+    pub fn con<S: AsRef<str>>(name: impl AsRef<str>, fields: &[S], body: Expr) -> Self {
+        Branch {
+            pattern: Pattern::Con(
+                Rc::from(name.as_ref()),
+                fields.iter().map(|f| Rc::from(f.as_ref())).collect(),
+            ),
+            body,
+        }
+    }
+}
+
+/// A Zarf expression: the body of a function is exactly one expression built
+/// from the three instructions `let`, `case`, and `result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `let x = id arg… in e` — apply and bind.
+    Let {
+        /// The variable the application's value is bound to.
+        var: Name,
+        /// What is being applied.
+        callee: Callee,
+        /// The (possibly empty) argument list.
+        args: Vec<Arg>,
+        /// The continuation expression.
+        body: Box<Expr>,
+    },
+    /// `case arg of br… else e` — force to WHNF and pattern-match.
+    Case {
+        /// The value being inspected.
+        scrutinee: Arg,
+        /// Branches tried in order.
+        branches: Vec<Branch>,
+        /// Mandatory fallback, making every case total.
+        default: Box<Expr>,
+    },
+    /// `result arg` — yield the function's value.
+    Result(Arg),
+}
+
+impl Expr {
+    /// `let var = callee(args…) in body` with an arbitrary callee.
+    pub fn let_(
+        var: impl AsRef<str>,
+        callee: Callee,
+        args: Vec<Arg>,
+        body: Expr,
+    ) -> Self {
+        Expr::Let {
+            var: Rc::from(var.as_ref()),
+            callee,
+            args,
+            body: Box::new(body),
+        }
+    }
+
+    /// `let` applying a named top-level function.
+    pub fn let_fn(
+        var: impl AsRef<str>,
+        func: impl AsRef<str>,
+        args: Vec<Arg>,
+        body: Expr,
+    ) -> Self {
+        Expr::let_(var, Callee::Fn(Rc::from(func.as_ref())), args, body)
+    }
+
+    /// `let` applying a constructor.
+    pub fn let_con(
+        var: impl AsRef<str>,
+        con: impl AsRef<str>,
+        args: Vec<Arg>,
+        body: Expr,
+    ) -> Self {
+        Expr::let_(var, Callee::Con(Rc::from(con.as_ref())), args, body)
+    }
+
+    /// `let` applying a closure held in a variable.
+    pub fn let_var(
+        var: impl AsRef<str>,
+        closure: impl AsRef<str>,
+        args: Vec<Arg>,
+        body: Expr,
+    ) -> Self {
+        Expr::let_(var, Callee::Var(Rc::from(closure.as_ref())), args, body)
+    }
+
+    /// `let` applying a primitive operation named by its assembly mnemonic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prim` is not a known primitive mnemonic; use
+    /// [`PrimOp::from_name`] for fallible lookup.
+    pub fn let_prim(
+        var: impl AsRef<str>,
+        prim: &str,
+        args: Vec<Arg>,
+        body: Expr,
+    ) -> Self {
+        let op = PrimOp::from_name(prim)
+            .unwrap_or_else(|| panic!("unknown primitive mnemonic `{prim}`"));
+        Expr::let_(var, Callee::Prim(op), args, body)
+    }
+
+    /// `case scrutinee of branches… else default`.
+    pub fn case_(scrutinee: Arg, branches: Vec<Branch>, default: Expr) -> Self {
+        Expr::Case {
+            scrutinee,
+            branches,
+            default: Box::new(default),
+        }
+    }
+
+    /// `result arg`.
+    pub fn result(arg: Arg) -> Self {
+        Expr::Result(arg)
+    }
+
+    /// Number of `let` instructions in this expression tree — i.e. the
+    /// number of locals a frame evaluating it may bind. Used for the
+    /// function fingerprint word in the binary encoding.
+    pub fn local_count(&self) -> usize {
+        match self {
+            Expr::Let { body, .. } => 1 + body.local_count(),
+            Expr::Case { branches, default, .. } => {
+                let branch_max = branches
+                    .iter()
+                    .map(|b| b.pattern_binders() + b.body.local_count())
+                    .max()
+                    .unwrap_or(0);
+                branch_max.max(default.local_count())
+            }
+            Expr::Result(_) => 0,
+        }
+    }
+
+    /// Iterate over every sub-expression (including `self`), pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Expr)) {
+        visit(self);
+        match self {
+            Expr::Let { body, .. } => body.walk(visit),
+            Expr::Case { branches, default, .. } => {
+                for b in branches {
+                    b.body.walk(visit);
+                }
+                default.walk(visit);
+            }
+            Expr::Result(_) => {}
+        }
+    }
+}
+
+impl Branch {
+    /// Number of variables this branch's pattern binds.
+    pub fn pattern_binders(&self) -> usize {
+        match &self.pattern {
+            Pattern::Lit(_) => 0,
+            Pattern::Con(_, vars) => vars.len(),
+        }
+    }
+}
+
+/// A constructor declaration: `con cn x…`. Constructors are stub functions
+/// with no body; applying one to a full argument list builds a data value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConDecl {
+    /// The constructor's globally unique name.
+    pub name: Name,
+    /// Field names; their count is the constructor's arity.
+    pub fields: Vec<Name>,
+}
+
+impl ConDecl {
+    /// Declare a constructor with the given field names.
+    pub fn new<S: AsRef<str>>(name: impl AsRef<str>, fields: &[S]) -> Self {
+        ConDecl {
+            name: Rc::from(name.as_ref()),
+            fields: fields.iter().map(|f| Rc::from(f.as_ref())).collect(),
+        }
+    }
+
+    /// The constructor's arity.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// A function declaration: `fun fn x… = e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunDecl {
+    /// The function's globally unique name.
+    pub name: Name,
+    /// Parameter names.
+    pub params: Vec<Name>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+impl FunDecl {
+    /// Declare a function.
+    pub fn new<S: AsRef<str>>(name: impl AsRef<str>, params: &[S], body: Expr) -> Self {
+        FunDecl {
+            name: Rc::from(name.as_ref()),
+            params: params.iter().map(|p| Rc::from(p.as_ref())).collect(),
+            body,
+        }
+    }
+
+    /// The function's arity.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// A constructor stub.
+    Con(ConDecl),
+    /// A function with a body.
+    Fun(FunDecl),
+}
+
+impl Decl {
+    /// Shorthand for declaring `main`, the nullary entry-point function.
+    pub fn main(body: Expr) -> Self {
+        Decl::Fun(FunDecl::new::<&str>("main", &[], body))
+    }
+
+    /// The declaration's name.
+    pub fn name(&self) -> &Name {
+        match self {
+            Decl::Con(c) => &c.name,
+            Decl::Fun(f) => &f.name,
+        }
+    }
+}
+
+/// A complete Zarf program: a list of declarations containing exactly one
+/// nullary function named `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    decls: Vec<Decl>,
+}
+
+/// Structural validation failures detected by [`Program::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// No function named `main` was declared.
+    MissingMain,
+    /// `main` was declared with parameters; the entry point must be nullary.
+    MainHasParams(usize),
+    /// Two declarations share a name.
+    DuplicateName(String),
+    /// An expression references a name with no declaration (functions and
+    /// constructors only; variable scoping is checked at evaluation time).
+    UnknownGlobal { function: String, global: String },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::MissingMain => write!(f, "program has no `main` function"),
+            ProgramError::MainHasParams(n) => {
+                write!(f, "`main` must be nullary but takes {n} parameter(s)")
+            }
+            ProgramError::DuplicateName(n) => {
+                write!(f, "duplicate top-level declaration `{n}`")
+            }
+            ProgramError::UnknownGlobal { function, global } => {
+                write!(f, "function `{function}` references undeclared global `{global}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Assemble a program from declarations, validating its global structure:
+    /// a nullary `main` exists, declaration names are unique, and every
+    /// `Callee::Fn` / `Callee::Con` / constructor pattern refers to a
+    /// declared global.
+    pub fn new(decls: Vec<Decl>) -> Result<Self, ProgramError> {
+        use std::collections::HashSet;
+        let mut names: HashSet<&str> = HashSet::new();
+        for d in &decls {
+            if !names.insert(d.name()) {
+                return Err(ProgramError::DuplicateName(d.name().to_string()));
+            }
+        }
+        match decls.iter().find_map(|d| match d {
+            Decl::Fun(f) if &*f.name == "main" => Some(f),
+            _ => None,
+        }) {
+            None => return Err(ProgramError::MissingMain),
+            Some(f) if !f.params.is_empty() => {
+                return Err(ProgramError::MainHasParams(f.params.len()))
+            }
+            Some(_) => {}
+        }
+        let p = Program { decls };
+        p.check_globals()?;
+        Ok(p)
+    }
+
+    fn check_globals(&self) -> Result<(), ProgramError> {
+        for f in self.functions() {
+            let mut err = None;
+            f.body.walk(&mut |e| {
+                if err.is_some() {
+                    return;
+                }
+                match e {
+                    Expr::Let { callee: Callee::Fn(n), .. }
+                        if self.function(n).is_none() => {
+                            err = Some(n.clone());
+                        }
+                    Expr::Let { callee: Callee::Con(n), .. }
+                        if self.constructor(n).is_none() => {
+                            err = Some(n.clone());
+                        }
+                    Expr::Case { branches, .. } => {
+                        for b in branches {
+                            if let Pattern::Con(n, _) = &b.pattern {
+                                if self.constructor(n).is_none() {
+                                    err = Some(n.clone());
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            if let Some(n) = err {
+                return Err(ProgramError::UnknownGlobal {
+                    function: f.name.to_string(),
+                    global: n.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// All declarations in order.
+    pub fn decls(&self) -> &[Decl] {
+        &self.decls
+    }
+
+    /// Iterate over function declarations.
+    pub fn functions(&self) -> impl Iterator<Item = &FunDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Fun(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over constructor declarations.
+    pub fn constructors(&self) -> impl Iterator<Item = &ConDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Con(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunDecl> {
+        self.functions().find(|f| &*f.name == name)
+    }
+
+    /// Look up a constructor by name.
+    pub fn constructor(&self, name: &str) -> Option<&ConDecl> {
+        self.constructors().find(|c| &*c.name == name)
+    }
+
+    /// The entry point. Guaranteed present by [`Program::new`].
+    pub fn main(&self) -> &FunDecl {
+        self.function("main").expect("validated at construction")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing: the assembly text syntax accepted by `zarf-asm`.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Lit(n) => write!(f, "{n}"),
+            Arg::Var(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Lit(n) => write!(f, "{n}"),
+            Pattern::Con(name, vars) => {
+                write!(f, "{name}")?;
+                for v in vars {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Expr {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Expr::Let { var, callee, args, body } => {
+                write!(f, "{pad}let {var} = {}", callee.display_name())?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                writeln!(f, " in")?;
+                body.fmt_indented(f, depth)
+            }
+            Expr::Case { scrutinee, branches, default } => {
+                writeln!(f, "{pad}case {scrutinee} of")?;
+                for b in branches {
+                    writeln!(f, "{pad}| {} =>", b.pattern)?;
+                    b.body.fmt_indented(f, depth + 1)?;
+                    writeln!(f)?;
+                }
+                writeln!(f, "{pad}else")?;
+                default.fmt_indented(f, depth + 1)
+            }
+            Expr::Result(a) => write!(f, "{pad}result {a}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.decls.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match d {
+                Decl::Con(c) => {
+                    write!(f, "con {}", c.name)?;
+                    for x in &c.fields {
+                        write!(f, " {x}")?;
+                    }
+                    writeln!(f)?;
+                }
+                Decl::Fun(func) => {
+                    write!(f, "fun {}", func.name)?;
+                    for p in &func.params {
+                        write!(f, " {p}")?;
+                    }
+                    writeln!(f, " =")?;
+                    func.body.fmt_indented(f, 1)?;
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_main() -> Decl {
+        Decl::main(Expr::result(Arg::lit(0)))
+    }
+
+    #[test]
+    fn program_requires_main() {
+        let err = Program::new(vec![Decl::Con(ConDecl::new("Nil", &[] as &[&str]))]);
+        assert_eq!(err.unwrap_err(), ProgramError::MissingMain);
+    }
+
+    #[test]
+    fn program_rejects_main_with_params() {
+        let err = Program::new(vec![Decl::Fun(FunDecl::new(
+            "main",
+            &["x"],
+            Expr::result(Arg::var("x")),
+        ))]);
+        assert_eq!(err.unwrap_err(), ProgramError::MainHasParams(1));
+    }
+
+    #[test]
+    fn program_rejects_duplicate_names() {
+        let err = Program::new(vec![
+            Decl::Con(ConDecl::new("Nil", &[] as &[&str])),
+            Decl::Con(ConDecl::new("Nil", &[] as &[&str])),
+            trivial_main(),
+        ]);
+        assert_eq!(err.unwrap_err(), ProgramError::DuplicateName("Nil".into()));
+    }
+
+    #[test]
+    fn program_rejects_unknown_function_reference() {
+        let err = Program::new(vec![Decl::main(Expr::let_fn(
+            "x",
+            "nowhere",
+            vec![],
+            Expr::result(Arg::var("x")),
+        ))]);
+        assert!(matches!(err, Err(ProgramError::UnknownGlobal { .. })));
+    }
+
+    #[test]
+    fn program_rejects_unknown_constructor_pattern() {
+        let err = Program::new(vec![Decl::main(Expr::case_(
+            Arg::lit(0),
+            vec![Branch::con("Ghost", &["a"], Expr::result(Arg::var("a")))],
+            Expr::result(Arg::lit(0)),
+        ))]);
+        assert!(matches!(err, Err(ProgramError::UnknownGlobal { .. })));
+    }
+
+    #[test]
+    fn local_count_takes_branch_maximum() {
+        // case 0 of | 0 => let a=.. let b=.. result  else let c=.. result
+        let e = Expr::case_(
+            Arg::lit(0),
+            vec![Branch::lit(
+                0,
+                Expr::let_prim(
+                    "a",
+                    "add",
+                    vec![Arg::lit(1), Arg::lit(2)],
+                    Expr::let_prim(
+                        "b",
+                        "add",
+                        vec![Arg::var("a"), Arg::lit(1)],
+                        Expr::result(Arg::var("b")),
+                    ),
+                ),
+            )],
+            Expr::let_prim(
+                "c",
+                "add",
+                vec![Arg::lit(1), Arg::lit(1)],
+                Expr::result(Arg::var("c")),
+            ),
+        );
+        assert_eq!(e.local_count(), 2);
+    }
+
+    #[test]
+    fn pattern_binders_count_constructor_fields() {
+        let b = Branch::con("Cons", &["h", "t"], Expr::result(Arg::var("h")));
+        assert_eq!(b.pattern_binders(), 2);
+        // And they contribute to local_count.
+        let e = Expr::case_(
+            Arg::var("xs"),
+            vec![Branch::con("Cons", &["h", "t"], Expr::result(Arg::var("h")))],
+            Expr::result(Arg::lit(0)),
+        );
+        assert_eq!(e.local_count(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let p = Program::new(vec![
+            Decl::Con(ConDecl::new("Nil", &[] as &[&str])),
+            Decl::Con(ConDecl::new("Cons", &["head", "tail"])),
+            Decl::main(Expr::let_con(
+                "e",
+                "Nil",
+                vec![],
+                Expr::result(Arg::var("e")),
+            )),
+        ])
+        .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("con Cons head tail"));
+        assert!(text.contains("fun main ="));
+        assert!(text.contains("let e = Nil in"));
+        assert!(text.contains("result e"));
+    }
+
+    #[test]
+    fn walk_visits_all_subexpressions() {
+        let e = Expr::case_(
+            Arg::lit(1),
+            vec![Branch::lit(1, Expr::result(Arg::lit(2)))],
+            Expr::result(Arg::lit(3)),
+        );
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 3); // case + two results
+    }
+}

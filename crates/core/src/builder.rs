@@ -1,0 +1,255 @@
+//! A fluent builder for Zarf assembly.
+//!
+//! The raw [`Expr`] constructors nest rightward — every
+//! `let` wraps its continuation — which makes straight-line code awkward to
+//! write by hand. This module provides a linear builder in which a function
+//! body reads top-to-bottom like the assembly it denotes:
+//!
+//! ```
+//! use zarf_core::builder::{seq, lit, var};
+//!
+//! // let a = add x 1 in
+//! // let b = mul a a in
+//! // result b
+//! let body = seq()
+//!     .prim("a", "add", [var("x"), lit(1)])
+//!     .prim("b", "mul", [var("a"), var("a")])
+//!     .result(var("b"));
+//! assert_eq!(body.local_count(), 2);
+//! ```
+//!
+//! `case` expressions terminate a sequence the same way `result` does:
+//!
+//! ```
+//! use zarf_core::builder::{seq, lit, var};
+//!
+//! let body = seq()
+//!     .prim("cmp", "lt", [var("x"), lit(10)])
+//!     .case(var("cmp"))
+//!     .lit(1, seq().result(var("x")))
+//!     .default(seq().result(lit(10)));
+//! ```
+
+use crate::ast::{Arg, Branch, Callee, Expr, Pattern};
+use crate::prim::PrimOp;
+use crate::Int;
+use std::rc::Rc;
+
+/// An integer-literal argument.
+pub fn lit(n: Int) -> Arg {
+    Arg::Lit(n)
+}
+
+/// A variable-reference argument.
+pub fn var(name: impl AsRef<str>) -> Arg {
+    Arg::var(name)
+}
+
+/// Start a new instruction sequence.
+pub fn seq() -> Seq {
+    Seq { lets: Vec::new() }
+}
+
+/// A pending `let` instruction, waiting for the sequence's terminator.
+#[derive(Debug, Clone)]
+struct PendingLet {
+    var: Rc<str>,
+    callee: Callee,
+    args: Vec<Arg>,
+}
+
+/// A straight-line run of `let` instructions awaiting a terminator
+/// (`result` or `case`).
+#[derive(Debug, Clone, Default)]
+pub struct Seq {
+    lets: Vec<PendingLet>,
+}
+
+impl Seq {
+    fn push(mut self, var: impl AsRef<str>, callee: Callee, args: Vec<Arg>) -> Self {
+        self.lets.push(PendingLet {
+            var: Rc::from(var.as_ref()),
+            callee,
+            args,
+        });
+        self
+    }
+
+    /// `let var = op args…` applying a primitive by mnemonic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown mnemonic (a programming error in the caller).
+    pub fn prim(
+        self,
+        var: impl AsRef<str>,
+        op: &str,
+        args: impl IntoIterator<Item = Arg>,
+    ) -> Self {
+        let p = PrimOp::from_name(op)
+            .unwrap_or_else(|| panic!("unknown primitive mnemonic `{op}`"));
+        self.push(var, Callee::Prim(p), args.into_iter().collect())
+    }
+
+    /// `let var = fn args…` applying a top-level function.
+    pub fn call(
+        self,
+        var: impl AsRef<str>,
+        function: impl AsRef<str>,
+        args: impl IntoIterator<Item = Arg>,
+    ) -> Self {
+        let callee = Callee::Fn(Rc::from(function.as_ref()));
+        self.push(var, callee, args.into_iter().collect())
+    }
+
+    /// `let var = cn args…` applying a constructor.
+    pub fn con(
+        self,
+        var: impl AsRef<str>,
+        constructor: impl AsRef<str>,
+        args: impl IntoIterator<Item = Arg>,
+    ) -> Self {
+        let callee = Callee::Con(Rc::from(constructor.as_ref()));
+        self.push(var, callee, args.into_iter().collect())
+    }
+
+    /// `let var = x args…` applying a closure held in variable `x`.
+    pub fn apply(
+        self,
+        var: impl AsRef<str>,
+        closure: impl AsRef<str>,
+        args: impl IntoIterator<Item = Arg>,
+    ) -> Self {
+        let callee = Callee::Var(Rc::from(closure.as_ref()));
+        self.push(var, callee, args.into_iter().collect())
+    }
+
+    /// Terminate with `result arg`.
+    pub fn result(self, arg: Arg) -> Expr {
+        self.wrap(Expr::Result(arg))
+    }
+
+    /// Terminate with a `case`; branches are added on the returned builder.
+    pub fn case(self, scrutinee: Arg) -> CaseBuilder {
+        CaseBuilder {
+            seq: self,
+            scrutinee,
+            branches: Vec::new(),
+        }
+    }
+
+    fn wrap(self, mut inner: Expr) -> Expr {
+        for l in self.lets.into_iter().rev() {
+            inner = Expr::Let {
+                var: l.var,
+                callee: l.callee,
+                args: l.args,
+                body: Box::new(inner),
+            };
+        }
+        inner
+    }
+}
+
+/// Builder for the branches of a `case` terminator.
+#[derive(Debug, Clone)]
+pub struct CaseBuilder {
+    seq: Seq,
+    scrutinee: Arg,
+    branches: Vec<Branch>,
+}
+
+impl CaseBuilder {
+    /// Add an integer-literal branch.
+    pub fn lit(mut self, n: Int, body: Expr) -> Self {
+        self.branches.push(Branch {
+            pattern: Pattern::Lit(n),
+            body,
+        });
+        self
+    }
+
+    /// Add a constructor branch binding its fields.
+    pub fn con<S: AsRef<str>>(
+        mut self,
+        name: impl AsRef<str>,
+        fields: &[S],
+        body: Expr,
+    ) -> Self {
+        self.branches.push(Branch {
+            pattern: Pattern::Con(
+                Rc::from(name.as_ref()),
+                fields.iter().map(|f| Rc::from(f.as_ref())).collect(),
+            ),
+            body,
+        });
+        self
+    }
+
+    /// Close the case with the mandatory `else` branch, producing the
+    /// finished expression.
+    pub fn default(self, body: Expr) -> Expr {
+        let case = Expr::Case {
+            scrutinee: self.scrutinee,
+            branches: self.branches,
+            default: Box::new(body),
+        };
+        self.seq.wrap(case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Decl, Program};
+    use crate::eval::Evaluator;
+    use crate::io::NullPorts;
+
+    #[test]
+    fn linear_sequence_matches_nested_constructors() {
+        let built = seq()
+            .prim("a", "add", [lit(1), lit(2)])
+            .prim("b", "mul", [var("a"), lit(10)])
+            .result(var("b"));
+        let manual = Expr::let_prim(
+            "a",
+            "add",
+            vec![lit(1), lit(2)],
+            Expr::let_prim(
+                "b",
+                "mul",
+                vec![var("a"), lit(10)],
+                Expr::result(var("b")),
+            ),
+        );
+        assert_eq!(built, manual);
+    }
+
+    #[test]
+    fn case_builder_runs() {
+        let body = seq()
+            .prim("c", "lt", [lit(3), lit(10)])
+            .case(var("c"))
+            .lit(1, seq().result(lit(111)))
+            .default(seq().result(lit(0)));
+        let p = Program::new(vec![Decl::main(body)]).unwrap();
+        let v = Evaluator::new(&p).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(111));
+    }
+
+    #[test]
+    fn lets_before_case_are_preserved() {
+        let body = seq()
+            .prim("x", "add", [lit(5), lit(5)])
+            .case(var("x"))
+            .lit(10, seq().result(lit(1)))
+            .default(seq().result(lit(0)));
+        match body {
+            Expr::Let { ref var, ref body, .. } => {
+                assert_eq!(&**var, "x");
+                assert!(matches!(**body, Expr::Case { .. }));
+            }
+            other => panic!("expected let wrapping case, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Evaluation environments (frames).
+//!
+//! Because the ISA is lambda-lifted, a function body can only reference its
+//! parameters and the locals bound by its own `let` and `case` instructions;
+//! there is no lexical nesting and no global mutable state. An [`Env`] is
+//! therefore a single flat frame. Bindings are append-only — the ISA has no
+//! mutation — and lookup resolves the *most recent* binding of a name, which
+//! matches how the hardware's sequential local slots shadow.
+
+use crate::ast::{Arg, Name};
+use crate::error::EvalError;
+use crate::value::{Value, V};
+
+/// A single evaluation frame mapping names to values.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: Vec<(Name, V)>,
+}
+
+impl Env {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// A frame binding `params[i]` to `args[i]` — the frame a function body
+    /// starts with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length; saturation is the caller's
+    /// invariant.
+    pub fn frame(params: &[Name], args: &[V]) -> Self {
+        assert_eq!(params.len(), args.len(), "frame requires saturation");
+        Env {
+            bindings: params.iter().cloned().zip(args.iter().cloned()).collect(),
+        }
+    }
+
+    /// Append a binding (`ρ[x ↦ v]` in the paper's notation).
+    pub fn bind(&mut self, name: Name, value: V) {
+        self.bindings.push((name, value));
+    }
+
+    /// Append several bindings at once (pattern-match field binding).
+    pub fn bind_all(&mut self, names: &[Name], values: &[V]) {
+        assert_eq!(names.len(), values.len());
+        for (n, v) in names.iter().zip(values) {
+            self.bind(n.clone(), v.clone());
+        }
+    }
+
+    /// Resolve a variable to its value.
+    pub fn lookup(&self, name: &str) -> Result<V, EvalError> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| EvalError::UnboundVariable(name.to_string()))
+    }
+
+    /// Resolve an [`Arg`]: literals evaluate to themselves, variables are
+    /// looked up (`ρ(arg)` in the paper).
+    pub fn resolve(&self, arg: &Arg) -> Result<V, EvalError> {
+        match arg {
+            Arg::Lit(n) => Ok(Value::int(*n)),
+            Arg::Var(x) => self.lookup(x),
+        }
+    }
+
+    /// Number of bindings in the frame (diagnostics / resource accounting).
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn n(s: &str) -> Name {
+        Rc::from(s)
+    }
+
+    #[test]
+    fn lookup_finds_most_recent_binding() {
+        let mut env = Env::new();
+        env.bind(n("x"), Value::int(1));
+        env.bind(n("x"), Value::int(2));
+        assert_eq!(env.lookup("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn lookup_missing_is_unbound_error() {
+        let env = Env::new();
+        assert_eq!(
+            env.lookup("ghost"),
+            Err(EvalError::UnboundVariable("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn resolve_literal_is_identity() {
+        let env = Env::new();
+        assert_eq!(env.resolve(&Arg::lit(-7)).unwrap().as_int(), Some(-7));
+    }
+
+    #[test]
+    fn frame_binds_positionally() {
+        let env = Env::frame(&[n("a"), n("b")], &[Value::int(10), Value::int(20)]);
+        assert_eq!(env.lookup("a").unwrap().as_int(), Some(10));
+        assert_eq!(env.lookup("b").unwrap().as_int(), Some(20));
+        assert_eq!(env.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation")]
+    fn frame_rejects_arity_mismatch() {
+        let _ = Env::frame(&[n("a")], &[]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Error types for program evaluation.
+//!
+//! The ISA distinguishes two failure classes:
+//!
+//! * **Runtime errors** ([`RuntimeError`]) — conditions like division by
+//!   zero that a structurally valid program can still trigger. The hardware
+//!   has no exceptions; these reduce to an instance of the reserved *runtime
+//!   error constructor* (a first-class [`Value`](crate::value::Value)) which
+//!   then propagates through all further computation. The paper leaves the
+//!   semantics undefined past this point because a Hindley–Milner-typed
+//!   source language rules the conditions out statically; our engines make
+//!   the propagation deterministic so that every engine agrees.
+//! * **Evaluation errors** ([`EvalError`]) — host-level failures: malformed
+//!   programs (unbound names), exhausted fuel, or I/O device failure. These
+//!   abort evaluation with a Rust `Err`.
+
+use std::fmt;
+
+use crate::prim::PrimOp;
+
+/// A condition that reduces to the reserved runtime error constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeError {
+    /// `div` or `mod` with a zero divisor.
+    DivideByZero,
+    /// Arguments were applied to a plain integer value.
+    ApplyToInt,
+    /// Arguments were applied to a saturated constructor value.
+    ApplyToCon,
+    /// A `case` scrutinee reduced to something that is neither an integer
+    /// nor a saturated constructor (i.e. an unsaturated closure).
+    CaseOnClosure,
+    /// More arguments were supplied to a constructor than its arity.
+    ConOverApplied,
+    /// A pure-evaluation entry point was handed an effectful primitive.
+    NotPure(PrimOp),
+    /// A primitive operation received a constructor or closure where an
+    /// integer was required (the hardware's one-bit value tag catches this).
+    PrimOnNonInt,
+    /// An error value flowed into this computation and was propagated.
+    Propagated,
+}
+
+impl RuntimeError {
+    /// The integer payload carried by the error-constructor value, so that
+    /// different engines produce bit-identical error objects.
+    pub fn code(self) -> i32 {
+        match self {
+            RuntimeError::DivideByZero => 1,
+            RuntimeError::ApplyToInt => 2,
+            RuntimeError::ApplyToCon => 3,
+            RuntimeError::CaseOnClosure => 4,
+            RuntimeError::ConOverApplied => 5,
+            RuntimeError::NotPure(_) => 6,
+            RuntimeError::PrimOnNonInt => 7,
+            RuntimeError::Propagated => 8,
+        }
+    }
+}
+
+impl RuntimeError {
+    /// Inverse of [`RuntimeError::code`]; `NotPure` round-trips with a
+    /// placeholder operation since the code does not record which one.
+    pub fn from_code(code: i32) -> Option<Self> {
+        Some(match code {
+            1 => RuntimeError::DivideByZero,
+            2 => RuntimeError::ApplyToInt,
+            3 => RuntimeError::ApplyToCon,
+            4 => RuntimeError::CaseOnClosure,
+            5 => RuntimeError::ConOverApplied,
+            6 => RuntimeError::NotPure(PrimOp::Add),
+            7 => RuntimeError::PrimOnNonInt,
+            8 => RuntimeError::Propagated,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::ApplyToInt => write!(f, "application of an integer value"),
+            RuntimeError::ApplyToCon => {
+                write!(f, "application of a saturated constructor value")
+            }
+            RuntimeError::CaseOnClosure => {
+                write!(f, "case scrutinee evaluated to an unsaturated closure")
+            }
+            RuntimeError::ConOverApplied => {
+                write!(f, "constructor applied to more arguments than its arity")
+            }
+            RuntimeError::NotPure(p) => {
+                write!(f, "effectful primitive `{p}` in a pure context")
+            }
+            RuntimeError::PrimOnNonInt => {
+                write!(f, "primitive applied to a non-integer value")
+            }
+            RuntimeError::Propagated => write!(f, "propagated runtime error"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A host-level evaluation failure that aborts execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable reference had no binding in the current frame. Indicates a
+    /// malformed program (the assembler can never produce this).
+    UnboundVariable(String),
+    /// A referenced global function or constructor does not exist.
+    UnknownGlobal(String),
+    /// The configured fuel (reduction-step budget) was exhausted; the
+    /// program may diverge.
+    OutOfFuel,
+    /// The I/O device reported a failure (e.g. reading an empty port).
+    Io(IoError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),
+            EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+            EvalError::Io(e) => write!(f, "I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for EvalError {
+    fn from(e: IoError) -> Self {
+        EvalError::Io(e)
+    }
+}
+
+/// Failure reported by an [`IoPorts`](crate::io::IoPorts) device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// `getint` on a port with no data available.
+    PortEmpty(i32),
+    /// The port number does not exist on this device.
+    NoSuchPort(i32),
+    /// Device-specific failure.
+    Device(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::PortEmpty(p) => write!(f, "read from empty port {p}"),
+            IoError::NoSuchPort(p) => write!(f, "no such port {p}"),
+            IoError::Device(msg) => write!(f, "device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_distinct() {
+        let all = [
+            RuntimeError::DivideByZero,
+            RuntimeError::ApplyToInt,
+            RuntimeError::ApplyToCon,
+            RuntimeError::CaseOnClosure,
+            RuntimeError::ConOverApplied,
+            RuntimeError::NotPure(PrimOp::Add),
+            RuntimeError::PrimOnNonInt,
+            RuntimeError::Propagated,
+        ];
+        let mut codes: Vec<i32> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!RuntimeError::DivideByZero.to_string().is_empty());
+        assert!(!EvalError::OutOfFuel.to_string().is_empty());
+        assert!(!IoError::PortEmpty(3).to_string().is_empty());
+    }
+}

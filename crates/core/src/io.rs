@@ -1,0 +1,132 @@
+//! Port-mapped I/O devices.
+//!
+//! The only effects in the ISA are the `getint` and `putint` primitives,
+//! which read and write single 32-bit words on numbered ports. Execution
+//! engines are generic over an [`IoPorts`] device so the same program can
+//! run against scripted test vectors ([`VecPorts`]), a live system bus (the
+//! channel device in `zarf-imperative`), or nothing at all ([`NullPorts`]).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::error::IoError;
+use crate::Int;
+
+/// A device exposing numbered word-wide ports.
+pub trait IoPorts {
+    /// Read one word from `port` (the `getint` primitive).
+    fn getint(&mut self, port: Int) -> Result<Int, IoError>;
+
+    /// Write `value` to `port` (the `putint` primitive). Returns the value
+    /// written, which is also `putint`'s result value in the semantics.
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        let _ = port;
+        Ok(value)
+    }
+}
+
+/// A device with no ports: every `getint` fails, every `putint` is
+/// discarded. Suitable for pure programs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPorts;
+
+impl IoPorts for NullPorts {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        Err(IoError::NoSuchPort(port))
+    }
+}
+
+/// A scripted device: per-port input queues drained by `getint`, per-port
+/// output logs appended by `putint`. The workhorse for tests and the
+/// differential harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct VecPorts {
+    inputs: BTreeMap<Int, VecDeque<Int>>,
+    outputs: BTreeMap<Int, Vec<Int>>,
+}
+
+impl VecPorts {
+    /// An empty device (all reads fail until inputs are provided).
+    pub fn new() -> Self {
+        VecPorts::default()
+    }
+
+    /// Queue input words on a port, in the order they will be read.
+    pub fn push_input(&mut self, port: Int, words: impl IntoIterator<Item = Int>) {
+        self.inputs.entry(port).or_default().extend(words);
+    }
+
+    /// Everything written to `port`, in write order.
+    pub fn output(&self, port: Int) -> &[Int] {
+        self.outputs.get(&port).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remaining unread input on `port`.
+    pub fn pending_input(&self, port: Int) -> usize {
+        self.inputs.get(&port).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// All ports that have received output.
+    pub fn output_ports(&self) -> impl Iterator<Item = Int> + '_ {
+        self.outputs.keys().copied()
+    }
+}
+
+impl IoPorts for VecPorts {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        self.inputs
+            .get_mut(&port)
+            .and_then(VecDeque::pop_front)
+            .ok_or(IoError::PortEmpty(port))
+    }
+
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        self.outputs.entry(port).or_default().push(value);
+        Ok(value)
+    }
+}
+
+impl<T: IoPorts + ?Sized> IoPorts for &mut T {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        (**self).getint(port)
+    }
+
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        (**self).putint(port, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ports_reject_reads_and_swallow_writes() {
+        let mut p = NullPorts;
+        assert_eq!(p.getint(0), Err(IoError::NoSuchPort(0)));
+        assert_eq!(p.putint(0, 42), Ok(42));
+    }
+
+    #[test]
+    fn vec_ports_fifo_per_port() {
+        let mut p = VecPorts::new();
+        p.push_input(1, [10, 20]);
+        p.push_input(2, [99]);
+        assert_eq!(p.getint(1), Ok(10));
+        assert_eq!(p.getint(2), Ok(99));
+        assert_eq!(p.getint(1), Ok(20));
+        assert_eq!(p.getint(1), Err(IoError::PortEmpty(1)));
+        assert_eq!(p.pending_input(1), 0);
+    }
+
+    #[test]
+    fn vec_ports_log_writes_in_order() {
+        let mut p = VecPorts::new();
+        p.putint(7, 1).unwrap();
+        p.putint(7, 2).unwrap();
+        p.putint(8, 3).unwrap();
+        assert_eq!(p.output(7), &[1, 2]);
+        assert_eq!(p.output(8), &[3]);
+        assert_eq!(p.output(9), &[] as &[i32]);
+        assert_eq!(p.output_ports().collect::<Vec<_>>(), vec![7, 8]);
+    }
+}

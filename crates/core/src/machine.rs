@@ -1,0 +1,492 @@
+//! The indexed *machine form* of a Zarf program.
+//!
+//! The named [`crate::ast`] form uses human-readable identifiers; the
+//! hardware sees none of them. In the machine form (paper Figure 4(b)):
+//!
+//! * every global — primitive, constructor, or function — is a **function
+//!   identifier**: primitives below `0x100`, user globals sequential from
+//!   [`FIRST_USER_INDEX`] with `main` first;
+//! * every data reference is a **(source, index)** pair: `local n` is the
+//!   n-th value bound on the current path through the function (let-bound
+//!   results and case-pattern binders share the numbering, in order),
+//!   `arg n` is the n-th function argument — these are the De Bruijn-style
+//!   indices of the paper;
+//! * immediates ride in the operand itself.
+//!
+//! The structure of expressions is unchanged — `let` / `case` / `result` —
+//! so the machine form is what the binary encoder serializes and what the
+//! cycle-accurate simulator in `zarf-hw` executes. Lowering from the named
+//! form is implemented in `zarf-asm`.
+
+use std::fmt;
+
+use crate::prim::{PrimOp, FIRST_USER_INDEX};
+use crate::Int;
+
+/// Where an operand's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The n-th value bound in the current frame (lets + pattern binders).
+    Local,
+    /// The n-th argument of the current function.
+    Arg,
+    /// An immediate integer carried in the operand.
+    Imm,
+    /// A global function identifier (primitive or user).
+    Global,
+}
+
+/// A (source, index) data reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operand {
+    /// Which namespace the index is resolved in.
+    pub source: Source,
+    /// Slot number, immediate value, or function identifier.
+    pub index: Int,
+}
+
+impl Operand {
+    /// Reference to local slot `n`.
+    pub fn local(n: usize) -> Self {
+        Operand { source: Source::Local, index: n as Int }
+    }
+
+    /// Reference to argument slot `n`.
+    pub fn arg(n: usize) -> Self {
+        Operand { source: Source::Arg, index: n as Int }
+    }
+
+    /// An immediate integer.
+    pub fn imm(n: Int) -> Self {
+        Operand { source: Source::Imm, index: n }
+    }
+
+    /// A global function identifier.
+    pub fn global(id: u32) -> Self {
+        Operand { source: Source::Global, index: id as Int }
+    }
+
+    /// If this is a `Global` operand naming a primitive, which one.
+    pub fn as_prim(&self) -> Option<PrimOp> {
+        match self.source {
+            Source::Global => PrimOp::from_index(self.index as u32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.source {
+            Source::Local => write!(f, "local {}", self.index),
+            Source::Arg => write!(f, "arg {}", self.index),
+            Source::Imm => write!(f, "imm {}", self.index),
+            Source::Global => write!(f, "global {:#x}", self.index),
+        }
+    }
+}
+
+/// A pattern in machine form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MPattern {
+    /// Match an exact integer.
+    Lit(Int),
+    /// Match a constructor by its function identifier; the match binds the
+    /// constructor's fields into consecutive local slots.
+    Con(u32),
+}
+
+/// A branch in machine form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MBranch {
+    /// Pattern at the branch head.
+    pub pattern: MPattern,
+    /// Branch body.
+    pub body: MExpr,
+}
+
+/// A machine-form expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MExpr {
+    /// Apply `callee` to `args`, push the value as the next local slot.
+    Let {
+        /// What is applied (a `Global` id or a `Local`/`Arg` closure).
+        callee: Operand,
+        /// Argument operands.
+        args: Vec<Operand>,
+        /// Continuation.
+        body: Box<MExpr>,
+    },
+    /// Force the scrutinee to WHNF and dispatch.
+    Case {
+        /// The inspected operand.
+        scrutinee: Operand,
+        /// Branches in order.
+        branches: Vec<MBranch>,
+        /// Mandatory `else`.
+        default: Box<MExpr>,
+    },
+    /// Yield a value.
+    Result(Operand),
+}
+
+impl MExpr {
+    /// The number of machine words this expression body encodes to — the
+    /// `M` field of the function header (see `zarf-asm::encoding` for the
+    /// word-level layout this count mirrors).
+    pub fn word_count(&self) -> usize {
+        match self {
+            // let: head word + one word per argument.
+            MExpr::Let { args, body, .. } => 1 + args.len() + body.word_count(),
+            // case: head word + per-branch (head word + value word + body)
+            // + else word + else body.
+            MExpr::Case { branches, default, .. } => {
+                let branch_words: usize = branches
+                    .iter()
+                    .map(|b| 2 + b.body.word_count())
+                    .sum();
+                1 + branch_words + 1 + default.word_count()
+            }
+            // result: one word.
+            MExpr::Result(_) => 1,
+        }
+    }
+
+    /// Pre-order traversal of sub-expressions.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a MExpr)) {
+        visit(self);
+        match self {
+            MExpr::Let { body, .. } => body.walk(visit),
+            MExpr::Case { branches, default, .. } => {
+                for b in branches {
+                    b.body.walk(visit);
+                }
+                default.walk(visit);
+            }
+            MExpr::Result(_) => {}
+        }
+    }
+}
+
+/// What a global item is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MItemKind {
+    /// A function with a body.
+    Fun {
+        /// The executable body.
+        body: MExpr,
+    },
+    /// A constructor stub: arity only, no body.
+    Con,
+}
+
+/// One global item (function or constructor) in the machine program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MItem {
+    /// Number of arguments expected (part of the fingerprint word).
+    pub arity: usize,
+    /// Maximum number of locals any path binds (part of the fingerprint
+    /// word); always 0 for constructors.
+    pub locals: usize,
+    /// Function-with-body or constructor stub.
+    pub kind: MItemKind,
+    /// Optional symbol retained for diagnostics and disassembly; carries no
+    /// semantic weight.
+    pub name: Option<String>,
+}
+
+impl MItem {
+    /// Whether this item is a constructor stub.
+    pub fn is_con(&self) -> bool {
+        matches!(self.kind, MItemKind::Con)
+    }
+
+    /// The body, if this is a function.
+    pub fn body(&self) -> Option<&MExpr> {
+        match &self.kind {
+            MItemKind::Fun { body } => Some(body),
+            MItemKind::Con => None,
+        }
+    }
+}
+
+/// Validation failures for machine programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The program declares no items (no `main`).
+    Empty,
+    /// Item 0 (which must be `main`) takes arguments.
+    MainHasArity(usize),
+    /// A `Global` operand refers to an identifier that is neither a
+    /// primitive nor a declared item.
+    DanglingGlobal {
+        /// Offending identifier.
+        id: u32,
+    },
+    /// A pattern names a global that is not a constructor.
+    PatternNotCon {
+        /// Offending identifier.
+        id: u32,
+    },
+    /// An operand index is out of the range its source permits.
+    OperandRange {
+        /// The offending operand.
+        operand: Operand,
+        /// Explanation of the violated bound.
+        bound: String,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Empty => write!(f, "machine program has no items"),
+            MachineError::MainHasArity(n) => {
+                write!(f, "item 0 (main) must be nullary but has arity {n}")
+            }
+            MachineError::DanglingGlobal { id } => {
+                write!(f, "global operand {id:#x} refers to no primitive or item")
+            }
+            MachineError::PatternNotCon { id } => {
+                write!(f, "pattern global {id:#x} is not a constructor")
+            }
+            MachineError::OperandRange { operand, bound } => {
+                write!(f, "operand `{operand}` out of range: {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A complete machine program: items indexed from
+/// [`FIRST_USER_INDEX`], item 0 being `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MProgram {
+    items: Vec<MItem>,
+}
+
+impl MProgram {
+    /// Wrap items, validating global structure and operand ranges.
+    pub fn new(items: Vec<MItem>) -> Result<Self, MachineError> {
+        if items.is_empty() {
+            return Err(MachineError::Empty);
+        }
+        if items[0].arity != 0 {
+            return Err(MachineError::MainHasArity(items[0].arity));
+        }
+        let p = MProgram { items };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), MachineError> {
+        for item in &self.items {
+            let body = match item.body() {
+                Some(b) => b,
+                None => continue,
+            };
+            let mut err = None;
+            // Track the local-slot count along each path. We conservatively
+            // validate with the *declared* max; exact per-path tracking is
+            // the lowering pass's job.
+            body.walk(&mut |e| {
+                if err.is_some() {
+                    return;
+                }
+                let mut check = |op: &Operand| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match op.source {
+                        Source::Global => {
+                            let id = op.index as u32;
+                            if self.lookup(id).is_none() && PrimOp::from_index(id).is_none()
+                            {
+                                err = Some(MachineError::DanglingGlobal { id });
+                            }
+                        }
+                        Source::Local => {
+                            if op.index < 0 || op.index as usize >= item.locals {
+                                err = Some(MachineError::OperandRange {
+                                    operand: *op,
+                                    bound: format!(
+                                        "function declares {} local slot(s)",
+                                        item.locals
+                                    ),
+                                });
+                            }
+                        }
+                        Source::Arg => {
+                            if op.index < 0 || op.index as usize >= item.arity {
+                                err = Some(MachineError::OperandRange {
+                                    operand: *op,
+                                    bound: format!("function has arity {}", item.arity),
+                                });
+                            }
+                        }
+                        Source::Imm => {}
+                    }
+                };
+                match e {
+                    MExpr::Let { callee, args, .. } => {
+                        check(callee);
+                        for a in args {
+                            check(a);
+                        }
+                    }
+                    MExpr::Case { scrutinee, branches, .. } => {
+                        check(scrutinee);
+                        for b in branches {
+                            if let MPattern::Con(id) = b.pattern {
+                                match self.lookup(id) {
+                                    Some(it) if it.is_con() => {}
+                                    _ => err = Some(MachineError::PatternNotCon { id }),
+                                }
+                            }
+                        }
+                    }
+                    MExpr::Result(op) => check(op),
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// All items, in identifier order.
+    pub fn items(&self) -> &[MItem] {
+        &self.items
+    }
+
+    /// Resolve a global function identifier to its item.
+    pub fn lookup(&self, id: u32) -> Option<&MItem> {
+        id.checked_sub(FIRST_USER_INDEX)
+            .and_then(|i| self.items.get(i as usize))
+    }
+
+    /// The identifier of the n-th item.
+    pub fn id_of(&self, n: usize) -> u32 {
+        FIRST_USER_INDEX + n as u32
+    }
+
+    /// The entry point (always identifier `0x100`).
+    pub fn main(&self) -> &MItem {
+        &self.items[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result0() -> MExpr {
+        MExpr::Result(Operand::imm(0))
+    }
+
+    fn fun(arity: usize, locals: usize, body: MExpr) -> MItem {
+        MItem { arity, locals, kind: MItemKind::Fun { body }, name: None }
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(MProgram::new(vec![]).unwrap_err(), MachineError::Empty);
+    }
+
+    #[test]
+    fn main_with_arity_rejected() {
+        let err = MProgram::new(vec![fun(2, 0, result0())]).unwrap_err();
+        assert_eq!(err, MachineError::MainHasArity(2));
+    }
+
+    #[test]
+    fn dangling_global_rejected() {
+        let body = MExpr::Let {
+            callee: Operand::global(0x999),
+            args: vec![],
+            body: Box::new(result0()),
+        };
+        let err = MProgram::new(vec![fun(0, 1, body)]).unwrap_err();
+        assert_eq!(err, MachineError::DanglingGlobal { id: 0x999 });
+    }
+
+    #[test]
+    fn primitive_global_accepted() {
+        let body = MExpr::Let {
+            callee: Operand::global(PrimOp::Add.index()),
+            args: vec![Operand::imm(1), Operand::imm(2)],
+            body: Box::new(MExpr::Result(Operand::local(0))),
+        };
+        assert!(MProgram::new(vec![fun(0, 1, body)]).is_ok());
+    }
+
+    #[test]
+    fn local_out_of_range_rejected() {
+        let body = MExpr::Result(Operand::local(3));
+        let err = MProgram::new(vec![fun(0, 1, body)]).unwrap_err();
+        assert!(matches!(err, MachineError::OperandRange { .. }));
+    }
+
+    #[test]
+    fn arg_out_of_range_rejected() {
+        let callee_body = MExpr::Result(Operand::arg(1));
+        let items = vec![
+            fun(0, 0, result0()),
+            fun(1, 0, callee_body), // arg 1 but arity 1 → only arg 0 valid
+        ];
+        let err = MProgram::new(items).unwrap_err();
+        assert!(matches!(err, MachineError::OperandRange { .. }));
+    }
+
+    #[test]
+    fn pattern_must_name_constructor() {
+        let items = vec![fun(
+            0,
+            0,
+            MExpr::Case {
+                scrutinee: Operand::imm(0),
+                branches: vec![MBranch {
+                    // 0x100 names main itself, which is not a constructor.
+                    pattern: MPattern::Con(0x100),
+                    body: result0(),
+                }],
+                default: Box::new(result0()),
+            },
+        )];
+        let err = MProgram::new(items).unwrap_err();
+        assert_eq!(err, MachineError::PatternNotCon { id: 0x100 });
+    }
+
+    #[test]
+    fn word_count_matches_layout() {
+        // let x = add 1 2 in result x
+        // let head (1) + 2 args + result (1) = 4 words
+        let body = MExpr::Let {
+            callee: Operand::global(PrimOp::Add.index()),
+            args: vec![Operand::imm(1), Operand::imm(2)],
+            body: Box::new(MExpr::Result(Operand::local(0))),
+        };
+        assert_eq!(body.word_count(), 4);
+
+        // case imm 0 of | 0 => result | else result
+        // head(1) + branch(2 + 1) + else marker(1) + else body(1) = 6
+        let case = MExpr::Case {
+            scrutinee: Operand::imm(0),
+            branches: vec![MBranch { pattern: MPattern::Lit(0), body: result0() }],
+            default: Box::new(result0()),
+        };
+        assert_eq!(case.word_count(), 6);
+    }
+
+    #[test]
+    fn lookup_by_identifier() {
+        let p = MProgram::new(vec![fun(0, 0, result0()), fun(1, 0, result0())]).unwrap();
+        assert!(p.lookup(FIRST_USER_INDEX).is_some());
+        assert!(p.lookup(FIRST_USER_INDEX + 1).is_some());
+        assert!(p.lookup(FIRST_USER_INDEX + 2).is_none());
+        assert!(p.lookup(5).is_none());
+        assert_eq!(p.id_of(1), FIRST_USER_INDEX + 1);
+    }
+}

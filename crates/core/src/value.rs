@@ -1,0 +1,182 @@
+//! Runtime values of the λ-execution layer.
+//!
+//! Every computation reduces to a [`Value`]: a 32-bit integer, a saturated
+//! constructor application, or a closure — an unsaturated application of a
+//! function, constructor, or primitive to the arguments gathered so far.
+//! Because the ISA is lambda-lifted, closures capture an *argument list*,
+//! not an environment (paper Figure 3, "our version of closures track the
+//! list of values to be applied upon saturation").
+//!
+//! The one-bit runtime tag the hardware attaches to distinguish primitive
+//! integers from heap objects corresponds here to the `Int` / non-`Int`
+//! variant split.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::Name;
+use crate::error::RuntimeError;
+use crate::prim::PrimOp;
+use crate::Int;
+
+/// A shared value handle. Values are immutable, so sharing is safe and
+/// mirrors how the hardware shares heap objects by reference.
+pub type V = Rc<Value>;
+
+/// What an unsaturated closure will invoke once saturated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClosureTarget {
+    /// A program-defined function, by name.
+    Fn(Name),
+    /// A constructor, by name.
+    Con(Name),
+    /// A hardware primitive.
+    Prim(PrimOp),
+}
+
+impl ClosureTarget {
+    /// A printable name for diagnostics.
+    pub fn display_name(&self) -> String {
+        match self {
+            ClosureTarget::Fn(n) | ClosureTarget::Con(n) => n.to_string(),
+            ClosureTarget::Prim(p) => p.name().to_string(),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A primitive signed 32-bit integer.
+    Int(Int),
+    /// A saturated constructor application: the data values of the ISA.
+    Con {
+        /// The constructor's name.
+        name: Name,
+        /// Exactly `arity` field values.
+        fields: Vec<V>,
+    },
+    /// An unsaturated application: `target` applied to `applied.len()` of
+    /// its arguments so far (strictly fewer than its arity).
+    Closure {
+        /// What will run at saturation.
+        target: ClosureTarget,
+        /// Arguments applied so far.
+        applied: Vec<V>,
+    },
+    /// An instance of the reserved runtime-error constructor. Any
+    /// computation consuming an error value propagates it.
+    Error(RuntimeError),
+}
+
+impl Value {
+    /// Wrap an integer.
+    pub fn int(n: Int) -> V {
+        Rc::new(Value::Int(n))
+    }
+
+    /// Build a saturated constructor value.
+    pub fn con(name: Name, fields: Vec<V>) -> V {
+        Rc::new(Value::Con { name, fields })
+    }
+
+    /// Build a closure.
+    pub fn closure(target: ClosureTarget, applied: Vec<V>) -> V {
+        Rc::new(Value::Closure { target, applied })
+    }
+
+    /// Build a runtime-error value.
+    pub fn error(e: RuntimeError) -> V {
+        Rc::new(Value::Error(e))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<Int> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The constructor name and fields, if this is a saturated constructor.
+    pub fn as_con(&self) -> Option<(&Name, &[V])> {
+        match self {
+            Value::Con { name, fields } => Some((name, fields)),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the runtime-error value.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error(_))
+    }
+
+    /// Whether this value is in weak head-normal form suitable for `case`
+    /// scrutiny: an integer or a saturated constructor. (Closures are WHNF
+    /// too, but `case` on a closure is a runtime error.)
+    pub fn is_case_ready(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Con { .. })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Con { name, fields } => {
+                if fields.is_empty() {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "({name}")?;
+                    for v in fields {
+                        write!(f, " {v}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            Value::Closure { target, applied } => {
+                write!(f, "<{}/{} applied>", target.display_name(), applied.len())
+            }
+            Value::Error(e) => write!(f, "<error: {e}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Rc::from(s)
+    }
+
+    #[test]
+    fn accessors() {
+        let i = Value::int(5);
+        assert_eq!(i.as_int(), Some(5));
+        assert!(i.as_con().is_none());
+        assert!(i.is_case_ready());
+
+        let c = Value::con(name("Pair"), vec![Value::int(1), Value::int(2)]);
+        let (n, fs) = c.as_con().unwrap();
+        assert_eq!(&**n, "Pair");
+        assert_eq!(fs.len(), 2);
+        assert!(c.is_case_ready());
+
+        let cl = Value::closure(ClosureTarget::Prim(PrimOp::Add), vec![Value::int(1)]);
+        assert!(!cl.is_case_ready());
+        assert!(cl.as_int().is_none());
+
+        let e = Value::error(RuntimeError::DivideByZero);
+        assert!(e.is_error());
+        assert!(!e.is_case_ready());
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Value::con(name("Cons"), vec![Value::int(1), Value::con(name("Nil"), vec![])]);
+        assert_eq!(c.to_string(), "(Cons 1 Nil)");
+        let cl = Value::closure(ClosureTarget::Prim(PrimOp::Add), vec![Value::int(1)]);
+        assert_eq!(cl.to_string(), "<add/1 applied>");
+    }
+}

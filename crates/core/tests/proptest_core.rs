@@ -1,0 +1,109 @@
+//! Property-based tests on the core data structures and semantics.
+
+use proptest::prelude::*;
+use zarf_core::ast::{Arg, Branch, Decl, Expr, Program};
+use zarf_core::error::RuntimeError;
+use zarf_core::prim::{PrimOp, PRIMS};
+use zarf_core::step::Machine;
+use zarf_core::{Evaluator, NullPorts};
+
+proptest! {
+    /// Pure primitive evaluation never panics and is total over its domain.
+    #[test]
+    fn prims_are_total(a in any::<i32>(), b in any::<i32>()) {
+        for &op in PRIMS {
+            if op.is_io() || op == PrimOp::Gc {
+                continue;
+            }
+            let args: Vec<i32> = match op.arity() {
+                1 => vec![a],
+                2 => vec![a, b],
+                n => panic!("unexpected arity {n}"),
+            };
+            match op.eval_pure(&args) {
+                Ok(_) => {}
+                Err(RuntimeError::DivideByZero) => {
+                    prop_assert!(matches!(op, PrimOp::Div | PrimOp::Mod) && b == 0);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e} from {op}"),
+            }
+        }
+    }
+
+    /// Comparison primitives return exactly 0 or 1 and are coherent.
+    #[test]
+    fn comparisons_are_boolean_and_coherent(a in any::<i32>(), b in any::<i32>()) {
+        let lt = PrimOp::Lt.eval_pure(&[a, b]).unwrap();
+        let ge = PrimOp::Ge.eval_pure(&[a, b]).unwrap();
+        let eq = PrimOp::Eq.eval_pure(&[a, b]).unwrap();
+        let ne = PrimOp::Ne.eval_pure(&[a, b]).unwrap();
+        prop_assert!(lt == 0 || lt == 1);
+        prop_assert_eq!(lt + ge, 1, "lt and ge partition");
+        prop_assert_eq!(eq + ne, 1, "eq and ne partition");
+        prop_assert_eq!(PrimOp::Min.eval_pure(&[a, b]).unwrap(), a.min(b));
+        prop_assert_eq!(PrimOp::Max.eval_pure(&[a, b]).unwrap(), a.max(b));
+    }
+
+    /// add/mul are commutative, sub anti-commutes (wrapping).
+    #[test]
+    fn arithmetic_algebra(a in any::<i32>(), b in any::<i32>()) {
+        let add = |x, y| PrimOp::Add.eval_pure(&[x, y]).unwrap();
+        let mul = |x, y| PrimOp::Mul.eval_pure(&[x, y]).unwrap();
+        let sub = |x, y| PrimOp::Sub.eval_pure(&[x, y]).unwrap();
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(sub(a, b), sub(0, sub(b, a)));
+        prop_assert_eq!(add(a, 0), a);
+        prop_assert_eq!(mul(a, 1), a);
+    }
+
+    /// A generated straight-line arithmetic program evaluates identically
+    /// on the big-step and small-step engines, and evaluation is
+    /// deterministic across repeated runs.
+    #[test]
+    fn straightline_programs_agree(
+        ops in prop::collection::vec((0usize..4, -50i32..50), 1..12),
+        seed in -50i32..50,
+    ) {
+        // Build: let v0 = <op> seed k0 in let v1 = <op> v0 k1 in … result vn
+        let mut body = Expr::result(Arg::var(format!("v{}", ops.len() - 1)));
+        for (i, &(op, k)) in ops.iter().enumerate().rev() {
+            let name = ["add", "sub", "mul", "min"][op];
+            let prev = if i == 0 {
+                Arg::lit(seed)
+            } else {
+                Arg::var(format!("v{}", i - 1))
+            };
+            body = Expr::let_prim(format!("v{i}"), name, vec![prev, Arg::lit(k)], body);
+        }
+        let program = Program::new(vec![Decl::main(body)]).unwrap();
+        let big1 = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+        let big2 = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+        let small = Machine::new(&program).run(&mut NullPorts, 1_000_000).unwrap();
+        prop_assert_eq!(&big1, &big2);
+        prop_assert_eq!(&big1, &small);
+    }
+
+    /// Case dispatch matches Rust match semantics for literal branches.
+    #[test]
+    fn case_literal_semantics(scrut in -5i32..5, arms in prop::collection::vec(-5i32..5, 0..4)) {
+        let branches: Vec<Branch> = arms
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Branch::lit(k, Expr::result(Arg::lit(100 + i as i32))))
+            .collect();
+        let program = Program::new(vec![Decl::main(Expr::case_(
+            Arg::lit(scrut),
+            branches,
+            Expr::result(Arg::lit(-1)),
+        ))])
+        .unwrap();
+        let v = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+        let expected = arms
+            .iter()
+            .position(|&k| k == scrut)
+            .map(|i| 100 + i as i32)
+            .unwrap_or(-1);
+        prop_assert_eq!(v.as_int(), Some(expected));
+    }
+}

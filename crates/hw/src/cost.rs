@@ -1,0 +1,160 @@
+//! The cycle-cost model of the λ-execution layer hardware.
+//!
+//! The paper reports the FSM's behaviour in aggregates rather than per-state
+//! RTL: a 2-argument primitive application-and-evaluation takes **at most 30
+//! cycles** end to end; **each branch head costs exactly 1 cycle**; the
+//! garbage collector copies a live object of `N` words in **N + 4 cycles**
+//! and checks an already-collected reference in **2 cycles** (§5.2, §6).
+//! [`CostModel`] decomposes those aggregates into the micro-operations the
+//! simulator performs; the defaults are calibrated so that
+//!
+//! * the published aggregates hold exactly (see the unit tests below), and
+//! * the dynamic averages measured on the ICD workload land near the
+//!   paper's Table-less §6 numbers (let ≈ 10.4, case ≈ 10.6, result ≈ 11.0
+//!   cycles, overall CPI ≈ 7.5) — the `zarf-bench` CPI experiment
+//!   regenerates that comparison.
+//!
+//! Every field is public so ablation studies can vary a single cost.
+
+/// Per-micro-operation cycle charges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Program-loading cost per binary word (the 4 load states stream the
+    /// image through a word-wide port).
+    pub load_per_word: u64,
+
+    /// `let`: decode the head word and begin allocation.
+    pub let_base: u64,
+    /// `let`: fetch and store one argument word into the new object.
+    pub let_per_arg: u64,
+    /// Heap-allocation bookkeeping (bump pointer, header write).
+    pub alloc: u64,
+
+    /// `case`: decode the head and fetch the scrutinee operand.
+    pub case_base: u64,
+    /// One branch-head comparison ("exactly 1 cycle" per the paper).
+    pub branch_head: u64,
+    /// Bind one constructor field to a local slot on a match.
+    pub bind_field: u64,
+
+    /// `result`: fetch the operand and pop the frame.
+    pub result_base: u64,
+
+    /// Check a reference for an already-evaluated result (indirection
+    /// follow) — also the per-reference GC check cost.
+    pub ref_check: u64,
+    /// Enter a saturated user function (control transfer, frame setup).
+    pub enter_fun: u64,
+    /// Write the evaluated result back into a thunk.
+    pub update: u64,
+    /// Recognize a partial application as WHNF.
+    pub pap_check: u64,
+    /// Combine a partial application with further arguments.
+    pub pap_extend: u64,
+
+    /// Fetch one primitive operand to the ALU.
+    pub prim_fetch: u64,
+    /// Execute the ALU operation itself.
+    pub prim_op: u64,
+    /// `getint`/`putint` port transaction.
+    pub io_port: u64,
+
+    /// GC: fixed cost to copy one live object (the "+4").
+    pub gc_copy_base: u64,
+    /// GC: per-word copy cost (the "N").
+    pub gc_copy_per_word: u64,
+    /// GC: check one reference (forwarded or not) — 2 cycles.
+    pub gc_ref_check: u64,
+    /// GC: fixed start/finish overhead of a collection cycle (root scan
+    /// setup, semispace flip).
+    pub gc_cycle_base: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            load_per_word: 1,
+
+            let_base: 2,
+            let_per_arg: 1,
+            alloc: 2,
+
+            case_base: 2,
+            branch_head: 1,
+            bind_field: 1,
+
+            result_base: 2,
+
+            ref_check: 2,
+            enter_fun: 3,
+            update: 2,
+            pap_check: 1,
+            pap_extend: 2,
+
+            prim_fetch: 2,
+            prim_op: 1,
+            io_port: 2,
+
+            gc_copy_base: 4,
+            gc_copy_per_word: 1,
+            gc_ref_check: 2,
+            gc_cycle_base: 8,
+        }
+    }
+}
+
+impl CostModel {
+    /// Worst-case cycles to apply `n` arguments to a primitive ALU function
+    /// and evaluate the result, end to end: allocate the call object
+    /// (`let`), demand it, fetch the operands, execute, mark evaluated, and
+    /// save the result. The paper bounds the 2-argument case at 30 cycles.
+    pub fn prim_apply_eval_worst(&self, n: u64) -> u64 {
+        // let: decode + args + allocation
+        self.let_base + n * self.let_per_arg + self.alloc
+        // demand: reference check, each operand forced through a thunk
+        // check and fetched
+            + self.ref_check
+            + n * (self.ref_check + self.prim_fetch)
+        // execute and write back
+            + self.prim_op
+            + self.update
+    }
+
+    /// Cycles for the GC to copy a live object of `payload` payload words
+    /// (object size `N = payload + 2`): `N + 4` per the paper.
+    pub fn gc_copy_object(&self, payload: usize) -> u64 {
+        self.gc_copy_base + self.gc_copy_per_word * (payload as u64 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_arg_prim_apply_eval_within_paper_bound() {
+        let m = CostModel::default();
+        let worst = m.prim_apply_eval_worst(2);
+        assert!(
+            worst <= 30,
+            "paper bounds 2-arg prim apply+eval at 30 cycles, model gives {worst}"
+        );
+        // And it should not be trivially small either — the bound is tight
+        // to within a factor of two in the paper's description.
+        assert!(worst >= 15, "model suspiciously cheap: {worst}");
+    }
+
+    #[test]
+    fn branch_head_is_exactly_one_cycle() {
+        assert_eq!(CostModel::default().branch_head, 1);
+    }
+
+    #[test]
+    fn gc_costs_match_paper_formula() {
+        let m = CostModel::default();
+        // An object of N words costs N + 4.
+        assert_eq!(m.gc_copy_object(0), 2 + 4); // 2-word object
+        assert_eq!(m.gc_copy_object(3), 5 + 4); // 5-word object
+        assert_eq!(m.gc_ref_check, 2);
+    }
+}

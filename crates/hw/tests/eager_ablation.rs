@@ -1,0 +1,101 @@
+//! The eager-evaluation ablation: with `HwConfig::eager`, every `let` is
+//! demanded immediately, which makes the hardware's observable behaviour
+//! coincide with the eager big-step reference semantics *including I/O
+//! traces* — at a measurable cycle cost on workloads that drop values.
+
+use zarf_asm::{lower, parse};
+use zarf_core::io::{NullPorts, VecPorts};
+use zarf_core::Evaluator;
+use zarf_hw::{Hw, HwConfig};
+
+fn eager() -> HwConfig {
+    HwConfig { eager: true, ..HwConfig::default() }
+}
+
+#[test]
+fn eager_hw_matches_bigstep_io_trace_even_for_dropped_io() {
+    // A putint whose result is never used: lazy hardware never performs
+    // it; the eager ablation (like the big-step semantics) does.
+    let src = r#"
+fun main =
+  let dropped = putint 7 99 in
+  let used = add 1 2 in
+  result used
+"#;
+    let program = parse(src).unwrap();
+    let machine = lower(&program).unwrap();
+
+    let mut big_ports = VecPorts::new();
+    let v = Evaluator::new(&program).run(&mut big_ports).unwrap();
+    assert_eq!(v.as_int(), Some(3));
+    assert_eq!(big_ports.output(7), &[99], "eager semantics performs the write");
+
+    let mut lazy = Hw::from_machine(&machine).unwrap();
+    let mut lazy_ports = VecPorts::new();
+    lazy.run(&mut lazy_ports).unwrap();
+    assert_eq!(lazy_ports.output(7), &[] as &[i32], "lazy hardware drops it");
+
+    let mut eager_hw = Hw::from_machine_with(&machine, eager()).unwrap();
+    let mut eager_ports = VecPorts::new();
+    let v = eager_hw.run(&mut eager_ports).unwrap();
+    assert_eq!(eager_hw.as_int(v), Some(3));
+    assert_eq!(eager_ports.output(7), &[99], "eager ablation matches big-step");
+}
+
+#[test]
+fn eager_mode_costs_cycles_on_dropping_workloads() {
+    // Compute 60 expensive values, use only one: laziness pays.
+    let mut body = String::new();
+    for i in 0..60 {
+        body.push_str(&format!("  let w{i} = mul {i} {i} in\n"));
+    }
+    body.push_str("  result w7\n");
+    let src = format!("fun main =\n{body}");
+    let machine = lower(&parse(&src).unwrap()).unwrap();
+
+    let mut lazy = Hw::from_machine(&machine).unwrap();
+    let vl = lazy.run(&mut NullPorts).unwrap();
+    assert_eq!(lazy.as_int(vl), Some(49));
+
+    let mut eager_hw = Hw::from_machine_with(&machine, eager()).unwrap();
+    let ve = eager_hw.run(&mut NullPorts).unwrap();
+    assert_eq!(eager_hw.as_int(ve), Some(49));
+
+    assert!(
+        eager_hw.stats().mutator_cycles() > lazy.stats().mutator_cycles(),
+        "eager {} should exceed lazy {}",
+        eager_hw.stats().mutator_cycles(),
+        lazy.stats().mutator_cycles()
+    );
+}
+
+#[test]
+fn eager_and_lazy_agree_on_strict_workloads() {
+    // When everything is demanded, both modes produce the same value and
+    // the same per-class instruction counts.
+    let src = r#"
+fun sumto n =
+  case n of
+  | 0 => result 0
+  else
+    let m = sub n 1 in
+    let s = sumto m in
+    let r = add s n in
+    result r
+fun main =
+  let r = sumto 40 in
+  result r
+"#;
+    let machine = lower(&parse(src).unwrap()).unwrap();
+    let mut lazy = Hw::from_machine(&machine).unwrap();
+    let vl = lazy.run(&mut NullPorts).unwrap();
+    let mut eager_hw = Hw::from_machine_with(&machine, eager()).unwrap();
+    let ve = eager_hw.run(&mut NullPorts).unwrap();
+    assert_eq!(lazy.as_int(vl), Some(820));
+    assert_eq!(eager_hw.as_int(ve), Some(820));
+    assert_eq!(
+        lazy.stats().lets.count,
+        eager_hw.stats().lets.count,
+        "same lets executed when everything is strict"
+    );
+}

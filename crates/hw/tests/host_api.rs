@@ -1,0 +1,140 @@
+//! Host-facing API of the hardware model: rooted values across calls,
+//! constructor-field access, and GC interaction with host handles.
+
+use zarf_asm::{lower, parse};
+use zarf_core::io::NullPorts;
+use zarf_hw::{HValue, Hw, HwConfig};
+
+const SRC: &str = r#"
+con Pair a b
+fun mkpair a b =
+  let p = Pair a b in
+  result p
+fun bump p =
+  case p of
+  | Pair a b =>
+    let a' = add a 1 in
+    let b' = add b 10 in
+    let q = Pair a' b' in
+    result q
+  else result 0
+fun main = result 0
+"#;
+
+fn hw_small_heap() -> Hw {
+    Hw::from_machine_with(
+        &lower(&parse(SRC).unwrap()).unwrap(),
+        HwConfig { heap_words: 512, ..HwConfig::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn con_field_reads_whnf_constructors() {
+    let mut hw = hw_small_heap();
+    let id = hw.id_of("mkpair").unwrap();
+    let p = hw
+        .call(id, vec![HValue::Int(7), HValue::Int(8)], &mut NullPorts)
+        .unwrap();
+    assert_eq!(hw.con_field(p, 0), Some(HValue::Int(7)));
+    assert_eq!(hw.con_field(p, 1), Some(HValue::Int(8)));
+    assert_eq!(hw.con_field(p, 2), None);
+    assert_eq!(hw.con_field(HValue::Int(3), 0), None);
+}
+
+#[test]
+fn rooted_state_survives_thousands_of_gc_cycles() {
+    // A 512-word semispace forces frequent collections; the rooted pair
+    // must stay valid across 5,000 calls. The host forces each result —
+    // without that, lazy thunk chains keep every previous state live (see
+    // `unforced_state_chains_are_a_space_leak` below).
+    let mut hw = hw_small_heap();
+    let mk = hw.id_of("mkpair").unwrap();
+    let bump = hw.id_of("bump").unwrap();
+    let mut p = hw
+        .call(mk, vec![HValue::Int(0), HValue::Int(0)], &mut NullPorts)
+        .unwrap();
+    let slot = hw.push_root(p);
+    for _ in 0..5_000 {
+        let q = hw.call(bump, vec![p], &mut NullPorts).unwrap();
+        hw.set_root(slot, q);
+        // Force the fields so the previous state becomes garbage.
+        hw.deep_value(q, &mut NullPorts).unwrap();
+        p = hw.root(slot);
+    }
+    assert!(hw.stats().gc_runs > 10, "heap pressure must trigger GC");
+    // Force and check the final values.
+    let a = hw.con_field(hw.root(slot), 0).unwrap();
+    let b = hw.con_field(hw.root(slot), 1).unwrap();
+    let da = hw.deep_value(a, &mut NullPorts).unwrap();
+    let db = hw.deep_value(b, &mut NullPorts).unwrap();
+    assert_eq!(da.as_int(), Some(5_000));
+    assert_eq!(db.as_int(), Some(50_000));
+}
+
+#[test]
+fn unforced_state_chains_are_a_space_leak() {
+    // The flip side of laziness: if the host never demands the state, each
+    // new pair's fields are thunks referencing the previous pair, the whole
+    // history stays reachable, and a bounded semispace eventually fills.
+    // The microkernel avoids this because every output word is demanded by
+    // the I/O coroutine each iteration.
+    let mut hw = hw_small_heap();
+    let mk = hw.id_of("mkpair").unwrap();
+    let bump = hw.id_of("bump").unwrap();
+    let mut p = hw
+        .call(mk, vec![HValue::Int(0), HValue::Int(0)], &mut NullPorts)
+        .unwrap();
+    let slot = hw.push_root(p);
+    let mut filled = false;
+    for _ in 0..5_000 {
+        match hw.call(bump, vec![p], &mut NullPorts) {
+            Ok(q) => {
+                hw.set_root(slot, q);
+                p = q;
+            }
+            Err(zarf_hw::HwError::OutOfMemory { .. }) => {
+                filled = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(filled, "an unforced chain must eventually exhaust the heap");
+}
+
+#[test]
+fn deep_value_of_wide_structures_is_gc_safe() {
+    // A constructor whose many fields each require forcing that allocates;
+    // the collector may run between field forcings.
+    let src = r#"
+con Wide f0 f1 f2 f3 f4 f5 f6 f7
+fun th n =
+  let a = mul n n in
+  let b = add a n in
+  result b
+fun main =
+  let w0 = th 1 in
+  let w1 = th 2 in
+  let w2 = th 3 in
+  let w3 = th 4 in
+  let w4 = th 5 in
+  let w5 = th 6 in
+  let w6 = th 7 in
+  let w7 = th 8 in
+  let w = Wide w0 w1 w2 w3 w4 w5 w6 w7 in
+  result w
+"#;
+    let mut hw = Hw::from_machine_with(
+        &lower(&parse(src).unwrap()).unwrap(),
+        HwConfig { heap_words: 256, ..HwConfig::default() },
+    )
+    .unwrap();
+    let v = hw.run(&mut NullPorts).unwrap();
+    let dv = hw.deep_value(v, &mut NullPorts).unwrap();
+    let (name, fields) = dv.as_con().unwrap();
+    assert_eq!(&**name, "Wide");
+    let expected: Vec<i32> = (1..=8).map(|n| n * n + n).collect();
+    let got: Vec<i32> = fields.iter().map(|f| f.as_int().unwrap()).collect();
+    assert_eq!(got, expected);
+}

@@ -1,0 +1,122 @@
+//! The per-function cycle profiler.
+
+use zarf_asm::{lower, parse};
+use zarf_core::io::NullPorts;
+use zarf_hw::{Hw, HwConfig};
+
+const SRC: &str = r#"
+fun cheap x =
+  let r = add x 1 in
+  result r
+fun expensive x =
+  let a = mul x x in
+  let b = mul a a in
+  let c = mul b b in
+  let d = div c 7 in
+  let e = mod d 1000 in
+  result e
+fun main =
+  let a = cheap 1 in
+  let b = expensive a in
+  let c = add a b in
+  result c
+"#;
+
+#[test]
+fn profile_attributes_cycles_to_the_hot_function() {
+    let machine = lower(&parse(SRC).unwrap()).unwrap();
+    let mut hw = Hw::from_machine_with(
+        &machine,
+        HwConfig { profile: true, ..HwConfig::default() },
+    )
+    .unwrap();
+    hw.run(&mut NullPorts).unwrap();
+
+    let profile = hw.profile();
+    assert!(!profile.is_empty());
+    let get = |name: &str| {
+        profile
+            .iter()
+            .find(|(_, n, _)| n.as_deref() == Some(name))
+            .map(|&(_, _, c)| c)
+            .unwrap_or(0)
+    };
+    assert!(
+        get("expensive") > get("cheap"),
+        "expensive {} vs cheap {}",
+        get("expensive"),
+        get("cheap")
+    );
+    assert!(get("main") > 0);
+    // Hottest-first ordering.
+    assert!(profile.windows(2).all(|w| w[0].2 >= w[1].2));
+}
+
+#[test]
+fn profile_is_empty_when_disabled() {
+    let machine = lower(&parse(SRC).unwrap()).unwrap();
+    let mut hw = Hw::from_machine(&machine).unwrap();
+    hw.run(&mut NullPorts).unwrap();
+    assert!(hw.profile().is_empty());
+}
+
+#[test]
+fn icd_profile_is_dominated_by_the_filter_chain() {
+    use zarf_hw::HValue;
+    use zarf_icd::extract::icd_machine;
+    let mut hw = Hw::from_machine_with(
+        &icd_machine(),
+        HwConfig { profile: true, ..HwConfig::default() },
+    )
+    .unwrap();
+    let init = hw.id_of("init_state").unwrap();
+    let step = hw.id_of("icd_step").unwrap();
+    let mut state = hw.call(init, vec![], &mut NullPorts).unwrap();
+    let slot = hw.push_root(state);
+    for x in 0..200 {
+        let pair = hw
+            .call(step, vec![state, HValue::Int((x * 13) % 400 - 200)], &mut NullPorts)
+            .unwrap();
+        hw.set_root(slot, pair);
+        let out = hw.con_field(pair, 1).unwrap();
+        hw.deep_value(out, &mut NullPorts).unwrap();
+        state = hw.con_field(hw.root(slot), 0).unwrap();
+        hw.set_root(slot, state);
+    }
+    let profile = hw.profile();
+    let named: Vec<(&str, u64)> = profile
+        .iter()
+        .filter_map(|(_, n, c)| n.as_deref().map(|n| (n, *c)))
+        .collect();
+    let get = |name: &str| named.iter().find(|(n, _)| *n == name).map(|&(_, c)| c).unwrap_or(0);
+    // On a frame-dominated workload the attribution covers most cycles.
+    let attributed: u64 = profile.iter().map(|&(_, _, c)| c).sum();
+    assert!(attributed * 10 >= hw.stats().mutator_cycles() * 6);
+    // The 32-tap high-pass shift is the widest per-sample work.
+    assert!(get("hp_step") > get("dv_step"));
+    assert!(get("hp_step") > get("sq_step"));
+    assert!(get("mw_step") > 0 && get("lp_step") > 0 && get("det_step") > 0);
+}
+
+#[test]
+fn profile_accounts_for_almost_all_mutator_cycles() {
+    // Cycles are attributed to the active frame; only top-level forcing
+    // between calls is unattributed, which must be a small remainder.
+    let machine = lower(&parse(SRC).unwrap()).unwrap();
+    let mut hw = Hw::from_machine_with(
+        &machine,
+        HwConfig { profile: true, ..HwConfig::default() },
+    )
+    .unwrap();
+    hw.run(&mut NullPorts).unwrap();
+    let attributed: u64 = hw.profile().iter().map(|&(_, _, c)| c).sum();
+    let total = hw.stats().mutator_cycles();
+    assert!(attributed <= total);
+    // A tiny program spends a visible share in frame-less top-level
+    // forcing; it must still attribute a meaningful portion, and never
+    // more than the whole.
+    assert!(
+        attributed * 10 >= total * 4,
+        "only {attributed}/{total} cycles attributed"
+    );
+}

@@ -1,0 +1,106 @@
+//! Shared constants of the ICD algorithm.
+//!
+//! Every number here is used by **both** the high-level stream
+//! specification ([`crate::spec`]) and the extracted Zarf implementation
+//! ([`crate::extract`]); the refinement argument (paper §5.1) depends on
+//! the two sides agreeing on exact integer arithmetic, so the constants
+//! live in one place.
+
+/// Sampling rate of the heart interface: 200 Hz (5 ms per sample), the rate
+/// of the paper's real-time loop and of the Pan–Tompkins reference design.
+pub const SAMPLE_HZ: i32 = 200;
+
+/// Milliseconds per sample.
+pub const MS_PER_SAMPLE: i32 = 1000 / SAMPLE_HZ;
+
+// --- Pan–Tompkins filter chain (all-integer formulation) -------------------
+
+/// Low-pass filter history length: `y[n] = 2y[n-1] − y[n-2] + x[n]
+/// − 2x[n-6] + x[n-12]` (gain 36, cutoff ≈ 11 Hz at 200 Hz).
+pub const LPF_DELAY: usize = 12;
+
+/// High-pass delay line length (32 samples, cutoff ≈ 5 Hz): the filter is
+/// a 32-sample running sum `s[n] = s[n-1] + x[n] − x[n-32]` subtracted from
+/// the centre tap: `y[n] = x[n-16] − s[n]/32`.
+pub const HPF_DELAY: usize = 32;
+
+/// Centre-tap index of the high-pass filter.
+pub const HPF_CENTER: usize = 16;
+
+/// Derivative history length: `d[n] = (2x[n] + x[n-1] − x[n-3] − 2x[n-4])/8`.
+pub const DERIV_DELAY: usize = 4;
+
+/// Pre-squaring downscale (keeps the square inside 32 bits):
+/// `s[n] = (d[n]/32)²`.
+pub const SQUARE_PRESCALE: i32 = 32;
+
+/// Moving-window-integration width: 30 samples = 150 ms at 200 Hz.
+pub const MWI_WINDOW: usize = 30;
+
+// --- Peak detection ---------------------------------------------------------
+
+/// Refractory period after a detection, in samples (200 ms): the heart
+/// cannot physiologically produce another QRS sooner.
+pub const REFRACTORY_SAMPLES: i32 = 40;
+
+/// Running-estimate update weight: `est' = (peak + 7·est)/8`.
+pub const PEAK_ALPHA_NUM: i32 = 7;
+/// Denominator of the running-estimate update.
+pub const PEAK_ALPHA_DEN: i32 = 8;
+
+/// Initial signal-peak estimate, tuned to the synthetic ECG's amplitude so
+/// the detector locks on within the first few beats.
+pub const SPK_INIT: i32 = 10_000;
+
+/// Initial noise-peak estimate.
+pub const NPK_INIT: i32 = 0;
+
+// --- VT detection and ATP therapy (paper §4.2) -----------------------------
+
+/// RR-interval history length: "if 18 of the last 24 beats…".
+pub const RR_HISTORY: usize = 24;
+
+/// How many of the last [`RR_HISTORY`] beats must be fast to call VT.
+pub const VT_COUNT: i32 = 18;
+
+/// The fast-beat threshold: a period under 360 ms (> 167 bpm).
+pub const VT_PERIOD_MS: i32 = 360;
+
+/// Value RR slots are initialized/reset to (a slow, safe period).
+pub const RR_INIT_MS: i32 = 1000;
+
+/// Number of pacing-pulse sequences in one ATP therapy.
+pub const ATP_SEQUENCES: i32 = 3;
+
+/// Pulses per sequence.
+pub const ATP_PULSES: i32 = 8;
+
+/// Pacing interval as a percentage of the current cycle length (88 %).
+pub const ATP_RATE_PERCENT: i32 = 88;
+
+/// Decrement between sequences, in milliseconds (20 ms).
+pub const ATP_DECREMENT_MS: i32 = 20;
+
+// --- Output word encoding ---------------------------------------------------
+
+/// Bit set in the step output when a pacing pulse fires this sample.
+pub const OUT_PULSE: i32 = 1;
+/// Bit set when an ATP therapy episode starts this sample.
+pub const OUT_TREAT_START: i32 = 2;
+/// Bit set when a QRS complex was detected this sample.
+pub const OUT_DETECT: i32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_are_consistent() {
+        assert_eq!(MS_PER_SAMPLE, 5);
+        assert_eq!(REFRACTORY_SAMPLES * MS_PER_SAMPLE, 200);
+        assert_eq!(MWI_WINDOW * MS_PER_SAMPLE as usize, 150);
+        assert!(VT_COUNT <= RR_HISTORY as i32);
+        // 360 ms at 5 ms/sample = 72 samples.
+        assert_eq!(VT_PERIOD_MS / MS_PER_SAMPLE, 72);
+    }
+}

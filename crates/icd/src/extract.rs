@@ -1,0 +1,592 @@
+//! Extraction of the ICD algorithm to Zarf assembly (paper §5.1, Figure 6).
+//!
+//! The paper writes a low-level Coq implementation — machine integers, one
+//! operation per `let`, `match` instead of `if` — proves it equivalent to
+//! the stream specification, and extracts it to Zarf assembly by keyword
+//! substitution. Here the low-level implementation is *generated directly
+//! as Zarf assembly text* by this module, mirroring [`crate::spec`]
+//! statement for statement; the equivalence argument is mechanized by the
+//! differential test suites (spec ↔ extracted-on-reference-semantics ↔
+//! extracted-on-hardware), which check output equality on synthetic and
+//! randomized streams.
+//!
+//! ## State representation
+//!
+//! The hardware has no arrays, so delay lines become constructor tuples,
+//! grouped in chunks of eight (`Oct`) to keep `let` argument counts near
+//! the hardware's sweet spot. Shifting a delay line is re-building its
+//! tuples with the fields rotated by one — straight-line code with **no
+//! recursion anywhere in the step**, which is what makes the worst-case
+//! timing analysis of §5.2 possible (`zarf-verify` checks the call graph is
+//! acyclic and derives the WCET bound from this property).
+//!
+//! The generated program exports:
+//!
+//! * `icd_step state x` → `Pair state' out-word` — one 5 ms sample;
+//! * `init_state` → the power-on state (matching [`IcdSpec::new`]);
+//! * a trivial `main` (the system `main` lives in `zarf-kernel`).
+//!
+//! [`IcdSpec::new`]: crate::spec::IcdSpec::new
+
+use std::fmt::Write as _;
+
+use zarf_core::ast::Program;
+use zarf_core::machine::MProgram;
+
+use crate::consts::*;
+
+/// Name of the per-sample step function in the generated program.
+pub const STEP_FN: &str = "icd_step";
+/// Name of the initial-state builder function.
+pub const INIT_FN: &str = "init_state";
+
+/// `Oct p0 p1 … p6` shifted: new tuple is `new, p0..p6`.
+fn shifted_oct(new: &str, prefix: &str) -> String {
+    let mut s = new.to_string();
+    for i in 0..7 {
+        s.push_str(&format!(" {prefix}{i}"));
+    }
+    s
+}
+
+fn lp_step() -> String {
+    // State: LpSt (Oct x[n-1..8]) (Quad x[n-9..12]) y1 y2
+    // y = 2·y1 − y2 + x − 2·x[n-6] + x[n-12]  →  a5, b3
+    format!(
+        r#"
+fun lp_step st x =
+  case st of
+  | LpSt h0 h1 y1 y2 =>
+    case h0 of
+    | Oct a0 a1 a2 a3 a4 a5 a6 a7 =>
+      case h1 of
+      | Quad b0 b1 b2 b3 =>
+        let t0 = mul 2 y1 in
+        let t1 = sub t0 y2 in
+        let t2 = add t1 x in
+        let t3 = mul 2 a5 in
+        let t4 = sub t2 t3 in
+        let y = add t4 b3 in
+        let h0' = Oct {sh_oct} in
+        let h1' = Quad a7 b0 b1 b2 in
+        let st' = LpSt h0' h1' y y1 in
+        let r = LpRes st' y in
+        result r
+      else result 0
+    else result 0
+  else result 0
+"#,
+        sh_oct = shifted_oct("x", "a"),
+    )
+}
+
+fn hp_step() -> String {
+    // State: HpSt (4 × Oct: x[n-1..32]) sum
+    // sum' = sum + x − x[n-32] (d7); out = x[n-16] (b7) − sum'/32
+    format!(
+        r#"
+fun hp_step st x =
+  case st of
+  | HpSt h0 h1 h2 h3 sum =>
+    case h0 of
+    | Oct a0 a1 a2 a3 a4 a5 a6 a7 =>
+      case h1 of
+      | Oct b0 b1 b2 b3 b4 b5 b6 b7 =>
+        case h2 of
+        | Oct c0 c1 c2 c3 c4 c5 c6 c7 =>
+          case h3 of
+          | Oct d0 d1 d2 d3 d4 d5 d6 d7 =>
+            let s0 = add sum x in
+            let sum' = sub s0 d7 in
+            let q = div sum' 32 in
+            let out = sub b7 q in
+            let h0' = Oct {s0} in
+            let h1' = Oct {s1} in
+            let h2' = Oct {s2} in
+            let h3' = Oct {s3} in
+            let st' = HpSt h0' h1' h2' h3' sum' in
+            let r = HpRes st' out in
+            result r
+          else result 0
+        else result 0
+      else result 0
+    else result 0
+  else result 0
+"#,
+        s0 = shifted_oct("x", "a"),
+        s1 = shifted_oct("a7", "b"),
+        s2 = shifted_oct("b7", "c"),
+        s3 = shifted_oct("c7", "d"),
+    )
+}
+
+fn dv_step() -> String {
+    // State: Quad x[n-1..4]. d = (2x + x₁ − x₃ − 2x₄)/8
+    r#"
+fun dv_step st x =
+  case st of
+  | Quad d0 d1 d2 d3 =>
+    let t0 = mul 2 x in
+    let t1 = add t0 d0 in
+    let t2 = sub t1 d2 in
+    let t3 = mul 2 d3 in
+    let t4 = sub t2 t3 in
+    let d = div t4 8 in
+    let st' = Quad x d0 d1 d2 in
+    let r = DvRes st' d in
+    result r
+  else result 0
+"#
+    .to_string()
+}
+
+fn sq_step() -> String {
+    format!(
+        r#"
+fun sq_step v =
+  let ds = div v {presc} in
+  let s = mul ds ds in
+  result s
+"#,
+        presc = SQUARE_PRESCALE,
+    )
+}
+
+fn mw_step() -> String {
+    // State: MwSt (Oct, Oct, Oct, Six: s[n-1..30]) sum
+    // sum' = sum + x − s[n-30] (f5); out = sum'/30
+    format!(
+        r#"
+fun mw_step st x =
+  case st of
+  | MwSt h0 h1 h2 h3 sum =>
+    case h0 of
+    | Oct a0 a1 a2 a3 a4 a5 a6 a7 =>
+      case h1 of
+      | Oct b0 b1 b2 b3 b4 b5 b6 b7 =>
+        case h2 of
+        | Oct c0 c1 c2 c3 c4 c5 c6 c7 =>
+          case h3 of
+          | Six f0 f1 f2 f3 f4 f5 =>
+            let s0 = add sum x in
+            let sum' = sub s0 f5 in
+            let out = div sum' {win} in
+            let h0' = Oct {sh0} in
+            let h1' = Oct {sh1} in
+            let h2' = Oct {sh2} in
+            let h3' = Six c7 f0 f1 f2 f3 f4 in
+            let st' = MwSt h0' h1' h2' h3' sum' in
+            let r = MwRes st' out in
+            result r
+          else result 0
+        else result 0
+      else result 0
+    else result 0
+  else result 0
+"#,
+        win = MWI_WINDOW,
+        sh0 = shifted_oct("x", "a"),
+        sh1 = shifted_oct("a7", "b"),
+        sh2 = shifted_oct("b7", "c"),
+    )
+}
+
+fn det_step() -> String {
+    // State: DetSt p2 p1 since spk npk. Returns DetRes st' detect rr_ms.
+    format!(
+        r#"
+fun det_step st m =
+  case st of
+  | DetSt p2 p1 since spk npk =>
+    let since' = add since 1 in
+    let diff = sub spk npk in
+    let dq = div diff 4 in
+    let thr = add npk dq in
+    let pk0 = gt p1 m in
+    let pk1 = ge p1 p2 in
+    let ispk = and pk0 pk1 in
+    case ispk of
+    | 1 =>
+      let above = gt p1 thr in
+      let past = gt since' {refr} in
+      let fire = and above past in
+      case fire of
+      | 1 =>
+        let rr = mul since' {msper} in
+        let w0 = mul {anum} spk in
+        let w1 = add p1 w0 in
+        let spk' = div w1 {aden} in
+        let st' = DetSt p1 m 0 spk' npk in
+        let r = DetRes st' 1 rr in
+        result r
+      else
+        let w0 = mul {anum} npk in
+        let w1 = add p1 w0 in
+        let npk' = div w1 {aden} in
+        let st' = DetSt p1 m since' spk npk' in
+        let r = DetRes st' 0 0 in
+        result r
+    else
+      let st' = DetSt p1 m since' spk npk in
+      let r = DetRes st' 0 0 in
+      result r
+  else result 0
+"#,
+        refr = REFRACTORY_SAMPLES,
+        msper = MS_PER_SAMPLE,
+        anum = PEAK_ALPHA_NUM,
+        aden = PEAK_ALPHA_DEN,
+    )
+}
+
+fn cnt8() -> String {
+    // Count how many of an Oct's eight RR values are below the VT period.
+    let mut body = String::new();
+    for i in 0..8 {
+        let _ = writeln!(body, "    let c{i} = lt a{i} {} in", VT_PERIOD_MS);
+    }
+    body.push_str("    let s0 = add c0 c1 in\n");
+    for i in 1..7 {
+        let _ = writeln!(body, "    let s{i} = add s{} c{} in", i - 1, i + 1);
+    }
+    format!(
+        r#"
+fun cnt8 o =
+  case o of
+  | Oct a0 a1 a2 a3 a4 a5 a6 a7 =>
+{body}    result s6
+  else result 0
+"#
+    )
+}
+
+fn init_rr() -> String {
+    format!(
+        r#"
+fun init_rr =
+  let o = Oct {v} {v} {v} {v} {v} {v} {v} {v} in
+  let r = RrSt o o o in
+  result r
+"#,
+        v = RR_INIT_MS,
+    )
+}
+
+fn vt_step() -> String {
+    // Monitoring + therapy state machine. Returns VtRes rr' atp' pulse treat.
+    format!(
+        r#"
+fun vt_step rr atp detect rr_ms =
+  case atp of
+  | AtpSt mode seq pulses countdown interval =>
+    case mode of
+    | 0 =>
+      case detect of
+      | 1 =>
+        case rr of
+        | RrSt r0 r1 r2 =>
+          case r0 of
+          | Oct a0 a1 a2 a3 a4 a5 a6 a7 =>
+            case r1 of
+            | Oct b0 b1 b2 b3 b4 b5 b6 b7 =>
+              case r2 of
+              | Oct c0 c1 c2 c3 c4 c5 c6 c7 =>
+                let r0' = Oct {sh0} in
+                let r1' = Oct {sh1} in
+                let r2' = Oct {sh2} in
+                let rr' = RrSt r0' r1' r2' in
+                let n0 = cnt8 r0' in
+                let n1 = cnt8 r1' in
+                let n2 = cnt8 r2' in
+                let na = add n0 n1 in
+                let n = add na n2 in
+                let vt = ge n {vtcnt} in
+                case vt of
+                | 1 =>
+                  let i0 = mul rr_ms {rate} in
+                  let i1 = div i0 100 in
+                  let i2 = div i1 {msper} in
+                  let iv = max i2 10 in
+                  let atp' = AtpSt 1 {seqs} {pulses} iv iv in
+                  let rr0 = init_rr in
+                  let res = VtRes rr0 atp' 0 1 in
+                  result res
+                else
+                  let res = VtRes rr' atp 0 0 in
+                  result res
+              else result 0
+            else result 0
+          else result 0
+        else result 0
+      else
+        let res = VtRes rr atp 0 0 in
+        result res
+    else
+      let cd = sub countdown 1 in
+      case cd of
+      | 0 =>
+        let pl = sub pulses 1 in
+        case pl of
+        | 0 =>
+          let sl = sub seq 1 in
+          case sl of
+          | 0 =>
+            let atp' = AtpSt 0 0 0 0 0 in
+            let res = VtRes rr atp' 1 0 in
+            result res
+          else
+            let i0 = sub interval {decr} in
+            let iv = max i0 10 in
+            let atp' = AtpSt 1 sl {pulses} iv iv in
+            let res = VtRes rr atp' 1 0 in
+            result res
+        else
+          let atp' = AtpSt 1 seq pl interval interval in
+          let res = VtRes rr atp' 1 0 in
+          result res
+      else
+        let atp' = AtpSt 1 seq pulses cd interval in
+        let res = VtRes rr atp' 0 0 in
+        result res
+  else result 0
+"#,
+        sh0 = shifted_oct("rr_ms", "a"),
+        sh1 = shifted_oct("a7", "b"),
+        sh2 = shifted_oct("b7", "c"),
+        vtcnt = VT_COUNT,
+        rate = ATP_RATE_PERCENT,
+        msper = MS_PER_SAMPLE,
+        seqs = ATP_SEQUENCES,
+        pulses = ATP_PULSES,
+        decr = ATP_DECREMENT_MS / MS_PER_SAMPLE,
+    )
+}
+
+fn icd_step() -> String {
+    format!(
+        r#"
+fun {step} st x =
+  case st of
+  | IcdSt lp hp dv mw det rr atp =>
+    let pr0 = lp_step lp x in
+    case pr0 of
+    | LpRes lp' ylp =>
+      let pr1 = hp_step hp ylp in
+      case pr1 of
+      | HpRes hp' yhp =>
+        let pr2 = dv_step dv yhp in
+        case pr2 of
+        | DvRes dv' yd =>
+          let s = sq_step yd in
+          let pr3 = mw_step mw s in
+          case pr3 of
+          | MwRes mw' m =>
+            let dr = det_step det m in
+            case dr of
+            | DetRes det' detect rr_ms =>
+              let vr = vt_step rr atp detect rr_ms in
+              case vr of
+              | VtRes rr' atp' pulse treat =>
+                let st' = IcdSt lp' hp' dv' mw' det' rr' atp' in
+                let o0 = mul {treatbit} treat in
+                let o1 = mul {detbit} detect in
+                let o2 = add pulse o0 in
+                let out = add o2 o1 in
+                let res = Pair st' out in
+                result res
+              else result 0
+            else result 0
+          else result 0
+        else result 0
+      else result 0
+    else result 0
+  else result 0
+"#,
+        step = STEP_FN,
+        treatbit = OUT_TREAT_START,
+        detbit = OUT_DETECT,
+    )
+}
+
+fn init_state() -> String {
+    format!(
+        r#"
+fun {init} =
+  let z8 = Oct 0 0 0 0 0 0 0 0 in
+  let z6 = Six 0 0 0 0 0 0 in
+  let z4 = Quad 0 0 0 0 in
+  let lp = LpSt z8 z4 0 0 in
+  let hp = HpSt z8 z8 z8 z8 0 in
+  let mw = MwSt z8 z8 z8 z6 0 in
+  let det = DetSt 0 0 0 {spk} {npk} in
+  let rr = init_rr in
+  let atp = AtpSt 0 0 0 0 0 in
+  let st = IcdSt lp hp z4 mw det rr atp in
+  result st
+"#,
+        init = INIT_FN,
+        spk = SPK_INIT,
+        npk = NPK_INIT,
+    )
+}
+
+/// The ICD declarations (constructors and functions) without a `main`,
+/// for embedding into larger programs such as the microkernel.
+pub fn icd_decls_source() -> String {
+    let mut src = String::from(
+        r#"; Zarf ICD application — generated by zarf-icd::extract.
+con Oct f0 f1 f2 f3 f4 f5 f6 f7
+con Six f0 f1 f2 f3 f4 f5
+con Quad f0 f1 f2 f3
+con Pair fst snd
+con LpRes st out
+con HpRes st out
+con DvRes st out
+con MwRes st out
+con LpSt h0 h1 y1 y2
+con HpSt h0 h1 h2 h3 sum
+con MwSt h0 h1 h2 h3 sum
+con DetSt p2 p1 since spk npk
+con DetRes st detect rr
+con RrSt r0 r1 r2
+con AtpSt mode seq pulses countdown interval
+con VtRes rr atp pulse treat
+con IcdSt lp hp dv mw det rr atp
+"#,
+    );
+    for part in [
+        lp_step(),
+        hp_step(),
+        dv_step(),
+        sq_step(),
+        mw_step(),
+        det_step(),
+        cnt8(),
+        init_rr(),
+        vt_step(),
+        icd_step(),
+        init_state(),
+    ] {
+        src.push_str(&part);
+    }
+    src
+}
+
+/// The complete standalone assembly source of the ICD application (a
+/// trivial `main`; the system `main` lives in `zarf-kernel`).
+pub fn icd_source() -> String {
+    let mut src = icd_decls_source();
+    src.push_str("
+fun main = result 0
+");
+    src
+}
+
+/// Parse the generated source into a validated named program.
+///
+/// # Panics
+///
+/// Panics if generation produced invalid assembly — a bug in this module,
+/// covered by tests.
+pub fn icd_program() -> Program {
+    zarf_asm::parse(&icd_source()).expect("generated ICD assembly is valid")
+}
+
+/// Lower the generated program to machine form (for the hardware simulator
+/// and the binary analyses).
+pub fn icd_machine() -> MProgram {
+    zarf_asm::lower(&icd_program()).expect("generated ICD assembly lowers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IcdSpec;
+    use zarf_core::eval::Evaluator;
+    use zarf_core::io::NullPorts;
+    use zarf_core::value::{Value, V};
+
+    #[test]
+    fn generated_source_parses_and_lowers() {
+        let p = icd_program();
+        assert!(p.function(STEP_FN).is_some());
+        assert!(p.function(INIT_FN).is_some());
+        let m = icd_machine();
+        assert!(m.items().len() > 10);
+        // And encodes to a loadable binary.
+        let words = zarf_asm::encode(&m).unwrap();
+        assert!(zarf_asm::decode(&words).is_ok());
+    }
+
+    /// Run `n` samples through the extracted implementation on the
+    /// reference big-step semantics, returning the output words.
+    fn run_extracted(samples: &[i32]) -> Vec<i32> {
+        let program = icd_program();
+        let mut outs = Vec::with_capacity(samples.len());
+        let mut eval = Evaluator::new(&program).with_fuel(u64::MAX);
+        let mut state: V = eval.call(INIT_FN, vec![], &mut NullPorts).unwrap();
+        for &x in samples {
+            let pair = eval
+                .call(STEP_FN, vec![state.clone(), Value::int(x)], &mut NullPorts)
+                .unwrap();
+            let (name, fields) = pair.as_con().expect("step returns Pair");
+            assert_eq!(&**name, "Pair");
+            state = fields[0].clone();
+            outs.push(fields[1].as_int().expect("output word is an int"));
+        }
+        outs
+    }
+
+    fn run_spec(samples: &[i32]) -> Vec<i32> {
+        let mut spec = IcdSpec::new();
+        samples.iter().map(|&x| spec.step(x).word()).collect()
+    }
+
+    #[test]
+    fn refinement_on_silence() {
+        let samples = vec![0; 300];
+        assert_eq!(run_extracted(&samples), run_spec(&samples));
+    }
+
+    #[test]
+    fn refinement_on_normal_rhythm() {
+        use crate::signal::{EcgConfig, EcgGen, Rhythm};
+        let cfg = EcgConfig::default();
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 80.0, seconds: 10.0 }]);
+        let samples = g.take(1200);
+        let ext = run_extracted(&samples);
+        let spec = run_spec(&samples);
+        assert_eq!(ext, spec);
+        // And beats were actually detected (the test is not vacuous).
+        assert!(ext.iter().any(|&w| w & crate::consts::OUT_DETECT != 0));
+    }
+
+    #[test]
+    fn refinement_through_a_therapy_episode() {
+        // Drive the detector with a fast synthetic rhythm long enough to
+        // trigger ATP, and require bit-identical outputs throughout.
+        use crate::signal::{EcgConfig, EcgGen, Rhythm};
+        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 190.0, seconds: 60.0 }]);
+        let samples = g.take(3600);
+        let ext = run_extracted(&samples);
+        let spec = run_spec(&samples);
+        assert_eq!(ext, spec);
+        assert!(
+            ext.iter().any(|&w| w & crate::consts::OUT_TREAT_START != 0),
+            "sustained 190 bpm must trigger therapy"
+        );
+        assert!(ext.iter().any(|&w| w & crate::consts::OUT_PULSE != 0));
+    }
+
+    #[test]
+    fn refinement_on_random_streams() {
+        // Adversarial inputs: step functions must agree even on noise that
+        // resembles nothing physiological.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<i32> = (0..600).map(|_| rng.gen_range(-4095..=4095)).collect();
+        assert_eq!(run_extracted(&samples), run_spec(&samples));
+    }
+}

@@ -1,0 +1,32 @@
+//! # zarf-icd — the implantable cardioverter-defibrillator application
+//!
+//! The paper's case study (§4): an embedded medical device that monitors
+//! the heart at 200 Hz, detects ventricular tachycardia, and administers
+//! anti-tachycardia pacing. This crate provides every piece of it:
+//!
+//! * [`signal`] — a deterministic synthetic ECG generator with scripted
+//!   rhythm (steady rates, ramps, VT episodes) — the stand-in for patient
+//!   data (substitution documented in DESIGN.md);
+//! * [`spec`] — the high-level executable *specification*: the integer
+//!   Pan–Tompkins QRS-detection chain (low-pass, high-pass, derivative,
+//!   squaring, moving-window integration, adaptive thresholds), the
+//!   published VT criterion (18 of the last 24 RR intervals under 360 ms),
+//!   and the ATP therapy state machine (3 × 8 pulses at 88 % of cycle
+//!   length, 20 ms decrement) — our analogue of the paper's Gallina
+//!   specification;
+//! * [`extract`] — the extractor emitting the equivalent Zarf assembly,
+//!   statement for statement (the paper's Figure 6 pipeline), with the
+//!   refinement `spec ≡ extracted` enforced by differential tests;
+//! * [`consts`] — the shared constants both sides must agree on exactly.
+//!
+//! The step function is recursion-free by construction, which is what
+//! makes the worst-case timing analysis of `zarf-verify` possible.
+
+pub mod consts;
+pub mod extract;
+pub mod signal;
+pub mod spec;
+
+pub use extract::{icd_machine, icd_program, icd_source, INIT_FN, STEP_FN};
+pub use signal::{EcgConfig, EcgGen, Rhythm};
+pub use spec::{IcdSpec, StepOut};

@@ -1,0 +1,434 @@
+//! The high-level specification of the ICD algorithm.
+//!
+//! This is our analogue of the paper's Gallina specification (§5.1): a
+//! direct, readable implementation of the real-time QRS-detection chain of
+//! Pan & Tompkins — low-pass, high-pass, derivative, squaring, moving-window
+//! integration, adaptive-threshold peak detection — followed by the
+//! published VT test ("18 of the last 24 beats with periods under 360 ms")
+//! and ATP therapy ("three sequences of eight pulses at 88 % of the current
+//! heart rate, with a 20 ms decrement between sequences").
+//!
+//! The spec *is* executable and operates sample-by-sample on the input
+//! stream. All arithmetic is exact wrapping 32-bit integer arithmetic: the
+//! extracted Zarf implementation ([`crate::extract`]) performs the same
+//! operations instruction for instruction, and the refinement test suite
+//! checks output equality on every stream it is given — the mechanized
+//! counterpart of the paper's Coq equivalence proof.
+
+use crate::consts::*;
+
+/// Everything one step produces, including the intermediate filter-stage
+/// outputs (used to regenerate the paper's Figure 5 pipeline plot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOut {
+    /// Low-pass stage output.
+    pub lp: i32,
+    /// High-pass (band-passed) stage output.
+    pub hp: i32,
+    /// Derivative stage output.
+    pub dv: i32,
+    /// Squared stage output.
+    pub sq: i32,
+    /// Moving-window-integrated energy.
+    pub mwi: i32,
+    /// 1 if a QRS complex was detected at this sample.
+    pub detect: i32,
+    /// RR interval of the detection, in ms (0 when `detect == 0`).
+    pub rr_ms: i32,
+    /// 1 if an ATP pacing pulse fires this sample.
+    pub pulse: i32,
+    /// 1 if an ATP therapy episode begins this sample.
+    pub treat_start: i32,
+}
+
+impl StepOut {
+    /// The packed output word the device emits each sample — the value
+    /// crossing to the I/O coroutine and the monitoring channel.
+    pub fn word(&self) -> i32 {
+        self.pulse * OUT_PULSE + self.treat_start * OUT_TREAT_START + self.detect * OUT_DETECT
+    }
+}
+
+/// The full ICD state: filter delay lines, detector estimates, RR history,
+/// and the therapy state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcdSpec {
+    // Low-pass: x[n-1..n-12] (index 0 is most recent), y[n-1], y[n-2].
+    lp_x: [i32; LPF_DELAY],
+    lp_y1: i32,
+    lp_y2: i32,
+    // High-pass: x[n-1..n-32], running sum.
+    hp_x: [i32; HPF_DELAY],
+    hp_sum: i32,
+    // Derivative: x[n-1..n-4].
+    dv_x: [i32; DERIV_DELAY],
+    // Moving window: s[n-1..n-30], running sum.
+    mw_x: [i32; MWI_WINDOW],
+    mw_sum: i32,
+    // Detector.
+    prev2: i32,
+    prev1: i32,
+    since: i32,
+    spk: i32,
+    npk: i32,
+    // VT: last 24 RR intervals in ms.
+    rr: [i32; RR_HISTORY],
+    // ATP machine.
+    mode: i32,
+    seq_left: i32,
+    pulses_left: i32,
+    countdown: i32,
+    interval: i32,
+    // Diagnostics.
+    treat_count: u64,
+}
+
+impl Default for IcdSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IcdSpec {
+    /// The power-on state.
+    pub fn new() -> Self {
+        IcdSpec {
+            lp_x: [0; LPF_DELAY],
+            lp_y1: 0,
+            lp_y2: 0,
+            hp_x: [0; HPF_DELAY],
+            hp_sum: 0,
+            dv_x: [0; DERIV_DELAY],
+            mw_x: [0; MWI_WINDOW],
+            mw_sum: 0,
+            prev2: 0,
+            prev1: 0,
+            since: 0,
+            spk: SPK_INIT,
+            npk: NPK_INIT,
+            rr: [RR_INIT_MS; RR_HISTORY],
+            mode: 0,
+            seq_left: 0,
+            pulses_left: 0,
+            countdown: 0,
+            interval: 0,
+            treat_count: 0,
+        }
+    }
+
+    /// Completed therapy-start count (diagnostics; the monitoring software
+    /// on the imperative core reproduces this from the output stream).
+    pub fn treat_count(&self) -> u64 {
+        self.treat_count
+    }
+
+    /// Whether the device is currently delivering therapy.
+    pub fn treating(&self) -> bool {
+        self.mode != 0
+    }
+
+    /// Process one 5 ms sample.
+    pub fn step(&mut self, x: i32) -> StepOut {
+        let mut out = StepOut::default();
+
+        // --- Low-pass: y = 2y₁ − y₂ + x − 2x₆ + x₁₂ ------------------------
+        let lp = (2i32.wrapping_mul(self.lp_y1))
+            .wrapping_sub(self.lp_y2)
+            .wrapping_add(x)
+            .wrapping_sub(2i32.wrapping_mul(self.lp_x[5]))
+            .wrapping_add(self.lp_x[11]);
+        shift(&mut self.lp_x, x);
+        self.lp_y2 = self.lp_y1;
+        self.lp_y1 = lp;
+        out.lp = lp;
+
+        // --- High-pass: s' = s + v − v₃₂; y = v₁₆ − s'/32 -------------------
+        let sum = self.hp_sum.wrapping_add(lp).wrapping_sub(self.hp_x[HPF_DELAY - 1]);
+        let hp = self.hp_x[HPF_CENTER - 1].wrapping_sub(sum.wrapping_div(32));
+        shift(&mut self.hp_x, lp);
+        self.hp_sum = sum;
+        out.hp = hp;
+
+        // --- Derivative: d = (2v + v₁ − v₃ − 2v₄)/8 -------------------------
+        let dv = (2i32.wrapping_mul(hp))
+            .wrapping_add(self.dv_x[0])
+            .wrapping_sub(self.dv_x[2])
+            .wrapping_sub(2i32.wrapping_mul(self.dv_x[3]))
+            .wrapping_div(8);
+        shift(&mut self.dv_x, hp);
+        out.dv = dv;
+
+        // --- Square with prescale -------------------------------------------
+        let ds = dv.wrapping_div(SQUARE_PRESCALE);
+        let sq = ds.wrapping_mul(ds);
+        out.sq = sq;
+
+        // --- Moving-window integration --------------------------------------
+        let msum = self.mw_sum.wrapping_add(sq).wrapping_sub(self.mw_x[MWI_WINDOW - 1]);
+        let mwi = msum.wrapping_div(MWI_WINDOW as i32);
+        shift(&mut self.mw_x, sq);
+        self.mw_sum = msum;
+        out.mwi = mwi;
+
+        // --- Adaptive-threshold peak detection ------------------------------
+        let since = self.since.wrapping_add(1);
+        let threshold = self
+            .npk
+            .wrapping_add(self.spk.wrapping_sub(self.npk).wrapping_div(4));
+        let is_peak = self.prev1 > mwi && self.prev1 >= self.prev2;
+        let mut detect = 0;
+        let mut rr_ms = 0;
+        let mut new_since = since;
+        if is_peak {
+            if self.prev1 > threshold && since > REFRACTORY_SAMPLES {
+                detect = 1;
+                rr_ms = since.wrapping_mul(MS_PER_SAMPLE);
+                self.spk = self
+                    .prev1
+                    .wrapping_add(PEAK_ALPHA_NUM.wrapping_mul(self.spk))
+                    .wrapping_div(PEAK_ALPHA_DEN);
+                new_since = 0;
+            } else {
+                self.npk = self
+                    .prev1
+                    .wrapping_add(PEAK_ALPHA_NUM.wrapping_mul(self.npk))
+                    .wrapping_div(PEAK_ALPHA_DEN);
+            }
+        }
+        self.prev2 = self.prev1;
+        self.prev1 = mwi;
+        self.since = new_since;
+        out.detect = detect;
+        out.rr_ms = rr_ms;
+
+        // --- VT detection and ATP therapy ------------------------------------
+        if self.mode == 0 {
+            // Monitoring. A detection updates the RR history; then the VT
+            // criterion is evaluated.
+            if detect == 1 {
+                shift(&mut self.rr, rr_ms);
+                let fast = self.rr.iter().filter(|&&r| r < VT_PERIOD_MS).count() as i32;
+                if fast >= VT_COUNT {
+                    // Start therapy at 88 % of the current cycle length.
+                    let mut interval = rr_ms
+                        .wrapping_mul(ATP_RATE_PERCENT)
+                        .wrapping_div(100)
+                        .wrapping_div(MS_PER_SAMPLE);
+                    if interval < 10 {
+                        interval = 10;
+                    }
+                    self.mode = 1;
+                    self.seq_left = ATP_SEQUENCES;
+                    self.pulses_left = ATP_PULSES;
+                    self.interval = interval;
+                    self.countdown = interval;
+                    self.rr = [RR_INIT_MS; RR_HISTORY];
+                    self.treat_count += 1;
+                    out.treat_start = 1;
+                }
+            }
+        } else {
+            // Treating: count down to the next pulse.
+            let cd = self.countdown.wrapping_sub(1);
+            if cd == 0 {
+                out.pulse = 1;
+                let pl = self.pulses_left.wrapping_sub(1);
+                if pl == 0 {
+                    let sl = self.seq_left.wrapping_sub(1);
+                    if sl == 0 {
+                        self.mode = 0;
+                        self.seq_left = 0;
+                        self.pulses_left = 0;
+                        self.countdown = 0;
+                    } else {
+                        // Next sequence: 20 ms faster.
+                        let mut iv = self
+                            .interval
+                            .wrapping_sub(ATP_DECREMENT_MS / MS_PER_SAMPLE);
+                        if iv < 10 {
+                            iv = 10;
+                        }
+                        self.seq_left = sl;
+                        self.pulses_left = ATP_PULSES;
+                        self.interval = iv;
+                        self.countdown = iv;
+                    }
+                } else {
+                    self.pulses_left = pl;
+                    self.countdown = self.interval;
+                }
+            } else {
+                self.countdown = cd;
+            }
+        }
+
+        out
+    }
+}
+
+/// Shift a delay line: index 0 becomes `v`, everything moves one step older,
+/// the oldest value falls off.
+fn shift<const N: usize>(line: &mut [i32; N], v: i32) {
+    line.copy_within(0..N - 1, 1);
+    line[0] = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{vt_episode, EcgConfig, EcgGen, Rhythm};
+
+    fn run(samples: &[i32]) -> (Vec<StepOut>, IcdSpec) {
+        let mut spec = IcdSpec::new();
+        let outs = samples.iter().map(|&x| spec.step(x)).collect();
+        (outs, spec)
+    }
+
+    #[test]
+    fn shift_moves_and_drops() {
+        let mut l = [1, 2, 3];
+        shift(&mut l, 9);
+        assert_eq!(l, [9, 1, 2]);
+    }
+
+    #[test]
+    fn silence_produces_no_detections() {
+        let (outs, spec) = run(&vec![0; 4000]);
+        assert!(outs.iter().all(|o| o.detect == 0 && o.pulse == 0));
+        assert_eq!(spec.treat_count(), 0);
+    }
+
+    #[test]
+    fn normal_rhythm_detects_beats_at_the_right_rate() {
+        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 60.0 }]);
+        let samples = g.take(60 * SAMPLE_HZ as usize);
+        let (outs, spec) = run(&samples);
+        let detections: usize = outs.iter().map(|o| o.detect as usize).sum();
+        // 75 bpm for 60 s ≈ 75 beats; allow the lock-on transient.
+        assert!(
+            (70..=80).contains(&detections),
+            "expected ≈75 detections, got {detections}"
+        );
+        assert_eq!(spec.treat_count(), 0, "no therapy during sinus rhythm");
+        // Steady-state RR should be ≈ 800 ms.
+        let rrs: Vec<i32> = outs
+            .iter()
+            .filter(|o| o.detect == 1)
+            .map(|o| o.rr_ms)
+            .skip(5)
+            .collect();
+        let avg = rrs.iter().sum::<i32>() / rrs.len() as i32;
+        assert!(
+            (760..=840).contains(&avg),
+            "75 bpm → RR ≈ 800 ms, got {avg}"
+        );
+    }
+
+    #[test]
+    fn vt_episode_triggers_therapy() {
+        let (mut g, _onset) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let samples = g.take(69 * SAMPLE_HZ as usize);
+        let (outs, spec) = run(&samples);
+        assert!(spec.treat_count() >= 1, "VT episode must trigger ATP");
+        let pulses: i32 = outs.iter().map(|o| o.pulse).sum();
+        // Each therapy delivers 3 sequences × 8 pulses.
+        assert_eq!(
+            pulses as u64,
+            spec.treat_count() * (ATP_SEQUENCES * ATP_PULSES) as u64,
+            "every started therapy delivers its 24 pulses"
+        );
+        // No therapy may start before VT onset (20 s of sinus rhythm).
+        let first_treat = outs.iter().position(|o| o.treat_start == 1).unwrap();
+        assert!(
+            first_treat > 20 * SAMPLE_HZ as usize,
+            "therapy at sample {first_treat} is before VT onset"
+        );
+    }
+
+    #[test]
+    fn pacing_interval_is_88_percent_with_decrement() {
+        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let samples = g.take(69 * SAMPLE_HZ as usize);
+        let mut spec = IcdSpec::new();
+        let mut pulse_times: Vec<usize> = Vec::new();
+        let mut rr_at_treat = 0;
+        for (i, &x) in samples.iter().enumerate() {
+            let o = spec.step(x);
+            if o.treat_start == 1 && pulse_times.is_empty() {
+                rr_at_treat = o.rr_ms;
+            }
+            if o.pulse == 1 && pulse_times.len() < 24 {
+                pulse_times.push(i);
+            }
+        }
+        assert!(pulse_times.len() >= 24, "one full therapy observed");
+        let expected = (rr_at_treat * ATP_RATE_PERCENT / 100 / MS_PER_SAMPLE).max(10);
+        let gap1 = (pulse_times[1] - pulse_times[0]) as i32;
+        assert_eq!(gap1, expected, "first-sequence gap is 88% of cycle length");
+        // Gap in second sequence is 4 samples (20 ms) shorter.
+        let gap2 = (pulse_times[9] - pulse_times[8]) as i32;
+        assert_eq!(gap2, (expected - 4).max(10));
+        // And the third, 8 samples shorter.
+        let gap3 = (pulse_times[17] - pulse_times[16]) as i32;
+        assert_eq!(gap3, (expected - 8).max(10));
+    }
+
+    #[test]
+    fn recovery_ends_therapy() {
+        // After the VT episode resolves, the device must go quiet: no
+        // treatment starts during the recovery segment.
+        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let samples = g.take(89 * SAMPLE_HZ as usize); // includes 40 s of recovery
+        let (outs, _) = run(&samples);
+        let recovery_start = 49 * SAMPLE_HZ as usize + 8 * SAMPLE_HZ as usize;
+        let late_treats = outs[recovery_start..]
+            .iter()
+            .filter(|o| o.treat_start == 1)
+            .count();
+        assert_eq!(late_treats, 0, "therapy after recovery");
+        // And detection continues (the device is still monitoring).
+        assert!(outs[recovery_start..].iter().any(|o| o.detect == 1));
+    }
+
+    #[test]
+    fn refractory_blocks_double_detections() {
+        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 30.0 }]);
+        let samples = g.take(30 * SAMPLE_HZ as usize);
+        let (outs, _) = run(&samples);
+        let mut last = None;
+        for (i, o) in outs.iter().enumerate() {
+            if o.detect == 1 {
+                if let Some(l) = last {
+                    assert!(
+                        i - l > REFRACTORY_SAMPLES as usize,
+                        "detections at {l} and {i} violate refractory"
+                    );
+                }
+                last = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn output_word_packs_flags() {
+        let o = StepOut { pulse: 1, treat_start: 1, detect: 1, ..StepOut::default() };
+        assert_eq!(o.word(), OUT_PULSE + OUT_TREAT_START + OUT_DETECT);
+        assert_eq!(StepOut::default().word(), 0);
+    }
+
+    #[test]
+    fn state_equality_supports_refinement_checks() {
+        // Two specs fed the same stream stay bit-identical.
+        let (mut g, _) = vt_episode(EcgConfig::default());
+        let samples = g.take(2000);
+        let mut a = IcdSpec::new();
+        let mut b = IcdSpec::new();
+        for &x in &samples {
+            a.step(x);
+            b.step(x);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,354 @@
+//! A label-resolving program builder for the imperative core.
+//!
+//! Writing raw [`Instr`] vectors means hand-computing
+//! branch targets; [`Asm`] provides symbolic labels and resolves them in a
+//! final pass, in the style of any two-pass assembler.
+//!
+//! ```
+//! use zarf_imperative::builder::Asm;
+//! use zarf_imperative::cpu::{Cpu, Reg, R0};
+//! use zarf_core::io::NullPorts;
+//!
+//! let r1 = Reg(1);
+//! let r2 = Reg(2);
+//! let mut a = Asm::new();
+//! a.addi(r1, R0, 10);          // i = 10
+//! a.addi(r2, R0, 0);           // sum = 0
+//! a.label("loop");
+//! a.beq(r1, R0, "done");
+//! a.add(r2, r2, r1);
+//! a.addi(r1, r1, -1);
+//! a.jmp("loop");
+//! a.label("done");
+//! a.halt();
+//!
+//! let mut cpu = Cpu::new(a.assemble().unwrap(), 0);
+//! cpu.run(&mut NullPorts, 1_000).unwrap();
+//! assert_eq!(cpu.reg(r2), 55);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zarf_core::Int;
+
+use crate::cpu::{Instr, Reg};
+
+/// An instruction whose branch target may still be symbolic.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Instr),
+    Branch {
+        kind: BranchKind,
+        s: Reg,
+        t: Reg,
+        label: String,
+    },
+    Jump {
+        link: bool,
+        label: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+}
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump references an undefined label.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The label-resolving assembler.
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// An empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) {
+        if self
+            .labels
+            .insert(name.to_string(), self.instrs.len())
+            .is_some()
+        {
+            self.duplicate.get_or_insert_with(|| name.to_string());
+        }
+    }
+
+    /// Current instruction index (for size assertions).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.instrs.push(Pending::Ready(i));
+    }
+
+    /// `rd = rs + rt`
+    pub fn add(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Add(d, s, t));
+    }
+
+    /// `rd = rs - rt`
+    pub fn sub(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Sub(d, s, t));
+    }
+
+    /// `rd = rs * rt`
+    pub fn mul(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Mul(d, s, t));
+    }
+
+    /// `rd = rs / rt`
+    pub fn div(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Div(d, s, t));
+    }
+
+    /// `rd = rs % rt`
+    pub fn rem(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Rem(d, s, t));
+    }
+
+    /// `rd = rs & rt`
+    pub fn and(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::And(d, s, t));
+    }
+
+    /// `rd = rs | rt`
+    pub fn or(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Or(d, s, t));
+    }
+
+    /// `rd = (rs < rt) ? 1 : 0`
+    pub fn slt(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Slt(d, s, t));
+    }
+
+    /// `rd = rs << (rt & 31)`
+    pub fn sll(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Sll(d, s, t));
+    }
+
+    /// `rd = rs >> (rt & 31)` (arithmetic)
+    pub fn sra(&mut self, d: Reg, s: Reg, t: Reg) {
+        self.emit(Instr::Sra(d, s, t));
+    }
+
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, d: Reg, s: Reg, imm: Int) {
+        self.emit(Instr::Addi(d, s, imm));
+    }
+
+    /// `rd = rs * imm`
+    pub fn muli(&mut self, d: Reg, s: Reg, imm: Int) {
+        self.emit(Instr::Muli(d, s, imm));
+    }
+
+    /// `rd = (rs < imm) ? 1 : 0`
+    pub fn slti(&mut self, d: Reg, s: Reg, imm: Int) {
+        self.emit(Instr::Slti(d, s, imm));
+    }
+
+    /// `rd = mem[rs + off]`
+    pub fn lw(&mut self, d: Reg, s: Reg, off: Int) {
+        self.emit(Instr::Lw(d, s, off));
+    }
+
+    /// `mem[rs + off] = rt`
+    pub fn sw(&mut self, t: Reg, s: Reg, off: Int) {
+        self.emit(Instr::Sw(t, s, off));
+    }
+
+    /// Branch if equal, to a label.
+    pub fn beq(&mut self, s: Reg, t: Reg, label: &str) {
+        self.instrs.push(Pending::Branch {
+            kind: BranchKind::Beq,
+            s,
+            t,
+            label: label.to_string(),
+        });
+    }
+
+    /// Branch if not equal, to a label.
+    pub fn bne(&mut self, s: Reg, t: Reg, label: &str) {
+        self.instrs.push(Pending::Branch {
+            kind: BranchKind::Bne,
+            s,
+            t,
+            label: label.to_string(),
+        });
+    }
+
+    /// Branch if less than (signed), to a label.
+    pub fn blt(&mut self, s: Reg, t: Reg, label: &str) {
+        self.instrs.push(Pending::Branch {
+            kind: BranchKind::Blt,
+            s,
+            t,
+            label: label.to_string(),
+        });
+    }
+
+    /// Branch if greater or equal (signed), to a label.
+    pub fn bge(&mut self, s: Reg, t: Reg, label: &str) {
+        self.instrs.push(Pending::Branch {
+            kind: BranchKind::Bge,
+            s,
+            t,
+            label: label.to_string(),
+        });
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: &str) {
+        self.instrs.push(Pending::Jump { link: false, label: label.to_string() });
+    }
+
+    /// Call: link in `r15`, jump to a label.
+    pub fn jal(&mut self, label: &str) {
+        self.instrs.push(Pending::Jump { link: true, label: label.to_string() });
+    }
+
+    /// Indirect jump through a register.
+    pub fn jr(&mut self, s: Reg) {
+        self.emit(Instr::Jr(s));
+    }
+
+    /// Blocking port read.
+    pub fn inp(&mut self, d: Reg, port: Int) {
+        self.emit(Instr::In(d, port));
+    }
+
+    /// Port write.
+    pub fn out(&mut self, s: Reg, port: Int) {
+        self.emit(Instr::Out(s, port));
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Resolve labels and produce the executable program.
+    pub fn assemble(self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(d) = self.duplicate {
+            return Err(AsmError::DuplicateLabel(d));
+        }
+        let resolve = |label: &str| -> Result<usize, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        };
+        self.instrs
+            .iter()
+            .map(|p| match p {
+                Pending::Ready(i) => Ok(*i),
+                Pending::Branch { kind, s, t, label } => {
+                    let target = resolve(label)?;
+                    Ok(match kind {
+                        BranchKind::Beq => Instr::Beq(*s, *t, target),
+                        BranchKind::Bne => Instr::Bne(*s, *t, target),
+                        BranchKind::Blt => Instr::Blt(*s, *t, target),
+                        BranchKind::Bge => Instr::Bge(*s, *t, target),
+                    })
+                }
+                Pending::Jump { link, label } => {
+                    let target = resolve(label)?;
+                    Ok(if *link { Instr::Jal(target) } else { Instr::Jmp(target) })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, R0};
+    use zarf_core::io::NullPorts;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let r1 = Reg(1);
+        let mut a = Asm::new();
+        a.addi(r1, R0, 3);
+        a.label("top");
+        a.beq(r1, R0, "end"); // forward reference
+        a.addi(r1, r1, -1);
+        a.jmp("top"); // backward reference
+        a.label("end");
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap(), 0);
+        cpu.run(&mut NullPorts, 100).unwrap();
+        assert_eq!(cpu.reg(r1), 0);
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Asm::new();
+        a.jmp("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.halt();
+        a.label("x");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn call_and_return_via_jal() {
+        let r1 = Reg(1);
+        let mut a = Asm::new();
+        a.jal("double");
+        a.halt();
+        a.label("double");
+        a.addi(r1, R0, 21);
+        a.add(r1, r1, r1);
+        a.jr(Reg(15));
+        let mut cpu = Cpu::new(a.assemble().unwrap(), 0);
+        cpu.run(&mut NullPorts, 100).unwrap();
+        assert_eq!(cpu.reg(r1), 42);
+    }
+}

@@ -1,0 +1,194 @@
+//! The inter-layer communication channel.
+//!
+//! Zarf's two layers are "connected only via a communication channel
+//! through which the system components can pass values" (§1, property 2).
+//! This module is that channel: a pair of word-wide FIFOs with two
+//! endpoints, each of which implements [`IoPorts`] so that either a [`Hw`]
+//! λ-layer instance or a [`Cpu`] imperative core (or a test harness) can
+//! sit on either side.
+//!
+//! Port conventions at each endpoint:
+//!
+//! * [`CHANNEL_PORT`] — reads dequeue from the peer's transmit FIFO
+//!   (failing with `PortEmpty` when none is available, like a real
+//!   status-checked FIFO read); writes enqueue toward the peer.
+//! * [`CHANNEL_STATUS_PORT`] — reads return how many words are waiting, so
+//!   software can poll instead of blocking.
+//!
+//! Any other port number is forwarded to the endpoint's *external* device,
+//! so an endpoint can simultaneously own sensor/actuator ports and the
+//! channel (this is how the I/O coroutine reaches the heart interface while
+//! the monitor coroutine reaches the imperative layer).
+//!
+//! [`Hw`]: ../../zarf_hw/machine/struct.Hw.html
+//! [`Cpu`]: crate::cpu::Cpu
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use zarf_core::error::IoError;
+use zarf_core::io::{IoPorts, NullPorts};
+use zarf_core::Int;
+
+/// Port number carrying channel data at each endpoint.
+pub const CHANNEL_PORT: Int = 100;
+/// Port number reporting the number of waiting words.
+pub const CHANNEL_STATUS_PORT: Int = 101;
+
+#[derive(Debug, Default)]
+struct Fifos {
+    a_to_b: VecDeque<Int>,
+    b_to_a: VecDeque<Int>,
+}
+
+/// Which side of the channel an endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+/// One endpoint of the channel, wrapping an external device for all
+/// non-channel ports.
+#[derive(Debug)]
+pub struct Endpoint<E> {
+    fifos: Rc<RefCell<Fifos>>,
+    side: Side,
+    /// The device handling every non-channel port.
+    pub external: E,
+}
+
+/// Create a connected channel whose endpoints have no external devices.
+pub fn channel() -> (Endpoint<NullPorts>, Endpoint<NullPorts>) {
+    channel_with(NullPorts, NullPorts)
+}
+
+/// Create a connected channel with explicit external devices on each side.
+pub fn channel_with<A, B>(a_external: A, b_external: B) -> (Endpoint<A>, Endpoint<B>) {
+    let fifos = Rc::new(RefCell::new(Fifos::default()));
+    (
+        Endpoint { fifos: Rc::clone(&fifos), side: Side::A, external: a_external },
+        Endpoint { fifos, side: Side::B, external: b_external },
+    )
+}
+
+impl<E> Endpoint<E> {
+    /// Words waiting to be read at this endpoint.
+    pub fn pending(&self) -> usize {
+        let f = self.fifos.borrow();
+        match self.side {
+            Side::A => f.b_to_a.len(),
+            Side::B => f.a_to_b.len(),
+        }
+    }
+
+    /// Push a word toward this endpoint from outside (testing hook).
+    pub fn inject(&self, word: Int) {
+        let mut f = self.fifos.borrow_mut();
+        match self.side {
+            Side::A => f.b_to_a.push_back(word),
+            Side::B => f.a_to_b.push_back(word),
+        }
+    }
+}
+
+impl<E: IoPorts> IoPorts for Endpoint<E> {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        match port {
+            CHANNEL_PORT => {
+                let mut f = self.fifos.borrow_mut();
+                let q = match self.side {
+                    Side::A => &mut f.b_to_a,
+                    Side::B => &mut f.a_to_b,
+                };
+                q.pop_front().ok_or(IoError::PortEmpty(CHANNEL_PORT))
+            }
+            CHANNEL_STATUS_PORT => Ok(self.pending() as Int),
+            other => self.external.getint(other),
+        }
+    }
+
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        match port {
+            CHANNEL_PORT => {
+                let mut f = self.fifos.borrow_mut();
+                let q = match self.side {
+                    Side::A => &mut f.a_to_b,
+                    Side::B => &mut f.b_to_a,
+                };
+                q.push_back(value);
+                Ok(value)
+            }
+            CHANNEL_STATUS_PORT => Err(IoError::NoSuchPort(CHANNEL_STATUS_PORT)),
+            other => self.external.putint(other, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_core::io::VecPorts;
+
+    #[test]
+    fn words_cross_the_channel_in_order() {
+        let (mut a, mut b) = channel();
+        a.putint(CHANNEL_PORT, 1).unwrap();
+        a.putint(CHANNEL_PORT, 2).unwrap();
+        assert_eq!(b.pending(), 2);
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(1));
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(2));
+        assert_eq!(b.getint(CHANNEL_PORT), Err(IoError::PortEmpty(CHANNEL_PORT)));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (mut a, mut b) = channel();
+        a.putint(CHANNEL_PORT, 10).unwrap();
+        b.putint(CHANNEL_PORT, 20).unwrap();
+        assert_eq!(a.getint(CHANNEL_PORT), Ok(20));
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(10));
+    }
+
+    #[test]
+    fn status_port_reports_depth() {
+        let (mut a, mut b) = channel();
+        assert_eq!(b.getint(CHANNEL_STATUS_PORT), Ok(0));
+        a.putint(CHANNEL_PORT, 5).unwrap();
+        assert_eq!(b.getint(CHANNEL_STATUS_PORT), Ok(1));
+        b.getint(CHANNEL_PORT).unwrap();
+        assert_eq!(b.getint(CHANNEL_STATUS_PORT), Ok(0));
+    }
+
+    #[test]
+    fn external_ports_pass_through() {
+        let mut ext = VecPorts::new();
+        ext.push_input(0, [7]);
+        let (mut a, _b) = channel_with(ext, NullPorts);
+        assert_eq!(a.getint(0), Ok(7));
+        a.putint(1, 9).unwrap();
+        assert_eq!(a.external.output(1), &[9]);
+        // Channel traffic does not leak into the external device.
+        a.putint(CHANNEL_PORT, 1).unwrap();
+        assert_eq!(a.external.output(CHANNEL_PORT), &[] as &[i32]);
+    }
+
+    #[test]
+    fn cpu_and_harness_communicate() {
+        use crate::builder::Asm;
+        use crate::cpu::{Cpu, Reg};
+        // CPU: read a word from the channel, triple it, send it back.
+        let r1 = Reg(1);
+        let mut asm = Asm::new();
+        asm.inp(r1, CHANNEL_PORT);
+        asm.muli(r1, r1, 3);
+        asm.out(r1, CHANNEL_PORT);
+        asm.halt();
+        let (mut host, mut dev) = channel();
+        host.putint(CHANNEL_PORT, 14).unwrap();
+        let mut cpu = Cpu::new(asm.assemble().unwrap(), 0);
+        cpu.run(&mut dev, 100).unwrap();
+        assert_eq!(host.getint(CHANNEL_PORT), Ok(42));
+    }
+}

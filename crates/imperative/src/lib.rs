@@ -1,0 +1,28 @@
+//! # zarf-imperative — the imperative layer of the Zarf architecture
+//!
+//! The Zarf system pairs its verified functional core with "a traditional
+//! imperative ISA, which can execute arbitrary, untrusted code" — the paper
+//! uses a Xilinx MicroBlaze (3-stage, in-order, 100 MHz). This crate
+//! provides the equivalent substrate:
+//!
+//! * [`cpu`] — a 16-register, 32-bit in-order RISC with a 3-stage-pipeline
+//!   cycle model and port-mapped I/O through the same
+//!   [`zarf_core::io::IoPorts`] interface as the λ-execution layer;
+//! * [`builder`] — a label-resolving assembler for writing programs
+//!   (the "compiled C" of our baseline applications);
+//! * [`mod@channel`] — the word-FIFO pair that is the **only** connection
+//!   between the two layers (§1 property 2), with an endpoint on each side
+//!   and pass-through to external devices.
+//!
+//! Nothing here is trusted: programs on this core may do anything to their
+//! own registers and memory, and the architecture's isolation argument is
+//! precisely that none of it can reach λ-layer state except through channel
+//! words.
+
+pub mod builder;
+pub mod channel;
+pub mod cpu;
+
+pub use builder::{Asm, AsmError};
+pub use channel::{channel, channel_with, Endpoint, CHANNEL_PORT, CHANNEL_STATUS_PORT};
+pub use cpu::{Cpu, CpuCost, CpuError, Instr, Reg, R0};

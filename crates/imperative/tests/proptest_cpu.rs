@@ -1,0 +1,128 @@
+//! Property-based tests for the imperative core: random straight-line
+//! programs against a direct Rust semantic model, and structural checks.
+
+use proptest::prelude::*;
+use zarf_core::io::NullPorts;
+use zarf_imperative::{Cpu, Instr, Reg, R0};
+
+/// A straight-line op on registers r1..r4.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Slt(u8, u8, u8),
+    Sll(u8, u8, u8),
+    Sra(u8, u8, u8),
+    Addi(u8, u8, i32),
+    Muli(u8, u8, i32),
+    Slti(u8, u8, i32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let r = 1u8..5;
+    let imm = -100i32..100;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Add(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Sub(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Mul(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::And(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Or(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Slt(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Sll(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Sra(a, b, c)),
+        (r.clone(), r.clone(), imm.clone()).prop_map(|(a, b, i)| Op::Addi(a, b, i)),
+        (r.clone(), r.clone(), imm.clone()).prop_map(|(a, b, i)| Op::Muli(a, b, i)),
+        (r, 1u8..5, imm).prop_map(|(a, b, i)| Op::Slti(a, b, i)),
+    ]
+}
+
+fn to_instr(op: Op) -> Instr {
+    let r = Reg;
+    match op {
+        Op::Add(d, s, t) => Instr::Add(r(d), r(s), r(t)),
+        Op::Sub(d, s, t) => Instr::Sub(r(d), r(s), r(t)),
+        Op::Mul(d, s, t) => Instr::Mul(r(d), r(s), r(t)),
+        Op::And(d, s, t) => Instr::And(r(d), r(s), r(t)),
+        Op::Or(d, s, t) => Instr::Or(r(d), r(s), r(t)),
+        Op::Xor(d, s, t) => Instr::Xor(r(d), r(s), r(t)),
+        Op::Slt(d, s, t) => Instr::Slt(r(d), r(s), r(t)),
+        Op::Sll(d, s, t) => Instr::Sll(r(d), r(s), r(t)),
+        Op::Sra(d, s, t) => Instr::Sra(r(d), r(s), r(t)),
+        Op::Addi(d, s, i) => Instr::Addi(r(d), r(s), i),
+        Op::Muli(d, s, i) => Instr::Muli(r(d), r(s), i),
+        Op::Slti(d, s, i) => Instr::Slti(r(d), r(s), i),
+    }
+}
+
+/// Execute an op on a model register file.
+fn model(regs: &mut [i32; 5], op: Op) {
+    let g = |r: u8, regs: &[i32; 5]| if r == 0 { 0 } else { regs[r as usize] };
+    match op {
+        Op::Add(d, s, t) => regs[d as usize] = g(s, regs).wrapping_add(g(t, regs)),
+        Op::Sub(d, s, t) => regs[d as usize] = g(s, regs).wrapping_sub(g(t, regs)),
+        Op::Mul(d, s, t) => regs[d as usize] = g(s, regs).wrapping_mul(g(t, regs)),
+        Op::And(d, s, t) => regs[d as usize] = g(s, regs) & g(t, regs),
+        Op::Or(d, s, t) => regs[d as usize] = g(s, regs) | g(t, regs),
+        Op::Xor(d, s, t) => regs[d as usize] = g(s, regs) ^ g(t, regs),
+        Op::Slt(d, s, t) => regs[d as usize] = (g(s, regs) < g(t, regs)) as i32,
+        Op::Sll(d, s, t) => {
+            regs[d as usize] = g(s, regs).wrapping_shl(g(t, regs) as u32 & 31)
+        }
+        Op::Sra(d, s, t) => {
+            regs[d as usize] = g(s, regs).wrapping_shr(g(t, regs) as u32 & 31)
+        }
+        Op::Addi(d, s, i) => regs[d as usize] = g(s, regs).wrapping_add(i),
+        Op::Muli(d, s, i) => regs[d as usize] = g(s, regs).wrapping_mul(i),
+        Op::Slti(d, s, i) => regs[d as usize] = (g(s, regs) < i) as i32,
+    }
+}
+
+proptest! {
+    /// Random straight-line programs match the direct semantic model on
+    /// every register, and retire exactly one instruction per op plus the
+    /// halt.
+    #[test]
+    fn straightline_matches_model(
+        seeds in prop::collection::vec(-1000i32..1000, 4),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut prog: Vec<Instr> = (0..4)
+            .map(|i| Instr::Addi(Reg(i as u8 + 1), R0, seeds[i]))
+            .collect();
+        prog.extend(ops.iter().copied().map(to_instr));
+        prog.push(Instr::Halt);
+
+        let mut cpu = Cpu::new(prog, 0);
+        cpu.run(&mut NullPorts, 10_000).unwrap();
+
+        let mut regs = [0i32; 5];
+        for (i, &s) in seeds.iter().enumerate() {
+            regs[i + 1] = s;
+        }
+        for &op in &ops {
+            model(&mut regs, op);
+        }
+        for r in 1..5u8 {
+            prop_assert_eq!(cpu.reg(Reg(r)), regs[r as usize], "r{}", r);
+        }
+        prop_assert_eq!(cpu.instructions(), 4 + ops.len() as u64 + 1);
+    }
+
+    /// Cycle counts are additive: total equals the sum of per-class costs.
+    #[test]
+    fn cycles_are_additive(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let mut prog: Vec<Instr> = ops.iter().copied().map(to_instr).collect();
+        prog.push(Instr::Halt);
+        let mut cpu = Cpu::new(prog, 0);
+        cpu.run(&mut NullPorts, 10_000).unwrap();
+        let muls = ops.iter().filter(|o| matches!(o, Op::Mul(..) | Op::Muli(..))).count() as u64;
+        let alus = ops.len() as u64 - muls;
+        // default costs: alu 1, mul 3, halt 1
+        prop_assert_eq!(cpu.cycles(), alus + 3 * muls + 1);
+    }
+}

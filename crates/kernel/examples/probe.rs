@@ -1,0 +1,26 @@
+//! A quick CPI probe for development: run the full system on a short
+//! tachycardia trace and dump the λ-layer statistics. The publication-
+//! grade version of this measurement is `zarf-bench --bin table2_cpi`.
+//!
+//! ```sh
+//! cargo run --release -p zarf-kernel --example probe
+//! ```
+
+use zarf_icd::signal::{EcgConfig, EcgGen, Rhythm};
+use zarf_kernel::system::System;
+
+fn main() {
+    let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+    let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 190.0, seconds: 30.0 }]);
+    let samples = g.take(6000);
+    let n = samples.len() as u64;
+    let mut sys = System::new(samples).unwrap();
+    let r = sys.run().unwrap();
+    let s = &r.lambda_stats;
+    println!("{s}");
+    println!("cycles/iter total: {}", s.total_cycles() / n);
+    println!("mutator/iter: {}", s.mutator_cycles() / n);
+    println!("gc/iter: {}", s.gc_cycles / n);
+    println!("instrs/iter: {}", s.instructions() / n);
+    println!("peak live words: {}", s.peak_live_words);
+}

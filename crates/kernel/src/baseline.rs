@@ -1,0 +1,440 @@
+//! The unverified "C version" of the ICD on the imperative core.
+//!
+//! The paper's performance comparison (§6) runs "a completely unverified C
+//! version of the application on a Xilinx MicroBlaze on the same FPGA",
+//! finding it takes "fewer than one thousand cycles for each iteration".
+//! This module is that baseline: the same Pan–Tompkins + VT/ATP algorithm,
+//! hand-compiled for the [`Cpu`] the way an embedded
+//! C compiler would — delay lines as ring buffers in data memory, state in
+//! fixed memory slots, explicit branches.
+//!
+//! **Behavioural contract**: for every input stream, the baseline's output
+//! words are bit-identical to [`IcdSpec`](zarf_icd::spec::IcdSpec) (and
+//! therefore to the verified λ-layer implementation). The equivalence
+//! suite enforces this, which is what makes the cycle comparison of
+//! experiment E3 apples-to-apples. True divisions are used wherever the
+//! spec divides (arithmetic shifts round differently for negatives), at
+//! the documented 32-cycle cost each.
+//!
+//! It speaks the same port protocol as the microkernel: read the boot word
+//! (iteration count), then per 5 ms tick: timer read, previous output to
+//! the pacing port, next ECG sample in.
+
+use zarf_icd::consts::*;
+use zarf_imperative::{Asm, Cpu, Reg, R0};
+
+use crate::program::{PORT_BOOT, PORT_ECG, PORT_PACE, PORT_TIMER};
+
+// --- data-memory layout (word addresses) -----------------------------------
+
+const LP_RING: i32 = 0; // 16-slot ring (power of two ≥ 12)
+const LP_MASK: i32 = 15;
+const LP_IDX: i32 = 16;
+const LP_Y1: i32 = 17;
+const LP_Y2: i32 = 18;
+
+const HP_RING: i32 = 19; // 32-slot ring
+const HP_MASK: i32 = 31;
+const HP_IDX: i32 = 51;
+const HP_SUM: i32 = 52;
+
+const DV_RING: i32 = 53; // 4-slot ring
+const DV_MASK: i32 = 3;
+const DV_IDX: i32 = 57;
+
+const MW_RING: i32 = 58; // 32-slot ring (window is the last 30)
+const MW_MASK: i32 = 31;
+const MW_IDX: i32 = 90;
+const MW_SUM: i32 = 91;
+
+const PREV2: i32 = 92;
+const PREV1: i32 = 93;
+const SINCE: i32 = 94;
+const SPK: i32 = 95;
+const NPK: i32 = 96;
+
+const RR_RING: i32 = 97; // exactly 24 slots, explicit wrap
+const RR_IDX: i32 = 121;
+
+const MODE: i32 = 122;
+const SEQ: i32 = 123;
+const PULSES: i32 = 124;
+const CD: i32 = 125;
+const IV: i32 = 126;
+
+/// Data-memory words the baseline needs.
+pub const BASELINE_MEM_WORDS: usize = 128;
+
+// Register conventions.
+const X: Reg = Reg(1); // current stage input/output value
+const T1: Reg = Reg(2);
+const T2: Reg = Reg(3);
+const T3: Reg = Reg(4);
+const OUT: Reg = Reg(5); // output word (prev at loop head)
+const N: Reg = Reg(7); // remaining iterations
+const ADDR: Reg = Reg(8);
+const T4: Reg = Reg(9);
+const T5: Reg = Reg(10);
+const DETECT: Reg = Reg(11);
+const RRMS: Reg = Reg(12);
+
+/// Emit: `dst = ring[(mem[idx] − back) & mask]` (a delay-line read of the
+/// value `back` samples old).
+fn ring_read(a: &mut Asm, dst: Reg, base: i32, idx: i32, mask: i32, back: i32) {
+    a.lw(ADDR, R0, idx);
+    a.addi(ADDR, ADDR, -back);
+    a.addi(T5, R0, mask);
+    a.and(ADDR, ADDR, T5);
+    a.addi(ADDR, ADDR, base);
+    a.lw(dst, ADDR, 0);
+}
+
+/// Emit: `ring[mem[idx] & mask] = src; mem[idx] += 1`.
+fn ring_push(a: &mut Asm, src: Reg, base: i32, idx: i32, mask: i32) {
+    a.lw(ADDR, R0, idx);
+    a.addi(T5, R0, mask);
+    a.and(T5, ADDR, T5);
+    a.addi(T5, T5, base);
+    a.sw(src, T5, 0);
+    a.addi(ADDR, ADDR, 1);
+    a.sw(ADDR, R0, idx);
+}
+
+/// Emit: `dst = src / divisor` using the true-division unit.
+fn divi(a: &mut Asm, dst: Reg, src: Reg, divisor: i32) {
+    a.addi(T5, R0, divisor);
+    a.div(dst, src, T5);
+}
+
+/// Build the baseline program.
+pub fn baseline_program() -> Vec<zarf_imperative::Instr> {
+    let mut a = Asm::new();
+
+    // ---- initialization ----------------------------------------------------
+    // Memory is zeroed by the Cpu; set the non-zero slots.
+    a.addi(T1, R0, SPK_INIT);
+    a.sw(T1, R0, SPK);
+    // rr[0..24] = RR_INIT_MS
+    a.addi(T1, R0, RR_INIT_MS);
+    a.addi(T2, R0, RR_RING);
+    a.addi(T3, R0, RR_HISTORY as i32);
+    a.label("init_rr");
+    a.beq(T3, R0, "init_done");
+    a.sw(T1, T2, 0);
+    a.addi(T2, T2, 1);
+    a.addi(T3, T3, -1);
+    a.jmp("init_rr");
+    a.label("init_done");
+
+    a.inp(N, PORT_BOOT);
+    a.addi(OUT, R0, 0);
+
+    // ---- real-time loop -----------------------------------------------------
+    a.label("loop");
+    a.beq(N, R0, "done");
+    a.inp(T1, PORT_TIMER);
+    a.out(OUT, PORT_PACE);
+    a.inp(X, PORT_ECG);
+
+    // ---- low-pass: y = 2y₁ − y₂ + x − 2x₆ + x₁₂ -----------------------------
+    a.lw(T1, R0, LP_Y1);
+    a.muli(T2, T1, 2); // 2y₁
+    a.lw(T3, R0, LP_Y2);
+    a.sub(T2, T2, T3); // − y₂
+    a.add(T2, T2, X); // + x
+    ring_read(&mut a, T3, LP_RING, LP_IDX, LP_MASK, 6);
+    a.muli(T3, T3, 2);
+    a.sub(T2, T2, T3); // − 2x₆
+    ring_read(&mut a, T3, LP_RING, LP_IDX, LP_MASK, 12);
+    a.add(T2, T2, T3); // + x₁₂  → T2 = y
+    ring_push(&mut a, X, LP_RING, LP_IDX, LP_MASK);
+    a.sw(T1, R0, LP_Y2); // y₂ = y₁
+    a.sw(T2, R0, LP_Y1); // y₁ = y
+    a.add(X, T2, R0); // X = lp output
+
+    // ---- high-pass: s' = s + v − v₃₂; y = v₁₆ − s'/32 ------------------------
+    a.lw(T1, R0, HP_SUM);
+    a.add(T1, T1, X);
+    ring_read(&mut a, T2, HP_RING, HP_IDX, HP_MASK, 32);
+    a.sub(T1, T1, T2); // T1 = s'
+    a.sw(T1, R0, HP_SUM);
+    ring_read(&mut a, T2, HP_RING, HP_IDX, HP_MASK, 16);
+    divi(&mut a, T3, T1, 32);
+    ring_push(&mut a, X, HP_RING, HP_IDX, HP_MASK);
+    a.sub(X, T2, T3); // X = hp output
+
+    // ---- derivative: d = (2v + v₁ − v₃ − 2v₄)/8 ------------------------------
+    a.muli(T1, X, 2);
+    ring_read(&mut a, T2, DV_RING, DV_IDX, DV_MASK, 1);
+    a.add(T1, T1, T2);
+    ring_read(&mut a, T2, DV_RING, DV_IDX, DV_MASK, 3);
+    a.sub(T1, T1, T2);
+    ring_read(&mut a, T2, DV_RING, DV_IDX, DV_MASK, 4);
+    a.muli(T2, T2, 2);
+    a.sub(T1, T1, T2);
+    ring_push(&mut a, X, DV_RING, DV_IDX, DV_MASK);
+    divi(&mut a, X, T1, 8); // X = derivative
+
+    // ---- square with prescale ------------------------------------------------
+    divi(&mut a, X, X, SQUARE_PRESCALE);
+    a.mul(X, X, X); // X = squared
+
+    // ---- moving-window integration -------------------------------------------
+    a.lw(T1, R0, MW_SUM);
+    a.add(T1, T1, X);
+    ring_read(&mut a, T2, MW_RING, MW_IDX, MW_MASK, MWI_WINDOW as i32);
+    a.sub(T1, T1, T2);
+    a.sw(T1, R0, MW_SUM);
+    ring_push(&mut a, X, MW_RING, MW_IDX, MW_MASK);
+    divi(&mut a, X, T1, MWI_WINDOW as i32); // X = mwi
+
+    // ---- adaptive-threshold detection ----------------------------------------
+    // since' = since + 1
+    a.lw(T1, R0, SINCE);
+    a.addi(T1, T1, 1); // T1 = since'
+    // thr = npk + (spk − npk)/4
+    a.lw(T2, R0, SPK);
+    a.lw(T3, R0, NPK);
+    a.sub(T4, T2, T3);
+    divi(&mut a, T4, T4, 4);
+    a.add(T4, T4, T3); // T4 = thr
+    a.addi(DETECT, R0, 0);
+    a.addi(RRMS, R0, 0);
+    // is_peak = prev1 > mwi && prev1 >= prev2
+    a.lw(T2, R0, PREV1);
+    a.bge(X, T2, "no_peak"); // !(prev1 > mwi)
+    a.lw(T3, R0, PREV2);
+    a.blt(T2, T3, "no_peak"); // !(prev1 >= prev2)
+    // fire = prev1 > thr && since' > 40
+    a.bge(T4, T2, "noise_peak"); // !(prev1 > thr)
+    a.addi(T3, R0, REFRACTORY_SAMPLES);
+    a.bge(T3, T1, "noise_peak"); // !(since' > 40)
+    // detection
+    a.addi(DETECT, R0, 1);
+    a.muli(RRMS, T1, MS_PER_SAMPLE);
+    a.lw(T3, R0, SPK);
+    a.muli(T3, T3, PEAK_ALPHA_NUM);
+    a.add(T3, T3, T2);
+    divi(&mut a, T3, T3, PEAK_ALPHA_DEN);
+    a.sw(T3, R0, SPK);
+    a.addi(T1, R0, 0); // since' = 0
+    a.jmp("no_peak");
+
+    a.label("noise_peak");
+    a.lw(T3, R0, NPK);
+    a.muli(T3, T3, PEAK_ALPHA_NUM);
+    a.add(T3, T3, T2);
+    divi(&mut a, T3, T3, PEAK_ALPHA_DEN);
+    a.sw(T3, R0, NPK);
+
+    a.label("no_peak");
+    // prev2 = prev1; prev1 = mwi; since = since'
+    a.lw(T2, R0, PREV1);
+    a.sw(T2, R0, PREV2);
+    a.sw(X, R0, PREV1);
+    a.sw(T1, R0, SINCE);
+
+    // ---- VT detection and ATP --------------------------------------------------
+    a.addi(OUT, R0, 0); // pulse/treat bits accumulate here
+    a.lw(T1, R0, MODE);
+    a.bne(T1, R0, "treating");
+
+    // monitoring: on detection, push RR and evaluate the VT rule
+    a.beq(DETECT, R0, "emit");
+    // rr[rr_idx] = rr_ms; rr_idx = (rr_idx + 1) wrap 24
+    a.lw(T1, R0, RR_IDX);
+    a.addi(T2, T1, RR_RING);
+    a.sw(RRMS, T2, 0);
+    a.addi(T1, T1, 1);
+    a.addi(T2, R0, RR_HISTORY as i32);
+    a.bne(T1, T2, "rr_nowrap");
+    a.addi(T1, R0, 0);
+    a.label("rr_nowrap");
+    a.sw(T1, R0, RR_IDX);
+    // count fast beats: T3 = Σ (rr[i] < 360)
+    a.addi(T3, R0, 0);
+    a.addi(T1, R0, RR_HISTORY as i32);
+    a.addi(T2, R0, RR_RING);
+    a.label("vt_count");
+    a.beq(T1, R0, "vt_check");
+    a.lw(T4, T2, 0);
+    a.slti(T4, T4, VT_PERIOD_MS);
+    a.add(T3, T3, T4);
+    a.addi(T2, T2, 1);
+    a.addi(T1, T1, -1);
+    a.jmp("vt_count");
+    a.label("vt_check");
+    a.addi(T4, R0, VT_COUNT);
+    a.blt(T3, T4, "emit"); // fast < 18 → no therapy
+    // start therapy: interval = max(rr_ms·88/100/5, 10)
+    a.muli(T1, RRMS, ATP_RATE_PERCENT);
+    divi(&mut a, T1, T1, 100);
+    divi(&mut a, T1, T1, MS_PER_SAMPLE);
+    a.addi(T2, R0, 10);
+    a.bge(T1, T2, "iv_ok");
+    a.add(T1, T2, R0);
+    a.label("iv_ok");
+    a.addi(T2, R0, 1);
+    a.sw(T2, R0, MODE);
+    a.addi(T2, R0, ATP_SEQUENCES);
+    a.sw(T2, R0, SEQ);
+    a.addi(T2, R0, ATP_PULSES);
+    a.sw(T2, R0, PULSES);
+    a.sw(T1, R0, IV);
+    a.sw(T1, R0, CD);
+    // reset RR history
+    a.addi(T1, R0, RR_INIT_MS);
+    a.addi(T2, R0, RR_RING);
+    a.addi(T3, R0, RR_HISTORY as i32);
+    a.label("rr_reset");
+    a.beq(T3, R0, "rr_reset_done");
+    a.sw(T1, T2, 0);
+    a.addi(T2, T2, 1);
+    a.addi(T3, T3, -1);
+    a.jmp("rr_reset");
+    a.label("rr_reset_done");
+    a.addi(OUT, R0, OUT_TREAT_START);
+    a.jmp("emit");
+
+    // treating: countdown to the next pulse
+    a.label("treating");
+    a.lw(T1, R0, CD);
+    a.addi(T1, T1, -1);
+    a.bne(T1, R0, "cd_store");
+    // pulse fires
+    a.addi(OUT, R0, OUT_PULSE);
+    a.lw(T2, R0, PULSES);
+    a.addi(T2, T2, -1);
+    a.bne(T2, R0, "next_pulse");
+    // sequence finished
+    a.lw(T3, R0, SEQ);
+    a.addi(T3, T3, -1);
+    a.bne(T3, R0, "next_seq");
+    // therapy finished
+    a.sw(R0, R0, MODE);
+    a.sw(R0, R0, SEQ);
+    a.sw(R0, R0, PULSES);
+    a.sw(R0, R0, CD);
+    a.jmp("emit");
+    a.label("next_seq");
+    a.sw(T3, R0, SEQ);
+    a.addi(T2, R0, ATP_PULSES);
+    a.sw(T2, R0, PULSES);
+    a.lw(T1, R0, IV);
+    a.addi(T1, T1, -(ATP_DECREMENT_MS / MS_PER_SAMPLE));
+    a.addi(T2, R0, 10);
+    a.bge(T1, T2, "iv2_ok");
+    a.add(T1, T2, R0);
+    a.label("iv2_ok");
+    a.sw(T1, R0, IV);
+    a.sw(T1, R0, CD);
+    a.jmp("emit");
+    a.label("next_pulse");
+    a.sw(T2, R0, PULSES);
+    a.lw(T1, R0, IV);
+    a.sw(T1, R0, CD);
+    a.jmp("emit");
+    a.label("cd_store");
+    a.sw(T1, R0, CD);
+
+    // ---- output word: pulse | 2·treat | 4·detect --------------------------------
+    a.label("emit");
+    a.muli(T1, DETECT, OUT_DETECT);
+    a.add(OUT, OUT, T1);
+
+    a.addi(N, N, -1);
+    a.jmp("loop");
+
+    a.label("done");
+    a.halt();
+
+    a.assemble().expect("baseline program assembles")
+}
+
+/// A CPU loaded with the baseline and its data memory.
+pub fn baseline_cpu() -> Cpu {
+    Cpu::new(baseline_program(), BASELINE_MEM_WORDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::HeartPorts;
+    use zarf_icd::signal::{vt_episode, EcgConfig, EcgGen, Rhythm};
+    use zarf_icd::spec::IcdSpec;
+
+    /// Run the baseline over a sample stream; returns (pace log, cycles).
+    fn run_baseline(samples: &[i32]) -> (Vec<i32>, u64) {
+        let mut ports = HeartPorts::new(samples.to_vec());
+        let mut cpu = baseline_cpu();
+        cpu.run(&mut ports, 50_000_000).unwrap();
+        (ports.pace_log().to_vec(), cpu.cycles())
+    }
+
+    fn spec_words(samples: &[i32]) -> Vec<i32> {
+        let mut s = IcdSpec::new();
+        samples.iter().map(|&x| s.step(x).word()).collect()
+    }
+
+    #[test]
+    fn matches_spec_on_silence() {
+        let samples = vec![0; 500];
+        let (pace, _) = run_baseline(&samples);
+        let spec = spec_words(&samples);
+        assert_eq!(pace.len(), samples.len());
+        assert_eq!(pace[0], 0);
+        assert_eq!(&pace[1..], &spec[..spec.len() - 1]);
+    }
+
+    #[test]
+    fn matches_spec_on_normal_rhythm() {
+        let cfg = EcgConfig::default();
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 15.0 }]);
+        let samples = g.take(3000);
+        let (pace, _) = run_baseline(&samples);
+        let spec = spec_words(&samples);
+        assert_eq!(&pace[1..], &spec[..spec.len() - 1]);
+        assert!(spec.iter().any(|&w| w & OUT_DETECT != 0));
+    }
+
+    #[test]
+    fn matches_spec_through_therapy() {
+        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let samples = g.take(10_000); // covers onset + first therapy
+        let (pace, _) = run_baseline(&samples);
+        let spec = spec_words(&samples);
+        assert_eq!(&pace[1..], &spec[..spec.len() - 1]);
+        assert!(
+            spec.iter().any(|&w| w & OUT_TREAT_START != 0),
+            "episode must reach therapy"
+        );
+        assert!(spec.iter().any(|&w| w & OUT_PULSE != 0));
+    }
+
+    #[test]
+    fn under_one_thousand_cycles_per_iteration() {
+        // The paper's headline baseline number.
+        let cfg = EcgConfig::default();
+        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 10.0 }]);
+        let samples = g.take(2000);
+        let n = samples.len() as u64;
+        let (_, cycles) = run_baseline(&samples);
+        let per_iter = cycles / n;
+        assert!(
+            per_iter < 1000,
+            "baseline takes {per_iter} cycles per iteration"
+        );
+        assert!(per_iter > 50, "suspiciously fast: {per_iter}");
+    }
+
+    #[test]
+    fn matches_spec_on_random_noise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<i32> = (0..1500).map(|_| rng.gen_range(-4095..=4095)).collect();
+        let (pace, _) = run_baseline(&samples);
+        let spec = spec_words(&samples);
+        assert_eq!(&pace[1..], &spec[..spec.len() - 1]);
+    }
+}

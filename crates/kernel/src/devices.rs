@@ -1,0 +1,191 @@
+//! System devices: the heart interface and the monitor's command console.
+//!
+//! [`HeartPorts`] is the λ-layer's external world — the 200 Hz sampled ECG
+//! front-end, the pacing output, the hardware timer the I/O coroutine waits
+//! on, and the boot word. [`MonitorPorts`] is the imperative layer's
+//! diagnostic console: "a command can be given on the diagnostic input
+//! channel for the software to output the number of times treatment has
+//! occurred" (§4.2).
+
+use std::collections::VecDeque;
+
+use zarf_core::error::IoError;
+use zarf_core::io::IoPorts;
+use zarf_core::Int;
+
+use crate::program::{PORT_BOOT, PORT_DEBUG, PORT_ECG, PORT_PACE, PORT_TIMER};
+
+/// The heart-side device of the λ-execution layer.
+#[derive(Debug, Default)]
+pub struct HeartPorts {
+    ecg: VecDeque<Int>,
+    pace: Vec<Int>,
+    debug: Vec<Int>,
+    tick: Int,
+    boot: Option<Int>,
+}
+
+impl HeartPorts {
+    /// A device that will serve `ecg` one sample per tick and report
+    /// `ecg.len()` as the boot word.
+    pub fn new(ecg: Vec<Int>) -> Self {
+        let boot = Some(ecg.len() as Int);
+        HeartPorts { ecg: ecg.into(), pace: Vec::new(), debug: Vec::new(), tick: 0, boot }
+    }
+
+    /// Override the boot word (iteration count handed to `main`).
+    pub fn with_boot(mut self, n: Int) -> Self {
+        self.boot = Some(n);
+        self
+    }
+
+    /// Everything written to the pacing port, in order.
+    pub fn pace_log(&self) -> &[Int] {
+        &self.pace
+    }
+
+    /// Everything the (untrusted) diagnostic coroutine wrote to the debug
+    /// port, in order.
+    pub fn debug_log(&self) -> &[Int] {
+        &self.debug
+    }
+
+    /// Timer ticks consumed so far.
+    pub fn ticks(&self) -> Int {
+        self.tick
+    }
+
+    /// Samples not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.ecg.len()
+    }
+}
+
+impl IoPorts for HeartPorts {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        match port {
+            PORT_ECG => self.ecg.pop_front().ok_or(IoError::PortEmpty(PORT_ECG)),
+            PORT_TIMER => {
+                // A read blocks until the next 5 ms boundary; in simulation
+                // it simply returns the next tick number.
+                self.tick += 1;
+                Ok(self.tick)
+            }
+            PORT_BOOT => self.boot.take().ok_or(IoError::PortEmpty(PORT_BOOT)),
+            other => Err(IoError::NoSuchPort(other)),
+        }
+    }
+
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        match port {
+            PORT_PACE => {
+                self.pace.push(value);
+                Ok(value)
+            }
+            PORT_DEBUG => {
+                self.debug.push(value);
+                Ok(value)
+            }
+            other => Err(IoError::NoSuchPort(other)),
+        }
+    }
+}
+
+/// Diagnostic command: report the treatment count on the response port.
+pub const CMD_REPORT: Int = 1;
+/// Diagnostic command: halt the monitor program.
+pub const CMD_HALT: Int = 2;
+/// Command data port (monitor side).
+pub const PORT_CMD: Int = 50;
+/// Command status port: reads return the number of queued commands.
+pub const PORT_CMD_STATUS: Int = 51;
+/// Response output port.
+pub const PORT_RESP: Int = 52;
+
+/// The diagnostic console of the imperative layer.
+#[derive(Debug, Default)]
+pub struct MonitorPorts {
+    commands: VecDeque<Int>,
+    responses: Vec<Int>,
+}
+
+impl MonitorPorts {
+    /// An empty console.
+    pub fn new() -> Self {
+        MonitorPorts::default()
+    }
+
+    /// Queue a diagnostic command.
+    pub fn send_command(&mut self, cmd: Int) {
+        self.commands.push_back(cmd);
+    }
+
+    /// Responses produced so far.
+    pub fn responses(&self) -> &[Int] {
+        &self.responses
+    }
+}
+
+impl IoPorts for MonitorPorts {
+    fn getint(&mut self, port: Int) -> Result<Int, IoError> {
+        match port {
+            PORT_CMD => self.commands.pop_front().ok_or(IoError::PortEmpty(PORT_CMD)),
+            PORT_CMD_STATUS => Ok(self.commands.len() as Int),
+            other => Err(IoError::NoSuchPort(other)),
+        }
+    }
+
+    fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
+        match port {
+            PORT_RESP => {
+                self.responses.push(value);
+                Ok(value)
+            }
+            other => Err(IoError::NoSuchPort(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heart_ports_serve_ecg_and_log_pacing() {
+        let mut h = HeartPorts::new(vec![10, 20]);
+        assert_eq!(h.getint(PORT_BOOT), Ok(2));
+        assert_eq!(h.getint(PORT_TIMER), Ok(1));
+        assert_eq!(h.getint(PORT_ECG), Ok(10));
+        h.putint(PORT_PACE, 0).unwrap();
+        assert_eq!(h.getint(PORT_TIMER), Ok(2));
+        assert_eq!(h.getint(PORT_ECG), Ok(20));
+        assert_eq!(h.getint(PORT_ECG), Err(IoError::PortEmpty(PORT_ECG)));
+        assert_eq!(h.pace_log(), &[0]);
+        assert_eq!(h.ticks(), 2);
+    }
+
+    #[test]
+    fn boot_word_reads_once() {
+        let mut h = HeartPorts::new(vec![]).with_boot(7);
+        assert_eq!(h.getint(PORT_BOOT), Ok(7));
+        assert_eq!(h.getint(PORT_BOOT), Err(IoError::PortEmpty(PORT_BOOT)));
+    }
+
+    #[test]
+    fn monitor_ports_queue_commands_and_log_responses() {
+        let mut m = MonitorPorts::new();
+        assert_eq!(m.getint(PORT_CMD_STATUS), Ok(0));
+        m.send_command(CMD_REPORT);
+        assert_eq!(m.getint(PORT_CMD_STATUS), Ok(1));
+        assert_eq!(m.getint(PORT_CMD), Ok(CMD_REPORT));
+        m.putint(PORT_RESP, 3).unwrap();
+        assert_eq!(m.responses(), &[3]);
+    }
+
+    #[test]
+    fn unknown_ports_are_rejected() {
+        let mut h = HeartPorts::new(vec![]);
+        assert!(h.getint(99).is_err());
+        assert!(h.putint(99, 0).is_err());
+    }
+}

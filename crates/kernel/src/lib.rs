@@ -1,0 +1,27 @@
+//! # zarf-kernel — system software and full-system integration
+//!
+//! Everything above the bare ISAs (paper §4):
+//!
+//! * [`program`] — the cooperative-coroutine **microkernel** in Zarf
+//!   assembly: I/O coroutine (200 Hz timer, pacing output, ECG input), the
+//!   verified ICD coroutine, the channel coroutine feeding the imperative
+//!   layer, an *untrusted* diagnostic coroutine, and the once-per-iteration
+//!   `gc` call, looping by constant-space tail recursion;
+//! * [`devices`] — the heart interface and the monitor's diagnostic
+//!   console;
+//! * [`monitor`] — the unverified monitoring program for the imperative
+//!   core (counts therapies, answers diagnostic commands);
+//! * [`baseline`] — the "completely unverified C version" of the whole ICD
+//!   for the imperative core, bit-identical to the spec and under 1,000
+//!   cycles per iteration (the §6 comparison baseline);
+//! * [`system`] — [`System`]: λ-layer hardware + channel +
+//!   imperative core wired together, the paper's Figure 1 as an object.
+
+pub mod baseline;
+pub mod devices;
+pub mod monitor;
+pub mod program;
+pub mod system;
+
+pub use program::{kernel_machine, kernel_program, kernel_source};
+pub use system::{System, SystemReport};

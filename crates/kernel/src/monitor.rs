@@ -1,0 +1,131 @@
+//! The monitoring software on the imperative layer.
+//!
+//! "In our application, the monitoring software tracks the number of times
+//! treatment occurs, and, when prompted from its communication channel,
+//! will output that number" (§4.2). This is exactly that program, written
+//! for the [`Cpu`] with the label assembler — our
+//! stand-in for arbitrary untrusted C compiled with an off-the-shelf
+//! compiler. It is **unverified by design**: the non-interference result
+//! (§5.3) is precisely that nothing this program does can corrupt the
+//! λ-layer's trusted values.
+//!
+//! Protocol:
+//! * drain the channel, counting words with the treatment-start bit set;
+//! * when a diagnostic command arrives: [`CMD_REPORT`] writes the current
+//!   count to the response port; [`CMD_HALT`] stops the core.
+//!
+//! [`CMD_REPORT`]: crate::devices::CMD_REPORT
+//! [`CMD_HALT`]: crate::devices::CMD_HALT
+
+use zarf_icd::consts::OUT_TREAT_START;
+use zarf_imperative::{Asm, Cpu, Instr, Reg, CHANNEL_PORT, CHANNEL_STATUS_PORT, R0};
+
+use crate::devices::{CMD_HALT, CMD_REPORT, PORT_CMD, PORT_CMD_STATUS, PORT_RESP};
+
+/// Build the monitor program.
+pub fn monitor_program() -> Vec<Instr> {
+    let word = Reg(1); // last channel word
+    let status = Reg(2); // FIFO/command status
+    let mask = Reg(3); // treatment-start bit mask
+    let tmp = Reg(4);
+    let count = Reg(5); // treatments seen
+    let cmd = Reg(6);
+
+    let mut a = Asm::new();
+    a.addi(mask, R0, OUT_TREAT_START);
+    a.addi(count, R0, 0);
+
+    a.label("loop");
+    // Drain one channel word if available.
+    a.inp(status, CHANNEL_STATUS_PORT);
+    a.beq(status, R0, "check_cmd");
+    a.inp(word, CHANNEL_PORT);
+    a.and(tmp, word, mask);
+    a.beq(tmp, R0, "loop");
+    a.addi(count, count, 1);
+    a.jmp("loop");
+
+    // No data: service the diagnostic console.
+    a.label("check_cmd");
+    a.inp(status, PORT_CMD_STATUS);
+    a.beq(status, R0, "loop");
+    a.inp(cmd, PORT_CMD);
+    a.addi(tmp, R0, CMD_REPORT);
+    a.bne(cmd, tmp, "maybe_halt");
+    a.out(count, PORT_RESP);
+    a.jmp("loop");
+
+    a.label("maybe_halt");
+    a.addi(tmp, R0, CMD_HALT);
+    a.bne(cmd, tmp, "loop");
+    a.halt();
+
+    a.assemble().expect("monitor program assembles")
+}
+
+/// A CPU loaded with the monitor program (64 words of scratch memory).
+pub fn monitor_cpu() -> Cpu {
+    Cpu::new(monitor_program(), 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::MonitorPorts;
+    use zarf_core::io::IoPorts;
+    use zarf_imperative::channel_with;
+    use zarf_core::io::NullPorts;
+
+    /// Run the monitor against a scripted channel feed and command stream.
+    fn drive(words: &[i32], cmds: &[i32]) -> Vec<i32> {
+        let (mut lambda_side, mut cpu_side) = channel_with(NullPorts, MonitorPorts::new());
+        for &w in words {
+            lambda_side.putint(CHANNEL_PORT, w).unwrap();
+        }
+        for &c in cmds {
+            cpu_side.external.send_command(c);
+        }
+        let mut cpu = monitor_cpu();
+        cpu.run(&mut cpu_side, 1_000_000).unwrap();
+        cpu_side.external.responses().to_vec()
+    }
+
+    #[test]
+    fn counts_treatment_starts_only() {
+        use zarf_icd::consts::{OUT_DETECT, OUT_PULSE, OUT_TREAT_START};
+        let words = [
+            0,
+            OUT_DETECT,
+            OUT_TREAT_START,
+            OUT_PULSE,
+            OUT_TREAT_START | OUT_DETECT,
+            OUT_PULSE | OUT_DETECT,
+        ];
+        let resp = drive(&words, &[CMD_REPORT, CMD_HALT]);
+        assert_eq!(resp, vec![2]);
+    }
+
+    #[test]
+    fn reports_zero_before_any_treatment() {
+        let resp = drive(&[0, 4, 1], &[CMD_REPORT, CMD_HALT]);
+        assert_eq!(resp, vec![0]);
+    }
+
+    #[test]
+    fn multiple_reports_observe_running_count() {
+        // All channel words are drained before commands are serviced (the
+        // monitor prioritizes the data path), so both reports see the final
+        // count.
+        let resp = drive(&[2, 2, 2], &[CMD_REPORT, CMD_REPORT, CMD_HALT]);
+        assert_eq!(resp, vec![3, 3]);
+    }
+
+    #[test]
+    fn halt_command_stops_the_core() {
+        let (_, mut cpu_side) = channel_with(NullPorts, MonitorPorts::new());
+        cpu_side.external.send_command(CMD_HALT);
+        let mut cpu = monitor_cpu();
+        cpu.run(&mut cpu_side, 10_000).unwrap();
+        assert!(cpu.halted());
+    }
+}

@@ -1,0 +1,223 @@
+//! Full two-layer system integration.
+//!
+//! [`System`] wires together everything the paper's Figure 1 shows: the
+//! λ-execution layer (cycle-accurate `zarf-hw` simulator) running the
+//! microkernel + ICD binary, the imperative core (`zarf-imperative`)
+//! running the unverified monitoring program, and the word-FIFO channel as
+//! the only connection between them. The λ-layer's external device is the
+//! heart interface ([`HeartPorts`]); the imperative core's is the
+//! diagnostic console ([`MonitorPorts`]).
+//!
+//! Execution model: the λ-layer runs its real-time loop for the scripted
+//! ECG trace (200 Hz), pushing one output word per iteration across the
+//! channel; the monitor core then drains the channel. Because the channel
+//! is a FIFO and data flows one way, running the consumer after the
+//! producer is observationally identical to cycle-interleaving them, while
+//! keeping the simulators independent.
+
+use zarf_core::Int;
+use zarf_hw::{Hw, HwConfig, HwError, Stats};
+use zarf_imperative::{channel_with, Cpu, Endpoint};
+
+use crate::devices::{HeartPorts, MonitorPorts, CMD_REPORT};
+use crate::monitor::monitor_cpu;
+use crate::program::kernel_machine;
+
+/// Outcome of a system run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Real-time iterations executed (one per 5 ms sample).
+    pub iterations: usize,
+    /// Everything the λ-layer wrote to the pacing port. Entry `i` is the
+    /// output word computed at iteration `i − 1` (the I/O coroutine emits
+    /// the *previous* iteration's value; entry 0 is the boot value 0).
+    pub pace_log: Vec<Int>,
+    /// λ-layer dynamic statistics for the run.
+    pub lambda_stats: Stats,
+    /// Monitor-core cycles consumed draining the channel.
+    pub cpu_cycles: u64,
+    /// `main`'s final value (the last iteration's output word).
+    pub final_word: Int,
+}
+
+/// The complete two-layer Zarf system.
+#[derive(Debug)]
+pub struct System {
+    hw: Hw,
+    cpu: Cpu,
+    hw_ports: Endpoint<HeartPorts>,
+    cpu_ports: Endpoint<MonitorPorts>,
+    iterations: usize,
+}
+
+impl System {
+    /// Build a system that will process `ecg` (one sample per 5 ms tick)
+    /// with the default hardware configuration: 64 Ki-word semispaces and
+    /// **no** automatic collection — exactly like the deployment in the
+    /// paper, the microkernel's once-per-iteration `gc` call is the only
+    /// collector invocation.
+    pub fn new(ecg: Vec<Int>) -> Result<Self, HwError> {
+        Self::with_config(
+            ecg,
+            HwConfig { gc_auto: false, ..HwConfig::default() },
+        )
+    }
+
+    /// Build a system with an explicit λ-layer configuration.
+    pub fn with_config(ecg: Vec<Int>, config: HwConfig) -> Result<Self, HwError> {
+        let iterations = ecg.len();
+        let hw = Hw::from_machine_with(&kernel_machine(), config)?;
+        let (hw_ports, cpu_ports) =
+            channel_with(HeartPorts::new(ecg), MonitorPorts::new());
+        Ok(System {
+            hw,
+            cpu: monitor_cpu(),
+            hw_ports,
+            cpu_ports,
+            iterations,
+        })
+    }
+
+    /// Run the real-time loop over the whole ECG trace, then let the
+    /// monitor drain the channel.
+    pub fn run(&mut self) -> Result<SystemReport, HwError> {
+        let v = self.hw.run(&mut self.hw_ports)?;
+        let final_word = self.hw.as_int(v).unwrap_or(-1);
+        self.pump_monitor();
+        Ok(SystemReport {
+            iterations: self.iterations,
+            pace_log: self.hw_ports.external.pace_log().to_vec(),
+            lambda_stats: self.hw.stats().clone(),
+            cpu_cycles: self.cpu.cycles(),
+            final_word,
+        })
+    }
+
+    /// Step the monitor core until the channel is empty and it has gone
+    /// quiescent (or it halts). The monitor is untrusted code; a runaway
+    /// program is cut off by a step budget rather than trusted to yield.
+    fn pump_monitor(&mut self) {
+        let budget = 64 * self.iterations as u64 + 10_000;
+        for _ in 0..budget {
+            if self.cpu.halted() {
+                return;
+            }
+            if self.cpu.step(&mut self.cpu_ports).is_err() {
+                return;
+            }
+            // Quiesce: nothing waiting, no commands pending.
+            if self.cpu_ports.pending() == 0
+                && self.cpu_ports.external.responses().is_empty()
+                && self.cpu.instructions() > budget / 2
+            {
+                return;
+            }
+        }
+    }
+
+    /// Ask the (untrusted) monitoring software how many treatments it has
+    /// observed, via the diagnostic console.
+    pub fn treat_count(&mut self) -> Option<Int> {
+        let before = self.cpu_ports.external.responses().len();
+        self.cpu_ports.external.send_command(CMD_REPORT);
+        // Give the monitor time to drain remaining data and answer.
+        for _ in 0..1_000_000u32 {
+            if self.cpu.halted() || self.cpu.step(&mut self.cpu_ports).is_err() {
+                break;
+            }
+            if self.cpu_ports.external.responses().len() > before {
+                break;
+            }
+        }
+        self.cpu_ports.external.responses().get(before).copied()
+    }
+
+    /// Inject a word into the imperative→λ channel direction, as if the
+    /// monitoring software had sent it. This is untrusted input: the
+    /// non-interference experiments perturb it and require the trusted
+    /// outputs to be unaffected.
+    pub fn inject_to_lambda(&mut self, word: Int) {
+        use zarf_core::io::IoPorts;
+        let _ = self.cpu_ports.putint(zarf_imperative::CHANNEL_PORT, word);
+    }
+
+    /// What the untrusted diagnostic coroutine wrote to the debug port.
+    pub fn debug_log(&self) -> &[Int] {
+        self.hw_ports.external.debug_log()
+    }
+
+    /// Direct access to the λ-layer (statistics, heap inspection).
+    pub fn lambda(&self) -> &Hw {
+        &self.hw
+    }
+
+    /// Direct access to the monitor core.
+    pub fn monitor(&self) -> &Cpu {
+        &self.cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_icd::consts::{OUT_TREAT_START, SAMPLE_HZ};
+    use zarf_icd::signal::{EcgConfig, EcgGen, Rhythm};
+    use zarf_icd::spec::IcdSpec;
+
+    fn fast_rhythm_samples(seconds: f64) -> Vec<Int> {
+        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady { bpm: 190.0, seconds }],
+        );
+        g.take((seconds * SAMPLE_HZ as f64) as usize)
+    }
+
+    #[test]
+    fn system_matches_spec_and_monitor_counts_treatments() {
+        // 14 s of sustained VT: enough for the detector to lock on, fill
+        // the RR history with fast beats, and start at least one therapy.
+        let samples = fast_rhythm_samples(14.0);
+        let mut spec = IcdSpec::new();
+        let spec_words: Vec<Int> =
+            samples.iter().map(|&x| spec.step(x).word()).collect();
+        assert!(
+            spec_words.iter().any(|&w| w & OUT_TREAT_START != 0),
+            "workload must trigger therapy for this test to be meaningful"
+        );
+
+        let mut sys = System::new(samples).unwrap();
+        let report = sys.run().unwrap();
+
+        // The pacing log is the spec's output stream delayed by one tick.
+        assert_eq!(report.pace_log.len(), report.iterations);
+        assert_eq!(report.pace_log[0], 0);
+        assert_eq!(&report.pace_log[1..], &spec_words[..spec_words.len() - 1]);
+        assert_eq!(report.final_word, *spec_words.last().unwrap());
+
+        // The untrusted monitor counted exactly the spec's treatments.
+        let expected = spec.treat_count() as Int;
+        assert_eq!(sys.treat_count(), Some(expected));
+        assert!(expected >= 1);
+
+        // The kernel called the collector once per iteration.
+        assert_eq!(report.lambda_stats.gc_runs, report.iterations as u64);
+        assert!(report.lambda_stats.mutator_cycles() > 0);
+    }
+
+    #[test]
+    fn per_iteration_cycles_are_plausible() {
+        // The paper's worst case is 9,065 cycles per iteration; the
+        // average should be the same order of magnitude (thousands), not
+        // tens or millions.
+        let samples = fast_rhythm_samples(2.0);
+        let n = samples.len() as u64;
+        let mut sys = System::new(samples).unwrap();
+        let report = sys.run().unwrap();
+        let per_iter = report.lambda_stats.total_cycles() / n;
+        assert!(
+            (1_000..50_000).contains(&per_iter),
+            "cycles per iteration {per_iter} outside plausible range"
+        );
+    }
+}

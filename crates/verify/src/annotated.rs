@@ -1,0 +1,425 @@
+//! Annotated assembly: the paper's §5.3 syntax extension, concretely.
+//!
+//! "We extend the original λ-execution layer syntax to allow for these type
+//! annotations, as follows: `fun fn x1:τ1, …, xn:τn : τ = e` and
+//! `con cn x1:τ1, …, xn:τn`." This module implements that extended surface
+//! syntax (`.zfa` files) and compiles it to a plain program plus a
+//! [`Signatures`] environment for the checker:
+//!
+//! ```text
+//! port in 0 T                 ; trust labels for I/O ports
+//! port out 1 T
+//! port out 8 U
+//!
+//! data List = Nil | Cons num^T List^T     ; data groups with field types
+//!
+//! fun sum l:List^T : num^T =               ; annotated function header
+//!   case l of
+//!   | Nil => result 0
+//!   | Cons h t =>
+//!     let s = sum t in
+//!     let r = add h s in
+//!     result r
+//!   else result 0
+//!
+//! fun main : num^T =
+//!   …
+//! ```
+//!
+//! Types are `num^T`, `num^U`, `Group^T`, `Group^U` (a bare `num` or group
+//! name defaults to `T`), and first-class function types
+//! `(τ … -> τ)^ℓ`. Constructor declarations (`con …`) for every data group
+//! are generated automatically, so an annotated file is self-contained.
+//! [`check_annotated`] runs the full pipeline: parse annotations →
+//! assemble the plain program → typecheck.
+
+use std::fmt;
+
+use zarf_core::ast::Program;
+
+use crate::integrity::{check_program, Label, Signatures, Ty, TypeError};
+
+/// Failures while processing annotated assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotError {
+    /// An annotation line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        why: String,
+    },
+    /// The underlying plain assembly failed to parse.
+    Assembly(String),
+    /// Typechecking rejected the program.
+    Type(TypeError),
+}
+
+impl fmt::Display for AnnotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotError::Syntax { line, why } => write!(f, "line {line}: {why}"),
+            AnnotError::Assembly(e) => write!(f, "assembly: {e}"),
+            AnnotError::Type(e) => write!(f, "type: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnotError {}
+
+impl From<TypeError> for AnnotError {
+    fn from(e: TypeError) -> Self {
+        AnnotError::Type(e)
+    }
+}
+
+fn parse_label(s: &str, line: usize) -> Result<Label, AnnotError> {
+    match s {
+        "T" => Ok(Label::T),
+        "U" => Ok(Label::U),
+        other => Err(AnnotError::Syntax {
+            line,
+            why: format!("unknown label `{other}` (expected T or U)"),
+        }),
+    }
+}
+
+/// Parse one type token: `num`, `num^U`, `Group`, `Group^U`, or a
+/// parenthesized function type already split out by the caller.
+fn parse_ty(tok: &str, line: usize) -> Result<Ty, AnnotError> {
+    // Split a trailing `^L` only if it sits outside any parentheses (a
+    // function type contains `^` inside its parameter list).
+    let split_at = if tok.starts_with('(') {
+        tok.rfind(')').and_then(|close| {
+            tok[close..].find('^').map(|off| close + off)
+        })
+    } else {
+        tok.find('^')
+    };
+    let (base, label) = match split_at {
+        Some(i) => (&tok[..i], parse_label(&tok[i + 1..], line)?),
+        None => (tok, Label::T),
+    };
+    if base == "num" {
+        Ok(Ty::Num(label))
+    } else if base == "lit" {
+        Ok(Ty::Lit(label))
+    } else if base.starts_with('(') {
+        // (t1 t2 -> t)  — split on "->".
+        let inner = base
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| AnnotError::Syntax {
+                line,
+                why: format!("malformed function type `{tok}`"),
+            })?;
+        let (params, ret) = inner.split_once("->").ok_or_else(|| AnnotError::Syntax {
+            line,
+            why: format!("function type `{tok}` needs `->`"),
+        })?;
+        let ptys = params
+            .split_whitespace()
+            .map(|p| parse_ty(p, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        let rty = parse_ty(ret.trim(), line)?;
+        Ok(Ty::Fn(ptys, Box::new(rty), label))
+    } else if base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !base.is_empty()
+    {
+        Ok(Ty::Data(base.to_string(), label))
+    } else {
+        Err(AnnotError::Syntax { line, why: format!("unparseable type `{tok}`") })
+    }
+}
+
+/// Split a header segment into whitespace-separated tokens, keeping
+/// parenthesized function types together.
+fn type_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// The result of processing an annotated source file.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    /// The plain assembly the annotations were stripped from (constructor
+    /// declarations for every data group prepended).
+    pub plain_source: String,
+    /// The extracted annotation environment.
+    pub signatures: Signatures,
+}
+
+/// Strip annotations from `.zfa` source, producing plain assembly and the
+/// signature environment.
+pub fn parse_annotations(src: &str) -> Result<Annotated, AnnotError> {
+    let mut sigs = Signatures::new();
+    let mut plain = String::new();
+    let mut con_decls = String::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim_end();
+        let trimmed = line.trim_start();
+
+        if let Some(rest) = trimmed.strip_prefix("port ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            match toks.as_slice() {
+                [dir, port, label] => {
+                    let port: i32 = port.parse().map_err(|_| AnnotError::Syntax {
+                        line: line_no,
+                        why: format!("bad port number `{port}`"),
+                    })?;
+                    let l = parse_label(label, line_no)?;
+                    sigs = match *dir {
+                        "in" => sigs.port_in(port, l),
+                        "out" => sigs.port_out(port, l),
+                        other => {
+                            return Err(AnnotError::Syntax {
+                                line: line_no,
+                                why: format!("port direction `{other}` (expected in/out)"),
+                            })
+                        }
+                    };
+                }
+                _ => {
+                    return Err(AnnotError::Syntax {
+                        line: line_no,
+                        why: "expected `port <in|out> <n> <T|U>`".into(),
+                    })
+                }
+            }
+            continue;
+        }
+
+        if let Some(rest) = trimmed.strip_prefix("data ") {
+            let (name, cons) = rest.split_once('=').ok_or_else(|| AnnotError::Syntax {
+                line: line_no,
+                why: "expected `data Name = Con … | Con …`".into(),
+            })?;
+            let name = name.trim();
+            let mut group: Vec<(String, Vec<Ty>)> = Vec::new();
+            for alt in cons.split('|') {
+                let toks = type_tokens(alt);
+                let (cn, field_toks) = toks.split_first().ok_or_else(|| {
+                    AnnotError::Syntax { line: line_no, why: "empty constructor".into() }
+                })?;
+                let fields = field_toks
+                    .iter()
+                    .map(|t| parse_ty(t, line_no))
+                    .collect::<Result<Vec<_>, _>>()?;
+                // Emit the plain constructor declaration.
+                con_decls.push_str(&format!("con {cn}"));
+                for k in 0..fields.len() {
+                    con_decls.push_str(&format!(" f{k}"));
+                }
+                con_decls.push('\n');
+                group.push((cn.to_string(), fields));
+            }
+            sigs = sigs.data(name, group);
+            continue;
+        }
+
+        if let Some(rest) = trimmed.strip_prefix("fun ") {
+            if let Some((header, body_after_eq)) = rest.split_once('=') {
+                // `name p1:t1 … : ret` — the return annotation is the last
+                // top-level `:` segment.
+                let toks = type_tokens(header);
+                if toks.iter().any(|t| t.contains(':')) || toks.contains(&":".to_string())
+                {
+                    let mut name = None;
+                    let mut params: Vec<String> = Vec::new();
+                    let mut ptys: Vec<Ty> = Vec::new();
+                    let mut ret: Option<Ty> = None;
+                    let mut expect_ret = false;
+                    for t in &toks {
+                        if t == ":" {
+                            expect_ret = true;
+                            continue;
+                        }
+                        if expect_ret {
+                            ret = Some(parse_ty(t, line_no)?);
+                            expect_ret = false;
+                            continue;
+                        }
+                        if name.is_none() {
+                            name = Some(t.clone());
+                            continue;
+                        }
+                        match t.split_once(':') {
+                            Some((p, ty)) => {
+                                params.push(p.to_string());
+                                ptys.push(parse_ty(ty, line_no)?);
+                            }
+                            None => {
+                                return Err(AnnotError::Syntax {
+                                    line: line_no,
+                                    why: format!("parameter `{t}` needs a `:type`"),
+                                })
+                            }
+                        }
+                    }
+                    let name = name.ok_or_else(|| AnnotError::Syntax {
+                        line: line_no,
+                        why: "missing function name".into(),
+                    })?;
+                    let ret = ret.ok_or_else(|| AnnotError::Syntax {
+                        line: line_no,
+                        why: format!("function `{name}` needs a `: returntype`"),
+                    })?;
+                    sigs = sigs.fun(&name, ptys, ret);
+                    plain.push_str(&format!(
+                        "fun {name} {} ={body_after_eq}\n",
+                        params.join(" ")
+                    ));
+                    continue;
+                }
+            }
+        }
+
+        plain.push_str(raw);
+        plain.push('\n');
+    }
+
+    let mut source = con_decls;
+    source.push_str(&plain);
+    Ok(Annotated { plain_source: source, signatures: sigs })
+}
+
+/// Full pipeline: parse annotations, assemble the plain program, typecheck.
+/// Returns the validated program and its signatures on success.
+pub fn check_annotated(src: &str) -> Result<(Program, Signatures), AnnotError> {
+    let a = parse_annotations(src)?;
+    let program =
+        zarf_asm::parse(&a.plain_source).map_err(|e| AnnotError::Assembly(e.to_string()))?;
+    check_program(&program, &a.signatures)?;
+    Ok((program, a.signatures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+port in 0 T
+port in 9 U
+port out 1 T
+port out 8 U
+
+data List = Nil | Cons num^T List^T
+
+fun sum l:List^T : num^T =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let s = sum t in
+    let r = add h s in
+    result r
+  else result 0
+
+fun main : num^T =
+  let nil = Nil in
+  let l = Cons 4 nil in
+  let s = sum l in
+  let w = putint 1 s in
+  result w
+"#;
+
+    #[test]
+    fn annotated_program_checks_and_runs() {
+        let (program, _) = check_annotated(GOOD).unwrap();
+        use zarf_core::{Evaluator, NullPorts};
+        // It is a real program too — main sums [4] and writes it out.
+        let mut ports = zarf_core::io::VecPorts::new();
+        let v = Evaluator::new(&program).run(&mut ports).unwrap();
+        assert_eq!(v.as_int(), Some(4));
+        assert_eq!(ports.output(1), &[4]);
+        let _ = NullPorts;
+    }
+
+    #[test]
+    fn untrusted_flow_rejected_in_annotated_source() {
+        let bad = GOOD.replace("let s = sum l in", "let u = getint 9 in\n  let s = add u 0 in");
+        let err = check_annotated(&bad).unwrap_err();
+        assert!(matches!(err, AnnotError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn function_types_parse() {
+        let src = r#"
+port out 1 T
+
+fun apply f:(num^T -> num^T) x:num^T : num^T =
+  let r = f x in
+  result r
+
+fun double n:num^T : num^T =
+  let m = mul n 2 in
+  result m
+
+fun main : num^T =
+  let d = double in
+  let r = apply d 21 in
+  let w = putint 1 r in
+  result w
+"#;
+        let (program, _) = check_annotated(src).unwrap();
+        use zarf_core::{Evaluator, NullPorts};
+        let v = Evaluator::new(&program).run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(42));
+    }
+
+    #[test]
+    fn missing_return_annotation_reported() {
+        let src = "fun f x:num^T =\n  result x\nfun main : num^T = result 0";
+        let err = check_annotated(src).unwrap_err();
+        assert!(matches!(err, AnnotError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_label_reported_with_line() {
+        let err = parse_annotations("port in 0 Q").unwrap_err();
+        assert_eq!(
+            err,
+            AnnotError::Syntax { line: 1, why: "unknown label `Q` (expected T or U)".into() }
+        );
+    }
+
+    #[test]
+    fn unannotated_functions_pass_through_and_fail_typecheck() {
+        // A plain function in a .zfa file has no signature: the checker
+        // reports it rather than guessing.
+        let src = "fun helper x =\n  result x\nfun main : num^T = result 0";
+        let err = check_annotated(src).unwrap_err();
+        assert!(matches!(err, AnnotError::Type(TypeError::MissingFnSig(_))), "{err}");
+    }
+
+    #[test]
+    fn data_groups_generate_constructors() {
+        let a = parse_annotations("data Opt = None | Some num^U\nfun main : num^T = result 0")
+            .unwrap();
+        assert!(a.plain_source.contains("con None"));
+        assert!(a.plain_source.contains("con Some f0"));
+    }
+}

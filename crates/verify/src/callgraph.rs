@@ -1,0 +1,261 @@
+//! Call-graph extraction over machine programs.
+//!
+//! Compositional reasoning (paper §1, property 4) starts from knowing who
+//! can call whom — trivially decidable on this ISA because control flow is
+//! total: every call site names a global identifier or applies a
+//! first-class value that itself originated from a `let` naming a global.
+//! [`CallGraph`] records the direct global-to-global edges, plus whether a
+//! function ever applies a *closure-valued* operand (the only indirect
+//! call the ISA permits); analyses that require a closed graph (like WCET)
+//! can check [`CallGraph::has_indirect_calls`] first.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use zarf_core::machine::{MExpr, MProgram, Operand, Source};
+use zarf_core::prim::FIRST_USER_INDEX;
+
+/// The static call graph of a machine program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct edges: caller id → callee ids (user items only).
+    edges: BTreeMap<u32, BTreeSet<u32>>,
+    /// Functions that apply a local/arg-valued callee somewhere.
+    indirect: BTreeSet<u32>,
+    /// Primitive identifiers invoked per function.
+    prims: BTreeMap<u32, BTreeSet<u32>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of a program.
+    pub fn build(program: &MProgram) -> Self {
+        let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut indirect = BTreeSet::new();
+        let mut prims: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for (i, item) in program.items().iter().enumerate() {
+            let id = FIRST_USER_INDEX + i as u32;
+            edges.entry(id).or_default();
+            let body = match item.body() {
+                Some(b) => b,
+                None => continue,
+            };
+            body.walk(&mut |e| {
+                if let MExpr::Let { callee, .. } = e {
+                    match callee {
+                        Operand { source: Source::Global, index } => {
+                            let target = *index as u32;
+                            if target >= FIRST_USER_INDEX {
+                                edges.entry(id).or_default().insert(target);
+                            } else {
+                                prims.entry(id).or_default().insert(target);
+                            }
+                        }
+                        _ => {
+                            indirect.insert(id);
+                        }
+                    }
+                }
+            });
+        }
+        CallGraph { edges, indirect, prims }
+    }
+
+    /// Direct callees of `id`.
+    pub fn callees(&self, id: u32) -> impl Iterator<Item = u32> + '_ {
+        self.edges.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Whether `id` applies closure-valued operands (indirect calls).
+    pub fn has_indirect_calls(&self, id: u32) -> bool {
+        self.indirect.contains(&id)
+    }
+
+    /// Primitive identifiers `id` invokes directly.
+    pub fn prims_used(&self, id: u32) -> impl Iterator<Item = u32> + '_ {
+        self.prims.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Every item reachable from `root` through direct edges (including
+    /// `root` itself).
+    pub fn reachable(&self, root: u32) -> BTreeSet<u32> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id) {
+                stack.extend(self.callees(id));
+            }
+        }
+        seen
+    }
+
+    /// A cycle through direct edges reachable from `root`, if any —
+    /// `None` means the subgraph is a DAG (statically boundable).
+    pub fn find_cycle(&self, root: u32) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            InProgress,
+            Done,
+        }
+        fn visit(
+            g: &CallGraph,
+            id: u32,
+            marks: &mut BTreeMap<u32, Mark>,
+            path: &mut Vec<u32>,
+        ) -> Option<Vec<u32>> {
+            match marks.get(&id) {
+                Some(Mark::Done) => return None,
+                Some(Mark::InProgress) => {
+                    let start = path.iter().position(|&x| x == id).unwrap_or(0);
+                    let mut cycle = path[start..].to_vec();
+                    cycle.push(id);
+                    return Some(cycle);
+                }
+                None => {}
+            }
+            marks.insert(id, Mark::InProgress);
+            path.push(id);
+            for callee in g.callees(id).collect::<Vec<_>>() {
+                if let Some(c) = visit(g, callee, marks, path) {
+                    return Some(c);
+                }
+            }
+            path.pop();
+            marks.insert(id, Mark::Done);
+            None
+        }
+        visit(self, root, &mut BTreeMap::new(), &mut Vec::new())
+    }
+
+    /// Items with no callers (other than themselves): the entry surface of
+    /// a binary.
+    pub fn roots(&self) -> Vec<u32> {
+        let mut called: BTreeSet<u32> = BTreeSet::new();
+        for (caller, callees) in &self.edges {
+            for &c in callees {
+                if c != *caller {
+                    called.insert(c);
+                }
+            }
+        }
+        self.edges
+            .keys()
+            .filter(|id| !called.contains(id))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_asm::{lower, parse};
+
+    fn graph(src: &str) -> (MProgram, CallGraph) {
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let g = CallGraph::build(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn direct_edges_and_prims() {
+        let (_, g) = graph(
+            r#"
+fun helper x =
+  let a = mul x x in
+  result a
+fun main =
+  let h = helper 3 in
+  let s = add h 1 in
+  result s
+"#,
+        );
+        // main = 0x100, helper = 0x101
+        assert_eq!(g.callees(0x100).collect::<Vec<_>>(), vec![0x101]);
+        assert!(g.callees(0x101).next().is_none());
+        assert!(g.prims_used(0x100).count() == 1); // add
+        assert!(g.prims_used(0x101).count() == 1); // mul
+        assert!(!g.has_indirect_calls(0x100));
+    }
+
+    #[test]
+    fn indirect_calls_flagged() {
+        let (_, g) = graph(
+            r#"
+fun apply f x =
+  let r = f x in
+  result r
+fun main =
+  let a = apply in
+  result a
+"#,
+        );
+        assert!(g.has_indirect_calls(0x101)); // apply
+        assert!(!g.has_indirect_calls(0x100));
+    }
+
+    #[test]
+    fn cycles_found_and_dags_cleared() {
+        let (_, g) = graph(
+            r#"
+fun even n =
+  case n of
+  | 0 => result 1
+  else
+    let m = sub n 1 in
+    let r = odd m in
+    result r
+fun odd n =
+  case n of
+  | 0 => result 0
+  else
+    let m = sub n 1 in
+    let r = even m in
+    result r
+fun main =
+  let r = even 4 in
+  result r
+"#,
+        );
+        let cycle = g.find_cycle(0x100).expect("mutual recursion is a cycle");
+        assert!(cycle.len() >= 3);
+        // A DAG has no cycle.
+        let (_, g2) = graph("fun f x = result x\nfun main =\n  let r = f 1 in\n  result r");
+        assert_eq!(g2.find_cycle(0x100), None);
+    }
+
+    #[test]
+    fn reachability_and_roots() {
+        let (_, g) = graph(
+            r#"
+fun a = result 1
+fun b =
+  let x = a in
+  result x
+fun main =
+  let x = b in
+  result x
+"#,
+        );
+        // main=0x100, a=0x101, b=0x102
+        let r = g.reachable(0x100);
+        assert_eq!(r, [0x100u32, 0x101, 0x102].into_iter().collect());
+        assert_eq!(g.roots(), vec![0x100]);
+    }
+
+    #[test]
+    fn kernel_iteration_subgraph_is_acyclic_outside_the_loop() {
+        use zarf_kernel::program::kernel_machine;
+        let m = kernel_machine();
+        let g = CallGraph::build(&m);
+        let loop_id = crate::wcet::find_id(&m, "kernel_loop").unwrap();
+        // The loop's only cycle is its self-edge.
+        let cycle = g.find_cycle(loop_id).expect("tail recursion is a self-cycle");
+        assert!(cycle.iter().all(|&id| id == loop_id));
+        // icd_step's subgraph is a DAG — the WCET precondition.
+        let icd = crate::wcet::find_id(&m, "icd_step").unwrap();
+        assert_eq!(g.find_cycle(icd), None);
+        // And nothing in the ICD chain performs indirect calls.
+        for id in g.reachable(icd) {
+            assert!(!g.has_indirect_calls(id), "{id:#x} applies a closure");
+        }
+    }
+}

@@ -1,0 +1,993 @@
+//! The integrity type system and non-interference checker (paper §5.3).
+//!
+//! The paper proves that untrusted data can never corrupt trusted data by
+//! building "a simple integrity type system … after providing trust-level
+//! annotations in a few places", with the lattice `T ⊑ U` (trusted below
+//! untrusted): a value's label may only move *up* the lattice, so untrusted
+//! values cannot flow into trusted positions, explicitly or implicitly.
+//!
+//! Types follow the paper's grammar, concretized for checkability:
+//!
+//! ```text
+//! ℓ ::= T | U
+//! τ ::= num^ℓ                 -- a labelled machine integer
+//!     | D^ℓ                   -- a value of declared data group D
+//!     | (τ⃗ → τ)^ℓ             -- a (partial) application value
+//!     | lit^ℓ                 -- an integer literal (subtype of everything
+//!                                at its label; constants carry no flow)
+//! ```
+//!
+//! Constructors are grouped into **data declarations** (`data List = Nil |
+//! Cons num List`), giving the sum types a `case` needs; matching on a
+//! `D^ℓ` value raises the program-counter label by `ℓ` in every branch
+//! (implicit flows) and binds fields at their declared types raised by `ℓ`.
+//! I/O is governed by a **port policy**: `getint p` produces the port's
+//! input label, and `putint p v` requires both `v`'s label and the current
+//! pc to flow into the port's output label — a `U` value (or a `U`-tainted
+//! branch) can never reach the trusted pacing port.
+//!
+//! The checker is *typechecking*, not inference: every function carries a
+//! signature. Soundness is exercised dynamically by the non-interference
+//! test suites (vary `U` inputs of a well-typed program; `T` outputs must
+//! be bit-identical), mirroring the paper's Volpano-style soundness proof
+//! with a mechanized check.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zarf_core::ast::{Arg, Callee, Expr, Pattern, Program};
+use zarf_core::prim::PrimOp;
+use zarf_core::Int;
+
+/// An integrity label. `T ⊑ U`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// Trusted.
+    T,
+    /// Untrusted.
+    U,
+}
+
+impl Label {
+    /// Lattice order: `T ⊑ U`.
+    pub fn flows_to(self, other: Label) -> bool {
+        self == Label::T || other == Label::U
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Label) -> Label {
+        if self == Label::U || other == Label::U {
+            Label::U
+        } else {
+            Label::T
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::T => write!(f, "T"),
+            Label::U => write!(f, "U"),
+        }
+    }
+}
+
+/// An integrity type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// An integer literal: shape-polymorphic, carries only its label.
+    Lit(Label),
+    /// A labelled machine integer.
+    Num(Label),
+    /// A value of a declared data group.
+    Data(String, Label),
+    /// A (partial) application expecting the parameter types and producing
+    /// the return type; the label taints results of applying it.
+    Fn(Vec<Ty>, Box<Ty>, Label),
+}
+
+impl Ty {
+    /// Shorthand: trusted number.
+    pub fn num_t() -> Ty {
+        Ty::Num(Label::T)
+    }
+
+    /// Shorthand: untrusted number.
+    pub fn num_u() -> Ty {
+        Ty::Num(Label::U)
+    }
+
+    /// Shorthand: trusted data-group value.
+    pub fn data_t(name: &str) -> Ty {
+        Ty::Data(name.to_string(), Label::T)
+    }
+
+    /// The type's outer label.
+    pub fn label(&self) -> Label {
+        match self {
+            Ty::Lit(l) | Ty::Num(l) | Ty::Data(_, l) | Ty::Fn(_, _, l) => *l,
+        }
+    }
+
+    /// Raise the outer label by `l` (shallow; deconstruction raises again).
+    pub fn raised(&self, l: Label) -> Ty {
+        if l == Label::T {
+            return self.clone();
+        }
+        match self {
+            Ty::Lit(l0) => Ty::Lit(l0.join(l)),
+            Ty::Num(l0) => Ty::Num(l0.join(l)),
+            Ty::Data(n, l0) => Ty::Data(n.clone(), l0.join(l)),
+            Ty::Fn(p, r, l0) => Ty::Fn(p.clone(), r.clone(), l0.join(l)),
+        }
+    }
+
+    /// Subtyping: labels move up, function parameters are contravariant.
+    pub fn subtype_of(&self, other: &Ty) -> bool {
+        match (self, other) {
+            (Ty::Lit(l1), _) => l1.flows_to(other.label()),
+            (Ty::Num(l1), Ty::Num(l2)) => l1.flows_to(*l2),
+            (Ty::Data(n1, l1), Ty::Data(n2, l2)) => n1 == n2 && l1.flows_to(*l2),
+            (Ty::Fn(p1, r1, l1), Ty::Fn(p2, r2, l2)) => {
+                p1.len() == p2.len()
+                    && l1.flows_to(*l2)
+                    && r1.subtype_of(r2)
+                    && p1.iter().zip(p2).all(|(a, b)| b.subtype_of(a))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Lit(l) => write!(f, "lit^{l}"),
+            Ty::Num(l) => write!(f, "num^{l}"),
+            Ty::Data(n, l) => write!(f, "{n}^{l}"),
+            Ty::Fn(p, r, l) => {
+                write!(f, "(")?;
+                for (i, t) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, " -> {r})^{l}")
+            }
+        }
+    }
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+/// The annotation environment: function signatures, data groups, and the
+/// port trust policy.
+#[derive(Debug, Clone, Default)]
+pub struct Signatures {
+    fns: HashMap<String, FnSig>,
+    /// data name → (constructor name → field types)
+    datas: HashMap<String, HashMap<String, Vec<Ty>>>,
+    /// constructor name → owning data group
+    con_owner: HashMap<String, String>,
+    ports_in: HashMap<Int, Label>,
+    ports_out: HashMap<Int, Label>,
+}
+
+impl Signatures {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Signatures::default()
+    }
+
+    /// Declare a data group with its constructors and field types.
+    pub fn data<S: Into<String>>(
+        mut self,
+        name: &str,
+        constructors: impl IntoIterator<Item = (S, Vec<Ty>)>,
+    ) -> Self {
+        let mut map = HashMap::new();
+        for (cn, fields) in constructors {
+            let cn = cn.into();
+            self.con_owner.insert(cn.clone(), name.to_string());
+            map.insert(cn, fields);
+        }
+        self.datas.insert(name.to_string(), map);
+        self
+    }
+
+    /// Declare a function signature.
+    pub fn fun(mut self, name: &str, params: Vec<Ty>, ret: Ty) -> Self {
+        self.fns.insert(name.to_string(), FnSig { params, ret });
+        self
+    }
+
+    /// Set the trust label of an input port.
+    pub fn port_in(mut self, port: Int, label: Label) -> Self {
+        self.ports_in.insert(port, label);
+        self
+    }
+
+    /// Set the trust label of an output port.
+    pub fn port_out(mut self, port: Int, label: Label) -> Self {
+        self.ports_out.insert(port, label);
+        self
+    }
+
+    /// Rewrite every function and constructor name through `f` — used to
+    /// re-target an annotation set at a *stripped binary*, whose lifted
+    /// names are synthesized (`g_<id>`) rather than the original symbols.
+    /// Data-group names and port labels are untouched; types referring to
+    /// data groups therefore remain valid.
+    pub fn renamed(&self, f: impl Fn(&str) -> String) -> Signatures {
+        Signatures {
+            fns: self
+                .fns
+                .iter()
+                .map(|(k, v)| (f(k), v.clone()))
+                .collect(),
+            datas: self
+                .datas
+                .iter()
+                .map(|(d, cons)| {
+                    (
+                        d.clone(),
+                        cons.iter().map(|(c, tys)| (f(c), tys.clone())).collect(),
+                    )
+                })
+                .collect(),
+            con_owner: self
+                .con_owner
+                .iter()
+                .map(|(c, d)| (f(c), d.clone()))
+                .collect(),
+            ports_in: self.ports_in.clone(),
+            ports_out: self.ports_out.clone(),
+        }
+    }
+
+    fn con_fields(&self, cn: &str) -> Option<(&str, &[Ty])> {
+        let owner = self.con_owner.get(cn)?;
+        let fields = self.datas.get(owner)?.get(cn)?;
+        Some((owner.as_str(), fields))
+    }
+}
+
+/// A typing violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A function has no signature.
+    MissingFnSig(String),
+    /// A constructor belongs to no declared data group.
+    MissingConDecl(String),
+    /// A declared constructor's field count disagrees with the program.
+    ConArity {
+        /// Constructor name.
+        name: String,
+        /// Fields in the signature.
+        declared: usize,
+        /// Fields in the program declaration.
+        program: usize,
+    },
+    /// An argument's type does not flow into the expected type.
+    Mismatch {
+        /// Function being checked.
+        in_fn: String,
+        /// Human description of the position.
+        at: String,
+        /// What was found.
+        found: String,
+        /// What was required.
+        expected: String,
+    },
+    /// Too many arguments applied to something that is not a function.
+    NotApplicable {
+        /// Function being checked.
+        in_fn: String,
+        /// Description of the callee.
+        callee: String,
+    },
+    /// A primitive received a non-numeric operand.
+    PrimOnNonNum {
+        /// Function being checked.
+        in_fn: String,
+        /// The primitive.
+        op: String,
+    },
+    /// `getint`/`putint` with a non-literal or unknown port.
+    BadPort {
+        /// Function being checked.
+        in_fn: String,
+        /// Why the port is unusable.
+        why: String,
+    },
+    /// An explicit or implicit untrusted flow into a trusted sink.
+    UntrustedFlow {
+        /// Function being checked.
+        in_fn: String,
+        /// Description of the sink.
+        sink: String,
+    },
+    /// A `case` mixes literal and constructor branches, or matches a
+    /// constructor outside the scrutinee's data group.
+    BadCase {
+        /// Function being checked.
+        in_fn: String,
+        /// What went wrong.
+        why: String,
+    },
+    /// A variable had no binding (malformed program).
+    Unbound {
+        /// Function being checked.
+        in_fn: String,
+        /// The variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::MissingFnSig(n) => write!(f, "no signature for function `{n}`"),
+            TypeError::MissingConDecl(n) => {
+                write!(f, "constructor `{n}` not in any data group")
+            }
+            TypeError::ConArity { name, declared, program } => write!(
+                f,
+                "constructor `{name}`: signature has {declared} fields, program has {program}"
+            ),
+            TypeError::Mismatch { in_fn, at, found, expected } => {
+                write!(f, "in `{in_fn}` at {at}: found {found}, expected {expected}")
+            }
+            TypeError::NotApplicable { in_fn, callee } => {
+                write!(f, "in `{in_fn}`: `{callee}` applied to too many arguments")
+            }
+            TypeError::PrimOnNonNum { in_fn, op } => {
+                write!(f, "in `{in_fn}`: primitive `{op}` on a non-numeric operand")
+            }
+            TypeError::BadPort { in_fn, why } => write!(f, "in `{in_fn}`: {why}"),
+            TypeError::UntrustedFlow { in_fn, sink } => {
+                write!(f, "in `{in_fn}`: untrusted data flows into {sink}")
+            }
+            TypeError::BadCase { in_fn, why } => write!(f, "in `{in_fn}`: {why}"),
+            TypeError::Unbound { in_fn, var } => {
+                write!(f, "in `{in_fn}`: unbound variable `{var}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Typecheck a whole program against its signatures. Every declared
+/// function must carry a signature and every constructor must belong to a
+/// data group; the check then validates every function body.
+pub fn check_program(program: &Program, sigs: &Signatures) -> Result<(), TypeError> {
+    // Constructor coverage and arity agreement.
+    for c in program.constructors() {
+        match sigs.con_fields(&c.name) {
+            None => return Err(TypeError::MissingConDecl(c.name.to_string())),
+            Some((_, fields)) if fields.len() != c.arity() => {
+                return Err(TypeError::ConArity {
+                    name: c.name.to_string(),
+                    declared: fields.len(),
+                    program: c.arity(),
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    for f in program.functions() {
+        let sig = sigs
+            .fns
+            .get(&*f.name)
+            .ok_or_else(|| TypeError::MissingFnSig(f.name.to_string()))?;
+        if sig.params.len() != f.arity() {
+            return Err(TypeError::Mismatch {
+                in_fn: f.name.to_string(),
+                at: "signature".into(),
+                found: format!("{} parameters", f.arity()),
+                expected: format!("{} parameters", sig.params.len()),
+            });
+        }
+        let mut env: Vec<(String, Ty)> = f
+            .params
+            .iter()
+            .zip(&sig.params)
+            .map(|(p, t)| (p.to_string(), t.clone()))
+            .collect();
+        let checker = Checker { sigs, fn_name: &f.name };
+        checker.expr(&f.body, &mut env, Label::T, &sig.ret)?;
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    sigs: &'a Signatures,
+    fn_name: &'a str,
+}
+
+impl<'a> Checker<'a> {
+    fn err_mismatch(&self, at: &str, found: &Ty, expected: &Ty) -> TypeError {
+        TypeError::Mismatch {
+            in_fn: self.fn_name.to_string(),
+            at: at.to_string(),
+            found: found.to_string(),
+            expected: expected.to_string(),
+        }
+    }
+
+    fn arg_ty(&self, arg: &Arg, env: &[(String, Ty)]) -> Result<Ty, TypeError> {
+        match arg {
+            Arg::Lit(_) => Ok(Ty::Lit(Label::T)),
+            Arg::Var(x) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == &**x)
+                .map(|(_, t)| t.clone())
+                .ok_or_else(|| TypeError::Unbound {
+                    in_fn: self.fn_name.to_string(),
+                    var: x.to_string(),
+                }),
+        }
+    }
+
+    /// The numeric label of an operand handed to a primitive.
+    fn num_label(&self, t: &Ty, op: &str) -> Result<Label, TypeError> {
+        match t {
+            Ty::Lit(l) | Ty::Num(l) => Ok(*l),
+            _ => Err(TypeError::PrimOnNonNum {
+                in_fn: self.fn_name.to_string(),
+                op: op.to_string(),
+            }),
+        }
+    }
+
+    /// Apply a function-shaped type to argument types, yielding the type of
+    /// the `let`-bound value (handles partial and over-application).
+    fn apply(
+        &self,
+        callee_desc: &str,
+        mut fty: Ty,
+        args: &[Ty],
+        pc: Label,
+    ) -> Result<Ty, TypeError> {
+        let mut rest = args;
+        loop {
+            match fty {
+                Ty::Fn(params, ret, l) => {
+                    if rest.len() < params.len() {
+                        // Partial application.
+                        for (i, (a, p)) in rest.iter().zip(&params).enumerate() {
+                            if !a.subtype_of(p) {
+                                return Err(self.err_mismatch(
+                                    &format!("argument {i} of {callee_desc}"),
+                                    a,
+                                    p,
+                                ));
+                            }
+                        }
+                        let remaining = params[rest.len()..].to_vec();
+                        return Ok(Ty::Fn(remaining, ret, l.join(pc)));
+                    }
+                    let (now, later) = rest.split_at(params.len());
+                    for (i, (a, p)) in now.iter().zip(&params).enumerate() {
+                        if !a.subtype_of(p) {
+                            return Err(self.err_mismatch(
+                                &format!("argument {i} of {callee_desc}"),
+                                a,
+                                p,
+                            ));
+                        }
+                    }
+                    if later.is_empty() {
+                        return Ok(ret.raised(l.join(pc)));
+                    }
+                    fty = ret.raised(l.join(pc));
+                    rest = later;
+                }
+                other => {
+                    if rest.is_empty() {
+                        return Ok(other.raised(pc));
+                    }
+                    return Err(TypeError::NotApplicable {
+                        in_fn: self.fn_name.to_string(),
+                        callee: callee_desc.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn fn_type(&self, name: &str) -> Result<Ty, TypeError> {
+        let sig = self
+            .sigs
+            .fns
+            .get(name)
+            .ok_or_else(|| TypeError::MissingFnSig(name.to_string()))?;
+        Ok(Ty::Fn(sig.params.clone(), Box::new(sig.ret.clone()), Label::T))
+    }
+
+    fn con_type(&self, name: &str) -> Result<Ty, TypeError> {
+        let (owner, fields) = self
+            .sigs
+            .con_fields(name)
+            .ok_or_else(|| TypeError::MissingConDecl(name.to_string()))?;
+        Ok(Ty::Fn(
+            fields.to_vec(),
+            Box::new(Ty::Data(owner.to_string(), Label::T)),
+            Label::T,
+        ))
+    }
+
+    fn io_call(
+        &self,
+        op: PrimOp,
+        args: &[Arg],
+        tys: &[Ty],
+        pc: Label,
+    ) -> Result<Ty, TypeError> {
+        let port = match args.first() {
+            Some(Arg::Lit(p)) => *p,
+            _ => {
+                return Err(TypeError::BadPort {
+                    in_fn: self.fn_name.to_string(),
+                    why: format!("`{}` needs a literal port number", op.name()),
+                })
+            }
+        };
+        match op {
+            PrimOp::GetInt => {
+                let l = *self.sigs.ports_in.get(&port).ok_or_else(|| TypeError::BadPort {
+                    in_fn: self.fn_name.to_string(),
+                    why: format!("input port {port} has no declared label"),
+                })?;
+                // Reading under a tainted pc from a trusted port would make
+                // trusted input consumption depend on untrusted data.
+                if !pc.flows_to(l) {
+                    return Err(TypeError::UntrustedFlow {
+                        in_fn: self.fn_name.to_string(),
+                        sink: format!("input port {port} (read under {pc} context)"),
+                    });
+                }
+                Ok(Ty::Num(l.join(pc)))
+            }
+            PrimOp::PutInt => {
+                let l = *self.sigs.ports_out.get(&port).ok_or_else(|| TypeError::BadPort {
+                    in_fn: self.fn_name.to_string(),
+                    why: format!("output port {port} has no declared label"),
+                })?;
+                let vl = self.num_label(&tys[1], "putint")?;
+                if !vl.flows_to(l) || !pc.flows_to(l) {
+                    return Err(TypeError::UntrustedFlow {
+                        in_fn: self.fn_name.to_string(),
+                        sink: format!("output port {port}"),
+                    });
+                }
+                // `putint` returns the value written; its label is the
+                // value's, not the port's.
+                Ok(Ty::Num(vl.join(pc)))
+            }
+            _ => unreachable!("io_call only handles I/O primitives"),
+        }
+    }
+
+    fn expr(
+        &self,
+        e: &Expr,
+        env: &mut Vec<(String, Ty)>,
+        pc: Label,
+        ret: &Ty,
+    ) -> Result<(), TypeError> {
+        match e {
+            Expr::Result(arg) => {
+                let t = self.arg_ty(arg, env)?.raised(pc);
+                if !t.subtype_of(ret) {
+                    return Err(self.err_mismatch("result", &t, ret));
+                }
+                Ok(())
+            }
+            Expr::Let { var, callee, args, body } => {
+                let tys: Vec<Ty> = args
+                    .iter()
+                    .map(|a| self.arg_ty(a, env))
+                    .collect::<Result<_, _>>()?;
+                let bound = match callee {
+                    Callee::Prim(op) if op.is_io() => {
+                        if tys.len() != op.arity() {
+                            return Err(TypeError::BadPort {
+                                in_fn: self.fn_name.to_string(),
+                                why: format!(
+                                    "`{}` must be fully applied in checked code",
+                                    op.name()
+                                ),
+                            });
+                        }
+                        self.io_call(*op, args, &tys, pc)?
+                    }
+                    Callee::Prim(op) => {
+                        if tys.len() > op.arity() {
+                            return Err(TypeError::NotApplicable {
+                                in_fn: self.fn_name.to_string(),
+                                callee: op.name().to_string(),
+                            });
+                        }
+                        let mut l = pc;
+                        for t in &tys {
+                            l = l.join(self.num_label(t, op.name())?);
+                        }
+                        if tys.len() < op.arity() {
+                            let rest =
+                                vec![Ty::Num(Label::U); op.arity() - tys.len()];
+                            // A partial prim: remaining operands may be
+                            // anything numeric; result joins all labels.
+                            Ty::Fn(rest, Box::new(Ty::Num(Label::U)), l)
+                        } else {
+                            Ty::Num(l)
+                        }
+                    }
+                    Callee::Fn(n) => {
+                        let fty = self.fn_type(n)?;
+                        self.apply(n, fty, &tys, pc)?
+                    }
+                    Callee::Con(n) => {
+                        let cty = self.con_type(n)?;
+                        self.apply(n, cty, &tys, pc)?
+                    }
+                    Callee::Var(x) => {
+                        let vty = self.arg_ty(&Arg::Var(x.clone()), env)?;
+                        self.apply(&format!("variable `{x}`"), vty, &tys, pc)?
+                    }
+                };
+                env.push((var.to_string(), bound));
+                let r = self.expr(body, env, pc, ret);
+                env.pop();
+                r
+            }
+            Expr::Case { scrutinee, branches, default } => {
+                let sty = self.arg_ty(scrutinee, env)?;
+                // A branch-less `case v of else e` is pure forcing — no
+                // control-flow choice, hence no implicit flow: the pc is
+                // not raised. This is one of the paper's "slight semantic
+                // constraints" that make checking tractable.
+                let pc2 = if branches.is_empty() {
+                    pc
+                } else {
+                    pc.join(sty.label())
+                };
+                match &sty {
+                    Ty::Lit(_) | Ty::Num(_) => {
+                        for b in branches {
+                            if !matches!(b.pattern, Pattern::Lit(_)) {
+                                return Err(TypeError::BadCase {
+                                    in_fn: self.fn_name.to_string(),
+                                    why: "constructor pattern on a numeric scrutinee"
+                                        .into(),
+                                });
+                            }
+                            self.expr(&b.body, env, pc2, ret)?;
+                        }
+                        self.expr(default, env, pc2, ret)
+                    }
+                    Ty::Data(dname, l) => {
+                        for b in branches {
+                            match &b.pattern {
+                                Pattern::Lit(_) => {
+                                    return Err(TypeError::BadCase {
+                                        in_fn: self.fn_name.to_string(),
+                                        why: format!(
+                                            "literal pattern on data group `{dname}`"
+                                        ),
+                                    })
+                                }
+                                Pattern::Con(cn, vars) => {
+                                    let (owner, fields) = self
+                                        .sigs
+                                        .con_fields(cn)
+                                        .ok_or_else(|| TypeError::MissingConDecl(
+                                            cn.to_string(),
+                                        ))?;
+                                    if owner != dname {
+                                        return Err(TypeError::BadCase {
+                                            in_fn: self.fn_name.to_string(),
+                                            why: format!(
+                                                "pattern `{cn}` of group `{owner}` on scrutinee of group `{dname}`"
+                                            ),
+                                        });
+                                    }
+                                    let before = env.len();
+                                    for (v, t) in vars.iter().zip(fields) {
+                                        env.push((v.to_string(), t.raised(*l)));
+                                    }
+                                    let r = self.expr(&b.body, env, pc2, ret);
+                                    env.truncate(before);
+                                    r?;
+                                }
+                            }
+                        }
+                        self.expr(default, env, pc2, ret)
+                    }
+                    Ty::Fn(..) => Err(TypeError::BadCase {
+                        in_fn: self.fn_name.to_string(),
+                        why: "case on a function value".into(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_asm::parse;
+
+    fn num_t() -> Ty {
+        Ty::num_t()
+    }
+
+    fn num_u() -> Ty {
+        Ty::num_u()
+    }
+
+    #[test]
+    fn label_lattice() {
+        assert!(Label::T.flows_to(Label::U));
+        assert!(Label::T.flows_to(Label::T));
+        assert!(!Label::U.flows_to(Label::T));
+        assert_eq!(Label::T.join(Label::U), Label::U);
+    }
+
+    #[test]
+    fn subtyping_rules() {
+        assert!(num_t().subtype_of(&num_u()));
+        assert!(!num_u().subtype_of(&num_t()));
+        assert!(Ty::Lit(Label::T).subtype_of(&Ty::Data("X".into(), Label::T)));
+        assert!(!Ty::Lit(Label::U).subtype_of(&num_t()));
+        // Contravariance: (num^U -> num^T) ⊑ (num^T -> num^U)
+        let f1 = Ty::Fn(vec![num_u()], Box::new(num_t()), Label::T);
+        let f2 = Ty::Fn(vec![num_t()], Box::new(num_u()), Label::T);
+        assert!(f1.subtype_of(&f2));
+        assert!(!f2.subtype_of(&f1));
+    }
+
+    fn base_sigs() -> Signatures {
+        Signatures::new()
+            .port_in(0, Label::T)
+            .port_in(9, Label::U)
+            .port_out(1, Label::T)
+            .port_out(8, Label::U)
+    }
+
+    #[test]
+    fn trusted_pipeline_checks() {
+        let src = r#"
+fun main =
+  let x = getint 0 in
+  let y = add x 1 in
+  let z = putint 1 y in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_t());
+        check_program(&p, &sigs).unwrap();
+    }
+
+    #[test]
+    fn untrusted_to_trusted_port_rejected() {
+        let src = r#"
+fun main =
+  let x = getint 9 in
+  let z = putint 1 x in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_u());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }), "{err}");
+    }
+
+    #[test]
+    fn taint_propagates_through_arithmetic() {
+        let src = r#"
+fun main =
+  let t = getint 0 in
+  let u = getint 9 in
+  let mix = add t u in
+  let z = putint 1 mix in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_u());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }));
+    }
+
+    #[test]
+    fn implicit_flow_via_case_rejected() {
+        // Branching on untrusted data and writing constants to the trusted
+        // port leaks one bit: the pc rule catches it.
+        let src = r#"
+fun main =
+  let u = getint 9 in
+  case u of
+  | 0 =>
+    let z = putint 1 0 in
+    result z
+  else
+    let z = putint 1 1 in
+    result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_u());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }));
+    }
+
+    #[test]
+    fn untrusted_may_flow_to_untrusted_port() {
+        let src = r#"
+fun main =
+  let t = getint 0 in
+  let u = getint 9 in
+  let mix = add t u in
+  let z = putint 8 mix in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_u());
+        check_program(&p, &sigs).unwrap();
+    }
+
+    #[test]
+    fn data_groups_and_field_types() {
+        let src = r#"
+con Nil
+con Cons head tail
+fun sum l =
+  case l of
+  | Nil => result 0
+  | Cons h t =>
+    let s = sum t in
+    let r = add h s in
+    result r
+  else result 0
+fun main =
+  let nil = Nil in
+  let l = Cons 3 nil in
+  let s = sum l in
+  let z = putint 1 s in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs()
+            .data(
+                "List",
+                [
+                    ("Nil", vec![]),
+                    ("Cons", vec![num_t(), Ty::data_t("List")]),
+                ],
+            )
+            .fun("sum", vec![Ty::data_t("List")], num_t())
+            .fun("main", vec![], num_t());
+        check_program(&p, &sigs).unwrap();
+    }
+
+    #[test]
+    fn matching_untrusted_structure_taints_fields_and_pc() {
+        let src = r#"
+con Box v
+fun unbox b =
+  case b of
+  | Box v => result v
+  else result 0
+fun main =
+  let u = getint 9 in
+  let b = Box u in
+  let v = unbox b in
+  let z = putint 1 v in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        // Box is declared with an untrusted field; unboxing yields U which
+        // must not reach port 1.
+        let sigs = base_sigs()
+            .data("BoxD", [("Box", vec![num_u()])])
+            .fun("unbox", vec![Ty::Data("BoxD".into(), Label::T)], num_u())
+            .fun("main", vec![], num_u());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }));
+    }
+
+    #[test]
+    fn wrong_group_pattern_rejected() {
+        let src = r#"
+con A
+con B
+fun main =
+  let a = A in
+  case a of
+  | B => result 1
+  else result 0
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs()
+            .data("DA", [("A", vec![])])
+            .data("DB", [("B", vec![])])
+            .fun("main", vec![], num_t());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::BadCase { .. }));
+    }
+
+    #[test]
+    fn con_arity_disagreement_rejected() {
+        let src = "con Pair a b\nfun main = result 0";
+        let p = parse(src).unwrap();
+        let sigs = base_sigs()
+            .data("P", [("Pair", vec![num_t()])])
+            .fun("main", vec![], num_t());
+        let err = check_program(&p, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::ConArity { .. }));
+    }
+
+    #[test]
+    fn missing_signature_reported() {
+        let p = parse("fun helper = result 1\nfun main = result 0").unwrap();
+        let sigs = base_sigs().fun("main", vec![], num_t());
+        assert_eq!(
+            check_program(&p, &sigs).unwrap_err(),
+            TypeError::MissingFnSig("helper".into())
+        );
+    }
+
+    #[test]
+    fn higher_order_functions_check() {
+        let src = r#"
+fun apply f x =
+  let r = f x in
+  result r
+fun double n =
+  let m = mul n 2 in
+  result m
+fun main =
+  let d = double in
+  let r = apply d 21 in
+  let z = putint 1 r in
+  result z
+"#;
+        let p = parse(src).unwrap();
+        let fn_t = Ty::Fn(vec![num_t()], Box::new(num_t()), Label::T);
+        let sigs = base_sigs()
+            .fun("apply", vec![fn_t, num_t()], num_t())
+            .fun("double", vec![num_t()], num_t())
+            .fun("main", vec![], num_t());
+        check_program(&p, &sigs).unwrap();
+    }
+
+    #[test]
+    fn partial_application_types() {
+        let src = r#"
+fun add3 a b c =
+  let s0 = add a b in
+  let s1 = add s0 c in
+  result s1
+fun main =
+  let p = add3 1 2 in
+  let r = p 3 in
+  result r
+"#;
+        let p = parse(src).unwrap();
+        let sigs = base_sigs()
+            .fun("add3", vec![num_t(), num_t(), num_t()], num_t())
+            .fun("main", vec![], num_t());
+        check_program(&p, &sigs).unwrap();
+    }
+}

@@ -1,0 +1,289 @@
+//! Custom binary analyses: lints.
+//!
+//! The paper's Figure 1 lists "Custom Analysis" among the things the
+//! λ-execution layer's semantics make easy; this module is a working
+//! example — a lint pass any build can run over a program or a lifted
+//! binary. Because the ISA has no mutation, no implicit state, and total
+//! control flow, each lint is a few dozen lines of syntax-directed code
+//! with *no* abstract interpretation required:
+//!
+//! * [`Lint::DeadLet`] — a `let` whose binding is never referenced. Under
+//!   lazy evaluation it still costs allocation (and, if the program is
+//!   ever run eagerly, evaluation); under the WCET analysis it widens the
+//!   bound for nothing.
+//! * [`Lint::ShadowedBinding`] — a binding that makes an earlier one of
+//!   the same name unreachable for the rest of the path.
+//! * [`Lint::DuplicatePattern`] — a branch whose pattern repeats an
+//!   earlier one in the same `case`; the hardware scans patterns in order,
+//!   so the later branch is unreachable.
+//! * [`Lint::UnusedParam`] — a function parameter no path reads.
+//! * [`Lint::ConstantScrutinee`] — a `case` on an integer literal: exactly
+//!   one branch can ever run.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use zarf_core::ast::{Arg, Branch, Callee, Expr, Pattern, Program};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// `let` binding never referenced afterwards.
+    DeadLet {
+        /// Function containing the binding.
+        function: String,
+        /// The binding's name.
+        var: String,
+    },
+    /// A binding shadows an earlier same-named one.
+    ShadowedBinding {
+        /// Function containing the bindings.
+        function: String,
+        /// The shared name.
+        var: String,
+    },
+    /// A pattern repeats an earlier pattern of the same `case`.
+    DuplicatePattern {
+        /// Function containing the case.
+        function: String,
+        /// Display form of the duplicated pattern.
+        pattern: String,
+    },
+    /// A parameter no path reads.
+    UnusedParam {
+        /// The function.
+        function: String,
+        /// The parameter name.
+        param: String,
+    },
+    /// `case` on an integer literal.
+    ConstantScrutinee {
+        /// Function containing the case.
+        function: String,
+        /// The literal value.
+        value: i32,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::DeadLet { function, var } => {
+                write!(f, "{function}: `let {var} = …` is never used")
+            }
+            Lint::ShadowedBinding { function, var } => {
+                write!(f, "{function}: binding `{var}` shadows an earlier one")
+            }
+            Lint::DuplicatePattern { function, pattern } => {
+                write!(f, "{function}: pattern `{pattern}` repeats an earlier branch")
+            }
+            Lint::UnusedParam { function, param } => {
+                write!(f, "{function}: parameter `{param}` is never read")
+            }
+            Lint::ConstantScrutinee { function, value } => {
+                write!(f, "{function}: case on the constant {value}")
+            }
+        }
+    }
+}
+
+/// Names referenced by an argument.
+fn arg_uses<'a>(a: &'a Arg, out: &mut HashSet<&'a str>) {
+    if let Arg::Var(x) = a {
+        out.insert(x);
+    }
+}
+
+/// Every variable name an expression reads.
+fn uses<'a>(e: &'a Expr, out: &mut HashSet<&'a str>) {
+    match e {
+        Expr::Result(a) => arg_uses(a, out),
+        Expr::Let { callee, args, body, .. } => {
+            if let Callee::Var(x) = callee {
+                out.insert(x);
+            }
+            for a in args {
+                arg_uses(a, out);
+            }
+            uses(body, out);
+        }
+        Expr::Case { scrutinee, branches, default } => {
+            arg_uses(scrutinee, out);
+            for b in branches {
+                uses(&b.body, out);
+            }
+            uses(default, out);
+        }
+    }
+}
+
+fn lint_expr(function: &str, e: &Expr, in_scope: &mut Vec<String>, out: &mut Vec<Lint>) {
+    match e {
+        Expr::Result(_) => {}
+        Expr::Let { var, body, .. } => {
+            let mut used = HashSet::new();
+            uses(body, &mut used);
+            if !used.contains(&**var) {
+                out.push(Lint::DeadLet {
+                    function: function.to_string(),
+                    var: var.to_string(),
+                });
+            }
+            if in_scope.iter().any(|s| s == &**var) {
+                out.push(Lint::ShadowedBinding {
+                    function: function.to_string(),
+                    var: var.to_string(),
+                });
+            }
+            in_scope.push(var.to_string());
+            lint_expr(function, body, in_scope, out);
+            in_scope.pop();
+        }
+        Expr::Case { scrutinee, branches, default } => {
+            if let Arg::Lit(n) = scrutinee {
+                out.push(Lint::ConstantScrutinee {
+                    function: function.to_string(),
+                    value: *n,
+                });
+            }
+            let mut seen: Vec<&Pattern> = Vec::new();
+            for Branch { pattern, body } in branches {
+                let dup = seen.iter().any(|p| match (p, pattern) {
+                    (Pattern::Lit(a), Pattern::Lit(b)) => a == b,
+                    (Pattern::Con(a, _), Pattern::Con(b, _)) => a == b,
+                    _ => false,
+                });
+                if dup {
+                    out.push(Lint::DuplicatePattern {
+                        function: function.to_string(),
+                        pattern: pattern.to_string(),
+                    });
+                }
+                seen.push(pattern);
+                let before = in_scope.len();
+                if let Pattern::Con(_, vars) = pattern {
+                    for v in vars {
+                        if in_scope.iter().any(|s| s == &**v) {
+                            out.push(Lint::ShadowedBinding {
+                                function: function.to_string(),
+                                var: v.to_string(),
+                            });
+                        }
+                        in_scope.push(v.to_string());
+                    }
+                }
+                lint_expr(function, body, in_scope, out);
+                in_scope.truncate(before);
+            }
+            lint_expr(function, default, in_scope, out);
+        }
+    }
+}
+
+/// Run every lint over a program.
+pub fn lint(program: &Program) -> Vec<Lint> {
+    let mut out = Vec::new();
+    for f in program.functions() {
+        // Unused parameters.
+        let mut used = HashSet::new();
+        uses(&f.body, &mut used);
+        for p in &f.params {
+            if !used.contains(&**p) {
+                out.push(Lint::UnusedParam {
+                    function: f.name.to_string(),
+                    param: p.to_string(),
+                });
+            }
+        }
+        let mut scope: Vec<String> = f.params.iter().map(|p| p.to_string()).collect();
+        lint_expr(&f.name, &f.body, &mut scope, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_asm::parse;
+
+    fn lints_of(src: &str) -> Vec<Lint> {
+        lint(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let l = lints_of(
+            "fun f x =\n  let a = add x 1 in\n  result a\nfun main =\n  let r = f 1 in\n  result r",
+        );
+        assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn dead_let_detected() {
+        let l = lints_of(
+            "fun main =\n  let unused = add 1 2 in\n  let used = add 3 4 in\n  result used",
+        );
+        assert_eq!(
+            l,
+            vec![Lint::DeadLet { function: "main".into(), var: "unused".into() }]
+        );
+    }
+
+    #[test]
+    fn shadowing_detected() {
+        let l = lints_of(
+            "fun main =\n  let x = add 1 2 in\n  let x = add x 1 in\n  result x",
+        );
+        assert!(l.contains(&Lint::ShadowedBinding {
+            function: "main".into(),
+            var: "x".into()
+        }));
+    }
+
+    #[test]
+    fn duplicate_patterns_detected() {
+        let l = lints_of(
+            "fun main =\n  case 5 of\n  | 1 => result 1\n  | 1 => result 2\n  else result 0",
+        );
+        assert!(l.iter().any(|x| matches!(x, Lint::DuplicatePattern { .. })));
+        assert!(l.iter().any(|x| matches!(
+            x,
+            Lint::ConstantScrutinee { value: 5, .. }
+        )));
+    }
+
+    #[test]
+    fn duplicate_constructor_patterns_detected() {
+        let src = r#"
+con A
+fun main =
+  let a = A in
+  case a of
+  | A => result 1
+  | A => result 2
+  else result 0
+"#;
+        let l = lints_of(src);
+        assert!(l.iter().any(|x| matches!(x, Lint::DuplicatePattern { .. })));
+    }
+
+    #[test]
+    fn unused_param_detected() {
+        let l = lints_of(
+            "fun f x y =\n  let r = add x 1 in\n  result r\nfun main =\n  let r = f 1 2 in\n  result r",
+        );
+        assert_eq!(
+            l,
+            vec![Lint::UnusedParam { function: "f".into(), param: "y".into() }]
+        );
+    }
+
+    #[test]
+    fn shipped_kernel_is_lint_clean_except_known_elses() {
+        // The generated kernel has no dead lets, shadowing, duplicates, or
+        // unused params — a meaningful hygiene check for the extractor.
+        use zarf_kernel::program::kernel_program;
+        let l = lint(&kernel_program());
+        assert!(l.is_empty(), "{l:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Trust annotations for the shipped microkernel + ICD program.
+//!
+//! These are the paper's "trust-level annotations in a few places" (§5.3):
+//! every ICD-chain value is trusted (`T`), the diagnostic coroutine and
+//! everything arriving from the imperative layer is untrusted (`U`), and
+//! the port policy encodes which pins of the device each side may touch —
+//! the pacing output is trusted, the debug/telemetry output and the
+//! inter-layer channel are not.
+//!
+//! [`kernel_signatures`] typechecking [`kernel_program`] is experiment E8's
+//! static half; the dynamic half (perturb `U` inputs, observe identical `T`
+//! outputs) lives in the integration tests and the non-interference bench.
+//!
+//! [`kernel_program`]: zarf_kernel::program::kernel_program
+
+use zarf_kernel::program::{
+    PORT_BOOT, PORT_CHANNEL, PORT_CHANNEL_STATUS, PORT_DEBUG, PORT_ECG, PORT_PACE,
+    PORT_TIMER,
+};
+
+use crate::integrity::{Label, Signatures, Ty};
+
+fn num_t() -> Ty {
+    Ty::num_t()
+}
+
+fn num_u() -> Ty {
+    Ty::num_u()
+}
+
+fn d(name: &str) -> Ty {
+    Ty::data_t(name)
+}
+
+/// The full annotation environment for the kernel program.
+pub fn kernel_signatures() -> Signatures {
+    let oct = || vec![num_t(); 8];
+    Signatures::new()
+        // --- data groups (all-trusted state) -------------------------------
+        .data("OctD", [("Oct", oct())])
+        .data("SixD", [("Six", vec![num_t(); 6])])
+        .data("QuadD", [("Quad", vec![num_t(); 4])])
+        .data("PairD", [("Pair", vec![d("IcdStD"), num_t()])])
+        .data("LpStD", [("LpSt", vec![d("OctD"), d("QuadD"), num_t(), num_t()])])
+        .data(
+            "HpStD",
+            [("HpSt", vec![d("OctD"), d("OctD"), d("OctD"), d("OctD"), num_t()])],
+        )
+        .data(
+            "MwStD",
+            [("MwSt", vec![d("OctD"), d("OctD"), d("OctD"), d("SixD"), num_t()])],
+        )
+        .data("DetStD", [("DetSt", vec![num_t(); 5])])
+        .data("DetResD", [("DetRes", vec![d("DetStD"), num_t(), num_t()])])
+        .data("RrStD", [("RrSt", vec![d("OctD"), d("OctD"), d("OctD")])])
+        .data("AtpStD", [("AtpSt", vec![num_t(); 5])])
+        .data(
+            "VtResD",
+            [("VtRes", vec![d("RrStD"), d("AtpStD"), num_t(), num_t()])],
+        )
+        .data("LpResD", [("LpRes", vec![d("LpStD"), num_t()])])
+        .data("HpResD", [("HpRes", vec![d("HpStD"), num_t()])])
+        .data("DvResD", [("DvRes", vec![d("QuadD"), num_t()])])
+        .data("MwResD", [("MwRes", vec![d("MwStD"), num_t()])])
+        .data(
+            "IcdStD",
+            [(
+                "IcdSt",
+                vec![
+                    d("LpStD"),
+                    d("HpStD"),
+                    d("QuadD"),
+                    d("MwStD"),
+                    d("DetStD"),
+                    d("RrStD"),
+                    d("AtpStD"),
+                ],
+            )],
+        )
+        // --- trusted ICD chain ----------------------------------------------
+        .fun("lp_step", vec![d("LpStD"), num_t()], d("LpResD"))
+        .fun("hp_step", vec![d("HpStD"), num_t()], d("HpResD"))
+        .fun("dv_step", vec![d("QuadD"), num_t()], d("DvResD"))
+        .fun("sq_step", vec![num_t()], num_t())
+        .fun("mw_step", vec![d("MwStD"), num_t()], d("MwResD"))
+        .fun("det_step", vec![d("DetStD"), num_t()], d("DetResD"))
+        .fun("cnt8", vec![d("OctD")], num_t())
+        .fun("init_rr", vec![], d("RrStD"))
+        .fun(
+            "vt_step",
+            vec![d("RrStD"), d("AtpStD"), num_t(), num_t()],
+            d("VtResD"),
+        )
+        .fun("icd_step", vec![d("IcdStD"), num_t()], d("PairD"))
+        .fun("init_state", vec![], d("IcdStD"))
+        // --- microkernel ------------------------------------------------------
+        .fun("io_step", vec![num_t()], num_t())
+        .fun("chan_step", vec![num_t()], num_t())
+        // The diagnostic coroutine is untrusted end to end.
+        .fun("diag_step", vec![num_u()], num_u())
+        .fun(
+            "kernel_run",
+            vec![num_t(), d("IcdStD"), num_u(), num_t()],
+            num_t(),
+        )
+        .fun(
+            "kernel_loop",
+            vec![d("IcdStD"), num_u(), num_t()],
+            num_t(),
+        )
+        .fun("main", vec![], num_t())
+        // --- port policy -------------------------------------------------------
+        .port_in(PORT_ECG, Label::T)
+        .port_in(PORT_TIMER, Label::T)
+        .port_in(PORT_BOOT, Label::T)
+        .port_in(PORT_CHANNEL, Label::U)
+        .port_in(PORT_CHANNEL_STATUS, Label::U)
+        .port_out(PORT_PACE, Label::T)
+        .port_out(PORT_DEBUG, Label::U)
+        .port_out(PORT_CHANNEL, Label::U)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::{check_program, TypeError};
+    use zarf_kernel::program::{kernel_program, kernel_source};
+
+    /// E8 (static half): the shipped kernel + ICD binary typechecks under
+    /// the integrity annotations.
+    #[test]
+    fn shipped_kernel_typechecks() {
+        let program = kernel_program();
+        check_program(&program, &kernel_signatures()).unwrap();
+    }
+
+    /// A tampered kernel whose untrusted diagnostic coroutine writes to the
+    /// trusted pacing port is rejected.
+    #[test]
+    fn diag_writing_to_pace_port_rejected() {
+        let src = kernel_source().replace(
+            "let w = putint 4 acc' in",
+            "let w = putint 1 acc' in",
+        );
+        assert_ne!(src, kernel_source(), "tamper site must exist");
+        let program = zarf_asm::parse(&src).unwrap();
+        let err = check_program(&program, &kernel_signatures()).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }), "{err}");
+    }
+
+    /// A tampered kernel that mixes a channel word into the ECG sample fed
+    /// to the verified ICD step is rejected (explicit U → T flow).
+    #[test]
+    fn channel_data_flowing_into_icd_rejected() {
+        let src = kernel_source().replace(
+            "    let x = io_step prev in\n    let pr = icd_step st x in",
+            "    let x0 = io_step prev in\n    let j = getint 100 in\n    let x = add x0 j in\n    let pr = icd_step st x in",
+        );
+        assert_ne!(src, kernel_source(), "tamper site must exist");
+        let program = zarf_asm::parse(&src).unwrap();
+        let err = check_program(&program, &kernel_signatures()).unwrap_err();
+        assert!(
+            matches!(err, TypeError::Mismatch { .. } | TypeError::UntrustedFlow { .. }),
+            "{err}"
+        );
+    }
+
+    /// An implicit flow: branching on untrusted channel data to decide the
+    /// trusted pacing output is rejected through the pc rule.
+    #[test]
+    fn implicit_channel_flow_rejected() {
+        let src = kernel_source().replace(
+            "fun chan_step out =\n  let w = putint 100 out in",
+            "fun chan_step out =\n  let u = getint 101 in\n  case u of\n  | 0 =>\n    let q = putint 1 7 in\n    case q of else\n    result q\n  else result 0\nfun chan_step_unused out =\n  let w = putint 100 out in",
+        );
+        assert_ne!(src, kernel_source(), "tamper site must exist");
+        let program = zarf_asm::parse(&src).unwrap();
+        let sigs = kernel_signatures().fun("chan_step_unused", vec![Ty::num_t()], Ty::num_t());
+        let err = check_program(&program, &sigs).unwrap_err();
+        assert!(matches!(err, TypeError::UntrustedFlow { .. }), "{err}");
+    }
+}

@@ -1,0 +1,568 @@
+//! Static worst-case execution time analysis (paper §5.2).
+//!
+//! "With a knowledge of how the λ-execution layer hardware executes each
+//! instruction, we create worst-case timing bounds for each operation. …
+//! within that loop, each coroutine is executed only once, and no functions
+//! call into themselves. This allows us to compute a total worst-case
+//! execution time for the sum of all the instructions by extracting the
+//! worst-case route through the hardware state machine."
+//!
+//! The analysis walks the **machine form** of a binary with the hardware's
+//! [`CostModel`]:
+//!
+//! * each `let` is charged as if its application is eventually demanded
+//!   (decode + argument words + allocation + the worst-case evaluation of
+//!   its callee, including the callee's own WCET for user functions) —
+//!   laziness can only do *less* work than this eager bound;
+//! * each `case` is charged its decode, the evaluated-reference check,
+//!   **every** branch head (worst-case scan), the widest field binding,
+//!   and the maximum over branch bodies;
+//! * each `result` is charged its decode plus the thunk update it feeds.
+//!
+//! The call graph reachable from the analyzed root must be **acyclic** once
+//! the designated loop back-edges are excluded; recursion is reported as an
+//! error, exactly as the paper's methodology requires. The companion
+//! [`gc_bound`] implements the paper's GC bound: assume everything
+//! allocated in one iteration is live at collection time (plus the
+//! persistent state), charge `N + 4` per object copy and 2 per reference
+//! check.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use zarf_core::machine::{MExpr, MItemKind, MPattern, MProgram, Operand, Source};
+use zarf_core::prim::{PrimOp, FIRST_USER_INDEX};
+use zarf_hw::CostModel;
+
+/// WCET analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WcetError {
+    /// The root identifier is not a function in the program.
+    NoSuchFunction(u32),
+    /// A (non-excluded) cycle in the call graph: WCET is unbounded.
+    Recursive {
+        /// The call chain that closed the cycle, as function identifiers.
+        chain: Vec<u32>,
+    },
+}
+
+impl fmt::Display for WcetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcetError::NoSuchFunction(id) => write!(f, "no function {id:#x}"),
+            WcetError::Recursive { chain } => {
+                write!(f, "recursive call chain:")?;
+                for id in chain {
+                    write!(f, " {id:#x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WcetError {}
+
+/// Worst-case allocation of one activation (for the GC bound).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocBound {
+    /// Objects allocated on the worst path.
+    pub objects: u64,
+    /// Words allocated on the worst path (2-word headers included).
+    pub words: u64,
+    /// Payload slots (potential references the collector must check).
+    pub refs: u64,
+}
+
+impl AllocBound {
+    fn add(self, other: AllocBound) -> AllocBound {
+        AllocBound {
+            objects: self.objects + other.objects,
+            words: self.words + other.words,
+            refs: self.refs + other.refs,
+        }
+    }
+
+    fn max(self, other: AllocBound) -> AllocBound {
+        // Worst case per component (sound: each component is maximized
+        // independently over paths).
+        AllocBound {
+            objects: self.objects.max(other.objects),
+            words: self.words.max(other.words),
+            refs: self.refs.max(other.refs),
+        }
+    }
+}
+
+/// Result of analyzing one root.
+#[derive(Debug, Clone)]
+pub struct WcetReport {
+    /// Worst-case cycles of the root activation (callees included).
+    pub cycles: u64,
+    /// Worst-case allocation of the root activation.
+    pub alloc: AllocBound,
+    /// Per-function worst-case cycles (each entry includes its callees).
+    pub per_function: HashMap<u32, u64>,
+}
+
+/// The analyzer.
+pub struct Wcet<'m> {
+    program: &'m MProgram,
+    cost: &'m CostModel,
+    /// Calls to these identifiers are loop back-edges and cost nothing
+    /// (they delimit the analyzed iteration).
+    exclude: Vec<u32>,
+    /// Laziness refinement: a `let` whose slot is never referenced is
+    /// never demanded, so only its allocation is charged.
+    assume_lazy: bool,
+    memo: HashMap<u32, (u64, AllocBound)>,
+    in_progress: Vec<u32>,
+}
+
+impl<'m> Wcet<'m> {
+    /// Create an analyzer over a machine program and cost model.
+    pub fn new(program: &'m MProgram, cost: &'m CostModel) -> Self {
+        Wcet {
+            program,
+            cost,
+            exclude: Vec::new(),
+            assume_lazy: false,
+            memo: HashMap::new(),
+            in_progress: Vec::new(),
+        }
+    }
+
+    /// Enable the laziness refinement: skip the evaluation cost of `let`s
+    /// whose bound slot is never referenced (they are allocated but never
+    /// demanded on lazy hardware). Sound for the shipped lazy machine;
+    /// do not combine with the eager-evaluation ablation.
+    pub fn assume_lazy(mut self, on: bool) -> Self {
+        self.assume_lazy = on;
+        self
+    }
+
+    /// Mark identifiers whose calls are loop back-edges (charged zero).
+    pub fn exclude(mut self, ids: impl IntoIterator<Item = u32>) -> Self {
+        self.exclude.extend(ids);
+        self
+    }
+
+    /// Analyze the function with identifier `root`.
+    pub fn analyze(mut self, root: u32) -> Result<WcetReport, WcetError> {
+        let (cycles, alloc) = self.function(root)?;
+        let per_function = self
+            .memo
+            .iter()
+            .map(|(&id, &(c, _))| (id, c))
+            .collect();
+        Ok(WcetReport { cycles, alloc, per_function })
+    }
+
+    fn function(&mut self, id: u32) -> Result<(u64, AllocBound), WcetError> {
+        if let Some(&hit) = self.memo.get(&id) {
+            return Ok(hit);
+        }
+        if self.in_progress.contains(&id) {
+            let mut chain = self.in_progress.clone();
+            chain.push(id);
+            return Err(WcetError::Recursive { chain });
+        }
+        let item = self
+            .program
+            .lookup(id)
+            .ok_or(WcetError::NoSuchFunction(id))?;
+        let body = match &item.kind {
+            MItemKind::Fun { body } => body,
+            MItemKind::Con => {
+                // A constructor "call": saturating the object in place.
+                let r = (self.cost.update, AllocBound::default());
+                self.memo.insert(id, r);
+                return Ok(r);
+            }
+        };
+        self.in_progress.push(id);
+        let result = self.expr(body, 0);
+        self.in_progress.pop();
+        let result = result?;
+        // Entering the function and updating the caller's thunk.
+        let result = (
+            result.0 + self.cost.enter_fun + self.cost.update,
+            result.1,
+        );
+        self.memo.insert(id, result);
+        Ok(result)
+    }
+
+    /// Worst-case cost of evaluating the application a `let` builds,
+    /// assuming it is demanded.
+    fn callee_cost(
+        &mut self,
+        callee: &Operand,
+        nargs: usize,
+    ) -> Result<(u64, AllocBound), WcetError> {
+        match callee.source {
+            Source::Global => {
+                let id = callee.index as u32;
+                if self.exclude.contains(&id) {
+                    // Loop back-edge: next iteration, not this one.
+                    return Ok((0, AllocBound::default()));
+                }
+                if let Some(op) = PrimOp::from_index(id) {
+                    // Saturated primitive: check + per-operand force/fetch
+                    // + execute. (I/O port cost covers getint/putint.)
+                    let io = if op.is_io() { self.cost.io_port } else { 0 };
+                    let c = self.cost.ref_check
+                        + op.arity() as u64 * (self.cost.ref_check + self.cost.prim_fetch)
+                        + self.cost.prim_op
+                        + io
+                        + self.cost.update;
+                    return Ok((c, AllocBound::default()));
+                }
+                match self.program.lookup(id) {
+                    Some(item) if item.is_con() => {
+                        Ok((self.cost.ref_check + self.cost.update, AllocBound::default()))
+                    }
+                    Some(item) => {
+                        let saturated = nargs >= item.arity;
+                        if saturated {
+                            let (c, a) = self.function(id)?;
+                            Ok((self.cost.ref_check + c, a))
+                        } else {
+                            // Partial application: WHNF immediately.
+                            Ok((
+                                self.cost.ref_check + self.cost.pap_check,
+                                AllocBound::default(),
+                            ))
+                        }
+                    }
+                    None => Err(WcetError::NoSuchFunction(id)),
+                }
+            }
+            // A closure-valued callee: without a type system the target is
+            // statically unknown. All programs analyzed in this workspace
+            // (kernel + ICD) apply globals directly; charge the partial-
+            // application combination overhead for the indirection itself.
+            _ => Ok((
+                self.cost.ref_check + self.cost.pap_extend + self.cost.alloc,
+                AllocBound { objects: 1, words: 2 + nargs as u64, refs: nargs as u64 },
+            )),
+        }
+    }
+
+    /// Whether local slot `slot` is referenced anywhere in `e`.
+    fn slot_used(e: &MExpr, slot: i32) -> bool {
+        let mut found = false;
+        e.walk(&mut |sub| {
+            if found {
+                return;
+            }
+            let hit = |op: &Operand| op.source == Source::Local && op.index == slot;
+            match sub {
+                MExpr::Let { callee, args, .. } => {
+                    if hit(callee) || args.iter().any(hit) {
+                        found = true;
+                    }
+                }
+                MExpr::Case { scrutinee, .. } => {
+                    if hit(scrutinee) {
+                        found = true;
+                    }
+                }
+                MExpr::Result(op) => {
+                    if hit(op) {
+                        found = true;
+                    }
+                }
+            }
+        });
+        found
+    }
+
+    fn expr(&mut self, e: &MExpr, next_local: usize) -> Result<(u64, AllocBound), WcetError> {
+        match e {
+            MExpr::Let { callee, args, body } => {
+                let own = self.cost.let_base
+                    + args.len() as u64 * self.cost.let_per_arg
+                    + self.cost.alloc;
+                let alloc_here = AllocBound {
+                    objects: 1,
+                    words: 2 + args.len() as u64,
+                    refs: args.len() as u64,
+                };
+                let demanded =
+                    !self.assume_lazy || Self::slot_used(body, next_local as i32);
+                let (cc, ca) = if demanded {
+                    self.callee_cost(callee, args.len())?
+                } else {
+                    (0, AllocBound::default())
+                };
+                let (bc, ba) = self.expr(body, next_local + 1)?;
+                Ok((own + cc + bc, alloc_here.add(ca).add(ba)))
+            }
+            MExpr::Case { branches, default, .. } => {
+                // Scrutinee force-check + every branch head examined.
+                let own = self.cost.case_base
+                    + self.cost.ref_check
+                    + branches.len() as u64 * self.cost.branch_head;
+                let mut worst = self.expr(default, next_local)?;
+                for b in branches {
+                    let binds = match b.pattern {
+                        MPattern::Con(id) => self
+                            .program
+                            .lookup(id)
+                            .map(|i| i.arity as u64)
+                            .unwrap_or(0),
+                        MPattern::Lit(_) => 0,
+                    };
+                    let (bc, ba) =
+                        self.expr(&b.body, next_local + binds as usize)?;
+                    let bc = bc + binds * self.cost.bind_field;
+                    worst = (worst.0.max(bc), worst.1.max(ba));
+                }
+                Ok((own + worst.0, worst.1))
+            }
+            MExpr::Result(_) => Ok((
+                self.cost.result_base + self.cost.ref_check,
+                AllocBound::default(),
+            )),
+        }
+    }
+}
+
+/// The paper's GC bound for one loop iteration: assume every object the
+/// iteration allocates (plus the persistent live state) is live at
+/// collection time; each live object of `N` words costs `N + 4` cycles to
+/// copy and each reference 2 cycles to check.
+pub fn gc_bound(
+    iteration: &AllocBound,
+    persistent: &AllocBound,
+    cost: &CostModel,
+) -> u64 {
+    let live = iteration.add(*persistent);
+    cost.gc_cycle_base
+        + live.objects * cost.gc_copy_base
+        + live.words * cost.gc_copy_per_word
+        + live.refs * cost.gc_ref_check
+}
+
+/// Measure the allocation footprint of a *value* (used to bound the
+/// persistent state): `objects`/`words`/`refs` for a constructor tree with
+/// the given field counts per node.
+pub fn state_bound(node_fields: &[usize]) -> AllocBound {
+    let mut b = AllocBound::default();
+    for &n in node_fields {
+        b.objects += 1;
+        b.words += 2 + n as u64;
+        b.refs += n as u64;
+    }
+    b
+}
+
+/// Convenience: analyze one iteration of a self-recursive loop function —
+/// the call to `loop_id` itself is the excluded back-edge.
+pub fn iteration_wcet(
+    program: &MProgram,
+    cost: &CostModel,
+    loop_id: u32,
+) -> Result<WcetReport, WcetError> {
+    Wcet::new(program, cost).exclude([loop_id]).analyze(loop_id)
+}
+
+/// Identifier of a named function in a machine program that retained
+/// symbols (helper for analyses driven by name).
+pub fn find_id(program: &MProgram, name: &str) -> Option<u32> {
+    program
+        .items()
+        .iter()
+        .position(|i| i.name.as_deref() == Some(name))
+        .map(|i| FIRST_USER_INDEX + i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_asm::{lower, parse};
+
+    fn machine(src: &str) -> MProgram {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_cost_is_deterministic() {
+        let m = machine("fun main =\n let a = add 1 2 in\n result a");
+        let cost = CostModel::default();
+        let id = find_id(&m, "main").unwrap();
+        let r = Wcet::new(&m, &cost).analyze(id).unwrap();
+        // let(2) + 2 args(2) + alloc(2) + prim(2 + 2*(2+2) + 1 + 2)
+        // + result(2+2) + enter(3) + update(2)
+        let expected = 2 + 2 + 2 + (2 + 2 * (2 + 2) + 1 + 2) + (2 + 2) + 3 + 2;
+        assert_eq!(r.cycles, expected);
+        assert_eq!(r.alloc.objects, 1);
+        assert_eq!(r.alloc.words, 4);
+    }
+
+    #[test]
+    fn case_takes_worst_branch() {
+        let src = r#"
+fun main =
+  case 1 of
+  | 0 => result 0
+  | 1 =>
+    let a = add 1 2 in
+    let b = add a 3 in
+    result b
+  else result 9
+"#;
+        let m = machine(src);
+        let cost = CostModel::default();
+        let id = find_id(&m, "main").unwrap();
+        let r = Wcet::new(&m, &cost).analyze(id).unwrap();
+        // Strictly more than the else-only path and both heads charged.
+        let else_only = Wcet::new(&machine("fun main = result 9"), &cost)
+            .analyze(0x100)
+            .unwrap();
+        assert!(r.cycles > else_only.cycles + 2 * cost.branch_head);
+        assert_eq!(r.alloc.objects, 2, "worst branch allocates two thunks");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let src = r#"
+fun f n =
+  let m = sub n 1 in
+  let r = f m in
+  result r
+fun main =
+  let r = f 5 in
+  result r
+"#;
+        let m = machine(src);
+        let cost = CostModel::default();
+        let err = Wcet::new(&m, &cost).analyze(0x100).unwrap_err();
+        assert!(matches!(err, WcetError::Recursive { .. }));
+    }
+
+    #[test]
+    fn excluded_back_edge_makes_loops_analyzable() {
+        let src = r#"
+fun looper st =
+  let st' = add st 1 in
+  let r = looper st' in
+  result r
+fun main =
+  let r = looper 0 in
+  result r
+"#;
+        let m = machine(src);
+        let cost = CostModel::default();
+        let id = find_id(&m, "looper").unwrap();
+        let r = iteration_wcet(&m, &cost, id).unwrap();
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn callees_are_included_once_each_call_site() {
+        let src = r#"
+fun helper x =
+  let a = mul x x in
+  result a
+fun main =
+  let a = helper 3 in
+  let b = helper 4 in
+  let c = add a b in
+  result c
+"#;
+        let m = machine(src);
+        let cost = CostModel::default();
+        let helper_id = find_id(&m, "helper").unwrap();
+        let helper = Wcet::new(&m, &cost).analyze(helper_id).unwrap();
+        let main = Wcet::new(&m, &cost).analyze(0x100).unwrap();
+        // main includes helper twice plus its own work.
+        assert!(main.cycles > 2 * helper.cycles);
+    }
+
+    #[test]
+    fn gc_bound_formula() {
+        let cost = CostModel::default();
+        let iter = AllocBound { objects: 10, words: 40, refs: 20 };
+        let persistent = AllocBound { objects: 5, words: 25, refs: 15 };
+        let bound = gc_bound(&iter, &persistent, &cost);
+        // base + 15 objects × 4 + 65 words × 1 + 35 refs × 2
+        assert_eq!(bound, cost.gc_cycle_base + 15 * 4 + 65 + 35 * 2);
+    }
+
+    #[test]
+    fn state_bound_counts_nodes() {
+        let b = state_bound(&[8, 8, 4, 2]);
+        assert_eq!(b.objects, 4);
+        assert_eq!(b.words, 8 + 22);
+        assert_eq!(b.refs, 22);
+    }
+}
+
+#[cfg(test)]
+mod lazy_tests {
+    use super::*;
+    use zarf_asm::{lower, parse};
+
+    #[test]
+    fn lazy_refinement_skips_dead_lets_only() {
+        let src = r#"
+fun expensive x =
+  let a = mul x x in
+  let b = mul a a in
+  let c = mul b b in
+  result c
+fun main =
+  let dead = expensive 9 in
+  let live = add 1 2 in
+  result live
+"#;
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let cost = CostModel::default();
+        let eager = Wcet::new(&m, &cost).analyze(0x100).unwrap();
+        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        assert!(
+            lazy.cycles < eager.cycles,
+            "lazy {} should beat eager {} with a dead expensive let",
+            lazy.cycles,
+            eager.cycles
+        );
+        // The allocation of the dead thunk is still charged.
+        assert_eq!(lazy.alloc.objects, eager.alloc.objects - 3);
+    }
+
+    #[test]
+    fn lazy_refinement_is_identical_when_everything_is_used() {
+        let src = r#"
+fun main =
+  let a = add 1 2 in
+  let b = mul a a in
+  result b
+"#;
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let cost = CostModel::default();
+        let eager = Wcet::new(&m, &cost).analyze(0x100).unwrap();
+        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        assert_eq!(lazy.cycles, eager.cycles);
+    }
+
+    #[test]
+    fn lazy_bound_still_dominates_hardware_execution() {
+        use zarf_core::io::NullPorts;
+        use zarf_hw::Hw;
+        let src = r#"
+fun main =
+  let dead = mul 999 999 in
+  let a = add 1 2 in
+  let b = mul a 7 in
+  result b
+"#;
+        let m = lower(&parse(src).unwrap()).unwrap();
+        let cost = CostModel::default();
+        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        let mut hw = Hw::from_machine(&m).unwrap();
+        hw.run(&mut NullPorts).unwrap();
+        assert!(lazy.cycles >= hw.stats().mutator_cycles());
+    }
+}

@@ -1,0 +1,93 @@
+//! Functional programming at the ISA level: algebraic data types,
+//! higher-order functions, partial application — all of it directly in
+//! machine instructions, with no runtime underneath.
+//!
+//! ```sh
+//! cargo run --example functional_isa
+//! ```
+
+use zarf::asm::parse;
+use zarf::core::{Evaluator, NullPorts};
+
+const SRC: &str = r#"
+con Nil
+con Cons head tail
+
+fun foldr f z l =
+  case l of
+  | Nil => result z
+  | Cons h t =>
+    let rest = foldr f z t in
+    let r = f h rest in
+    result r
+  else result z
+
+fun map f l =
+  case l of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons h t =>
+    let h' = f h in
+    let t' = map f t in
+    let l' = Cons h' t' in
+    result l'
+  else
+    let e = Nil in
+    result e
+
+fun filter p l =
+  case l of
+  | Nil =>
+    let e = Nil in
+    result e
+  | Cons h t =>
+    let keep = p h in
+    let t' = filter p t in
+    case keep of
+    | 1 =>
+      let l' = Cons h t' in
+      result l'
+    else result t'
+  else
+    let e = Nil in
+    result e
+
+fun upto n =
+  case n of
+  | 0 =>
+    let e = Nil in
+    result e
+  else
+    let m = sub n 1 in
+    let r = upto m in
+    let l = Cons n r in
+    result l
+
+fun is_even x =
+  let r = mod x 2 in
+  let b = eq r 0 in
+  result b
+
+fun main =
+  let xs = upto 10 in
+  ; square every element (partial application of mul would need a helper;
+  ; use a lambda-lifted square via map)
+  let sq = mul in
+  let even = is_even in
+  let evens = filter even xs in
+  ; sum via foldr with the add primitive as a first-class function
+  let plus = add in
+  let total = foldr plus 0 evens in
+  let dbl = sq 2 in
+  let doubled = dbl total in
+  result doubled
+"#;
+
+fn main() {
+    let program = parse(SRC).expect("valid assembly");
+    let v = Evaluator::new(&program).run(&mut NullPorts).expect("runs");
+    // evens of 1..=10 sum to 30; doubled = 60.
+    println!("foldr add 0 (filter even [1..10]) * 2 = {v}");
+    assert_eq!(v.as_int(), Some(60));
+}

@@ -1,0 +1,69 @@
+//! Quickstart: write a Zarf program, assemble it, and run it on all three
+//! execution engines — the big-step reference semantics, the small-step
+//! machine, and the cycle-accurate hardware simulator.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use zarf::asm::{assemble, disassemble, lower, parse};
+use zarf::core::step::Machine;
+use zarf::core::{Evaluator, NullPorts, VecPorts};
+use zarf::hw::Hw;
+
+const SRC: &str = r#"
+; Fibonacci on the λ-execution layer.
+fun fib n =
+  case n of
+  | 0 => result 0
+  | 1 => result 1
+  else
+    let a = sub n 1 in
+    let b = sub n 2 in
+    let fa = fib a in
+    let fb = fib b in
+    let r = add fa fb in
+    result r
+
+fun main =
+  let n = getint 0 in
+  let r = fib n in
+  let w = putint 1 r in
+  result w
+"#;
+
+fn main() {
+    // 1. Parse to the named AST and inspect the machine lowering.
+    let program = parse(SRC).expect("valid assembly");
+    let machine = lower(&program).expect("lowers to machine form");
+    println!("--- machine assembly ---\n{}", disassemble(&machine));
+
+    // 2. Run on the big-step reference semantics.
+    let mut ports = VecPorts::new();
+    ports.push_input(0, [20]);
+    let v = Evaluator::new(&program).run(&mut ports).expect("evaluates");
+    println!("big-step: fib(20) = {v}  (output port wrote {:?})", ports.output(1));
+
+    // 3. Run on the small-step machine, counting transitions.
+    let mut ports = VecPorts::new();
+    ports.push_input(0, [20]);
+    let mut m = Machine::new(&program);
+    let v = m.run(&mut ports, u64::MAX).expect("terminates");
+    println!("small-step: fib(20) = {v} in {} transitions", m.steps());
+
+    // 4. Assemble to a binary image and run it on the hardware model.
+    let binary = assemble(SRC).expect("assembles");
+    println!("binary image: {} words", binary.len());
+    let mut hw = Hw::load(&binary).expect("loads");
+    let mut ports = VecPorts::new();
+    ports.push_input(0, [20]);
+    let v = hw.run(&mut ports).expect("runs");
+    println!(
+        "hardware: fib(20) = {}, {} cycles, CPI {:.2}, {} GC runs",
+        hw.as_int(v).unwrap(),
+        hw.stats().total_cycles(),
+        hw.stats().cpi(),
+        hw.stats().gc_runs,
+    );
+    let _ = NullPorts;
+}

@@ -1,0 +1,143 @@
+//! A second "critical code" workload: the Tiny Encryption Algorithm on the
+//! λ-execution layer — the paper's introduction motivates cryptographic
+//! devices as exactly the kind of embedded system that wants binary-level
+//! assurance. The cipher is written in Zarf assembly, differentially
+//! verified against a Rust reference on random blocks, measured on the
+//! cycle-accurate hardware, and bounded by the WCET analysis (per-round,
+//! since the 32-round loop is the one recursion — the same methodology the
+//! ICD kernel uses for its iteration loop).
+//!
+//! ```sh
+//! cargo run --release --example tea_cipher
+//! ```
+
+use zarf::asm::{lower, parse};
+use zarf::core::io::NullPorts;
+use zarf::hw::{CostModel, HValue, Hw};
+use zarf::verify::wcet::{find_id, Wcet};
+
+/// Reference TEA encryption (David Wheeler & Roger Needham), 32 rounds.
+fn tea_encrypt_ref(v: [u32; 2], k: [u32; 4]) -> [u32; 2] {
+    let (mut v0, mut v1) = (v[0], v[1]);
+    let mut sum: u32 = 0;
+    for _ in 0..32 {
+        sum = sum.wrapping_add(0x9E37_79B9);
+        v0 = v0.wrapping_add(
+            (v1 << 4).wrapping_add(k[0]) ^ v1.wrapping_add(sum) ^ (v1 >> 5).wrapping_add(k[1]),
+        );
+        v1 = v1.wrapping_add(
+            (v0 << 4).wrapping_add(k[2]) ^ v0.wrapping_add(sum) ^ (v0 >> 5).wrapping_add(k[3]),
+        );
+    }
+    [v0, v1]
+}
+
+/// TEA in Zarf assembly. Two ISA realities show up here: `shr` is
+/// arithmetic, so the logical `>> 5` is recovered by masking the smeared
+/// sign bits; and operand immediates are 20-bit, so the magic constants
+/// (`0x9E3779B9`, the 27-bit mask) are synthesized from 16-bit halves with
+/// `shl`/`or` — exactly what a compiler for this encoding would emit.
+const TEA_SRC: &str = r#"
+con Block v0 v1
+
+; one half-round mix: (x << 4) + ka  ^  x + sum  ^  lsr5(x) + kb
+fun mix x sum ka kb mask =
+  let s4 = shl x 4 in
+  let a = add s4 ka in
+  let b = add x sum in
+  let s5 = shr x 5 in
+  let s5m = and s5 mask in        ; 0x07FFFFFF: make the shift logical
+  let c = add s5m kb in
+  let ab = xor a b in
+  let r = xor ab c in
+  result r
+
+fun rounds n v0 v1 sum k0 k1 k2 k3 delta mask =
+  case n of
+  | 0 =>
+    let b = Block v0 v1 in
+    result b
+  else
+    let sum' = add sum delta in
+    let m0 = mix v1 sum' k0 k1 mask in
+    let v0' = add v0 m0 in
+    let m1 = mix v0' sum' k2 k3 mask in
+    let v1' = add v1 m1 in
+    let n' = sub n 1 in
+    let r = rounds n' v0' v1' sum' k0 k1 k2 k3 delta mask in
+    result r
+
+fun encrypt v0 v1 k0 k1 k2 k3 =
+  ; delta = 0x9E3779B9, built from 16-bit halves (40503 << 16 | 31161)
+  let dh = shl 40503 16 in
+  let delta = or dh 31161 in
+  ; mask = (1 << 27) - 1 = 0x07FFFFFF
+  let mbit = shl 1 27 in
+  let mask = sub mbit 1 in
+  let r = rounds 32 v0 v1 0 k0 k1 k2 k3 delta mask in
+  result r
+
+fun main = result 0
+"#;
+
+fn main() {
+    let program = parse(TEA_SRC).expect("valid assembly");
+    let machine = lower(&program).expect("lowers");
+    let mut hw = Hw::from_machine(&machine).expect("loads");
+    let encrypt = hw.id_of("encrypt").unwrap();
+
+    // Differential verification on pseudo-random blocks and keys.
+    let key = [0x1234_5678u32, 0x9ABC_DEF0, 0x0F1E_2D3C, 0x4B5A_6978];
+    let mut checked = 0;
+    let mut x = 0x2463_7832u32;
+    let mut total_cycles = 0u64;
+    for _ in 0..50 {
+        // xorshift for test vectors
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let v = [x, x.wrapping_mul(0x9E37_79B9)];
+        let expected = tea_encrypt_ref(v, key);
+
+        let before = hw.stats().total_cycles();
+        let args: Vec<HValue> = [v[0], v[1], key[0], key[1], key[2], key[3]]
+            .iter()
+            .map(|&w| HValue::Int(w as i32))
+            .collect();
+        let block = hw.call(encrypt, args, &mut NullPorts).expect("runs");
+        let v0 = hw.con_field(block, 0).unwrap();
+        let v1 = hw.con_field(block, 1).unwrap();
+        let got = [
+            hw.deep_value(v0, &mut NullPorts).unwrap().as_int().unwrap() as u32,
+            hw.deep_value(v1, &mut NullPorts).unwrap().as_int().unwrap() as u32,
+        ];
+        assert_eq!(got, expected, "block {checked} mismatch");
+        total_cycles += hw.stats().total_cycles() - before;
+        checked += 1;
+    }
+    println!("TEA on the λ-layer matches the Rust reference on {checked} random blocks");
+    println!(
+        "average {} cycles per block encryption ({:.1} µs at 50 MHz)",
+        total_cycles / checked,
+        (total_cycles / checked) as f64 / 50.0
+    );
+
+    // WCET methodology with a bounded loop: the 32-round recursion is the
+    // one cycle, so bound a single round and multiply.
+    let cost = CostModel::default();
+    let rounds_id = find_id(&machine, "rounds").unwrap();
+    let per_round = Wcet::new(&machine, &cost)
+        .exclude([rounds_id])
+        .analyze(rounds_id)
+        .expect("acyclic outside the round loop");
+    let bound = 32 * per_round.cycles + 200; // entry/exit slack
+    println!(
+        "static bound: 32 × {} + 200 = {} cycles per block",
+        per_round.cycles, bound
+    );
+    assert!(
+        bound >= total_cycles / checked,
+        "static bound must dominate the measured mean"
+    );
+    println!("static bound dominates the measured mean: OK");
+}

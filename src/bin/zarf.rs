@@ -1,0 +1,247 @@
+//! The `zarf` command-line driver: assemble, run, disassemble, and analyze
+//! Zarf programs from the shell.
+//!
+//! ```text
+//! zarf asm <file.zf>              assemble to <file.zbin> (binary words)
+//! zarf run <file.zf|file.zbin> [--in p:v,v,… ] [--engine big|small|hw]
+//! zarf dis <file.zf|file.zbin>    machine-assembly listing
+//! zarf hex <file.zf|file.zbin>    annotated binary words
+//! zarf wcet <file.zf|file.zbin> [--fn name] [--exclude name] [--lazy]
+//! zarf lint <file.zf|file.zbin>   static hygiene findings
+//! zarf check <file.zfa>           typecheck annotated assembly (§5.3)
+//! zarf stats <file.zf> [--profile]  run on hardware, print CPI statistics
+//! ```
+//!
+//! Source files use the assembly syntax of `zarf_asm::parse`; binary files
+//! are little-endian 32-bit words as produced by `zarf asm`.
+
+use std::process::ExitCode;
+
+use zarf::asm::{decode, disassemble, encode, hexdump, lift, lower, parse};
+use zarf::core::machine::MProgram;
+use zarf::core::step::Machine;
+use zarf::core::{Evaluator, VecPorts};
+use zarf::hw::{CostModel, Hw};
+use zarf::verify::annotated::check_annotated;
+use zarf::verify::lints::lint;
+use zarf::verify::wcet::{find_id, Wcet};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats> <file> [options]\n\
+         run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
+         stats options: --profile (per-function cycle attribution)\n\
+         wcet options: --fn NAME  --exclude NAME"
+    );
+    ExitCode::from(2)
+}
+
+/// Load a `.zf` source or `.zbin` binary into machine form.
+fn load_machine(path: &str) -> Result<MProgram, String> {
+    if path.ends_with(".zbin") {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        if bytes.len() % 4 != 0 {
+            return Err(format!("{path}: not a whole number of 32-bit words"));
+        }
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        decode(&words).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = parse(&src).map_err(|e| format!("{path}: {e}"))?;
+        lower(&program).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_inputs(args: &[String]) -> Result<VecPorts, String> {
+    let mut ports = VecPorts::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--in" {
+            let spec = args.get(i + 1).ok_or("--in needs PORT:v,v,…")?;
+            let (port, vals) = spec.split_once(':').ok_or("--in needs PORT:v,v,…")?;
+            let port: i32 = port.parse().map_err(|_| format!("bad port `{port}`"))?;
+            let vals = vals
+                .split(',')
+                .filter(|v| !v.is_empty())
+                .map(|v| v.parse::<i32>().map_err(|_| format!("bad value `{v}`")))
+                .collect::<Result<Vec<_>, _>>()?;
+            ports.push_input(port, vals);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(ports)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return usage(),
+    };
+    let rest = &args[2..];
+
+    let result = (|| -> Result<(), String> {
+        match cmd {
+            "asm" => {
+                let machine = load_machine(path)?;
+                let words = encode(&machine).map_err(|e| e.to_string())?;
+                let out = path
+                    .strip_suffix(".zf")
+                    .map(|s| format!("{s}.zbin"))
+                    .unwrap_or_else(|| format!("{path}.zbin"));
+                let bytes: Vec<u8> =
+                    words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                std::fs::write(&out, bytes).map_err(|e| format!("{out}: {e}"))?;
+                println!("{out}: {} words", words.len());
+                Ok(())
+            }
+            "dis" => {
+                let machine = load_machine(path)?;
+                print!("{}", disassemble(&machine));
+                Ok(())
+            }
+            "hex" => {
+                let machine = load_machine(path)?;
+                let words = encode(&machine).map_err(|e| e.to_string())?;
+                print!("{}", hexdump(&words));
+                Ok(())
+            }
+            "run" => {
+                let machine = load_machine(path)?;
+                let mut ports = parse_inputs(rest)?;
+                let engine = flag_value(rest, "--engine").unwrap_or_else(|| "hw".into());
+                let value = match engine.as_str() {
+                    "big" => {
+                        let program = lift(&machine).map_err(|e| e.to_string())?;
+                        let v = Evaluator::new(&program)
+                            .run(&mut ports)
+                            .map_err(|e| e.to_string())?;
+                        format!("{v}")
+                    }
+                    "small" => {
+                        let program = lift(&machine).map_err(|e| e.to_string())?;
+                        let v = Machine::new(&program)
+                            .run(&mut ports, u64::MAX)
+                            .map_err(|e| e.to_string())?;
+                        format!("{v}")
+                    }
+                    "hw" => {
+                        let mut hw =
+                            Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                        let v = hw.run(&mut ports).map_err(|e| e.to_string())?;
+                        let dv =
+                            hw.deep_value(v, &mut ports).map_err(|e| e.to_string())?;
+                        format!("{dv}")
+                    }
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+                println!("result: {value}");
+                for port in ports.output_ports().collect::<Vec<_>>() {
+                    println!("port {port} wrote: {:?}", ports.output(port));
+                }
+                Ok(())
+            }
+            "stats" => {
+                let machine = load_machine(path)?;
+                let profiling = rest.iter().any(|a| a == "--profile");
+                let mut hw = Hw::from_machine_with(
+                    &machine,
+                    zarf::hw::HwConfig { profile: profiling, ..Default::default() },
+                )
+                .map_err(|e| e.to_string())?;
+                let mut ports = parse_inputs(rest)?;
+                hw.run(&mut ports).map_err(|e| e.to_string())?;
+                print!("{}", hw.stats());
+                if profiling {
+                    println!("\nper-function cycles (hottest first):");
+                    for (id, name, cycles) in hw.profile() {
+                        let label = name.unwrap_or_else(|| format!("g_{id:x}"));
+                        println!("  {label:<24} {cycles:>12}");
+                    }
+                }
+                Ok(())
+            }
+            "check" => {
+                let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                match check_annotated(&src) {
+                    Ok((program, _)) => {
+                        println!(
+                            "WELL-TYPED: {} function(s), {} constructor(s)",
+                            program.functions().count(),
+                            program.constructors().count()
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("REJECTED: {e}")),
+                }
+            }
+            "lint" => {
+                let machine = load_machine(path)?;
+                let program = lift(&machine).map_err(|e| e.to_string())?;
+                let findings = lint(&program);
+                if findings.is_empty() {
+                    println!("no findings");
+                } else {
+                    for l in &findings {
+                        println!("warning: {l}");
+                    }
+                    println!("{} finding(s)", findings.len());
+                }
+                Ok(())
+            }
+            "wcet" => {
+                let machine = load_machine(path)?;
+                let cost = CostModel::default();
+                let root = match flag_value(rest, "--fn") {
+                    Some(name) => find_id(&machine, &name)
+                        .ok_or(format!("no function named `{name}` (binaries keep no symbols)"))?,
+                    None => 0x100,
+                };
+                let mut analysis =
+                    Wcet::new(&machine, &cost).assume_lazy(rest.iter().any(|a| a == "--lazy"));
+                if let Some(ex) = flag_value(rest, "--exclude") {
+                    let id = find_id(&machine, &ex)
+                        .ok_or(format!("no function named `{ex}`"))?;
+                    analysis = analysis.exclude([id]);
+                }
+                let report = analysis.analyze(root).map_err(|e| e.to_string())?;
+                println!("WCET of {root:#x}: {} cycles", report.cycles);
+                println!(
+                    "worst-case allocation: {} objects / {} words / {} refs",
+                    report.alloc.objects, report.alloc.words, report.alloc.refs
+                );
+                let mut per: Vec<_> = report.per_function.into_iter().collect();
+                per.sort();
+                for (id, cycles) in per {
+                    println!("  fn {id:#x}: <= {cycles} cycles");
+                }
+                Ok(())
+            }
+            _ => {
+                usage();
+                Err(String::new())
+            }
+        }
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("zarf: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # Zarf — an architecture supporting formal and compositional binary analysis
+//!
+//! A workspace-scale Rust reproduction of the ASPLOS 2017 paper by McMahan,
+//! Christensen, Nichols, Roesch, Guo, Hardekopf, and Sherwood. Zarf is a
+//! two-layer embedded architecture: a purely functional **λ-execution
+//! layer** whose ISA is a lambda-lifted, A-normal-form lambda calculus with
+//! three instructions (`let` / `case` / `result`), and a conventional
+//! imperative core, connected only by a value channel. Critical code runs —
+//! and is *analyzed* — at the binary level on the functional layer; legacy
+//! and convenience code runs unverified on the imperative one.
+//!
+//! This crate is a façade: each subsystem lives in its own crate and is
+//! re-exported here.
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`core`](mod@core) | `zarf-core` | the ISA: syntax, values, big-step & small-step reference semantics |
+//! | [`asm`] | `zarf-asm` | assembler, binary encoder/decoder, disassembler, lifter |
+//! | [`hw`] | `zarf-hw` | cycle-accurate simulator of the λ-layer hardware (lazy evaluation, semispace GC, CPI stats, resource model) |
+//! | [`imperative`] | `zarf-imperative` | the untrusted RISC core, its assembler, and the inter-layer channel |
+//! | [`icd`] | `zarf-icd` | the implantable-defibrillator application: ECG synthesis, Pan–Tompkins spec, VT/ATP, extraction to Zarf assembly |
+//! | [`kernel`] | `zarf-kernel` | the cooperative-coroutine microkernel, system devices, monitor program, the unverified imperative baseline, and full-system integration |
+//! | [`verify`] | `zarf-verify` | the binary analyses: integrity type system (non-interference), WCET, GC bounds, system timing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zarf::asm::assemble;
+//! use zarf::hw::Hw;
+//! use zarf::core::NullPorts;
+//!
+//! // Assemble a program for the λ-execution layer…
+//! let binary = assemble(
+//!     "fun main =\n let x = mul 6 7 in\n result x",
+//! ).unwrap();
+//! // …and run the binary on the cycle-accurate hardware model.
+//! let mut hw = Hw::load(&binary).unwrap();
+//! let v = hw.run(&mut NullPorts).unwrap();
+//! assert_eq!(hw.as_int(v), Some(42));
+//! ```
+//!
+//! See `examples/` for the full-system ICD demonstration, the binary-
+//! analysis workflow, and functional programming on the ISA; `DESIGN.md`
+//! for the system inventory; and `EXPERIMENTS.md` for the reproduction of
+//! every table and figure in the paper's evaluation.
+
+pub use zarf_asm as asm;
+pub use zarf_core as core;
+pub use zarf_hw as hw;
+pub use zarf_icd as icd;
+pub use zarf_imperative as imperative;
+pub use zarf_kernel as kernel;
+pub use zarf_verify as verify;

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `zarf` command-line driver.
+
+use std::process::Command;
+
+fn zarf(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_zarf"))
+        .args(args)
+        .output()
+        .expect("zarf binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(format!("zarf_cli_test_{name}"));
+    std::fs::write(&path, contents).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+const PROG: &str = "fun main =\n  let a = getint 0 in\n  let b = mul a 6 in\n  let c = putint 1 b in\n  result c\n";
+
+#[test]
+fn asm_then_run_binary() {
+    let src = write_temp("a.zf", PROG);
+    let (ok, out, err) = zarf(&["asm", &src]);
+    assert!(ok, "{err}");
+    assert!(out.contains("words"));
+    let bin = src.replace(".zf", ".zbin");
+    let (ok, out, err) = zarf(&["run", &bin, "--in", "0:7"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("result: 42"), "{out}");
+    assert!(out.contains("port 1 wrote: [42]"), "{out}");
+}
+
+#[test]
+fn run_engines_agree() {
+    let src = write_temp("b.zf", PROG);
+    for engine in ["big", "small", "hw"] {
+        let (ok, out, err) = zarf(&["run", &src, "--engine", engine, "--in", "0:7"]);
+        assert!(ok, "{engine}: {err}");
+        assert!(out.contains("result: 42"), "{engine}: {out}");
+    }
+}
+
+#[test]
+fn dis_and_hex_render() {
+    let src = write_temp("c.zf", PROG);
+    let (ok, out, _) = zarf(&["dis", &src]);
+    assert!(ok);
+    assert!(out.contains("fun 0x100"));
+    let (ok, out, _) = zarf(&["hex", &src]);
+    assert!(ok);
+    assert!(out.contains("magic"));
+}
+
+#[test]
+fn wcet_reports_cycles() {
+    let src = write_temp("d.zf", PROG);
+    let (ok, out, _) = zarf(&["wcet", &src]);
+    assert!(ok);
+    assert!(out.contains("WCET of 0x100"), "{out}");
+    let (ok2, out2, _) = zarf(&["wcet", &src, "--lazy"]);
+    assert!(ok2);
+    assert!(out2.contains("WCET of 0x100"));
+}
+
+#[test]
+fn lint_flags_dead_code() {
+    let src = write_temp(
+        "e.zf",
+        "fun main =\n  let dead = add 1 2 in\n  result 0\n",
+    );
+    let (ok, out, _) = zarf(&["lint", &src]);
+    assert!(ok);
+    assert!(out.contains("never used"), "{out}");
+}
+
+#[test]
+fn check_accepts_and_rejects_annotated_sources() {
+    let good = write_temp(
+        "f.zfa",
+        "port in 0 T\nport out 1 T\nfun main : num^T =\n  let t = getint 0 in\n  let w = putint 1 t in\n  result w\n",
+    );
+    let (ok, out, _) = zarf(&["check", &good]);
+    assert!(ok);
+    assert!(out.contains("WELL-TYPED"));
+
+    let bad = write_temp(
+        "g.zfa",
+        "port in 9 U\nport out 1 T\nfun main : num^U =\n  let u = getint 9 in\n  let w = putint 1 u in\n  result w\n",
+    );
+    let (ok, _, err) = zarf(&["check", &bad]);
+    assert!(!ok);
+    assert!(err.contains("REJECTED"), "{err}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (ok, _, err) = zarf(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (ok, _, _) = zarf(&["frobnicate", "/nonexistent"]);
+    assert!(!ok);
+}

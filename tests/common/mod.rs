@@ -1,0 +1,157 @@
+//! Shared test utilities: the seeded random-program generator used by the
+//! cross-engine and round-trip suites.
+//!
+//! Generated programs are well-formed and terminating by construction
+//! (functions may only call later-declared functions), but otherwise
+//! exercise the whole ISA: primitives (including division, whose zero case
+//! produces runtime-error values), constructors, literal and constructor
+//! `case`s, partial application, and over-application.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use zarf::core::ast::{Arg, Branch, ConDecl, Decl, Expr, FunDecl, Program};
+
+const PRIMS1: &[&str] = &["not", "neg", "abs"];
+const PRIMS2: &[&str] = &[
+    "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "eq", "ne",
+    "lt", "le", "gt", "ge", "min", "max",
+];
+
+struct Gen {
+    rng: StdRng,
+    tmp: u32,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> String {
+        self.tmp += 1;
+        format!("v{}", self.tmp)
+    }
+
+    fn arg(&mut self, scope: &[String]) -> Arg {
+        if !scope.is_empty() && self.rng.gen_bool(0.7) {
+            let i = self.rng.gen_range(0..scope.len());
+            Arg::var(&scope[i])
+        } else {
+            Arg::lit(self.rng.gen_range(-40..40))
+        }
+    }
+
+    fn expr(
+        &mut self,
+        depth: u32,
+        scope: &mut Vec<String>,
+        callable: &[(String, usize)],
+    ) -> Expr {
+        if depth == 0 {
+            let a = self.arg(scope);
+            return Expr::result(a);
+        }
+        match self.rng.gen_range(0..10) {
+            0..=3 => {
+                let v = self.fresh();
+                let (name, arity) = if self.rng.gen_bool(0.8) {
+                    (PRIMS2[self.rng.gen_range(0..PRIMS2.len())], 2)
+                } else {
+                    (PRIMS1[self.rng.gen_range(0..PRIMS1.len())], 1)
+                };
+                let args = (0..arity).map(|_| self.arg(scope)).collect();
+                scope.push(v.clone());
+                let body = self.expr(depth - 1, scope, callable);
+                scope.pop();
+                Expr::let_prim(&v, name, args, body)
+            }
+            4..=5 if !callable.is_empty() => {
+                let (f, arity) = {
+                    let i = self.rng.gen_range(0..callable.len());
+                    callable[i].clone()
+                };
+                let n = if self.rng.gen_bool(0.8) {
+                    arity
+                } else {
+                    self.rng.gen_range(0..=arity)
+                };
+                let v = self.fresh();
+                let args = (0..n).map(|_| self.arg(scope)).collect();
+                scope.push(v.clone());
+                let body = self.expr(depth - 1, scope, callable);
+                scope.pop();
+                Expr::let_fn(&v, &f, args, body)
+            }
+            6..=7 => {
+                let arity = self.rng.gen_range(0..=2usize);
+                let con = format!("C{arity}");
+                let c = self.fresh();
+                let args: Vec<Arg> = (0..arity).map(|_| self.arg(scope)).collect();
+                let binders: Vec<String> = (0..arity).map(|_| self.fresh()).collect();
+                scope.push(c.clone());
+                let before = scope.len();
+                scope.extend(binders.iter().cloned());
+                let hit = self.expr(depth - 1, scope, callable);
+                scope.truncate(before);
+                let miss = self.expr(depth - 1, scope, callable);
+                scope.pop();
+                Expr::let_con(
+                    &c,
+                    &con,
+                    args,
+                    Expr::case_(
+                        Arg::var(&c),
+                        vec![Branch::con(&con, &binders, hit)],
+                        miss,
+                    ),
+                )
+            }
+            8 => {
+                let scrut = self.arg(scope);
+                let n = self.rng.gen_range(0..=2);
+                let branches = (0..n)
+                    .map(|_| {
+                        let k = self.rng.gen_range(-3..4);
+                        Branch::lit(k, self.expr(depth - 1, scope, callable))
+                    })
+                    .collect();
+                let default = self.expr(depth - 1, scope, callable);
+                Expr::case_(scrut, branches, default)
+            }
+            _ => {
+                let a = self.arg(scope);
+                Expr::result(a)
+            }
+        }
+    }
+}
+
+/// Build a random well-formed, terminating program from a seed.
+pub fn gen_program(seed: u64) -> Program {
+    let mut g = Gen { rng: StdRng::seed_from_u64(seed), tmp: 0 };
+    let mut decls: Vec<Decl> = vec![
+        Decl::Con(ConDecl::new("C0", &[] as &[&str])),
+        Decl::Con(ConDecl::new("C1", &["f0"])),
+        Decl::Con(ConDecl::new("C2", &["f0", "f1"])),
+    ];
+    let nfuns = g.rng.gen_range(1..4usize);
+    let mut callable: Vec<(String, usize)> = Vec::new();
+    let mut funs: Vec<Decl> = Vec::new();
+    for i in (0..nfuns).rev() {
+        let name = format!("f{i}");
+        let arity = g.rng.gen_range(1..=3usize);
+        let params: Vec<String> = (0..arity).map(|k| format!("p{k}")).collect();
+        let mut scope = params.clone();
+        let depth = g.rng.gen_range(1..=4);
+        let body = g.expr(depth, &mut scope, &callable);
+        funs.push(Decl::Fun(FunDecl::new(&name, &params, body)));
+        callable.push((name, arity));
+    }
+    decls.extend(funs);
+    let (f0, arity) = callable.last().unwrap().clone();
+    let args = (0..arity).map(|_| Arg::lit(g.rng.gen_range(-10..10))).collect();
+    decls.push(Decl::main(Expr::let_fn(
+        "r",
+        &f0,
+        args,
+        Expr::result(Arg::var("r")),
+    )));
+    Program::new(decls).expect("generated programs are well-formed")
+}

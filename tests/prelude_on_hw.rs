@@ -1,0 +1,120 @@
+//! The Zarf prelude (lists, folds, merge sort) on the cycle-accurate
+//! hardware — full programmability of the λ-execution layer beyond the
+//! flagship application.
+
+use zarf::asm::{lower, parse, with_prelude};
+use zarf::core::io::NullPorts;
+use zarf::core::Evaluator;
+use zarf::hw::{Hw, HwConfig};
+
+fn run_both(main_src: &str) -> (i32, i32, u64) {
+    let src = with_prelude(main_src);
+    let program = parse(&src).unwrap();
+    let big = Evaluator::new(&program)
+        .run(&mut NullPorts)
+        .unwrap()
+        .as_int()
+        .unwrap();
+    let machine = lower(&program).unwrap();
+    let mut hw = Hw::from_machine_with(
+        &machine,
+        HwConfig { heap_words: 1 << 20, ..HwConfig::default() },
+    )
+    .unwrap();
+    let v = hw.run(&mut NullPorts).unwrap();
+    let hwv = hw.as_int(v).unwrap();
+    (big, hwv, hw.stats().total_cycles())
+}
+
+#[test]
+fn merge_sort_on_hardware() {
+    let main_src = r#"
+fun mk l n =
+  case n of
+  | 0 => result l
+  else
+    let x = mul n 7919 in
+    let m = mod x 1000 in
+    let l' = Cons m l in
+    let n' = sub n 1 in
+    let r = mk l' n' in
+    result r
+fun sorted l =
+  case l of
+  | Nil => result 1
+  | Cons h t =>
+    case t of
+    | Nil => result 1
+    | Cons h2 t2 =>
+      let ok = le h h2 in
+      case ok of
+      | 0 => result 0
+      else
+        let r = sorted t in
+        result r
+    else result 1
+  else result 1
+fun main =
+  let nil = Nil in
+  let xs = mk nil 64 in
+  let s = msort xs in
+  let ok = sorted s in
+  let n = length s in
+  let t = mul ok 1000 in
+  let out = add t n in
+  result out
+"#;
+    let (big, hw, cycles) = run_both(main_src);
+    assert_eq!(big, 1064);
+    assert_eq!(hw, 1064);
+    // A 64-element merge sort is real work but bounded.
+    assert!(cycles > 10_000 && cycles < 10_000_000, "{cycles} cycles");
+}
+
+#[test]
+fn higher_order_pipeline_on_hardware() {
+    let main_src = r#"
+fun square x =
+  let r = mul x x in
+  result r
+fun odd x =
+  let r = mod x 2 in
+  result r
+fun main =
+  let xs = range 1 20 in
+  let p = odd in
+  let f = square in
+  let odds = filter p xs in
+  let sq = map f odds in
+  let total = sum sq in
+  result total
+"#;
+    let (big, hw, _) = run_both(main_src);
+    let expected: i32 = (1..=20).filter(|x| x % 2 == 1).map(|x| x * x).sum();
+    assert_eq!(big, expected);
+    assert_eq!(hw, expected);
+}
+
+#[test]
+fn deep_recursion_on_hardware_with_small_heap() {
+    // reverse over a 5,000-element list exercises GC under real pressure.
+    let main_src = r#"
+fun main =
+  let xs = range 1 5000 in
+  let r = reverse xs in
+  case r of
+  | Cons h t => result h
+  else result -1
+"#;
+    let src = with_prelude(main_src);
+    let program = parse(&src).unwrap();
+    let machine = lower(&program).unwrap();
+    let mut hw = Hw::from_machine_with(
+        &machine,
+        HwConfig { heap_words: 64 * 1024, ..HwConfig::default() },
+    )
+    .unwrap();
+    let v = hw.run(&mut NullPorts).unwrap();
+    assert_eq!(hw.as_int(v), Some(5000));
+    assert!(hw.stats().gc_runs > 0, "GC pressure expected");
+}

@@ -1,0 +1,112 @@
+//! Full-system end-to-end agreement: specification, extracted λ-layer
+//! implementation on cycle-accurate hardware, and the unverified imperative
+//! baseline all observe the same ECG and must produce bit-identical
+//! therapy decisions; the untrusted monitor must count them correctly.
+
+use zarf::icd::consts::{OUT_PULSE, OUT_TREAT_START};
+use zarf::icd::signal::{vt_episode, EcgConfig};
+use zarf::icd::spec::IcdSpec;
+use zarf::kernel::baseline::baseline_cpu;
+use zarf::kernel::devices::HeartPorts;
+use zarf::kernel::system::System;
+
+fn episode(seconds: usize) -> Vec<i32> {
+    let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+    g.take(seconds * 200)
+}
+
+#[test]
+fn three_implementations_agree_through_a_full_episode() {
+    let samples = episode(40); // sinus → onset → first therapy
+    let mut spec = IcdSpec::new();
+    let words: Vec<i32> = samples.iter().map(|&x| spec.step(x).word()).collect();
+    assert!(words.iter().any(|&w| w & OUT_TREAT_START != 0));
+    assert!(words.iter().any(|&w| w & OUT_PULSE != 0));
+
+    // λ-layer system.
+    let mut sys = System::new(samples.clone()).unwrap();
+    let report = sys.run().unwrap();
+    assert_eq!(&report.pace_log[1..], &words[..words.len() - 1]);
+
+    // Imperative baseline.
+    let mut ports = HeartPorts::new(samples);
+    let mut cpu = baseline_cpu();
+    cpu.run(&mut ports, u64::MAX).unwrap();
+    assert_eq!(ports.pace_log(), &report.pace_log[..]);
+
+    // Monitor agrees with the spec's treatment count.
+    assert_eq!(sys.treat_count(), Some(spec.treat_count() as i32));
+}
+
+#[test]
+fn noisy_signal_does_not_break_agreement() {
+    // With measurement noise the algorithms must still agree bit-for-bit
+    // (they share exact integer arithmetic), even if detection quality
+    // changes.
+    let (mut g, _) = vt_episode(EcgConfig { noise: 60, ..EcgConfig::default() });
+    let samples = g.take(5000);
+    let mut spec = IcdSpec::new();
+    let words: Vec<i32> = samples.iter().map(|&x| spec.step(x).word()).collect();
+
+    let mut sys = System::new(samples.clone()).unwrap();
+    let report = sys.run().unwrap();
+    assert_eq!(&report.pace_log[1..], &words[..words.len() - 1]);
+
+    let mut ports = HeartPorts::new(samples);
+    let mut cpu = baseline_cpu();
+    cpu.run(&mut ports, u64::MAX).unwrap();
+    assert_eq!(ports.pace_log(), &report.pace_log[..]);
+}
+
+#[test]
+fn eager_ablation_matches_outputs_but_loses_constant_space() {
+    // Two findings in one: (a) eager evaluation changes *when* work
+    // happens, not what is observable — on a short trace with a large
+    // heap, the pacing log is bit-identical; (b) the microkernel's
+    // constant-space infinite loop depends on laziness: the let-bound
+    // tail call `let r = kernel_run … in result r` is only forced after
+    // the frame pops under lazy evaluation, whereas eager forcing keeps
+    // every iteration's frame live and exhausts any bounded heap.
+    use zarf::hw::{HwConfig, HwError};
+
+    // (a) short trace, generous heap: identical outputs.
+    let short = episode(2);
+    let mut lazy = System::new(short.clone()).unwrap();
+    let lazy_report = lazy.run().unwrap();
+    let mut eager = System::with_config(
+        short,
+        HwConfig {
+            gc_auto: true,
+            eager: true,
+            heap_words: 1 << 22,
+            ..HwConfig::default()
+        },
+    )
+    .unwrap();
+    let eager_report = eager.run().unwrap();
+    assert_eq!(lazy_report.pace_log, eager_report.pace_log);
+
+    // (b) longer trace, deployment-sized heap: eager mode cannot sustain
+    // the loop; lazy mode runs it indefinitely (every other test).
+    let longer = episode(20);
+    let mut eager = System::with_config(
+        longer,
+        HwConfig { gc_auto: true, eager: true, ..HwConfig::default() },
+    )
+    .unwrap();
+    match eager.run() {
+        Err(HwError::OutOfMemory { .. }) => {}
+        other => panic!("expected the eager kernel to exhaust memory, got {other:?}"),
+    }
+}
+
+#[test]
+fn quiet_heart_never_receives_therapy() {
+    // Safety property: a flatline (plus noise) must never be paced.
+    let samples: Vec<i32> = (0..4000).map(|i| ((i * 7919) % 41) - 20).collect();
+    let mut sys = System::new(samples).unwrap();
+    let report = sys.run().unwrap();
+    assert!(report.pace_log.iter().all(|&w| w & OUT_PULSE == 0));
+    assert!(report.pace_log.iter().all(|&w| w & OUT_TREAT_START == 0));
+    assert_eq!(sys.treat_count(), Some(0));
+}
