@@ -40,7 +40,11 @@ fn write_expr(m: &MProgram, e: &MExpr, depth: usize, out: &mut String) {
             out.push('\n');
             write_expr(m, body, depth, out);
         }
-        MExpr::Case { scrutinee, branches, default } => {
+        MExpr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             let _ = writeln!(out, "{pad}case {}", operand_str(m, scrutinee));
             for b in branches {
                 match b.pattern {
@@ -133,8 +137,7 @@ fun main =
 
     #[test]
     fn primitives_annotated_by_mnemonic() {
-        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap())
-            .unwrap();
+        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap()).unwrap();
         let text = disassemble(&m);
         assert!(text.contains("(add)"));
         assert!(text.contains("imm 1, imm 2"));
@@ -143,8 +146,7 @@ fun main =
     #[test]
     fn decoded_binary_disassembles_without_names() {
         use crate::encode::{decode, encode};
-        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap())
-            .unwrap();
+        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap()).unwrap();
         let d = decode(&encode(&m).unwrap()).unwrap();
         let text = disassemble(&d);
         assert!(text.contains("fun 0x100"));

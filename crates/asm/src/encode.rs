@@ -80,7 +80,13 @@ pub fn unpack_let_head(w: Word) -> Option<(usize, Operand)> {
     }
     let nargs = ((w >> 16) & 0xFF) as usize;
     let source = source_from_code((w >> 12) & 0xF)?;
-    Some((nargs, Operand { source, index: (w & 0xFFF) as i32 }))
+    Some((
+        nargs,
+        Operand {
+            source,
+            index: (w & 0xFFF) as i32,
+        },
+    ))
 }
 
 /// Decode a pattern word into its skip field.
@@ -292,7 +298,11 @@ fn encode_expr(expr: &MExpr, out: &mut Vec<Word>) -> Result<(), EncodeError> {
             }
             encode_expr(body, out)
         }
-        MExpr::Case { scrutinee, branches, default } => {
+        MExpr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             out.push((TAG_CASE << 24) | pack_operand(scrutinee)?);
             for MBranch { pattern, body } in branches {
                 let mut body_words = Vec::new();
@@ -347,15 +357,26 @@ pub fn decode(words: &[Word]) -> Result<MProgram, DecodeError> {
         let body_len = next(&mut pos)? as usize;
         if is_con {
             if body_len != 0 {
-                return Err(DecodeError::LengthMismatch { stored: body_len, actual: 0 });
+                return Err(DecodeError::LengthMismatch {
+                    stored: body_len,
+                    actual: 0,
+                });
             }
-            items.push(MItem { arity, locals, kind: MItemKind::Con, name: None });
+            items.push(MItem {
+                arity,
+                locals,
+                kind: MItemKind::Con,
+                name: None,
+            });
         } else {
             let start = pos;
             let body = decode_expr(words, &mut pos)?;
             let actual = pos - start;
             if actual != body_len {
-                return Err(DecodeError::LengthMismatch { stored: body_len, actual });
+                return Err(DecodeError::LengthMismatch {
+                    stored: body_len,
+                    actual,
+                });
             }
             items.push(MItem {
                 arity,
@@ -375,27 +396,37 @@ fn decode_expr(words: &[Word], pos: &mut usize) -> Result<MExpr, DecodeError> {
     match w >> 24 {
         TAG_LET => {
             let nargs = ((w >> 16) & 0xFF) as usize;
-            let source = source_from_code((w >> 12) & 0xF)
-                .ok_or(DecodeError::BadTag { word: w, offset })?;
-            let callee = Operand { source, index: (w & 0xFFF) as i32 };
+            let source =
+                source_from_code((w >> 12) & 0xF).ok_or(DecodeError::BadTag { word: w, offset })?;
+            let callee = Operand {
+                source,
+                index: (w & 0xFFF) as i32,
+            };
             let mut args = Vec::with_capacity(nargs);
             for _ in 0..nargs {
                 let aw = *words.get(*pos).ok_or(DecodeError::Truncated)?;
                 if aw >> 24 != TAG_ARG {
-                    return Err(DecodeError::BadTag { word: aw, offset: *pos });
+                    return Err(DecodeError::BadTag {
+                        word: aw,
+                        offset: *pos,
+                    });
                 }
-                args.push(
-                    unpack_operand(aw & 0x00FF_FFFF)
-                        .ok_or(DecodeError::BadTag { word: aw, offset: *pos })?,
-                );
+                args.push(unpack_operand(aw & 0x00FF_FFFF).ok_or(DecodeError::BadTag {
+                    word: aw,
+                    offset: *pos,
+                })?);
                 *pos += 1;
             }
             let body = decode_expr(words, pos)?;
-            Ok(MExpr::Let { callee, args, body: Box::new(body) })
+            Ok(MExpr::Let {
+                callee,
+                args,
+                body: Box::new(body),
+            })
         }
         TAG_CASE => {
-            let scrutinee = unpack_operand(w & 0x00FF_FFFF)
-                .ok_or(DecodeError::BadTag { word: w, offset })?;
+            let scrutinee =
+                unpack_operand(w & 0x00FF_FFFF).ok_or(DecodeError::BadTag { word: w, offset })?;
             let mut branches = Vec::new();
             loop {
                 let pw = *words.get(*pos).ok_or(DecodeError::Truncated)?;
@@ -423,7 +454,12 @@ fn decode_expr(words: &[Word], pos: &mut usize) -> Result<MExpr, DecodeError> {
                         };
                         branches.push(MBranch { pattern, body });
                     }
-                    _ => return Err(DecodeError::BadTag { word: pw, offset: poffset }),
+                    _ => {
+                        return Err(DecodeError::BadTag {
+                            word: pw,
+                            offset: poffset,
+                        })
+                    }
                 }
             }
             let default = decode_expr(words, pos)?;
@@ -434,8 +470,8 @@ fn decode_expr(words: &[Word], pos: &mut usize) -> Result<MExpr, DecodeError> {
             })
         }
         TAG_RESULT => {
-            let op = unpack_operand(w & 0x00FF_FFFF)
-                .ok_or(DecodeError::BadTag { word: w, offset })?;
+            let op =
+                unpack_operand(w & 0x00FF_FFFF).ok_or(DecodeError::BadTag { word: w, offset })?;
             Ok(MExpr::Result(op))
         }
         _ => Err(DecodeError::BadTag { word: w, offset }),
@@ -485,7 +521,10 @@ mod tests {
         let items = m
             .items()
             .iter()
-            .map(|i| MItem { name: None, ..i.clone() })
+            .map(|i| MItem {
+                name: None,
+                ..i.clone()
+            })
             .collect();
         MProgram::new(items).unwrap()
     }
@@ -574,8 +613,10 @@ fun main =
         words[idx] += 1;
         assert!(matches!(
             decode(&words),
-            Err(DecodeError::SkipMismatch { .. } | DecodeError::Truncated
-                | DecodeError::LengthMismatch { .. } | DecodeError::BadTag { .. })
+            Err(DecodeError::SkipMismatch { .. }
+                | DecodeError::Truncated
+                | DecodeError::LengthMismatch { .. }
+                | DecodeError::BadTag { .. })
         ));
     }
 
@@ -617,8 +658,7 @@ fun main =
 
     #[test]
     fn hexdump_annotates_tags() {
-        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap())
-            .unwrap();
+        let m = lower(&parse("fun main =\n let x = add 1 2 in\n result x").unwrap()).unwrap();
         let words = encode(&m).unwrap();
         let dump = hexdump(&words);
         assert!(dump.contains("magic"));
@@ -628,9 +668,8 @@ fun main =
 
     #[test]
     fn io_program_round_trips() {
-        let (m, d) = roundtrip(
-            "fun main =\n let a = getint 0 in\n let b = putint 1 a in\n result b",
-        );
+        let (m, d) =
+            roundtrip("fun main =\n let a = getint 0 in\n let b = putint 1 a in\n result b");
         assert_eq!(strip_names(&m), d);
     }
 }

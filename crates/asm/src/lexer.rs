@@ -109,7 +109,10 @@ impl fmt::Display for LexError {
                 write!(f, "line {line}: unexpected character {ch:?}")
             }
             LexError::IntOutOfRange { text, line } => {
-                write!(f, "line {line}: integer literal `{text}` out of 32-bit range")
+                write!(
+                    f,
+                    "line {line}: integer literal `{text}` out of 32-bit range"
+                )
             }
         }
     }
@@ -150,15 +153,24 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '|' => {
                 chars.next();
-                out.push(Spanned { token: Token::Pipe, line });
+                out.push(Spanned {
+                    token: Token::Pipe,
+                    line,
+                });
             }
             '=' => {
                 chars.next();
                 if chars.peek() == Some(&'>') {
                     chars.next();
-                    out.push(Spanned { token: Token::Arrow, line });
+                    out.push(Spanned {
+                        token: Token::Arrow,
+                        line,
+                    });
                 } else {
-                    out.push(Spanned { token: Token::Equals, line });
+                    out.push(Spanned {
+                        token: Token::Equals,
+                        line,
+                    });
                 }
             }
             '-' | '0'..='9' => {
@@ -175,13 +187,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                 }
                 if text == "-" {
-                    return Err(LexError::UnexpectedChar { ch: '-', line: start_line });
+                    return Err(LexError::UnexpectedChar {
+                        ch: '-',
+                        line: start_line,
+                    });
                 }
                 let n: i32 = text.parse().map_err(|_| LexError::IntOutOfRange {
                     text: text.clone(),
                     line: start_line,
                 })?;
-                out.push(Spanned { token: Token::Int(n), line: start_line });
+                out.push(Spanned {
+                    token: Token::Int(n),
+                    line: start_line,
+                });
             }
             c if is_ident_start(c) => {
                 let start_line = line;
@@ -205,7 +223,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     "result" => Token::Result,
                     _ => Token::Ident(text),
                 };
-                out.push(Spanned { token, line: start_line });
+                out.push(Spanned {
+                    token,
+                    line: start_line,
+                });
             }
             other => return Err(LexError::UnexpectedChar { ch: other, line }),
         }
@@ -255,10 +276,10 @@ mod tests {
 
     #[test]
     fn primes_allowed_in_idents() {
-        assert_eq!(toks("x' rest'"), vec![
-            Token::Ident("x'".into()),
-            Token::Ident("rest'".into())
-        ]);
+        assert_eq!(
+            toks("x' rest'"),
+            vec![Token::Ident("x'".into()), Token::Ident("rest'".into())]
+        );
     }
 
     #[test]

@@ -113,10 +113,7 @@ fn lookup(scope: &[(&str, Operand)], name: &str) -> Result<Operand, LowerError> 
         .ok_or_else(|| LowerError::Unbound(name.to_string()))
 }
 
-fn lower_arg(
-    arg: &Arg,
-    scope: &[(&str, Operand)],
-) -> Result<Operand, LowerError> {
+fn lower_arg(arg: &Arg, scope: &[(&str, Operand)]) -> Result<Operand, LowerError> {
     match arg {
         Arg::Lit(n) => Ok(Operand::imm(*n)),
         Arg::Var(x) => lookup(scope, x),
@@ -138,7 +135,12 @@ fn lower_expr<'a>(
 ) -> Result<MExpr, LowerError> {
     match expr {
         Expr::Result(arg) => Ok(MExpr::Result(lower_arg(arg, scope)?)),
-        Expr::Let { var, callee, args, body } => {
+        Expr::Let {
+            var,
+            callee,
+            args,
+            body,
+        } => {
             let callee_op = match callee {
                 Callee::Var(x) => lookup(scope, x)?,
                 Callee::Fn(n) | Callee::Con(n) => Operand::global(global_id(ids, n)?),
@@ -158,12 +160,15 @@ fn lower_expr<'a>(
                 body: Box::new(mbody),
             })
         }
-        Expr::Case { scrutinee, branches, default } => {
+        Expr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             let mscrut = lower_arg(scrutinee, scope)?;
             let mut mbranches = Vec::with_capacity(branches.len());
             for b in branches {
-                let (pattern, binders): (MPattern, &[zarf_core::ast::Name]) = match &b.pattern
-                {
+                let (pattern, binders): (MPattern, &[zarf_core::ast::Name]) = match &b.pattern {
                     Pattern::Lit(n) => (MPattern::Lit(*n), &[]),
                     Pattern::Con(name, vars) => {
                         (MPattern::Con(global_id(ids, name)?), vars.as_slice())
@@ -174,13 +179,7 @@ fn lower_expr<'a>(
                     scope.push((&**v, Operand::local(next_local + i)));
                 }
                 *max_locals = (*max_locals).max(next_local + binders.len());
-                let body = lower_expr(
-                    &b.body,
-                    scope,
-                    next_local + binders.len(),
-                    max_locals,
-                    ids,
-                )?;
+                let body = lower_expr(&b.body, scope, next_local + binders.len(), max_locals, ids)?;
                 scope.truncate(before);
                 mbranches.push(MBranch { pattern, body });
             }
@@ -258,13 +257,11 @@ pub fn lift(m: &MProgram) -> Result<Program, LiftError> {
         let name = item_name(m, id);
         match &item.kind {
             MItemKind::Con => {
-                let fields: Vec<String> =
-                    (0..item.arity).map(|k| format!("f{k}")).collect();
+                let fields: Vec<String> = (0..item.arity).map(|k| format!("f{k}")).collect();
                 decls.push(Decl::Con(ConDecl::new(&name, &fields)));
             }
             MItemKind::Fun { body } => {
-                let params: Vec<String> =
-                    (0..item.arity).map(|k| format!("a{k}")).collect();
+                let params: Vec<String> = (0..item.arity).map(|k| format!("a{k}")).collect();
                 let body = lift_expr(m, body, item, 0)?;
                 decls.push(Decl::Fun(FunDecl::new(&name, &params, body)));
             }
@@ -320,9 +317,7 @@ fn lift_callee(m: &MProgram, op: &Operand, item: &MItem) -> Result<Callee, LiftE
             let arg = lift_operand(m, op, item)?;
             match arg {
                 Arg::Var(x) => Ok(Callee::Var(x)),
-                Arg::Lit(_) => Err(LiftError::IndexRange(
-                    "immediate in callee position".into(),
-                )),
+                Arg::Lit(_) => Err(LiftError::IndexRange("immediate in callee position".into())),
             }
         }
     }
@@ -345,7 +340,11 @@ fn lift_expr(
             let body = lift_expr(m, body, item, next_local + 1)?;
             Ok(Expr::let_(format!("l{next_local}"), c, largs, body))
         }
-        MExpr::Case { scrutinee, branches, default } => {
+        MExpr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             let s = lift_operand(m, scrutinee, item)?;
             let mut lbranches = Vec::with_capacity(branches.len());
             for b in branches {
@@ -362,8 +361,7 @@ fn lift_expr(
                         let binders: Vec<String> = (0..it.arity)
                             .map(|k| format!("l{}", next_local + k))
                             .collect();
-                        let body =
-                            lift_expr(m, &b.body, item, next_local + it.arity)?;
+                        let body = lift_expr(m, &b.body, item, next_local + it.arity)?;
                         lbranches.push(Branch::con(item_name(m, id), &binders, body));
                     }
                 }
@@ -445,7 +443,11 @@ fun main =
         assert_eq!(map.locals, 5);
         let body = map.body().unwrap();
         match body {
-            MExpr::Case { scrutinee, branches, .. } => {
+            MExpr::Case {
+                scrutinee,
+                branches,
+                ..
+            } => {
                 assert_eq!(*scrutinee, Operand::arg(1));
                 assert_eq!(branches.len(), 2);
                 assert_eq!(branches[0].pattern, MPattern::Con(0x101)); // Nil

@@ -70,16 +70,28 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, line } => {
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+            } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
             ParseError::UnknownName { name, line } => {
-                write!(f, "line {line}: `{name}` is not a local, function, constructor, or primitive")
+                write!(
+                    f,
+                    "line {line}: `{name}` is not a local, function, constructor, or primitive"
+                )
             }
             ParseError::ShadowsPrimitive { name } => {
                 write!(f, "declaration `{name}` shadows a primitive mnemonic")
             }
-            ParseError::PatternArity { name, declared, written, line } => {
+            ParseError::PatternArity {
+                name,
+                declared,
+                written,
+                line,
+            } => {
                 write!(
                     f,
                     "line {line}: pattern `{name}` binds {written} field(s) but the constructor declares {declared}"
@@ -121,7 +133,11 @@ struct Parser {
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
     let globals = scan_globals(&tokens)?;
-    let mut p = Parser { tokens, pos: 0, globals };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        globals,
+    };
     let mut decls = Vec::new();
     while !p.at_end() {
         decls.push(p.decl()?);
@@ -136,11 +152,19 @@ fn scan_globals(tokens: &[Spanned]) -> Result<HashMap<String, GlobalKind>, Parse
     while i < tokens.len() {
         match &tokens[i].token {
             Token::Con => {
-                if let Some(Spanned { token: Token::Ident(name), .. }) = tokens.get(i + 1) {
+                if let Some(Spanned {
+                    token: Token::Ident(name),
+                    ..
+                }) = tokens.get(i + 1)
+                {
                     // Count field names until the next keyword.
                     let mut arity = 0;
                     let mut j = i + 2;
-                    while let Some(Spanned { token: Token::Ident(_), .. }) = tokens.get(j) {
+                    while let Some(Spanned {
+                        token: Token::Ident(_),
+                        ..
+                    }) = tokens.get(j)
+                    {
                         arity += 1;
                         j += 1;
                     }
@@ -152,7 +176,11 @@ fn scan_globals(tokens: &[Spanned]) -> Result<HashMap<String, GlobalKind>, Parse
                 i += 1;
             }
             Token::Fun => {
-                if let Some(Spanned { token: Token::Ident(name), .. }) = tokens.get(i + 1) {
+                if let Some(Spanned {
+                    token: Token::Ident(name),
+                    ..
+                }) = tokens.get(i + 1)
+                {
                     check_prim_shadow(name)?;
                     globals.insert(name.clone(), GlobalKind::Fun);
                 }
@@ -166,7 +194,9 @@ fn scan_globals(tokens: &[Spanned]) -> Result<HashMap<String, GlobalKind>, Parse
 
 fn check_prim_shadow(name: &str) -> Result<(), ParseError> {
     if PrimOp::from_name(name).is_some() {
-        return Err(ParseError::ShadowsPrimitive { name: name.to_string() });
+        return Err(ParseError::ShadowsPrimitive {
+            name: name.to_string(),
+        });
     }
     Ok(())
 }
@@ -268,7 +298,12 @@ impl Parser {
         }
     }
 
-    fn resolve_callee(&self, name: &str, scope: &[String], line: u32) -> Result<Callee, ParseError> {
+    fn resolve_callee(
+        &self,
+        name: &str,
+        scope: &[String],
+        line: u32,
+    ) -> Result<Callee, ParseError> {
         if scope.iter().any(|s| s == name) {
             return Ok(Callee::Var(std::rc::Rc::from(name)));
         }
@@ -280,7 +315,10 @@ impl Parser {
         if let Some(p) = PrimOp::from_name(name) {
             return Ok(Callee::Prim(p));
         }
-        Err(ParseError::UnknownName { name: name.to_string(), line })
+        Err(ParseError::UnknownName {
+            name: name.to_string(),
+            line,
+        })
     }
 
     fn expr(&mut self, scope: &mut Vec<String>) -> Result<Expr, ParseError> {
@@ -331,7 +369,10 @@ impl Parser {
                 self.pos += 1;
                 self.expect(&Token::Arrow, "`=>` after pattern")?;
                 let body = self.expr(scope)?;
-                Ok(Branch { pattern: Pattern::Lit(n), body })
+                Ok(Branch {
+                    pattern: Pattern::Lit(n),
+                    body,
+                })
             }
             Some(Token::Ident(_)) => {
                 let line = self.line();
@@ -360,7 +401,10 @@ impl Parser {
                 Ok(Branch {
                     pattern: Pattern::Con(
                         std::rc::Rc::from(name.as_str()),
-                        binders.iter().map(|b| std::rc::Rc::from(b.as_str())).collect(),
+                        binders
+                            .iter()
+                            .map(|b| std::rc::Rc::from(b.as_str()))
+                            .collect(),
                     ),
                     body,
                 })
@@ -497,7 +541,14 @@ fun main =
   else result 0
 "#;
         let err = parse(src).unwrap_err();
-        assert!(matches!(err, ParseError::PatternArity { declared: 2, written: 1, .. }));
+        assert!(matches!(
+            err,
+            ParseError::PatternArity {
+                declared: 2,
+                written: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Property-based tests on the assembler toolchain.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use zarf_asm::{decode, encode, lex, lift, lower, parse};
 use zarf_core::machine::{MItem, MItemKind, MProgram, Operand, Source};
 use zarf_core::{Evaluator, NullPorts};
+use zarf_testkit::prelude::*;
 
 proptest! {
     /// The lexer never panics, whatever bytes arrive.

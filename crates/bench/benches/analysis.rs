@@ -2,10 +2,10 @@
 //! and integrity typechecking. These are the costs a developer pays per
 //! build, so they are benchmarked like any toolchain pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zarf_hw::CostModel;
 use zarf_kernel::program::kernel_program;
+use zarf_testkit::crit::{criterion_group, criterion_main, Criterion};
 use zarf_verify::integrity::check_program;
 use zarf_verify::sigs::kernel_signatures;
 use zarf_verify::timing::kernel_timing;

@@ -3,13 +3,13 @@
 //! simulator. Not a paper table per se, but the foundation for every
 //! simulated number: how much host time one simulated workload costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zarf_asm::{lower, parse};
 use zarf_core::io::NullPorts;
 use zarf_core::step::Machine;
 use zarf_core::Evaluator;
 use zarf_hw::Hw;
+use zarf_testkit::crit::{criterion_group, criterion_main, Criterion};
 
 const SRC: &str = r#"
 con Nil

@@ -3,9 +3,9 @@
 //! cycles per object, 2 per reference), not in total allocation; this
 //! bench demonstrates both the host-time and the modeled-cycle behaviour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use zarf_hw::{CostModel, HValue, Heap, HeapObj};
+use zarf_testkit::crit::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 /// Build a heap with `live` reachable list cells and an equal amount of
 /// garbage; returns (heap, root).
@@ -14,12 +14,18 @@ fn build(live: usize) -> (Heap, HValue) {
     let mut head = HValue::Int(0);
     for i in 0..live {
         let cell = heap
-            .alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Int(i as i32), head] })
+            .alloc(HeapObj::Con {
+                id: 0x102,
+                fields: vec![HValue::Int(i as i32), head],
+            })
             .unwrap();
         head = HValue::Ref(cell);
         // Interleave garbage of the same shape.
-        heap.alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Int(-1), HValue::Int(-1)] })
-            .unwrap();
+        heap.alloc(HeapObj::Con {
+            id: 0x102,
+            fields: vec![HValue::Int(-1), HValue::Int(-1)],
+        })
+        .unwrap();
     }
     (heap, head)
 }
@@ -37,7 +43,7 @@ fn gc(c: &mut Criterion) {
                     assert_eq!(report.objects_copied, live as u64);
                     black_box(report.cycles)
                 },
-                criterion::BatchSize::LargeInput,
+                BatchSize::LargeInput,
             )
         });
     }

@@ -3,7 +3,6 @@
 //! kernel iteration on the hardware simulator, and the unverified baseline
 //! on the imperative core. Host-time companion to experiment E3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zarf_bench::fast_workload;
 use zarf_core::io::NullPorts;
@@ -14,6 +13,7 @@ use zarf_icd::spec::IcdSpec;
 use zarf_kernel::baseline::baseline_cpu;
 use zarf_kernel::devices::HeartPorts;
 use zarf_kernel::system::System;
+use zarf_testkit::crit::{criterion_group, criterion_main, Criterion};
 
 fn icd(c: &mut Criterion) {
     let samples = fast_workload(1.0); // 200 iterations per measured batch

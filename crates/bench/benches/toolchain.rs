@@ -1,10 +1,10 @@
 //! Toolchain round-trip costs on the real kernel program: parse, lower,
 //! encode, decode, lift, typecheck-input production.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zarf_asm::{decode, encode, lift, lower, parse};
 use zarf_kernel::program::kernel_source;
+use zarf_testkit::crit::{criterion_group, criterion_main, Criterion};
 
 fn toolchain(c: &mut Criterion) {
     let src = kernel_source();
@@ -15,7 +15,9 @@ fn toolchain(c: &mut Criterion) {
     let mut group = c.benchmark_group("toolchain/kernel");
     group.bench_function("parse", |b| b.iter(|| parse(black_box(&src)).unwrap()));
     group.bench_function("lower", |b| b.iter(|| lower(black_box(&program)).unwrap()));
-    group.bench_function("encode", |b| b.iter(|| encode(black_box(&machine)).unwrap()));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode(black_box(&machine)).unwrap())
+    });
     group.bench_function("decode", |b| b.iter(|| decode(black_box(&words)).unwrap()));
     group.bench_function("lift", |b| b.iter(|| lift(black_box(&machine)).unwrap()));
     group.bench_function("full-round-trip", |b| {

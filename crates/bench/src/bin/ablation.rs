@@ -9,14 +9,14 @@
 //!    robust to the calibration, not an artifact of it.
 
 use zarf_bench::fast_workload;
+use zarf_core::io::NullPorts;
+use zarf_core::machine::MProgram;
+use zarf_core::value::Value;
+use zarf_hw::HValue;
 use zarf_hw::{CostModel, Hw, HwConfig};
 use zarf_icd::extract::icd_machine;
 use zarf_kernel::program::kernel_machine;
 use zarf_verify::timing::{kernel_timing, DEADLINE_CYCLES};
-use zarf_core::io::NullPorts;
-use zarf_core::value::Value;
-use zarf_core::machine::MProgram;
-use zarf_hw::HValue;
 
 /// Run `n` ICD steps on a fresh hardware instance, returning total cycles.
 fn run_icd(machine: &MProgram, config: HwConfig, samples: &[i32]) -> u64 {
@@ -49,27 +49,41 @@ fn run_icd(machine: &MProgram, config: HwConfig, samples: &[i32]) -> u64 {
 fn main() {
     let samples = fast_workload(5.0);
 
-    println!("=== Ablation 1: lazy vs eager evaluation (ICD, {} samples) ===", samples.len());
+    println!(
+        "=== Ablation 1: lazy vs eager evaluation (ICD, {} samples) ===",
+        samples.len()
+    );
     let lazy = run_icd(&icd_machine(), HwConfig::default(), &samples);
     let eager = run_icd(
         &icd_machine(),
-        HwConfig { eager: true, ..HwConfig::default() },
+        HwConfig {
+            eager: true,
+            ..HwConfig::default()
+        },
         &samples,
     );
     println!("lazy hardware:  {lazy:>12} cycles");
-    println!("eager ablation: {eager:>12} cycles  ({:+.1}%)",
-        100.0 * (eager as f64 - lazy as f64) / lazy as f64);
+    println!(
+        "eager ablation: {eager:>12} cycles  ({:+.1}%)",
+        100.0 * (eager as f64 - lazy as f64) / lazy as f64
+    );
 
     println!("\n=== Ablation 2: semispace size vs GC overhead ===");
     println!("(raw ICD loop, collector runs only on allocation pressure;");
     println!(" the deployed kernel instead calls gc once per iteration)");
-    println!("{:<14} {:>12} {:>10} {:>10}", "heap (words)", "GC cycles", "GC runs", "share");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "heap (words)", "GC cycles", "GC runs", "share"
+    );
     for shift in [11u32, 12, 14, 16, 18] {
         let words = 1usize << shift;
         let cycles_info = std::panic::catch_unwind(|| {
             let mut hw = Hw::from_machine_with(
                 &icd_machine(),
-                HwConfig { heap_words: words, ..HwConfig::default() },
+                HwConfig {
+                    heap_words: words,
+                    ..HwConfig::default()
+                },
             )
             .expect("loads");
             let init = hw.id_of("init_state").unwrap();
@@ -103,19 +117,39 @@ fn main() {
     let _ = kernel_machine();
 
     println!("\n=== Ablation 3: WCET sensitivity to the cost model ===");
-    println!("{:<34} {:>10} {:>10} {:>8}", "variant", "loop WCET", "GC bound", "margin");
+    println!(
+        "{:<34} {:>10} {:>10} {:>8}",
+        "variant", "loop WCET", "GC bound", "margin"
+    );
     let variants: Vec<(&str, CostModel)> = vec![
         ("default", CostModel::default()),
-        ("2x memory costs", CostModel {
-            alloc: 4, ref_check: 4, update: 4, ..CostModel::default()
-        }),
-        ("2x call overhead", CostModel {
-            enter_fun: 6, pap_check: 2, pap_extend: 4, ..CostModel::default()
-        }),
-        ("4x GC costs", CostModel {
-            gc_copy_base: 16, gc_copy_per_word: 4, gc_ref_check: 8,
-            ..CostModel::default()
-        }),
+        (
+            "2x memory costs",
+            CostModel {
+                alloc: 4,
+                ref_check: 4,
+                update: 4,
+                ..CostModel::default()
+            },
+        ),
+        (
+            "2x call overhead",
+            CostModel {
+                enter_fun: 6,
+                pap_check: 2,
+                pap_extend: 4,
+                ..CostModel::default()
+            },
+        ),
+        (
+            "4x GC costs",
+            CostModel {
+                gc_copy_base: 16,
+                gc_copy_per_word: 4,
+                gc_ref_check: 8,
+                ..CostModel::default()
+            },
+        ),
         ("everything 3x", {
             let d = CostModel::default();
             CostModel {
@@ -150,7 +184,11 @@ fn main() {
             t.loop_wcet,
             t.gc_bound,
             DEADLINE_CYCLES as f64 / t.total_cycles() as f64,
-            if t.meets_deadline() { "" } else { "  MISSES DEADLINE" },
+            if t.meets_deadline() {
+                ""
+            } else {
+                "  MISSES DEADLINE"
+            },
         );
     }
 }

@@ -40,8 +40,10 @@ fn main() {
     println!(
         "Round trip: decode(encode(m)) has {} items, structurally identical: {}",
         decoded.items().len(),
-        decoded.items().iter().zip(machine.items()).all(|(a, b)| {
-            a.arity == b.arity && a.locals == b.locals && a.body() == b.body()
-        })
+        decoded
+            .items()
+            .iter()
+            .zip(machine.items())
+            .all(|(a, b)| { a.arity == b.arity && a.locals == b.locals && a.body() == b.body() })
     );
 }

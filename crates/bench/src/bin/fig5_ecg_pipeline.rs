@@ -19,7 +19,11 @@ fn spark(vals: &[i32], width: usize) -> String {
     maxima
         .iter()
         .map(|&m| {
-            let idx = if top == 0.0 { 0 } else { ((m as f64 / top) * 7.0) as usize };
+            let idx = if top == 0.0 {
+                0
+            } else {
+                ((m as f64 / top) * 7.0) as usize
+            };
             GLYPHS[idx.min(7)]
         })
         .collect()
@@ -55,7 +59,10 @@ fn main() {
         }
     }
 
-    println!("=== Figure 5: ECG pipeline (|amplitude| sparklines, {}s trace) ===\n", samples.len() / SAMPLE_HZ as usize);
+    println!(
+        "=== Figure 5: ECG pipeline (|amplitude| sparklines, {}s trace) ===\n",
+        samples.len() / SAMPLE_HZ as usize
+    );
     let w = 96;
     println!("raw ECG     {}", spark(&raw, w));
     println!("low-pass    {}", spark(&lp, w));

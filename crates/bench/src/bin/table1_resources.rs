@@ -40,7 +40,10 @@ fn main() {
     let (groups, datapath) = model.breakdown();
     println!("\nAnalytic gate decomposition:");
     for g in &groups {
-        println!("  {:<24} {:>6} gates {:>6} LUTs", g.group.name, g.gates, g.luts);
+        println!(
+            "  {:<24} {:>6} gates {:>6} LUTs",
+            g.group.name, g.gates, g.luts
+        );
     }
     println!(
         "  {:<24} {:>6} gates {:>6} LUTs",

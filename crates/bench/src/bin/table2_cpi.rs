@@ -4,25 +4,85 @@
 //! million λ-layer cycles, like the paper's "dynamic trace of several
 //! million cycles") and prints the per-instruction-class averages next to
 //! the published ones.
+//!
+//! With `--json` (optionally `--seconds N`), emits a single machine-
+//! readable JSON object instead — this is what CI's bench-smoke job
+//! uploads as an artifact so per-PR CPI history can be compared.
 
 use zarf_bench::{header, row, vt_workload};
 use zarf_kernel::system::System;
 
 fn main() {
-    // ~4 minutes of ECG = 48k iterations ≈ tens of millions of λ cycles.
-    let samples = vt_workload(240.0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let seconds = args
+        .iter()
+        .position(|a| a == "--seconds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(240.0);
+
+    // Default ~4 minutes of ECG = 48k iterations ≈ tens of millions of
+    // λ cycles.
+    let samples = vt_workload(seconds);
     let n = samples.len() as u64;
     let mut sys = System::new(samples).expect("system boots");
     let report = sys.run().expect("system runs");
     let s = &report.lambda_stats;
 
+    if json {
+        println!(
+            "{{\"bench\":\"table2_cpi\",\"seconds\":{seconds},\"iterations\":{n},\
+             \"total_cycles\":{},\"instructions\":{},\
+             \"cpi\":{:.4},\"cpi_with_gc\":{:.4},\
+             \"let_cpi\":{:.4},\"case_cpi\":{:.4},\"result_cpi\":{:.4},\
+             \"branch_head_cpi\":{:.4},\"gc_cycles\":{},\"gc_runs\":{}}}",
+            s.total_cycles(),
+            s.instructions(),
+            s.cpi(),
+            s.cpi_with_gc(),
+            s.lets.cpi(),
+            s.cases.cpi(),
+            s.results.cpi(),
+            s.branch_heads.cpi(),
+            s.gc_cycles,
+            s.gc_runs,
+        );
+        return;
+    }
+
     header("§6 dynamic CPI (ICD application trace)");
-    row("trace length", format!("{} cycles", s.total_cycles()), "\"several million\"", "");
+    row(
+        "trace length",
+        format!("{} cycles", s.total_cycles()),
+        "\"several million\"",
+        "",
+    );
     row("let CPI", format!("{:.2}", s.lets.cpi()), "10.36", "cycles");
-    row("let avg arguments", format!("{:.2}", s.avg_let_args()), "5.16", "args");
-    row("case CPI", format!("{:.2}", s.cases.cpi()), "10.59", "cycles");
-    row("result CPI", format!("{:.2}", s.results.cpi()), "11.01", "cycles");
-    row("branch-head CPI", format!("{:.2}", s.branch_heads.cpi()), "1.00", "cycles");
+    row(
+        "let avg arguments",
+        format!("{:.2}", s.avg_let_args()),
+        "5.16",
+        "args",
+    );
+    row(
+        "case CPI",
+        format!("{:.2}", s.cases.cpi()),
+        "10.59",
+        "cycles",
+    );
+    row(
+        "result CPI",
+        format!("{:.2}", s.results.cpi()),
+        "11.01",
+        "cycles",
+    );
+    row(
+        "branch-head CPI",
+        format!("{:.2}", s.branch_heads.cpi()),
+        "1.00",
+        "cycles",
+    );
     row(
         "branch-head fraction",
         format!("{:.1}%", 100.0 * s.branch_head_fraction()),
@@ -30,9 +90,22 @@ fn main() {
         "of instrs",
     );
     row("total CPI", format!("{:.2}", s.cpi()), "7.46", "cycles");
-    row("total CPI incl. GC", format!("{:.2}", s.cpi_with_gc()), "11.86", "cycles");
+    row(
+        "total CPI incl. GC",
+        format!("{:.2}", s.cpi_with_gc()),
+        "11.86",
+        "cycles",
+    );
     println!();
     row("iterations", n, "-", "");
     row("cycles / iteration (mean)", s.total_cycles() / n, "-", "");
-    row("GC share", format!("{:.1}%", 100.0 * s.gc_cycles as f64 / s.total_cycles() as f64), "-", "");
+    row(
+        "GC share",
+        format!(
+            "{:.1}%",
+            100.0 * s.gc_cycles as f64 / s.total_cycles() as f64
+        ),
+        "-",
+        "",
+    );
 }

@@ -2,11 +2,11 @@
 //! imperative core, on the identical workload with bit-identical outputs.
 
 use zarf_bench::{header, row, vt_workload};
+use zarf_hw::CostModel;
 use zarf_kernel::baseline::baseline_cpu;
 use zarf_kernel::devices::HeartPorts;
 use zarf_kernel::system::System;
 use zarf_verify::timing::{kernel_timing, CLOCK_HZ, DEADLINE_CYCLES};
-use zarf_hw::CostModel;
 
 fn main() {
     let samples = vt_workload(120.0);
@@ -35,12 +35,27 @@ fn main() {
     let wcet = kernel_timing(&CostModel::default()).expect("kernel is analyzable");
 
     header("§6 performance: λ-layer vs imperative baseline");
-    row("imperative core, cycles/iter", blaze_per_iter, "<1,000", "cycles");
+    row(
+        "imperative core, cycles/iter",
+        blaze_per_iter,
+        "<1,000",
+        "cycles",
+    );
     row("λ-layer, mean cycles/iter", lambda_per_iter, "-", "cycles");
-    row("λ-layer, worst-case cycles/iter", wcet.total_cycles(), "9,065", "cycles");
+    row(
+        "λ-layer, worst-case cycles/iter",
+        wcet.total_cycles(),
+        "9,065",
+        "cycles",
+    );
     let lambda_us = wcet.total_cycles() as f64 * 1e6 / CLOCK_HZ as f64;
     let blaze_us = blaze_per_iter as f64 * 1e6 / 100_000_000.0;
-    row("λ-layer worst iter", format!("{lambda_us:.1}"), "181.3", "µs");
+    row(
+        "λ-layer worst iter",
+        format!("{lambda_us:.1}"),
+        "181.3",
+        "µs",
+    );
     row("imperative iter", format!("{blaze_us:.2}"), "<10", "µs");
     row(
         "slowdown (worst λ vs typical imp.)",
@@ -50,7 +65,10 @@ fn main() {
     );
     row(
         "margin inside 5 ms deadline",
-        format!("{:.0}x", DEADLINE_CYCLES as f64 / wcet.total_cycles() as f64),
+        format!(
+            "{:.0}x",
+            DEADLINE_CYCLES as f64 / wcet.total_cycles() as f64
+        ),
         ">25x",
         "",
     );

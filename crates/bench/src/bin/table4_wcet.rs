@@ -22,7 +22,12 @@ fn main() {
     row("loop WCET (static)", t.loop_wcet, 4_686, "cycles");
     row("GC bound (static)", t.gc_bound, 4_379, "cycles");
     row("total worst case", t.total_cycles(), 9_065, "cycles");
-    row("worst-case time @ 50 MHz", format!("{:.1}", t.total_us()), "181.3", "µs");
+    row(
+        "worst-case time @ 50 MHz",
+        format!("{:.1}", t.total_us()),
+        "181.3",
+        "µs",
+    );
     row("deadline", DEADLINE_CYCLES, 250_000, "cycles");
     row(
         "meets 5 ms deadline",
@@ -30,18 +35,31 @@ fn main() {
         "yes",
         "",
     );
-    row("deadline margin", format!("{:.0}x", t.deadline_margin()), ">25x", "");
+    row(
+        "deadline margin",
+        format!("{:.0}x", t.deadline_margin()),
+        ">25x",
+        "",
+    );
     println!();
     row("dynamic mean mutator/iter", dyn_mutator, "-", "cycles");
     row("dynamic mean GC/iter", dyn_gc, "-", "cycles");
     row(
         "static dominates dynamic",
-        if t.loop_wcet >= dyn_mutator && t.gc_bound >= dyn_gc { "yes" } else { "NO" },
+        if t.loop_wcet >= dyn_mutator && t.gc_bound >= dyn_gc {
+            "yes"
+        } else {
+            "NO"
+        },
         "yes",
         "",
     );
-    println!("\nWorst-case iteration allocation: {} objects, {} words, {} refs",
-        t.iteration_alloc.objects, t.iteration_alloc.words, t.iteration_alloc.refs);
-    println!("Assumed persistent live set:     {} objects, {} words, {} refs",
-        t.persistent.objects, t.persistent.words, t.persistent.refs);
+    println!(
+        "\nWorst-case iteration allocation: {} objects, {} words, {} refs",
+        t.iteration_alloc.objects, t.iteration_alloc.words, t.iteration_alloc.refs
+    );
+    println!(
+        "Assumed persistent live set:     {} objects, {} words, {} refs",
+        t.persistent.objects, t.persistent.words, t.persistent.refs
+    );
 }

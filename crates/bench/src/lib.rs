@@ -25,12 +25,28 @@ use zarf_icd::signal::{EcgConfig, EcgGen, Rhythm};
 /// `seconds` of it, sampled at 200 Hz, noise-free so runs are reproducible
 /// across engines.
 pub fn vt_workload(seconds: f64) -> Vec<i32> {
-    let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+    let cfg = EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    };
     let script = vec![
-        Rhythm::Steady { bpm: 75.0, seconds: 20.0 },
-        Rhythm::Ramp { from_bpm: 75.0, to_bpm: 190.0, seconds: 4.0 },
-        Rhythm::Steady { bpm: 190.0, seconds: 25.0 },
-        Rhythm::Steady { bpm: 80.0, seconds: seconds.max(50.0) - 49.0 },
+        Rhythm::Steady {
+            bpm: 75.0,
+            seconds: 20.0,
+        },
+        Rhythm::Ramp {
+            from_bpm: 75.0,
+            to_bpm: 190.0,
+            seconds: 4.0,
+        },
+        Rhythm::Steady {
+            bpm: 190.0,
+            seconds: 25.0,
+        },
+        Rhythm::Steady {
+            bpm: 80.0,
+            seconds: seconds.max(50.0) - 49.0,
+        },
     ];
     let mut g = EcgGen::new(cfg, script);
     g.take((seconds * 200.0) as usize)
@@ -39,8 +55,17 @@ pub fn vt_workload(seconds: f64) -> Vec<i32> {
 /// A short all-tachycardia workload that reaches therapy quickly (for
 /// cheaper benches and tests).
 pub fn fast_workload(seconds: f64) -> Vec<i32> {
-    let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-    let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 190.0, seconds }]);
+    let cfg = EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    };
+    let mut g = EcgGen::new(
+        cfg,
+        vec![Rhythm::Steady {
+            bpm: 190.0,
+            seconds,
+        }],
+    );
     g.take((seconds * 200.0) as usize)
 }
 

@@ -111,7 +111,10 @@ pub struct Branch {
 impl Branch {
     /// A branch matching an integer literal.
     pub fn lit(n: Int, body: Expr) -> Self {
-        Branch { pattern: Pattern::Lit(n), body }
+        Branch {
+            pattern: Pattern::Lit(n),
+            body,
+        }
     }
 
     /// A branch matching a constructor, binding its fields.
@@ -156,12 +159,7 @@ pub enum Expr {
 
 impl Expr {
     /// `let var = callee(args…) in body` with an arbitrary callee.
-    pub fn let_(
-        var: impl AsRef<str>,
-        callee: Callee,
-        args: Vec<Arg>,
-        body: Expr,
-    ) -> Self {
+    pub fn let_(var: impl AsRef<str>, callee: Callee, args: Vec<Arg>, body: Expr) -> Self {
         Expr::Let {
             var: Rc::from(var.as_ref()),
             callee,
@@ -171,22 +169,12 @@ impl Expr {
     }
 
     /// `let` applying a named top-level function.
-    pub fn let_fn(
-        var: impl AsRef<str>,
-        func: impl AsRef<str>,
-        args: Vec<Arg>,
-        body: Expr,
-    ) -> Self {
+    pub fn let_fn(var: impl AsRef<str>, func: impl AsRef<str>, args: Vec<Arg>, body: Expr) -> Self {
         Expr::let_(var, Callee::Fn(Rc::from(func.as_ref())), args, body)
     }
 
     /// `let` applying a constructor.
-    pub fn let_con(
-        var: impl AsRef<str>,
-        con: impl AsRef<str>,
-        args: Vec<Arg>,
-        body: Expr,
-    ) -> Self {
+    pub fn let_con(var: impl AsRef<str>, con: impl AsRef<str>, args: Vec<Arg>, body: Expr) -> Self {
         Expr::let_(var, Callee::Con(Rc::from(con.as_ref())), args, body)
     }
 
@@ -206,12 +194,7 @@ impl Expr {
     ///
     /// Panics if `prim` is not a known primitive mnemonic; use
     /// [`PrimOp::from_name`] for fallible lookup.
-    pub fn let_prim(
-        var: impl AsRef<str>,
-        prim: &str,
-        args: Vec<Arg>,
-        body: Expr,
-    ) -> Self {
+    pub fn let_prim(var: impl AsRef<str>, prim: &str, args: Vec<Arg>, body: Expr) -> Self {
         let op = PrimOp::from_name(prim)
             .unwrap_or_else(|| panic!("unknown primitive mnemonic `{prim}`"));
         Expr::let_(var, Callee::Prim(op), args, body)
@@ -237,7 +220,9 @@ impl Expr {
     pub fn local_count(&self) -> usize {
         match self {
             Expr::Let { body, .. } => 1 + body.local_count(),
-            Expr::Case { branches, default, .. } => {
+            Expr::Case {
+                branches, default, ..
+            } => {
                 let branch_max = branches
                     .iter()
                     .map(|b| b.pattern_binders() + b.body.local_count())
@@ -254,7 +239,9 @@ impl Expr {
         visit(self);
         match self {
             Expr::Let { body, .. } => body.walk(visit),
-            Expr::Case { branches, default, .. } => {
+            Expr::Case {
+                branches, default, ..
+            } => {
                 for b in branches {
                     b.body.walk(visit);
                 }
@@ -383,7 +370,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "duplicate top-level declaration `{n}`")
             }
             ProgramError::UnknownGlobal { function, global } => {
-                write!(f, "function `{function}` references undeclared global `{global}`")
+                write!(
+                    f,
+                    "function `{function}` references undeclared global `{global}`"
+                )
             }
         }
     }
@@ -427,14 +417,18 @@ impl Program {
                     return;
                 }
                 match e {
-                    Expr::Let { callee: Callee::Fn(n), .. }
-                        if self.function(n).is_none() => {
-                            err = Some(n.clone());
-                        }
-                    Expr::Let { callee: Callee::Con(n), .. }
-                        if self.constructor(n).is_none() => {
-                            err = Some(n.clone());
-                        }
+                    Expr::Let {
+                        callee: Callee::Fn(n),
+                        ..
+                    } if self.function(n).is_none() => {
+                        err = Some(n.clone());
+                    }
+                    Expr::Let {
+                        callee: Callee::Con(n),
+                        ..
+                    } if self.constructor(n).is_none() => {
+                        err = Some(n.clone());
+                    }
                     Expr::Case { branches, .. } => {
                         for b in branches {
                             if let Pattern::Con(n, _) = &b.pattern {
@@ -527,7 +521,12 @@ impl Expr {
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         let pad = "  ".repeat(depth);
         match self {
-            Expr::Let { var, callee, args, body } => {
+            Expr::Let {
+                var,
+                callee,
+                args,
+                body,
+            } => {
                 write!(f, "{pad}let {var} = {}", callee.display_name())?;
                 for a in args {
                     write!(f, " {a}")?;
@@ -535,7 +534,11 @@ impl Expr {
                 writeln!(f, " in")?;
                 body.fmt_indented(f, depth)
             }
-            Expr::Case { scrutinee, branches, default } => {
+            Expr::Case {
+                scrutinee,
+                branches,
+                default,
+            } => {
                 writeln!(f, "{pad}case {scrutinee} of")?;
                 for b in branches {
                     writeln!(f, "{pad}| {} =>", b.pattern)?;
@@ -676,7 +679,11 @@ mod tests {
         // And they contribute to local_count.
         let e = Expr::case_(
             Arg::var("xs"),
-            vec![Branch::con("Cons", &["h", "t"], Expr::result(Arg::var("h")))],
+            vec![Branch::con(
+                "Cons",
+                &["h", "t"],
+                Expr::result(Arg::var("h")),
+            )],
             Expr::result(Arg::lit(0)),
         );
         assert_eq!(e.local_count(), 2);

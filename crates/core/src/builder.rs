@@ -80,14 +80,9 @@ impl Seq {
     /// # Panics
     ///
     /// Panics on an unknown mnemonic (a programming error in the caller).
-    pub fn prim(
-        self,
-        var: impl AsRef<str>,
-        op: &str,
-        args: impl IntoIterator<Item = Arg>,
-    ) -> Self {
-        let p = PrimOp::from_name(op)
-            .unwrap_or_else(|| panic!("unknown primitive mnemonic `{op}`"));
+    pub fn prim(self, var: impl AsRef<str>, op: &str, args: impl IntoIterator<Item = Arg>) -> Self {
+        let p =
+            PrimOp::from_name(op).unwrap_or_else(|| panic!("unknown primitive mnemonic `{op}`"));
         self.push(var, Callee::Prim(p), args.into_iter().collect())
     }
 
@@ -170,12 +165,7 @@ impl CaseBuilder {
     }
 
     /// Add a constructor branch binding its fields.
-    pub fn con<S: AsRef<str>>(
-        mut self,
-        name: impl AsRef<str>,
-        fields: &[S],
-        body: Expr,
-    ) -> Self {
+    pub fn con<S: AsRef<str>>(mut self, name: impl AsRef<str>, fields: &[S], body: Expr) -> Self {
         self.branches.push(Branch {
             pattern: Pattern::Con(
                 Rc::from(name.as_ref()),
@@ -215,12 +205,7 @@ mod tests {
             "a",
             "add",
             vec![lit(1), lit(2)],
-            Expr::let_prim(
-                "b",
-                "mul",
-                vec![var("a"), lit(10)],
-                Expr::result(var("b")),
-            ),
+            Expr::let_prim("b", "mul", vec![var("a"), lit(10)], Expr::result(var("b"))),
         );
         assert_eq!(built, manual);
     }
@@ -245,7 +230,9 @@ mod tests {
             .lit(10, seq().result(lit(1)))
             .default(seq().result(lit(0)));
         match body {
-            Expr::Let { ref var, ref body, .. } => {
+            Expr::Let {
+                ref var, ref body, ..
+            } => {
                 assert_eq!(&**var, "x");
                 assert!(matches!(**body, Expr::Case { .. }));
             }

@@ -16,6 +16,8 @@
 //! continuations, so host stack depth tracks *Zarf call depth* rather than
 //! instruction count.
 
+use zarf_trace::{Engine, Event, SinkHandle, TraceSink};
+
 use crate::ast::{Branch, Callee, Expr, Pattern, Program};
 use crate::env::Env;
 use crate::error::{EvalError, RuntimeError};
@@ -27,17 +29,29 @@ use crate::value::{ClosureTarget, Value, V};
 /// still catching accidental divergence in tests.
 pub const DEFAULT_FUEL: u64 = 500_000_000;
 
+/// Outcome of one `case` reduction: continue at a branch, or short-circuit
+/// with a value (error scrutinee / case-on-closure).
+enum CaseStep<'e> {
+    Branch(&'e Expr),
+    Value(V),
+}
+
 /// The big-step evaluator for a borrowed [`Program`].
 #[derive(Debug)]
 pub struct Evaluator<'p> {
     program: &'p Program,
     fuel: u64,
+    sink: SinkHandle,
 }
 
 impl<'p> Evaluator<'p> {
     /// Create an evaluator with [`DEFAULT_FUEL`].
     pub fn new(program: &'p Program) -> Self {
-        Evaluator { program, fuel: DEFAULT_FUEL }
+        Evaluator {
+            program,
+            fuel: DEFAULT_FUEL,
+            sink: SinkHandle::none(),
+        }
     }
 
     /// Replace the fuel budget (number of instruction reductions permitted).
@@ -49,6 +63,80 @@ impl<'p> Evaluator<'p> {
     /// Fuel remaining after the last run.
     pub fn fuel_left(&self) -> u64 {
         self.fuel
+    }
+
+    /// Install a trace sink; the evaluator emits [`Event::Bind`],
+    /// [`Event::Dispatch`], and [`Event::Yield`] with [`Engine::Big`].
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.set(sink);
+    }
+
+    /// Builder-style [`Evaluator::set_sink`].
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink.set(sink);
+        self
+    }
+
+    /// Remove and return the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    // Emission helpers are cold and never inlined: `eval` recurses on the
+    // host stack per Zarf call depth, so the string building must not
+    // enlarge its activation frame.
+
+    #[cold]
+    #[inline(never)]
+    fn emit_bind(&mut self, var: &crate::ast::Name, v: &Value) {
+        let (var, value) = (var.to_string(), v.to_string());
+        self.sink.emit(|| Event::Bind {
+            engine: Engine::Big,
+            var,
+            value,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_dispatch_lit(&mut self, scrutinee: &Value, n: crate::Int, hit: bool) {
+        let scrutinee = scrutinee.to_string();
+        let branch = if hit {
+            format!("lit {n}")
+        } else {
+            "else".to_string()
+        };
+        self.sink.emit(|| Event::Dispatch {
+            engine: Engine::Big,
+            scrutinee,
+            branch,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_dispatch_con(&mut self, scrutinee: &Value, name: &crate::ast::Name, hit: bool) {
+        let scrutinee = scrutinee.to_string();
+        let branch = if hit {
+            format!("con {name}")
+        } else {
+            "else".to_string()
+        };
+        self.sink.emit(|| Event::Dispatch {
+            engine: Engine::Big,
+            scrutinee,
+            branch,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_yield(&mut self, v: &Value) {
+        let value = v.to_string();
+        self.sink.emit(|| Event::Yield {
+            engine: Engine::Big,
+            value,
+        });
     }
 
     /// Evaluate the program: `⊢ decl… fun main = e ⇓ v` (the *program* rule).
@@ -83,6 +171,10 @@ impl<'p> Evaluator<'p> {
     }
 
     /// `ρ ⊢ e ⇓ v`. The let/case spine is iterated rather than recursed.
+    ///
+    /// Host recursion happens through the `let` arm (`apply` → `eval`), so
+    /// the `case`/`result` handling lives in non-inlined helpers to keep
+    /// this activation frame — multiplied by Zarf call depth — small.
     fn eval(
         &mut self,
         mut env: Env,
@@ -93,11 +185,16 @@ impl<'p> Evaluator<'p> {
             self.burn()?;
             match expr {
                 // (result): v = ρ(arg)
-                Expr::Result(arg) => return env.resolve(arg),
+                Expr::Result(arg) => return self.eval_result(&env, arg),
 
                 // (let-con) / (let-fun) / (let-var) / (let-prim) /
                 // (getint) / (putint)
-                Expr::Let { var, callee, args, body } => {
+                Expr::Let {
+                    var,
+                    callee,
+                    args,
+                    body,
+                } => {
                     let argv = args
                         .iter()
                         .map(|a| env.resolve(a))
@@ -109,8 +206,7 @@ impl<'p> Evaluator<'p> {
                                 .program
                                 .function(name)
                                 .ok_or_else(|| EvalError::UnknownGlobal(name.to_string()))?;
-                            let clo =
-                                Value::closure(ClosureTarget::Fn(f.name.clone()), vec![]);
+                            let clo = Value::closure(ClosureTarget::Fn(f.name.clone()), vec![]);
                             self.apply(clo, argv, ports)?
                         }
                         Callee::Prim(op) => {
@@ -122,44 +218,77 @@ impl<'p> Evaluator<'p> {
                             self.apply(target, argv, ports)?
                         }
                     };
+                    if self.sink.enabled() {
+                        self.emit_bind(var, &v);
+                    }
                     env.bind(var.clone(), v);
                     expr = body;
                 }
 
                 // (case-con) / (case-lit) / (case-else1) / (case-else2)
-                Expr::Case { scrutinee, branches, default } => {
-                    let v = env.resolve(scrutinee)?;
-                    match &*v {
-                        Value::Int(n) => {
-                            match branches.iter().find(|b| b.pattern == Pattern::Lit(*n)) {
-                                Some(Branch { body, .. }) => expr = body,
-                                None => expr = default,
-                            }
-                        }
-                        Value::Con { name, fields } => {
-                            let hit = branches.iter().find_map(|b| match &b.pattern {
-                                Pattern::Con(cn, vars) if cn == name => {
-                                    Some((vars, &b.body))
-                                }
-                                _ => None,
-                            });
-                            match hit {
-                                Some((vars, body)) => {
-                                    // Arity is validated at declaration, so
-                                    // binder count matches field count.
-                                    env.bind_all(vars, fields);
-                                    expr = body;
-                                }
-                                None => expr = default,
-                            }
-                        }
-                        Value::Closure { .. } => {
-                            return Ok(Value::error(RuntimeError::CaseOnClosure))
-                        }
-                        Value::Error(_) => return Ok(v),
+                Expr::Case {
+                    scrutinee,
+                    branches,
+                    default,
+                } => match self.eval_case(&mut env, scrutinee, branches, default)? {
+                    CaseStep::Branch(next) => expr = next,
+                    CaseStep::Value(v) => return Ok(v),
+                },
+            }
+        }
+    }
+
+    /// The (result) rule, out of line (see [`Evaluator::eval`]).
+    #[inline(never)]
+    fn eval_result(&mut self, env: &Env, arg: &crate::ast::Arg) -> Result<V, EvalError> {
+        let v = env.resolve(arg)?;
+        if self.sink.enabled() {
+            self.emit_yield(&v);
+        }
+        Ok(v)
+    }
+
+    /// The four case rules, out of line (see [`Evaluator::eval`]).
+    #[inline(never)]
+    fn eval_case<'e>(
+        &mut self,
+        env: &mut Env,
+        scrutinee: &crate::ast::Arg,
+        branches: &'e [Branch],
+        default: &'e Expr,
+    ) -> Result<CaseStep<'e>, EvalError> {
+        let v = env.resolve(scrutinee)?;
+        match &*v {
+            Value::Int(n) => {
+                let hit = branches.iter().find(|b| b.pattern == Pattern::Lit(*n));
+                if self.sink.enabled() {
+                    self.emit_dispatch_lit(&v, *n, hit.is_some());
+                }
+                Ok(CaseStep::Branch(match hit {
+                    Some(Branch { body, .. }) => body,
+                    None => default,
+                }))
+            }
+            Value::Con { name, fields } => {
+                let hit = branches.iter().find_map(|b| match &b.pattern {
+                    Pattern::Con(cn, vars) if cn == name => Some((vars, &b.body)),
+                    _ => None,
+                });
+                if self.sink.enabled() {
+                    self.emit_dispatch_con(&v, name, hit.is_some());
+                }
+                match hit {
+                    Some((vars, body)) => {
+                        // Arity is validated at declaration, so binder
+                        // count matches field count.
+                        env.bind_all(vars, fields);
+                        Ok(CaseStep::Branch(body))
                     }
+                    None => Ok(CaseStep::Branch(default)),
                 }
             }
+            Value::Closure { .. } => Ok(CaseStep::Value(Value::error(RuntimeError::CaseOnClosure))),
+            Value::Error(_) => Ok(CaseStep::Value(v)),
         }
     }
 
@@ -175,9 +304,7 @@ impl<'p> Evaluator<'p> {
             std::cmp::Ordering::Less => {
                 Ok(Value::closure(ClosureTarget::Con(con.name.clone()), args))
             }
-            std::cmp::Ordering::Greater => {
-                Ok(Value::error(RuntimeError::ConOverApplied))
-            }
+            std::cmp::Ordering::Greater => Ok(Value::error(RuntimeError::ConOverApplied)),
         }
     }
 
@@ -411,7 +538,11 @@ mod tests {
                     vec![Arg::lit(9), Arg::var("nil")],
                     Expr::case_(
                         Arg::var("l"),
-                        vec![Branch::con("Cons", &["h", "t"], Expr::result(Arg::var("h")))],
+                        vec![Branch::con(
+                            "Cons",
+                            &["h", "t"],
+                            Expr::result(Arg::var("h")),
+                        )],
                         Expr::result(Arg::lit(-1)),
                     ),
                 ),
@@ -508,12 +639,7 @@ mod tests {
             "inc",
             "add",
             vec![Arg::lit(1)],
-            Expr::let_var(
-                "r",
-                "inc",
-                vec![Arg::lit(41)],
-                Expr::result(Arg::var("r")),
-            ),
+            Expr::let_var("r", "inc", vec![Arg::lit(41)], Expr::result(Arg::var("r"))),
         ))])
         .unwrap();
         assert_eq!(run(p).as_int(), Some(42));
@@ -558,12 +684,7 @@ mod tests {
         let f = Decl::Fun(FunDecl::new(
             "addclo",
             &["x"],
-            Expr::let_prim(
-                "c",
-                "add",
-                vec![Arg::var("x")],
-                Expr::result(Arg::var("c")),
-            ),
+            Expr::let_prim("c", "add", vec![Arg::var("x")], Expr::result(Arg::var("c"))),
         ));
         let p = Program::new(vec![
             f,
@@ -615,12 +736,7 @@ mod tests {
             "x",
             "add",
             vec![Arg::lit(1), Arg::lit(1)],
-            Expr::let_var(
-                "y",
-                "x",
-                vec![Arg::lit(3)],
-                Expr::result(Arg::var("y")),
-            ),
+            Expr::let_var("y", "x", vec![Arg::lit(3)], Expr::result(Arg::var("y"))),
         ))])
         .unwrap();
         assert_eq!(&*run(p), &Value::Error(RuntimeError::ApplyToInt));

@@ -48,22 +48,34 @@ pub struct Operand {
 impl Operand {
     /// Reference to local slot `n`.
     pub fn local(n: usize) -> Self {
-        Operand { source: Source::Local, index: n as Int }
+        Operand {
+            source: Source::Local,
+            index: n as Int,
+        }
     }
 
     /// Reference to argument slot `n`.
     pub fn arg(n: usize) -> Self {
-        Operand { source: Source::Arg, index: n as Int }
+        Operand {
+            source: Source::Arg,
+            index: n as Int,
+        }
     }
 
     /// An immediate integer.
     pub fn imm(n: Int) -> Self {
-        Operand { source: Source::Imm, index: n }
+        Operand {
+            source: Source::Imm,
+            index: n,
+        }
     }
 
     /// A global function identifier.
     pub fn global(id: u32) -> Self {
-        Operand { source: Source::Global, index: id as Int }
+        Operand {
+            source: Source::Global,
+            index: id as Int,
+        }
     }
 
     /// If this is a `Global` operand naming a primitive, which one.
@@ -140,11 +152,10 @@ impl MExpr {
             MExpr::Let { args, body, .. } => 1 + args.len() + body.word_count(),
             // case: head word + per-branch (head word + value word + body)
             // + else word + else body.
-            MExpr::Case { branches, default, .. } => {
-                let branch_words: usize = branches
-                    .iter()
-                    .map(|b| 2 + b.body.word_count())
-                    .sum();
+            MExpr::Case {
+                branches, default, ..
+            } => {
+                let branch_words: usize = branches.iter().map(|b| 2 + b.body.word_count()).sum();
                 1 + branch_words + 1 + default.word_count()
             }
             // result: one word.
@@ -157,7 +168,9 @@ impl MExpr {
         visit(self);
         match self {
             MExpr::Let { body, .. } => body.walk(visit),
-            MExpr::Case { branches, default, .. } => {
+            MExpr::Case {
+                branches, default, ..
+            } => {
                 for b in branches {
                     b.body.walk(visit);
                 }
@@ -301,8 +314,7 @@ impl MProgram {
                     match op.source {
                         Source::Global => {
                             let id = op.index as u32;
-                            if self.lookup(id).is_none() && PrimOp::from_index(id).is_none()
-                            {
+                            if self.lookup(id).is_none() && PrimOp::from_index(id).is_none() {
                                 err = Some(MachineError::DanglingGlobal { id });
                             }
                         }
@@ -335,7 +347,11 @@ impl MProgram {
                             check(a);
                         }
                     }
-                    MExpr::Case { scrutinee, branches, .. } => {
+                    MExpr::Case {
+                        scrutinee,
+                        branches,
+                        ..
+                    } => {
                         check(scrutinee);
                         for b in branches {
                             if let MPattern::Con(id) = b.pattern {
@@ -387,7 +403,12 @@ mod tests {
     }
 
     fn fun(arity: usize, locals: usize, body: MExpr) -> MItem {
-        MItem { arity, locals, kind: MItemKind::Fun { body }, name: None }
+        MItem {
+            arity,
+            locals,
+            kind: MItemKind::Fun { body },
+            name: None,
+        }
     }
 
     #[test]
@@ -474,7 +495,10 @@ mod tests {
         // head(1) + branch(2 + 1) + else marker(1) + else body(1) = 6
         let case = MExpr::Case {
             scrutinee: Operand::imm(0),
-            branches: vec![MBranch { pattern: MPattern::Lit(0), body: result0() }],
+            branches: vec![MBranch {
+                pattern: MPattern::Lit(0),
+                body: result0(),
+            }],
             default: Box::new(result0()),
         };
         assert_eq!(case.word_count(), 6);

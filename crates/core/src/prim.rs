@@ -151,7 +151,11 @@ impl PrimOp {
     /// The reserved function index (`1 ..= PRIMS.len()`, all below
     /// [`FIRST_USER_INDEX`]).
     pub fn index(self) -> u32 {
-        PRIMS.iter().position(|&p| p == self).expect("all ops listed") as u32 + 1
+        PRIMS
+            .iter()
+            .position(|&p| p == self)
+            .expect("all ops listed") as u32
+            + 1
     }
 
     /// Look up a primitive by its reserved function index.

@@ -12,6 +12,8 @@
 //! independent engine for the differential test suites: for every program,
 //! `step` and `eval` must produce identical values and identical I/O traces.
 
+use zarf_trace::{Engine, Event, SinkHandle, TraceSink};
+
 use crate::ast::{Expr, Name, Pattern, Program};
 use crate::env::Env;
 use crate::error::{EvalError, RuntimeError};
@@ -24,11 +26,7 @@ use crate::value::{ClosureTarget, Value, V};
 enum Frame<'p> {
     /// A function call was made from `let var = … in body`; when the callee
     /// returns, bind `var` in `env` and continue with `body`.
-    Bind {
-        var: Name,
-        body: &'p Expr,
-        env: Env,
-    },
+    Bind { var: Name, body: &'p Expr, env: Env },
     /// An over-applied call: when the saturated prefix returns a value,
     /// apply it to the remaining arguments.
     ApplyRest { rest: Vec<V> },
@@ -59,6 +57,7 @@ pub struct Machine<'p> {
     control: Option<Control<'p>>,
     kont: Vec<Frame<'p>>,
     steps: u64,
+    sink: SinkHandle,
 }
 
 impl<'p> Machine<'p> {
@@ -72,6 +71,7 @@ impl<'p> Machine<'p> {
             }),
             kont: Vec::new(),
             steps: 0,
+            sink: SinkHandle::none(),
         }
     }
 
@@ -88,6 +88,7 @@ impl<'p> Machine<'p> {
                 control: Some(Control::Return(clo)),
                 kont: Vec::new(),
                 steps: 0,
+                sink: SinkHandle::none(),
             });
         }
         Ok(Machine {
@@ -98,7 +99,78 @@ impl<'p> Machine<'p> {
             }),
             kont: Vec::new(),
             steps: 0,
+            sink: SinkHandle::none(),
         })
+    }
+
+    /// Install a trace sink; the machine emits [`Event::Bind`],
+    /// [`Event::Dispatch`], and [`Event::Yield`] with [`Engine::Small`].
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.set(sink);
+    }
+
+    /// Builder-style [`Machine::set_sink`].
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink.set(sink);
+        self
+    }
+
+    /// Remove and return the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_bind(&mut self, var: &Name, v: &Value) {
+        let (var, value) = (var.to_string(), v.to_string());
+        self.sink.emit(|| Event::Bind {
+            engine: Engine::Small,
+            var,
+            value,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_dispatch_lit(&mut self, scrutinee: &Value, n: crate::Int, hit: bool) {
+        let scrutinee = scrutinee.to_string();
+        let branch = if hit {
+            format!("lit {n}")
+        } else {
+            "else".to_string()
+        };
+        self.sink.emit(|| Event::Dispatch {
+            engine: Engine::Small,
+            scrutinee,
+            branch,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_dispatch_con(&mut self, scrutinee: &Value, name: &Name, hit: bool) {
+        let scrutinee = scrutinee.to_string();
+        let branch = if hit {
+            format!("con {name}")
+        } else {
+            "else".to_string()
+        };
+        self.sink.emit(|| Event::Dispatch {
+            engine: Engine::Small,
+            scrutinee,
+            branch,
+        });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_yield(&mut self, v: &Value) {
+        let value = v.to_string();
+        self.sink.emit(|| Event::Yield {
+            engine: Engine::Small,
+            value,
+        });
     }
 
     /// Transitions taken so far.
@@ -153,9 +225,17 @@ impl<'p> Machine<'p> {
         match expr {
             Expr::Result(arg) => {
                 let v = env.resolve(arg)?;
+                if self.sink.enabled() {
+                    self.emit_yield(&v);
+                }
                 self.finish(v)
             }
-            Expr::Let { var, callee, args, body } => {
+            Expr::Let {
+                var,
+                callee,
+                args,
+                body,
+            } => {
                 let argv = args
                     .iter()
                     .map(|a| env.resolve(a))
@@ -168,36 +248,52 @@ impl<'p> Machine<'p> {
                     crate::ast::Callee::Con(n) => {
                         Value::closure(ClosureTarget::Con(n.clone()), vec![])
                     }
-                    crate::ast::Callee::Prim(p) => {
-                        Value::closure(ClosureTarget::Prim(*p), vec![])
-                    }
+                    crate::ast::Callee::Prim(p) => Value::closure(ClosureTarget::Prim(*p), vec![]),
                 };
                 match self.apply(target, argv, ports)? {
                     Applied::Value(v) => {
+                        if self.sink.enabled() {
+                            self.emit_bind(var, &v);
+                        }
                         env.bind(var.clone(), v);
                         self.control = Some(Control::Eval { expr: body, env });
                         Ok(Status::Running)
                     }
-                    Applied::Call { body: fbody, frame, rest } => {
-                        self.kont.push(Frame::Bind { var: var.clone(), body, env });
+                    Applied::Call {
+                        body: fbody,
+                        frame,
+                        rest,
+                    } => {
+                        self.kont.push(Frame::Bind {
+                            var: var.clone(),
+                            body,
+                            env,
+                        });
                         if !rest.is_empty() {
                             self.kont.push(Frame::ApplyRest { rest });
                         }
-                        self.control = Some(Control::Eval { expr: fbody, env: frame });
+                        self.control = Some(Control::Eval {
+                            expr: fbody,
+                            env: frame,
+                        });
                         Ok(Status::Running)
                     }
                 }
             }
-            Expr::Case { scrutinee, branches, default } => {
+            Expr::Case {
+                scrutinee,
+                branches,
+                default,
+            } => {
                 let v = env.resolve(scrutinee)?;
                 match &*v {
                     Value::Int(n) => {
-                        let hit = branches
-                            .iter()
-                            .find(|b| b.pattern == Pattern::Lit(*n))
-                            .map(|b| &b.body)
-                            .unwrap_or(default);
-                        self.control = Some(Control::Eval { expr: hit, env });
+                        let hit = branches.iter().find(|b| b.pattern == Pattern::Lit(*n));
+                        if self.sink.enabled() {
+                            self.emit_dispatch_lit(&v, *n, hit.is_some());
+                        }
+                        let body = hit.map(|b| &b.body).unwrap_or(default);
+                        self.control = Some(Control::Eval { expr: body, env });
                         Ok(Status::Running)
                     }
                     Value::Con { name, fields } => {
@@ -205,6 +301,9 @@ impl<'p> Machine<'p> {
                             Pattern::Con(cn, vars) if cn == name => Some((vars, &b.body)),
                             _ => None,
                         });
+                        if self.sink.enabled() {
+                            self.emit_dispatch_con(&v, name, hit.is_some());
+                        }
                         match hit {
                             Some((vars, body)) => {
                                 env.bind_all(vars, fields);
@@ -216,9 +315,7 @@ impl<'p> Machine<'p> {
                         }
                         Ok(Status::Running)
                     }
-                    Value::Closure { .. } => {
-                        self.finish(Value::error(RuntimeError::CaseOnClosure))
-                    }
+                    Value::Closure { .. } => self.finish(Value::error(RuntimeError::CaseOnClosure)),
                     Value::Error(_) => self.finish(v),
                 }
             }
@@ -228,6 +325,9 @@ impl<'p> Machine<'p> {
     fn step_return(&mut self, v: V, ports: &mut dyn IoPorts) -> Result<Status, EvalError> {
         match self.kont.pop().expect("Return with empty continuation") {
             Frame::Bind { var, body, mut env } => {
+                if self.sink.enabled() {
+                    self.emit_bind(&var, &v);
+                }
                 env.bind(var, v);
                 self.control = Some(Control::Eval { expr: body, env });
                 Ok(Status::Running)
@@ -238,7 +338,10 @@ impl<'p> Machine<'p> {
                     if !rest.is_empty() {
                         self.kont.push(Frame::ApplyRest { rest });
                     }
-                    self.control = Some(Control::Eval { expr: body, env: frame });
+                    self.control = Some(Control::Eval {
+                        expr: body,
+                        env: frame,
+                    });
                     Ok(Status::Running)
                 }
             },
@@ -400,23 +503,16 @@ mod tests {
         let count = Decl::Fun(FunDecl::new(
             "count",
             &["n"],
-            seq()
-                .case(var("n"))
-                .lit(0, seq().result(lit(0)))
-                .default(
-                    seq()
-                        .prim("m", "sub", [var("n"), lit(1)])
-                        .call("r", "count", [var("m")])
-                        .result(var("r")),
-                ),
+            seq().case(var("n")).lit(0, seq().result(lit(0))).default(
+                seq()
+                    .prim("m", "sub", [var("n"), lit(1)])
+                    .call("r", "count", [var("m")])
+                    .result(var("r")),
+            ),
         ));
         let p = Program::new(vec![
             count,
-            Decl::main(
-                seq()
-                    .call("r", "count", [lit(50_000)])
-                    .result(var("r")),
-            ),
+            Decl::main(seq().call("r", "count", [lit(50_000)]).result(var("r"))),
         ])
         .unwrap();
         let v = Machine::new(&p).run(&mut NullPorts, 10_000_000).unwrap();
@@ -535,7 +631,9 @@ mod tests {
         let add2 = Decl::Fun(FunDecl::new(
             "add2",
             &["a", "b"],
-            seq().prim("s", "add", [var("a"), var("b")]).result(var("s")),
+            seq()
+                .prim("s", "add", [var("a"), var("b")])
+                .result(var("s")),
         ));
         let p = Program::new(vec![add2, Decl::main(seq().result(lit(0)))]).unwrap();
         let mut m = Machine::call(&p, "add2", vec![Value::int(1)]).unwrap();

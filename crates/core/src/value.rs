@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let c = Value::con(name("Cons"), vec![Value::int(1), Value::con(name("Nil"), vec![])]);
+        let c = Value::con(
+            name("Cons"),
+            vec![Value::int(1), Value::con(name("Nil"), vec![])],
+        );
         assert_eq!(c.to_string(), "(Cons 1 Nil)");
         let cl = Value::closure(ClosureTarget::Prim(PrimOp::Add), vec![Value::int(1)]);
         assert_eq!(cl.to_string(), "<add/1 applied>");

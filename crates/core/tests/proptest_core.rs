@@ -1,11 +1,12 @@
 //! Property-based tests on the core data structures and semantics.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use zarf_core::ast::{Arg, Branch, Decl, Expr, Program};
 use zarf_core::error::RuntimeError;
 use zarf_core::prim::{PrimOp, PRIMS};
 use zarf_core::step::Machine;
 use zarf_core::{Evaluator, NullPorts};
+use zarf_testkit::prelude::*;
 
 proptest! {
     /// Pure primitive evaluation never panics and is total over its domain.

@@ -88,7 +88,10 @@ impl Heap {
     /// Run a full collection. `roots` are rewritten in place to their
     /// to-space locations; everything unreachable from them is discarded.
     pub fn collect(&mut self, roots: &mut [HValue], cost: &CostModel) -> GcReport {
-        let mut report = GcReport { cycles: cost.gc_cycle_base, ..GcReport::default() };
+        let mut report = GcReport {
+            cycles: cost.gc_cycle_base,
+            ..GcReport::default()
+        };
         let before = self.words_used;
 
         let mut to: Vec<HeapObj> = Vec::new();
@@ -188,7 +191,10 @@ mod tests {
     fn alloc_tracks_words() {
         let mut h = heap();
         let r = h
-            .alloc(HeapObj::Con { id: 0x101, fields: vec![HValue::Int(1)] })
+            .alloc(HeapObj::Con {
+                id: 0x101,
+                fields: vec![HValue::Int(1)],
+            })
             .unwrap();
         assert_eq!(h.words_used(), 3);
         assert!(matches!(h.get(r), HeapObj::Con { id: 0x101, .. }));
@@ -206,10 +212,16 @@ mod tests {
     fn collect_drops_garbage_keeps_live() {
         let mut h = heap();
         let live = h
-            .alloc(HeapObj::Con { id: 0x101, fields: vec![HValue::Int(7)] })
+            .alloc(HeapObj::Con {
+                id: 0x101,
+                fields: vec![HValue::Int(7)],
+            })
             .unwrap();
         let _garbage = h
-            .alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Int(1), HValue::Int(2)] })
+            .alloc(HeapObj::Con {
+                id: 0x102,
+                fields: vec![HValue::Int(1), HValue::Int(2)],
+            })
             .unwrap();
         let mut roots = [HValue::Ref(live)];
         let report = h.collect(&mut roots, &CostModel::default());
@@ -217,7 +229,13 @@ mod tests {
         assert_eq!(report.words_copied, 3);
         assert_eq!(report.words_reclaimed, 4);
         assert_eq!(h.words_used(), 3);
-        match (roots[0], h.get(match roots[0] { HValue::Ref(r) => r, _ => panic!() })) {
+        match (
+            roots[0],
+            h.get(match roots[0] {
+                HValue::Ref(r) => r,
+                _ => panic!(),
+            }),
+        ) {
             (HValue::Ref(_), HeapObj::Con { id: 0x101, fields }) => {
                 assert_eq!(fields, &[HValue::Int(7)]);
             }
@@ -229,23 +247,38 @@ mod tests {
     fn shared_objects_copied_once() {
         let mut h = heap();
         let shared = h
-            .alloc(HeapObj::Con { id: 0x101, fields: vec![] })
+            .alloc(HeapObj::Con {
+                id: 0x101,
+                fields: vec![],
+            })
             .unwrap();
         let a = h
-            .alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Ref(shared)] })
+            .alloc(HeapObj::Con {
+                id: 0x102,
+                fields: vec![HValue::Ref(shared)],
+            })
             .unwrap();
         let b = h
-            .alloc(HeapObj::Con { id: 0x103, fields: vec![HValue::Ref(shared)] })
+            .alloc(HeapObj::Con {
+                id: 0x103,
+                fields: vec![HValue::Ref(shared)],
+            })
             .unwrap();
         let mut roots = [HValue::Ref(a), HValue::Ref(b)];
         let report = h.collect(&mut roots, &CostModel::default());
         assert_eq!(report.objects_copied, 3);
         // Sharing preserved: both parents point at the same copy.
-        let fa = match h.get(match roots[0] { HValue::Ref(r) => r, _ => panic!() }) {
+        let fa = match h.get(match roots[0] {
+            HValue::Ref(r) => r,
+            _ => panic!(),
+        }) {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
-        let fb = match h.get(match roots[1] { HValue::Ref(r) => r, _ => panic!() }) {
+        let fb = match h.get(match roots[1] {
+            HValue::Ref(r) => r,
+            _ => panic!(),
+        }) {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
@@ -256,17 +289,26 @@ mod tests {
     fn indirections_are_short_circuited() {
         let mut h = heap();
         let target = h
-            .alloc(HeapObj::Con { id: 0x101, fields: vec![] })
+            .alloc(HeapObj::Con {
+                id: 0x101,
+                fields: vec![],
+            })
             .unwrap();
         let ind = h.alloc(HeapObj::Ind(HValue::Ref(target))).unwrap();
         let holder = h
-            .alloc(HeapObj::Con { id: 0x102, fields: vec![HValue::Ref(ind)] })
+            .alloc(HeapObj::Con {
+                id: 0x102,
+                fields: vec![HValue::Ref(ind)],
+            })
             .unwrap();
         let mut roots = [HValue::Ref(holder)];
         let report = h.collect(&mut roots, &CostModel::default());
         // The indirection itself is not copied: 2 objects, not 3.
         assert_eq!(report.objects_copied, 2);
-        let field = match h.get(match roots[0] { HValue::Ref(r) => r, _ => panic!() }) {
+        let field = match h.get(match roots[0] {
+            HValue::Ref(r) => r,
+            _ => panic!(),
+        }) {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
@@ -308,10 +350,16 @@ mod tests {
     fn app_targets_are_scanned() {
         let mut h = heap();
         let pap = h
-            .alloc(HeapObj::App { target: AppTarget::Global(0x005), args: vec![HValue::Int(1)] })
+            .alloc(HeapObj::App {
+                target: AppTarget::Global(0x005),
+                args: vec![HValue::Int(1)],
+            })
             .unwrap();
         let app = h
-            .alloc(HeapObj::App { target: AppTarget::Value(HValue::Ref(pap)), args: vec![HValue::Int(2)] })
+            .alloc(HeapObj::App {
+                target: AppTarget::Value(HValue::Ref(pap)),
+                args: vec![HValue::Int(2)],
+            })
             .unwrap();
         let mut roots = [HValue::Ref(app)];
         let report = h.collect(&mut roots, &CostModel::default());
@@ -324,7 +372,10 @@ mod tests {
         // the machine); the collector must terminate and preserve it.
         let mut h = heap();
         let r = h
-            .alloc(HeapObj::App { target: AppTarget::Global(0x100), args: vec![HValue::Int(0)] })
+            .alloc(HeapObj::App {
+                target: AppTarget::Global(0x100),
+                args: vec![HValue::Int(0)],
+            })
             .unwrap();
         if let HeapObj::App { args, .. } = h.get_mut(r) {
             args[0] = HValue::Ref(r);
@@ -332,7 +383,10 @@ mod tests {
         let mut roots = [HValue::Ref(r)];
         let report = h.collect(&mut roots, &CostModel::default());
         assert_eq!(report.objects_copied, 1);
-        let nr = match roots[0] { HValue::Ref(x) => x, _ => panic!() };
+        let nr = match roots[0] {
+            HValue::Ref(x) => x,
+            _ => panic!(),
+        };
         match h.get(nr) {
             HeapObj::App { args, .. } => assert_eq!(args[0], HValue::Ref(nr)),
             other => panic!("unexpected {other:?}"),

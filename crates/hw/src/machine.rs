@@ -28,8 +28,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use zarf_asm::encode::{
-    self, unpack_let_head, unpack_operand_word, unpack_pattern_skip, word_tag, TAG_CASE,
-    TAG_ELSE, TAG_LET, TAG_PAT_CON, TAG_PAT_LIT, TAG_RESULT,
+    self, unpack_let_head, unpack_operand_word, unpack_pattern_skip, word_tag, TAG_CASE, TAG_ELSE,
+    TAG_LET, TAG_PAT_CON, TAG_PAT_LIT, TAG_RESULT,
 };
 use zarf_asm::{DecodeError, EncodeError};
 use zarf_core::error::{IoError, RuntimeError};
@@ -38,6 +38,7 @@ use zarf_core::machine::{MProgram, Operand, Source};
 use zarf_core::prim::{PrimOp, ERROR_CON_INDEX, FIRST_USER_INDEX};
 use zarf_core::value::{ClosureTarget, Value, V};
 use zarf_core::{Int, Word};
+use zarf_trace::{Event, InstrClass, SinkHandle, TraceSink};
 
 use crate::cost::CostModel;
 use crate::heap::{GcReport, Heap};
@@ -79,7 +80,10 @@ impl fmt::Display for HwError {
             HwError::Load(e) => write!(f, "load failed: {e}"),
             HwError::Encode(e) => write!(f, "encode failed: {e}"),
             HwError::OutOfMemory { needed, capacity } => {
-                write!(f, "out of memory: need {needed} words, semispace holds {capacity}")
+                write!(
+                    f,
+                    "out of memory: need {needed} words, semispace holds {capacity}"
+                )
             }
             HwError::Io(e) => write!(f, "I/O failure: {e}"),
             HwError::CycleLimit(n) => write!(f, "cycle limit of {n} exhausted"),
@@ -106,6 +110,40 @@ struct ItemMeta {
     is_con: bool,
     body_off: usize,
     name: Option<String>,
+}
+
+/// Pending cycle run not yet emitted as an [`Event::Cycles`].
+///
+/// Consecutive charges to the same `(class, item)` pair coalesce into one
+/// event, flushed whenever the attribution changes, an instruction retires,
+/// a collection starts, a coroutine boundary is crossed, or the run ends.
+/// The per-class event sums therefore reproduce [`Stats`] exactly: the
+/// trace is a refinement of the aggregate counters.
+#[derive(Debug)]
+struct TraceCursor {
+    class: Class,
+    item: Option<u32>,
+    cycles: u64,
+}
+
+impl Default for TraceCursor {
+    fn default() -> Self {
+        TraceCursor {
+            class: Class::Let,
+            item: None,
+            cycles: 0,
+        }
+    }
+}
+
+/// The trace-event name of a cycle-accounting class.
+fn trace_class(c: Class) -> InstrClass {
+    match c {
+        Class::Let => InstrClass::Let,
+        Class::Case => InstrClass::Case,
+        Class::Result => InstrClass::Result,
+        Class::BranchHead => InstrClass::BranchHead,
+    }
 }
 
 /// A suspended function activation.
@@ -207,6 +245,12 @@ pub struct Hw {
     frames: Vec<Frame>,
     conts: Vec<Cont>,
     class: Class,
+
+    sink: SinkHandle,
+    cursor: TraceCursor,
+    /// Item id → coroutine id: frames of these items delimit coroutines in
+    /// the event stream (see [`Hw::mark_coroutine`]).
+    coroutines: HashMap<u32, u32>,
 }
 
 impl Hw {
@@ -262,6 +306,9 @@ impl Hw {
             frames: Vec::new(),
             conts: Vec::new(),
             class: Class::Let,
+            sink: SinkHandle::none(),
+            cursor: TraceCursor::default(),
+            coroutines: HashMap::new(),
         })
     }
 
@@ -289,10 +336,13 @@ impl Hw {
         &self.stats
     }
 
-    /// Reset statistics (keeping load cycles at zero).
+    /// Reset statistics (keeping load cycles at zero). Pending, not-yet-
+    /// emitted trace cycles are discarded so the trace restarts with the
+    /// counters.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
         self.profile.clear();
+        self.cursor = TraceCursor::default();
     }
 
     /// The per-function cycle profile (requires [`HwConfig::profile`]):
@@ -303,9 +353,7 @@ impl Hw {
         let mut rows: Vec<(u32, Option<String>, u64)> = self
             .profile
             .iter()
-            .map(|(&id, &cycles)| {
-                (id, self.item(id).and_then(|m| m.name.clone()), cycles)
-            })
+            .map(|(&id, &cycles)| (id, self.item(id).and_then(|m| m.name.clone()), cycles))
             .collect();
         rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         rows
@@ -370,7 +418,10 @@ impl Hw {
             return Err(HwError::UnknownItem(id));
         }
         debug_assert!(self.frames.is_empty() && self.conts.is_empty());
-        let app = self.alloc_gc(HeapObj::App { target: AppTarget::Global(id), args })?;
+        let app = self.alloc_gc(HeapObj::App {
+            target: AppTarget::Global(id),
+            args,
+        })?;
         let result = self.run_machine(State::Force(HValue::Ref(app)), ports);
         if result.is_err() {
             // Leave the machine in a clean state for post-mortem calls.
@@ -386,20 +437,89 @@ impl Hw {
         self.do_gc(&mut [])
     }
 
+    // -- observability ------------------------------------------------------
+
+    /// Install a trace sink. The machine emits retirement, cycle, heap, GC,
+    /// I/O, and coroutine events; when no sink is installed every emission
+    /// site is a single branch on a `None`.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.set(sink);
+        self.cursor = TraceCursor::default();
+    }
+
+    /// Remove and return the installed sink, flushing any pending cycles.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush_cycles();
+        self.sink.take()
+    }
+
+    /// Declare that frames of item `item` delimit coroutine `coroutine`:
+    /// entering such a frame emits [`Event::CoroutineEnter`], popping it
+    /// emits [`Event::CoroutineExit`]. The kernel marks its step functions
+    /// so a metrics sink can attribute cycles per coroutine.
+    pub fn mark_coroutine(&mut self, item: u32, coroutine: u32) {
+        self.coroutines.insert(item, coroutine);
+    }
+
+    /// The retained symbol of item `id` (inverse of [`Hw::id_of`]).
+    pub fn symbol(&self, id: u32) -> Option<String> {
+        self.item(id).and_then(|m| m.name.clone())
+    }
+
+    /// [`Hw::mark_coroutine`] by symbol name (requires retained symbols).
+    pub fn mark_coroutine_by_name(&mut self, name: &str, coroutine: u32) -> bool {
+        match self.id_of(name) {
+            Some(id) => {
+                self.mark_coroutine(id, coroutine);
+                true
+            }
+            None => false,
+        }
+    }
+
     // -- cycle accounting ---------------------------------------------------
 
     fn charge(&mut self, cycles: u64) {
         self.stats.class_mut(self.class).cycles += cycles;
+        let item = self.frames.last().map(|f| f.item);
         if self.profiling {
-            if let Some(f) = self.frames.last() {
-                *self.profile.entry(f.item).or_insert(0) += cycles;
+            if let Some(id) = item {
+                *self.profile.entry(id).or_insert(0) += cycles;
             }
+        }
+        if self.sink.enabled() {
+            if (self.cursor.class, self.cursor.item) != (self.class, item) {
+                self.flush_cycles();
+                self.cursor.class = self.class;
+                self.cursor.item = item;
+            }
+            self.cursor.cycles += cycles;
         }
     }
 
-    fn begin_instr(&mut self, class: Class) {
+    /// Emit the pending cycle run, if any.
+    fn flush_cycles(&mut self) {
+        if self.cursor.cycles > 0 {
+            let (class, item, cycles) = (self.cursor.class, self.cursor.item, self.cursor.cycles);
+            self.cursor.cycles = 0;
+            self.sink.emit(|| Event::Cycles {
+                class: trace_class(class),
+                item,
+                cycles,
+            });
+        }
+    }
+
+    fn begin_instr(&mut self, class: Class, pc: usize) {
         self.class = class;
         self.stats.class_mut(class).count += 1;
+        if self.sink.enabled() {
+            self.flush_cycles();
+            self.sink.emit(|| Event::Instr {
+                pc: pc as u64,
+                class: trace_class(class),
+            });
+        }
     }
 
     // -- memory -------------------------------------------------------------
@@ -447,10 +567,16 @@ impl Hw {
         self.stats.allocations += 1;
         self.stats.words_allocated += obj.words() as u64;
         let words = obj.words();
-        self.heap.alloc(obj).ok_or(HwError::OutOfMemory {
+        let r = self.heap.alloc(obj).ok_or(HwError::OutOfMemory {
             needed: words,
             capacity: self.heap.capacity_words(),
-        })
+        })?;
+        let heap_words = self.heap.words_used() as u64;
+        self.sink.emit(|| Event::Alloc {
+            words: words as u64,
+            heap_words,
+        });
+        Ok(r)
     }
 
     /// Collect, treating machine state + host roots (+ `extra`) as roots.
@@ -477,11 +603,22 @@ impl Hw {
             .peak_live_words
             .max(self.heap.words_used() as u64);
 
+        if self.sink.enabled() {
+            self.flush_cycles();
+            let heap_words = self.heap.words_used() as u64;
+            self.sink.emit(|| Event::GcStart { heap_words });
+        }
         let report = self.heap.collect(&mut roots, &self.cost);
         self.stats.gc_cycles += report.cycles;
         self.stats.gc_runs += 1;
         self.stats.gc_objects_copied += report.objects_copied;
         self.stats.gc_words_copied += report.words_copied;
+        self.sink.emit(|| Event::GcEnd {
+            pause_cycles: report.cycles,
+            objects_copied: report.objects_copied,
+            words_copied: report.words_copied,
+            words_reclaimed: report.words_reclaimed,
+        });
 
         // Scatter the (possibly moved) roots back.
         let mut it = roots.into_iter();
@@ -567,6 +704,14 @@ impl Hw {
             .and_then(|i| self.items.get(i as usize))
     }
 
+    /// Emit [`Event::CoroutineExit`] if the popped frame's item is marked.
+    fn emit_coroutine_exit(&mut self, item: u32) {
+        if let Some(&cid) = self.coroutines.get(&item) {
+            self.flush_cycles();
+            self.sink.emit(|| Event::CoroutineExit { id: cid });
+        }
+    }
+
     /// Push an `Update` continuation, squeezing a directly-enclosing update
     /// frame into an indirection (constant-space tail recursion).
     fn push_update(&mut self, r: HeapRef) {
@@ -588,6 +733,7 @@ impl Hw {
         loop {
             if let Some(limit) = self.cycle_limit {
                 if self.stats.total_cycles() > limit {
+                    self.flush_cycles();
                     return Err(HwError::CycleLimit(limit));
                 }
             }
@@ -596,7 +742,10 @@ impl Hw {
                 State::Force(v) => self.step_force(v)?,
                 State::Return(v) => match self.step_return(v, ports)? {
                     Some(next) => next,
-                    None => return Ok(v),
+                    None => {
+                        self.flush_cycles();
+                        return Ok(v);
+                    }
                 },
             };
         }
@@ -607,10 +756,9 @@ impl Hw {
         let w = self.code[pc];
         match word_tag(w) {
             TAG_LET => {
-                self.begin_instr(Class::Let);
+                self.begin_instr(Class::Let, pc);
                 self.charge(self.cost.let_base);
-                let (nargs, callee) =
-                    unpack_let_head(w).expect("validated at load");
+                let (nargs, callee) = unpack_let_head(w).expect("validated at load");
                 self.stats.let_args += nargs as u64;
                 let mut args = Vec::with_capacity(nargs);
                 for i in 0..nargs {
@@ -636,7 +784,7 @@ impl Hw {
                 Ok(State::Exec)
             }
             TAG_CASE => {
-                self.begin_instr(Class::Case);
+                self.begin_instr(Class::Case, pc);
                 self.charge(self.cost.case_base);
                 let op = unpack_operand_word(w).expect("validated at load");
                 let scrutinee = self.resolve(op)?;
@@ -645,11 +793,12 @@ impl Hw {
                 Ok(State::Force(scrutinee))
             }
             TAG_RESULT => {
-                self.begin_instr(Class::Result);
+                self.begin_instr(Class::Result, pc);
                 self.charge(self.cost.result_base);
                 let op = unpack_operand_word(w).expect("validated at load");
                 let v = self.resolve(op)?;
-                self.frames.pop();
+                let frame = self.frames.pop().expect("exec inside a frame");
+                self.emit_coroutine_exit(frame.item);
                 Ok(State::Force(v))
             }
             other => unreachable!("instruction tag {other:#x} survived validation"),
@@ -708,7 +857,11 @@ impl Hw {
             let first = args[0];
             let mut pending: Vec<HValue> = args[1..].to_vec();
             pending.reverse();
-            self.conts.push(Cont::PrimArgs { op, pending, ints: Vec::new() });
+            self.conts.push(Cont::PrimArgs {
+                op,
+                pending,
+                ints: Vec::new(),
+            });
             return Ok(State::Force(first));
         }
 
@@ -769,6 +922,10 @@ impl Hw {
                 self.conts.push(Cont::Apply(rest));
             }
             self.charge(self.cost.enter_fun);
+            if let Some(&cid) = self.coroutines.get(&id) {
+                self.flush_cycles();
+                self.sink.emit(|| Event::CoroutineEnter { id: cid });
+            }
             self.frames.push(Frame {
                 item: id,
                 args,
@@ -828,7 +985,11 @@ impl Hw {
             }
             Cont::CaseDispatch => self.case_dispatch(v).map(Some),
             Cont::ResumeExec => Ok(Some(State::Exec)),
-            Cont::PrimArgs { op, mut pending, mut ints } => {
+            Cont::PrimArgs {
+                op,
+                mut pending,
+                mut ints,
+            } => {
                 if self.is_error(v) {
                     return Ok(Some(State::Return(v)));
                 }
@@ -850,11 +1011,21 @@ impl Hw {
                 let result = match op {
                     PrimOp::GetInt => {
                         self.charge(self.cost.io_port);
-                        HValue::Int(ports.getint(ints[0])?)
+                        let n = ports.getint(ints[0])?;
+                        self.sink.emit(|| Event::IoRead {
+                            port: ints[0] as i64,
+                            value: n as i64,
+                        });
+                        HValue::Int(n)
                     }
                     PrimOp::PutInt => {
                         self.charge(self.cost.io_port);
-                        HValue::Int(ports.putint(ints[0], ints[1])?)
+                        let n = ports.putint(ints[0], ints[1])?;
+                        self.sink.emit(|| Event::IoWrite {
+                            port: ints[0] as i64,
+                            value: ints[1] as i64,
+                        });
+                        HValue::Int(n)
                     }
                     PrimOp::Gc => {
                         let report = self.do_gc(&mut []);
@@ -875,7 +1046,8 @@ impl Hw {
     fn case_dispatch(&mut self, v: HValue) -> Result<State, HwError> {
         // Error scrutinee: the whole function yields the error.
         if self.is_error(v) {
-            self.frames.pop();
+            let frame = self.frames.pop().expect("case inside a frame");
+            self.emit_coroutine_exit(frame.item);
             return Ok(State::Force(v));
         }
         enum Scrut {
@@ -894,7 +1066,8 @@ impl Hw {
         };
         if let Scrut::Closure = scrut {
             let e = self.error_value(RuntimeError::CaseOnClosure)?;
-            self.frames.pop();
+            let frame = self.frames.pop().expect("case inside a frame");
+            self.emit_coroutine_exit(frame.item);
             return Ok(State::Force(e));
         }
 
@@ -908,7 +1081,7 @@ impl Hw {
                     break;
                 }
                 TAG_PAT_LIT => {
-                    self.begin_instr(Class::BranchHead);
+                    self.begin_instr(Class::BranchHead, pc);
                     self.charge(self.cost.branch_head);
                     self.class = Class::Case;
                     let value = self.code[pc + 1] as Int;
@@ -921,7 +1094,7 @@ impl Hw {
                     pc += 2 + unpack_pattern_skip(w);
                 }
                 TAG_PAT_CON => {
-                    self.begin_instr(Class::BranchHead);
+                    self.begin_instr(Class::BranchHead, pc);
                     self.charge(self.cost.branch_head);
                     self.class = Class::Case;
                     let want = self.code[pc + 1];
@@ -977,11 +1150,7 @@ impl Hw {
     /// [`Value`] type for differential comparison. Fields of constructors
     /// are forced recursively; partial applications convert to closures
     /// with their applied arguments.
-    pub fn deep_value(
-        &mut self,
-        v: HValue,
-        ports: &mut dyn IoPorts,
-    ) -> Result<V, HwError> {
+    pub fn deep_value(&mut self, v: HValue, ports: &mut dyn IoPorts) -> Result<V, HwError> {
         let w = self.run_machine(State::Force(v), ports)?;
         match w {
             HValue::Int(n) => Ok(Value::int(n)),
@@ -993,8 +1162,7 @@ impl Hw {
                             .and_then(|f| self.as_int(*f))
                             .unwrap_or(RuntimeError::Propagated.code());
                         return Ok(Value::error(
-                            RuntimeError::from_code(code)
-                                .unwrap_or(RuntimeError::Propagated),
+                            RuntimeError::from_code(code).unwrap_or(RuntimeError::Propagated),
                         ));
                     }
                     let out = self.deep_fields(&fields, ports)?;
@@ -1076,10 +1244,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(
-            run_int("fun main =\n let a = add 20 22 in\n result a"),
-            42
-        );
+        assert_eq!(run_int("fun main =\n let a = add 20 22 in\n result a"), 42);
     }
 
     #[test]
@@ -1216,7 +1381,10 @@ fun main =
 "#;
         let mut h = Hw::from_machine_with(
             &lower(&parse(src).unwrap()).unwrap(),
-            HwConfig { heap_words: 8 * 1024, ..HwConfig::default() },
+            HwConfig {
+                heap_words: 8 * 1024,
+                ..HwConfig::default()
+            },
         )
         .unwrap();
         let v = h.run(&mut NullPorts).unwrap();
@@ -1247,7 +1415,10 @@ fun main =
         let err = h.run(&mut NullPorts).unwrap_err();
         // Either the black hole is hit (self-demand through the thunk) or
         // the machine loops allocating; a cycle limit would also be fine.
-        assert!(matches!(err, HwError::InfiniteLoop | HwError::OutOfMemory { .. }));
+        assert!(matches!(
+            err,
+            HwError::InfiniteLoop | HwError::OutOfMemory { .. }
+        ));
     }
 
     #[test]
@@ -1263,7 +1434,10 @@ fun main =
 "#;
         let mut h = Hw::from_machine_with(
             &lower(&parse(src).unwrap()).unwrap(),
-            HwConfig { cycle_limit: Some(10_000), ..HwConfig::default() },
+            HwConfig {
+                cycle_limit: Some(10_000),
+                ..HwConfig::default()
+            },
         )
         .unwrap();
         let err = h.run(&mut NullPorts).unwrap_err();

@@ -106,7 +106,10 @@ mod tests {
             args: vec![HValue::Int(1), HValue::Int(2), HValue::Int(3)],
         };
         assert_eq!(app.words(), 5);
-        let con = HeapObj::Con { id: 0x101, fields: vec![] };
+        let con = HeapObj::Con {
+            id: 0x101,
+            fields: vec![],
+        };
         assert_eq!(con.words(), 2);
         assert_eq!(HeapObj::Ind(HValue::Int(0)).words(), 2);
     }

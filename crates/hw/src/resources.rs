@@ -29,10 +29,22 @@ pub struct StateGroup {
 
 /// The four state groups of the λ-execution layer FSM (paper §6).
 pub const STATE_GROUPS: [StateGroup; 4] = [
-    StateGroup { name: "program loading", states: 4 },
-    StateGroup { name: "function application", states: 15 },
-    StateGroup { name: "function evaluation", states: 18 },
-    StateGroup { name: "garbage collection", states: 29 },
+    StateGroup {
+        name: "program loading",
+        states: 4,
+    },
+    StateGroup {
+        name: "function application",
+        states: 15,
+    },
+    StateGroup {
+        name: "function evaluation",
+        states: 18,
+    },
+    StateGroup {
+        name: "garbage collection",
+        states: 29,
+    },
 ];
 
 /// Published totals from Table 1 / §6.
@@ -102,7 +114,9 @@ impl Default for LambdaLayerModel {
     fn default() -> Self {
         // Roughly 45% of the machine is shared datapath (32-bit ALU, heap
         // pointer unit, operand mux trees); the rest follows state count.
-        LambdaLayerModel { datapath_share_per_mille: 450 }
+        LambdaLayerModel {
+            datapath_share_per_mille: 450,
+        }
     }
 }
 
@@ -139,12 +153,10 @@ impl LambdaLayerModel {
     /// Decompose the λ-layer gates/LUTs over state groups plus the shared
     /// datapath, proportionally to state count.
     pub fn breakdown(&self) -> (Vec<GroupEstimate>, GroupEstimate) {
-        let control_gates = published::LAMBDA_GATES as u64
-            * (1000 - self.datapath_share_per_mille) as u64
-            / 1000;
-        let control_luts = published::LAMBDA_LUTS as u64
-            * (1000 - self.datapath_share_per_mille) as u64
-            / 1000;
+        let control_gates =
+            published::LAMBDA_GATES as u64 * (1000 - self.datapath_share_per_mille) as u64 / 1000;
+        let control_luts =
+            published::LAMBDA_LUTS as u64 * (1000 - self.datapath_share_per_mille) as u64 / 1000;
         let total_states = self.total_states() as u64;
         let groups = STATE_GROUPS
             .iter()
@@ -155,11 +167,14 @@ impl LambdaLayerModel {
             })
             .collect();
         let datapath = GroupEstimate {
-            group: StateGroup { name: "shared datapath", states: 0 },
-            gates: (published::LAMBDA_GATES as u64 * self.datapath_share_per_mille as u64
-                / 1000) as u32,
-            luts: (published::LAMBDA_LUTS as u64 * self.datapath_share_per_mille as u64
-                / 1000) as u32,
+            group: StateGroup {
+                name: "shared datapath",
+                states: 0,
+            },
+            gates: (published::LAMBDA_GATES as u64 * self.datapath_share_per_mille as u64 / 1000)
+                as u32,
+            luts: (published::LAMBDA_LUTS as u64 * self.datapath_share_per_mille as u64 / 1000)
+                as u32,
         };
         (groups, datapath)
     }
@@ -227,7 +242,10 @@ mod tests {
         let diff = published::LAMBDA_GATES.abs_diff(gate_sum);
         assert!(diff < 40, "gate decomposition off by {diff}");
         // GC is the largest control group, as 29/66 states.
-        let gc = groups.iter().find(|g| g.group.name == "garbage collection").unwrap();
+        let gc = groups
+            .iter()
+            .find(|g| g.group.name == "garbage collection")
+            .unwrap();
         assert!(groups.iter().all(|g| g.gates <= gc.gates));
     }
 }

@@ -192,10 +192,22 @@ mod tests {
     #[test]
     fn cpi_arithmetic() {
         let mut s = Stats {
-            lets: ClassStats { count: 2, cycles: 20 },
-            cases: ClassStats { count: 1, cycles: 10 },
-            results: ClassStats { count: 1, cycles: 10 },
-            branch_heads: ClassStats { count: 4, cycles: 4 },
+            lets: ClassStats {
+                count: 2,
+                cycles: 20,
+            },
+            cases: ClassStats {
+                count: 1,
+                cycles: 10,
+            },
+            results: ClassStats {
+                count: 1,
+                cycles: 10,
+            },
+            branch_heads: ClassStats {
+                count: 4,
+                cycles: 4,
+            },
             let_args: 10,
             ..Stats::default()
         };

@@ -9,7 +9,10 @@ use zarf_core::Evaluator;
 use zarf_hw::{Hw, HwConfig};
 
 fn eager() -> HwConfig {
-    HwConfig { eager: true, ..HwConfig::default() }
+    HwConfig {
+        eager: true,
+        ..HwConfig::default()
+    }
 }
 
 #[test]
@@ -28,18 +31,30 @@ fun main =
     let mut big_ports = VecPorts::new();
     let v = Evaluator::new(&program).run(&mut big_ports).unwrap();
     assert_eq!(v.as_int(), Some(3));
-    assert_eq!(big_ports.output(7), &[99], "eager semantics performs the write");
+    assert_eq!(
+        big_ports.output(7),
+        &[99],
+        "eager semantics performs the write"
+    );
 
     let mut lazy = Hw::from_machine(&machine).unwrap();
     let mut lazy_ports = VecPorts::new();
     lazy.run(&mut lazy_ports).unwrap();
-    assert_eq!(lazy_ports.output(7), &[] as &[i32], "lazy hardware drops it");
+    assert_eq!(
+        lazy_ports.output(7),
+        &[] as &[i32],
+        "lazy hardware drops it"
+    );
 
     let mut eager_hw = Hw::from_machine_with(&machine, eager()).unwrap();
     let mut eager_ports = VecPorts::new();
     let v = eager_hw.run(&mut eager_ports).unwrap();
     assert_eq!(eager_hw.as_int(v), Some(3));
-    assert_eq!(eager_ports.output(7), &[99], "eager ablation matches big-step");
+    assert_eq!(
+        eager_ports.output(7),
+        &[99],
+        "eager ablation matches big-step"
+    );
 }
 
 #[test]

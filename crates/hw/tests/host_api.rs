@@ -24,7 +24,10 @@ fun main = result 0
 fn hw_small_heap() -> Hw {
     Hw::from_machine_with(
         &lower(&parse(SRC).unwrap()).unwrap(),
-        HwConfig { heap_words: 512, ..HwConfig::default() },
+        HwConfig {
+            heap_words: 512,
+            ..HwConfig::default()
+        },
     )
     .unwrap()
 }
@@ -127,7 +130,10 @@ fun main =
 "#;
     let mut hw = Hw::from_machine_with(
         &lower(&parse(src).unwrap()).unwrap(),
-        HwConfig { heap_words: 256, ..HwConfig::default() },
+        HwConfig {
+            heap_words: 256,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     let v = hw.run(&mut NullPorts).unwrap();

@@ -27,7 +27,10 @@ fn profile_attributes_cycles_to_the_hot_function() {
     let machine = lower(&parse(SRC).unwrap()).unwrap();
     let mut hw = Hw::from_machine_with(
         &machine,
-        HwConfig { profile: true, ..HwConfig::default() },
+        HwConfig {
+            profile: true,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     hw.run(&mut NullPorts).unwrap();
@@ -66,7 +69,10 @@ fn icd_profile_is_dominated_by_the_filter_chain() {
     use zarf_icd::extract::icd_machine;
     let mut hw = Hw::from_machine_with(
         &icd_machine(),
-        HwConfig { profile: true, ..HwConfig::default() },
+        HwConfig {
+            profile: true,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     let init = hw.id_of("init_state").unwrap();
@@ -75,7 +81,11 @@ fn icd_profile_is_dominated_by_the_filter_chain() {
     let slot = hw.push_root(state);
     for x in 0..200 {
         let pair = hw
-            .call(step, vec![state, HValue::Int((x * 13) % 400 - 200)], &mut NullPorts)
+            .call(
+                step,
+                vec![state, HValue::Int((x * 13) % 400 - 200)],
+                &mut NullPorts,
+            )
             .unwrap();
         hw.set_root(slot, pair);
         let out = hw.con_field(pair, 1).unwrap();
@@ -88,7 +98,13 @@ fn icd_profile_is_dominated_by_the_filter_chain() {
         .iter()
         .filter_map(|(_, n, c)| n.as_deref().map(|n| (n, *c)))
         .collect();
-    let get = |name: &str| named.iter().find(|(n, _)| *n == name).map(|&(_, c)| c).unwrap_or(0);
+    let get = |name: &str| {
+        named
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
     // On a frame-dominated workload the attribution covers most cycles.
     let attributed: u64 = profile.iter().map(|&(_, _, c)| c).sum();
     assert!(attributed * 10 >= hw.stats().mutator_cycles() * 6);
@@ -105,7 +121,10 @@ fn profile_accounts_for_almost_all_mutator_cycles() {
     let machine = lower(&parse(SRC).unwrap()).unwrap();
     let mut hw = Hw::from_machine_with(
         &machine,
-        HwConfig { profile: true, ..HwConfig::default() },
+        HwConfig {
+            profile: true,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     hw.run(&mut NullPorts).unwrap();

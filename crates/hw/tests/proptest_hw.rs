@@ -1,8 +1,9 @@
 //! Property-based tests on the hardware model: the collector and the
 //! cycle accounting.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use zarf_hw::{CostModel, HValue, Heap, HeapObj};
+use zarf_testkit::prelude::*;
 
 /// Build a random object graph; returns the heap and all root candidates.
 fn build_graph(shape: &[(u8, Vec<usize>)]) -> (Heap, Vec<HValue>) {

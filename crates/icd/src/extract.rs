@@ -476,9 +476,11 @@ con IcdSt lp hp dv mw det rr atp
 /// trivial `main`; the system `main` lives in `zarf-kernel`).
 pub fn icd_source() -> String {
     let mut src = icd_decls_source();
-    src.push_str("
+    src.push_str(
+        "
 fun main = result 0
-");
+",
+    );
     src
 }
 
@@ -552,7 +554,13 @@ mod tests {
     fn refinement_on_normal_rhythm() {
         use crate::signal::{EcgConfig, EcgGen, Rhythm};
         let cfg = EcgConfig::default();
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 80.0, seconds: 10.0 }]);
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 80.0,
+                seconds: 10.0,
+            }],
+        );
         let samples = g.take(1200);
         let ext = run_extracted(&samples);
         let spec = run_spec(&samples);
@@ -566,8 +574,17 @@ mod tests {
         // Drive the detector with a fast synthetic rhythm long enough to
         // trigger ATP, and require bit-identical outputs throughout.
         use crate::signal::{EcgConfig, EcgGen, Rhythm};
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 190.0, seconds: 60.0 }]);
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 190.0,
+                seconds: 60.0,
+            }],
+        );
         let samples = g.take(3600);
         let ext = run_extracted(&samples);
         let spec = run_spec(&samples);
@@ -583,8 +600,7 @@ mod tests {
     fn refinement_on_random_streams() {
         // Adversarial inputs: step functions must agree even on noise that
         // resembles nothing physiological.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use zarf_testkit::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(42);
         let samples: Vec<i32> = (0..600).map(|_| rng.gen_range(-4095..=4095)).collect();
         assert_eq!(run_extracted(&samples), run_spec(&samples));

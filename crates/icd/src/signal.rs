@@ -12,8 +12,7 @@
 //! Output samples are integer ADC counts in roughly ±[`EcgConfig::amplitude`],
 //! with optional uniform noise from a seeded deterministic generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use zarf_testkit::rng::StdRng;
 
 use crate::consts::SAMPLE_HZ;
 
@@ -51,7 +50,11 @@ pub struct EcgConfig {
 
 impl Default for EcgConfig {
     fn default() -> Self {
-        EcgConfig { amplitude: 2000, noise: 30, seed: 0x5AF7 }
+        EcgConfig {
+            amplitude: 2000,
+            noise: 30,
+            seed: 0x5AF7,
+        }
     }
 }
 
@@ -76,7 +79,7 @@ fn beat_wave(t: f64) -> f64 {
         - 0.20 * bump(t, 0.268, 0.016) // Q
         + 1.00 * bump(t, 0.30, 0.022)  // R
         - 0.30 * bump(t, 0.332, 0.018) // S
-        + 0.25 * bump(t, 0.55, 0.09)   // T
+        + 0.25 * bump(t, 0.55, 0.09) // T
 }
 
 /// Deterministic synthetic ECG generator.
@@ -99,15 +102,30 @@ impl EcgGen {
     /// A generator following `script`; after the script ends the last
     /// segment's final rate continues forever.
     pub fn new(config: EcgConfig, script: Vec<Rhythm>) -> Self {
-        assert!(!script.is_empty(), "rhythm script must have at least one segment");
+        assert!(
+            !script.is_empty(),
+            "rhythm script must have at least one segment"
+        );
         let rng = StdRng::seed_from_u64(config.seed);
-        EcgGen { config, script, seg: 0, seg_t: 0.0, phase: 0.0, rng, beats: 0 }
+        EcgGen {
+            config,
+            script,
+            seg: 0,
+            seg_t: 0.0,
+            phase: 0.0,
+            rng,
+            beats: 0,
+        }
     }
 
     fn current_bpm(&self) -> f64 {
         match self.script[self.seg.min(self.script.len() - 1)] {
             Rhythm::Steady { bpm, .. } => bpm,
-            Rhythm::Ramp { from_bpm, to_bpm, seconds } => {
+            Rhythm::Ramp {
+                from_bpm,
+                to_bpm,
+                seconds,
+            } => {
                 let f = (self.seg_t / seconds).clamp(0.0, 1.0);
                 from_bpm + (to_bpm - from_bpm) * f
             }
@@ -166,10 +184,23 @@ impl EcgGen {
 /// generator and the sample index at which VT onset begins.
 pub fn vt_episode(config: EcgConfig) -> (EcgGen, usize) {
     let script = vec![
-        Rhythm::Steady { bpm: 75.0, seconds: 20.0 },
-        Rhythm::Ramp { from_bpm: 75.0, to_bpm: 190.0, seconds: 4.0 },
-        Rhythm::Steady { bpm: 190.0, seconds: 25.0 },
-        Rhythm::Steady { bpm: 80.0, seconds: 20.0 },
+        Rhythm::Steady {
+            bpm: 75.0,
+            seconds: 20.0,
+        },
+        Rhythm::Ramp {
+            from_bpm: 75.0,
+            to_bpm: 190.0,
+            seconds: 4.0,
+        },
+        Rhythm::Steady {
+            bpm: 190.0,
+            seconds: 25.0,
+        },
+        Rhythm::Steady {
+            bpm: 80.0,
+            seconds: 20.0,
+        },
     ];
     let onset = (20.0 * SAMPLE_HZ as f64) as usize;
     (EcgGen::new(config, script), onset)
@@ -182,24 +213,58 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let cfg = EcgConfig::default();
-        let mut a = EcgGen::new(cfg.clone(), vec![Rhythm::Steady { bpm: 70.0, seconds: 10.0 }]);
-        let mut b = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 70.0, seconds: 10.0 }]);
+        let mut a = EcgGen::new(
+            cfg.clone(),
+            vec![Rhythm::Steady {
+                bpm: 70.0,
+                seconds: 10.0,
+            }],
+        );
+        let mut b = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 70.0,
+                seconds: 10.0,
+            }],
+        );
         assert_eq!(a.take(2000), b.take(2000));
     }
 
     #[test]
     fn beat_count_matches_rate() {
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 120.0, seconds: 60.0 }]);
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 120.0,
+                seconds: 60.0,
+            }],
+        );
         g.take(60 * SAMPLE_HZ as usize); // one minute
         let beats = g.beats();
-        assert!((118..=122).contains(&beats), "120 bpm should give ~120 beats, got {beats}");
+        assert!(
+            (118..=122).contains(&beats),
+            "120 bpm should give ~120 beats, got {beats}"
+        );
     }
 
     #[test]
     fn amplitude_is_respected() {
-        let cfg = EcgConfig { amplitude: 1000, noise: 0, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 70.0, seconds: 10.0 }]);
+        let cfg = EcgConfig {
+            amplitude: 1000,
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 70.0,
+                seconds: 10.0,
+            }],
+        );
         let samples = g.take(2000);
         let max = *samples.iter().max().unwrap();
         let min = *samples.iter().min().unwrap();
@@ -209,14 +274,25 @@ mod tests {
 
     #[test]
     fn ramp_changes_rate() {
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
         let mut g = EcgGen::new(
             cfg,
-            vec![Rhythm::Ramp { from_bpm: 60.0, to_bpm: 180.0, seconds: 10.0 }],
+            vec![Rhythm::Ramp {
+                from_bpm: 60.0,
+                to_bpm: 180.0,
+                seconds: 10.0,
+            }],
         );
         assert!((g.bpm_now() - 60.0).abs() < 1.0);
         g.take(5 * SAMPLE_HZ as usize);
-        assert!((g.bpm_now() - 120.0).abs() < 3.0, "midway ≈ 120, got {}", g.bpm_now());
+        assert!(
+            (g.bpm_now() - 120.0).abs() < 3.0,
+            "midway ≈ 120, got {}",
+            g.bpm_now()
+        );
         g.take(5 * SAMPLE_HZ as usize);
         assert!((g.bpm_now() - 180.0).abs() < 1.0);
     }
@@ -225,13 +301,27 @@ mod tests {
     fn vt_episode_script_reaches_tachycardia() {
         let (mut g, onset) = vt_episode(EcgConfig::default());
         g.take(onset + 6 * SAMPLE_HZ as usize); // past onset + ramp
-        assert!(g.bpm_now() > 167.0, "VT rate must exceed 167 bpm, got {}", g.bpm_now());
+        assert!(
+            g.bpm_now() > 167.0,
+            "VT rate must exceed 167 bpm, got {}",
+            g.bpm_now()
+        );
     }
 
     #[test]
     fn noise_stays_bounded() {
-        let cfg = EcgConfig { amplitude: 0, noise: 25, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 70.0, seconds: 10.0 }]);
+        let cfg = EcgConfig {
+            amplitude: 0,
+            noise: 25,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 70.0,
+                seconds: 10.0,
+            }],
+        );
         for s in g.take(1000) {
             assert!((-25..=25).contains(&s));
         }

@@ -143,7 +143,10 @@ impl IcdSpec {
         out.lp = lp;
 
         // --- High-pass: s' = s + v − v₃₂; y = v₁₆ − s'/32 -------------------
-        let sum = self.hp_sum.wrapping_add(lp).wrapping_sub(self.hp_x[HPF_DELAY - 1]);
+        let sum = self
+            .hp_sum
+            .wrapping_add(lp)
+            .wrapping_sub(self.hp_x[HPF_DELAY - 1]);
         let hp = self.hp_x[HPF_CENTER - 1].wrapping_sub(sum.wrapping_div(32));
         shift(&mut self.hp_x, lp);
         self.hp_sum = sum;
@@ -164,7 +167,10 @@ impl IcdSpec {
         out.sq = sq;
 
         // --- Moving-window integration --------------------------------------
-        let msum = self.mw_sum.wrapping_add(sq).wrapping_sub(self.mw_x[MWI_WINDOW - 1]);
+        let msum = self
+            .mw_sum
+            .wrapping_add(sq)
+            .wrapping_sub(self.mw_x[MWI_WINDOW - 1]);
         let mwi = msum.wrapping_div(MWI_WINDOW as i32);
         shift(&mut self.mw_x, sq);
         self.mw_sum = msum;
@@ -242,9 +248,7 @@ impl IcdSpec {
                         self.countdown = 0;
                     } else {
                         // Next sequence: 20 ms faster.
-                        let mut iv = self
-                            .interval
-                            .wrapping_sub(ATP_DECREMENT_MS / MS_PER_SAMPLE);
+                        let mut iv = self.interval.wrapping_sub(ATP_DECREMENT_MS / MS_PER_SAMPLE);
                         if iv < 10 {
                             iv = 10;
                         }
@@ -300,8 +304,17 @@ mod tests {
 
     #[test]
     fn normal_rhythm_detects_beats_at_the_right_rate() {
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 60.0 }]);
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 75.0,
+                seconds: 60.0,
+            }],
+        );
         let samples = g.take(60 * SAMPLE_HZ as usize);
         let (outs, spec) = run(&samples);
         let detections: usize = outs.iter().map(|o| o.detect as usize).sum();
@@ -327,7 +340,10 @@ mod tests {
 
     #[test]
     fn vt_episode_triggers_therapy() {
-        let (mut g, _onset) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let (mut g, _onset) = vt_episode(EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        });
         let samples = g.take(69 * SAMPLE_HZ as usize);
         let (outs, spec) = run(&samples);
         assert!(spec.treat_count() >= 1, "VT episode must trigger ATP");
@@ -348,7 +364,10 @@ mod tests {
 
     #[test]
     fn pacing_interval_is_88_percent_with_decrement() {
-        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let (mut g, _) = vt_episode(EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        });
         let samples = g.take(69 * SAMPLE_HZ as usize);
         let mut spec = IcdSpec::new();
         let mut pulse_times: Vec<usize> = Vec::new();
@@ -378,7 +397,10 @@ mod tests {
     fn recovery_ends_therapy() {
         // After the VT episode resolves, the device must go quiet: no
         // treatment starts during the recovery segment.
-        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let (mut g, _) = vt_episode(EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        });
         let samples = g.take(89 * SAMPLE_HZ as usize); // includes 40 s of recovery
         let (outs, _) = run(&samples);
         let recovery_start = 49 * SAMPLE_HZ as usize + 8 * SAMPLE_HZ as usize;
@@ -393,8 +415,17 @@ mod tests {
 
     #[test]
     fn refractory_blocks_double_detections() {
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 30.0 }]);
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 75.0,
+                seconds: 30.0,
+            }],
+        );
         let samples = g.take(30 * SAMPLE_HZ as usize);
         let (outs, _) = run(&samples);
         let mut last = None;
@@ -413,7 +444,12 @@ mod tests {
 
     #[test]
     fn output_word_packs_flags() {
-        let o = StepOut { pulse: 1, treat_start: 1, detect: 1, ..StepOut::default() };
+        let o = StepOut {
+            pulse: 1,
+            treat_start: 1,
+            detect: 1,
+            ..StepOut::default()
+        };
         assert_eq!(o.word(), OUT_PULSE + OUT_TREAT_START + OUT_DETECT);
         assert_eq!(StepOut::default().word(), 0);
     }

@@ -235,12 +235,18 @@ impl Asm {
 
     /// Unconditional jump to a label.
     pub fn jmp(&mut self, label: &str) {
-        self.instrs.push(Pending::Jump { link: false, label: label.to_string() });
+        self.instrs.push(Pending::Jump {
+            link: false,
+            label: label.to_string(),
+        });
     }
 
     /// Call: link in `r15`, jump to a label.
     pub fn jal(&mut self, label: &str) {
-        self.instrs.push(Pending::Jump { link: true, label: label.to_string() });
+        self.instrs.push(Pending::Jump {
+            link: true,
+            label: label.to_string(),
+        });
     }
 
     /// Indirect jump through a register.
@@ -289,7 +295,11 @@ impl Asm {
                 }
                 Pending::Jump { link, label } => {
                     let target = resolve(label)?;
-                    Ok(if *link { Instr::Jal(target) } else { Instr::Jmp(target) })
+                    Ok(if *link {
+                        Instr::Jal(target)
+                    } else {
+                        Instr::Jmp(target)
+                    })
                 }
             })
             .collect()
@@ -334,7 +344,10 @@ mod tests {
         a.label("x");
         a.halt();
         a.label("x");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::rc::Rc;
 use zarf_core::error::IoError;
 use zarf_core::io::{IoPorts, NullPorts};
 use zarf_core::Int;
+use zarf_trace::{Event, SinkHandle, TraceSink};
 
 /// Port number carrying channel data at each endpoint.
 pub const CHANNEL_PORT: Int = 100;
@@ -57,6 +58,7 @@ pub struct Endpoint<E> {
     side: Side,
     /// The device handling every non-channel port.
     pub external: E,
+    sink: SinkHandle,
 }
 
 /// Create a connected channel whose endpoints have no external devices.
@@ -68,12 +70,34 @@ pub fn channel() -> (Endpoint<NullPorts>, Endpoint<NullPorts>) {
 pub fn channel_with<A, B>(a_external: A, b_external: B) -> (Endpoint<A>, Endpoint<B>) {
     let fifos = Rc::new(RefCell::new(Fifos::default()));
     (
-        Endpoint { fifos: Rc::clone(&fifos), side: Side::A, external: a_external },
-        Endpoint { fifos, side: Side::B, external: b_external },
+        Endpoint {
+            fifos: Rc::clone(&fifos),
+            side: Side::A,
+            external: a_external,
+            sink: SinkHandle::none(),
+        },
+        Endpoint {
+            fifos,
+            side: Side::B,
+            external: b_external,
+            sink: SinkHandle::none(),
+        },
     )
 }
 
 impl<E> Endpoint<E> {
+    /// Install a trace sink: channel traffic through this endpoint emits
+    /// [`Event::ChannelPush`] / [`Event::ChannelPop`] (with the post-
+    /// operation queue depth). Each endpoint is traced independently.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.set(sink);
+    }
+
+    /// Remove and return the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
     /// Words waiting to be read at this endpoint.
     pub fn pending(&self) -> usize {
         let f = self.fifos.borrow();
@@ -97,12 +121,21 @@ impl<E: IoPorts> IoPorts for Endpoint<E> {
     fn getint(&mut self, port: Int) -> Result<Int, IoError> {
         match port {
             CHANNEL_PORT => {
-                let mut f = self.fifos.borrow_mut();
-                let q = match self.side {
-                    Side::A => &mut f.b_to_a,
-                    Side::B => &mut f.a_to_b,
+                let (word, depth) = {
+                    let mut f = self.fifos.borrow_mut();
+                    let q = match self.side {
+                        Side::A => &mut f.b_to_a,
+                        Side::B => &mut f.a_to_b,
+                    };
+                    let w = q.pop_front().ok_or(IoError::PortEmpty(CHANNEL_PORT))?;
+                    (w, q.len())
                 };
-                q.pop_front().ok_or(IoError::PortEmpty(CHANNEL_PORT))
+                self.sink.emit(|| Event::ChannelPop {
+                    port: CHANNEL_PORT as i64,
+                    word: word as i64,
+                    depth,
+                });
+                Ok(word)
             }
             CHANNEL_STATUS_PORT => Ok(self.pending() as Int),
             other => self.external.getint(other),
@@ -112,12 +145,20 @@ impl<E: IoPorts> IoPorts for Endpoint<E> {
     fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
         match port {
             CHANNEL_PORT => {
-                let mut f = self.fifos.borrow_mut();
-                let q = match self.side {
-                    Side::A => &mut f.a_to_b,
-                    Side::B => &mut f.b_to_a,
+                let depth = {
+                    let mut f = self.fifos.borrow_mut();
+                    let q = match self.side {
+                        Side::A => &mut f.a_to_b,
+                        Side::B => &mut f.b_to_a,
+                    };
+                    q.push_back(value);
+                    q.len()
                 };
-                q.push_back(value);
+                self.sink.emit(|| Event::ChannelPush {
+                    port: CHANNEL_PORT as i64,
+                    word: value as i64,
+                    depth,
+                });
                 Ok(value)
             }
             CHANNEL_STATUS_PORT => Err(IoError::NoSuchPort(CHANNEL_STATUS_PORT)),
@@ -139,7 +180,10 @@ mod tests {
         assert_eq!(b.pending(), 2);
         assert_eq!(b.getint(CHANNEL_PORT), Ok(1));
         assert_eq!(b.getint(CHANNEL_PORT), Ok(2));
-        assert_eq!(b.getint(CHANNEL_PORT), Err(IoError::PortEmpty(CHANNEL_PORT)));
+        assert_eq!(
+            b.getint(CHANNEL_PORT),
+            Err(IoError::PortEmpty(CHANNEL_PORT))
+        );
     }
 
     #[test]

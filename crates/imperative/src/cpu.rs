@@ -267,10 +267,7 @@ impl Cpu {
             return Ok(());
         }
         let pc = self.pc;
-        let instr = *self
-            .program
-            .get(pc)
-            .ok_or(CpuError::PcOutOfRange(pc))?;
+        let instr = *self.program.get(pc).ok_or(CpuError::PcOutOfRange(pc))?;
         self.instructions += 1;
         let mut next = pc + 1;
         match instr {
@@ -473,12 +470,12 @@ mod tests {
     fn loop_with_branch() {
         // sum 1..=10 into r2
         let prog = vec![
-            Instr::Addi(r(1), R0, 10),        // 0: i = 10
-            Instr::Add(r(2), R0, R0),         // 1: sum = 0
-            Instr::Beq(r(1), R0, 5),          // 2: while i != 0
-            Instr::Add(r(2), r(2), r(1)),     // 3: sum += i
-            Instr::Addi(r(1), r(1), -1),      // 4: i -= 1 ; fallthrough
-            // 5: halt — but we need to jump back; restructure:
+            Instr::Addi(r(1), R0, 10),    // 0: i = 10
+            Instr::Add(r(2), R0, R0),     // 1: sum = 0
+            Instr::Beq(r(1), R0, 5),      // 2: while i != 0
+            Instr::Add(r(2), r(2), r(1)), // 3: sum += i
+            Instr::Addi(r(1), r(1), -1),  // 4: i -= 1 ; fallthrough
+                                          // 5: halt — but we need to jump back; restructure:
         ];
         // Rewrite with a jump back.
         let prog = {
@@ -542,11 +539,11 @@ mod tests {
     #[test]
     fn jal_links_and_jr_returns() {
         let prog = vec![
-            Instr::Jal(3),               // 0: call 3, r15 = 1
-            Instr::Addi(r(2), R0, 5),    // 1: after return
-            Instr::Halt,                 // 2
-            Instr::Addi(r(1), R0, 9),    // 3: callee
-            Instr::Jr(Reg(15)),          // 4: return
+            Instr::Jal(3),            // 0: call 3, r15 = 1
+            Instr::Addi(r(2), R0, 5), // 1: after return
+            Instr::Halt,              // 2
+            Instr::Addi(r(1), R0, 9), // 3: callee
+            Instr::Jr(Reg(15)),       // 4: return
         ];
         let mut cpu = Cpu::new(prog, 0);
         cpu.run(&mut NullPorts, 20).unwrap();

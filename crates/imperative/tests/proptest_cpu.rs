@@ -1,9 +1,10 @@
 //! Property-based tests for the imperative core: random straight-line
 //! programs against a direct Rust semantic model, and structural checks.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use zarf_core::io::NullPorts;
 use zarf_imperative::{Cpu, Instr, Reg, R0};
+use zarf_testkit::prelude::*;
 
 /// A straight-line op on registers r1..r4.
 #[derive(Debug, Clone, Copy)]
@@ -70,12 +71,8 @@ fn model(regs: &mut [i32; 5], op: Op) {
         Op::Or(d, s, t) => regs[d as usize] = g(s, regs) | g(t, regs),
         Op::Xor(d, s, t) => regs[d as usize] = g(s, regs) ^ g(t, regs),
         Op::Slt(d, s, t) => regs[d as usize] = (g(s, regs) < g(t, regs)) as i32,
-        Op::Sll(d, s, t) => {
-            regs[d as usize] = g(s, regs).wrapping_shl(g(t, regs) as u32 & 31)
-        }
-        Op::Sra(d, s, t) => {
-            regs[d as usize] = g(s, regs).wrapping_shr(g(t, regs) as u32 & 31)
-        }
+        Op::Sll(d, s, t) => regs[d as usize] = g(s, regs).wrapping_shl(g(t, regs) as u32 & 31),
+        Op::Sra(d, s, t) => regs[d as usize] = g(s, regs).wrapping_shr(g(t, regs) as u32 & 31),
         Op::Addi(d, s, i) => regs[d as usize] = g(s, regs).wrapping_add(i),
         Op::Muli(d, s, i) => regs[d as usize] = g(s, regs).wrapping_mul(i),
         Op::Slti(d, s, i) => regs[d as usize] = (g(s, regs) < i) as i32,

@@ -10,8 +10,17 @@ use zarf_icd::signal::{EcgConfig, EcgGen, Rhythm};
 use zarf_kernel::system::System;
 
 fn main() {
-    let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
-    let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 190.0, seconds: 30.0 }]);
+    let cfg = EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    };
+    let mut g = EcgGen::new(
+        cfg,
+        vec![Rhythm::Steady {
+            bpm: 190.0,
+            seconds: 30.0,
+        }],
+    );
     let samples = g.take(6000);
     let n = samples.len() as u64;
     let mut sys = System::new(samples).unwrap();

@@ -192,7 +192,7 @@ pub fn baseline_program() -> Vec<zarf_imperative::Instr> {
     // since' = since + 1
     a.lw(T1, R0, SINCE);
     a.addi(T1, T1, 1); // T1 = since'
-    // thr = npk + (spk − npk)/4
+                       // thr = npk + (spk − npk)/4
     a.lw(T2, R0, SPK);
     a.lw(T3, R0, NPK);
     a.sub(T4, T2, T3);
@@ -205,11 +205,11 @@ pub fn baseline_program() -> Vec<zarf_imperative::Instr> {
     a.bge(X, T2, "no_peak"); // !(prev1 > mwi)
     a.lw(T3, R0, PREV2);
     a.blt(T2, T3, "no_peak"); // !(prev1 >= prev2)
-    // fire = prev1 > thr && since' > 40
+                              // fire = prev1 > thr && since' > 40
     a.bge(T4, T2, "noise_peak"); // !(prev1 > thr)
     a.addi(T3, R0, REFRACTORY_SAMPLES);
     a.bge(T3, T1, "noise_peak"); // !(since' > 40)
-    // detection
+                                 // detection
     a.addi(DETECT, R0, 1);
     a.muli(RRMS, T1, MS_PER_SAMPLE);
     a.lw(T3, R0, SPK);
@@ -266,7 +266,7 @@ pub fn baseline_program() -> Vec<zarf_imperative::Instr> {
     a.label("vt_check");
     a.addi(T4, R0, VT_COUNT);
     a.blt(T3, T4, "emit"); // fast < 18 → no therapy
-    // start therapy: interval = max(rr_ms·88/100/5, 10)
+                           // start therapy: interval = max(rr_ms·88/100/5, 10)
     a.muli(T1, RRMS, ATP_RATE_PERCENT);
     divi(&mut a, T1, T1, 100);
     divi(&mut a, T1, T1, MS_PER_SAMPLE);
@@ -389,7 +389,13 @@ mod tests {
     #[test]
     fn matches_spec_on_normal_rhythm() {
         let cfg = EcgConfig::default();
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 15.0 }]);
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 75.0,
+                seconds: 15.0,
+            }],
+        );
         let samples = g.take(3000);
         let (pace, _) = run_baseline(&samples);
         let spec = spec_words(&samples);
@@ -399,7 +405,10 @@ mod tests {
 
     #[test]
     fn matches_spec_through_therapy() {
-        let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+        let (mut g, _) = vt_episode(EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        });
         let samples = g.take(10_000); // covers onset + first therapy
         let (pace, _) = run_baseline(&samples);
         let spec = spec_words(&samples);
@@ -415,7 +424,13 @@ mod tests {
     fn under_one_thousand_cycles_per_iteration() {
         // The paper's headline baseline number.
         let cfg = EcgConfig::default();
-        let mut g = EcgGen::new(cfg, vec![Rhythm::Steady { bpm: 75.0, seconds: 10.0 }]);
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 75.0,
+                seconds: 10.0,
+            }],
+        );
         let samples = g.take(2000);
         let n = samples.len() as u64;
         let (_, cycles) = run_baseline(&samples);
@@ -429,8 +444,7 @@ mod tests {
 
     #[test]
     fn matches_spec_on_random_noise() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use zarf_testkit::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(7);
         let samples: Vec<i32> = (0..1500).map(|_| rng.gen_range(-4095..=4095)).collect();
         let (pace, _) = run_baseline(&samples);

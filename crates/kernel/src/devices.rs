@@ -30,7 +30,13 @@ impl HeartPorts {
     /// `ecg.len()` as the boot word.
     pub fn new(ecg: Vec<Int>) -> Self {
         let boot = Some(ecg.len() as Int);
-        HeartPorts { ecg: ecg.into(), pace: Vec::new(), debug: Vec::new(), tick: 0, boot }
+        HeartPorts {
+            ecg: ecg.into(),
+            pace: Vec::new(),
+            debug: Vec::new(),
+            tick: 0,
+            boot,
+        }
     }
 
     /// Override the boot word (iteration count handed to `main`).
@@ -129,7 +135,10 @@ impl MonitorPorts {
 impl IoPorts for MonitorPorts {
     fn getint(&mut self, port: Int) -> Result<Int, IoError> {
         match port {
-            PORT_CMD => self.commands.pop_front().ok_or(IoError::PortEmpty(PORT_CMD)),
+            PORT_CMD => self
+                .commands
+                .pop_front()
+                .ok_or(IoError::PortEmpty(PORT_CMD)),
             PORT_CMD_STATUS => Ok(self.commands.len() as Int),
             other => Err(IoError::NoSuchPort(other)),
         }

@@ -73,8 +73,8 @@ mod tests {
     use super::*;
     use crate::devices::MonitorPorts;
     use zarf_core::io::IoPorts;
-    use zarf_imperative::channel_with;
     use zarf_core::io::NullPorts;
+    use zarf_imperative::channel_with;
 
     /// Run the monitor against a scripted channel feed and command stream.
     fn drive(words: &[i32], cmds: &[i32]) -> Vec<i32> {

@@ -18,10 +18,34 @@
 use zarf_core::Int;
 use zarf_hw::{Hw, HwConfig, HwError, Stats};
 use zarf_imperative::{channel_with, Cpu, Endpoint};
+use zarf_trace::{Histogram, MetricsSink, SharedSink, TraceSink};
 
 use crate::devices::{HeartPorts, MonitorPorts, CMD_REPORT};
 use crate::monitor::monitor_cpu;
 use crate::program::kernel_machine;
+
+/// Coroutine ids a traced system registers with the λ-layer tracer,
+/// paired with the kernel step function implementing each coroutine.
+pub const COROUTINES: [(u32, &str); 4] = [
+    (1, "io_step"),
+    (2, "icd_step"),
+    (3, "chan_step"),
+    (4, "diag_step"),
+];
+
+/// Human-readable name for a registered coroutine id. `None` is mutator
+/// work outside every coroutine — the scheduler glue in `kernel_iter` —
+/// and unknown ids (none are registered today) report as `(unknown)`.
+pub fn coroutine_name(id: Option<u32>) -> &'static str {
+    match id {
+        None => "(kernel)",
+        Some(id) => COROUTINES
+            .iter()
+            .find(|&&(cid, _)| cid == id)
+            .map(|&(_, name)| name)
+            .unwrap_or("(unknown)"),
+    }
+}
 
 /// Outcome of a system run.
 #[derive(Debug, Clone)]
@@ -38,6 +62,33 @@ pub struct SystemReport {
     pub cpu_cycles: u64,
     /// `main`'s final value (the last iteration's output word).
     pub final_word: Int,
+    /// Aggregated trace metrics — per-coroutine cycle accounting, GC
+    /// pause distribution, heap occupancy, channel traffic — when the
+    /// system was built with [`System::with_metrics`] (or
+    /// [`System::enable_metrics`] was called). `None` on untraced runs.
+    pub metrics: Option<MetricsSink>,
+}
+
+impl SystemReport {
+    /// Mutator cycles attributed to each kernel coroutine, by step
+    /// function name; scheduler glue appears under `(kernel)`. Empty
+    /// when the run was untraced.
+    pub fn coroutine_cycles(&self) -> Vec<(&'static str, u64)> {
+        self.metrics
+            .as_ref()
+            .map(|m| {
+                m.coroutine_cycles
+                    .iter()
+                    .map(|(&id, &cycles)| (coroutine_name(id), cycles))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// GC pause distribution (cycles per collection) when traced.
+    pub fn gc_pauses(&self) -> Option<&Histogram> {
+        self.metrics.as_ref().map(|m| &m.gc_pauses)
+    }
 }
 
 /// The complete two-layer Zarf system.
@@ -48,6 +99,7 @@ pub struct System {
     hw_ports: Endpoint<HeartPorts>,
     cpu_ports: Endpoint<MonitorPorts>,
     iterations: usize,
+    metrics: Option<SharedSink<MetricsSink>>,
 }
 
 impl System {
@@ -59,7 +111,10 @@ impl System {
     pub fn new(ecg: Vec<Int>) -> Result<Self, HwError> {
         Self::with_config(
             ecg,
-            HwConfig { gc_auto: false, ..HwConfig::default() },
+            HwConfig {
+                gc_auto: false,
+                ..HwConfig::default()
+            },
         )
     }
 
@@ -67,15 +122,49 @@ impl System {
     pub fn with_config(ecg: Vec<Int>, config: HwConfig) -> Result<Self, HwError> {
         let iterations = ecg.len();
         let hw = Hw::from_machine_with(&kernel_machine(), config)?;
-        let (hw_ports, cpu_ports) =
-            channel_with(HeartPorts::new(ecg), MonitorPorts::new());
+        let (hw_ports, cpu_ports) = channel_with(HeartPorts::new(ecg), MonitorPorts::new());
         Ok(System {
             hw,
             cpu: monitor_cpu(),
             hw_ports,
             cpu_ports,
             iterations,
+            metrics: None,
         })
+    }
+
+    /// Build a traced system: like [`System::new`] but with a shared
+    /// [`MetricsSink`] installed across the λ-layer and both channel
+    /// endpoints, so the final [`SystemReport`] carries per-coroutine
+    /// cycle accounting and GC pause statistics.
+    pub fn with_metrics(ecg: Vec<Int>) -> Result<Self, HwError> {
+        let mut sys = Self::new(ecg)?;
+        sys.enable_metrics();
+        Ok(sys)
+    }
+
+    /// Install a fresh shared [`MetricsSink`] on every event source and
+    /// remember it so [`System::run`] can snapshot it into the report.
+    /// Returns a handle for live inspection mid-run.
+    pub fn enable_metrics(&mut self) -> SharedSink<MetricsSink> {
+        let shared = SharedSink::new(MetricsSink::new());
+        self.set_shared_sink(&shared);
+        self.metrics = Some(shared.clone());
+        shared
+    }
+
+    /// Install clones of a shared sink on the λ-layer and both channel
+    /// endpoints, and register the kernel coroutines for cycle
+    /// attribution. Used by [`System::enable_metrics`] and by the `zarf
+    /// trace` CLI to stream raw events instead of aggregating them.
+    pub fn set_shared_sink<S: TraceSink + 'static>(&mut self, shared: &SharedSink<S>) {
+        self.hw.set_sink(Box::new(shared.clone()));
+        self.hw_ports.set_sink(Box::new(shared.clone()));
+        self.cpu_ports.set_sink(Box::new(shared.clone()));
+        for (id, name) in COROUTINES {
+            let marked = self.hw.mark_coroutine_by_name(name, id);
+            debug_assert!(marked, "kernel step function `{name}` not found");
+        }
     }
 
     /// Run the real-time loop over the whole ECG trace, then let the
@@ -90,6 +179,7 @@ impl System {
             lambda_stats: self.hw.stats().clone(),
             cpu_cycles: self.cpu.cycles(),
             final_word,
+            metrics: self.metrics.as_ref().map(|m| m.with(|s| s.clone())),
         })
     }
 
@@ -165,10 +255,16 @@ mod tests {
     use zarf_icd::spec::IcdSpec;
 
     fn fast_rhythm_samples(seconds: f64) -> Vec<Int> {
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
         let mut g = EcgGen::new(
             cfg,
-            vec![Rhythm::Steady { bpm: 190.0, seconds }],
+            vec![Rhythm::Steady {
+                bpm: 190.0,
+                seconds,
+            }],
         );
         g.take((seconds * SAMPLE_HZ as f64) as usize)
     }
@@ -179,8 +275,7 @@ mod tests {
         // the RR history with fast beats, and start at least one therapy.
         let samples = fast_rhythm_samples(14.0);
         let mut spec = IcdSpec::new();
-        let spec_words: Vec<Int> =
-            samples.iter().map(|&x| spec.step(x).word()).collect();
+        let spec_words: Vec<Int> = samples.iter().map(|&x| spec.step(x).word()).collect();
         assert!(
             spec_words.iter().any(|&w| w & OUT_TREAT_START != 0),
             "workload must trigger therapy for this test to be meaningful"
@@ -203,6 +298,94 @@ mod tests {
         // The kernel called the collector once per iteration.
         assert_eq!(report.lambda_stats.gc_runs, report.iterations as u64);
         assert!(report.lambda_stats.mutator_cycles() > 0);
+    }
+
+    #[test]
+    fn metrics_sink_matches_simulator_stats_exactly() {
+        use zarf_trace::InstrClass;
+        let samples = fast_rhythm_samples(2.0);
+        let iterations = samples.len() as u64;
+        let mut sys = System::with_metrics(samples).unwrap();
+        let report = sys.run().unwrap();
+        let stats = &report.lambda_stats;
+        let m = report.metrics.as_ref().expect("traced run carries metrics");
+
+        // The trace is a refinement of the aggregate counters: replaying
+        // it through the metrics sink reproduces `Stats` exactly.
+        assert_eq!(
+            m.class(InstrClass::Let),
+            (stats.lets.count, stats.lets.cycles)
+        );
+        assert_eq!(
+            m.class(InstrClass::Case),
+            (stats.cases.count, stats.cases.cycles)
+        );
+        assert_eq!(
+            m.class(InstrClass::Result),
+            (stats.results.count, stats.results.cycles)
+        );
+        assert_eq!(
+            m.class(InstrClass::BranchHead),
+            (stats.branch_heads.count, stats.branch_heads.cycles)
+        );
+        assert_eq!(m.instructions(), stats.instructions());
+        assert_eq!(m.mutator_cycles(), stats.mutator_cycles());
+        assert_eq!(m.gc_cycles(), stats.gc_cycles);
+        assert_eq!(m.gc_runs(), stats.gc_runs);
+        assert_eq!(m.gc_runs(), iterations);
+        assert_eq!(m.gc_objects_copied, stats.gc_objects_copied);
+        assert_eq!(m.gc_words_copied, stats.gc_words_copied);
+        assert_eq!(m.allocations, stats.allocations);
+        assert_eq!(m.words_allocated, stats.words_allocated);
+
+        // Per-item and per-coroutine attributions each partition the
+        // mutator cycles — nothing double-counted, nothing dropped.
+        assert_eq!(m.item_cycles.values().sum::<u64>(), stats.mutator_cycles());
+        assert_eq!(
+            m.coroutine_cycles.values().sum::<u64>(),
+            stats.mutator_cycles()
+        );
+
+        // All four kernel coroutines ran, and the scheduler glue is
+        // accounted separately.
+        let per: std::collections::BTreeMap<&str, u64> =
+            report.coroutine_cycles().into_iter().collect();
+        for (_, name) in COROUTINES {
+            assert!(
+                per.get(name).copied().unwrap_or(0) > 0,
+                "{name} got no cycles"
+            );
+        }
+        assert!(per.get("(kernel)").copied().unwrap_or(0) > 0);
+
+        // GC pause stats and channel traffic are visible.
+        let pauses = report.gc_pauses().unwrap();
+        assert_eq!(pauses.count(), iterations);
+        assert!(pauses.max() > 0);
+        assert!(m.heap_occupancy.count() == m.allocations);
+        assert!(m.channel_pushes >= iterations);
+        assert!(m.channel_pops >= iterations);
+        assert!(m.channel_peak_depth >= 1);
+    }
+
+    #[test]
+    fn null_sink_changes_no_cycle_counts() {
+        use zarf_trace::NullSink;
+        let samples = fast_rhythm_samples(1.0);
+
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+        assert!(base.metrics.is_none());
+        assert!(base.coroutine_cycles().is_empty());
+
+        let mut traced = System::new(samples).unwrap();
+        traced.set_shared_sink(&zarf_trace::SharedSink::new(NullSink));
+        let nulled = traced.run().unwrap();
+
+        assert_eq!(nulled.lambda_stats, base.lambda_stats);
+        assert_eq!(nulled.pace_log, base.pace_log);
+        assert_eq!(nulled.cpu_cycles, base.cpu_cycles);
+        assert_eq!(nulled.final_word, base.final_word);
     }
 
     #[test]

@@ -90,9 +90,8 @@ fn parse_ty(tok: &str, line: usize) -> Result<Ty, AnnotError> {
     // Split a trailing `^L` only if it sits outside any parentheses (a
     // function type contains `^` inside its parameter list).
     let split_at = if tok.starts_with('(') {
-        tok.rfind(')').and_then(|close| {
-            tok[close..].find('^').map(|off| close + off)
-        })
+        tok.rfind(')')
+            .and_then(|close| tok[close..].find('^').map(|off| close + off))
     } else {
         tok.find('^')
     };
@@ -123,11 +122,13 @@ fn parse_ty(tok: &str, line: usize) -> Result<Ty, AnnotError> {
             .collect::<Result<Vec<_>, _>>()?;
         let rty = parse_ty(ret.trim(), line)?;
         Ok(Ty::Fn(ptys, Box::new(rty), label))
-    } else if base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !base.is_empty()
-    {
+    } else if base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !base.is_empty() {
         Ok(Ty::Data(base.to_string(), label))
     } else {
-        Err(AnnotError::Syntax { line, why: format!("unparseable type `{tok}`") })
+        Err(AnnotError::Syntax {
+            line,
+            why: format!("unparseable type `{tok}`"),
+        })
     }
 }
 
@@ -222,8 +223,9 @@ pub fn parse_annotations(src: &str) -> Result<Annotated, AnnotError> {
             let mut group: Vec<(String, Vec<Ty>)> = Vec::new();
             for alt in cons.split('|') {
                 let toks = type_tokens(alt);
-                let (cn, field_toks) = toks.split_first().ok_or_else(|| {
-                    AnnotError::Syntax { line: line_no, why: "empty constructor".into() }
+                let (cn, field_toks) = toks.split_first().ok_or_else(|| AnnotError::Syntax {
+                    line: line_no,
+                    why: "empty constructor".into(),
                 })?;
                 let fields = field_toks
                     .iter()
@@ -246,8 +248,7 @@ pub fn parse_annotations(src: &str) -> Result<Annotated, AnnotError> {
                 // `name p1:t1 … : ret` — the return annotation is the last
                 // top-level `:` segment.
                 let toks = type_tokens(header);
-                if toks.iter().any(|t| t.contains(':')) || toks.contains(&":".to_string())
-                {
+                if toks.iter().any(|t| t.contains(':')) || toks.contains(&":".to_string()) {
                     let mut name = None;
                     let mut params: Vec<String> = Vec::new();
                     let mut ptys: Vec<Ty> = Vec::new();
@@ -304,7 +305,10 @@ pub fn parse_annotations(src: &str) -> Result<Annotated, AnnotError> {
 
     let mut source = con_decls;
     source.push_str(&plain);
-    Ok(Annotated { plain_source: source, signatures: sigs })
+    Ok(Annotated {
+        plain_source: source,
+        signatures: sigs,
+    })
 }
 
 /// Full pipeline: parse annotations, assemble the plain program, typecheck.
@@ -360,7 +364,10 @@ fun main : num^T =
 
     #[test]
     fn untrusted_flow_rejected_in_annotated_source() {
-        let bad = GOOD.replace("let s = sum l in", "let u = getint 9 in\n  let s = add u 0 in");
+        let bad = GOOD.replace(
+            "let s = sum l in",
+            "let u = getint 9 in\n  let s = add u 0 in",
+        );
         let err = check_annotated(&bad).unwrap_err();
         assert!(matches!(err, AnnotError::Type(_)), "{err}");
     }
@@ -402,7 +409,10 @@ fun main : num^T =
         let err = parse_annotations("port in 0 Q").unwrap_err();
         assert_eq!(
             err,
-            AnnotError::Syntax { line: 1, why: "unknown label `Q` (expected T or U)".into() }
+            AnnotError::Syntax {
+                line: 1,
+                why: "unknown label `Q` (expected T or U)".into()
+            }
         );
     }
 
@@ -412,13 +422,16 @@ fun main : num^T =
         // reports it rather than guessing.
         let src = "fun helper x =\n  result x\nfun main : num^T = result 0";
         let err = check_annotated(src).unwrap_err();
-        assert!(matches!(err, AnnotError::Type(TypeError::MissingFnSig(_))), "{err}");
+        assert!(
+            matches!(err, AnnotError::Type(TypeError::MissingFnSig(_))),
+            "{err}"
+        );
     }
 
     #[test]
     fn data_groups_generate_constructors() {
-        let a = parse_annotations("data Opt = None | Some num^U\nfun main : num^T = result 0")
-            .unwrap();
+        let a =
+            parse_annotations("data Opt = None | Some num^U\nfun main : num^T = result 0").unwrap();
         assert!(a.plain_source.contains("con None"));
         assert!(a.plain_source.contains("con Some f0"));
     }

@@ -41,7 +41,10 @@ impl CallGraph {
             body.walk(&mut |e| {
                 if let MExpr::Let { callee, .. } = e {
                     match callee {
-                        Operand { source: Source::Global, index } => {
+                        Operand {
+                            source: Source::Global,
+                            index,
+                        } => {
                             let target = *index as u32;
                             if target >= FIRST_USER_INDEX {
                                 edges.entry(id).or_default().insert(target);
@@ -56,7 +59,11 @@ impl CallGraph {
                 }
             });
         }
-        CallGraph { edges, indirect, prims }
+        CallGraph {
+            edges,
+            indirect,
+            prims,
+        }
     }
 
     /// Direct callees of `id`.
@@ -248,7 +255,9 @@ fun main =
         let g = CallGraph::build(&m);
         let loop_id = crate::wcet::find_id(&m, "kernel_loop").unwrap();
         // The loop's only cycle is its self-edge.
-        let cycle = g.find_cycle(loop_id).expect("tail recursion is a self-cycle");
+        let cycle = g
+            .find_cycle(loop_id)
+            .expect("tail recursion is a self-cycle");
         assert!(cycle.iter().all(|&id| id == loop_id));
         // icd_step's subgraph is a DAG — the WCET precondition.
         let icd = crate::wcet::find_id(&m, "icd_step").unwrap();

@@ -229,11 +229,7 @@ impl Signatures {
     /// data groups therefore remain valid.
     pub fn renamed(&self, f: impl Fn(&str) -> String) -> Signatures {
         Signatures {
-            fns: self
-                .fns
-                .iter()
-                .map(|(k, v)| (f(k), v.clone()))
-                .collect(),
+            fns: self.fns.iter().map(|(k, v)| (f(k), v.clone())).collect(),
             datas: self
                 .datas
                 .iter()
@@ -340,12 +336,24 @@ impl fmt::Display for TypeError {
             TypeError::MissingConDecl(n) => {
                 write!(f, "constructor `{n}` not in any data group")
             }
-            TypeError::ConArity { name, declared, program } => write!(
+            TypeError::ConArity {
+                name,
+                declared,
+                program,
+            } => write!(
                 f,
                 "constructor `{name}`: signature has {declared} fields, program has {program}"
             ),
-            TypeError::Mismatch { in_fn, at, found, expected } => {
-                write!(f, "in `{in_fn}` at {at}: found {found}, expected {expected}")
+            TypeError::Mismatch {
+                in_fn,
+                at,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "in `{in_fn}` at {at}: found {found}, expected {expected}"
+                )
             }
             TypeError::NotApplicable { in_fn, callee } => {
                 write!(f, "in `{in_fn}`: `{callee}` applied to too many arguments")
@@ -404,7 +412,10 @@ pub fn check_program(program: &Program, sigs: &Signatures) -> Result<(), TypeErr
             .zip(&sig.params)
             .map(|(p, t)| (p.to_string(), t.clone()))
             .collect();
-        let checker = Checker { sigs, fn_name: &f.name };
+        let checker = Checker {
+            sigs,
+            fn_name: &f.name,
+        };
         checker.expr(&f.body, &mut env, Label::T, &sig.ret)?;
     }
     Ok(())
@@ -513,7 +524,11 @@ impl<'a> Checker<'a> {
             .fns
             .get(name)
             .ok_or_else(|| TypeError::MissingFnSig(name.to_string()))?;
-        Ok(Ty::Fn(sig.params.clone(), Box::new(sig.ret.clone()), Label::T))
+        Ok(Ty::Fn(
+            sig.params.clone(),
+            Box::new(sig.ret.clone()),
+            Label::T,
+        ))
     }
 
     fn con_type(&self, name: &str) -> Result<Ty, TypeError> {
@@ -528,13 +543,7 @@ impl<'a> Checker<'a> {
         ))
     }
 
-    fn io_call(
-        &self,
-        op: PrimOp,
-        args: &[Arg],
-        tys: &[Ty],
-        pc: Label,
-    ) -> Result<Ty, TypeError> {
+    fn io_call(&self, op: PrimOp, args: &[Arg], tys: &[Ty], pc: Label) -> Result<Ty, TypeError> {
         let port = match args.first() {
             Some(Arg::Lit(p)) => *p,
             _ => {
@@ -546,10 +555,14 @@ impl<'a> Checker<'a> {
         };
         match op {
             PrimOp::GetInt => {
-                let l = *self.sigs.ports_in.get(&port).ok_or_else(|| TypeError::BadPort {
-                    in_fn: self.fn_name.to_string(),
-                    why: format!("input port {port} has no declared label"),
-                })?;
+                let l = *self
+                    .sigs
+                    .ports_in
+                    .get(&port)
+                    .ok_or_else(|| TypeError::BadPort {
+                        in_fn: self.fn_name.to_string(),
+                        why: format!("input port {port} has no declared label"),
+                    })?;
                 // Reading under a tainted pc from a trusted port would make
                 // trusted input consumption depend on untrusted data.
                 if !pc.flows_to(l) {
@@ -561,10 +574,14 @@ impl<'a> Checker<'a> {
                 Ok(Ty::Num(l.join(pc)))
             }
             PrimOp::PutInt => {
-                let l = *self.sigs.ports_out.get(&port).ok_or_else(|| TypeError::BadPort {
-                    in_fn: self.fn_name.to_string(),
-                    why: format!("output port {port} has no declared label"),
-                })?;
+                let l = *self
+                    .sigs
+                    .ports_out
+                    .get(&port)
+                    .ok_or_else(|| TypeError::BadPort {
+                        in_fn: self.fn_name.to_string(),
+                        why: format!("output port {port} has no declared label"),
+                    })?;
                 let vl = self.num_label(&tys[1], "putint")?;
                 if !vl.flows_to(l) || !pc.flows_to(l) {
                     return Err(TypeError::UntrustedFlow {
@@ -595,7 +612,12 @@ impl<'a> Checker<'a> {
                 }
                 Ok(())
             }
-            Expr::Let { var, callee, args, body } => {
+            Expr::Let {
+                var,
+                callee,
+                args,
+                body,
+            } => {
                 let tys: Vec<Ty> = args
                     .iter()
                     .map(|a| self.arg_ty(a, env))
@@ -625,8 +647,7 @@ impl<'a> Checker<'a> {
                             l = l.join(self.num_label(t, op.name())?);
                         }
                         if tys.len() < op.arity() {
-                            let rest =
-                                vec![Ty::Num(Label::U); op.arity() - tys.len()];
+                            let rest = vec![Ty::Num(Label::U); op.arity() - tys.len()];
                             // A partial prim: remaining operands may be
                             // anything numeric; result joins all labels.
                             Ty::Fn(rest, Box::new(Ty::Num(Label::U)), l)
@@ -652,7 +673,11 @@ impl<'a> Checker<'a> {
                 env.pop();
                 r
             }
-            Expr::Case { scrutinee, branches, default } => {
+            Expr::Case {
+                scrutinee,
+                branches,
+                default,
+            } => {
                 let sty = self.arg_ty(scrutinee, env)?;
                 // A branch-less `case v of else e` is pure forcing — no
                 // control-flow choice, hence no implicit flow: the pc is
@@ -669,8 +694,7 @@ impl<'a> Checker<'a> {
                             if !matches!(b.pattern, Pattern::Lit(_)) {
                                 return Err(TypeError::BadCase {
                                     in_fn: self.fn_name.to_string(),
-                                    why: "constructor pattern on a numeric scrutinee"
-                                        .into(),
+                                    why: "constructor pattern on a numeric scrutinee".into(),
                                 });
                             }
                             self.expr(&b.body, env, pc2, ret)?;
@@ -683,18 +707,14 @@ impl<'a> Checker<'a> {
                                 Pattern::Lit(_) => {
                                     return Err(TypeError::BadCase {
                                         in_fn: self.fn_name.to_string(),
-                                        why: format!(
-                                            "literal pattern on data group `{dname}`"
-                                        ),
+                                        why: format!("literal pattern on data group `{dname}`"),
                                     })
                                 }
                                 Pattern::Con(cn, vars) => {
                                     let (owner, fields) = self
                                         .sigs
                                         .con_fields(cn)
-                                        .ok_or_else(|| TypeError::MissingConDecl(
-                                            cn.to_string(),
-                                        ))?;
+                                        .ok_or_else(|| TypeError::MissingConDecl(cn.to_string()))?;
                                     if owner != dname {
                                         return Err(TypeError::BadCase {
                                             in_fn: self.fn_name.to_string(),
@@ -871,10 +891,7 @@ fun main =
         let sigs = base_sigs()
             .data(
                 "List",
-                [
-                    ("Nil", vec![]),
-                    ("Cons", vec![num_t(), Ty::data_t("List")]),
-                ],
+                [("Nil", vec![]), ("Cons", vec![num_t(), Ty::data_t("List")])],
             )
             .fun("sum", vec![Ty::data_t("List")], num_t())
             .fun("main", vec![], num_t());

@@ -75,7 +75,10 @@ impl fmt::Display for Lint {
                 write!(f, "{function}: binding `{var}` shadows an earlier one")
             }
             Lint::DuplicatePattern { function, pattern } => {
-                write!(f, "{function}: pattern `{pattern}` repeats an earlier branch")
+                write!(
+                    f,
+                    "{function}: pattern `{pattern}` repeats an earlier branch"
+                )
             }
             Lint::UnusedParam { function, param } => {
                 write!(f, "{function}: parameter `{param}` is never read")
@@ -98,7 +101,9 @@ fn arg_uses<'a>(a: &'a Arg, out: &mut HashSet<&'a str>) {
 fn uses<'a>(e: &'a Expr, out: &mut HashSet<&'a str>) {
     match e {
         Expr::Result(a) => arg_uses(a, out),
-        Expr::Let { callee, args, body, .. } => {
+        Expr::Let {
+            callee, args, body, ..
+        } => {
             if let Callee::Var(x) = callee {
                 out.insert(x);
             }
@@ -107,7 +112,11 @@ fn uses<'a>(e: &'a Expr, out: &mut HashSet<&'a str>) {
             }
             uses(body, out);
         }
-        Expr::Case { scrutinee, branches, default } => {
+        Expr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             arg_uses(scrutinee, out);
             for b in branches {
                 uses(&b.body, out);
@@ -139,7 +148,11 @@ fn lint_expr(function: &str, e: &Expr, in_scope: &mut Vec<String>, out: &mut Vec
             lint_expr(function, body, in_scope, out);
             in_scope.pop();
         }
-        Expr::Case { scrutinee, branches, default } => {
+        Expr::Case {
+            scrutinee,
+            branches,
+            default,
+        } => {
             if let Arg::Lit(n) = scrutinee {
                 out.push(Lint::ConstantScrutinee {
                     function: function.to_string(),
@@ -225,15 +238,16 @@ mod tests {
         );
         assert_eq!(
             l,
-            vec![Lint::DeadLet { function: "main".into(), var: "unused".into() }]
+            vec![Lint::DeadLet {
+                function: "main".into(),
+                var: "unused".into()
+            }]
         );
     }
 
     #[test]
     fn shadowing_detected() {
-        let l = lints_of(
-            "fun main =\n  let x = add 1 2 in\n  let x = add x 1 in\n  result x",
-        );
+        let l = lints_of("fun main =\n  let x = add 1 2 in\n  let x = add x 1 in\n  result x");
         assert!(l.contains(&Lint::ShadowedBinding {
             function: "main".into(),
             var: "x".into()
@@ -246,10 +260,9 @@ mod tests {
             "fun main =\n  case 5 of\n  | 1 => result 1\n  | 1 => result 2\n  else result 0",
         );
         assert!(l.iter().any(|x| matches!(x, Lint::DuplicatePattern { .. })));
-        assert!(l.iter().any(|x| matches!(
-            x,
-            Lint::ConstantScrutinee { value: 5, .. }
-        )));
+        assert!(l
+            .iter()
+            .any(|x| matches!(x, Lint::ConstantScrutinee { value: 5, .. })));
     }
 
     #[test]
@@ -274,7 +287,10 @@ fun main =
         );
         assert_eq!(
             l,
-            vec![Lint::UnusedParam { function: "f".into(), param: "y".into() }]
+            vec![Lint::UnusedParam {
+                function: "f".into(),
+                param: "y".into()
+            }]
         );
     }
 

@@ -14,8 +14,7 @@
 //! [`kernel_program`]: zarf_kernel::program::kernel_program
 
 use zarf_kernel::program::{
-    PORT_BOOT, PORT_CHANNEL, PORT_CHANNEL_STATUS, PORT_DEBUG, PORT_ECG, PORT_PACE,
-    PORT_TIMER,
+    PORT_BOOT, PORT_CHANNEL, PORT_CHANNEL_STATUS, PORT_DEBUG, PORT_ECG, PORT_PACE, PORT_TIMER,
 };
 
 use crate::integrity::{Label, Signatures, Ty};
@@ -41,14 +40,23 @@ pub fn kernel_signatures() -> Signatures {
         .data("SixD", [("Six", vec![num_t(); 6])])
         .data("QuadD", [("Quad", vec![num_t(); 4])])
         .data("PairD", [("Pair", vec![d("IcdStD"), num_t()])])
-        .data("LpStD", [("LpSt", vec![d("OctD"), d("QuadD"), num_t(), num_t()])])
+        .data(
+            "LpStD",
+            [("LpSt", vec![d("OctD"), d("QuadD"), num_t(), num_t()])],
+        )
         .data(
             "HpStD",
-            [("HpSt", vec![d("OctD"), d("OctD"), d("OctD"), d("OctD"), num_t()])],
+            [(
+                "HpSt",
+                vec![d("OctD"), d("OctD"), d("OctD"), d("OctD"), num_t()],
+            )],
         )
         .data(
             "MwStD",
-            [("MwSt", vec![d("OctD"), d("OctD"), d("OctD"), d("SixD"), num_t()])],
+            [(
+                "MwSt",
+                vec![d("OctD"), d("OctD"), d("OctD"), d("SixD"), num_t()],
+            )],
         )
         .data("DetStD", [("DetSt", vec![num_t(); 5])])
         .data("DetResD", [("DetRes", vec![d("DetStD"), num_t(), num_t()])])
@@ -103,11 +111,7 @@ pub fn kernel_signatures() -> Signatures {
             vec![num_t(), d("IcdStD"), num_u(), num_t()],
             num_t(),
         )
-        .fun(
-            "kernel_loop",
-            vec![d("IcdStD"), num_u(), num_t()],
-            num_t(),
-        )
+        .fun("kernel_loop", vec![d("IcdStD"), num_u(), num_t()], num_t())
         .fun("main", vec![], num_t())
         // --- port policy -------------------------------------------------------
         .port_in(PORT_ECG, Label::T)
@@ -138,10 +142,7 @@ mod tests {
     /// trusted pacing port is rejected.
     #[test]
     fn diag_writing_to_pace_port_rejected() {
-        let src = kernel_source().replace(
-            "let w = putint 4 acc' in",
-            "let w = putint 1 acc' in",
-        );
+        let src = kernel_source().replace("let w = putint 4 acc' in", "let w = putint 1 acc' in");
         assert_ne!(src, kernel_source(), "tamper site must exist");
         let program = zarf_asm::parse(&src).unwrap();
         let err = check_program(&program, &kernel_signatures()).unwrap_err();
@@ -160,7 +161,10 @@ mod tests {
         let program = zarf_asm::parse(&src).unwrap();
         let err = check_program(&program, &kernel_signatures()).unwrap_err();
         assert!(
-            matches!(err, TypeError::Mismatch { .. } | TypeError::UntrustedFlow { .. }),
+            matches!(
+                err,
+                TypeError::Mismatch { .. } | TypeError::UntrustedFlow { .. }
+            ),
             "{err}"
         );
     }

@@ -83,8 +83,7 @@ pub fn kernel_persistent_state() -> AllocBound {
 /// Statically analyze one iteration of the shipped kernel.
 pub fn kernel_timing(cost: &CostModel) -> Result<TimingReport, WcetError> {
     let machine = kernel_machine();
-    let loop_id = find_id(&machine, KERNEL_LOOP_FN)
-        .expect("kernel machine retains symbols");
+    let loop_id = find_id(&machine, KERNEL_LOOP_FN).expect("kernel machine retains symbols");
     let report = iteration_wcet(&machine, cost, loop_id)?;
     let persistent = kernel_persistent_state();
     let gc = gc_bound(&report.alloc, &persistent, cost);
@@ -126,7 +125,11 @@ mod tests {
         );
         // And the bound should not be trivially loose either: worst case
         // under 100k cycles for a ~150-instruction iteration.
-        assert!(t.total_cycles() < 100_000, "bound {} looks unsound(ly loose)", t.total_cycles());
+        assert!(
+            t.total_cycles() < 100_000,
+            "bound {} looks unsound(ly loose)",
+            t.total_cycles()
+        );
     }
 
     /// E4 (dynamic half): the static bound dominates observed executions.
@@ -136,10 +139,16 @@ mod tests {
         use zarf_kernel::system::System;
 
         let t = kernel_timing(&CostModel::default()).unwrap();
-        let cfg = EcgConfig { noise: 0, ..EcgConfig::default() };
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
         let mut g = EcgGen::new(
             cfg,
-            vec![Rhythm::Steady { bpm: 190.0, seconds: 4.0 }],
+            vec![Rhythm::Steady {
+                bpm: 190.0,
+                seconds: 4.0,
+            }],
         );
         let samples = g.take(800);
         let n = samples.len() as u64;

@@ -150,12 +150,12 @@ impl<'m> Wcet<'m> {
     /// Analyze the function with identifier `root`.
     pub fn analyze(mut self, root: u32) -> Result<WcetReport, WcetError> {
         let (cycles, alloc) = self.function(root)?;
-        let per_function = self
-            .memo
-            .iter()
-            .map(|(&id, &(c, _))| (id, c))
-            .collect();
-        Ok(WcetReport { cycles, alloc, per_function })
+        let per_function = self.memo.iter().map(|(&id, &(c, _))| (id, c)).collect();
+        Ok(WcetReport {
+            cycles,
+            alloc,
+            per_function,
+        })
     }
 
     fn function(&mut self, id: u32) -> Result<(u64, AllocBound), WcetError> {
@@ -185,10 +185,7 @@ impl<'m> Wcet<'m> {
         self.in_progress.pop();
         let result = result?;
         // Entering the function and updating the caller's thunk.
-        let result = (
-            result.0 + self.cost.enter_fun + self.cost.update,
-            result.1,
-        );
+        let result = (result.0 + self.cost.enter_fun + self.cost.update, result.1);
         self.memo.insert(id, result);
         Ok(result)
     }
@@ -219,9 +216,10 @@ impl<'m> Wcet<'m> {
                     return Ok((c, AllocBound::default()));
                 }
                 match self.program.lookup(id) {
-                    Some(item) if item.is_con() => {
-                        Ok((self.cost.ref_check + self.cost.update, AllocBound::default()))
-                    }
+                    Some(item) if item.is_con() => Ok((
+                        self.cost.ref_check + self.cost.update,
+                        AllocBound::default(),
+                    )),
                     Some(item) => {
                         let saturated = nargs >= item.arity;
                         if saturated {
@@ -244,7 +242,11 @@ impl<'m> Wcet<'m> {
             // application combination overhead for the indirection itself.
             _ => Ok((
                 self.cost.ref_check + self.cost.pap_extend + self.cost.alloc,
-                AllocBound { objects: 1, words: 2 + nargs as u64, refs: nargs as u64 },
+                AllocBound {
+                    objects: 1,
+                    words: 2 + nargs as u64,
+                    refs: nargs as u64,
+                },
             )),
         }
     }
@@ -289,8 +291,7 @@ impl<'m> Wcet<'m> {
                     words: 2 + args.len() as u64,
                     refs: args.len() as u64,
                 };
-                let demanded =
-                    !self.assume_lazy || Self::slot_used(body, next_local as i32);
+                let demanded = !self.assume_lazy || Self::slot_used(body, next_local as i32);
                 let (cc, ca) = if demanded {
                     self.callee_cost(callee, args.len())?
                 } else {
@@ -299,7 +300,9 @@ impl<'m> Wcet<'m> {
                 let (bc, ba) = self.expr(body, next_local + 1)?;
                 Ok((own + cc + bc, alloc_here.add(ca).add(ba)))
             }
-            MExpr::Case { branches, default, .. } => {
+            MExpr::Case {
+                branches, default, ..
+            } => {
                 // Scrutinee force-check + every branch head examined.
                 let own = self.cost.case_base
                     + self.cost.ref_check
@@ -307,15 +310,12 @@ impl<'m> Wcet<'m> {
                 let mut worst = self.expr(default, next_local)?;
                 for b in branches {
                     let binds = match b.pattern {
-                        MPattern::Con(id) => self
-                            .program
-                            .lookup(id)
-                            .map(|i| i.arity as u64)
-                            .unwrap_or(0),
+                        MPattern::Con(id) => {
+                            self.program.lookup(id).map(|i| i.arity as u64).unwrap_or(0)
+                        }
                         MPattern::Lit(_) => 0,
                     };
-                    let (bc, ba) =
-                        self.expr(&b.body, next_local + binds as usize)?;
+                    let (bc, ba) = self.expr(&b.body, next_local + binds as usize)?;
                     let bc = bc + binds * self.cost.bind_field;
                     worst = (worst.0.max(bc), worst.1.max(ba));
                 }
@@ -333,11 +333,7 @@ impl<'m> Wcet<'m> {
 /// iteration allocates (plus the persistent live state) is live at
 /// collection time; each live object of `N` words costs `N + 4` cycles to
 /// copy and each reference 2 cycles to check.
-pub fn gc_bound(
-    iteration: &AllocBound,
-    persistent: &AllocBound,
-    cost: &CostModel,
-) -> u64 {
+pub fn gc_bound(iteration: &AllocBound, persistent: &AllocBound, cost: &CostModel) -> u64 {
     let live = iteration.add(*persistent);
     cost.gc_cycle_base
         + live.objects * cost.gc_copy_base
@@ -484,8 +480,16 @@ fun main =
     #[test]
     fn gc_bound_formula() {
         let cost = CostModel::default();
-        let iter = AllocBound { objects: 10, words: 40, refs: 20 };
-        let persistent = AllocBound { objects: 5, words: 25, refs: 15 };
+        let iter = AllocBound {
+            objects: 10,
+            words: 40,
+            refs: 20,
+        };
+        let persistent = AllocBound {
+            objects: 5,
+            words: 25,
+            refs: 15,
+        };
         let bound = gc_bound(&iter, &persistent, &cost);
         // base + 15 objects × 4 + 65 words × 1 + 35 refs × 2
         assert_eq!(bound, cost.gc_cycle_base + 15 * 4 + 65 + 35 * 2);
@@ -521,7 +525,10 @@ fun main =
         let m = lower(&parse(src).unwrap()).unwrap();
         let cost = CostModel::default();
         let eager = Wcet::new(&m, &cost).analyze(0x100).unwrap();
-        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        let lazy = Wcet::new(&m, &cost)
+            .assume_lazy(true)
+            .analyze(0x100)
+            .unwrap();
         assert!(
             lazy.cycles < eager.cycles,
             "lazy {} should beat eager {} with a dead expensive let",
@@ -543,7 +550,10 @@ fun main =
         let m = lower(&parse(src).unwrap()).unwrap();
         let cost = CostModel::default();
         let eager = Wcet::new(&m, &cost).analyze(0x100).unwrap();
-        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        let lazy = Wcet::new(&m, &cost)
+            .assume_lazy(true)
+            .analyze(0x100)
+            .unwrap();
         assert_eq!(lazy.cycles, eager.cycles);
     }
 
@@ -560,7 +570,10 @@ fun main =
 "#;
         let m = lower(&parse(src).unwrap()).unwrap();
         let cost = CostModel::default();
-        let lazy = Wcet::new(&m, &cost).assume_lazy(true).analyze(0x100).unwrap();
+        let lazy = Wcet::new(&m, &cost)
+            .assume_lazy(true)
+            .analyze(0x100)
+            .unwrap();
         let mut hw = Hw::from_machine(&m).unwrap();
         hw.run(&mut NullPorts).unwrap();
         assert!(lazy.cycles >= hw.stats().mutator_cycles());

@@ -41,8 +41,15 @@ fun main =
     // 1. Decode: structural validation happens here — skip fields, operand
     //    ranges, arities. Malformed images never reach execution.
     let machine = decode(&image).expect("well-formed binary");
-    println!("decoded {} items from a {}-word image\n", machine.items().len(), image.len());
-    println!("--- disassembly (no symbols in the binary) ---\n{}", disassemble(&machine));
+    println!(
+        "decoded {} items from a {}-word image\n",
+        machine.items().len(),
+        image.len()
+    );
+    println!(
+        "--- disassembly (no symbols in the binary) ---\n{}",
+        disassemble(&machine)
+    );
 
     // 2. Lift to the named AST and re-run on the reference semantics.
     let program = lift(&machine).expect("liftable");
@@ -52,7 +59,9 @@ fun main =
     // 3. Static WCET directly on the binary: every function, every path.
     let cost = CostModel::default();
     let main_id = find_id(&machine, "main").unwrap_or(0x100);
-    let report = Wcet::new(&machine, &cost).analyze(main_id).expect("acyclic");
+    let report = Wcet::new(&machine, &cost)
+        .analyze(main_id)
+        .expect("acyclic");
     println!("\nstatic WCET of main: {} cycles", report.cycles);
     println!(
         "worst-case allocation: {} objects / {} words",

@@ -14,7 +14,10 @@ use zarf::kernel::system::System;
 
 fn main() {
     // A 69-second synthetic episode: sinus rhythm → VT at 190 bpm → recovery.
-    let (mut gen, onset) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+    let (mut gen, onset) = vt_episode(EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    });
     let samples = gen.take(69 * SAMPLE_HZ as usize);
     println!(
         "running {} samples ({} s of ECG); VT onset at t = {} s",
@@ -32,16 +35,23 @@ fn main() {
     let mut system = System::new(samples).expect("system boots");
     let report = system.run().expect("system runs");
 
-    let pulses = report.pace_log.iter().filter(|&&w| w & OUT_PULSE != 0).count();
-    let treats = report.pace_log.iter().filter(|&&w| w & OUT_TREAT_START != 0).count();
+    let pulses = report
+        .pace_log
+        .iter()
+        .filter(|&&w| w & OUT_PULSE != 0)
+        .count();
+    let treats = report
+        .pace_log
+        .iter()
+        .filter(|&&w| w & OUT_TREAT_START != 0)
+        .count();
     println!("λ-layer delivered {treats} therapies, {pulses} pacing pulses");
     println!(
         "λ-layer executed {} instructions in {} cycles ({:.2} CPI, {:.1}% GC)",
         report.lambda_stats.instructions(),
         report.lambda_stats.total_cycles(),
         report.lambda_stats.cpi(),
-        100.0 * report.lambda_stats.gc_cycles as f64
-            / report.lambda_stats.total_cycles() as f64,
+        100.0 * report.lambda_stats.gc_cycles as f64 / report.lambda_stats.total_cycles() as f64,
     );
 
     // The untrusted monitor, asked over its diagnostic console.

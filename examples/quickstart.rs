@@ -42,7 +42,10 @@ fn main() {
     let mut ports = VecPorts::new();
     ports.push_input(0, [20]);
     let v = Evaluator::new(&program).run(&mut ports).expect("evaluates");
-    println!("big-step: fib(20) = {v}  (output port wrote {:?})", ports.output(1));
+    println!(
+        "big-step: fib(20) = {v}  (output port wrote {:?})",
+        ports.output(1)
+    );
 
     // 3. Run on the small-step machine, counting transitions.
     let mut ports = VecPorts::new();

@@ -10,6 +10,9 @@
 //! zarf lint <file.zf|file.zbin>   static hygiene findings
 //! zarf check <file.zfa>           typecheck annotated assembly (§5.3)
 //! zarf stats <file.zf> [--profile]  run on hardware, print CPI statistics
+//! zarf trace <file.zf|file.zbin> [--engine big|small|hw] [--out FILE]
+//!                                 run with an NDJSON event trace
+//! zarf profile <file.zf|file.zbin>  run on hardware, print metrics report
 //! ```
 //!
 //! Source files use the assembly syntax of `zarf_asm::parse`; binary files
@@ -22,15 +25,18 @@ use zarf::core::machine::MProgram;
 use zarf::core::step::Machine;
 use zarf::core::{Evaluator, VecPorts};
 use zarf::hw::{CostModel, Hw};
+use zarf::trace::{InstrClass, MetricsSink, NdjsonSink, SharedSink};
 use zarf::verify::annotated::check_annotated;
 use zarf::verify::lints::lint;
 use zarf::verify::wcet::{find_id, Wcet};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats> <file> [options]\n\
+        "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile> <file> [options]\n\
          run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
          stats options: --profile (per-function cycle attribution)\n\
+         trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
+         profile options: --in PORT:v,v,…\n\
          wcet options: --fn NAME  --exclude NAME"
     );
     ExitCode::from(2)
@@ -100,8 +106,7 @@ fn main() -> ExitCode {
                     .strip_suffix(".zf")
                     .map(|s| format!("{s}.zbin"))
                     .unwrap_or_else(|| format!("{path}.zbin"));
-                let bytes: Vec<u8> =
-                    words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
                 std::fs::write(&out, bytes).map_err(|e| format!("{out}: {e}"))?;
                 println!("{out}: {} words", words.len());
                 Ok(())
@@ -137,11 +142,9 @@ fn main() -> ExitCode {
                         format!("{v}")
                     }
                     "hw" => {
-                        let mut hw =
-                            Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                        let mut hw = Hw::from_machine(&machine).map_err(|e| e.to_string())?;
                         let v = hw.run(&mut ports).map_err(|e| e.to_string())?;
-                        let dv =
-                            hw.deep_value(v, &mut ports).map_err(|e| e.to_string())?;
+                        let dv = hw.deep_value(v, &mut ports).map_err(|e| e.to_string())?;
                         format!("{dv}")
                     }
                     other => return Err(format!("unknown engine `{other}`")),
@@ -157,7 +160,10 @@ fn main() -> ExitCode {
                 let profiling = rest.iter().any(|a| a == "--profile");
                 let mut hw = Hw::from_machine_with(
                     &machine,
-                    zarf::hw::HwConfig { profile: profiling, ..Default::default() },
+                    zarf::hw::HwConfig {
+                        profile: profiling,
+                        ..Default::default()
+                    },
                 )
                 .map_err(|e| e.to_string())?;
                 let mut ports = parse_inputs(rest)?;
@@ -169,6 +175,97 @@ fn main() -> ExitCode {
                         let label = name.unwrap_or_else(|| format!("g_{id:x}"));
                         println!("  {label:<24} {cycles:>12}");
                     }
+                }
+                Ok(())
+            }
+            "trace" => {
+                let machine = load_machine(path)?;
+                let mut ports = parse_inputs(rest)?;
+                let out: Box<dyn std::io::Write> = match flag_value(rest, "--out") {
+                    Some(p) => Box::new(std::io::BufWriter::new(
+                        std::fs::File::create(&p).map_err(|e| format!("{p}: {e}"))?,
+                    )),
+                    None => Box::new(std::io::stdout().lock()),
+                };
+                let shared = SharedSink::new(NdjsonSink::new(out));
+                let engine = flag_value(rest, "--engine").unwrap_or_else(|| "hw".into());
+                match engine.as_str() {
+                    "big" => {
+                        let program = lift(&machine).map_err(|e| e.to_string())?;
+                        let mut eval = Evaluator::new(&program);
+                        eval.set_sink(Box::new(shared.clone()));
+                        eval.run(&mut ports).map_err(|e| e.to_string())?;
+                    }
+                    "small" => {
+                        let program = lift(&machine).map_err(|e| e.to_string())?;
+                        let mut m = Machine::new(&program);
+                        m.set_sink(Box::new(shared.clone()));
+                        m.run(&mut ports, u64::MAX).map_err(|e| e.to_string())?;
+                    }
+                    "hw" => {
+                        let mut hw = Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                        hw.set_sink(Box::new(shared.clone()));
+                        hw.run(&mut ports).map_err(|e| e.to_string())?;
+                        hw.take_sink();
+                    }
+                    other => return Err(format!("unknown engine `{other}`")),
+                }
+                let sink = shared
+                    .try_into_inner()
+                    .map_err(|_| "internal: trace sink still shared")?;
+                let lines = sink.lines();
+                sink.finish().map_err(|e| e.to_string())?;
+                eprintln!("{lines} event(s)");
+                Ok(())
+            }
+            "profile" => {
+                let machine = load_machine(path)?;
+                let mut ports = parse_inputs(rest)?;
+                let mut hw = Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                let shared = SharedSink::new(MetricsSink::new());
+                hw.set_sink(Box::new(shared.clone()));
+                hw.run(&mut ports).map_err(|e| e.to_string())?;
+                hw.take_sink();
+                let m = shared
+                    .try_into_inner()
+                    .map_err(|_| "internal: metrics sink still shared")?;
+                println!("instructions: {}", m.instructions());
+                println!("mutator cycles: {}", m.mutator_cycles());
+                for class in [
+                    InstrClass::Let,
+                    InstrClass::Case,
+                    InstrClass::Result,
+                    InstrClass::BranchHead,
+                ] {
+                    let (count, cycles) = m.class(class);
+                    println!(
+                        "  {:<12} {count:>10} instrs {cycles:>12} cycles",
+                        class.name()
+                    );
+                }
+                println!(
+                    "heap: {} allocation(s), {} word(s)",
+                    m.allocations, m.words_allocated
+                );
+                if m.heap_occupancy.count() > 0 {
+                    println!("heap occupancy after allocation (words):");
+                    print!("{}", m.heap_occupancy);
+                }
+                println!("gc: {} run(s), {} cycle(s)", m.gc_runs(), m.gc_cycles());
+                if m.gc_runs() > 0 {
+                    println!("gc pause distribution (cycles):");
+                    print!("{}", m.gc_pauses);
+                }
+                let mut hot: Vec<(Option<u32>, u64)> =
+                    m.item_cycles.iter().map(|(&id, &c)| (id, c)).collect();
+                hot.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles));
+                println!("per-function cycles (hottest first):");
+                for (id, cycles) in hot {
+                    let label = match id {
+                        Some(id) => hw.symbol(id).unwrap_or_else(|| format!("g_{id:x}")),
+                        None => "(top level)".into(),
+                    };
+                    println!("  {label:<24} {cycles:>12}");
                 }
                 Ok(())
             }
@@ -204,15 +301,15 @@ fn main() -> ExitCode {
                 let machine = load_machine(path)?;
                 let cost = CostModel::default();
                 let root = match flag_value(rest, "--fn") {
-                    Some(name) => find_id(&machine, &name)
-                        .ok_or(format!("no function named `{name}` (binaries keep no symbols)"))?,
+                    Some(name) => find_id(&machine, &name).ok_or(format!(
+                        "no function named `{name}` (binaries keep no symbols)"
+                    ))?,
                     None => 0x100,
                 };
                 let mut analysis =
                     Wcet::new(&machine, &cost).assume_lazy(rest.iter().any(|a| a == "--lazy"));
                 if let Some(ex) = flag_value(rest, "--exclude") {
-                    let id = find_id(&machine, &ex)
-                        .ok_or(format!("no function named `{ex}`"))?;
+                    let id = find_id(&machine, &ex).ok_or(format!("no function named `{ex}`"))?;
                     analysis = analysis.exclude([id]);
                 }
                 let report = analysis.analyze(root).map_err(|e| e.to_string())?;

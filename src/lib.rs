@@ -50,4 +50,121 @@ pub use zarf_hw as hw;
 pub use zarf_icd as icd;
 pub use zarf_imperative as imperative;
 pub use zarf_kernel as kernel;
+pub use zarf_trace as trace;
 pub use zarf_verify as verify;
+
+pub mod diverge {
+    //! Divergence pinpointing for differential engine testing.
+    //!
+    //! When the big-step evaluator and the small-step machine disagree on
+    //! a program, comparing final values says *that* they disagree but
+    //! not *where*. Both engines emit the same observable event stream
+    //! (`bind` / `dispatch` / `yield`, in the same dynamic order), so the
+    //! first index at which the streams differ localizes the bug to a
+    //! single binding or branch decision. This module replays both
+    //! engines with ring-buffer [`LastN`](crate::trace::LastN) sinks and
+    //! reports that first diverging event.
+
+    use crate::core::step::Machine;
+    use crate::core::{Evaluator, NullPorts, Program};
+    use crate::trace::{first_divergence, Engine, Event, LastN, SharedSink};
+
+    /// Default number of trailing events each engine retains.
+    pub const DEFAULT_WINDOW: usize = 1 << 16;
+
+    /// The first observable event on which the two engines disagree.
+    #[derive(Debug, Clone)]
+    pub struct Divergence {
+        /// Absolute position in the event stream (0-based).
+        pub index: u64,
+        /// The big-step engine's event there (`None`: its stream ended).
+        pub big: Option<Event>,
+        /// The small-step engine's event there (`None`: its stream ended).
+        pub small: Option<Event>,
+    }
+
+    /// Strip the engine tag so semantically identical events from the
+    /// two engines compare equal.
+    fn normalized(e: &Event) -> Event {
+        let mut e = e.clone();
+        match &mut e {
+            Event::Bind { engine, .. }
+            | Event::Dispatch { engine, .. }
+            | Event::Yield { engine, .. } => *engine = Engine::Big,
+            _ => {}
+        }
+        e
+    }
+
+    fn capture_big(program: &Program, fuel: u64, window: usize) -> (Vec<Event>, u64) {
+        let shared = SharedSink::new(LastN::new(window));
+        let mut eval = Evaluator::new(program).with_fuel(fuel);
+        eval.set_sink(Box::new(shared.clone()));
+        let _ = eval.run(&mut NullPorts);
+        (
+            shared.with(|s| s.events().cloned().collect()),
+            shared.with(|s| s.seen()),
+        )
+    }
+
+    fn capture_small(program: &Program, fuel: u64, window: usize) -> (Vec<Event>, u64) {
+        let shared = SharedSink::new(LastN::new(window));
+        let mut machine = Machine::new(program);
+        machine.set_sink(Box::new(shared.clone()));
+        let _ = machine.run(&mut NullPorts, fuel);
+        (
+            shared.with(|s| s.events().cloned().collect()),
+            shared.with(|s| s.seen()),
+        )
+    }
+
+    /// Replay `program` on both engines (each with `fuel`), retaining the
+    /// last `window` events per engine, and locate the first diverging
+    /// event. Returns `None` when the retained streams are identical.
+    pub fn between(program: &Program, fuel: u64, window: usize) -> Option<Divergence> {
+        let (big, big_seen) = capture_big(program, fuel, window);
+        let (small, small_seen) = capture_small(program, fuel, window);
+        // Align the two retained windows to a common absolute start.
+        let big_start = big_seen - big.len() as u64;
+        let small_start = small_seen - small.len() as u64;
+        let start = big_start.max(small_start);
+        let a = &big[(start - big_start) as usize..];
+        let b = &small[(start - small_start) as usize..];
+        let na: Vec<Event> = a.iter().map(normalized).collect();
+        let nb: Vec<Event> = b.iter().map(normalized).collect();
+        match first_divergence(&na, &nb) {
+            Some((i, _, _)) => Some(Divergence {
+                index: start + i as u64,
+                big: a.get(i).cloned(),
+                small: b.get(i).cloned(),
+            }),
+            // Identical windows but different stream lengths: the
+            // divergence precedes what was retained.
+            None if big_seen != small_seen => Some(Divergence {
+                index: start.min(big_seen.min(small_seen)),
+                big: None,
+                small: None,
+            }),
+            None => None,
+        }
+    }
+
+    /// One-call debugging aid for differential tests: replay both
+    /// engines and render the first divergence (with a little preceding
+    /// context) as a report suitable for a panic message.
+    pub fn report(program: &Program, fuel: u64) -> String {
+        match between(program, fuel, DEFAULT_WINDOW) {
+            None => "engine event streams are identical".into(),
+            Some(d) => {
+                let mut out = format!("first diverging event at index {}:\n", d.index);
+                let fmt = |e: &Option<Event>| match e {
+                    Some(e) => format!("{e:?}"),
+                    None => "<stream ended>".into(),
+                };
+                out.push_str(&format!("  big-step:   {}\n", fmt(&d.big)));
+                out.push_str(&format!("  small-step: {}", fmt(&d.small)));
+                out
+            }
+        }
+    }
+}

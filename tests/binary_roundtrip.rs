@@ -76,7 +76,10 @@ fn eager_and_lazy_agree_on_the_kernel_io_trace() {
 
     let mut hw = Hw::from_machine_with(
         &kernel_machine(),
-        HwConfig { gc_auto: false, ..HwConfig::default() },
+        HwConfig {
+            gc_auto: false,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     let mut lazy_ports = VecPorts::new();
@@ -87,7 +90,11 @@ fn eager_and_lazy_agree_on_the_kernel_io_trace() {
     hw.run(&mut lazy_ports).unwrap();
 
     assert_eq!(eager_ports.output(1), lazy_ports.output(1), "pacing trace");
-    assert_eq!(eager_ports.output(100), lazy_ports.output(100), "channel trace");
+    assert_eq!(
+        eager_ports.output(100),
+        lazy_ports.output(100),
+        "channel trace"
+    );
 }
 
 #[test]

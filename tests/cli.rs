@@ -69,10 +69,7 @@ fn wcet_reports_cycles() {
 
 #[test]
 fn lint_flags_dead_code() {
-    let src = write_temp(
-        "e.zf",
-        "fun main =\n  let dead = add 1 2 in\n  result 0\n",
-    );
+    let src = write_temp("e.zf", "fun main =\n  let dead = add 1 2 in\n  result 0\n");
     let (ok, out, _) = zarf(&["lint", &src]);
     assert!(ok);
     assert!(out.contains("never used"), "{out}");
@@ -95,6 +92,60 @@ fn check_accepts_and_rejects_annotated_sources() {
     let (ok, _, err) = zarf(&["check", &bad]);
     assert!(!ok);
     assert!(err.contains("REJECTED"), "{err}");
+}
+
+#[test]
+fn trace_emits_ndjson_on_every_engine() {
+    let src = write_temp("h.zf", PROG);
+    for engine in ["big", "small", "hw"] {
+        let (ok, out, err) = zarf(&["trace", &src, "--engine", engine, "--in", "0:7"]);
+        assert!(ok, "{engine}: {err}");
+        assert!(err.contains("event(s)"), "{engine}: {err}");
+        for line in out.lines() {
+            assert!(
+                line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+                "{engine}: not an NDJSON event line: {line}"
+            );
+        }
+        assert!(out.lines().count() >= 4, "{engine}: too few events:\n{out}");
+    }
+    // The reference engines also record the bound values themselves.
+    let (_, out, _) = zarf(&["trace", &src, "--engine", "big", "--in", "0:7"]);
+    assert!(out.contains(r#""ev":"bind""#), "{out}");
+    assert!(out.contains(r#""value":"42""#), "{out}");
+}
+
+#[test]
+fn trace_writes_to_file_with_out_flag() {
+    let src = write_temp("i.zf", PROG);
+    let out_path = std::env::temp_dir().join("zarf_cli_test_i.ndjson");
+    let (ok, stdout, err) = zarf(&[
+        "trace",
+        &src,
+        "--in",
+        "0:7",
+        "--out",
+        &out_path.to_string_lossy(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(stdout.is_empty());
+    let contents = std::fs::read_to_string(&out_path).unwrap();
+    assert!(
+        contents.lines().all(|l| l.starts_with("{\"ev\":\"")),
+        "{contents}"
+    );
+    assert!(contents.contains(r#""ev":"io_write""#), "{contents}");
+}
+
+#[test]
+fn profile_prints_metrics_report() {
+    let src = write_temp("j.zf", PROG);
+    let (ok, out, err) = zarf(&["profile", &src, "--in", "0:7"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("instructions: 4"), "{out}");
+    assert!(out.contains("mutator cycles:"), "{out}");
+    assert!(out.contains("per-function cycles"), "{out}");
+    assert!(out.contains("main"), "{out}");
 }
 
 #[test]

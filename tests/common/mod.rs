@@ -7,15 +7,14 @@
 //! produces runtime-error values), constructors, literal and constructor
 //! `case`s, partial application, and over-application.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use zarf_testkit::rng::StdRng;
 
 use zarf::core::ast::{Arg, Branch, ConDecl, Decl, Expr, FunDecl, Program};
 
 const PRIMS1: &[&str] = &["not", "neg", "abs"];
 const PRIMS2: &[&str] = &[
-    "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "eq", "ne",
-    "lt", "le", "gt", "ge", "min", "max",
+    "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "eq", "ne", "lt", "le",
+    "gt", "ge", "min", "max",
 ];
 
 struct Gen {
@@ -38,12 +37,7 @@ impl Gen {
         }
     }
 
-    fn expr(
-        &mut self,
-        depth: u32,
-        scope: &mut Vec<String>,
-        callable: &[(String, usize)],
-    ) -> Expr {
+    fn expr(&mut self, depth: u32, scope: &mut Vec<String>, callable: &[(String, usize)]) -> Expr {
         if depth == 0 {
             let a = self.arg(scope);
             return Expr::result(a);
@@ -96,11 +90,7 @@ impl Gen {
                     &c,
                     &con,
                     args,
-                    Expr::case_(
-                        Arg::var(&c),
-                        vec![Branch::con(&con, &binders, hit)],
-                        miss,
-                    ),
+                    Expr::case_(Arg::var(&c), vec![Branch::con(&con, &binders, hit)], miss),
                 )
             }
             8 => {
@@ -125,7 +115,10 @@ impl Gen {
 
 /// Build a random well-formed, terminating program from a seed.
 pub fn gen_program(seed: u64) -> Program {
-    let mut g = Gen { rng: StdRng::seed_from_u64(seed), tmp: 0 };
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        tmp: 0,
+    };
     let mut decls: Vec<Decl> = vec![
         Decl::Con(ConDecl::new("C0", &[] as &[&str])),
         Decl::Con(ConDecl::new("C1", &["f0"])),
@@ -146,7 +139,9 @@ pub fn gen_program(seed: u64) -> Program {
     }
     decls.extend(funs);
     let (f0, arity) = callable.last().unwrap().clone();
-    let args = (0..arity).map(|_| Arg::lit(g.rng.gen_range(-10..10))).collect();
+    let args = (0..arity)
+        .map(|_| Arg::lit(g.rng.gen_range(-10..10)))
+        .collect();
     decls.push(Decl::main(Expr::let_fn(
         "r",
         &f0,

@@ -75,7 +75,11 @@ fn unbounded_kernel_loop_runs_until_the_budget_and_matches_spec() {
     let state = hw.call(init, vec![], &mut ports).unwrap();
     let kloop = hw.id_of("kernel_loop").unwrap();
     let err = hw
-        .call(kloop, vec![state, HValue::Int(0), HValue::Int(0)], &mut ports)
+        .call(
+            kloop,
+            vec![state, HValue::Int(0), HValue::Int(0)],
+            &mut ports,
+        )
         .unwrap_err();
     assert_eq!(err, HwError::CycleLimit(3_000_000));
 

@@ -1,0 +1,129 @@
+//! Observability-layer integration: the golden NDJSON schema, the
+//! metrics-sink-reproduces-`Stats` refinement, zero-cost-when-disabled,
+//! and event-stream agreement between the two reference engines.
+
+mod common;
+
+use common::gen_program;
+use zarf::asm::{lower, parse};
+use zarf::core::NullPorts;
+use zarf::hw::{Hw, HwConfig};
+use zarf::trace::ndjson::to_json;
+use zarf::trace::{MetricsSink, NullSink, SharedSink, VecSink};
+
+const PROG: &str = "con Pair fst snd\n\
+    fun main =\n \
+    let x = mul 6 7 in\n \
+    let p = Pair x x in\n \
+    case p of\n \
+    | Pair a b => let s = add a b in result s\n \
+    else result 0\n";
+
+fn hw_for(src: &str) -> Hw {
+    Hw::from_machine(&lower(&parse(src).unwrap()).unwrap()).unwrap()
+}
+
+/// The full serialized trace of a small fixed program, pinned exactly.
+/// This is the NDJSON schema contract: any change to event ordering,
+/// coalescing, field names, or the cost model shows up here.
+#[test]
+fn hw_trace_matches_golden_ndjson() {
+    let mut hw = hw_for(PROG);
+    let shared = SharedSink::new(VecSink::default());
+    hw.set_sink(Box::new(shared.clone()));
+    let v = hw.run(&mut NullPorts).unwrap();
+    assert_eq!(hw.as_int(v), Some(84));
+    hw.take_sink();
+    let got: Vec<String> = shared.with(|s| s.0.iter().map(to_json).collect());
+    let golden = r#"{"ev":"alloc","words":2,"heap_words":2}
+{"ev":"cycles","class":"let","item":null,"cycles":5}
+{"ev":"instr","pc":4,"class":"let"}
+{"ev":"alloc","words":4,"heap_words":6}
+{"ev":"cycles","class":"let","item":256,"cycles":6}
+{"ev":"instr","pc":7,"class":"let"}
+{"ev":"alloc","words":4,"heap_words":10}
+{"ev":"cycles","class":"let","item":256,"cycles":6}
+{"ev":"instr","pc":10,"class":"case"}
+{"ev":"cycles","class":"case","item":256,"cycles":4}
+{"ev":"instr","pc":11,"class":"branch-head"}
+{"ev":"cycles","class":"branch-head","item":256,"cycles":1}
+{"ev":"cycles","class":"case","item":256,"cycles":2}
+{"ev":"instr","pc":13,"class":"let"}
+{"ev":"alloc","words":4,"heap_words":14}
+{"ev":"cycles","class":"let","item":256,"cycles":6}
+{"ev":"instr","pc":16,"class":"result"}
+{"ev":"cycles","class":"result","item":256,"cycles":2}
+{"ev":"cycles","class":"result","item":null,"cycles":16}"#;
+    assert_eq!(got.join("\n"), golden);
+}
+
+/// Aggregating the event stream through a [`MetricsSink`] reproduces the
+/// simulator's own `Stats` counters exactly, on a band of generated
+/// programs — the trace is a refinement of the aggregates, not a
+/// parallel approximation.
+#[test]
+fn metrics_sink_replays_hw_stats_exactly() {
+    for seed in 0..25 {
+        let program = gen_program(seed);
+        let machine = lower(&program).expect("lowers");
+        let mut hw = Hw::from_machine_with(
+            &machine,
+            HwConfig {
+                heap_words: 1 << 20,
+                cycle_limit: Some(200_000_000),
+                ..HwConfig::default()
+            },
+        )
+        .expect("loads");
+        let shared = SharedSink::new(MetricsSink::new());
+        hw.set_sink(Box::new(shared.clone()));
+        hw.run(&mut NullPorts)
+            .unwrap_or_else(|e| panic!("seed {seed}: hw failed: {e}"));
+        hw.take_sink();
+        let stats = hw.stats().clone();
+        shared.with(|m| {
+            assert_eq!(m.instructions(), stats.instructions(), "seed {seed}");
+            assert_eq!(m.mutator_cycles(), stats.mutator_cycles(), "seed {seed}");
+            assert_eq!(m.gc_cycles(), stats.gc_cycles, "seed {seed}");
+            assert_eq!(m.gc_runs(), stats.gc_runs, "seed {seed}");
+            assert_eq!(m.allocations, stats.allocations, "seed {seed}");
+            assert_eq!(m.words_allocated, stats.words_allocated, "seed {seed}");
+            assert_eq!(
+                m.item_cycles.values().sum::<u64>(),
+                stats.mutator_cycles(),
+                "seed {seed}: item attribution must partition mutator cycles"
+            );
+        });
+    }
+}
+
+/// Installing a [`NullSink`] must not change any architectural counter:
+/// tracing is observation, never perturbation.
+#[test]
+fn null_sink_does_not_change_hw_cycle_counts() {
+    let mut plain = hw_for(PROG);
+    plain.run(&mut NullPorts).unwrap();
+    let base = plain.stats().clone();
+
+    let mut traced = hw_for(PROG);
+    traced.set_sink(Box::new(NullSink));
+    traced.run(&mut NullPorts).unwrap();
+    assert_eq!(traced.stats(), &base);
+}
+
+/// The big-step and small-step engines emit the same observable event
+/// stream (binds, dispatches, yields) in the same dynamic order — the
+/// property `zarf::diverge` relies on to pinpoint disagreements.
+#[test]
+fn reference_engines_emit_identical_event_streams() {
+    for seed in 0..50 {
+        let program = gen_program(seed);
+        if let Some(d) = zarf::diverge::between(&program, 50_000_000, 1 << 16) {
+            panic!(
+                "seed {seed}: event streams diverge at {}:\n{}\n{program}",
+                d.index,
+                zarf::diverge::report(&program, 50_000_000)
+            );
+        }
+    }
+}

@@ -18,7 +18,10 @@ fn run_both(main_src: &str) -> (i32, i32, u64) {
     let machine = lower(&program).unwrap();
     let mut hw = Hw::from_machine_with(
         &machine,
-        HwConfig { heap_words: 1 << 20, ..HwConfig::default() },
+        HwConfig {
+            heap_words: 1 << 20,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     let v = hw.run(&mut NullPorts).unwrap();
@@ -111,7 +114,10 @@ fun main =
     let machine = lower(&program).unwrap();
     let mut hw = Hw::from_machine_with(
         &machine,
-        HwConfig { heap_words: 64 * 1024, ..HwConfig::default() },
+        HwConfig {
+            heap_words: 64 * 1024,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     let v = hw.run(&mut NullPorts).unwrap();

@@ -11,7 +11,10 @@ use zarf::kernel::devices::HeartPorts;
 use zarf::kernel::system::System;
 
 fn episode(seconds: usize) -> Vec<i32> {
-    let (mut g, _) = vt_episode(EcgConfig { noise: 0, ..EcgConfig::default() });
+    let (mut g, _) = vt_episode(EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    });
     g.take(seconds * 200)
 }
 
@@ -43,7 +46,10 @@ fn noisy_signal_does_not_break_agreement() {
     // With measurement noise the algorithms must still agree bit-for-bit
     // (they share exact integer arithmetic), even if detection quality
     // changes.
-    let (mut g, _) = vt_episode(EcgConfig { noise: 60, ..EcgConfig::default() });
+    let (mut g, _) = vt_episode(EcgConfig {
+        noise: 60,
+        ..EcgConfig::default()
+    });
     let samples = g.take(5000);
     let mut spec = IcdSpec::new();
     let words: Vec<i32> = samples.iter().map(|&x| spec.step(x).word()).collect();
@@ -91,7 +97,11 @@ fn eager_ablation_matches_outputs_but_loses_constant_space() {
     let longer = episode(20);
     let mut eager = System::with_config(
         longer,
-        HwConfig { gc_auto: true, eager: true, ..HwConfig::default() },
+        HwConfig {
+            gc_auto: true,
+            eager: true,
+            ..HwConfig::default()
+        },
     )
     .unwrap();
     match eager.run() {

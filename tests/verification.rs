@@ -16,9 +16,8 @@ use zarf::verify::timing::{kernel_timing, DEADLINE_CYCLES};
 /// randomized stream.
 #[test]
 fn system_refines_specification_on_random_streams() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use zarf::icd::spec::IcdSpec;
+    use zarf_testkit::rng::StdRng;
 
     let mut rng = StdRng::seed_from_u64(2024);
     let samples: Vec<i32> = (0..1500).map(|_| rng.gen_range(-4095..=4095)).collect();
@@ -36,13 +35,19 @@ fn system_refines_specification_on_random_streams() {
 fn timing_verification_holds() {
     let t = kernel_timing(&CostModel::default()).unwrap();
     assert!(t.meets_deadline());
-    assert!(t.total_cycles() < DEADLINE_CYCLES / 10, "margin well above 10x");
+    assert!(
+        t.total_cycles() < DEADLINE_CYCLES / 10,
+        "margin well above 10x"
+    );
 
     let samples = {
         use zarf::icd::signal::{EcgConfig, EcgGen, Rhythm};
         let mut g = EcgGen::new(
             EcgConfig::default(),
-            vec![Rhythm::Steady { bpm: 185.0, seconds: 10.0 }],
+            vec![Rhythm::Steady {
+                bpm: 185.0,
+                seconds: 10.0,
+            }],
         );
         g.take(2000)
     };
@@ -60,8 +65,14 @@ fn untrusted_channel_input_cannot_affect_pacing() {
     let samples = {
         use zarf::icd::signal::{EcgConfig, EcgGen, Rhythm};
         let mut g = EcgGen::new(
-            EcgConfig { noise: 0, ..EcgConfig::default() },
-            vec![Rhythm::Steady { bpm: 190.0, seconds: 12.0 }],
+            EcgConfig {
+                noise: 0,
+                ..EcgConfig::default()
+            },
+            vec![Rhythm::Steady {
+                bpm: 190.0,
+                seconds: 12.0,
+            }],
         );
         g.take(2400)
     };
@@ -138,13 +149,18 @@ fn wcet_is_panic_free_and_usually_bounded_on_random_programs() {
 /// word vectors arrive on the channel, the pacing log never changes.
 #[test]
 fn random_untrusted_injections_never_affect_pacing() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use zarf_testkit::rng::StdRng;
     let samples = {
         use zarf::icd::signal::{EcgConfig, EcgGen, Rhythm};
         let mut g = EcgGen::new(
-            EcgConfig { noise: 0, ..EcgConfig::default() },
-            vec![Rhythm::Steady { bpm: 180.0, seconds: 4.0 }],
+            EcgConfig {
+                noise: 0,
+                ..EcgConfig::default()
+            },
+            vec![Rhythm::Steady {
+                bpm: 180.0,
+                seconds: 4.0,
+            }],
         );
         g.take(800)
     };
@@ -184,11 +200,15 @@ fn stripped_kernel_binary_typechecks() {
     let mut rename: HashMap<String, String> = HashMap::new();
     for (i, item) in named.items().iter().enumerate() {
         let id = FIRST_USER_INDEX + i as u32;
-        let fresh = if i == 0 { "main".to_string() } else { format!("g_{id:x}") };
+        let fresh = if i == 0 {
+            "main".to_string()
+        } else {
+            format!("g_{id:x}")
+        };
         rename.insert(item.name.clone().expect("kernel retains symbols"), fresh);
     }
-    let sigs = kernel_signatures()
-        .renamed(|n| rename.get(n).cloned().unwrap_or_else(|| n.to_string()));
+    let sigs =
+        kernel_signatures().renamed(|n| rename.get(n).cloned().unwrap_or_else(|| n.to_string()));
 
     check_program(&lifted, &sigs).unwrap();
 }
