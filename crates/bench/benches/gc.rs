@@ -39,7 +39,7 @@ fn gc(c: &mut Criterion) {
                 || build(live),
                 |(mut heap, root)| {
                     let mut roots = [root];
-                    let report = heap.collect(&mut roots, &cost);
+                    let report = heap.collect(&mut roots, &cost).expect("live roots");
                     assert_eq!(report.objects_copied, live as u64);
                     black_box(report.cycles)
                 },

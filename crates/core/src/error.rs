@@ -149,6 +149,9 @@ impl From<IoError> for EvalError {
 pub enum IoError {
     /// `getint` on a port with no data available.
     PortEmpty(i32),
+    /// `putint` on a bounded port whose queue is at capacity (backpressure;
+    /// the write was refused and may be retried).
+    PortFull(i32),
     /// The port number does not exist on this device.
     NoSuchPort(i32),
     /// Device-specific failure.
@@ -159,6 +162,7 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::PortEmpty(p) => write!(f, "read from empty port {p}"),
+            IoError::PortFull(p) => write!(f, "write to full port {p}"),
             IoError::NoSuchPort(p) => write!(f, "no such port {p}"),
             IoError::Device(msg) => write!(f, "device error: {msg}"),
         }
@@ -194,5 +198,34 @@ mod tests {
         assert!(!RuntimeError::DivideByZero.to_string().is_empty());
         assert!(!EvalError::OutOfFuel.to_string().is_empty());
         assert!(!IoError::PortEmpty(3).to_string().is_empty());
+        assert!(!IoError::PortFull(3).to_string().is_empty());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        let all = [
+            RuntimeError::DivideByZero,
+            RuntimeError::ApplyToInt,
+            RuntimeError::ApplyToCon,
+            RuntimeError::CaseOnClosure,
+            RuntimeError::ConOverApplied,
+            RuntimeError::NotPure(PrimOp::Add),
+            RuntimeError::PrimOnNonInt,
+            RuntimeError::Propagated,
+        ];
+        for e in all {
+            let back = RuntimeError::from_code(e.code()).expect("code maps back");
+            // `NotPure` round-trips up to its placeholder operation; the
+            // code is the same either way.
+            assert_eq!(back.code(), e.code());
+            match e {
+                RuntimeError::NotPure(_) => assert!(matches!(back, RuntimeError::NotPure(_))),
+                other => assert_eq!(back, other),
+            }
+        }
+        // Codes outside the assigned range do not decode.
+        assert_eq!(RuntimeError::from_code(0), None);
+        assert_eq!(RuntimeError::from_code(9), None);
+        assert_eq!(RuntimeError::from_code(-1), None);
     }
 }

@@ -10,8 +10,27 @@
 //! ([`HeapObj::Ind`]) are short-circuited during evacuation, so chains built
 //! by thunk updates collapse at the first collection after they form.
 
+use std::fmt;
+
 use crate::cost::CostModel;
 use crate::obj::{HValue, HeapObj, HeapRef};
+
+/// A reference that points outside the heap — a memory fault.
+///
+/// The simulator never produces one on its own; they arise from injected
+/// bit flips (`zarf-chaos`) or corrupted images, and surface as a typed
+/// machine error instead of a panic so the kernel watchdog can contain
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DanglingRef(pub HeapRef);
+
+impl fmt::Display for DanglingRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dangling heap reference {:#x}", self.0)
+    }
+}
+
+impl std::error::Error for DanglingRef {}
 
 /// Outcome of a collection cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,23 +90,28 @@ impl Heap {
         Some(self.objs.len() - 1)
     }
 
-    /// Read an object.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a dangling reference — the simulator never produces one.
-    pub fn get(&self, r: HeapRef) -> &HeapObj {
-        &self.objs[r]
+    /// Read an object. A dangling reference (possible only after memory
+    /// corruption, e.g. an injected bit flip) is reported as a typed fault.
+    pub fn get(&self, r: HeapRef) -> Result<&HeapObj, DanglingRef> {
+        self.objs.get(r).ok_or(DanglingRef(r))
     }
 
     /// Mutate an object in place (thunk update).
-    pub fn get_mut(&mut self, r: HeapRef) -> &mut HeapObj {
-        &mut self.objs[r]
+    pub fn get_mut(&mut self, r: HeapRef) -> Result<&mut HeapObj, DanglingRef> {
+        self.objs.get_mut(r).ok_or(DanglingRef(r))
     }
 
     /// Run a full collection. `roots` are rewritten in place to their
     /// to-space locations; everything unreachable from them is discarded.
-    pub fn collect(&mut self, roots: &mut [HValue], cost: &CostModel) -> GcReport {
+    ///
+    /// Tracing a dangling reference aborts the collection with a fault;
+    /// the heap contents are unspecified afterwards (the machine that owns
+    /// it is expected to stop running the current program).
+    pub fn collect(
+        &mut self,
+        roots: &mut [HValue],
+        cost: &CostModel,
+    ) -> Result<GcReport, DanglingRef> {
         let mut report = GcReport {
             cycles: cost.gc_cycle_base,
             ..GcReport::default()
@@ -98,7 +122,7 @@ impl Heap {
         let mut to_words = 0usize;
 
         for r in roots.iter_mut() {
-            *r = self.evacuate(*r, &mut to, &mut to_words, cost, &mut report);
+            *r = self.evacuate(*r, &mut to, &mut to_words, cost, &mut report)?;
         }
 
         // Cheney scan: evacuate everything the copied objects point to.
@@ -110,19 +134,19 @@ impl Heap {
             match &mut obj {
                 HeapObj::App { target, args } => {
                     if let crate::obj::AppTarget::Value(v) = target {
-                        *v = self.evacuate(*v, &mut to, &mut to_words, cost, &mut report);
+                        *v = self.evacuate(*v, &mut to, &mut to_words, cost, &mut report)?;
                     }
                     for a in args.iter_mut() {
-                        *a = self.evacuate(*a, &mut to, &mut to_words, cost, &mut report);
+                        *a = self.evacuate(*a, &mut to, &mut to_words, cost, &mut report)?;
                     }
                 }
                 HeapObj::Con { fields, .. } => {
                     for f in fields.iter_mut() {
-                        *f = self.evacuate(*f, &mut to, &mut to_words, cost, &mut report);
+                        *f = self.evacuate(*f, &mut to, &mut to_words, cost, &mut report)?;
                     }
                 }
                 HeapObj::Ind(v) => {
-                    *v = self.evacuate(*v, &mut to, &mut to_words, cost, &mut report);
+                    *v = self.evacuate(*v, &mut to, &mut to_words, cost, &mut report)?;
                 }
                 HeapObj::BlackHole | HeapObj::Forwarded(_) => {}
             }
@@ -133,7 +157,7 @@ impl Heap {
         self.objs = to;
         self.words_used = to_words;
         report.words_reclaimed = (before - to_words.min(before)) as u64;
-        report
+        Ok(report)
     }
 
     /// Evacuate one value: integers pass through; references are checked
@@ -146,21 +170,21 @@ impl Heap {
         to_words: &mut usize,
         cost: &CostModel,
         report: &mut GcReport,
-    ) -> HValue {
+    ) -> Result<HValue, DanglingRef> {
         let r = match v {
-            HValue::Int(_) => return v,
+            HValue::Int(_) => return Ok(v),
             HValue::Ref(r) => r,
         };
         report.cycles += cost.gc_ref_check;
-        match &self.objs[r] {
-            HeapObj::Forwarded(dest) => *dest,
+        match self.objs.get(r).ok_or(DanglingRef(r))? {
+            HeapObj::Forwarded(dest) => Ok(*dest),
             HeapObj::Ind(inner) => {
                 // Short-circuit the indirection: its referent stands in for
                 // it from now on.
                 let inner = *inner;
-                let dest = self.evacuate(inner, to, to_words, cost, report);
+                let dest = self.evacuate(inner, to, to_words, cost, report)?;
                 self.objs[r] = HeapObj::Forwarded(dest);
-                dest
+                Ok(dest)
             }
             obj => {
                 let obj = obj.clone();
@@ -172,7 +196,7 @@ impl Heap {
                 to.push(obj);
                 let dest = HValue::Ref(to.len() - 1);
                 self.objs[r] = HeapObj::Forwarded(dest);
-                dest
+                Ok(dest)
             }
         }
     }
@@ -197,7 +221,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(h.words_used(), 3);
-        assert!(matches!(h.get(r), HeapObj::Con { id: 0x101, .. }));
+        assert!(matches!(h.get(r).unwrap(), HeapObj::Con { id: 0x101, .. }));
     }
 
     #[test]
@@ -224,7 +248,7 @@ mod tests {
             })
             .unwrap();
         let mut roots = [HValue::Ref(live)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         assert_eq!(report.objects_copied, 1);
         assert_eq!(report.words_copied, 3);
         assert_eq!(report.words_reclaimed, 4);
@@ -234,7 +258,8 @@ mod tests {
             h.get(match roots[0] {
                 HValue::Ref(r) => r,
                 _ => panic!(),
-            }),
+            })
+            .unwrap(),
         ) {
             (HValue::Ref(_), HeapObj::Con { id: 0x101, fields }) => {
                 assert_eq!(fields, &[HValue::Int(7)]);
@@ -265,20 +290,26 @@ mod tests {
             })
             .unwrap();
         let mut roots = [HValue::Ref(a), HValue::Ref(b)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         assert_eq!(report.objects_copied, 3);
         // Sharing preserved: both parents point at the same copy.
-        let fa = match h.get(match roots[0] {
-            HValue::Ref(r) => r,
-            _ => panic!(),
-        }) {
+        let fa = match h
+            .get(match roots[0] {
+                HValue::Ref(r) => r,
+                _ => panic!(),
+            })
+            .unwrap()
+        {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
-        let fb = match h.get(match roots[1] {
-            HValue::Ref(r) => r,
-            _ => panic!(),
-        }) {
+        let fb = match h
+            .get(match roots[1] {
+                HValue::Ref(r) => r,
+                _ => panic!(),
+            })
+            .unwrap()
+        {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
@@ -302,18 +333,21 @@ mod tests {
             })
             .unwrap();
         let mut roots = [HValue::Ref(holder)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         // The indirection itself is not copied: 2 objects, not 3.
         assert_eq!(report.objects_copied, 2);
-        let field = match h.get(match roots[0] {
-            HValue::Ref(r) => r,
-            _ => panic!(),
-        }) {
+        let field = match h
+            .get(match roots[0] {
+                HValue::Ref(r) => r,
+                _ => panic!(),
+            })
+            .unwrap()
+        {
             HeapObj::Con { fields, .. } => fields[0],
             _ => panic!(),
         };
         match field {
-            HValue::Ref(r) => assert!(matches!(h.get(r), HeapObj::Con { id: 0x101, .. })),
+            HValue::Ref(r) => assert!(matches!(h.get(r).unwrap(), HeapObj::Con { id: 0x101, .. })),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -323,7 +357,7 @@ mod tests {
         let mut h = heap();
         let ind = h.alloc(HeapObj::Ind(HValue::Int(42))).unwrap();
         let mut roots = [HValue::Ref(ind)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         assert_eq!(report.objects_copied, 0);
         assert_eq!(roots[0], HValue::Int(42));
     }
@@ -340,7 +374,7 @@ mod tests {
             .unwrap();
         let mut roots = [HValue::Ref(live)];
         let cost = CostModel::default();
-        let report = h.collect(&mut roots, &cost);
+        let report = h.collect(&mut roots, &cost).unwrap();
         // base + ref check (2) + copy (N + 4 with N = 4)
         let expected = cost.gc_cycle_base + 2 + (4 + 4);
         assert_eq!(report.cycles, expected);
@@ -362,7 +396,7 @@ mod tests {
             })
             .unwrap();
         let mut roots = [HValue::Ref(app)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         assert_eq!(report.objects_copied, 2, "the target closure must survive");
     }
 
@@ -377,17 +411,17 @@ mod tests {
                 args: vec![HValue::Int(0)],
             })
             .unwrap();
-        if let HeapObj::App { args, .. } = h.get_mut(r) {
+        if let HeapObj::App { args, .. } = h.get_mut(r).unwrap() {
             args[0] = HValue::Ref(r);
         }
         let mut roots = [HValue::Ref(r)];
-        let report = h.collect(&mut roots, &CostModel::default());
+        let report = h.collect(&mut roots, &CostModel::default()).unwrap();
         assert_eq!(report.objects_copied, 1);
         let nr = match roots[0] {
             HValue::Ref(x) => x,
             _ => panic!(),
         };
-        match h.get(nr) {
+        match h.get(nr).unwrap() {
             HeapObj::App { args, .. } => assert_eq!(args[0], HValue::Ref(nr)),
             other => panic!("unexpected {other:?}"),
         }

@@ -32,6 +32,7 @@ use zarf_asm::encode::{
     TAG_LET, TAG_PAT_CON, TAG_PAT_LIT, TAG_RESULT,
 };
 use zarf_asm::{DecodeError, EncodeError};
+use zarf_chaos::{ChaosHandle, FaultKind, FaultSite};
 use zarf_core::error::{IoError, RuntimeError};
 use zarf_core::io::IoPorts;
 use zarf_core::machine::{MProgram, Operand, Source};
@@ -41,7 +42,7 @@ use zarf_core::{Int, Word};
 use zarf_trace::{Event, InstrClass, SinkHandle, TraceSink};
 
 use crate::cost::CostModel;
-use crate::heap::{GcReport, Heap};
+use crate::heap::{DanglingRef, GcReport, Heap};
 use crate::obj::{AppTarget, HValue, HeapObj, HeapRef};
 use crate::stats::{Class, Stats};
 
@@ -72,6 +73,12 @@ pub enum HwError {
     UnknownName(String),
     /// `call` with an identifier that is not a loaded item.
     UnknownItem(u32),
+    /// A reference pointed outside the heap — a memory fault (only
+    /// reachable after corruption, e.g. an injected bit flip).
+    DanglingRef(usize),
+    /// A machine invariant did not hold at runtime: corrupted state that
+    /// validation cannot rule out once memory faults are in the model.
+    BadState(&'static str),
 }
 
 impl fmt::Display for HwError {
@@ -90,6 +97,8 @@ impl fmt::Display for HwError {
             HwError::InfiniteLoop => write!(f, "black hole entered: infinite loop"),
             HwError::UnknownName(n) => write!(f, "no item named `{n}`"),
             HwError::UnknownItem(id) => write!(f, "no item with identifier {id:#x}"),
+            HwError::DanglingRef(r) => write!(f, "dangling heap reference {r:#x}"),
+            HwError::BadState(what) => write!(f, "machine state corrupted: {what}"),
         }
     }
 }
@@ -99,6 +108,12 @@ impl std::error::Error for HwError {}
 impl From<IoError> for HwError {
     fn from(e: IoError) -> Self {
         HwError::Io(e)
+    }
+}
+
+impl From<DanglingRef> for HwError {
+    fn from(e: DanglingRef) -> Self {
+        HwError::DanglingRef(e.0)
     }
 }
 
@@ -251,6 +266,8 @@ pub struct Hw {
     /// Item id → coroutine id: frames of these items delimit coroutines in
     /// the event stream (see [`Hw::mark_coroutine`]).
     coroutines: HashMap<u32, u32>,
+    /// Deterministic fault injection (see [`Hw::set_chaos`]).
+    chaos: Option<ChaosHandle>,
 }
 
 impl Hw {
@@ -309,6 +326,7 @@ impl Hw {
             sink: SinkHandle::none(),
             cursor: TraceCursor::default(),
             coroutines: HashMap::new(),
+            chaos: None,
         })
     }
 
@@ -431,10 +449,53 @@ impl Hw {
         result
     }
 
+    /// [`Hw::call`] under a relative cycle budget: the call may spend at
+    /// most `budget` cycles beyond those already consumed, failing with
+    /// [`HwError::CycleLimit`] otherwise. A tighter configured absolute
+    /// limit still applies. The kernel watchdog uses this to give each
+    /// coroutine a fuel budget derived from the WCET bound.
+    pub fn call_with_budget(
+        &mut self,
+        id: u32,
+        args: Vec<HValue>,
+        ports: &mut dyn IoPorts,
+        budget: u64,
+    ) -> Result<HValue, HwError> {
+        let saved = self.cycle_limit;
+        let deadline = self.stats.total_cycles().saturating_add(budget);
+        self.cycle_limit = Some(saved.map_or(deadline, |l| l.min(deadline)));
+        let result = self.call(id, args, ports);
+        self.cycle_limit = saved;
+        result
+    }
+
+    /// Reduce `v` to weak head-normal form from the host — the demand a
+    /// `case` would make — cleaning up machine state on error like
+    /// [`Hw::call`]. Hosts use this to force constructor fields they are
+    /// about to consume (e.g. the output word of a `Pair state out`).
+    pub fn force_value(&mut self, v: HValue, ports: &mut dyn IoPorts) -> Result<HValue, HwError> {
+        let result = self.run_machine(State::Force(v), ports);
+        if result.is_err() {
+            self.frames.clear();
+            self.conts.clear();
+        }
+        result
+    }
+
     /// Manually trigger a collection (the `gc` hardware function does the
-    /// same from inside a program).
-    pub fn collect_garbage(&mut self) -> GcReport {
+    /// same from inside a program). Fails only on a memory fault (a
+    /// dangling reference reachable from the roots).
+    pub fn collect_garbage(&mut self) -> Result<GcReport, HwError> {
         self.do_gc(&mut [])
+    }
+
+    /// Install (or clear) a deterministic fault-injection handle. The
+    /// machine consults it at every allocation; faults that fire surface
+    /// as [`Event::FaultInjected`] plus their architectural effect
+    /// (allocation failure, forced collection, or a flipped bit in the
+    /// freshly written cell).
+    pub fn set_chaos(&mut self, chaos: Option<ChaosHandle>) {
+        self.chaos = chaos;
     }
 
     // -- observability ------------------------------------------------------
@@ -526,9 +587,39 @@ impl Hw {
 
     /// Allocate with automatic collection on exhaustion. The object's own
     /// payload is treated as roots so it survives the collection.
+    ///
+    /// When a chaos handle is installed this is the `Alloc` fault site:
+    /// the plan can fail the allocation outright, force an adversarial
+    /// collection first, or flip a bit in the freshly written cell.
     fn alloc_gc(&mut self, mut obj: HeapObj) -> Result<HeapRef, HwError> {
         let words = obj.words();
-        if self.heap.words_used() + words > self.heap.capacity_words() && self.gc_auto {
+        let mut force_gc = false;
+        let mut flip_bit = None;
+        if let Some(chaos) = &self.chaos {
+            if let Some(kind) = chaos.next(FaultSite::Alloc) {
+                let op = chaos.ops(FaultSite::Alloc) - 1;
+                self.flush_cycles();
+                self.sink.emit(|| Event::FaultInjected {
+                    site: FaultSite::Alloc.name(),
+                    kind: kind.name(),
+                    op,
+                    detail: kind.detail(),
+                });
+                match kind {
+                    FaultKind::AllocFail => {
+                        return Err(HwError::OutOfMemory {
+                            needed: words,
+                            capacity: self.heap.capacity_words(),
+                        });
+                    }
+                    FaultKind::ForceGc => force_gc = true,
+                    FaultKind::BitFlip { bit } => flip_bit = Some(bit),
+                    _ => {}
+                }
+            }
+        }
+        let full = self.heap.words_used() + words > self.heap.capacity_words();
+        if (full && self.gc_auto) || force_gc {
             // Root the payload through the collection.
             let mut extra: Vec<HValue> = Vec::new();
             match &obj {
@@ -542,24 +633,34 @@ impl Hw {
                 HeapObj::Ind(v) => extra.push(*v),
                 _ => {}
             }
-            self.do_gc(&mut extra);
+            self.do_gc(&mut extra)?;
             // Scatter the relocated payload back into the object.
             let mut it = extra.into_iter();
             match &mut obj {
                 HeapObj::App { target, args } => {
                     if let AppTarget::Value(v) = target {
-                        *v = it.next().expect("gathered");
+                        *v = it
+                            .next()
+                            .ok_or(HwError::BadState("gc root scatter mismatch"))?;
                     }
                     for a in args.iter_mut() {
-                        *a = it.next().expect("gathered");
+                        *a = it
+                            .next()
+                            .ok_or(HwError::BadState("gc root scatter mismatch"))?;
                     }
                 }
                 HeapObj::Con { fields, .. } => {
                     for f in fields.iter_mut() {
-                        *f = it.next().expect("gathered");
+                        *f = it
+                            .next()
+                            .ok_or(HwError::BadState("gc root scatter mismatch"))?;
                     }
                 }
-                HeapObj::Ind(v) => *v = it.next().expect("gathered"),
+                HeapObj::Ind(v) => {
+                    *v = it
+                        .next()
+                        .ok_or(HwError::BadState("gc root scatter mismatch"))?
+                }
                 _ => {}
             }
         }
@@ -576,11 +677,56 @@ impl Hw {
             words: words as u64,
             heap_words,
         });
+        if let Some(bit) = flip_bit {
+            self.flip_cell_bit(r, bit);
+        }
         Ok(r)
     }
 
+    /// Apply an injected single-bit fault to the freshly allocated cell
+    /// `r`: the first value-carrying field is flipped (integer payload or
+    /// reference word); payload-free cells flip their identifier instead.
+    fn flip_cell_bit(&mut self, r: HeapRef, bit: u8) {
+        fn flip_val(v: &mut HValue, bit: u8) {
+            match v {
+                HValue::Int(n) => *n ^= 1 << (bit % 31),
+                // Keep the flip inside a plausible address range so low
+                // bits alias another live object (silent corruption) and
+                // high bits dangle (a detectable memory fault).
+                HValue::Ref(p) => *p ^= 1 << (bit % 20),
+            }
+        }
+        let Ok(obj) = self.heap.get_mut(r) else {
+            return;
+        };
+        match obj {
+            HeapObj::App { target, args } => {
+                if let Some(a) = args.first_mut() {
+                    flip_val(a, bit);
+                } else {
+                    match target {
+                        AppTarget::Value(v) => flip_val(v, bit),
+                        AppTarget::Global(id) => *id ^= 1 << (bit % 8),
+                    }
+                }
+            }
+            HeapObj::Con { id, fields } => {
+                if let Some(f) = fields.first_mut() {
+                    flip_val(f, bit);
+                } else {
+                    *id ^= 1 << (bit % 8);
+                }
+            }
+            HeapObj::Ind(v) => flip_val(v, bit),
+            HeapObj::BlackHole | HeapObj::Forwarded(_) => {}
+        }
+    }
+
     /// Collect, treating machine state + host roots (+ `extra`) as roots.
-    fn do_gc(&mut self, extra: &mut [HValue]) -> GcReport {
+    /// Fails only on a memory fault (dangling reference) reached while
+    /// tracing; the heap is unusable afterwards and the caller surfaces
+    /// the error.
+    fn do_gc(&mut self, extra: &mut [HValue]) -> Result<GcReport, HwError> {
         // Gather every live value slot into one vector.
         let mut roots: Vec<HValue> = Vec::new();
         roots.extend(self.roots.iter().copied());
@@ -608,7 +754,7 @@ impl Hw {
             let heap_words = self.heap.words_used() as u64;
             self.sink.emit(|| Event::GcStart { heap_words });
         }
-        let report = self.heap.collect(&mut roots, &self.cost);
+        let report = self.heap.collect(&mut roots, &self.cost)?;
         self.stats.gc_cycles += report.cycles;
         self.stats.gc_runs += 1;
         self.stats.gc_objects_copied += report.objects_copied;
@@ -623,42 +769,59 @@ impl Hw {
         // Scatter the (possibly moved) roots back.
         let mut it = roots.into_iter();
         for r in self.roots.iter_mut() {
-            *r = it.next().expect("gathered");
+            *r = it
+                .next()
+                .ok_or(HwError::BadState("gc root scatter mismatch"))?;
         }
         for f in self.frames.iter_mut() {
             for a in f.args.iter_mut() {
-                *a = it.next().expect("gathered");
+                *a = it
+                    .next()
+                    .ok_or(HwError::BadState("gc root scatter mismatch"))?;
             }
             for l in f.locals.iter_mut() {
-                *l = it.next().expect("gathered");
+                *l = it
+                    .next()
+                    .ok_or(HwError::BadState("gc root scatter mismatch"))?;
             }
         }
         for c in self.conts.iter_mut() {
             match c {
                 Cont::Update(t) => {
-                    *t = match it.next().expect("gathered") {
+                    *t = match it
+                        .next()
+                        .ok_or(HwError::BadState("gc root scatter mismatch"))?
+                    {
                         HValue::Ref(r) => r,
-                        HValue::Int(_) => unreachable!("update target is an object"),
+                        HValue::Int(_) => {
+                            return Err(HwError::BadState("update target became an integer"))
+                        }
                     }
                 }
                 Cont::Apply(args) => {
                     for a in args.iter_mut() {
-                        *a = it.next().expect("gathered");
+                        *a = it
+                            .next()
+                            .ok_or(HwError::BadState("gc root scatter mismatch"))?;
                     }
                 }
                 Cont::PrimArgs { pending, .. } => {
                     for p in pending.iter_mut() {
-                        *p = it.next().expect("gathered");
+                        *p = it
+                            .next()
+                            .ok_or(HwError::BadState("gc root scatter mismatch"))?;
                     }
                 }
                 Cont::CaseDispatch | Cont::ResumeExec => {}
             }
         }
         for e in extra.iter_mut() {
-            *e = it.next().expect("gathered");
+            *e = it
+                .next()
+                .ok_or(HwError::BadState("gc root scatter mismatch"))?;
         }
         debug_assert!(it.next().is_none());
-        report
+        Ok(report)
     }
 
     fn error_value(&mut self, e: RuntimeError) -> Result<HValue, HwError> {
@@ -670,7 +833,28 @@ impl Hw {
     }
 
     fn is_error(&self, v: HValue) -> bool {
-        matches!(v, HValue::Ref(r) if matches!(self.heap.get(r), HeapObj::Con { id, .. } if *id == ERROR_CON_INDEX))
+        self.as_error(v).is_some()
+    }
+
+    /// View a WHNF value as the runtime error it carries, if it is the
+    /// reserved error constructor (following indirections). Hosts use this
+    /// to distinguish a crashed computation from a healthy result without
+    /// deep-forcing.
+    pub fn as_error(&self, v: HValue) -> Option<RuntimeError> {
+        match v {
+            HValue::Int(_) => None,
+            HValue::Ref(r) => match self.heap.get(r) {
+                Ok(HeapObj::Con { id, fields }) if *id == ERROR_CON_INDEX => {
+                    let code = fields
+                        .first()
+                        .and_then(|f| self.as_int(*f))
+                        .unwrap_or(RuntimeError::Propagated.code());
+                    Some(RuntimeError::from_code(code).unwrap_or(RuntimeError::Propagated))
+                }
+                Ok(HeapObj::Ind(inner)) => self.as_error(*inner),
+                _ => None,
+            },
+        }
     }
 
     // -- operand resolution ---------------------------------------------------
@@ -679,12 +863,20 @@ impl Hw {
         match op.source {
             Source::Imm => Ok(HValue::Int(op.index)),
             Source::Local => {
-                let frame = self.frames.last().expect("resolve inside a frame");
-                Ok(frame.locals[op.index as usize])
+                let frame = self.top_frame()?;
+                frame
+                    .locals
+                    .get(op.index as usize)
+                    .copied()
+                    .ok_or(HwError::BadState("local operand out of range"))
             }
             Source::Arg => {
-                let frame = self.frames.last().expect("resolve inside a frame");
-                Ok(frame.args[op.index as usize])
+                let frame = self.top_frame()?;
+                frame
+                    .args
+                    .get(op.index as usize)
+                    .copied()
+                    .ok_or(HwError::BadState("argument operand out of range"))
             }
             Source::Global => {
                 // A bare global in operand position denotes the (empty)
@@ -714,13 +906,39 @@ impl Hw {
 
     /// Push an `Update` continuation, squeezing a directly-enclosing update
     /// frame into an indirection (constant-space tail recursion).
-    fn push_update(&mut self, r: HeapRef) {
+    fn push_update(&mut self, r: HeapRef) -> Result<(), HwError> {
         if let Some(Cont::Update(t)) = self.conts.last() {
             let t = *t;
-            *self.heap.get_mut(t) = HeapObj::Ind(HValue::Ref(r));
+            *self.heap.get_mut(t)? = HeapObj::Ind(HValue::Ref(r));
             self.conts.pop();
         }
         self.conts.push(Cont::Update(r));
+        Ok(())
+    }
+
+    fn top_frame(&self) -> Result<&Frame, HwError> {
+        self.frames
+            .last()
+            .ok_or(HwError::BadState("no active frame"))
+    }
+
+    fn top_frame_mut(&mut self) -> Result<&mut Frame, HwError> {
+        self.frames
+            .last_mut()
+            .ok_or(HwError::BadState("no active frame"))
+    }
+
+    fn pop_frame(&mut self) -> Result<Frame, HwError> {
+        self.frames
+            .pop()
+            .ok_or(HwError::BadState("no active frame"))
+    }
+
+    fn code_word(&self, pc: usize) -> Result<Word, HwError> {
+        self.code
+            .get(pc)
+            .copied()
+            .ok_or(HwError::BadState("program counter out of range"))
     }
 
     // -- main loop ------------------------------------------------------------
@@ -752,19 +970,21 @@ impl Hw {
     }
 
     fn step_exec(&mut self) -> Result<State, HwError> {
-        let pc = self.frames.last().expect("exec inside a frame").pc;
-        let w = self.code[pc];
+        let pc = self.top_frame()?.pc;
+        let w = self.code_word(pc)?;
         match word_tag(w) {
             TAG_LET => {
                 self.begin_instr(Class::Let, pc);
                 self.charge(self.cost.let_base);
-                let (nargs, callee) = unpack_let_head(w).expect("validated at load");
+                let (nargs, callee) =
+                    unpack_let_head(w).ok_or(HwError::BadState("malformed let head"))?;
                 self.stats.let_args += nargs as u64;
                 let mut args = Vec::with_capacity(nargs);
                 for i in 0..nargs {
                     self.charge(self.cost.let_per_arg);
-                    let aw = self.code[pc + 1 + i];
-                    let op = unpack_operand_word(aw).expect("validated at load");
+                    let aw = self.code_word(pc + 1 + i)?;
+                    let op =
+                        unpack_operand_word(aw).ok_or(HwError::BadState("malformed operand"))?;
                     args.push(self.resolve(op)?);
                 }
                 let target = match callee.source {
@@ -772,7 +992,7 @@ impl Hw {
                     _ => AppTarget::Value(self.resolve(callee)?),
                 };
                 let r = self.alloc_gc(HeapObj::App { target, args })?;
-                let frame = self.frames.last_mut().expect("frame");
+                let frame = self.top_frame_mut()?;
                 frame.locals.push(HValue::Ref(r));
                 frame.pc = pc + 1 + nargs;
                 if self.eager {
@@ -786,22 +1006,22 @@ impl Hw {
             TAG_CASE => {
                 self.begin_instr(Class::Case, pc);
                 self.charge(self.cost.case_base);
-                let op = unpack_operand_word(w).expect("validated at load");
+                let op = unpack_operand_word(w).ok_or(HwError::BadState("malformed operand"))?;
                 let scrutinee = self.resolve(op)?;
-                self.frames.last_mut().expect("frame").pc = pc + 1;
+                self.top_frame_mut()?.pc = pc + 1;
                 self.conts.push(Cont::CaseDispatch);
                 Ok(State::Force(scrutinee))
             }
             TAG_RESULT => {
                 self.begin_instr(Class::Result, pc);
                 self.charge(self.cost.result_base);
-                let op = unpack_operand_word(w).expect("validated at load");
+                let op = unpack_operand_word(w).ok_or(HwError::BadState("malformed operand"))?;
                 let v = self.resolve(op)?;
-                let frame = self.frames.pop().expect("exec inside a frame");
+                let frame = self.pop_frame()?;
                 self.emit_coroutine_exit(frame.item);
                 Ok(State::Force(v))
             }
-            other => unreachable!("instruction tag {other:#x} survived validation"),
+            _ => Err(HwError::BadState("unknown instruction tag")),
         }
     }
 
@@ -810,7 +1030,7 @@ impl Hw {
             HValue::Int(_) => return Ok(State::Return(v)),
             HValue::Ref(r) => r,
         };
-        match self.heap.get(r) {
+        match self.heap.get(r)? {
             HeapObj::Con { .. } => Ok(State::Return(v)),
             HeapObj::Ind(inner) => {
                 let inner = *inner;
@@ -818,16 +1038,16 @@ impl Hw {
                 Ok(State::Force(inner))
             }
             HeapObj::BlackHole => Err(HwError::InfiniteLoop),
-            HeapObj::Forwarded(_) => unreachable!("forwarding outside GC"),
+            HeapObj::Forwarded(_) => Err(HwError::BadState("forwarding pointer outside GC")),
             HeapObj::App { target, args } => {
                 let target = *target;
                 let args = args.clone();
                 match target {
                     AppTarget::Value(tv) => {
                         self.charge(self.cost.ref_check);
-                        self.push_update(r);
+                        self.push_update(r)?;
                         self.conts.push(Cont::Apply(args));
-                        *self.heap.get_mut(r) = HeapObj::BlackHole;
+                        *self.heap.get_mut(r)? = HeapObj::BlackHole;
                         Ok(State::Force(tv))
                     }
                     AppTarget::Global(id) => self.force_global(r, id, args),
@@ -848,8 +1068,8 @@ impl Hw {
                 self.charge(self.cost.pap_check);
                 return Ok(State::Return(HValue::Ref(r)));
             }
-            self.push_update(r);
-            *self.heap.get_mut(r) = HeapObj::BlackHole;
+            self.push_update(r)?;
+            *self.heap.get_mut(r)? = HeapObj::BlackHole;
             if args.len() > arity {
                 let rest = args.split_off(arity);
                 self.conts.push(Cont::Apply(rest));
@@ -874,17 +1094,14 @@ impl Hw {
                     _ => None,
                 })
                 .unwrap_or(RuntimeError::Propagated.code());
-            *self.heap.get_mut(r) = HeapObj::Con {
+            *self.heap.get_mut(r)? = HeapObj::Con {
                 id: ERROR_CON_INDEX,
                 fields: vec![HValue::Int(code)],
             };
             return Ok(State::Return(HValue::Ref(r)));
         }
 
-        let meta = self
-            .item(id)
-            .unwrap_or_else(|| unreachable!("validated at load"))
-            .clone();
+        let meta = self.item(id).ok_or(HwError::UnknownItem(id))?.clone();
         if meta.is_con {
             match args.len().cmp(&meta.arity) {
                 std::cmp::Ordering::Less => {
@@ -893,7 +1110,7 @@ impl Hw {
                 }
                 std::cmp::Ordering::Equal => {
                     self.charge(self.cost.update);
-                    *self.heap.get_mut(r) = HeapObj::Con { id, fields: args };
+                    *self.heap.get_mut(r)? = HeapObj::Con { id, fields: args };
                     Ok(State::Return(HValue::Ref(r)))
                 }
                 std::cmp::Ordering::Greater => {
@@ -903,10 +1120,12 @@ impl Hw {
                     let e = self.error_value(RuntimeError::ConOverApplied)?;
                     let r = match self.roots.swap_remove(slot) {
                         HValue::Ref(r) => r,
-                        HValue::Int(_) => unreachable!("rooted a reference"),
+                        HValue::Int(_) => {
+                            return Err(HwError::BadState("rooted thunk became an integer"))
+                        }
                     };
                     self.charge(self.cost.update);
-                    *self.heap.get_mut(r) = HeapObj::Ind(e);
+                    *self.heap.get_mut(r)? = HeapObj::Ind(e);
                     Ok(State::Return(e))
                 }
             }
@@ -915,8 +1134,8 @@ impl Hw {
                 self.charge(self.cost.pap_check);
                 return Ok(State::Return(HValue::Ref(r)));
             }
-            self.push_update(r);
-            *self.heap.get_mut(r) = HeapObj::BlackHole;
+            self.push_update(r)?;
+            *self.heap.get_mut(r)? = HeapObj::BlackHole;
             if args.len() > meta.arity {
                 let rest = args.split_off(meta.arity);
                 self.conts.push(Cont::Apply(rest));
@@ -953,7 +1172,7 @@ impl Hw {
         match cont {
             Cont::Update(t) => {
                 self.charge(self.cost.update);
-                *self.heap.get_mut(t) = HeapObj::Ind(v);
+                *self.heap.get_mut(t)? = HeapObj::Ind(v);
                 Ok(Some(State::Return(v)))
             }
             Cont::Apply(more) => {
@@ -965,7 +1184,7 @@ impl Hw {
                         let e = self.error_value(RuntimeError::ApplyToInt)?;
                         Ok(Some(State::Return(e)))
                     }
-                    HValue::Ref(r) => match self.heap.get(r) {
+                    HValue::Ref(r) => match self.heap.get(r)? {
                         HeapObj::Con { .. } => {
                             let e = self.error_value(RuntimeError::ApplyToCon)?;
                             Ok(Some(State::Return(e)))
@@ -979,7 +1198,7 @@ impl Hw {
                             let nr = self.alloc_gc(HeapObj::App { target, args: all })?;
                             Ok(Some(State::Force(HValue::Ref(nr))))
                         }
-                        other => unreachable!("apply to non-WHNF {other:?}"),
+                        _ => Err(HwError::BadState("apply to a non-WHNF value")),
                     },
                 }
             }
@@ -1028,7 +1247,7 @@ impl Hw {
                         HValue::Int(n)
                     }
                     PrimOp::Gc => {
-                        let report = self.do_gc(&mut []);
+                        let report = self.do_gc(&mut [])?;
                         HValue::Int(report.words_reclaimed as Int)
                     }
                     _ => match op.eval_pure(&ints) {
@@ -1046,7 +1265,7 @@ impl Hw {
     fn case_dispatch(&mut self, v: HValue) -> Result<State, HwError> {
         // Error scrutinee: the whole function yields the error.
         if self.is_error(v) {
-            let frame = self.frames.pop().expect("case inside a frame");
+            let frame = self.pop_frame()?;
             self.emit_coroutine_exit(frame.item);
             return Ok(State::Force(v));
         }
@@ -1057,24 +1276,23 @@ impl Hw {
         }
         let scrut = match v {
             HValue::Int(n) => Scrut::Int(n),
-            HValue::Ref(r) => match self.heap.get(r) {
+            HValue::Ref(r) => match self.heap.get(r)? {
                 HeapObj::Con { id, fields } => Scrut::Con(*id, fields.clone()),
                 HeapObj::App { .. } => Scrut::Closure,
-                HeapObj::Ind(_) => unreachable!("WHNF invariant"),
-                other => unreachable!("case on {other:?}"),
+                _ => return Err(HwError::BadState("case scrutinee is not in WHNF")),
             },
         };
         if let Scrut::Closure = scrut {
             let e = self.error_value(RuntimeError::CaseOnClosure)?;
-            let frame = self.frames.pop().expect("case inside a frame");
+            let frame = self.pop_frame()?;
             self.emit_coroutine_exit(frame.item);
             return Ok(State::Force(e));
         }
 
         self.class = Class::Case;
-        let mut pc = self.frames.last().expect("frame").pc;
+        let mut pc = self.top_frame()?.pc;
         loop {
-            let w = self.code[pc];
+            let w = self.code_word(pc)?;
             match word_tag(w) {
                 TAG_ELSE => {
                     pc += 1;
@@ -1084,7 +1302,7 @@ impl Hw {
                     self.begin_instr(Class::BranchHead, pc);
                     self.charge(self.cost.branch_head);
                     self.class = Class::Case;
-                    let value = self.code[pc + 1] as Int;
+                    let value = self.code_word(pc + 1)? as Int;
                     if let Scrut::Int(n) = scrut {
                         if n == value {
                             pc += 2;
@@ -1097,13 +1315,13 @@ impl Hw {
                     self.begin_instr(Class::BranchHead, pc);
                     self.charge(self.cost.branch_head);
                     self.class = Class::Case;
-                    let want = self.code[pc + 1];
+                    let want = self.code_word(pc + 1)?;
                     if let Scrut::Con(id, ref fields) = scrut {
                         if id == want {
                             // Bind the fields into consecutive local slots.
                             let fields = fields.clone();
                             let nf = fields.len() as u64;
-                            let frame = self.frames.last_mut().expect("frame");
+                            let frame = self.top_frame_mut()?;
                             frame.locals.extend(fields);
                             self.charge(self.cost.bind_field * nf);
                             pc += 2;
@@ -1112,10 +1330,10 @@ impl Hw {
                     }
                     pc += 2 + unpack_pattern_skip(w);
                 }
-                other => unreachable!("pattern tag {other:#x} survived validation"),
+                _ => return Err(HwError::BadState("unknown pattern tag")),
             }
         }
-        self.frames.last_mut().expect("frame").pc = pc;
+        self.top_frame_mut()?.pc = pc;
         Ok(State::Exec)
     }
 
@@ -1128,8 +1346,8 @@ impl Hw {
         match v {
             HValue::Int(_) => None,
             HValue::Ref(r) => match self.heap.get(r) {
-                HeapObj::Con { fields, .. } => fields.get(i).copied(),
-                HeapObj::Ind(inner) => self.con_field(*inner, i),
+                Ok(HeapObj::Con { fields, .. }) => fields.get(i).copied(),
+                Ok(HeapObj::Ind(inner)) => self.con_field(*inner, i),
                 _ => None,
             },
         }
@@ -1140,7 +1358,7 @@ impl Hw {
         match v {
             HValue::Int(n) => Some(n),
             HValue::Ref(r) => match self.heap.get(r) {
-                HeapObj::Ind(inner) => self.as_int(*inner),
+                Ok(HeapObj::Ind(inner)) => self.as_int(*inner),
                 _ => None,
             },
         }
@@ -1154,7 +1372,7 @@ impl Hw {
         let w = self.run_machine(State::Force(v), ports)?;
         match w {
             HValue::Int(n) => Ok(Value::int(n)),
-            HValue::Ref(r) => match self.heap.get(r).clone() {
+            HValue::Ref(r) => match self.heap.get(r)?.clone() {
                 HeapObj::Con { id, fields } => {
                     if id == ERROR_CON_INDEX {
                         let code = fields
@@ -1182,14 +1400,14 @@ impl Hw {
                             }
                         },
                         AppTarget::Value(_) => {
-                            unreachable!("WHNF app has a global target")
+                            return Err(HwError::BadState("WHNF app without a global target"))
                         }
                     };
                     let out = self.deep_fields(&args, ports)?;
                     Ok(Value::closure(t, out))
                 }
                 HeapObj::Ind(inner) => self.deep_value(inner, ports),
-                other => unreachable!("deep_value on {other:?}"),
+                _ => Err(HwError::BadState("deep_value on a non-WHNF object")),
             },
         }
     }

@@ -41,7 +41,7 @@ fn signature(heap: &Heap, v: HValue, depth: usize) -> String {
     }
     match v {
         HValue::Int(n) => format!("i{n}"),
-        HValue::Ref(r) => match heap.get(r) {
+        HValue::Ref(r) => match heap.get(r).expect("live reference") {
             HeapObj::Con { id, fields } => format!(
                 "C{id}({})",
                 fields
@@ -78,7 +78,7 @@ proptest! {
             .collect();
         let before: Vec<String> =
             roots.iter().map(|&r| signature(&heap, r, 12)).collect();
-        let report = heap.collect(&mut roots, &CostModel::default());
+        let report = heap.collect(&mut roots, &CostModel::default()).unwrap();
         let after: Vec<String> =
             roots.iter().map(|&r| signature(&heap, r, 12)).collect();
         prop_assert_eq!(before, after);
@@ -93,9 +93,9 @@ proptest! {
     ) {
         let (mut heap, refs) = build_graph(&shape);
         let mut roots = vec![*refs.last().unwrap()];
-        let first = heap.collect(&mut roots, &CostModel::default());
+        let first = heap.collect(&mut roots, &CostModel::default()).unwrap();
         let live_after_first = heap.words_used();
-        let second = heap.collect(&mut roots, &CostModel::default());
+        let second = heap.collect(&mut roots, &CostModel::default()).unwrap();
         prop_assert_eq!(second.words_reclaimed, 0, "first: {:?}", first);
         prop_assert_eq!(heap.words_used(), live_after_first);
         // Copy count can only shrink (indirections collapse in pass 1).
@@ -119,7 +119,7 @@ proptest! {
             head = HValue::Ref(r);
         }
         let mut roots = [head];
-        let report = heap.collect(&mut roots, &cost);
+        let report = heap.collect(&mut roots, &cost).unwrap();
         // Each cell: 4 words → N+4 = 8 copy cycles; checks: 1 root +
         // per cell one ref field (the tail) except the last points at an
         // int — exactly n_live reference checks.

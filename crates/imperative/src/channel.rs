@@ -27,6 +27,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use zarf_chaos::{ChaosHandle, FaultKind, FaultSite};
 use zarf_core::error::IoError;
 use zarf_core::io::{IoPorts, NullPorts};
 use zarf_core::Int;
@@ -37,10 +38,86 @@ pub const CHANNEL_PORT: Int = 100;
 /// Port number reporting the number of waiting words.
 pub const CHANNEL_STATUS_PORT: Int = 101;
 
+/// Default per-direction FIFO capacity, in words. Generous enough that a
+/// well-behaved workload never notices the bound, small enough that a
+/// runaway producer hits backpressure instead of exhausting host memory.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 64 * 1024;
+
+/// What a full FIFO does with one more word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Refuse the word non-destructively: the write fails with
+    /// [`IoError::PortFull`] and may be retried once the consumer drains
+    /// (backpressure — the hardware-FIFO behaviour).
+    #[default]
+    Block,
+    /// Evict the oldest queued word to make room, recording the loss. The
+    /// write itself always succeeds (freshness-over-completeness, the
+    /// telemetry-stream behaviour).
+    DropOldest,
+    /// Refuse the word *and* count the incident as an overflow fault.
+    Error,
+}
+
+/// Capacity and overflow behaviour shared by both directions of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Maximum words queued per direction; writes beyond this invoke the
+    /// policy. Zero is clamped to one.
+    pub capacity: usize,
+    /// What happens to a write when the direction is at capacity.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            capacity: DEFAULT_CHANNEL_CAPACITY,
+            policy: OverflowPolicy::Block,
+        }
+    }
+}
+
+/// How the channel disposed of one pushed word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The word was enqueued; payload is the post-push depth.
+    Accepted(usize),
+    /// The word was enqueued after evicting the oldest queued word
+    /// (payload) under [`OverflowPolicy::DropOldest`].
+    Evicted(Int),
+    /// The word was refused: the FIFO is at capacity under a refusing
+    /// policy. Nothing was enqueued.
+    Refused,
+}
+
 #[derive(Debug, Default)]
 struct Fifos {
     a_to_b: VecDeque<Int>,
     b_to_a: VecDeque<Int>,
+    config: ChannelConfig,
+    /// Overflow incidents (evictions + refusals under `Error`) since
+    /// creation, across both directions.
+    overflows: u64,
+}
+
+impl Fifos {
+    /// Apply the configured policy to push `value` onto `q`.
+    fn push(q: &mut VecDeque<Int>, config: ChannelConfig, value: Int) -> PushOutcome {
+        let cap = config.capacity.max(1);
+        if q.len() < cap {
+            q.push_back(value);
+            return PushOutcome::Accepted(q.len());
+        }
+        match config.policy {
+            OverflowPolicy::Block | OverflowPolicy::Error => PushOutcome::Refused,
+            OverflowPolicy::DropOldest => {
+                let dropped = q.pop_front().unwrap_or(0);
+                q.push_back(value);
+                PushOutcome::Evicted(dropped)
+            }
+        }
+    }
 }
 
 /// Which side of the channel an endpoint is.
@@ -59,6 +136,7 @@ pub struct Endpoint<E> {
     /// The device handling every non-channel port.
     pub external: E,
     sink: SinkHandle,
+    chaos: Option<ChaosHandle>,
 }
 
 /// Create a connected channel whose endpoints have no external devices.
@@ -75,12 +153,14 @@ pub fn channel_with<A, B>(a_external: A, b_external: B) -> (Endpoint<A>, Endpoin
             side: Side::A,
             external: a_external,
             sink: SinkHandle::none(),
+            chaos: None,
         },
         Endpoint {
             fifos,
             side: Side::B,
             external: b_external,
             sink: SinkHandle::none(),
+            chaos: None,
         },
     )
 }
@@ -98,6 +178,30 @@ impl<E> Endpoint<E> {
         self.sink.take()
     }
 
+    /// Install (or clear) a deterministic fault-injection handle. Words
+    /// written through this endpoint's [`CHANNEL_PORT`] consult it and may
+    /// be dropped, duplicated, or corrupted ([`FaultSite::ChannelPush`]).
+    pub fn set_chaos(&mut self, chaos: Option<ChaosHandle>) {
+        self.chaos = chaos;
+    }
+
+    /// Reconfigure the shared capacity/overflow policy (both directions,
+    /// both endpoints — the FIFOs are one piece of hardware).
+    pub fn set_channel_config(&self, config: ChannelConfig) {
+        self.fifos.borrow_mut().config = config;
+    }
+
+    /// The currently configured capacity/overflow policy.
+    pub fn channel_config(&self) -> ChannelConfig {
+        self.fifos.borrow().config
+    }
+
+    /// Overflow incidents (evictions and refusals under
+    /// [`OverflowPolicy::Error`]) since the channel was created.
+    pub fn overflows(&self) -> u64 {
+        self.fifos.borrow().overflows
+    }
+
     /// Words waiting to be read at this endpoint.
     pub fn pending(&self) -> usize {
         let f = self.fifos.borrow();
@@ -107,12 +211,119 @@ impl<E> Endpoint<E> {
         }
     }
 
-    /// Push a word toward this endpoint from outside (testing hook).
-    pub fn inject(&self, word: Int) {
-        let mut f = self.fifos.borrow_mut();
-        match self.side {
-            Side::A => f.b_to_a.push_back(word),
-            Side::B => f.a_to_b.push_back(word),
+    /// Push a word toward this endpoint from outside (the untrusted-input
+    /// hook). Bounded like every other path into the FIFO: the outcome says
+    /// whether the word was queued, queued by evicting the oldest word, or
+    /// refused at capacity.
+    pub fn inject(&mut self, word: Int) -> PushOutcome {
+        let (outcome, depth) = {
+            let mut f = self.fifos.borrow_mut();
+            let config = f.config;
+            let q = match self.side {
+                Side::A => &mut f.b_to_a,
+                Side::B => &mut f.a_to_b,
+            };
+            let outcome = Fifos::push(q, config, word);
+            let depth = q.len();
+            if !matches!(outcome, PushOutcome::Accepted(_)) {
+                f.overflows += 1;
+            }
+            (outcome, depth)
+        };
+        match outcome {
+            PushOutcome::Accepted(_) => {}
+            PushOutcome::Evicted(dropped) => {
+                self.sink.emit(|| Event::ChannelOverflow {
+                    port: CHANNEL_PORT as i64,
+                    dropped: dropped as i64,
+                    depth,
+                });
+            }
+            PushOutcome::Refused => {
+                self.sink.emit(|| Event::ChannelOverflow {
+                    port: CHANNEL_PORT as i64,
+                    dropped: word as i64,
+                    depth,
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Enqueue one word toward the peer, applying capacity policy and
+    /// emitting the matching events. Shared by `putint` and fault-induced
+    /// duplicates.
+    fn push_toward_peer(&mut self, value: Int) -> Result<Int, IoError> {
+        let (outcome, depth) = {
+            let mut f = self.fifos.borrow_mut();
+            let config = f.config;
+            let q = match self.side {
+                Side::A => &mut f.a_to_b,
+                Side::B => &mut f.b_to_a,
+            };
+            let outcome = Fifos::push(q, config, value);
+            let depth = q.len();
+            if !matches!(outcome, PushOutcome::Accepted(_)) {
+                f.overflows += 1;
+            }
+            (outcome, depth)
+        };
+        match outcome {
+            PushOutcome::Accepted(_) => {
+                self.sink.emit(|| Event::ChannelPush {
+                    port: CHANNEL_PORT as i64,
+                    word: value as i64,
+                    depth,
+                });
+                Ok(value)
+            }
+            PushOutcome::Evicted(dropped) => {
+                self.sink.emit(|| Event::ChannelOverflow {
+                    port: CHANNEL_PORT as i64,
+                    dropped: dropped as i64,
+                    depth,
+                });
+                self.sink.emit(|| Event::ChannelPush {
+                    port: CHANNEL_PORT as i64,
+                    word: value as i64,
+                    depth,
+                });
+                Ok(value)
+            }
+            PushOutcome::Refused => {
+                self.sink.emit(|| Event::ChannelOverflow {
+                    port: CHANNEL_PORT as i64,
+                    dropped: value as i64,
+                    depth,
+                });
+                Err(IoError::PortFull(CHANNEL_PORT))
+            }
+        }
+    }
+
+    /// Consult the fault plan for one channel push. Returns the (possibly
+    /// corrupted) word to send, `None` to silently drop it, and whether to
+    /// send it twice.
+    fn consult_chaos(&mut self, value: Int) -> (Option<Int>, bool) {
+        let Some(chaos) = &self.chaos else {
+            return (Some(value), false);
+        };
+        let Some(kind) = chaos.next(FaultSite::ChannelPush) else {
+            return (Some(value), false);
+        };
+        let op = chaos.ops(FaultSite::ChannelPush) - 1;
+        self.sink.emit(|| Event::FaultInjected {
+            site: FaultSite::ChannelPush.name(),
+            kind: kind.name(),
+            op,
+            detail: kind.detail(),
+        });
+        match kind {
+            FaultKind::ChanDrop => (None, false),
+            FaultKind::ChanDup => (Some(value), true),
+            FaultKind::ChanCorrupt { xor } => (Some(value ^ xor), false),
+            // Faults planned for other sites never reach here.
+            _ => (Some(value), false),
         }
     }
 }
@@ -145,20 +356,20 @@ impl<E: IoPorts> IoPorts for Endpoint<E> {
     fn putint(&mut self, port: Int, value: Int) -> Result<Int, IoError> {
         match port {
             CHANNEL_PORT => {
-                let depth = {
-                    let mut f = self.fifos.borrow_mut();
-                    let q = match self.side {
-                        Side::A => &mut f.a_to_b,
-                        Side::B => &mut f.b_to_a,
-                    };
-                    q.push_back(value);
-                    q.len()
+                let (word, dup) = self.consult_chaos(value);
+                let Some(word) = word else {
+                    // Dropped in flight: the writer saw a successful send.
+                    return Ok(value);
                 };
-                self.sink.emit(|| Event::ChannelPush {
-                    port: CHANNEL_PORT as i64,
-                    word: value as i64,
-                    depth,
-                });
+                self.push_toward_peer(word)?;
+                if dup {
+                    // The duplicate is subject to the same capacity policy,
+                    // but its refusal is the fault's problem, not the
+                    // writer's.
+                    let _ = self.push_toward_peer(word);
+                }
+                // The writer always observes the word it asked to send,
+                // even when a fault corrupted it in flight.
                 Ok(value)
             }
             CHANNEL_STATUS_PORT => Err(IoError::NoSuchPort(CHANNEL_STATUS_PORT)),
@@ -216,6 +427,84 @@ mod tests {
         // Channel traffic does not leak into the external device.
         a.putint(CHANNEL_PORT, 1).unwrap();
         assert_eq!(a.external.output(CHANNEL_PORT), &[] as &[i32]);
+    }
+
+    #[test]
+    fn block_policy_refuses_at_capacity_and_recovers() {
+        let (mut a, mut b) = channel();
+        a.set_channel_config(ChannelConfig {
+            capacity: 2,
+            policy: OverflowPolicy::Block,
+        });
+        a.putint(CHANNEL_PORT, 1).unwrap();
+        a.putint(CHANNEL_PORT, 2).unwrap();
+        assert_eq!(
+            a.putint(CHANNEL_PORT, 3),
+            Err(IoError::PortFull(CHANNEL_PORT))
+        );
+        assert_eq!(a.overflows(), 1);
+        // Draining one word makes the retry succeed; nothing was lost.
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(1));
+        a.putint(CHANNEL_PORT, 3).unwrap();
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(2));
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(3));
+    }
+
+    #[test]
+    fn drop_oldest_policy_keeps_freshest_words() {
+        let (mut a, mut b) = channel();
+        a.set_channel_config(ChannelConfig {
+            capacity: 2,
+            policy: OverflowPolicy::DropOldest,
+        });
+        a.putint(CHANNEL_PORT, 1).unwrap();
+        a.putint(CHANNEL_PORT, 2).unwrap();
+        a.putint(CHANNEL_PORT, 3).unwrap();
+        assert_eq!(a.overflows(), 1);
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(2));
+        assert_eq!(b.getint(CHANNEL_PORT), Ok(3));
+    }
+
+    #[test]
+    fn inject_is_bounded_and_reports_outcome() {
+        let (mut a, _b) = channel();
+        a.set_channel_config(ChannelConfig {
+            capacity: 1,
+            policy: OverflowPolicy::Block,
+        });
+        assert_eq!(a.inject(7), PushOutcome::Accepted(1));
+        assert_eq!(a.inject(8), PushOutcome::Refused);
+        assert_eq!(a.pending(), 1);
+        a.set_channel_config(ChannelConfig {
+            capacity: 1,
+            policy: OverflowPolicy::DropOldest,
+        });
+        assert_eq!(a.inject(9), PushOutcome::Evicted(7));
+        assert_eq!(a.getint(CHANNEL_PORT), Ok(9));
+    }
+
+    #[test]
+    fn chaos_faults_drop_dup_and_corrupt_pushes() {
+        use zarf_chaos::FaultPlan;
+        let plan = FaultPlan::new()
+            .chan_drop_at(0)
+            .chan_dup_at(1)
+            .chan_corrupt_at(2, 0b100);
+        let chaos = ChaosHandle::new(plan);
+        let (mut a, mut b) = channel();
+        a.set_chaos(Some(chaos.clone()));
+        // Op 0 dropped: the writer still sees success.
+        assert_eq!(a.putint(CHANNEL_PORT, 10), Ok(10));
+        // Op 1 duplicated, op 2 corrupted, op 3 clean.
+        a.putint(CHANNEL_PORT, 11).unwrap();
+        a.putint(CHANNEL_PORT, 12).unwrap();
+        a.putint(CHANNEL_PORT, 13).unwrap();
+        let mut got = Vec::new();
+        while let Ok(w) = b.getint(CHANNEL_PORT) {
+            got.push(w);
+        }
+        assert_eq!(got, vec![11, 11, 12 ^ 0b100, 13]);
+        assert_eq!(chaos.injected_count(), 3);
     }
 
     #[test]

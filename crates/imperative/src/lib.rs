@@ -24,5 +24,8 @@ pub mod channel;
 pub mod cpu;
 
 pub use builder::{Asm, AsmError};
-pub use channel::{channel, channel_with, Endpoint, CHANNEL_PORT, CHANNEL_STATUS_PORT};
+pub use channel::{
+    channel, channel_with, ChannelConfig, Endpoint, OverflowPolicy, PushOutcome, CHANNEL_PORT,
+    CHANNEL_STATUS_PORT, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use cpu::{Cpu, CpuCost, CpuError, Instr, Reg, R0};

@@ -9,11 +9,16 @@
 
 use std::collections::VecDeque;
 
+use zarf_chaos::{ChaosHandle, FaultKind, FaultSite};
 use zarf_core::error::IoError;
 use zarf_core::io::IoPorts;
 use zarf_core::Int;
+use zarf_trace::{Event, SinkHandle, TraceSink};
 
 use crate::program::{PORT_BOOT, PORT_DEBUG, PORT_ECG, PORT_PACE, PORT_TIMER};
+
+/// Rail value an injected saturation fault pins an ECG sample to.
+pub const ECG_SATURATION_RAIL: Int = 32_000;
 
 /// The heart-side device of the λ-execution layer.
 #[derive(Debug, Default)]
@@ -23,6 +28,10 @@ pub struct HeartPorts {
     debug: Vec<Int>,
     tick: Int,
     boot: Option<Int>,
+    served: Vec<Int>,
+    last_served: Int,
+    chaos: Option<ChaosHandle>,
+    sink: SinkHandle,
 }
 
 impl HeartPorts {
@@ -36,7 +45,29 @@ impl HeartPorts {
             debug: Vec::new(),
             tick: 0,
             boot,
+            served: Vec::new(),
+            last_served: 0,
+            chaos: None,
+            sink: SinkHandle::none(),
         }
+    }
+
+    /// Install (or clear) a deterministic fault-injection handle: ECG reads
+    /// consult it ([`FaultSite::Ecg`]) and may observe dropout, saturation,
+    /// or additive noise instead of the true sample.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosHandle>) {
+        self.chaos = chaos;
+    }
+
+    /// Install a trace sink for fault events raised by this device.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.set(sink);
+    }
+
+    /// The sample values actually served to the ECG port, post-fault — what
+    /// the λ-layer really saw, for comparing its decisions against spec.
+    pub fn served_log(&self) -> &[Int] {
+        &self.served
     }
 
     /// Override the boot word (iteration count handed to `main`).
@@ -65,12 +96,48 @@ impl HeartPorts {
     pub fn remaining(&self) -> usize {
         self.ecg.len()
     }
+
+    /// Consult the fault plan for one ECG read, emitting the trace event
+    /// when a fault fires.
+    fn consult_chaos(&mut self) -> Option<FaultKind> {
+        let kind = self.chaos.as_ref()?.next(FaultSite::Ecg)?;
+        let op = self.chaos.as_ref().map_or(0, |c| c.ops(FaultSite::Ecg)) - 1;
+        self.sink.emit(|| Event::FaultInjected {
+            site: FaultSite::Ecg.name(),
+            kind: kind.name(),
+            op,
+            detail: kind.detail(),
+        });
+        Some(kind)
+    }
 }
 
 impl IoPorts for HeartPorts {
     fn getint(&mut self, port: Int) -> Result<Int, IoError> {
         match port {
-            PORT_ECG => self.ecg.pop_front().ok_or(IoError::PortEmpty(PORT_ECG)),
+            PORT_ECG => {
+                let sample = self.ecg.pop_front().ok_or(IoError::PortEmpty(PORT_ECG))?;
+                let served = match self.consult_chaos() {
+                    None => sample,
+                    // Dropout: the front-end holds its previous output; the
+                    // true sample is consumed and lost.
+                    Some(FaultKind::EcgDropout) => self.last_served,
+                    // Saturation: the amplifier rails in the sample's
+                    // direction.
+                    Some(FaultKind::EcgSaturate) => {
+                        if sample < 0 {
+                            -ECG_SATURATION_RAIL
+                        } else {
+                            ECG_SATURATION_RAIL
+                        }
+                    }
+                    Some(FaultKind::EcgNoise { delta }) => sample.saturating_add(delta),
+                    Some(_) => sample,
+                };
+                self.last_served = served;
+                self.served.push(served);
+                Ok(served)
+            }
             PORT_TIMER => {
                 // A read blocks until the next 5 ms boundary; in simulation
                 // it simply returns the next tick number.

@@ -24,4 +24,7 @@ pub mod program;
 pub mod system;
 
 pub use program::{kernel_machine, kernel_program, kernel_source};
-pub use system::{System, SystemReport};
+pub use system::{
+    Detection, FaultCause, RecoveryPolicy, SupervisedOutcome, SupervisedReport, System,
+    SystemReport, WatchdogConfig, WCET_ITERATION_CYCLES,
+};

@@ -15,14 +15,26 @@
 //! producer is observationally identical to cycle-interleaving them, while
 //! keeping the simulators independent.
 
+use zarf_chaos::{ChaosHandle, FaultKind, FaultPlan, FaultSite};
+use zarf_core::error::IoError;
+use zarf_core::io::IoPorts;
 use zarf_core::Int;
-use zarf_hw::{Hw, HwConfig, HwError, Stats};
-use zarf_imperative::{channel_with, Cpu, Endpoint};
-use zarf_trace::{Histogram, MetricsSink, SharedSink, TraceSink};
+use zarf_hw::{HValue, Hw, HwConfig, HwError, Stats};
+use zarf_imperative::{channel_with, ChannelConfig, Cpu, CpuError, Endpoint, OverflowPolicy};
+use zarf_trace::{Event, Histogram, MetricsSink, SharedSink, SinkHandle, TraceSink};
 
 use crate::devices::{HeartPorts, MonitorPorts, CMD_REPORT};
 use crate::monitor::monitor_cpu;
-use crate::program::kernel_machine;
+use crate::program::{kernel_machine, PORT_ECG, PORT_PACE, PORT_TIMER};
+
+/// The paper's Table 4 worst-case execution time for one full kernel
+/// iteration (all four coroutines + collection), in λ-layer cycles. The
+/// watchdog derives per-coroutine fuel budgets from this bound.
+///
+/// Kept as a literal here because `zarf-verify` (which recomputes the bound
+/// by abstract interpretation) depends on this crate; the WCET regression
+/// test cross-checks the two.
+pub const WCET_ITERATION_CYCLES: u64 = 9_065;
 
 /// Coroutine ids a traced system registers with the λ-layer tracer,
 /// paired with the kernel step function implementing each coroutine.
@@ -32,6 +44,25 @@ pub const COROUTINES: [(u32, &str); 4] = [
     (3, "chan_step"),
     (4, "diag_step"),
 ];
+
+/// Registered id of the I/O coroutine.
+pub const IO_COROUTINE: u32 = 1;
+/// Registered id of the verified ICD coroutine.
+pub const ICD_COROUTINE: u32 = 2;
+/// Registered id of the channel coroutine.
+pub const CHAN_COROUTINE: u32 = 3;
+/// Registered id of the untrusted diagnostic coroutine.
+pub const DIAG_COROUTINE: u32 = 4;
+/// Pseudo-id for faults in the kernel glue itself (e.g. the shared
+/// collector), used in watchdog events; not a schedulable coroutine.
+pub const KERNEL_COROUTINE: u32 = 0;
+
+/// How a critical-coroutine fault escalates after local recovery fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Escalation {
+    Halt,
+    Degrade,
+}
 
 /// Human-readable name for a registered coroutine id. `None` is mutator
 /// work outside every coroutine — the scheduler glue in `kernel_iter` —
@@ -91,6 +122,156 @@ impl SystemReport {
     }
 }
 
+/// What the watchdog does when it detects a misbehaving coroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Stop the system immediately (fail-stop; an external defibrillator
+    /// is assumed to take over).
+    Halt,
+    /// Restart the offending coroutine from a known-good state and keep
+    /// pacing. Exhausting the restart budget degrades to monitor-only.
+    #[default]
+    RestartCoroutine,
+    /// Bypass the λ-layer at the first detection: keep the 200 Hz loop
+    /// alive host-side, inhibit therapy, and forward raw samples to the
+    /// untrusted monitor.
+    DegradeToMonitorOnly,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase name (CLI flag values and trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Halt => "halt",
+            RecoveryPolicy::RestartCoroutine => "restart",
+            RecoveryPolicy::DegradeToMonitorOnly => "degrade",
+        }
+    }
+}
+
+/// Why the watchdog flagged a coroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The call failed outright (error value, memory fault, I/O failure).
+    Crashed,
+    /// The fuel budget ran out before the coroutine yielded.
+    Overrun,
+    /// The coroutine demanded its own value — a provable self-loop.
+    Livelock,
+}
+
+impl FaultCause {
+    /// Stable lowercase name used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultCause::Crashed => "crashed",
+            FaultCause::Overrun => "overrun",
+            FaultCause::Livelock => "livelock",
+        }
+    }
+}
+
+/// One watchdog detection: which coroutine misbehaved, when, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Registered coroutine id (see [`COROUTINES`]).
+    pub coroutine: u32,
+    /// Real-time iteration (0-based) at which the fault was detected.
+    pub iteration: u64,
+    /// Fault classification.
+    pub cause: FaultCause,
+}
+
+/// Fuel budgets and recovery behaviour for a supervised run.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Per-coroutine fuel budgets in cycles, indexed by registered
+    /// coroutine id − 1 (io, icd, chan, diag). Defaults are multiples of
+    /// [`WCET_ITERATION_CYCLES`]: lazy evaluation shifts work between
+    /// coroutines, so each gets headroom well past its own share of the
+    /// iteration bound while still catching runaways within a few ticks.
+    pub budgets: [u64; 4],
+    /// What to do on detection.
+    pub policy: RecoveryPolicy,
+    /// Restarts allowed (across all coroutines) before
+    /// [`RecoveryPolicy::RestartCoroutine`] escalates to monitor-only.
+    pub max_restarts: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            budgets: [
+                4 * WCET_ITERATION_CYCLES,
+                8 * WCET_ITERATION_CYCLES,
+                4 * WCET_ITERATION_CYCLES,
+                4 * WCET_ITERATION_CYCLES,
+            ],
+            policy: RecoveryPolicy::RestartCoroutine,
+            max_restarts: 8,
+        }
+    }
+}
+
+/// Terminal state of a run that could not complete normally.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Iteration at which the system left normal operation.
+    pub iteration: u64,
+    /// 200 Hz ticks completed in total, including degraded ones — the
+    /// pacing loop never stopped unless the outcome is `Halted`.
+    pub completed_iterations: u64,
+    /// Every watchdog detection, in order.
+    pub detections: Vec<Detection>,
+    /// Coroutine restarts performed before leaving normal operation.
+    pub restarts: u32,
+    /// Everything written to the pacing port (degraded ticks pace 0).
+    pub pace_log: Vec<Int>,
+}
+
+/// Report of a supervised run that completed all iterations normally.
+#[derive(Debug, Clone)]
+pub struct SupervisedReport {
+    /// The ordinary run report.
+    pub system: SystemReport,
+    /// Watchdog detections that were recovered from.
+    pub detections: Vec<Detection>,
+    /// Coroutine restarts performed.
+    pub restarts: u32,
+}
+
+/// Outcome of [`System::run_supervised`]: every fault either recovers or
+/// lands in a typed terminal state — never a panic, never a wedged loop.
+#[derive(Debug, Clone)]
+pub enum SupervisedOutcome {
+    /// All iterations ran; any detections were recovered in place.
+    Completed(Box<SupervisedReport>),
+    /// The watchdog fell back to the monitor-only loop partway through;
+    /// pacing stayed at 200 Hz with therapy inhibited.
+    Degraded(DegradationReport),
+    /// The system fail-stopped under [`RecoveryPolicy::Halt`].
+    Halted(DegradationReport),
+}
+
+impl SupervisedOutcome {
+    /// All detections, whatever the terminal state.
+    pub fn detections(&self) -> &[Detection] {
+        match self {
+            SupervisedOutcome::Completed(r) => &r.detections,
+            SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => &r.detections,
+        }
+    }
+
+    /// Stable lowercase name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SupervisedOutcome::Completed(_) => "completed",
+            SupervisedOutcome::Degraded(_) => "degraded",
+            SupervisedOutcome::Halted(_) => "halted",
+        }
+    }
+}
+
 /// The complete two-layer Zarf system.
 #[derive(Debug)]
 pub struct System {
@@ -100,6 +281,8 @@ pub struct System {
     cpu_ports: Endpoint<MonitorPorts>,
     iterations: usize,
     metrics: Option<SharedSink<MetricsSink>>,
+    chaos: Option<ChaosHandle>,
+    wd_sink: SinkHandle,
 }
 
 impl System {
@@ -130,6 +313,8 @@ impl System {
             cpu_ports,
             iterations,
             metrics: None,
+            chaos: None,
+            wd_sink: SinkHandle::none(),
         })
     }
 
@@ -160,11 +345,27 @@ impl System {
     pub fn set_shared_sink<S: TraceSink + 'static>(&mut self, shared: &SharedSink<S>) {
         self.hw.set_sink(Box::new(shared.clone()));
         self.hw_ports.set_sink(Box::new(shared.clone()));
+        self.hw_ports.external.set_sink(Box::new(shared.clone()));
         self.cpu_ports.set_sink(Box::new(shared.clone()));
+        self.wd_sink.set(Box::new(shared.clone()));
         for (id, name) in COROUTINES {
             let marked = self.hw.mark_coroutine_by_name(name, id);
             debug_assert!(marked, "kernel step function `{name}` not found");
         }
+    }
+
+    /// Arm a deterministic fault plan across every injection site: the
+    /// λ-layer heap (allocation failures, forced collections, bit flips),
+    /// the channel (drop/duplicate/corrupt), the ECG front-end (dropout,
+    /// saturation, noise), and the watchdog's fuel accounting. Returns the
+    /// shared handle so callers can inspect what actually fired.
+    pub fn enable_chaos(&mut self, plan: FaultPlan) -> ChaosHandle {
+        let handle = ChaosHandle::new(plan);
+        self.hw.set_chaos(Some(handle.clone()));
+        self.hw_ports.set_chaos(Some(handle.clone()));
+        self.hw_ports.external.set_chaos(Some(handle.clone()));
+        self.chaos = Some(handle.clone());
+        handle
     }
 
     /// Run the real-time loop over the whole ECG trace, then let the
@@ -183,17 +384,377 @@ impl System {
         })
     }
 
+    /// Run the real-time loop with the kernel watchdog supervising every
+    /// coroutine: the host drives the four step functions directly (the
+    /// same schedule `kernel_run` encodes), giving each call a fuel budget
+    /// derived from the Table 4 WCET bound and classifying every failure.
+    /// Detections recover per [`WatchdogConfig::policy`]; whatever happens,
+    /// the outcome is typed — this function never panics and the 200 Hz
+    /// pacing loop only stops under [`RecoveryPolicy::Halt`].
+    pub fn run_supervised(&mut self, config: WatchdogConfig) -> SupervisedOutcome {
+        // Bound the channel so a healthy run (one word per iteration each
+        // way, plus fault duplicates) fits, while a runaway flood hits
+        // backpressure instead of host memory.
+        self.hw_ports.set_channel_config(ChannelConfig {
+            capacity: 2 * self.iterations + 64,
+            policy: OverflowPolicy::Block,
+        });
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut restarts: u32 = 0;
+        let mut diag_enabled = true;
+
+        let ids: Vec<Option<u32>> = [
+            "io_step",
+            "icd_step",
+            "chan_step",
+            "diag_step",
+            "init_state",
+        ]
+        .iter()
+        .map(|n| self.hw.id_of(n))
+        .collect();
+        let (Some(io_id), Some(icd_id), Some(chan_id), Some(diag_id), Some(init_id)) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4])
+        else {
+            // A kernel image without the step functions cannot be paced.
+            return self.halted(0, detections, restarts);
+        };
+
+        // Initial ICD state (the `init_state` CAF), supervised like the
+        // coroutine that owns it.
+        let st0 = match self.critical_call(
+            ICD_COROUTINE,
+            init_id,
+            &|_| vec![],
+            &config,
+            0,
+            &mut detections,
+            &mut restarts,
+        ) {
+            Ok(v) => v,
+            Err(Escalation::Halt) => return self.halted(0, detections, restarts),
+            Err(Escalation::Degrade) => return self.finish_degraded(0, detections, restarts),
+        };
+        let st_slot = self.hw.push_root(st0);
+        let out_slot = self.hw.push_root(HValue::Int(0));
+        let mut prev: Int = 0;
+        let mut acc: Int = 0;
+
+        for i in 0..self.iterations as u64 {
+            // 1. I/O coroutine: tick, pace the previous word, sample.
+            let x_v = match self.critical_call(
+                IO_COROUTINE,
+                io_id,
+                &|_| vec![HValue::Int(prev)],
+                &config,
+                i,
+                &mut detections,
+                &mut restarts,
+            ) {
+                Ok(v) => v,
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
+                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+            };
+            let x = self.hw.as_int(x_v).unwrap_or(prev);
+
+            // 2. ICD coroutine: one verified detector step.
+            let pr = match self.critical_call(
+                ICD_COROUTINE,
+                icd_id,
+                &|hw| vec![hw.root(st_slot), HValue::Int(x)],
+                &config,
+                i,
+                &mut detections,
+                &mut restarts,
+            ) {
+                Ok(v) => v,
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
+                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+            };
+            match (self.hw.con_field(pr, 0), self.hw.con_field(pr, 1)) {
+                (Some(st2), Some(out)) => {
+                    self.hw.set_root(st_slot, st2);
+                    self.hw.set_root(out_slot, out);
+                }
+                // Not a `Pair state out`: the state machine is corrupt and
+                // a re-run would start from the same corrupt state.
+                _ => {
+                    self.detect(ICD_COROUTINE, i, FaultCause::Crashed, &mut detections);
+                    match config.policy {
+                        RecoveryPolicy::Halt => {
+                            self.recover_action(ICD_COROUTINE, i, "halt");
+                            return self.halted(i, detections, restarts);
+                        }
+                        _ => {
+                            self.recover_action(ICD_COROUTINE, i, "degrade");
+                            return self.finish_degraded(i, detections, restarts);
+                        }
+                    }
+                }
+            }
+
+            // 3. Channel coroutine: forward the output word to the monitor
+            // (this also forces the word within the coroutine's budget).
+            let c = match self.critical_call(
+                CHAN_COROUTINE,
+                chan_id,
+                &|hw| vec![hw.root(out_slot)],
+                &config,
+                i,
+                &mut detections,
+                &mut restarts,
+            ) {
+                Ok(v) => v,
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
+                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+            };
+            prev = self.hw.as_int(c).unwrap_or(prev);
+
+            // 4. Diagnostic coroutine: untrusted, so its faults never take
+            // the system down (except under fail-stop) — the watchdog
+            // restarts it from a zeroed accumulator, and benches it
+            // entirely once the restart budget is gone.
+            if diag_enabled {
+                let budget = self.fuel_budget(DIAG_COROUTINE, &config);
+                let r = self.hw.call_with_budget(
+                    diag_id,
+                    vec![HValue::Int(acc)],
+                    &mut self.hw_ports,
+                    budget,
+                );
+                match self.classify(&r) {
+                    None => {
+                        if let Ok(v) = r {
+                            acc = self.hw.as_int(v).unwrap_or(acc);
+                        }
+                    }
+                    Some(cause) => {
+                        self.detect(DIAG_COROUTINE, i, cause, &mut detections);
+                        if config.policy == RecoveryPolicy::Halt {
+                            self.recover_action(DIAG_COROUTINE, i, "halt");
+                            return self.halted(i, detections, restarts);
+                        }
+                        if restarts < config.max_restarts {
+                            restarts += 1;
+                            acc = 0;
+                            self.recover_action(DIAG_COROUTINE, i, "restart");
+                        } else {
+                            diag_enabled = false;
+                            self.recover_action(DIAG_COROUTINE, i, "skip");
+                        }
+                    }
+                }
+            }
+
+            // 5. The kernel's once-per-iteration collection. A memory
+            // fault here means the heap itself is corrupt — nothing to
+            // restart.
+            if self.hw.collect_garbage().is_err() {
+                self.detect(KERNEL_COROUTINE, i, FaultCause::Crashed, &mut detections);
+                match config.policy {
+                    RecoveryPolicy::Halt => {
+                        self.recover_action(KERNEL_COROUTINE, i, "halt");
+                        return self.halted(i, detections, restarts);
+                    }
+                    _ => {
+                        self.recover_action(KERNEL_COROUTINE, i, "degrade");
+                        return self.finish_degraded(i, detections, restarts);
+                    }
+                }
+            }
+        }
+
+        let final_word = prev;
+        self.pump_monitor();
+        SupervisedOutcome::Completed(Box::new(SupervisedReport {
+            system: SystemReport {
+                iterations: self.iterations,
+                pace_log: self.hw_ports.external.pace_log().to_vec(),
+                lambda_stats: self.hw.stats().clone(),
+                cpu_cycles: self.cpu.cycles(),
+                final_word,
+                metrics: self.metrics.as_ref().map(|m| m.with(|s| s.clone())),
+            },
+            detections,
+            restarts,
+        }))
+    }
+
+    /// One supervised coroutine call with at most one restart. `Err` is an
+    /// escalation the caller turns into a terminal outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn critical_call(
+        &mut self,
+        coroutine: u32,
+        id: u32,
+        make_args: &dyn Fn(&Hw) -> Vec<HValue>,
+        config: &WatchdogConfig,
+        iteration: u64,
+        detections: &mut Vec<Detection>,
+        restarts: &mut u32,
+    ) -> Result<HValue, Escalation> {
+        let mut retried = false;
+        loop {
+            let budget = self.fuel_budget(coroutine, config);
+            let args = make_args(&self.hw);
+            let result = self
+                .hw
+                .call_with_budget(id, args, &mut self.hw_ports, budget);
+            let cause = match self.classify(&result) {
+                None => match result {
+                    Ok(v) => return Ok(v),
+                    Err(_) => FaultCause::Crashed,
+                },
+                Some(cause) => cause,
+            };
+            self.detect(coroutine, iteration, cause, detections);
+            match config.policy {
+                RecoveryPolicy::Halt => {
+                    self.recover_action(coroutine, iteration, "halt");
+                    return Err(Escalation::Halt);
+                }
+                RecoveryPolicy::DegradeToMonitorOnly => {
+                    self.recover_action(coroutine, iteration, "degrade");
+                    return Err(Escalation::Degrade);
+                }
+                RecoveryPolicy::RestartCoroutine => {
+                    if !retried && *restarts < config.max_restarts {
+                        *restarts += 1;
+                        retried = true;
+                        self.recover_action(coroutine, iteration, "restart");
+                        continue;
+                    }
+                    self.recover_action(coroutine, iteration, "degrade");
+                    return Err(Escalation::Degrade);
+                }
+            }
+        }
+    }
+
+    /// The fuel budget for one coroutine call, after any planned
+    /// [`FaultKind::FuelCut`] for this call slot.
+    fn fuel_budget(&mut self, coroutine: u32, config: &WatchdogConfig) -> u64 {
+        let base = config.budgets[(coroutine - 1) as usize].max(1);
+        let Some(chaos) = &self.chaos else {
+            return base;
+        };
+        match chaos.next(FaultSite::Coroutine) {
+            Some(kind @ FaultKind::FuelCut { cycles }) => {
+                let op = chaos.ops(FaultSite::Coroutine) - 1;
+                self.wd_sink.emit(|| Event::FaultInjected {
+                    site: FaultSite::Coroutine.name(),
+                    kind: kind.name(),
+                    op,
+                    detail: kind.detail(),
+                });
+                base.min(cycles.max(1))
+            }
+            _ => base,
+        }
+    }
+
+    /// Classify a coroutine call result: `None` means healthy.
+    fn classify(&self, result: &Result<HValue, HwError>) -> Option<FaultCause> {
+        match result {
+            Ok(v) => self.hw.as_error(*v).map(|_| FaultCause::Crashed),
+            Err(HwError::CycleLimit(_)) => Some(FaultCause::Overrun),
+            Err(HwError::InfiniteLoop) => Some(FaultCause::Livelock),
+            Err(_) => Some(FaultCause::Crashed),
+        }
+    }
+
+    fn detect(
+        &mut self,
+        coroutine: u32,
+        iteration: u64,
+        cause: FaultCause,
+        detections: &mut Vec<Detection>,
+    ) {
+        detections.push(Detection {
+            coroutine,
+            iteration,
+            cause,
+        });
+        self.wd_sink.emit(|| Event::WatchdogDetect {
+            coroutine,
+            iteration,
+            cause: cause.name(),
+        });
+    }
+
+    fn recover_action(&mut self, coroutine: u32, iteration: u64, action: &'static str) {
+        self.wd_sink.emit(|| Event::WatchdogRecover {
+            coroutine,
+            iteration,
+            action,
+        });
+    }
+
+    /// Monitor-only fallback: the λ-layer is out of the loop, but the
+    /// 200 Hz schedule keeps running host-side — pace an inhibit word each
+    /// tick and forward the raw sample to the untrusted monitor.
+    fn finish_degraded(
+        &mut self,
+        iteration: u64,
+        detections: Vec<Detection>,
+        restarts: u32,
+    ) -> SupervisedOutcome {
+        let mut completed = iteration;
+        for _ in iteration..self.iterations as u64 {
+            let _ = self.hw_ports.getint(PORT_TIMER);
+            let _ = self.hw_ports.putint(PORT_PACE, 0);
+            if let Ok(x) = self.hw_ports.getint(PORT_ECG) {
+                let _ = self.hw_ports.putint(zarf_imperative::CHANNEL_PORT, x);
+            }
+            completed += 1;
+        }
+        self.pump_monitor();
+        SupervisedOutcome::Degraded(DegradationReport {
+            iteration,
+            completed_iterations: completed,
+            detections,
+            restarts,
+            pace_log: self.hw_ports.external.pace_log().to_vec(),
+        })
+    }
+
+    fn halted(
+        &mut self,
+        iteration: u64,
+        detections: Vec<Detection>,
+        restarts: u32,
+    ) -> SupervisedOutcome {
+        SupervisedOutcome::Halted(DegradationReport {
+            iteration,
+            completed_iterations: iteration,
+            detections,
+            restarts,
+            pace_log: self.hw_ports.external.pace_log().to_vec(),
+        })
+    }
+
     /// Step the monitor core until the channel is empty and it has gone
     /// quiescent (or it halts). The monitor is untrusted code; a runaway
     /// program is cut off by a step budget rather than trusted to yield.
+    /// Transient port failures (the channel is bounded, so a write can be
+    /// refused under backpressure) leave the pc unmoved and are retried
+    /// under their own budget instead of killing the monitor.
     fn pump_monitor(&mut self) {
         let budget = 64 * self.iterations as u64 + 10_000;
+        let mut io_retries = 0u32;
         for _ in 0..budget {
             if self.cpu.halted() {
                 return;
             }
-            if self.cpu.step(&mut self.cpu_ports).is_err() {
-                return;
+            match self.cpu.step(&mut self.cpu_ports) {
+                Ok(()) => io_retries = 0,
+                Err(CpuError::Io(IoError::PortFull(_) | IoError::PortEmpty(_))) => {
+                    io_retries += 1;
+                    if io_retries > 256 {
+                        return;
+                    }
+                }
+                Err(_) => return,
             }
             // Quiesce: nothing waiting, no commands pending.
             if self.cpu_ports.pending() == 0
@@ -225,10 +786,11 @@ impl System {
     /// Inject a word into the imperative→λ channel direction, as if the
     /// monitoring software had sent it. This is untrusted input: the
     /// non-interference experiments perturb it and require the trusted
-    /// outputs to be unaffected.
-    pub fn inject_to_lambda(&mut self, word: Int) {
-        use zarf_core::io::IoPorts;
-        let _ = self.cpu_ports.putint(zarf_imperative::CHANNEL_PORT, word);
+    /// outputs to be unaffected. The channel is bounded, so the outcome
+    /// reports whether the word was queued, displaced an older word, or
+    /// was refused at capacity.
+    pub fn inject_to_lambda(&mut self, word: Int) -> zarf_imperative::PushOutcome {
+        self.hw_ports.inject(word)
     }
 
     /// What the untrusted diagnostic coroutine wrote to the debug port.
@@ -386,6 +948,112 @@ mod tests {
         assert_eq!(nulled.pace_log, base.pace_log);
         assert_eq!(nulled.cpu_cycles, base.cpu_cycles);
         assert_eq!(nulled.final_word, base.final_word);
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_plain_run() {
+        let samples = fast_rhythm_samples(4.0);
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sup = System::new(samples).unwrap();
+        let outcome = sup.run_supervised(WatchdogConfig::default());
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!("clean supervised run must complete, got {}", outcome.name());
+        };
+        assert!(report.detections.is_empty());
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.system.pace_log, base.pace_log);
+        assert_eq!(report.system.final_word, base.final_word);
+        assert_eq!(sup.treat_count(), plain.treat_count());
+    }
+
+    #[test]
+    fn fuel_cut_is_detected_and_recovered_by_restart() {
+        let samples = fast_rhythm_samples(2.0);
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sys = System::new(samples).unwrap();
+        // Starve the ICD coroutine's 6th call slot (iteration 1, slot
+        // layout: init, then 4 per iteration); restart re-runs it with a
+        // full budget.
+        let chaos = sys.enable_chaos(FaultPlan::new().fuel_cut_at(6, 1));
+        let outcome = sys.run_supervised(WatchdogConfig::default());
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!(
+                "restart must recover a single fuel cut, got {}",
+                outcome.name()
+            );
+        };
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].cause, FaultCause::Overrun);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(chaos.injected_count(), 1);
+        // Recovery is exact: the pacing stream is unchanged.
+        assert_eq!(report.system.pace_log, base.pace_log);
+    }
+
+    #[test]
+    fn halt_policy_fail_stops_on_first_detection() {
+        let samples = fast_rhythm_samples(2.0);
+        let mut sys = System::new(samples).unwrap();
+        sys.enable_chaos(FaultPlan::new().fuel_cut_at(6, 1));
+        let outcome = sys.run_supervised(WatchdogConfig {
+            policy: RecoveryPolicy::Halt,
+            ..WatchdogConfig::default()
+        });
+        let SupervisedOutcome::Halted(report) = outcome else {
+            panic!("halt policy must fail-stop, got {}", outcome.name());
+        };
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.iteration, 1);
+    }
+
+    #[test]
+    fn degrade_policy_keeps_pacing_at_200hz() {
+        let samples = fast_rhythm_samples(2.0);
+        let n = samples.len();
+        let mut sys = System::new(samples).unwrap();
+        sys.enable_chaos(FaultPlan::new().fuel_cut_at(6, 1));
+        let outcome = sys.run_supervised(WatchdogConfig {
+            policy: RecoveryPolicy::DegradeToMonitorOnly,
+            ..WatchdogConfig::default()
+        });
+        let SupervisedOutcome::Degraded(report) = outcome else {
+            panic!("degrade policy must fall back, got {}", outcome.name());
+        };
+        assert_eq!(report.completed_iterations, n as u64);
+        // Every tick paced something: normal words before the fault,
+        // inhibit words (0) after.
+        assert!(report.pace_log.len() >= n - 1);
+        assert!(report.pace_log[report.pace_log.len() - 1] == 0);
+    }
+
+    #[test]
+    fn alloc_failure_lands_in_typed_outcome() {
+        let samples = fast_rhythm_samples(1.0);
+        let mut sys = System::new(samples).unwrap();
+        sys.enable_chaos(FaultPlan::new().alloc_fail_at(500));
+        let outcome = sys.run_supervised(WatchdogConfig::default());
+        // Whatever the terminal state, it is typed and carries the
+        // detection trail.
+        assert!(
+            !outcome.detections().is_empty(),
+            "an allocation failure mid-run must be detected ({})",
+            outcome.name()
+        );
+    }
+
+    #[test]
+    fn ecg_faults_flow_through_served_log() {
+        let samples = fast_rhythm_samples(1.0);
+        let mut sys = System::new(samples).unwrap();
+        sys.enable_chaos(FaultPlan::new().ecg_saturate_at(3));
+        let outcome = sys.run_supervised(WatchdogConfig::default());
+        assert_eq!(outcome.name(), "completed");
+        let served = sys.hw_ports.external.served_log();
+        assert_eq!(served[3].abs(), crate::devices::ECG_SATURATION_RAIL);
     }
 
     #[test]

@@ -221,6 +221,44 @@ pub enum Event {
         /// Rendered result value.
         value: String,
     },
+    /// A planned fault fired (`zarf-chaos`).
+    FaultInjected {
+        /// Fault site short name (`alloc`, `chan_push`, `ecg`, `coroutine`).
+        site: &'static str,
+        /// Fault kind short name (`bit_flip`, `chan_drop`, …).
+        kind: &'static str,
+        /// Zero-based index of the faulted operation at its site.
+        op: u64,
+        /// Kind-specific parameter (bit index, XOR mask, delta, cycles).
+        detail: i64,
+    },
+    /// The kernel watchdog detected a misbehaving coroutine.
+    WatchdogDetect {
+        /// Scheduler id of the coroutine.
+        coroutine: u32,
+        /// Scheduler iteration (200 Hz tick) of the detection.
+        iteration: u64,
+        /// Failure class: `crashed`, `overrun`, or `livelock`.
+        cause: &'static str,
+    },
+    /// The kernel watchdog applied a recovery action.
+    WatchdogRecover {
+        /// Scheduler id of the coroutine.
+        coroutine: u32,
+        /// Scheduler iteration (200 Hz tick) of the recovery.
+        iteration: u64,
+        /// Action taken: `restart`, `degrade`, or `halt`.
+        action: &'static str,
+    },
+    /// A bounded channel queue hit capacity.
+    ChannelOverflow {
+        /// Port the pushing side used.
+        port: i64,
+        /// Word that was evicted (`DropOldest`) or refused (`Block`/`Error`).
+        dropped: i64,
+        /// Queue depth when the overflow occurred.
+        depth: usize,
+    },
 }
 
 /// Consumer of trace events.

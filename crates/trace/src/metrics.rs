@@ -163,6 +163,14 @@ pub struct MetricsSink {
     pub io_reads: u64,
     /// External device writes.
     pub io_writes: u64,
+    /// Planned faults that fired (`FaultInjected` events).
+    pub faults_injected: u64,
+    /// Watchdog detections of misbehaving coroutines.
+    pub watchdog_detections: u64,
+    /// Watchdog recovery actions applied.
+    pub watchdog_recoveries: u64,
+    /// Bounded-channel overflow incidents.
+    pub channel_overflows: u64,
     /// Currently active registered coroutines (innermost last).
     stack: Vec<u32>,
 }
@@ -248,6 +256,10 @@ impl TraceSink for MetricsSink {
                     self.stack.pop();
                 }
             }
+            Event::FaultInjected { .. } => self.faults_injected += 1,
+            Event::WatchdogDetect { .. } => self.watchdog_detections += 1,
+            Event::WatchdogRecover { .. } => self.watchdog_recoveries += 1,
+            Event::ChannelOverflow { .. } => self.channel_overflows += 1,
             Event::Bind { .. } | Event::Dispatch { .. } | Event::Yield { .. } => {}
         }
     }

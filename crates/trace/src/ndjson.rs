@@ -119,6 +119,47 @@ pub fn to_json(e: &Event) -> String {
             push_json_str(&mut s, value);
             s.push('}');
         }
+        Event::FaultInjected {
+            site,
+            kind,
+            op,
+            detail,
+        } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"fault","site":"{site}","kind":"{kind}","op":{op},"detail":{detail}}}"#
+            );
+        }
+        Event::WatchdogDetect {
+            coroutine,
+            iteration,
+            cause,
+        } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"wd_detect","coroutine":{coroutine},"iteration":{iteration},"cause":"{cause}"}}"#
+            );
+        }
+        Event::WatchdogRecover {
+            coroutine,
+            iteration,
+            action,
+        } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"wd_recover","coroutine":{coroutine},"iteration":{iteration},"action":"{action}"}}"#
+            );
+        }
+        Event::ChannelOverflow {
+            port,
+            dropped,
+            depth,
+        } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"chan_overflow","port":{port},"dropped":{dropped},"depth":{depth}}}"#
+            );
+        }
     }
     s
 }
@@ -219,6 +260,39 @@ mod tests {
                 value: "C1(λ)\n".into()
             }),
             r#"{"ev":"bind","engine":"big-step","var":"v\"1\"","value":"C1(λ)\n"}"#
+        );
+        assert_eq!(
+            to_json(&Event::FaultInjected {
+                site: "alloc",
+                kind: "bit_flip",
+                op: 17,
+                detail: 5
+            }),
+            r#"{"ev":"fault","site":"alloc","kind":"bit_flip","op":17,"detail":5}"#
+        );
+        assert_eq!(
+            to_json(&Event::WatchdogDetect {
+                coroutine: 2,
+                iteration: 40,
+                cause: "overrun"
+            }),
+            r#"{"ev":"wd_detect","coroutine":2,"iteration":40,"cause":"overrun"}"#
+        );
+        assert_eq!(
+            to_json(&Event::WatchdogRecover {
+                coroutine: 4,
+                iteration: 40,
+                action: "restart"
+            }),
+            r#"{"ev":"wd_recover","coroutine":4,"iteration":40,"action":"restart"}"#
+        );
+        assert_eq!(
+            to_json(&Event::ChannelOverflow {
+                port: 100,
+                dropped: -7,
+                depth: 8
+            }),
+            r#"{"ev":"chan_overflow","port":100,"dropped":-7,"depth":8}"#
         );
     }
 

@@ -13,6 +13,11 @@
 //! zarf trace <file.zf|file.zbin> [--engine big|small|hw] [--out FILE]
 //!                                 run with an NDJSON event trace
 //! zarf profile <file.zf|file.zbin>  run on hardware, print metrics report
+//! zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N]
+//!            [--policy halt|restart|degrade]
+//!                                 seeded fault-injection soak of the full
+//!                                 ICD system (each seed runs twice and the
+//!                                 replays must agree exactly)
 //! ```
 //!
 //! Source files use the assembly syntax of `zarf_asm::parse`; binary files
@@ -33,13 +38,144 @@ use zarf::verify::wcet::{find_id, Wcet};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile> <file> [options]\n\
+         \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
          run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
          stats options: --profile (per-function cycle attribution)\n\
          trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
          profile options: --in PORT:v,v,…\n\
-         wcet options: --fn NAME  --exclude NAME"
+         wcet options: --fn NAME  --exclude NAME\n\
+         chaos options: --policy halt|restart|degrade (default restart)"
     );
     ExitCode::from(2)
+}
+
+/// Seeded fault-injection soak over the full two-layer ICD system. Every
+/// seed is run twice; the replay must reproduce the same outcome, the same
+/// injected-fault log, and the same pacing stream, or the soak fails.
+fn run_chaos(rest: &[String]) -> ExitCode {
+    use zarf::chaos::{FaultPlan, InjectedFault, PlanShape};
+    use zarf::core::Int;
+    use zarf::icd::consts::SAMPLE_HZ;
+    use zarf::icd::signal::{EcgConfig, EcgGen, Rhythm};
+    use zarf::kernel::{RecoveryPolicy, SupervisedOutcome, System, WatchdogConfig};
+
+    let parsed = (|| -> Result<(u32, u64, f64, usize, RecoveryPolicy), String> {
+        let seeds: u32 = match flag_value(rest, "--seeds") {
+            Some(v) => v.parse().map_err(|_| format!("bad --seeds `{v}`"))?,
+            None => 25,
+        };
+        let base_seed: u64 = match flag_value(rest, "--base-seed") {
+            Some(v) => v.parse().map_err(|_| format!("bad --base-seed `{v}`"))?,
+            None => 1,
+        };
+        let seconds: f64 = match flag_value(rest, "--seconds") {
+            Some(v) => v.parse().map_err(|_| format!("bad --seconds `{v}`"))?,
+            None => 2.0,
+        };
+        let faults: usize = match flag_value(rest, "--faults") {
+            Some(v) => v.parse().map_err(|_| format!("bad --faults `{v}`"))?,
+            None => 8,
+        };
+        let policy = match flag_value(rest, "--policy").as_deref() {
+            None | Some("restart") => RecoveryPolicy::RestartCoroutine,
+            Some("halt") => RecoveryPolicy::Halt,
+            Some("degrade") => RecoveryPolicy::DegradeToMonitorOnly,
+            Some(other) => return Err(format!("unknown policy `{other}`")),
+        };
+        Ok((seeds, base_seed, seconds, faults, policy))
+    })();
+    let (seeds, base_seed, seconds, faults, policy) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let samples = {
+        let cfg = EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        };
+        let mut g = EcgGen::new(
+            cfg,
+            vec![Rhythm::Steady {
+                bpm: 190.0,
+                seconds,
+            }],
+        );
+        g.take((seconds * SAMPLE_HZ as f64) as usize)
+    };
+
+    // (outcome name, injected faults, pace stream, detections, restarts)
+    type ChaosRun = (String, Vec<InjectedFault>, Vec<Int>, usize, u32);
+    let one_run = |seed: u64| -> Result<ChaosRun, String> {
+        let mut sys = System::new(samples.clone()).map_err(|e| e.to_string())?;
+        let shape = PlanShape::for_iterations(samples.len() as u64);
+        let chaos = sys.enable_chaos(FaultPlan::seeded(seed, &shape, faults));
+        let outcome = sys.run_supervised(WatchdogConfig {
+            policy,
+            ..WatchdogConfig::default()
+        });
+        let pace = match &outcome {
+            SupervisedOutcome::Completed(r) => r.system.pace_log.clone(),
+            SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => r.pace_log.clone(),
+        };
+        let (detections, restarts) = match &outcome {
+            SupervisedOutcome::Completed(r) => (r.detections.len(), r.restarts),
+            SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => {
+                (r.detections.len(), r.restarts)
+            }
+        };
+        Ok((
+            outcome.name().to_string(),
+            chaos.injected(),
+            pace,
+            detections,
+            restarts,
+        ))
+    };
+
+    let mut nondeterministic = 0u32;
+    let mut completed = 0u32;
+    for k in 0..seeds {
+        let seed = base_seed.wrapping_add(k as u64);
+        let (a, b) = match (one_run(seed), one_run(seed)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("zarf: seed {seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let deterministic = a == b;
+        if !deterministic {
+            nondeterministic += 1;
+        }
+        if a.0 == "completed" {
+            completed += 1;
+        }
+        println!(
+            "seed {seed:>6}: {:<9} {:>3} fault(s) injected, {:>3} detection(s), {:>2} restart(s){}",
+            a.0,
+            a.1.len(),
+            a.3,
+            a.4,
+            if deterministic {
+                ""
+            } else {
+                "  REPLAY MISMATCH"
+            }
+        );
+    }
+    println!(
+        "{seeds} seed(s): {completed} completed, {} degraded/halted, {nondeterministic} replay mismatch(es)",
+        seeds - completed
+    );
+    if nondeterministic > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Load a `.zf` source or `.zbin` binary into machine form.
@@ -91,6 +227,10 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `chaos` operates on the built-in ICD system, not on a program file.
+    if args.first().map(String::as_str) == Some("chaos") {
+        return run_chaos(&args[1..]);
+    }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => return usage(),

@@ -45,6 +45,7 @@
 //! every table and figure in the paper's evaluation.
 
 pub use zarf_asm as asm;
+pub use zarf_chaos as chaos;
 pub use zarf_core as core;
 pub use zarf_hw as hw;
 pub use zarf_icd as icd;

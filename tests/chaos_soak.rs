@@ -1,0 +1,172 @@
+//! Chaos soak: seeded fault plans against the full two-layer system.
+//!
+//! Every seed must land in a *typed* terminal state — a completed report
+//! with its treatment decisions, or a clean degradation/halt report —
+//! never a panic. And every seed must replay exactly: the same seed
+//! yields the same outcome, the same injected-fault log, the same pacing
+//! stream, and (spot-checked) a byte-identical NDJSON trace.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use zarf::chaos::{FaultPlan, InjectedFault, PlanShape};
+use zarf::core::Int;
+use zarf::icd::consts::SAMPLE_HZ;
+use zarf::icd::signal::{EcgConfig, EcgGen, Rhythm};
+use zarf::kernel::{Detection, RecoveryPolicy, SupervisedOutcome, System, WatchdogConfig};
+use zarf::trace::{NdjsonSink, SharedSink};
+
+const SOAK_SEEDS: u64 = 25;
+const FAULTS_PER_SEED: usize = 8;
+
+fn steady_samples(seconds: f64) -> Vec<i32> {
+    let mut g = EcgGen::new(
+        EcgConfig {
+            noise: 0,
+            ..EcgConfig::default()
+        },
+        vec![Rhythm::Steady {
+            bpm: 190.0,
+            seconds,
+        }],
+    );
+    g.take((seconds * SAMPLE_HZ as f64) as usize)
+}
+
+/// Everything observable about one supervised chaos run.
+#[derive(Debug, Clone, PartialEq)]
+struct RunFingerprint {
+    outcome: &'static str,
+    injected: Vec<InjectedFault>,
+    pace_log: Vec<Int>,
+    detections: Vec<Detection>,
+    restarts: u32,
+}
+
+fn run_seed(samples: &[i32], seed: u64, policy: RecoveryPolicy) -> RunFingerprint {
+    let mut sys = System::new(samples.to_vec()).expect("system construction");
+    let shape = PlanShape::for_iterations(samples.len() as u64);
+    let chaos = sys.enable_chaos(FaultPlan::seeded(seed, &shape, FAULTS_PER_SEED));
+    let outcome = sys.run_supervised(WatchdogConfig {
+        policy,
+        ..WatchdogConfig::default()
+    });
+    let (pace_log, restarts) = match &outcome {
+        SupervisedOutcome::Completed(r) => (r.system.pace_log.clone(), r.restarts),
+        SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => {
+            (r.pace_log.clone(), r.restarts)
+        }
+    };
+    RunFingerprint {
+        outcome: outcome.name(),
+        injected: chaos.injected(),
+        pace_log,
+        detections: outcome.detections().to_vec(),
+        restarts,
+    }
+}
+
+#[test]
+fn soak_every_seed_lands_in_a_typed_state_and_replays_exactly() {
+    let samples = steady_samples(1.0);
+    let mut completed = 0u32;
+    for seed in 1..=SOAK_SEEDS {
+        let first = run_seed(&samples, seed, RecoveryPolicy::RestartCoroutine);
+        let replay = run_seed(&samples, seed, RecoveryPolicy::RestartCoroutine);
+        assert_eq!(
+            first, replay,
+            "seed {seed} did not replay deterministically"
+        );
+        match first.outcome {
+            "completed" => {
+                completed += 1;
+                // A completed run paces: one word per iteration it ran.
+                assert!(!first.pace_log.is_empty(), "seed {seed}: empty pace log");
+            }
+            "degraded" | "halted" => {
+                // A clean degradation must explain itself.
+                assert!(
+                    !first.detections.is_empty(),
+                    "seed {seed}: degraded without a detection record"
+                );
+            }
+            other => panic!("seed {seed}: unknown outcome {other}"),
+        }
+    }
+    // The plans are adversarial but the watchdog should save most runs.
+    assert!(
+        completed >= SOAK_SEEDS as u32 / 4,
+        "only {completed}/{SOAK_SEEDS} runs completed — recovery is not working"
+    );
+}
+
+#[test]
+fn soak_halt_policy_still_terminates_in_typed_states() {
+    let samples = steady_samples(0.5);
+    for seed in 100..110 {
+        let fp = run_seed(&samples, seed, RecoveryPolicy::Halt);
+        assert!(
+            matches!(fp.outcome, "completed" | "halted"),
+            "seed {seed}: halt policy produced {}",
+            fp.outcome
+        );
+        // Halt never restarts anything.
+        assert_eq!(fp.restarts, 0, "seed {seed}: halt policy restarted");
+    }
+}
+
+#[test]
+fn soak_degrade_policy_never_restarts_critical_coroutines() {
+    let samples = steady_samples(0.5);
+    for seed in 200..210 {
+        let fp = run_seed(&samples, seed, RecoveryPolicy::DegradeToMonitorOnly);
+        assert!(
+            matches!(fp.outcome, "completed" | "degraded"),
+            "seed {seed}: degrade policy produced {}",
+            fp.outcome
+        );
+    }
+}
+
+/// A clonable in-memory writer so the NDJSON bytes survive the sink.
+#[derive(Clone, Default)]
+struct Buf(Rc<RefCell<Vec<u8>>>);
+
+impl std::io::Write for Buf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn traced_run(samples: &[i32], seed: u64) -> Vec<u8> {
+    let buf = Buf::default();
+    let shared = SharedSink::new(NdjsonSink::new(buf.clone()));
+    let mut sys = System::new(samples.to_vec()).expect("system construction");
+    sys.set_shared_sink(&shared);
+    let shape = PlanShape::for_iterations(samples.len() as u64);
+    let _chaos = sys.enable_chaos(FaultPlan::seeded(seed, &shape, FAULTS_PER_SEED));
+    let _ = sys.run_supervised(WatchdogConfig::default());
+    let bytes = buf.0.borrow().clone();
+    bytes
+}
+
+#[test]
+fn replayed_seeds_emit_byte_identical_ndjson_traces() {
+    let samples = steady_samples(0.5);
+    for seed in [3u64, 7, 11] {
+        let a = traced_run(&samples, seed);
+        let b = traced_run(&samples, seed);
+        assert!(!a.is_empty(), "seed {seed}: empty trace");
+        assert_eq!(a, b, "seed {seed}: NDJSON replay differs");
+        // The trace must actually record injections for these plans.
+        let text = String::from_utf8(a).expect("NDJSON is UTF-8");
+        assert!(
+            text.lines().any(|l| l.contains(r#""ev":"fault""#)),
+            "seed {seed}: no fault events in trace"
+        );
+    }
+}

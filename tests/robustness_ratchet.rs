@@ -1,0 +1,52 @@
+//! Panic-site ratchet for the hot paths.
+//!
+//! PR 2 swept the λ-machine hot loop, the heap, the kernel supervisor,
+//! and the channel free of `panic!` / `.unwrap()` / `.expect()` /
+//! `unreachable!` outside `#[cfg(test)]`. This test counts the remaining
+//! sites so a regression fails loudly instead of reintroducing silent
+//! abort paths into flight-critical code. Lower the ceilings if you
+//! remove more; never raise them.
+
+use std::path::Path;
+
+/// (file, allowed panic sites in non-test code)
+const RATCHET: &[(&str, usize)] = &[
+    ("crates/hw/src/heap.rs", 0),
+    ("crates/hw/src/machine.rs", 0),
+    ("crates/kernel/src/system.rs", 0),
+    ("crates/imperative/src/channel.rs", 0),
+];
+
+const PATTERNS: &[&str] = &["panic!", ".unwrap()", ".expect(", "unreachable!"];
+
+fn count_sites(source: &str) -> usize {
+    // Only the non-test portion counts; the unit-test module at the
+    // bottom of each file is free to unwrap.
+    let non_test = source.split("#[cfg(test)]").next().unwrap_or("");
+    PATTERNS.iter().map(|p| non_test.matches(p).count()).sum()
+}
+
+#[test]
+fn hot_path_panic_sites_never_regress() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for &(rel, ceiling) in RATCHET {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let found = count_sites(&source);
+        assert!(
+            found <= ceiling,
+            "{rel}: {found} panic site(s) in non-test code (ratchet allows {ceiling}); \
+             convert them to typed errors instead"
+        );
+    }
+}
+
+#[test]
+fn ratchet_counter_actually_counts() {
+    // Guard the guard: the counter must see through each pattern and
+    // must ignore the test module.
+    let sample =
+        "fn f() { x.unwrap(); panic!(); }\n#[cfg(test)]\nmod t { fn g() { y.expect(\"\"); } }";
+    assert_eq!(count_sites(sample), 2);
+}
