@@ -43,6 +43,9 @@ pub enum FaultSite {
     Ecg,
     /// A coroutine invocation under the kernel watchdog (fuel budgets).
     Coroutine,
+    /// A checkpoint captured by the kernel's rollback recovery — the
+    /// serialized snapshot bytes, before they are verified and accepted.
+    Snapshot,
 }
 
 impl FaultSite {
@@ -53,6 +56,7 @@ impl FaultSite {
             FaultSite::ChannelPush => "chan_push",
             FaultSite::Ecg => "ecg",
             FaultSite::Coroutine => "coroutine",
+            FaultSite::Snapshot => "snapshot",
         }
     }
 
@@ -62,9 +66,13 @@ impl FaultSite {
             FaultSite::ChannelPush => 1,
             FaultSite::Ecg => 2,
             FaultSite::Coroutine => 3,
+            FaultSite::Snapshot => 4,
         }
     }
 }
+
+/// Number of distinct [`FaultSite`]s (sizes the per-site counters).
+const SITE_COUNT: usize = 5;
 
 /// The fault to inject when an operation's coordinate matches the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +111,15 @@ pub enum FaultKind {
         /// Replacement cycle budget (typically far below the WCET bound).
         cycles: u64,
     },
+    /// One bit of a captured checkpoint's serialized bytes is flipped
+    /// before verification — storage rot landing inside the checkpoint
+    /// window. The CRC/audit pipeline must reject the snapshot.
+    SnapshotCorrupt {
+        /// Byte offset to damage (interpreted modulo the snapshot length).
+        byte: u64,
+        /// Which bit of that byte to flip (interpreted modulo 8).
+        bit: u8,
+    },
 }
 
 impl FaultKind {
@@ -119,6 +136,7 @@ impl FaultKind {
                 FaultSite::Ecg
             }
             FaultKind::FuelCut { .. } => FaultSite::Coroutine,
+            FaultKind::SnapshotCorrupt { .. } => FaultSite::Snapshot,
         }
     }
 
@@ -135,6 +153,7 @@ impl FaultKind {
             FaultKind::EcgSaturate => "ecg_saturate",
             FaultKind::EcgNoise { .. } => "ecg_noise",
             FaultKind::FuelCut { .. } => "fuel_cut",
+            FaultKind::SnapshotCorrupt { .. } => "snapshot_corrupt",
         }
     }
 
@@ -146,6 +165,8 @@ impl FaultKind {
             FaultKind::ChanCorrupt { xor } => xor as i64,
             FaultKind::EcgNoise { delta } => delta as i64,
             FaultKind::FuelCut { cycles } => cycles as i64,
+            // Bit-within-byte coordinate, packed so one scalar round-trips.
+            FaultKind::SnapshotCorrupt { byte, bit } => (byte as i64) * 8 + bit as i64,
             _ => 0,
         }
     }
@@ -158,6 +179,9 @@ impl fmt::Display for FaultKind {
             FaultKind::ChanCorrupt { xor } => write!(f, "chan_corrupt(xor={xor:#x})"),
             FaultKind::EcgNoise { delta } => write!(f, "ecg_noise(delta={delta})"),
             FaultKind::FuelCut { cycles } => write!(f, "fuel_cut(cycles={cycles})"),
+            FaultKind::SnapshotCorrupt { byte, bit } => {
+                write!(f, "snapshot_corrupt(byte={byte},bit={bit})")
+            }
             k => f.write_str(k.name()),
         }
     }
@@ -179,6 +203,9 @@ pub struct PlanShape {
     pub ecg_ops: u64,
     /// Expected coroutine invocations over the run.
     pub coroutine_ops: u64,
+    /// Expected checkpoint captures over the run (zero outside rollback
+    /// recovery; snapshot faults placed beyond the horizon never fire).
+    pub snapshot_ops: u64,
 }
 
 impl PlanShape {
@@ -191,6 +218,9 @@ impl PlanShape {
             channel_ops: iterations.max(1),
             ecg_ops: iterations.max(1),
             coroutine_ops: iterations.saturating_mul(4).max(4),
+            // Rollback recovery checkpoints every few iterations; one
+            // capture per eight iterations is the default cadence.
+            snapshot_ops: (iterations / 8).max(1),
         }
     }
 
@@ -200,6 +230,7 @@ impl PlanShape {
             FaultSite::ChannelPush => self.channel_ops,
             FaultSite::Ecg => self.ecg_ops,
             FaultSite::Coroutine => self.coroutine_ops,
+            FaultSite::Snapshot => self.snapshot_ops,
         }
     }
 }
@@ -295,6 +326,11 @@ impl FaultPlan {
         self.schedule(op, FaultKind::FuelCut { cycles })
     }
 
+    /// Flip `bit` of byte `byte` in the `op`-th captured checkpoint.
+    pub fn snapshot_corrupt_at(self, op: u64, byte: u64, bit: u8) -> Self {
+        self.schedule(op, FaultKind::SnapshotCorrupt { byte, bit })
+    }
+
     /// Derive a plan of (up to) `n` faults from `seed`, placed uniformly
     /// over the operation horizons in `shape`.
     ///
@@ -310,6 +346,7 @@ impl FaultPlan {
             FaultSite::ChannelPush,
             FaultSite::Ecg,
             FaultSite::Coroutine,
+            FaultSite::Snapshot,
         ];
         let mut plan = FaultPlan::new();
         for _ in 0..n {
@@ -341,6 +378,12 @@ impl FaultPlan {
                 },
                 FaultSite::Coroutine => FaultKind::FuelCut {
                     cycles: 16 + rng.below(240),
+                },
+                FaultSite::Snapshot => FaultKind::SnapshotCorrupt {
+                    // Checkpoints are a few KB; the byte offset is reduced
+                    // modulo the actual length when the fault fires.
+                    byte: rng.below(1 << 16),
+                    bit: rng.below(8) as u8,
                 },
             };
             plan = plan.schedule(op, kind);
@@ -392,7 +435,7 @@ impl fmt::Display for InjectedFault {
 #[derive(Debug, Default)]
 struct ChaosState {
     plan: FaultPlan,
-    counters: [u64; 4],
+    counters: [u64; SITE_COUNT],
     log: Vec<InjectedFault>,
 }
 
@@ -522,6 +565,7 @@ mod tests {
             channel_ops: 5,
             ecg_ops: 7,
             coroutine_ops: 12,
+            snapshot_ops: 3,
         };
         for seed in 0..50 {
             for (site, op, kind) in FaultPlan::seeded(seed, &shape, 16).iter() {
@@ -537,13 +581,16 @@ mod tests {
     #[test]
     fn seeded_plans_cover_every_site_across_seeds() {
         let shape = PlanShape::for_iterations(200);
-        let mut seen = [false; 4];
+        let mut seen = [false; SITE_COUNT];
         for seed in 0..40 {
             for (site, _, _) in FaultPlan::seeded(seed, &shape, 8).iter() {
                 seen[site.index()] = true;
             }
         }
-        assert_eq!(seen, [true; 4], "generator should reach all fault sites");
+        assert_eq!(
+            seen, [true; SITE_COUNT],
+            "generator should reach all fault sites"
+        );
     }
 
     #[test]
@@ -559,6 +606,7 @@ mod tests {
             FaultKind::EcgSaturate,
             FaultKind::EcgNoise { delta: -50 },
             FaultKind::FuelCut { cycles: 99 },
+            FaultKind::SnapshotCorrupt { byte: 12, bit: 5 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());
@@ -569,6 +617,9 @@ mod tests {
                 FaultKind::ChanCorrupt { xor } => assert_eq!(k.detail(), xor as i64),
                 FaultKind::EcgNoise { delta } => assert_eq!(k.detail(), delta as i64),
                 FaultKind::FuelCut { cycles } => assert_eq!(k.detail(), cycles as i64),
+                FaultKind::SnapshotCorrupt { byte, bit } => {
+                    assert_eq!(k.detail(), (byte * 8 + bit as u64) as i64)
+                }
                 _ => assert_eq!(k.detail(), 0),
             }
         }

@@ -78,6 +78,31 @@ impl Heap {
         self.objs.len()
     }
 
+    /// Every object in from-space, in allocation order. Snapshot capture
+    /// and the integrity auditor walk this directly instead of probing
+    /// references one at a time.
+    pub fn objects(&self) -> &[HeapObj] {
+        &self.objs
+    }
+
+    /// Rebuild a heap from a previously captured object vector (snapshot
+    /// restore). `words_used` is recomputed from the objects themselves,
+    /// so the invariant `words_used == Σ words()` holds by construction.
+    pub fn from_parts(capacity_words: usize, objs: Vec<HeapObj>) -> Self {
+        let words_used = objs.iter().map(|o| o.words()).sum();
+        Heap {
+            objs,
+            words_used,
+            capacity_words,
+        }
+    }
+
+    /// Decompose into `(capacity_words, objects)` — the inverse of
+    /// [`Heap::from_parts`].
+    pub fn into_parts(self) -> (usize, Vec<HeapObj>) {
+        (self.capacity_words, self.objs)
+    }
+
     /// Allocate an object, returning its reference, or `None` if the
     /// semispace cannot hold it (caller should collect and retry).
     pub fn alloc(&mut self, obj: HeapObj) -> Option<HeapRef> {

@@ -33,16 +33,22 @@
 //! assert!(hw.stats().mutator_cycles() > 0);
 //! ```
 
+pub mod audit;
 pub mod cost;
 pub mod heap;
 pub mod machine;
 pub mod obj;
 pub mod resources;
+pub mod snapshot;
 pub mod stats;
 
+pub use audit::{audit_heap, AuditError, AuditReport};
 pub use cost::CostModel;
 pub use heap::{GcReport, Heap};
 pub use machine::{Hw, HwConfig, HwError, DEFAULT_HEAP_WORDS};
 pub use obj::{AppTarget, HValue, HeapObj, HeapRef};
 pub use resources::LambdaLayerModel;
+pub use snapshot::{
+    crc32, read_sections, MachineSnapshot, SectionWriter, SnapshotError, FIRST_EMBEDDER_TAG,
+};
 pub use stats::{Class, ClassStats, Stats};

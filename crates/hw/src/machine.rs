@@ -377,6 +377,85 @@ impl Hw {
         rows
     }
 
+    /// The loaded binary image, exactly as validated by [`Hw::load_with`].
+    pub(crate) fn code_words(&self) -> &[Word] {
+        &self.code
+    }
+
+    /// Retained symbols as `(identifier, name)` pairs, identifier-sorted
+    /// so snapshot bytes are deterministic.
+    pub(crate) fn name_table(&self) -> Vec<(u32, String)> {
+        let mut rows: Vec<(u32, String)> =
+            self.names.iter().map(|(n, &id)| (id, n.clone())).collect();
+        rows.sort();
+        rows
+    }
+
+    /// True when no call is in flight: the frame and continuation stacks
+    /// are empty, so the machine state is exactly heap + roots + counters.
+    /// Snapshots are only defined at quiescent points.
+    pub fn is_quiescent(&self) -> bool {
+        self.frames.is_empty() && self.conts.is_empty()
+    }
+
+    /// The host root slots (snapshot capture walks these).
+    pub(crate) fn host_roots(&self) -> &[HValue] {
+        &self.roots
+    }
+
+    /// The instruction class cycles are currently attributed to. Part of
+    /// the trace-visible state: the first `charge` after restore must
+    /// coalesce under the same class as it would have uninterrupted.
+    pub(crate) fn accounting_class(&self) -> Class {
+        self.class
+    }
+
+    /// Swap in previously captured machine state: heap, host roots,
+    /// statistics, and attribution class. Frames and continuations are
+    /// cleared (snapshots are quiescent by construction) and the trace
+    /// cursor is reset — at a quiescent point it holds no pending cycles.
+    pub(crate) fn restore_parts(
+        &mut self,
+        heap: Heap,
+        roots: Vec<HValue>,
+        stats: Stats,
+        class: Class,
+    ) {
+        self.heap = heap;
+        self.roots = roots;
+        self.stats = stats;
+        self.class = class;
+        self.frames.clear();
+        self.conts.clear();
+        self.cursor = TraceCursor::default();
+    }
+
+    /// Re-associate a symbol with an item identifier (snapshot restore
+    /// rebuilds the name table this way).
+    pub(crate) fn install_name(&mut self, name: &str, id: u32) {
+        self.names.insert(name.to_string(), id);
+        if let Some(i) = id.checked_sub(FIRST_USER_INDEX) {
+            if let Some(meta) = self.items.get_mut(i as usize) {
+                meta.name = Some(name.to_string());
+            }
+        }
+    }
+
+    /// `(arity, is_constructor)` for a program item, `None` if the
+    /// identifier names no item. The auditor uses this to check
+    /// constructor saturation and application targets.
+    pub fn item_shape(&self, id: u32) -> Option<(usize, bool)> {
+        self.item(id).map(|m| (m.arity, m.is_con))
+    }
+
+    /// Structurally audit the live heap against the host roots: tags,
+    /// pointer bounds, constructor arity, word accounting. Garbage is
+    /// permitted (the live heap is audited non-strictly; compacted
+    /// snapshot heaps are audited strictly at capture and restore).
+    pub fn audit(&self) -> Result<crate::audit::AuditReport, crate::audit::AuditError> {
+        crate::audit::audit_heap(&self.heap, &self.roots, &|id| self.item_shape(id), false)
+    }
+
     /// The heap (for occupancy inspection).
     pub fn heap(&self) -> &Heap {
         &self.heap
@@ -556,6 +635,16 @@ impl Hw {
             }
             self.cursor.cycles += cycles;
         }
+    }
+
+    /// Emit any coalesced-but-unflushed cycle charges to the trace sink.
+    ///
+    /// Checkpoint capture flushes first so the event stream is cut at a
+    /// deterministic point: a machine restored from the snapshot starts
+    /// with an empty cycle cursor, and so must the uninterrupted run at
+    /// the same boundary, or the two streams would coalesce differently.
+    pub fn flush_trace(&mut self) {
+        self.flush_cycles();
     }
 
     /// Emit the pending cycle run, if any.

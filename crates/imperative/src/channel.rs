@@ -202,6 +202,29 @@ impl<E> Endpoint<E> {
         self.fifos.borrow().overflows
     }
 
+    /// Capture both FIFO directions and the overflow counter for a
+    /// checkpoint: `(a_to_b, b_to_a, overflows)`, front of queue first.
+    /// Configuration, chaos, and sinks are not state — they survive a
+    /// rollback unchanged.
+    pub fn fifo_state(&self) -> (Vec<Int>, Vec<Int>, u64) {
+        let f = self.fifos.borrow();
+        (
+            f.a_to_b.iter().copied().collect(),
+            f.b_to_a.iter().copied().collect(),
+            f.overflows,
+        )
+    }
+
+    /// Rewind both FIFO directions and the overflow counter to a
+    /// previously captured state (affects both endpoints — the FIFOs are
+    /// one piece of hardware).
+    pub fn restore_fifo_state(&self, a_to_b: &[Int], b_to_a: &[Int], overflows: u64) {
+        let mut f = self.fifos.borrow_mut();
+        f.a_to_b = a_to_b.iter().copied().collect();
+        f.b_to_a = b_to_a.iter().copied().collect();
+        f.overflows = overflows;
+    }
+
     /// Words waiting to be read at this endpoint.
     pub fn pending(&self) -> usize {
         let f = self.fifos.borrow();

@@ -97,6 +97,35 @@ impl HeartPorts {
         self.ecg.len()
     }
 
+    /// Capture the device's restorable state for a checkpoint: the
+    /// unconsumed samples, the timer/boot/front-end registers, and the
+    /// current lengths of the output logs (restore truncates back to
+    /// them). The chaos handle and trace sink are *not* part of the
+    /// state — faults are external-world events and must not re-fire
+    /// after a rollback.
+    pub fn checkpoint_state(&self) -> HeartState {
+        HeartState {
+            ecg: self.ecg.iter().copied().collect(),
+            tick: self.tick,
+            boot: self.boot,
+            last_served: self.last_served,
+            pace_len: self.pace.len(),
+            debug_len: self.debug.len(),
+            served_len: self.served.len(),
+        }
+    }
+
+    /// Rewind the device to a previously captured state.
+    pub fn restore_state(&mut self, st: &HeartState) {
+        self.ecg = st.ecg.iter().copied().collect();
+        self.tick = st.tick;
+        self.boot = st.boot;
+        self.last_served = st.last_served;
+        self.pace.truncate(st.pace_len);
+        self.debug.truncate(st.debug_len);
+        self.served.truncate(st.served_len);
+    }
+
     /// Consult the fault plan for one ECG read, emitting the trace event
     /// when a fault fires.
     fn consult_chaos(&mut self) -> Option<FaultKind> {
@@ -110,6 +139,25 @@ impl HeartPorts {
         });
         Some(kind)
     }
+}
+
+/// Restorable [`HeartPorts`] state, captured at a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartState {
+    /// Samples not yet consumed, in serving order.
+    pub ecg: Vec<Int>,
+    /// Timer ticks consumed.
+    pub tick: Int,
+    /// Unread boot word, if any.
+    pub boot: Option<Int>,
+    /// Last value the ECG front-end produced (dropout holds this).
+    pub last_served: Int,
+    /// Length of the pacing log at capture time.
+    pub pace_len: usize,
+    /// Length of the debug log at capture time.
+    pub debug_len: usize,
+    /// Length of the served-samples log at capture time.
+    pub served_len: usize,
 }
 
 impl IoPorts for HeartPorts {

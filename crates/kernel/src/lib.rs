@@ -21,9 +21,12 @@ pub mod baseline;
 pub mod devices;
 pub mod monitor;
 pub mod program;
+pub mod snapshot;
 pub mod system;
 
+pub use devices::HeartState;
 pub use program::{kernel_machine, kernel_program, kernel_source};
+pub use snapshot::SystemCheckpoint;
 pub use system::{
     Detection, FaultCause, RecoveryPolicy, SupervisedOutcome, SupervisedReport, System,
     SystemReport, WatchdogConfig, WCET_ITERATION_CYCLES,

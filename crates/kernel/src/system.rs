@@ -19,13 +19,15 @@ use zarf_chaos::{ChaosHandle, FaultKind, FaultPlan, FaultSite};
 use zarf_core::error::IoError;
 use zarf_core::io::IoPorts;
 use zarf_core::Int;
-use zarf_hw::{HValue, Hw, HwConfig, HwError, Stats};
+use zarf_hw::{HValue, Hw, HwConfig, HwError, MachineSnapshot, SnapshotError, Stats};
+use zarf_imperative::CHANNEL_PORT;
 use zarf_imperative::{channel_with, ChannelConfig, Cpu, CpuError, Endpoint, OverflowPolicy};
 use zarf_trace::{Event, Histogram, MetricsSink, SharedSink, SinkHandle, TraceSink};
 
 use crate::devices::{HeartPorts, MonitorPorts, CMD_REPORT};
 use crate::monitor::monitor_cpu;
 use crate::program::{kernel_machine, PORT_ECG, PORT_PACE, PORT_TIMER};
+use crate::snapshot::SystemCheckpoint;
 
 /// The paper's Table 4 worst-case execution time for one full kernel
 /// iteration (all four coroutines + collection), in λ-layer cycles. The
@@ -62,6 +64,9 @@ pub const KERNEL_COROUTINE: u32 = 0;
 enum Escalation {
     Halt,
     Degrade,
+    /// Roll the whole system back to the last good checkpoint; carries
+    /// the fault classification for the rollback trace event.
+    Rollback(FaultCause),
 }
 
 /// Human-readable name for a registered coroutine id. `None` is mutator
@@ -136,6 +141,17 @@ pub enum RecoveryPolicy {
     /// alive host-side, inhibit therapy, and forward raw samples to the
     /// untrusted monitor.
     DegradeToMonitorOnly,
+    /// Capture an audited whole-system checkpoint every `interval`
+    /// iterations and, on detection, roll the machine, the heart device,
+    /// and the channel back to the last good one and re-run from there.
+    /// After `max_rollbacks` rollbacks the watchdog escalates to a
+    /// coroutine restart, and past the restart budget to monitor-only.
+    RollbackToCheckpoint {
+        /// Iterations between checkpoints (clamped to at least 1).
+        interval: u64,
+        /// Rollbacks allowed before escalating.
+        max_rollbacks: u32,
+    },
 }
 
 impl RecoveryPolicy {
@@ -145,6 +161,7 @@ impl RecoveryPolicy {
             RecoveryPolicy::Halt => "halt",
             RecoveryPolicy::RestartCoroutine => "restart",
             RecoveryPolicy::DegradeToMonitorOnly => "degrade",
+            RecoveryPolicy::RollbackToCheckpoint { .. } => "rollback",
         }
     }
 }
@@ -225,6 +242,8 @@ pub struct DegradationReport {
     pub detections: Vec<Detection>,
     /// Coroutine restarts performed before leaving normal operation.
     pub restarts: u32,
+    /// Checkpoint rollbacks performed before leaving normal operation.
+    pub rollbacks: u32,
     /// Everything written to the pacing port (degraded ticks pace 0).
     pub pace_log: Vec<Int>,
 }
@@ -238,6 +257,8 @@ pub struct SupervisedReport {
     pub detections: Vec<Detection>,
     /// Coroutine restarts performed.
     pub restarts: u32,
+    /// Checkpoint rollbacks performed.
+    pub rollbacks: u32,
 }
 
 /// Outcome of [`System::run_supervised`]: every fault either recovers or
@@ -401,7 +422,20 @@ impl System {
         });
         let mut detections: Vec<Detection> = Vec::new();
         let mut restarts: u32 = 0;
+        let mut rollbacks: u32 = 0;
         let mut diag_enabled = true;
+        let rollback_cfg = match config.policy {
+            RecoveryPolicy::RollbackToCheckpoint {
+                interval,
+                max_rollbacks,
+            } => Some((interval.max(1), max_rollbacks)),
+            _ => None,
+        };
+        let mut checkpoint: Option<SystemCheckpoint> = None;
+        // A rollback resumes *at* a checkpoint boundary with the machine
+        // already in post-capture state; re-capturing there would emit
+        // events the uninterrupted run does not have.
+        let mut skip_capture = false;
 
         let ids: Vec<Option<u32>> = [
             "io_step",
@@ -417,7 +451,7 @@ impl System {
             (ids[0], ids[1], ids[2], ids[3], ids[4])
         else {
             // A kernel image without the step functions cannot be paced.
-            return self.halted(0, detections, restarts);
+            return self.halted(0, detections, restarts, rollbacks);
         };
 
         // Initial ICD state (the `init_state` CAF), supervised like the
@@ -430,17 +464,62 @@ impl System {
             0,
             &mut detections,
             &mut restarts,
+            false,
         ) {
             Ok(v) => v,
-            Err(Escalation::Halt) => return self.halted(0, detections, restarts),
-            Err(Escalation::Degrade) => return self.finish_degraded(0, detections, restarts),
+            Err(Escalation::Halt) => return self.halted(0, detections, restarts, rollbacks),
+            Err(Escalation::Degrade | Escalation::Rollback(_)) => {
+                return self.finish_degraded(0, detections, restarts, rollbacks)
+            }
         };
         let st_slot = self.hw.push_root(st0);
         let out_slot = self.hw.push_root(HValue::Int(0));
         let mut prev: Int = 0;
         let mut acc: Int = 0;
 
-        for i in 0..self.iterations as u64 {
+        let total = self.iterations as u64;
+        let mut i: u64 = 0;
+        while i < total {
+            // 0. Checkpoint boundary: collect first (so the captured
+            // compacted heap is also the *live* layout and a restore is
+            // trace-equivalent), flush the cycle cursor, then capture,
+            // corrupt (chaos), verify, and either keep or reject.
+            if let Some((interval, _)) = rollback_cfg {
+                if i.is_multiple_of(interval) {
+                    if skip_capture {
+                        skip_capture = false;
+                    } else {
+                        if self.hw.collect_garbage().is_err() {
+                            self.detect(KERNEL_COROUTINE, i, FaultCause::Crashed, &mut detections);
+                            self.recover_action(KERNEL_COROUTINE, i, "degrade");
+                            return self.finish_degraded(i, detections, restarts, rollbacks);
+                        }
+                        self.hw.flush_trace();
+                        match self.capture_checkpoint(i, prev, acc, diag_enabled) {
+                            Ok((ckpt, bytes)) => {
+                                self.wd_sink.emit(|| Event::CheckpointCapture {
+                                    iteration: i,
+                                    bytes: bytes as u64,
+                                });
+                                checkpoint = Some(ckpt);
+                            }
+                            Err(e) => {
+                                // Keep pacing on the previous good
+                                // checkpoint; storage rot must not stop
+                                // the loop.
+                                self.wd_sink.emit(|| Event::AuditFail {
+                                    iteration: i,
+                                    error: e.kind(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            let rollback_ok = match rollback_cfg {
+                Some((_, max_rollbacks)) => checkpoint.is_some() && rollbacks < max_rollbacks,
+                None => false,
+            };
             // 1. I/O coroutine: tick, pace the previous word, sample.
             let x_v = match self.critical_call(
                 IO_COROUTINE,
@@ -450,10 +529,32 @@ impl System {
                 i,
                 &mut detections,
                 &mut restarts,
+                rollback_ok,
             ) {
                 Ok(v) => v,
-                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
-                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts, rollbacks),
+                Err(Escalation::Degrade) => {
+                    return self.finish_degraded(i, detections, restarts, rollbacks)
+                }
+                Err(Escalation::Rollback(cause)) => {
+                    match self.try_rollback(
+                        IO_COROUTINE,
+                        cause,
+                        i,
+                        checkpoint.as_ref(),
+                        &mut rollbacks,
+                        &mut prev,
+                        &mut acc,
+                        &mut diag_enabled,
+                    ) {
+                        Some(to) => {
+                            i = to;
+                            skip_capture = true;
+                            continue;
+                        }
+                        None => return self.finish_degraded(i, detections, restarts, rollbacks),
+                    }
+                }
             };
             let x = self.hw.as_int(x_v).unwrap_or(prev);
 
@@ -466,10 +567,32 @@ impl System {
                 i,
                 &mut detections,
                 &mut restarts,
+                rollback_ok,
             ) {
                 Ok(v) => v,
-                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
-                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts, rollbacks),
+                Err(Escalation::Degrade) => {
+                    return self.finish_degraded(i, detections, restarts, rollbacks)
+                }
+                Err(Escalation::Rollback(cause)) => {
+                    match self.try_rollback(
+                        ICD_COROUTINE,
+                        cause,
+                        i,
+                        checkpoint.as_ref(),
+                        &mut rollbacks,
+                        &mut prev,
+                        &mut acc,
+                        &mut diag_enabled,
+                    ) {
+                        Some(to) => {
+                            i = to;
+                            skip_capture = true;
+                            continue;
+                        }
+                        None => return self.finish_degraded(i, detections, restarts, rollbacks),
+                    }
+                }
             };
             match (self.hw.con_field(pr, 0), self.hw.con_field(pr, 1)) {
                 (Some(st2), Some(out)) => {
@@ -477,17 +600,39 @@ impl System {
                     self.hw.set_root(out_slot, out);
                 }
                 // Not a `Pair state out`: the state machine is corrupt and
-                // a re-run would start from the same corrupt state.
+                // a re-run would start from the same corrupt state — but a
+                // checkpointed state from *before* the corruption is fine.
                 _ => {
                     self.detect(ICD_COROUTINE, i, FaultCause::Crashed, &mut detections);
                     match config.policy {
                         RecoveryPolicy::Halt => {
                             self.recover_action(ICD_COROUTINE, i, "halt");
-                            return self.halted(i, detections, restarts);
+                            return self.halted(i, detections, restarts, rollbacks);
+                        }
+                        RecoveryPolicy::RollbackToCheckpoint { .. } if rollback_ok => {
+                            match self.try_rollback(
+                                ICD_COROUTINE,
+                                FaultCause::Crashed,
+                                i,
+                                checkpoint.as_ref(),
+                                &mut rollbacks,
+                                &mut prev,
+                                &mut acc,
+                                &mut diag_enabled,
+                            ) {
+                                Some(to) => {
+                                    i = to;
+                                    skip_capture = true;
+                                    continue;
+                                }
+                                None => {
+                                    return self.finish_degraded(i, detections, restarts, rollbacks)
+                                }
+                            }
                         }
                         _ => {
                             self.recover_action(ICD_COROUTINE, i, "degrade");
-                            return self.finish_degraded(i, detections, restarts);
+                            return self.finish_degraded(i, detections, restarts, rollbacks);
                         }
                     }
                 }
@@ -503,10 +648,32 @@ impl System {
                 i,
                 &mut detections,
                 &mut restarts,
+                rollback_ok,
             ) {
                 Ok(v) => v,
-                Err(Escalation::Halt) => return self.halted(i, detections, restarts),
-                Err(Escalation::Degrade) => return self.finish_degraded(i, detections, restarts),
+                Err(Escalation::Halt) => return self.halted(i, detections, restarts, rollbacks),
+                Err(Escalation::Degrade) => {
+                    return self.finish_degraded(i, detections, restarts, rollbacks)
+                }
+                Err(Escalation::Rollback(cause)) => {
+                    match self.try_rollback(
+                        CHAN_COROUTINE,
+                        cause,
+                        i,
+                        checkpoint.as_ref(),
+                        &mut rollbacks,
+                        &mut prev,
+                        &mut acc,
+                        &mut diag_enabled,
+                    ) {
+                        Some(to) => {
+                            i = to;
+                            skip_capture = true;
+                            continue;
+                        }
+                        None => return self.finish_degraded(i, detections, restarts, rollbacks),
+                    }
+                }
             };
             prev = self.hw.as_int(c).unwrap_or(prev);
 
@@ -532,7 +699,7 @@ impl System {
                         self.detect(DIAG_COROUTINE, i, cause, &mut detections);
                         if config.policy == RecoveryPolicy::Halt {
                             self.recover_action(DIAG_COROUTINE, i, "halt");
-                            return self.halted(i, detections, restarts);
+                            return self.halted(i, detections, restarts, rollbacks);
                         }
                         if restarts < config.max_restarts {
                             restarts += 1;
@@ -554,14 +721,37 @@ impl System {
                 match config.policy {
                     RecoveryPolicy::Halt => {
                         self.recover_action(KERNEL_COROUTINE, i, "halt");
-                        return self.halted(i, detections, restarts);
+                        return self.halted(i, detections, restarts, rollbacks);
+                    }
+                    RecoveryPolicy::RollbackToCheckpoint { .. } if rollback_ok => {
+                        match self.try_rollback(
+                            KERNEL_COROUTINE,
+                            FaultCause::Crashed,
+                            i,
+                            checkpoint.as_ref(),
+                            &mut rollbacks,
+                            &mut prev,
+                            &mut acc,
+                            &mut diag_enabled,
+                        ) {
+                            Some(to) => {
+                                i = to;
+                                skip_capture = true;
+                                continue;
+                            }
+                            None => {
+                                return self.finish_degraded(i, detections, restarts, rollbacks)
+                            }
+                        }
                     }
                     _ => {
                         self.recover_action(KERNEL_COROUTINE, i, "degrade");
-                        return self.finish_degraded(i, detections, restarts);
+                        return self.finish_degraded(i, detections, restarts, rollbacks);
                     }
                 }
             }
+
+            i += 1;
         }
 
         let final_word = prev;
@@ -577,11 +767,99 @@ impl System {
             },
             detections,
             restarts,
+            rollbacks,
         }))
     }
 
+    /// Capture, serialize, (chaos-)corrupt, and verify one whole-system
+    /// checkpoint. The returned checkpoint is the one decoded back from
+    /// the byte container — exactly what durable storage would hold — so
+    /// an undetected corruption cannot hide behind the in-memory copy.
+    fn capture_checkpoint(
+        &mut self,
+        iteration: u64,
+        prev: Int,
+        acc: Int,
+        diag_enabled: bool,
+    ) -> Result<(SystemCheckpoint, usize), SnapshotError> {
+        let machine = MachineSnapshot::capture(&self.hw)?;
+        let (chan_a_to_b, chan_b_to_a, chan_overflows) = self.hw_ports.fifo_state();
+        let ckpt = SystemCheckpoint {
+            machine,
+            iteration,
+            prev,
+            acc,
+            diag_enabled,
+            heart: self.hw_ports.external.checkpoint_state(),
+            chan_a_to_b,
+            chan_b_to_a,
+            chan_overflows,
+        };
+        let mut bytes = ckpt.to_bytes()?;
+        if let Some(chaos) = self.chaos.clone() {
+            if let Some(kind @ FaultKind::SnapshotCorrupt { byte, bit }) =
+                chaos.next(FaultSite::Snapshot)
+            {
+                let op = chaos.ops(FaultSite::Snapshot) - 1;
+                self.wd_sink.emit(|| Event::FaultInjected {
+                    site: FaultSite::Snapshot.name(),
+                    kind: kind.name(),
+                    op,
+                    detail: kind.detail(),
+                });
+                let idx = (byte as usize) % bytes.len();
+                bytes[idx] ^= 1 << (bit % 8);
+            }
+        }
+        let decoded = SystemCheckpoint::from_bytes(&bytes)?;
+        decoded.machine.audit_self_contained()?;
+        Ok((decoded, bytes.len()))
+    }
+
+    /// Roll the whole system back to `checkpoint`. Returns the iteration
+    /// to resume from, or `None` when no rollback could be performed (the
+    /// caller escalates to monitor-only). Chaos counters, the watchdog's
+    /// detection history, and its restart/rollback budgets deliberately
+    /// survive the rollback — faults are external-world events and must
+    /// neither re-fire nor be forgotten.
+    #[allow(clippy::too_many_arguments)]
+    fn try_rollback(
+        &mut self,
+        coroutine: u32,
+        cause: FaultCause,
+        from_iteration: u64,
+        checkpoint: Option<&SystemCheckpoint>,
+        rollbacks: &mut u32,
+        prev: &mut Int,
+        acc: &mut Int,
+        diag_enabled: &mut bool,
+    ) -> Option<u64> {
+        let ckpt = checkpoint?;
+        if ckpt.machine.restore_into(&mut self.hw).is_err() {
+            return None;
+        }
+        self.hw_ports.external.restore_state(&ckpt.heart);
+        self.hw_ports
+            .restore_fifo_state(&ckpt.chan_a_to_b, &ckpt.chan_b_to_a, ckpt.chan_overflows);
+        *prev = ckpt.prev;
+        *acc = ckpt.acc;
+        *diag_enabled = ckpt.diag_enabled;
+        *rollbacks += 1;
+        // The rollback event comes last: everything after it in the
+        // stream is post-resume and must match the uninterrupted run.
+        self.recover_action(coroutine, from_iteration, "rollback");
+        self.wd_sink.emit(|| Event::CheckpointRollback {
+            from_iteration,
+            to_iteration: ckpt.iteration,
+            cause: cause.name(),
+        });
+        Some(ckpt.iteration)
+    }
+
     /// One supervised coroutine call with at most one restart. `Err` is an
-    /// escalation the caller turns into a terminal outcome.
+    /// escalation the caller turns into a terminal outcome (or, when
+    /// `rollback_ok`, a checkpoint rollback the caller performs — it owns
+    /// the checkpoint and the loop registers).
     #[allow(clippy::too_many_arguments)]
     fn critical_call(
         &mut self,
@@ -592,6 +870,7 @@ impl System {
         iteration: u64,
         detections: &mut Vec<Detection>,
         restarts: &mut u32,
+        rollback_ok: bool,
     ) -> Result<HValue, Escalation> {
         let mut retried = false;
         loop {
@@ -618,6 +897,24 @@ impl System {
                     return Err(Escalation::Degrade);
                 }
                 RecoveryPolicy::RestartCoroutine => {
+                    if !retried && *restarts < config.max_restarts {
+                        *restarts += 1;
+                        retried = true;
+                        self.recover_action(coroutine, iteration, "restart");
+                        continue;
+                    }
+                    self.recover_action(coroutine, iteration, "degrade");
+                    return Err(Escalation::Degrade);
+                }
+                RecoveryPolicy::RollbackToCheckpoint { .. } => {
+                    if rollback_ok {
+                        // The caller restores the checkpoint; it owns the
+                        // loop registers this call cannot see.
+                        return Err(Escalation::Rollback(cause));
+                    }
+                    // Rollback budget exhausted (or no good checkpoint
+                    // yet): escalate to a coroutine restart, then to
+                    // monitor-only.
                     if !retried && *restarts < config.max_restarts {
                         *restarts += 1;
                         retried = true;
@@ -698,13 +995,14 @@ impl System {
         iteration: u64,
         detections: Vec<Detection>,
         restarts: u32,
+        rollbacks: u32,
     ) -> SupervisedOutcome {
         let mut completed = iteration;
         for _ in iteration..self.iterations as u64 {
             let _ = self.hw_ports.getint(PORT_TIMER);
             let _ = self.hw_ports.putint(PORT_PACE, 0);
             if let Ok(x) = self.hw_ports.getint(PORT_ECG) {
-                let _ = self.hw_ports.putint(zarf_imperative::CHANNEL_PORT, x);
+                let _ = self.hw_ports.putint(CHANNEL_PORT, x);
             }
             completed += 1;
         }
@@ -714,6 +1012,7 @@ impl System {
             completed_iterations: completed,
             detections,
             restarts,
+            rollbacks,
             pace_log: self.hw_ports.external.pace_log().to_vec(),
         })
     }
@@ -723,12 +1022,14 @@ impl System {
         iteration: u64,
         detections: Vec<Detection>,
         restarts: u32,
+        rollbacks: u32,
     ) -> SupervisedOutcome {
         SupervisedOutcome::Halted(DegradationReport {
             iteration,
             completed_iterations: iteration,
             detections,
             restarts,
+            rollbacks,
             pace_log: self.hw_ports.external.pace_log().to_vec(),
         })
     }
@@ -992,6 +1293,120 @@ mod tests {
         assert_eq!(chaos.injected_count(), 1);
         // Recovery is exact: the pacing stream is unchanged.
         assert_eq!(report.system.pace_log, base.pace_log);
+    }
+
+    fn rollback_config(interval: u64, max_rollbacks: u32) -> WatchdogConfig {
+        WatchdogConfig {
+            policy: RecoveryPolicy::RollbackToCheckpoint {
+                interval,
+                max_rollbacks,
+            },
+            ..WatchdogConfig::default()
+        }
+    }
+
+    #[test]
+    fn rollback_recovers_fuel_cut_exactly() {
+        let samples = fast_rhythm_samples(2.0);
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sys = System::new(samples).unwrap();
+        // Starve iteration 1's ICD call; the watchdog rolls the whole
+        // system back to the iteration-0 checkpoint and re-runs.
+        let chaos = sys.enable_chaos(FaultPlan::new().fuel_cut_at(6, 1));
+        let outcome = sys.run_supervised(rollback_config(4, 4));
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!(
+                "rollback must recover a single fuel cut, got {}",
+                outcome.name()
+            );
+        };
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].cause, FaultCause::Overrun);
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(chaos.injected_count(), 1);
+        // Recovery is exact: pacing and final word are unchanged.
+        assert_eq!(report.system.pace_log, base.pace_log);
+        assert_eq!(report.system.final_word, base.final_word);
+    }
+
+    #[test]
+    fn exhausted_rollback_budget_escalates_to_restart() {
+        let samples = fast_rhythm_samples(2.0);
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sys = System::new(samples).unwrap();
+        sys.enable_chaos(FaultPlan::new().fuel_cut_at(6, 1));
+        let outcome = sys.run_supervised(rollback_config(4, 0));
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!(
+                "a zero rollback budget must fall back to restart, got {}",
+                outcome.name()
+            );
+        };
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.system.pace_log, base.pace_log);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_and_skipped() {
+        let samples = fast_rhythm_samples(2.0);
+        let iterations = samples.len() as u64;
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sys = System::with_metrics(samples).unwrap();
+        // Rot a bit in the second checkpoint's stored bytes; verification
+        // must reject it and the system must keep pacing regardless.
+        sys.enable_chaos(FaultPlan::new().snapshot_corrupt_at(1, 12_345, 3));
+        let outcome = sys.run_supervised(rollback_config(8, 4));
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!(
+                "storage rot alone must not stop the loop, got {}",
+                outcome.name()
+            );
+        };
+        assert!(report.detections.is_empty());
+        assert_eq!(report.rollbacks, 0);
+        let m = report.system.metrics.as_ref().expect("traced run");
+        assert_eq!(m.audit_failures, 1);
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.checkpoints_captured, iterations.div_ceil(8) - 1);
+        assert_eq!(report.system.pace_log, base.pace_log);
+    }
+
+    #[test]
+    fn rollback_reaches_past_a_corrupt_checkpoint() {
+        let samples = fast_rhythm_samples(1.0);
+        let mut plain = System::new(samples.clone()).unwrap();
+        let base = plain.run().unwrap();
+
+        let mut sys = System::with_metrics(samples).unwrap();
+        // The iteration-4 checkpoint is corrupted (rejected), then the
+        // iteration-5 ICD call is starved: recovery must roll all the way
+        // back to the iteration-0 checkpoint and still converge.
+        sys.enable_chaos(
+            FaultPlan::new()
+                .snapshot_corrupt_at(1, 777, 0)
+                .fuel_cut_at(22, 1),
+        );
+        let outcome = sys.run_supervised(rollback_config(4, 4));
+        let SupervisedOutcome::Completed(report) = outcome else {
+            panic!(
+                "rollback past a rotten checkpoint must recover, got {}",
+                outcome.name()
+            );
+        };
+        assert_eq!(report.rollbacks, 1);
+        let m = report.system.metrics.as_ref().expect("traced run");
+        assert_eq!(m.audit_failures, 1);
+        assert_eq!(m.rollbacks, 1);
+        assert_eq!(report.system.pace_log, base.pace_log);
+        assert_eq!(report.system.final_word, base.final_word);
     }
 
     #[test]

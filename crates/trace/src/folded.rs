@@ -1,0 +1,183 @@
+//! Folded-stacks aggregation for flamegraph tooling.
+//!
+//! [`FoldedStacks`] consumes the hardware event stream and folds the
+//! coroutine enter/exit nesting plus per-item cycle attributions into the
+//! classic `frame;frame;frame cycles` format that `inferno-flamegraph`
+//! and speedscope consume directly. The sink works on numeric item ids —
+//! the trace layer knows no symbols — and resolves names only at render
+//! time, via whatever resolver the caller has (typically `Hw::symbol`).
+//!
+//! Folding rules:
+//! * [`Event::CoroutineEnter`]/[`Event::CoroutineExit`] push/pop stack
+//!   frames, exactly like the metrics sink's coroutine attribution.
+//! * [`Event::Cycles`] adds its cycle count at the current stack with the
+//!   charged item as leaf frame (omitted when it equals the innermost
+//!   coroutine, so `icd_step;icd_step` never appears).
+//! * GC pauses are charged to a synthetic `(gc)` frame under the stack
+//!   that triggered the collection.
+//! * Cycles charged with no frame active at all land on `(toplevel)`.
+
+use std::collections::BTreeMap;
+
+use crate::{Event, TraceSink};
+
+/// One frame of a folded stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Frame {
+    /// A program item (coroutine entry or charged function).
+    Item(u32),
+    /// A garbage-collection pause.
+    Gc,
+}
+
+/// Aggregates cycles by call stack; see the module docs for the rules.
+#[derive(Debug, Clone, Default)]
+pub struct FoldedStacks {
+    totals: BTreeMap<Vec<Frame>, u64>,
+    stack: Vec<u32>,
+}
+
+impl FoldedStacks {
+    /// An empty aggregation.
+    pub fn new() -> Self {
+        FoldedStacks::default()
+    }
+
+    /// Total cycles folded so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    /// Number of distinct stacks observed.
+    pub fn stack_count(&self) -> usize {
+        self.totals.len()
+    }
+
+    fn charge(&mut self, leaf: Option<Frame>, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let mut key: Vec<Frame> = self.stack.iter().map(|&id| Frame::Item(id)).collect();
+        match leaf {
+            // Don't stutter when the charged item is the coroutine itself.
+            Some(Frame::Item(id)) if self.stack.last() == Some(&id) => {}
+            Some(f) => key.push(f),
+            None => {}
+        }
+        *self.totals.entry(key).or_insert(0) += cycles;
+    }
+
+    /// Render the folded-stacks text: one `frame;frame cycles` line per
+    /// distinct stack, deterministically ordered. `resolve` maps item ids
+    /// to symbols; unresolved ids render as `item_0x<id>`.
+    pub fn render(&self, resolve: &dyn Fn(u32) -> Option<String>) -> String {
+        let mut out = String::new();
+        for (key, cycles) in &self.totals {
+            if key.is_empty() {
+                out.push_str("(toplevel)");
+            } else {
+                for (i, frame) in key.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    match frame {
+                        Frame::Item(id) => match resolve(*id) {
+                            Some(name) => out.push_str(&name),
+                            None => out.push_str(&format!("item_{id:#x}")),
+                        },
+                        Frame::Gc => out.push_str("(gc)"),
+                    }
+                }
+            }
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for FoldedStacks {
+    fn event(&mut self, e: &Event) {
+        match e {
+            Event::CoroutineEnter { id } => self.stack.push(*id),
+            Event::CoroutineExit { id } if self.stack.last() == Some(id) => {
+                self.stack.pop();
+            }
+            Event::Cycles { item, cycles, .. } => {
+                self.charge(item.map(Frame::Item), *cycles);
+            }
+            Event::GcEnd { pause_cycles, .. } => self.charge(Some(Frame::Gc), *pause_cycles),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstrClass;
+
+    fn cycles(item: Option<u32>, n: u64) -> Event {
+        Event::Cycles {
+            class: InstrClass::Let,
+            item,
+            cycles: n,
+        }
+    }
+
+    #[test]
+    fn known_nesting_folds_to_expected_stacks() {
+        // main calls coroutine 0x100, which calls helper 0x105, with a GC
+        // pause inside the coroutine and some top-level cycles around it.
+        let mut f = FoldedStacks::new();
+        f.event(&cycles(None, 3)); // before any coroutine
+        f.event(&Event::CoroutineEnter { id: 0x100 });
+        f.event(&cycles(Some(0x100), 10)); // the coroutine's own work
+        f.event(&cycles(Some(0x105), 7)); // a helper it calls
+        f.event(&Event::GcEnd {
+            pause_cycles: 20,
+            objects_copied: 1,
+            words_copied: 4,
+            words_reclaimed: 8,
+        });
+        f.event(&cycles(Some(0x105), 5)); // helper again — coalesces
+        f.event(&Event::CoroutineExit { id: 0x100 });
+        f.event(&cycles(None, 2));
+
+        let resolve = |id: u32| match id {
+            0x100 => Some("icd_step".to_string()),
+            _ => None,
+        };
+        assert_eq!(
+            f.render(&resolve),
+            "(toplevel) 5\n\
+             icd_step 10\n\
+             icd_step;item_0x105 12\n\
+             icd_step;(gc) 20\n"
+        );
+        assert_eq!(f.total_cycles(), 47);
+        assert_eq!(f.stack_count(), 4);
+    }
+
+    #[test]
+    fn nested_coroutines_stack_and_unwind() {
+        let mut f = FoldedStacks::new();
+        f.event(&Event::CoroutineEnter { id: 1 });
+        f.event(&Event::CoroutineEnter { id: 2 });
+        f.event(&cycles(Some(2), 4));
+        f.event(&Event::CoroutineExit { id: 2 });
+        f.event(&cycles(Some(1), 6));
+        f.event(&Event::CoroutineExit { id: 1 });
+        let none = |_: u32| None;
+        assert_eq!(f.render(&none), "item_0x1 6\nitem_0x1;item_0x2 4\n");
+    }
+
+    #[test]
+    fn zero_cycle_charges_leave_no_line() {
+        let mut f = FoldedStacks::new();
+        f.event(&cycles(Some(9), 0));
+        assert_eq!(f.render(&|_| None), "");
+        assert_eq!(f.stack_count(), 0);
+    }
+}

@@ -32,9 +32,11 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
+pub mod folded;
 pub mod metrics;
 pub mod ndjson;
 
+pub use folded::FoldedStacks;
 pub use metrics::{Histogram, MetricsSink};
 pub use ndjson::NdjsonSink;
 
@@ -258,6 +260,30 @@ pub enum Event {
         dropped: i64,
         /// Queue depth when the overflow occurred.
         depth: usize,
+    },
+    /// Rollback recovery captured and accepted a checkpoint.
+    CheckpointCapture {
+        /// Scheduler iteration (200 Hz tick) the checkpoint covers.
+        iteration: u64,
+        /// Serialized size of the accepted snapshot.
+        bytes: u64,
+    },
+    /// Rollback recovery restored the last good checkpoint.
+    CheckpointRollback {
+        /// Iteration at which the failure was detected.
+        from_iteration: u64,
+        /// Iteration execution resumes from (the checkpoint's).
+        to_iteration: u64,
+        /// Failure class that triggered the rollback: `crashed`,
+        /// `overrun`, or `livelock`.
+        cause: &'static str,
+    },
+    /// A captured checkpoint failed verification and was discarded.
+    AuditFail {
+        /// Scheduler iteration of the rejected capture.
+        iteration: u64,
+        /// Short error kind (`crc-mismatch`, `dangling-field`, …).
+        error: &'static str,
     },
 }
 

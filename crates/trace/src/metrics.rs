@@ -171,6 +171,12 @@ pub struct MetricsSink {
     pub watchdog_recoveries: u64,
     /// Bounded-channel overflow incidents.
     pub channel_overflows: u64,
+    /// Checkpoints captured and accepted by rollback recovery.
+    pub checkpoints_captured: u64,
+    /// Rollbacks to a checkpoint performed.
+    pub rollbacks: u64,
+    /// Checkpoints rejected by verification (CRC or audit).
+    pub audit_failures: u64,
     /// Currently active registered coroutines (innermost last).
     stack: Vec<u32>,
 }
@@ -260,6 +266,9 @@ impl TraceSink for MetricsSink {
             Event::WatchdogDetect { .. } => self.watchdog_detections += 1,
             Event::WatchdogRecover { .. } => self.watchdog_recoveries += 1,
             Event::ChannelOverflow { .. } => self.channel_overflows += 1,
+            Event::CheckpointCapture { .. } => self.checkpoints_captured += 1,
+            Event::CheckpointRollback { .. } => self.rollbacks += 1,
+            Event::AuditFail { .. } => self.audit_failures += 1,
             Event::Bind { .. } | Event::Dispatch { .. } | Event::Yield { .. } => {}
         }
     }

@@ -160,6 +160,28 @@ pub fn to_json(e: &Event) -> String {
                 r#"{{"ev":"chan_overflow","port":{port},"dropped":{dropped},"depth":{depth}}}"#
             );
         }
+        Event::CheckpointCapture { iteration, bytes } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"ckpt_capture","iteration":{iteration},"bytes":{bytes}}}"#
+            );
+        }
+        Event::CheckpointRollback {
+            from_iteration,
+            to_iteration,
+            cause,
+        } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"ckpt_rollback","from":{from_iteration},"to":{to_iteration},"cause":"{cause}"}}"#
+            );
+        }
+        Event::AuditFail { iteration, error } => {
+            let _ = write!(
+                s,
+                r#"{{"ev":"audit_fail","iteration":{iteration},"error":"{error}"}}"#
+            );
+        }
     }
     s
 }
@@ -293,6 +315,28 @@ mod tests {
                 depth: 8
             }),
             r#"{"ev":"chan_overflow","port":100,"dropped":-7,"depth":8}"#
+        );
+        assert_eq!(
+            to_json(&Event::CheckpointCapture {
+                iteration: 16,
+                bytes: 2048
+            }),
+            r#"{"ev":"ckpt_capture","iteration":16,"bytes":2048}"#
+        );
+        assert_eq!(
+            to_json(&Event::CheckpointRollback {
+                from_iteration: 21,
+                to_iteration: 16,
+                cause: "overrun"
+            }),
+            r#"{"ev":"ckpt_rollback","from":21,"to":16,"cause":"overrun"}"#
+        );
+        assert_eq!(
+            to_json(&Event::AuditFail {
+                iteration: 24,
+                error: "crc-mismatch"
+            }),
+            r#"{"ev":"audit_fail","iteration":24,"error":"crc-mismatch"}"#
         );
     }
 

@@ -12,12 +12,23 @@
 //! zarf stats <file.zf> [--profile]  run on hardware, print CPI statistics
 //! zarf trace <file.zf|file.zbin> [--engine big|small|hw] [--out FILE]
 //!                                 run with an NDJSON event trace
-//! zarf profile <file.zf|file.zbin>  run on hardware, print metrics report
+//! zarf profile <file.zf|file.zbin> [--folded]
+//!                                 run on hardware, print metrics report
+//!                                 (or folded stacks for flamegraph tools)
 //! zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N]
-//!            [--policy halt|restart|degrade]
+//!            [--policy halt|restart|degrade|rollback]
 //!                                 seeded fault-injection soak of the full
 //!                                 ICD system (each seed runs twice and the
-//!                                 replays must agree exactly)
+//!                                 replays must agree exactly); the last
+//!                                 line is a one-line JSON verdict and the
+//!                                 exit code is nonzero on any disagreement
+//! zarf snapshot save <file.zf|file.zbin> [--out FILE] [--in …]
+//!                                 run to completion, capture an audited
+//!                                 machine snapshot (default <file>.zsnp)
+//! zarf snapshot restore <file.zsnp> [--in …]
+//!                                 restore a snapshot and print its root
+//! zarf snapshot audit <file.zsnp> print a one-line JSON audit verdict
+//!                                 (exit code 1 when the snapshot is bad)
 //! ```
 //!
 //! Source files use the assembly syntax of `zarf_asm::parse`; binary files
@@ -30,7 +41,7 @@ use zarf::core::machine::MProgram;
 use zarf::core::step::Machine;
 use zarf::core::{Evaluator, VecPorts};
 use zarf::hw::{CostModel, Hw};
-use zarf::trace::{InstrClass, MetricsSink, NdjsonSink, SharedSink};
+use zarf::trace::{FoldedStacks, InstrClass, MetricsSink, NdjsonSink, SharedSink};
 use zarf::verify::annotated::check_annotated;
 use zarf::verify::lints::lint;
 use zarf::verify::wcet::{find_id, Wcet};
@@ -39,12 +50,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile> <file> [options]\n\
          \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
+         \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
          run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
          stats options: --profile (per-function cycle attribution)\n\
          trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
-         profile options: --in PORT:v,v,…\n\
+         profile options: --in PORT:v,v,…  --folded (flamegraph folded stacks)\n\
          wcet options: --fn NAME  --exclude NAME\n\
-         chaos options: --policy halt|restart|degrade (default restart)"
+         chaos options: --policy halt|restart|degrade|rollback (default restart)"
     );
     ExitCode::from(2)
 }
@@ -80,6 +92,10 @@ fn run_chaos(rest: &[String]) -> ExitCode {
             None | Some("restart") => RecoveryPolicy::RestartCoroutine,
             Some("halt") => RecoveryPolicy::Halt,
             Some("degrade") => RecoveryPolicy::DegradeToMonitorOnly,
+            Some("rollback") => RecoveryPolicy::RollbackToCheckpoint {
+                interval: 8,
+                max_rollbacks: 4,
+            },
             Some(other) => return Err(format!("unknown policy `{other}`")),
         };
         Ok((seeds, base_seed, seconds, faults, policy))
@@ -107,8 +123,9 @@ fn run_chaos(rest: &[String]) -> ExitCode {
         g.take((seconds * SAMPLE_HZ as f64) as usize)
     };
 
-    // (outcome name, injected faults, pace stream, detections, restarts)
-    type ChaosRun = (String, Vec<InjectedFault>, Vec<Int>, usize, u32);
+    // (outcome name, injected faults, pace stream, detections, restarts,
+    // rollbacks)
+    type ChaosRun = (String, Vec<InjectedFault>, Vec<Int>, usize, u32, u32);
     let one_run = |seed: u64| -> Result<ChaosRun, String> {
         let mut sys = System::new(samples.clone()).map_err(|e| e.to_string())?;
         let shape = PlanShape::for_iterations(samples.len() as u64);
@@ -121,10 +138,10 @@ fn run_chaos(rest: &[String]) -> ExitCode {
             SupervisedOutcome::Completed(r) => r.system.pace_log.clone(),
             SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => r.pace_log.clone(),
         };
-        let (detections, restarts) = match &outcome {
-            SupervisedOutcome::Completed(r) => (r.detections.len(), r.restarts),
+        let (detections, restarts, rollbacks) = match &outcome {
+            SupervisedOutcome::Completed(r) => (r.detections.len(), r.restarts, r.rollbacks),
             SupervisedOutcome::Degraded(r) | SupervisedOutcome::Halted(r) => {
-                (r.detections.len(), r.restarts)
+                (r.detections.len(), r.restarts, r.rollbacks)
             }
         };
         Ok((
@@ -133,6 +150,7 @@ fn run_chaos(rest: &[String]) -> ExitCode {
             pace,
             detections,
             restarts,
+            rollbacks,
         ))
     };
 
@@ -155,11 +173,12 @@ fn run_chaos(rest: &[String]) -> ExitCode {
             completed += 1;
         }
         println!(
-            "seed {seed:>6}: {:<9} {:>3} fault(s) injected, {:>3} detection(s), {:>2} restart(s){}",
+            "seed {seed:>6}: {:<9} {:>3} fault(s) injected, {:>3} detection(s), {:>2} restart(s), {:>2} rollback(s){}",
             a.0,
             a.1.len(),
             a.3,
             a.4,
+            a.5,
             if deterministic {
                 ""
             } else {
@@ -167,14 +186,96 @@ fn run_chaos(rest: &[String]) -> ExitCode {
             }
         );
     }
+    // Machine-readable verdict, always the last line of output.
     println!(
-        "{seeds} seed(s): {completed} completed, {} degraded/halted, {nondeterministic} replay mismatch(es)",
-        seeds - completed
+        "{{\"verdict\":\"{}\",\"seeds\":{seeds},\"completed\":{completed},\"mismatches\":{nondeterministic}}}",
+        if nondeterministic > 0 { "fail" } else { "pass" }
     );
     if nondeterministic > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `zarf snapshot save|restore|audit`: capture, revive, and verify
+/// machine snapshots on disk.
+fn run_snapshot(rest: &[String]) -> ExitCode {
+    use zarf::hw::{HwConfig, MachineSnapshot};
+
+    let result = (|| -> Result<(), String> {
+        let (sub, path) = match (rest.first(), rest.get(1)) {
+            (Some(s), Some(p)) => (s.as_str(), p.as_str()),
+            _ => return Err("snapshot needs <save|restore|audit> <file>".into()),
+        };
+        let opts = &rest[2..];
+        match sub {
+            "save" => {
+                let machine = load_machine(path)?;
+                let mut ports = parse_inputs(opts)?;
+                let mut hw = Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                let v = hw.run(&mut ports).map_err(|e| e.to_string())?;
+                // Keep the result alive as root 0 so `restore` can print
+                // it — and so the snapshot has something worth keeping.
+                hw.push_root(v);
+                let snap = MachineSnapshot::capture(&hw).map_err(|e| e.to_string())?;
+                let bytes = snap.to_bytes().map_err(|e| e.to_string())?;
+                let out = flag_value(opts, "--out").unwrap_or_else(|| {
+                    path.strip_suffix(".zf")
+                        .or_else(|| path.strip_suffix(".zbin"))
+                        .map(|s| format!("{s}.zsnp"))
+                        .unwrap_or_else(|| format!("{path}.zsnp"))
+                });
+                std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+                println!(
+                    "{out}: {} byte(s), {} object(s), {} root(s)",
+                    bytes.len(),
+                    snap.objects.len(),
+                    snap.roots.len()
+                );
+                Ok(())
+            }
+            "restore" => {
+                let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                let snap = MachineSnapshot::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                let mut hw = snap.to_hw(HwConfig::default()).map_err(|e| e.to_string())?;
+                let mut ports = parse_inputs(opts)?;
+                if snap.roots.is_empty() {
+                    println!("restored: {} object(s), no roots", snap.objects.len());
+                } else {
+                    let root = hw.root(0);
+                    let dv = hw.deep_value(root, &mut ports).map_err(|e| e.to_string())?;
+                    println!("restored root: {dv}");
+                }
+                Ok(())
+            }
+            "audit" => {
+                let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                let verdict = MachineSnapshot::from_bytes(&bytes)
+                    .and_then(|snap| snap.audit_self_contained());
+                match verdict {
+                    Ok(report) => {
+                        println!(
+                            "{{\"verdict\":\"ok\",\"objects\":{},\"words\":{},\"reachable\":{}}}",
+                            report.objects, report.words, report.reachable
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(format!(
+                        "{{\"verdict\":\"corrupt\",\"kind\":\"{}\",\"error\":\"{e}\"}}",
+                        e.kind()
+                    )),
+                }
+            }
+            other => Err(format!("unknown snapshot subcommand `{other}`")),
+        }
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -230,6 +331,10 @@ fn main() -> ExitCode {
     // `chaos` operates on the built-in ICD system, not on a program file.
     if args.first().map(String::as_str) == Some("chaos") {
         return run_chaos(&args[1..]);
+    }
+    // `snapshot` has a subcommand before the file argument.
+    if args.first().map(String::as_str) == Some("snapshot") {
+        return run_snapshot(&args[1..]);
     }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
@@ -356,6 +461,27 @@ fn main() -> ExitCode {
                 let lines = sink.lines();
                 sink.finish().map_err(|e| e.to_string())?;
                 eprintln!("{lines} event(s)");
+                Ok(())
+            }
+            "profile" if rest.iter().any(|a| a == "--folded") => {
+                let machine = load_machine(path)?;
+                let mut ports = parse_inputs(rest)?;
+                let mut hw = Hw::from_machine(&machine).map_err(|e| e.to_string())?;
+                let shared = SharedSink::new(FoldedStacks::new());
+                hw.set_sink(Box::new(shared.clone()));
+                hw.run(&mut ports).map_err(|e| e.to_string())?;
+                hw.take_sink();
+                let folded = shared
+                    .try_into_inner()
+                    .map_err(|_| "internal: folded sink still shared")?;
+                // One `frame;frame cycles` line per distinct stack — feed
+                // this straight to inferno-flamegraph or speedscope.
+                print!("{}", folded.render(&|id| hw.symbol(id)));
+                eprintln!(
+                    "{} stack(s), {} cycle(s)",
+                    folded.stack_count(),
+                    folded.total_cycles()
+                );
                 Ok(())
             }
             "profile" => {
