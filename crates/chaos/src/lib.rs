@@ -46,6 +46,10 @@ pub enum FaultSite {
     /// A checkpoint captured by the kernel's rollback recovery — the
     /// serialized snapshot bytes, before they are verified and accepted.
     Snapshot,
+    /// One scheduling slice of a fleet session (`zarf-fleet`). The `op`
+    /// coordinate is the session's own slice index, so plans are
+    /// deterministic per session no matter how worker threads interleave.
+    Fleet,
 }
 
 impl FaultSite {
@@ -57,6 +61,7 @@ impl FaultSite {
             FaultSite::Ecg => "ecg",
             FaultSite::Coroutine => "coroutine",
             FaultSite::Snapshot => "snapshot",
+            FaultSite::Fleet => "fleet",
         }
     }
 
@@ -67,12 +72,13 @@ impl FaultSite {
             FaultSite::Ecg => 2,
             FaultSite::Coroutine => 3,
             FaultSite::Snapshot => 4,
+            FaultSite::Fleet => 5,
         }
     }
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the per-site counters).
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 6;
 
 /// The fault to inject when an operation's coordinate matches the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +126,14 @@ pub enum FaultKind {
         /// Which bit of that byte to flip (interpreted modulo 8).
         bit: u8,
     },
+    /// The worker running a fleet session's slice dies before committing:
+    /// every op executed in the slice is discarded and the session must
+    /// recover from its last committed snapshot, byte-identically.
+    SessionKill,
+    /// The session's resident machine is dropped right after the slice
+    /// commits, forcing a rehydration from the committed snapshot on the
+    /// next slice.
+    ForceEvict,
 }
 
 impl FaultKind {
@@ -137,6 +151,7 @@ impl FaultKind {
             }
             FaultKind::FuelCut { .. } => FaultSite::Coroutine,
             FaultKind::SnapshotCorrupt { .. } => FaultSite::Snapshot,
+            FaultKind::SessionKill | FaultKind::ForceEvict => FaultSite::Fleet,
         }
     }
 
@@ -154,6 +169,8 @@ impl FaultKind {
             FaultKind::EcgNoise { .. } => "ecg_noise",
             FaultKind::FuelCut { .. } => "fuel_cut",
             FaultKind::SnapshotCorrupt { .. } => "snapshot_corrupt",
+            FaultKind::SessionKill => "session_kill",
+            FaultKind::ForceEvict => "force_evict",
         }
     }
 
@@ -231,6 +248,9 @@ impl PlanShape {
             FaultSite::Ecg => self.ecg_ops,
             FaultSite::Coroutine => self.coroutine_ops,
             FaultSite::Snapshot => self.snapshot_ops,
+            // Fleet faults are scheduled per session-slice by
+            // `FaultPlan::seeded_fleet`, not by the system-run generator.
+            FaultSite::Fleet => 0,
         }
     }
 }
@@ -331,6 +351,50 @@ impl FaultPlan {
         self.schedule(op, FaultKind::SnapshotCorrupt { byte, bit })
     }
 
+    /// Kill the worker mid-slice on the session's `op`-th scheduling slice
+    /// (`zarf-fleet`): the slice's work is discarded and replayed from the
+    /// last committed snapshot.
+    pub fn session_kill_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::SessionKill)
+    }
+
+    /// Evict the session's resident machine after its `op`-th scheduling
+    /// slice commits, forcing rehydration from the snapshot next slice.
+    pub fn force_evict_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::ForceEvict)
+    }
+
+    /// Look up the fault scheduled at an exact `(site, op)` coordinate
+    /// without any counter state. The fleet consults plans this way — its
+    /// coordinate (the session's own slice index) is tracked by the
+    /// scheduler itself, not by a shared [`ChaosHandle`], so plans stay
+    /// deterministic no matter how worker threads interleave.
+    pub fn at(&self, site: FaultSite, op: u64) -> Option<FaultKind> {
+        self.faults.get(&(site, op)).copied()
+    }
+
+    /// Derive a fleet plan of (up to) `n` session-kill/evict faults from
+    /// `seed`, placed uniformly over a horizon of `slices` scheduling
+    /// slices. Kills outnumber evictions two to one: replay-from-snapshot
+    /// is the richer recovery path.
+    ///
+    /// Fully deterministic, same contract as [`FaultPlan::seeded`].
+    pub fn seeded_fleet(seed: u64, slices: u64, n: usize) -> Self {
+        let mut rng = SplitMix64(seed ^ 0x5851_F42D_4C95_7F2D);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let op = rng.below(slices.max(1));
+            let kind = if rng.below(3) < 2 {
+                FaultKind::SessionKill
+            } else {
+                FaultKind::ForceEvict
+            };
+            plan = plan.schedule(op, kind);
+        }
+        plan.seed = Some(seed);
+        plan
+    }
+
     /// Derive a plan of (up to) `n` faults from `seed`, placed uniformly
     /// over the operation horizons in `shape`.
     ///
@@ -385,6 +449,10 @@ impl FaultPlan {
                     byte: rng.below(1 << 16),
                     bit: rng.below(8) as u8,
                 },
+                // Not in `sites` (frozen — see above); fleet plans come from
+                // `seeded_fleet`. Kept total so the compiler flags any new
+                // site added without a generator arm.
+                FaultSite::Fleet => FaultKind::SessionKill,
             };
             plan = plan.schedule(op, kind);
         }
@@ -586,11 +654,50 @@ mod tests {
             for (site, _, _) in FaultPlan::seeded(seed, &shape, 8).iter() {
                 seen[site.index()] = true;
             }
+            // Fleet faults have their own generator (per session-slice
+            // coordinates); fold its coverage in alongside the system one.
+            for (site, _, _) in FaultPlan::seeded_fleet(seed, 64, 4).iter() {
+                seen[site.index()] = true;
+            }
         }
         assert_eq!(
             seen, [true; SITE_COUNT],
-            "generator should reach all fault sites"
+            "generators should reach all fault sites"
         );
+    }
+
+    #[test]
+    fn fleet_builders_and_point_query() {
+        let plan = FaultPlan::new().session_kill_at(3).force_evict_at(5);
+        assert_eq!(plan.at(FaultSite::Fleet, 3), Some(FaultKind::SessionKill));
+        assert_eq!(plan.at(FaultSite::Fleet, 5), Some(FaultKind::ForceEvict));
+        assert_eq!(plan.at(FaultSite::Fleet, 4), None);
+        assert_eq!(plan.at(FaultSite::Alloc, 3), None);
+        assert_eq!(FaultKind::SessionKill.site(), FaultSite::Fleet);
+        assert_eq!(FaultKind::ForceEvict.site(), FaultSite::Fleet);
+        assert_eq!(FaultKind::SessionKill.detail(), 0);
+    }
+
+    #[test]
+    fn seeded_fleet_is_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_fleet(7, 32, 6);
+        let b = FaultPlan::seeded_fleet(7, 32, 6);
+        let c = FaultPlan::seeded_fleet(8, 32, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), Some(7));
+        assert!(!a.is_empty());
+        assert!(a.len() <= 6);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            for (site, op, kind) in FaultPlan::seeded_fleet(seed, 32, 6).iter() {
+                assert_eq!(site, FaultSite::Fleet);
+                assert!(op < 32, "slice {op} beyond horizon");
+                kinds.insert(kind.name());
+            }
+        }
+        assert!(kinds.contains("session_kill"));
+        assert!(kinds.contains("force_evict"));
     }
 
     #[test]

@@ -1,0 +1,934 @@
+//! The fleet scheduler: worker threads, sharded run queues, and
+//! snapshot-backed session slots.
+//!
+//! ## Invariants
+//!
+//! * **The committed snapshot is the session.** `Slot::snapshot` always
+//!   holds valid `ZSNP` bytes for the last committed quiescent state;
+//!   resident machines are a disposable per-worker cache keyed by
+//!   `(session, commit_seq)`. Dropping a cache entry (eviction) can never
+//!   lose state.
+//! * **Slices commit exactly once.** A worker takes `(snapshot,
+//!   pending-ops, commit_seq)` under the slot lock with `running = true`
+//!   (giving it exclusive execution rights), runs unlocked, then commits
+//!   the new snapshot, outputs, and op cursor in one critical section. A
+//!   [`SessionKill`](zarf_chaos::FaultKind::SessionKill) fault discards
+//!   the uncommitted slice instead — the next slice replays the same ops
+//!   from the same snapshot and, because ops are deterministic, produces
+//!   the same bytes.
+//! * **Lock order:** slot lock before queue locks; the registry lock is
+//!   never held across either.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use zarf_chaos::{FaultKind, FaultPlan, FaultSite, InjectedFault};
+use zarf_core::{Int, Word};
+use zarf_hw::{Hw, HwConfig, MachineSnapshot, Stats, DEFAULT_HEAP_WORDS};
+use zarf_trace::metrics::{Histogram, MetricsSink};
+use zarf_trace::SharedSink;
+
+use crate::op::{apply_op, hw_config, Op};
+use crate::FleetError;
+
+/// The kernel's measured worst-case iteration cost (`zarf-kernel`
+/// documents 9,065 cycles); fleet budgets are expressed as multiples so a
+/// kernel session always fits its slice.
+const WCET_ITERATION_CYCLES: u64 = 9_065;
+
+/// Lock a mutex, recovering the data from a poisoned lock: fleet state is
+/// committed atomically, so a panicking peer thread cannot leave a slot
+/// half-written.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-session execution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Heap size for the session's machine, in words.
+    pub heap_words: usize,
+    /// Fuel budget per op, in cycles; an op that exceeds it yields a
+    /// `RES_FUEL` output word (the watchdog-budget idea of
+    /// `RecoveryPolicy`, applied per request).
+    pub op_budget: u64,
+    /// Fuel per scheduling slice, in cycles: a worker keeps executing the
+    /// session's queued ops until the slice is spent, then commits and
+    /// re-queues.
+    pub fuel_slice: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            heap_words: DEFAULT_HEAP_WORDS,
+            op_budget: 16 * WCET_ITERATION_CYCLES,
+            fuel_slice: 64 * WCET_ITERATION_CYCLES,
+        }
+    }
+}
+
+impl SessionConfig {
+    pub(crate) fn hw_config(&self) -> HwConfig {
+        hw_config(self.heap_words)
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// Worker threads (0 is treated as 1).
+    pub workers: usize,
+    /// Resident machines each worker may cache (0 = evict to snapshot
+    /// after every slice).
+    pub resident_per_worker: Option<usize>,
+    /// Defaults for sessions opened without an explicit config.
+    pub session: SessionConfig,
+    /// Deterministic fault plan; the fleet consults
+    /// [`FaultSite::Fleet`] at each session's own slice index.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl FleetConfig {
+    fn worker_count(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn resident(&self) -> usize {
+        self.resident_per_worker.unwrap_or(8)
+    }
+}
+
+/// One session's authoritative state.
+struct Slot {
+    config: SessionConfig,
+    /// Last committed quiescent state (`ZSNP` bytes); always present.
+    snapshot: Vec<u8>,
+    /// Machine statistics at the last commit.
+    stats: Stats,
+    /// Aggregated per-session metrics (merged at each commit).
+    metrics: MetricsSink,
+    /// Ops injected but not yet committed.
+    pending: VecDeque<Op>,
+    /// Output words committed but not yet polled.
+    outputs: Vec<Int>,
+    ops_done: u64,
+    /// Bumped on every commit; resident cache entries are valid only while
+    /// their sequence number matches.
+    commit_seq: u64,
+    /// Scheduling slices started (the chaos coordinate).
+    slices: u64,
+    kills: u64,
+    evictions: u64,
+    rehydrations: u64,
+    /// A worker currently holds execution rights.
+    running: bool,
+    /// The id is in (or headed for) a run queue.
+    queued: bool,
+    closed: bool,
+    poisoned: Option<String>,
+    injected: Vec<InjectedFault>,
+}
+
+impl Slot {
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && !self.running && !self.queued
+    }
+}
+
+/// Point-in-time statistics for one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Ops committed.
+    pub ops_done: u64,
+    /// Ops injected but not yet committed.
+    pub pending: usize,
+    /// Scheduling slices started.
+    pub slices: u64,
+    /// Chaos session-kills absorbed.
+    pub kills: u64,
+    /// Evictions to snapshot.
+    pub evictions: u64,
+    /// Rehydrations from snapshot.
+    pub rehydrations: u64,
+    /// Commits so far.
+    pub commit_seq: u64,
+    /// Size of the committed snapshot in bytes.
+    pub snapshot_bytes: usize,
+    /// Machine cycles at the last commit.
+    pub total_cycles: u64,
+    /// Set when the session is poisoned.
+    pub poisoned: Option<String>,
+}
+
+/// Output drained from a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResult {
+    /// Output words, in op order (see `crate::op` for the layout).
+    pub words: Vec<Int>,
+    /// Ops committed so far.
+    pub ops_done: u64,
+    /// Ops still queued.
+    pub pending: usize,
+}
+
+/// Fleet-wide counters, returned by [`FleetHandle::stats`] and
+/// [`Fleet::shutdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Sessions currently open.
+    pub sessions_open: usize,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Ops committed fleet-wide.
+    pub ops_done: u64,
+    /// Scheduling slices started.
+    pub slices: u64,
+    /// Chaos session-kills absorbed.
+    pub kills: u64,
+    /// Evictions to snapshot.
+    pub evictions: u64,
+    /// Rehydrations from snapshot.
+    pub rehydrations: u64,
+    /// Per-op wall-clock latency distribution, in microseconds.
+    pub latency_us: Histogram,
+}
+
+impl FleetStats {
+    /// The stats as stable `(name, value)` pairs — the payload of the wire
+    /// protocol's `StatsData` response.
+    pub fn pairs(&self) -> Vec<(String, u64)> {
+        vec![
+            ("workers".into(), self.workers as u64),
+            ("sessions_open".into(), self.sessions_open as u64),
+            ("sessions_opened".into(), self.sessions_opened),
+            ("sessions_closed".into(), self.sessions_closed),
+            ("ops_done".into(), self.ops_done),
+            ("slices".into(), self.slices),
+            ("kills".into(), self.kills),
+            ("evictions".into(), self.evictions),
+            ("rehydrations".into(), self.rehydrations),
+            ("latency_ops".into(), self.latency_us.count()),
+            ("latency_p50_us".into(), self.latency_us.quantile(0.5)),
+            ("latency_p99_us".into(), self.latency_us.quantile(0.99)),
+        ]
+    }
+}
+
+struct Counters {
+    ops_done: AtomicU64,
+    slices: AtomicU64,
+    kills: AtomicU64,
+    evictions: AtomicU64,
+    rehydrations: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            ops_done: AtomicU64::new(0),
+            slices: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rehydrations: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared {
+    cfg: FleetConfig,
+    slots: Mutex<HashMap<u64, Arc<Mutex<Slot>>>>,
+    next_id: AtomicU64,
+    shards: Vec<Mutex<VecDeque<u64>>>,
+    /// Wakes idle workers; the guarded counter defeats lost wakeups.
+    work: Condvar,
+    work_seq: Mutex<u64>,
+    /// Wakes `wait_idle` callers (state lives in the slots, so waiters
+    /// poll under a short timeout; the condvar only shortens the nap).
+    idle: Condvar,
+    idle_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    counters: Counters,
+    latency_us: Mutex<Histogram>,
+}
+
+impl Shared {
+    fn slot(&self, id: u64) -> Result<Arc<Mutex<Slot>>, FleetError> {
+        lock(&self.slots)
+            .get(&id)
+            .cloned()
+            .ok_or(FleetError::UnknownSession(id))
+    }
+
+    fn enqueue(&self, id: u64) {
+        let shard = (id as usize) % self.shards.len();
+        lock(&self.shards[shard]).push_back(id);
+        {
+            let mut seq = lock(&self.work_seq);
+            *seq = seq.wrapping_add(1);
+        }
+        self.work.notify_one();
+    }
+
+    fn notify_idle(&self) {
+        let _guard = lock(&self.idle_lock);
+        self.idle.notify_all();
+    }
+
+    /// Pop a session id, preferring this worker's own shard and stealing
+    /// from the others round-robin otherwise.
+    fn pop(&self, worker: usize) -> Option<u64> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = (worker + i) % n;
+            if let Some(id) = lock(&self.shards[shard]).pop_front() {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+/// A clonable handle to a running fleet: the in-process client API, also
+/// used by the TCP server's connection threads.
+#[derive(Clone)]
+pub struct FleetHandle {
+    shared: Arc<Shared>,
+}
+
+/// Everything a successful slice hands back for the commit phase: new
+/// snapshot bytes, the machine (for the resident cache), stats, outputs,
+/// executed-op count, and merged metrics.
+struct SliceCommit {
+    snapshot: Vec<u8>,
+    hw: Hw,
+    stats: Stats,
+    out: Vec<Int>,
+    executed: usize,
+    metrics: MetricsSink,
+}
+
+/// Outcome of the unlocked run phase of one slice.
+enum SliceRun {
+    /// Commit the slice atomically.
+    Commit(Box<SliceCommit>),
+    /// Chaos kill: discard everything, replay next slice.
+    Killed,
+    /// Unrecoverable fault: poison the session.
+    Poison(String),
+}
+
+/// Worker-thread state (lives entirely on its own thread; `Hw` is `!Send`
+/// so the resident cache can never leak across workers).
+struct Worker {
+    shared: Arc<Shared>,
+    index: usize,
+    /// Resident machines: session id → (commit_seq at load, machine), in
+    /// least-recently-used order (front = coldest).
+    resident: Vec<(u64, u64, Hw)>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.shared.pop(self.index) {
+                Some(id) => self.run_slice(id),
+                None => {
+                    let guard = lock(&self.shared.work_seq);
+                    let seq = *guard;
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Re-check after taking the lock: an enqueue between
+                    // pop and wait bumps the sequence number.
+                    if seq == *guard {
+                        let _unused = self
+                            .shared
+                            .work
+                            .wait_timeout(guard, Duration::from_millis(50));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Take a cached machine for `(id, seq)` if one is still valid.
+    fn take_resident(&mut self, id: u64, seq: u64) -> Option<Hw> {
+        let pos = self.resident.iter().position(|(sid, _, _)| *sid == id)?;
+        let (_, cached_seq, hw) = self.resident.remove(pos);
+        // A stale sequence number means another worker committed since we
+        // cached this machine; the bytes in the slot are the truth.
+        (cached_seq == seq).then_some(hw)
+    }
+
+    fn cache_resident(&mut self, id: u64, seq: u64, hw: Hw) -> u64 {
+        let cap = self.shared.cfg.resident();
+        if cap == 0 {
+            return 1;
+        }
+        self.resident.push((id, seq, hw));
+        let mut evicted = 0;
+        while self.resident.len() > cap {
+            self.resident.remove(0);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn run_slice(&mut self, id: u64) {
+        let Ok(slot) = self.shared.slot(id) else {
+            return; // closed while queued
+        };
+
+        // Phase 1: take work under the slot lock.
+        let (bytes, ops, commit_seq, slice_idx, config) = {
+            let mut s = lock(&slot);
+            s.queued = false;
+            if s.closed || s.poisoned.is_some() || s.pending.is_empty() || s.running {
+                drop(s);
+                self.shared.notify_idle();
+                return;
+            }
+            s.running = true;
+            s.slices += 1;
+            let seq = s.commit_seq;
+            let bytes = if self
+                .resident
+                .iter()
+                .any(|(sid, sq, _)| *sid == id && *sq == seq)
+            {
+                None
+            } else {
+                Some(s.snapshot.clone())
+            };
+            (
+                bytes,
+                s.pending.iter().cloned().collect::<Vec<Op>>(),
+                seq,
+                s.slices - 1,
+                s.config.clone(),
+            )
+        };
+        self.shared.counters.slices.fetch_add(1, Ordering::Relaxed);
+
+        let fault = self
+            .shared
+            .cfg
+            .chaos
+            .as_ref()
+            .and_then(|p| p.at(FaultSite::Fleet, slice_idx));
+
+        // Phase 2: run unlocked.
+        let result = self.run_ops(id, bytes, ops, commit_seq, &config, fault);
+
+        // Phase 3: commit (or discard) under the slot lock.
+        let mut requeue = false;
+        {
+            let mut s = lock(&slot);
+            s.running = false;
+            if let Some(kind) = fault {
+                s.injected.push(InjectedFault {
+                    site: FaultSite::Fleet,
+                    op: slice_idx,
+                    kind,
+                });
+            }
+            match result {
+                SliceRun::Commit(commit) => {
+                    let SliceCommit {
+                        snapshot,
+                        hw,
+                        stats,
+                        out,
+                        executed,
+                        metrics,
+                    } = *commit;
+                    if !s.closed {
+                        s.snapshot = snapshot;
+                        s.stats = stats;
+                        s.metrics.merge(&metrics);
+                        for _ in 0..executed {
+                            s.pending.pop_front();
+                        }
+                        s.outputs.extend(out);
+                        s.ops_done += executed as u64;
+                        s.commit_seq += 1;
+                        self.shared
+                            .counters
+                            .ops_done
+                            .fetch_add(executed as u64, Ordering::Relaxed);
+                        let seq = s.commit_seq;
+                        requeue = !s.pending.is_empty();
+                        if requeue {
+                            s.queued = true;
+                        }
+                        // Resident policy. Evicting *this* session (forced
+                        // by chaos or a zero-capacity cache) is charged to
+                        // its slot; LRU overflow evicts other sessions'
+                        // machines and is only counted fleet-wide.
+                        let evict_self = matches!(fault, Some(FaultKind::ForceEvict))
+                            || self.shared.cfg.resident() == 0;
+                        if evict_self {
+                            s.evictions += 1;
+                        }
+                        drop(s);
+                        let evicted = if evict_self {
+                            drop(hw);
+                            1
+                        } else {
+                            self.cache_resident(id, seq, hw)
+                        };
+                        if evicted > 0 {
+                            self.shared
+                                .counters
+                                .evictions
+                                .fetch_add(evicted, Ordering::Relaxed);
+                        }
+                    }
+                }
+                SliceRun::Killed => {
+                    s.kills += 1;
+                    self.shared.counters.kills.fetch_add(1, Ordering::Relaxed);
+                    requeue = !s.pending.is_empty();
+                    if requeue {
+                        s.queued = true;
+                    }
+                }
+                SliceRun::Poison(msg) => {
+                    s.poisoned = Some(msg);
+                }
+            }
+        }
+        if requeue {
+            self.shared.enqueue(id);
+        }
+        self.shared.notify_idle();
+    }
+
+    /// The unlocked run phase: rehydrate (or reuse) the machine, execute
+    /// queued ops until the fuel slice is spent, hibernate.
+    fn run_ops(
+        &mut self,
+        id: u64,
+        bytes: Option<Vec<u8>>,
+        ops: Vec<Op>,
+        commit_seq: u64,
+        config: &SessionConfig,
+        fault: Option<FaultKind>,
+    ) -> SliceRun {
+        let mut hw = match bytes {
+            None => match self.take_resident(id, commit_seq) {
+                Some(hw) => hw,
+                // The cache was invalidated between phase 1 and here; fall
+                // back to the committed bytes.
+                None => {
+                    let Ok(slot) = self.shared.slot(id) else {
+                        return SliceRun::Killed;
+                    };
+                    let bytes = lock(&slot).snapshot.clone();
+                    match Hw::rehydrate(&bytes, config.hw_config()) {
+                        Ok(hw) => hw,
+                        Err(e) => return SliceRun::Poison(format!("rehydrate: {e}")),
+                    }
+                }
+            },
+            Some(bytes) => {
+                // Drop any stale cache entry for this session first.
+                let _stale = self.take_resident(id, commit_seq);
+                self.shared
+                    .counters
+                    .rehydrations
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Ok(slot) = self.shared.slot(id) {
+                    lock(&slot).rehydrations += 1;
+                }
+                match Hw::rehydrate(&bytes, config.hw_config()) {
+                    Ok(hw) => hw,
+                    Err(e) => return SliceRun::Poison(format!("rehydrate: {e}")),
+                }
+            }
+        };
+
+        let sink = SharedSink::new(MetricsSink::new());
+        hw.set_sink(Box::new(sink.clone()));
+        let start = hw.stats().total_cycles();
+        let mut out = Vec::new();
+        let mut executed = 0usize;
+        let mut gc_failed = false;
+        for op in &ops {
+            let t0 = Instant::now();
+            let ok = apply_op(&mut hw, op, config.op_budget, &mut out);
+            let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            lock(&self.shared.latency_us).record(us);
+            executed += 1;
+            if !ok {
+                gc_failed = true;
+                break;
+            }
+            if hw.stats().total_cycles().saturating_sub(start) >= config.fuel_slice {
+                break;
+            }
+        }
+        drop(hw.take_sink());
+        let metrics = sink.try_into_inner().unwrap_or_default();
+
+        if matches!(fault, Some(FaultKind::SessionKill)) {
+            // The worker "dies" before committing: machine, outputs, and
+            // metrics all evaporate. Determinism of `apply_op` makes the
+            // replay byte-identical.
+            return SliceRun::Killed;
+        }
+        if gc_failed {
+            return SliceRun::Poison("boundary collection failed".into());
+        }
+        let stats = hw.stats().clone();
+        match hw.hibernate() {
+            Ok(snapshot) => SliceRun::Commit(Box::new(SliceCommit {
+                snapshot,
+                hw,
+                stats,
+                out,
+                executed,
+                metrics,
+            })),
+            Err(e) => SliceRun::Poison(format!("hibernate: {e}")),
+        }
+    }
+}
+
+impl FleetHandle {
+    /// Load a program image as a new session; returns its id. The image is
+    /// validated (full decode + initial snapshot) before the session
+    /// becomes visible.
+    pub fn open_program(
+        &self,
+        words: &[Word],
+        config: Option<SessionConfig>,
+    ) -> Result<u64, FleetError> {
+        let config = config.unwrap_or_else(|| self.shared.cfg.session.clone());
+        let hw = Hw::load_with(words, config.hw_config())
+            .map_err(|e| FleetError::Load(e.to_string()))?;
+        let snapshot = hw
+            .hibernate()
+            .map_err(|e| FleetError::Snapshot(e.to_string()))?;
+        let stats = hw.stats().clone();
+        self.install(config, snapshot, stats)
+    }
+
+    /// Resume a session from `ZSNP` bytes (e.g. a previous fleet's
+    /// [`FleetHandle::snapshot`]); the bytes are decoded and audited
+    /// before the session becomes visible.
+    pub fn open_snapshot(
+        &self,
+        bytes: &[u8],
+        config: Option<SessionConfig>,
+    ) -> Result<u64, FleetError> {
+        let config = config.unwrap_or_else(|| self.shared.cfg.session.clone());
+        let snap =
+            MachineSnapshot::from_bytes(bytes).map_err(|e| FleetError::Snapshot(e.to_string()))?;
+        snap.audit_self_contained()
+            .map_err(|e| FleetError::Snapshot(e.to_string()))?;
+        let hw = snap
+            .to_hw(config.hw_config())
+            .map_err(|e| FleetError::Snapshot(e.to_string()))?;
+        let stats = hw.stats().clone();
+        self.install(config, bytes.to_vec(), stats)
+    }
+
+    fn install(
+        &self,
+        config: SessionConfig,
+        snapshot: Vec<u8>,
+        stats: Stats,
+    ) -> Result<u64, FleetError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(FleetError::ShuttingDown);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        let slot = Slot {
+            config,
+            snapshot,
+            stats,
+            metrics: MetricsSink::new(),
+            pending: VecDeque::new(),
+            outputs: Vec::new(),
+            ops_done: 0,
+            commit_seq: 0,
+            slices: 0,
+            kills: 0,
+            evictions: 0,
+            rehydrations: 0,
+            running: false,
+            queued: false,
+            closed: false,
+            poisoned: None,
+            injected: Vec::new(),
+        };
+        lock(&self.shared.slots).insert(id, Arc::new(Mutex::new(slot)));
+        self.shared
+            .counters
+            .sessions_opened
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Queue one op on a session.
+    pub fn inject(&self, id: u64, op: Op) -> Result<(), FleetError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(FleetError::ShuttingDown);
+        }
+        let slot = self.shared.slot(id)?;
+        let enqueue = {
+            let mut s = lock(&slot);
+            if let Some(msg) = &s.poisoned {
+                return Err(FleetError::SessionPoisoned(msg.clone()));
+            }
+            if s.closed {
+                return Err(FleetError::UnknownSession(id));
+            }
+            s.pending.push_back(op);
+            if !s.running && !s.queued {
+                s.queued = true;
+                true
+            } else {
+                false
+            }
+        };
+        if enqueue {
+            self.shared.enqueue(id);
+        }
+        Ok(())
+    }
+
+    /// Drain a session's committed output words.
+    pub fn poll(&self, id: u64) -> Result<PollResult, FleetError> {
+        let slot = self.shared.slot(id)?;
+        let mut s = lock(&slot);
+        if let Some(msg) = &s.poisoned {
+            return Err(FleetError::SessionPoisoned(msg.clone()));
+        }
+        Ok(PollResult {
+            words: std::mem::take(&mut s.outputs),
+            ops_done: s.ops_done,
+            pending: s.pending.len(),
+        })
+    }
+
+    /// The session's last committed state as `ZSNP` bytes.
+    pub fn snapshot(&self, id: u64) -> Result<Vec<u8>, FleetError> {
+        let slot = self.shared.slot(id)?;
+        let bytes = lock(&slot).snapshot.clone();
+        Ok(bytes)
+    }
+
+    /// Point-in-time statistics for one session.
+    pub fn session_stats(&self, id: u64) -> Result<SessionStats, FleetError> {
+        let slot = self.shared.slot(id)?;
+        let s = lock(&slot);
+        Ok(SessionStats {
+            ops_done: s.ops_done,
+            pending: s.pending.len(),
+            slices: s.slices,
+            kills: s.kills,
+            evictions: s.evictions,
+            rehydrations: s.rehydrations,
+            commit_seq: s.commit_seq,
+            snapshot_bytes: s.snapshot.len(),
+            total_cycles: s.stats.total_cycles(),
+            poisoned: s.poisoned.clone(),
+        })
+    }
+
+    /// Faults injected into one session so far, in firing order.
+    pub fn session_faults(&self, id: u64) -> Result<Vec<InjectedFault>, FleetError> {
+        let slot = self.shared.slot(id)?;
+        let faults = lock(&slot).injected.clone();
+        Ok(faults)
+    }
+
+    /// The session's aggregated metrics (merged at each commit).
+    pub fn session_metrics(&self, id: u64) -> Result<MetricsSink, FleetError> {
+        let slot = self.shared.slot(id)?;
+        let metrics = lock(&slot).metrics.clone();
+        Ok(metrics)
+    }
+
+    /// Block until the session has no uncommitted work (or `timeout`
+    /// elapses). Poisoned sessions return their poison error.
+    pub fn wait_idle(&self, id: u64, timeout: Duration) -> Result<(), FleetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let slot = self.shared.slot(id)?;
+                let s = lock(&slot);
+                if let Some(msg) = &s.poisoned {
+                    return Err(FleetError::SessionPoisoned(msg.clone()));
+                }
+                if s.idle() {
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(FleetError::WaitTimeout);
+            }
+            let guard = lock(&self.shared.idle_lock);
+            let _unused = self
+                .shared
+                .idle
+                .wait_timeout(guard, Duration::from_millis(5));
+        }
+    }
+
+    /// Block until every open session is idle (or `timeout` elapses).
+    pub fn wait_all_idle(&self, timeout: Duration) -> Result<(), FleetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ids: Vec<u64> = lock(&self.shared.slots).keys().copied().collect();
+            let busy = ids.iter().any(|&id| {
+                self.shared
+                    .slot(id)
+                    .map(|slot| {
+                        let s = lock(&slot);
+                        s.poisoned.is_none() && !s.idle()
+                    })
+                    .unwrap_or(false)
+            });
+            if !busy {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(FleetError::WaitTimeout);
+            }
+            let guard = lock(&self.shared.idle_lock);
+            let _unused = self
+                .shared
+                .idle
+                .wait_timeout(guard, Duration::from_millis(5));
+        }
+    }
+
+    /// Close a session, dropping any uncommitted work. Its slot (and last
+    /// snapshot) become unreachable.
+    pub fn close(&self, id: u64) -> Result<(), FleetError> {
+        let slot = lock(&self.shared.slots)
+            .remove(&id)
+            .ok_or(FleetError::UnknownSession(id))?;
+        lock(&slot).closed = true;
+        self.shared
+            .counters
+            .sessions_closed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fleet-wide statistics.
+    pub fn stats(&self) -> FleetStats {
+        let c = &self.shared.counters;
+        FleetStats {
+            workers: self.shared.cfg.worker_count(),
+            sessions_open: lock(&self.shared.slots).len(),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
+            ops_done: c.ops_done.load(Ordering::Relaxed),
+            slices: c.slices.load(Ordering::Relaxed),
+            kills: c.kills.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            rehydrations: c.rehydrations.load(Ordering::Relaxed),
+            latency_us: lock(&self.shared.latency_us).clone(),
+        }
+    }
+
+    /// Ask the fleet to stop (workers drain their current slice and exit).
+    /// [`Fleet::shutdown`] calls this and then joins.
+    pub fn shutdown_signal(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut seq = lock(&self.shared.work_seq);
+            *seq = seq.wrapping_add(1);
+        }
+        self.shared.work.notify_all();
+        self.shared.notify_idle();
+    }
+}
+
+/// A running fleet: worker threads plus the shared state. Dropping (or
+/// calling [`Fleet::shutdown`]) stops and joins the workers.
+pub struct Fleet {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Start a fleet with `cfg.workers` threads (at least one).
+    pub fn start(cfg: FleetConfig) -> Result<Fleet, FleetError> {
+        let n = cfg.worker_count();
+        let shared = Arc::new(Shared {
+            shards: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            slots: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            work: Condvar::new(),
+            work_seq: Mutex::new(0),
+            idle: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::new(),
+            latency_us: Mutex::new(Histogram::new()),
+            cfg,
+        });
+        let mut workers = Vec::with_capacity(n);
+        for index in 0..n {
+            let shared = Arc::clone(&shared);
+            let builder = std::thread::Builder::new().name(format!("zarf-fleet-{index}"));
+            let handle = builder
+                .spawn(move || {
+                    Worker {
+                        shared,
+                        index,
+                        resident: Vec::new(),
+                    }
+                    .run()
+                })
+                .map_err(|e| FleetError::Load(format!("spawn worker: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(Fleet { shared, workers })
+    }
+
+    /// A clonable client handle.
+    pub fn handle(&self) -> FleetHandle {
+        FleetHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stop the workers, join them, and return the final statistics.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.handle().shutdown_signal();
+        for w in self.workers.drain(..) {
+            let _unused = w.join();
+        }
+        self.handle().stats()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.handle().shutdown_signal();
+        for w in self.workers.drain(..) {
+            let _unused = w.join();
+        }
+    }
+}

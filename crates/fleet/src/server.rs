@@ -1,0 +1,180 @@
+//! TCP front-end for the fleet: one `ZFLT` frame per request, one per
+//! response, thread per connection, `std::net` only.
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::fleet::FleetHandle;
+use crate::wire::{
+    read_frame, write_frame, Request, Response, WireError, ERR_INTERNAL, ERR_LOAD, ERR_POISONED,
+    ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
+};
+use crate::FleetError;
+
+fn error_response(e: FleetError) -> Response {
+    let code = match &e {
+        FleetError::UnknownSession(_) => ERR_UNKNOWN_SESSION,
+        FleetError::SessionPoisoned(_) => ERR_POISONED,
+        FleetError::Snapshot(_) => ERR_SNAPSHOT,
+        FleetError::Load(_) => ERR_LOAD,
+        FleetError::ShuttingDown => ERR_SHUTDOWN,
+        _ => ERR_INTERNAL,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Answer one decoded request against the fleet. Shared by the TCP server
+/// and any in-process protocol testing; `Shutdown` is handled by the
+/// caller (it terminates the serve loop, not the fleet).
+pub fn dispatch(handle: &FleetHandle, req: &Request) -> Response {
+    let outcome = match req {
+        Request::LoadProgram { config, program } => handle
+            .open_program(program, Some(config.clone()))
+            .map(|session| Response::Opened { session }),
+        Request::Restore { config, snapshot } => handle
+            .open_snapshot(snapshot, Some(config.clone()))
+            .map(|session| Response::Opened { session }),
+        Request::Inject { session, op } => handle.inject(*session, op.clone()).and_then(|()| {
+            let stats = handle.session_stats(*session)?;
+            Ok(Response::Accepted {
+                session: *session,
+                pending: stats.pending as u64,
+            })
+        }),
+        Request::Poll { session } => handle.poll(*session).map(|p| Response::Output {
+            session: *session,
+            ops_done: p.ops_done,
+            pending: p.pending as u64,
+            words: p.words,
+        }),
+        Request::Snapshot { session } => {
+            handle
+                .snapshot(*session)
+                .map(|bytes| Response::SnapshotData {
+                    session: *session,
+                    bytes,
+                })
+        }
+        Request::Stats { session } => {
+            if *session == 0 {
+                Ok(Response::StatsData {
+                    pairs: handle.stats().pairs(),
+                })
+            } else {
+                handle.session_stats(*session).map(|s| Response::StatsData {
+                    pairs: vec![
+                        ("ops_done".into(), s.ops_done),
+                        ("pending".into(), s.pending as u64),
+                        ("slices".into(), s.slices),
+                        ("kills".into(), s.kills),
+                        ("evictions".into(), s.evictions),
+                        ("rehydrations".into(), s.rehydrations),
+                        ("commit_seq".into(), s.commit_seq),
+                        ("snapshot_bytes".into(), s.snapshot_bytes as u64),
+                        ("total_cycles".into(), s.total_cycles),
+                        ("poisoned".into(), u64::from(s.poisoned.is_some())),
+                    ],
+                })
+            }
+        }
+        Request::Close { session } => handle
+            .close(*session)
+            .map(|()| Response::Closed { session: *session }),
+        Request::Shutdown => Ok(Response::Bye),
+    };
+    outcome.unwrap_or_else(error_response)
+}
+
+fn handle_connection(mut stream: TcpStream, handle: FleetHandle, stop: Arc<AtomicBool>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            // EOF or transport damage: drop the connection. Framing means
+            // we cannot resynchronize mid-stream anyway.
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => {
+                let resp = dispatch(&handle, &req);
+                if matches!(req, Request::Shutdown) {
+                    let _unused = write_frame(&mut stream, &resp.encode());
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the acceptor with a throwaway connection.
+                    if let Ok(addr) = stream.local_addr() {
+                        let _unused = TcpStream::connect(addr);
+                    }
+                    return;
+                }
+                resp
+            }
+            Err(e) => Response::Error {
+                code: ERR_INTERNAL,
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve `ZFLT` over a listener until a client sends `Shutdown`. Blocking;
+/// connection threads are joined before returning. The fleet itself is
+/// left running — the caller owns its lifecycle.
+pub fn serve(listener: TcpListener, handle: FleetHandle) -> Result<(), FleetError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        let builder = std::thread::Builder::new().name("zarf-fleet-conn".into());
+        match builder.spawn(move || handle_connection(stream, handle, stop)) {
+            Ok(t) => threads.push(t),
+            Err(e) => return Err(FleetError::Wire(WireError::Io(e.to_string()))),
+        }
+    }
+    for t in threads {
+        let _unused = t.join();
+    }
+    Ok(())
+}
+
+/// A minimal blocking `ZFLT` client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serving fleet.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+
+    /// Like [`Client::request`], but protocol `Error` frames become
+    /// [`FleetError::Remote`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, FleetError> {
+        match self.request(req)? {
+            Response::Error { code, message } => Err(FleetError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+}

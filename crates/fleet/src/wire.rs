@@ -1,0 +1,780 @@
+//! The `ZFLT` binary wire protocol.
+//!
+//! ## Frame layout
+//!
+//! | offset | size | field                                |
+//! |--------|------|--------------------------------------|
+//! | 0      | 4    | magic `"ZFLT"`                       |
+//! | 4      | 1    | version (currently 1)                |
+//! | 5      | 4    | payload length `L`, u32 LE           |
+//! | 9      | `L`  | payload: opcode byte + message body  |
+//! | 9+L    | 4    | CRC-32 of the payload, u32 LE        |
+//!
+//! All integers are little-endian. The CRC is the same IEEE polynomial
+//! the `ZSNP` snapshot container uses ([`zarf_hw::crc32`]). Decoding is
+//! exact: a frame must consume its entire buffer and a message its entire
+//! payload, so *any* single-bit corruption of a serialized frame is
+//! rejected — magic and version flips by field checks, length flips by
+//! the total-length equation, payload and CRC flips by CRC-32's
+//! guaranteed detection of 1-bit errors (pinned by the property suite in
+//! `tests/proptest_zflt.rs`).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use zarf_core::{Int, Word};
+use zarf_hw::crc32;
+
+use crate::fleet::SessionConfig;
+use crate::op::{Op, PortFeed};
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"ZFLT";
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Upper bound on payload length (16 MiB) — snapshots of default-sized
+/// machines are well under this; anything bigger is a corrupt length
+/// field or a hostile peer.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+/// Bytes of framing around a payload (magic + version + length + CRC).
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 4 + 4;
+
+/// Error code carried by [`Response::Error`]: unknown session.
+pub const ERR_UNKNOWN_SESSION: u32 = 1;
+/// Error code: session poisoned.
+pub const ERR_POISONED: u32 = 2;
+/// Error code: snapshot decode/audit/capture failure.
+pub const ERR_SNAPSHOT: u32 = 3;
+/// Error code: program load failure.
+pub const ERR_LOAD: u32 = 4;
+/// Error code: fleet shutting down.
+pub const ERR_SHUTDOWN: u32 = 5;
+/// Error code: anything else.
+pub const ERR_INTERNAL: u32 = 6;
+
+/// Wire-protocol failures. Typed and total: malformed input from the
+/// network can never panic the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field being read.
+    Truncated,
+    /// The frame does not start with `"ZFLT"`.
+    BadMagic,
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u64),
+    /// The declared payload length disagrees with the buffer length.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: u64,
+        /// Payload length implied by the buffer.
+        actual: u64,
+    },
+    /// The payload failed its CRC-32 check.
+    CrcMismatch,
+    /// The payload's first byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// A message body was structurally invalid (bad tag, count, …).
+    Malformed(&'static str),
+    /// A message decoded but left unconsumed payload bytes.
+    TrailingBytes,
+    /// Transport failure (socket read/write).
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::BadMagic => f.write_str("bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversize(n) => write!(f, "payload length {n} exceeds maximum"),
+            WireError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "declared payload {declared} bytes, buffer holds {actual}"
+                )
+            }
+            WireError::CrcMismatch => f.write_str("payload CRC mismatch"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after message"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Load a program image as a new session.
+    LoadProgram {
+        /// Per-session execution parameters.
+        config: SessionConfig,
+        /// The encoded program.
+        program: Vec<Word>,
+    },
+    /// Resume a session from `ZSNP` snapshot bytes.
+    Restore {
+        /// Per-session execution parameters.
+        config: SessionConfig,
+        /// The snapshot.
+        snapshot: Vec<u8>,
+    },
+    /// Queue one op on a session.
+    Inject {
+        /// Target session.
+        session: u64,
+        /// The op.
+        op: Op,
+    },
+    /// Drain a session's committed output.
+    Poll {
+        /// Target session.
+        session: u64,
+    },
+    /// Fetch a session's last committed snapshot.
+    Snapshot {
+        /// Target session.
+        session: u64,
+    },
+    /// Fleet-wide statistics (`session` 0) or one session's.
+    Stats {
+        /// Target session, or 0 for the fleet.
+        session: u64,
+    },
+    /// Close a session.
+    Close {
+        /// Target session.
+        session: u64,
+    },
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session created.
+    Opened {
+        /// Its id.
+        session: u64,
+    },
+    /// Op queued.
+    Accepted {
+        /// The session.
+        session: u64,
+        /// Ops now pending.
+        pending: u64,
+    },
+    /// Drained output.
+    Output {
+        /// The session.
+        session: u64,
+        /// Ops committed so far.
+        ops_done: u64,
+        /// Ops still pending.
+        pending: u64,
+        /// The output words.
+        words: Vec<Int>,
+    },
+    /// A session snapshot.
+    SnapshotData {
+        /// The session.
+        session: u64,
+        /// `ZSNP` bytes.
+        bytes: Vec<u8>,
+    },
+    /// Statistics as `(name, value)` pairs.
+    StatsData {
+        /// The pairs, in a stable order.
+        pairs: Vec<(String, u64)>,
+    },
+    /// Session closed.
+    Closed {
+        /// The session.
+        session: u64,
+    },
+    /// The server acknowledges shutdown and will close the connection.
+    Bye,
+    /// The request failed.
+    Error {
+        /// Machine-readable code (`ERR_*`).
+        code: u32,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+// -- primitive readers/writers ----------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// A u32 count that must be plausible for `elem_bytes`-sized elements
+    /// in the remaining buffer (rejects hostile lengths before allocating).
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let need = n.checked_mul(elem_bytes).ok_or(WireError::Truncated)?;
+        if need > self.buf.len().saturating_sub(self.pos) {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn ints(&mut self) -> Result<Vec<Int>, WireError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.i32()).collect()
+    }
+
+    fn words(&mut self) -> Result<Vec<Word>, WireError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_ints(out: &mut Vec<u8>, xs: &[Int]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_i32(out, x);
+    }
+}
+
+fn put_words(out: &mut Vec<u8>, xs: &[Word]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_u32(out, x);
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+// -- op and config codecs -----------------------------------------------------
+
+fn put_config(out: &mut Vec<u8>, c: &SessionConfig) {
+    put_u64(out, c.heap_words as u64);
+    put_u64(out, c.op_budget);
+    put_u64(out, c.fuel_slice);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
+    let heap_words = r.u64()?;
+    let heap_words = usize::try_from(heap_words).map_err(|_| WireError::Malformed("heap size"))?;
+    Ok(SessionConfig {
+        heap_words,
+        op_budget: r.u64()?,
+        fuel_slice: r.u64()?,
+    })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    let (tag, item, args, inputs) = match op {
+        Op::Eval { item, args, inputs } => (0u8, *item, args, inputs),
+        Op::Step { item, args, inputs } => (1u8, *item, args, inputs),
+    };
+    out.push(tag);
+    put_u32(out, item);
+    put_ints(out, args);
+    put_u32(out, inputs.len() as u32);
+    for feed in inputs {
+        put_i32(out, feed.port);
+        put_ints(out, &feed.words);
+    }
+}
+
+fn read_op(r: &mut Reader<'_>) -> Result<Op, WireError> {
+    let tag = r.u8()?;
+    let item = r.u32()?;
+    let args = r.ints()?;
+    let n = r.count(8)?; // each feed is at least port (4) + count (4)
+    let mut inputs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let port = r.i32()?;
+        let words = r.ints()?;
+        inputs.push(PortFeed { port, words });
+    }
+    match tag {
+        0 => Ok(Op::Eval { item, args, inputs }),
+        1 => Ok(Op::Step { item, args, inputs }),
+        _ => Err(WireError::Malformed("op tag")),
+    }
+}
+
+// -- message codecs -----------------------------------------------------------
+
+const OP_LOAD_PROGRAM: u8 = 1;
+const OP_RESTORE: u8 = 2;
+const OP_INJECT: u8 = 3;
+const OP_POLL: u8 = 4;
+const OP_SNAPSHOT: u8 = 5;
+const OP_STATS: u8 = 6;
+const OP_CLOSE: u8 = 7;
+const OP_SHUTDOWN: u8 = 8;
+
+const OP_OPENED: u8 = 16;
+const OP_ACCEPTED: u8 = 17;
+const OP_OUTPUT: u8 = 18;
+const OP_SNAPSHOT_DATA: u8 = 19;
+const OP_STATS_DATA: u8 = 20;
+const OP_CLOSED: u8 = 21;
+const OP_BYE: u8 = 22;
+const OP_ERROR: u8 = 23;
+
+impl Request {
+    /// Serialize to a payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::LoadProgram { config, program } => {
+                out.push(OP_LOAD_PROGRAM);
+                put_config(&mut out, config);
+                put_words(&mut out, program);
+            }
+            Request::Restore { config, snapshot } => {
+                out.push(OP_RESTORE);
+                put_config(&mut out, config);
+                put_bytes(&mut out, snapshot);
+            }
+            Request::Inject { session, op } => {
+                out.push(OP_INJECT);
+                put_u64(&mut out, *session);
+                put_op(&mut out, op);
+            }
+            Request::Poll { session } => {
+                out.push(OP_POLL);
+                put_u64(&mut out, *session);
+            }
+            Request::Snapshot { session } => {
+                out.push(OP_SNAPSHOT);
+                put_u64(&mut out, *session);
+            }
+            Request::Stats { session } => {
+                out.push(OP_STATS);
+                put_u64(&mut out, *session);
+            }
+            Request::Close { session } => {
+                out.push(OP_CLOSE);
+                put_u64(&mut out, *session);
+            }
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Deserialize from a payload; the whole payload must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            OP_LOAD_PROGRAM => Request::LoadProgram {
+                config: read_config(&mut r)?,
+                program: r.words()?,
+            },
+            OP_RESTORE => Request::Restore {
+                config: read_config(&mut r)?,
+                snapshot: r.bytes()?,
+            },
+            OP_INJECT => Request::Inject {
+                session: r.u64()?,
+                op: read_op(&mut r)?,
+            },
+            OP_POLL => Request::Poll { session: r.u64()? },
+            OP_SNAPSHOT => Request::Snapshot { session: r.u64()? },
+            OP_STATS => Request::Stats { session: r.u64()? },
+            OP_CLOSE => Request::Close { session: r.u64()? },
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Opened { session } => {
+                out.push(OP_OPENED);
+                put_u64(&mut out, *session);
+            }
+            Response::Accepted { session, pending } => {
+                out.push(OP_ACCEPTED);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *pending);
+            }
+            Response::Output {
+                session,
+                ops_done,
+                pending,
+                words,
+            } => {
+                out.push(OP_OUTPUT);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *ops_done);
+                put_u64(&mut out, *pending);
+                put_ints(&mut out, words);
+            }
+            Response::SnapshotData { session, bytes } => {
+                out.push(OP_SNAPSHOT_DATA);
+                put_u64(&mut out, *session);
+                put_bytes(&mut out, bytes);
+            }
+            Response::StatsData { pairs } => {
+                out.push(OP_STATS_DATA);
+                put_u32(&mut out, pairs.len() as u32);
+                for (name, value) in pairs {
+                    put_string(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+            }
+            Response::Closed { session } => {
+                out.push(OP_CLOSED);
+                put_u64(&mut out, *session);
+            }
+            Response::Bye => out.push(OP_BYE),
+            Response::Error { code, message } => {
+                out.push(OP_ERROR);
+                put_u32(&mut out, *code);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Deserialize from a payload; the whole payload must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            OP_OPENED => Response::Opened { session: r.u64()? },
+            OP_ACCEPTED => Response::Accepted {
+                session: r.u64()?,
+                pending: r.u64()?,
+            },
+            OP_OUTPUT => Response::Output {
+                session: r.u64()?,
+                ops_done: r.u64()?,
+                pending: r.u64()?,
+                words: r.ints()?,
+            },
+            OP_SNAPSHOT_DATA => Response::SnapshotData {
+                session: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            OP_STATS_DATA => {
+                let n = r.count(12)?; // name length prefix + value
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.string()?;
+                    let value = r.u64()?;
+                    pairs.push((name, value));
+                }
+                Response::StatsData { pairs }
+            }
+            OP_CLOSED => Response::Closed { session: r.u64()? },
+            OP_BYE => Response::Bye,
+            OP_ERROR => Response::Error {
+                code: r.u32()?,
+                message: r.string()?,
+            },
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// -- framing ------------------------------------------------------------------
+
+/// Wrap a payload in a `ZFLT` frame (magic, version, length, CRC).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u32(&mut out, crc32(payload));
+    out
+}
+
+/// Unwrap a `ZFLT` frame that must span the buffer exactly, returning the
+/// verified payload.
+pub fn decode_frame(buf: &[u8]) -> Result<&[u8], WireError> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Err(WireError::Truncated);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    let declared = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as u64;
+    if declared > MAX_FRAME_PAYLOAD as u64 {
+        return Err(WireError::Oversize(declared));
+    }
+    let actual = (buf.len() - FRAME_OVERHEAD) as u64;
+    if declared != actual {
+        return Err(WireError::LengthMismatch { declared, actual });
+    }
+    let payload = &buf[9..buf.len() - 4];
+    let crc_bytes = &buf[buf.len() - 4..];
+    let crc = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc != crc32(payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    Ok(payload)
+}
+
+/// Write one framed payload to a stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    let frame = encode_frame(payload);
+    w.write_all(&frame)
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Read one framed payload from a stream.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize(len as u64));
+    }
+    let mut rest = vec![0u8; len + 4];
+    r.read_exact(&mut rest)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&rest);
+    decode_frame(&frame).map(<[u8]>::to_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::LoadProgram {
+                config: SessionConfig::default(),
+                program: vec![1, 2, 3, 0xFFFF_FFFF],
+            },
+            Request::Restore {
+                config: SessionConfig {
+                    heap_words: 4096,
+                    op_budget: 7,
+                    fuel_slice: 9,
+                },
+                snapshot: vec![0, 1, 2, 255],
+            },
+            Request::Inject {
+                session: 42,
+                op: Op::Step {
+                    item: 0x101,
+                    args: vec![-1, 0, i32::MAX],
+                    inputs: vec![PortFeed {
+                        port: 2,
+                        words: vec![10, -20],
+                    }],
+                },
+            },
+            Request::Poll { session: 1 },
+            Request::Snapshot { session: u64::MAX },
+            Request::Stats { session: 0 },
+            Request::Close { session: 9 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Opened { session: 7 },
+            Response::Accepted {
+                session: 7,
+                pending: 3,
+            },
+            Response::Output {
+                session: 7,
+                ops_done: 12,
+                pending: 0,
+                words: vec![1, -2, i32::MIN],
+            },
+            Response::SnapshotData {
+                session: 7,
+                bytes: vec![90, 83, 78, 80],
+            },
+            Response::StatsData {
+                pairs: vec![("ops_done".into(), 64), ("workers".into(), 2)],
+            },
+            Response::Closed { session: 7 },
+            Response::Bye,
+            Response::Error {
+                code: ERR_POISONED,
+                message: "boom".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let payload = req.encode();
+            let frame = encode_frame(&payload);
+            let back = decode_frame(&frame).unwrap();
+            assert_eq!(Request::decode(back).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let payload = resp.encode();
+            let frame = encode_frame(&payload);
+            let back = decode_frame(&frame).unwrap();
+            assert_eq!(Response::decode(back).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_on_a_sample_frame() {
+        let frame = encode_frame(&Request::Poll { session: 3 }.encode());
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut dam = frame.clone();
+                dam[byte] ^= 1 << bit;
+                let verdict = decode_frame(&dam).and_then(|p| Request::decode(p).map(|_| ()));
+                assert!(
+                    verdict.is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_framing_round_trips() {
+        let payload = Request::Stats { session: 0 }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn decoder_rejects_structural_damage() {
+        assert_eq!(decode_frame(&[]), Err(WireError::Truncated));
+        let frame = encode_frame(b"x");
+        assert_eq!(
+            decode_frame(&frame[..frame.len() - 1]),
+            Err(WireError::LengthMismatch {
+                declared: 1,
+                actual: 0
+            })
+        );
+        let mut extra = frame.clone();
+        extra.push(0);
+        assert!(decode_frame(&extra).is_err());
+        // Unknown opcode payloads decode as frames but not as messages.
+        let odd = encode_frame(&[0xEE]);
+        let payload = decode_frame(&odd).unwrap();
+        assert_eq!(
+            Request::decode(payload),
+            Err(WireError::UnknownOpcode(0xEE))
+        );
+        // Trailing bytes inside the payload are caught by finish().
+        let padded = encode_frame(&{
+            let mut p = Request::Shutdown.encode();
+            p.push(0);
+            p
+        });
+        assert_eq!(
+            Request::decode(decode_frame(&padded).unwrap()),
+            Err(WireError::TrailingBytes)
+        );
+    }
+}

@@ -483,6 +483,26 @@ impl Hw {
         self.roots[slot] = v;
     }
 
+    /// Number of host root slots currently protected.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Serialize the whole machine to `ZSNP` snapshot bytes (the machine
+    /// must be quiescent). The inverse of [`Hw::rehydrate`]; the fleet uses
+    /// this pair to evict sessions to bounded storage and move them across
+    /// worker threads.
+    pub fn hibernate(&self) -> Result<Vec<u8>, crate::snapshot::SnapshotError> {
+        crate::snapshot::MachineSnapshot::capture(self)?.to_bytes()
+    }
+
+    /// Rebuild a machine from [`Hw::hibernate`] bytes. `config` supplies
+    /// the non-snapshotted knobs (cycle limit, GC policy, cost model); the
+    /// heap capacity always comes from the snapshot.
+    pub fn rehydrate(bytes: &[u8], config: HwConfig) -> Result<Hw, crate::snapshot::SnapshotError> {
+        crate::snapshot::MachineSnapshot::from_bytes(bytes)?.to_hw(config)
+    }
+
     /// Run `main` to completion, returning its weak head-normal form.
     pub fn run(&mut self, ports: &mut dyn IoPorts) -> Result<HValue, HwError> {
         self.call(FIRST_USER_INDEX, vec![], ports)

@@ -21,11 +21,13 @@ pub mod baseline;
 pub mod devices;
 pub mod monitor;
 pub mod program;
+pub mod session;
 pub mod snapshot;
 pub mod system;
 
 pub use devices::HeartState;
 pub use program::{kernel_machine, kernel_program, kernel_source};
+pub use session::{session_image, session_machine, session_source, KernelSessionImage};
 pub use snapshot::SystemCheckpoint;
 pub use system::{
     Detection, FaultCause, RecoveryPolicy, SupervisedOutcome, SupervisedReport, System,

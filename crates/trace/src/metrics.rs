@@ -82,6 +82,50 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram into this one, as if every sample recorded
+    /// into `other` had been recorded here. Used by the fleet to aggregate
+    /// per-session histograms into fleet-wide ones.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (c, oc) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += oc;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ..= 1.0`), or 0 when empty. Bucketed, so the answer is exact
+    /// to within a factor of two — good enough for p50/p99 summaries.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` inclusive value ranges.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.counts
@@ -214,6 +258,44 @@ impl MetricsSink {
             self.class_cycles[class.index()],
         )
     }
+
+    /// Fold another sink's aggregates into this one, as if both had
+    /// observed one combined trace. Attribution maps add per key,
+    /// histograms merge, peak depths take the max. The coroutine stack is
+    /// transient per-run state and is not merged.
+    pub fn merge(&mut self, other: &MetricsSink) {
+        for (a, b) in self.instr_counts.iter_mut().zip(other.instr_counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.class_cycles.iter_mut().zip(other.class_cycles.iter()) {
+            *a += b;
+        }
+        for (k, v) in &other.item_cycles {
+            *self.item_cycles.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.coroutine_cycles {
+            *self.coroutine_cycles.entry(*k).or_insert(0) += v;
+        }
+        self.gc_pauses.merge(&other.gc_pauses);
+        self.heap_occupancy.merge(&other.heap_occupancy);
+        self.gc_objects_copied += other.gc_objects_copied;
+        self.gc_words_copied += other.gc_words_copied;
+        self.gc_words_reclaimed += other.gc_words_reclaimed;
+        self.allocations += other.allocations;
+        self.words_allocated += other.words_allocated;
+        self.channel_pushes += other.channel_pushes;
+        self.channel_pops += other.channel_pops;
+        self.channel_peak_depth = self.channel_peak_depth.max(other.channel_peak_depth);
+        self.io_reads += other.io_reads;
+        self.io_writes += other.io_writes;
+        self.faults_injected += other.faults_injected;
+        self.watchdog_detections += other.watchdog_detections;
+        self.watchdog_recoveries += other.watchdog_recoveries;
+        self.channel_overflows += other.channel_overflows;
+        self.checkpoints_captured += other.checkpoints_captured;
+        self.rollbacks += other.rollbacks;
+        self.audit_failures += other.audit_failures;
+    }
 }
 
 impl TraceSink for MetricsSink {
@@ -318,6 +400,87 @@ mod tests {
         assert_eq!(m.item_cycles.values().sum::<u64>(), 17);
         assert_eq!(m.coroutine_cycles[&Some(7)], 10);
         assert_eq!(m.coroutine_cycles[&None], 7);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let xs = [0u64, 1, 7, 64, 900];
+        let ys = [3u64, 3, 4096];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        // Merging an empty histogram is the identity, both ways.
+        let mut empty = Histogram::new();
+        empty.merge(&combined);
+        assert_eq!(empty, combined);
+        combined.merge(&Histogram::new());
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        // Nine of ten samples are 1, so p50 sits in the ones bucket and
+        // p99 in the 512..=1023 bucket (clamped to the observed max).
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let mut single = Histogram::new();
+        single.record(42);
+        // Single sample: every quantile is exactly it.
+        assert_eq!(single.quantile(0.5), 42);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_maps() {
+        let mut a = MetricsSink::new();
+        let mut b = MetricsSink::new();
+        a.event(&Event::Cycles {
+            class: InstrClass::Let,
+            item: Some(1),
+            cycles: 10,
+        });
+        a.event(&Event::Alloc {
+            words: 4,
+            heap_words: 100,
+        });
+        b.event(&Event::Cycles {
+            class: InstrClass::Let,
+            item: Some(1),
+            cycles: 5,
+        });
+        b.event(&Event::Cycles {
+            class: InstrClass::Case,
+            item: Some(2),
+            cycles: 3,
+        });
+        b.event(&Event::ChannelPush {
+            port: 0,
+            word: 9,
+            depth: 4,
+        });
+        a.merge(&b);
+        assert_eq!(a.mutator_cycles(), 18);
+        assert_eq!(a.item_cycles[&Some(1)], 15);
+        assert_eq!(a.item_cycles[&Some(2)], 3);
+        assert_eq!(a.allocations, 1);
+        assert_eq!(a.channel_pushes, 1);
+        assert_eq!(a.channel_peak_depth, 4);
     }
 
     #[test]

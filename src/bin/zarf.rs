@@ -29,6 +29,14 @@
 //!                                 restore a snapshot and print its root
 //! zarf snapshot audit <file.zsnp> print a one-line JSON audit verdict
 //!                                 (exit code 1 when the snapshot is bad)
+//! zarf serve [--listen ADDR] [--workers N]
+//!                                 run a fleet and serve the ZFLT wire
+//!                                 protocol over TCP until a client sends
+//!                                 Shutdown
+//! zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]
+//!                                 drive an in-process fleet with N
+//!                                 counter sessions × M ops each and
+//!                                 print a throughput/latency summary
 //! ```
 //!
 //! Source files use the assembly syntax of `zarf_asm::parse`; binary files
@@ -51,6 +59,8 @@ fn usage() -> ExitCode {
         "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile> <file> [options]\n\
          \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
          \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
+         \x20      zarf serve [--listen ADDR] [--workers N]\n\
+         \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
          run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
          stats options: --profile (per-function cycle attribution)\n\
          trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
@@ -279,6 +289,170 @@ fn run_snapshot(rest: &[String]) -> ExitCode {
     }
 }
 
+/// `zarf serve`: run a fleet and answer `ZFLT` requests over TCP until a
+/// client sends `Shutdown`.
+fn run_serve(rest: &[String]) -> ExitCode {
+    use zarf::fleet::{serve, Fleet, FleetConfig};
+
+    let result = (|| -> Result<(), String> {
+        let addr = flag_value(rest, "--listen").unwrap_or_else(|| "127.0.0.1:7070".into());
+        let workers: usize = match flag_value(rest, "--workers") {
+            Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
+            None => 4,
+        };
+        let listener =
+            std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+        let fleet = Fleet::start(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+        eprintln!("zarf-fleet: serving ZFLT on {local} with {workers} worker(s)");
+        serve(listener, fleet.handle()).map_err(|e| e.to_string())?;
+        let stats = fleet.shutdown();
+        let pairs: Vec<String> = stats
+            .pairs()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        println!("{{{}}}", pairs.join(","));
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `zarf loadgen`: drive an in-process fleet with counter sessions and
+/// report throughput and per-op latency. The counter program is checked —
+/// every session must finish with the exact arithmetic sum — so this is a
+/// smoke test as much as a benchmark.
+fn run_loadgen(rest: &[String]) -> ExitCode {
+    use zarf::fleet::{Fleet, FleetConfig, Op};
+
+    const LOADGEN_SRC: &str = "fun step s n =\n\
+                               \x20 let w = putint 1 s in\n\
+                               \x20 case w of else\n\
+                               \x20 let t = add s n in\n\
+                               \x20 result t\n\
+                               fun main = result 0";
+
+    let result = (|| -> Result<(), String> {
+        let sessions: u64 = match flag_value(rest, "--sessions") {
+            Some(v) => v.parse().map_err(|_| format!("bad --sessions `{v}`"))?,
+            None => 64,
+        };
+        let ops: u64 = match flag_value(rest, "--ops") {
+            Some(v) => v.parse().map_err(|_| format!("bad --ops `{v}`"))?,
+            None => 4,
+        };
+        let workers: usize = match flag_value(rest, "--workers") {
+            Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
+            None => 4,
+        };
+        let json = rest.iter().any(|a| a == "--json");
+
+        let program = parse(LOADGEN_SRC).map_err(|e| e.to_string())?;
+        let m = lower(&program).map_err(|e| e.to_string())?;
+        let step_id = m
+            .items()
+            .iter()
+            .position(|it| it.name.as_deref() == Some("step"))
+            .map(|i| m.id_of(i))
+            .ok_or("loadgen program has no `step` item")?;
+        let words = encode(&m).map_err(|e| e.to_string())?;
+
+        let fleet = Fleet::start(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+        let handle = fleet.handle();
+        let start = std::time::Instant::now();
+        let mut ids = Vec::with_capacity(sessions as usize);
+        for _ in 0..sessions {
+            ids.push(
+                handle
+                    .open_program(&words, None)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        for &id in &ids {
+            for n in 1..=ops {
+                handle
+                    .inject(id, Op::step(step_id, vec![n as i32], vec![]))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        handle
+            .wait_all_idle(std::time::Duration::from_secs(300))
+            .map_err(|e| e.to_string())?;
+        let wall = start.elapsed();
+
+        // Every session computed 1+2+…+ops; the last op's result word must
+        // be that sum or the run does not count.
+        let want: i64 = (ops * (ops + 1) / 2) as i64;
+        let mut ok = true;
+        for &id in &ids {
+            let poll = handle.poll(id).map_err(|e| e.to_string())?;
+            let good = poll.pending == 0
+                && poll.ops_done == ops
+                && poll.words.last().map(|&w| w as i64) == Some(want);
+            ok &= good;
+        }
+        let stats = fleet.shutdown();
+
+        let total_ops = sessions * ops;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let ops_per_sec = total_ops as f64 / wall.as_secs_f64().max(1e-9);
+        let sessions_per_sec = sessions as f64 / wall.as_secs_f64().max(1e-9);
+        let p50 = stats.latency_us.quantile(0.5);
+        let p99 = stats.latency_us.quantile(0.99);
+        if json {
+            println!(
+                "{{\"sessions\":{sessions},\"ops_per_session\":{ops},\"workers\":{workers},\
+                 \"total_ops\":{total_ops},\"wall_ms\":{wall_ms:.3},\
+                 \"ops_per_sec\":{ops_per_sec:.1},\"sessions_per_sec\":{sessions_per_sec:.1},\
+                 \"p50_us\":{p50},\"p99_us\":{p99},\
+                 \"evictions\":{},\"rehydrations\":{},\"ok\":{ok}}}",
+                stats.evictions, stats.rehydrations
+            );
+        } else {
+            println!("sessions: {sessions} × {ops} op(s) on {workers} worker(s)");
+            println!(
+                "wall: {wall_ms:.1} ms   {ops_per_sec:.0} ops/s   {sessions_per_sec:.0} sessions/s"
+            );
+            println!("op latency: p50 {p50} µs, p99 {p99} µs");
+            println!(
+                "evictions: {}   rehydrations: {}   verified: {}",
+                stats.evictions,
+                stats.rehydrations,
+                if ok { "all sums correct" } else { "MISMATCH" }
+            );
+        }
+        if ok {
+            Ok(())
+        } else {
+            Err("loadgen verification failed: at least one session returned a wrong sum".into())
+        }
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Load a `.zf` source or `.zbin` binary into machine form.
 fn load_machine(path: &str) -> Result<MProgram, String> {
     if path.ends_with(".zbin") {
@@ -335,6 +509,13 @@ fn main() -> ExitCode {
     // `snapshot` has a subcommand before the file argument.
     if args.first().map(String::as_str) == Some("snapshot") {
         return run_snapshot(&args[1..]);
+    }
+    // `serve` and `loadgen` operate on a fleet, not on a program file.
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return run_loadgen(&args[1..]);
     }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),

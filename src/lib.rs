@@ -21,6 +21,7 @@
 //! | [`icd`] | `zarf-icd` | the implantable-defibrillator application: ECG synthesis, Pan–Tompkins spec, VT/ATP, extraction to Zarf assembly |
 //! | [`kernel`] | `zarf-kernel` | the cooperative-coroutine microkernel, system devices, monitor program, the unverified imperative baseline, and full-system integration |
 //! | [`verify`] | `zarf-verify` | the binary analyses: integrity type system (non-interference), WCET, GC bounds, system timing |
+//! | [`fleet`] | `zarf-fleet` | multi-session execution server: fuel-sliced scheduling, snapshot-backed eviction, `ZFLT` wire protocol |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use zarf_asm as asm;
 pub use zarf_chaos as chaos;
 pub use zarf_core as core;
+pub use zarf_fleet as fleet;
 pub use zarf_hw as hw;
 pub use zarf_icd as icd;
 pub use zarf_imperative as imperative;
