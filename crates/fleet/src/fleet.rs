@@ -19,7 +19,7 @@
 //! * **Lock order:** slot lock before queue locks; the registry lock is
 //!   never held across either.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -37,6 +37,87 @@ use crate::FleetError;
 /// documents 9,065 cycles); fleet budgets are expressed as multiples so a
 /// kernel session always fits its slice.
 const WCET_ITERATION_CYCLES: u64 = 9_065;
+
+/// What a verified-loaded session is certified for: which items an op may
+/// target and with how many arguments. Built once at load from the static
+/// analyses; consulted on every inject.
+#[derive(Debug, Clone)]
+struct Certificate {
+    /// Certified function items and their arities.
+    funs: BTreeMap<u32, usize>,
+    /// Function items with no finite per-call allocation bound (unbounded
+    /// recursion): loadable, but not a valid op target.
+    unbounded: BTreeSet<u32>,
+}
+
+/// Statically certify a program image for verified-load mode: both
+/// machine-fault-freedom certificates must hold under the service entry
+/// model, and the allocation bounds determine the heap quota. Returns the
+/// certificate and the (possibly raised) heap size in words.
+fn certify(words: &[Word], heap_words: usize) -> Result<(Certificate, usize), FleetError> {
+    let program = zarf_asm::decode(words).map_err(|e| FleetError::Load(e.to_string()))?;
+    let shapes = zarf_verify::analyze_shapes(&program, zarf_verify::EntryModel::Service)
+        .map_err(|e| FleetError::Certification(e.to_string()))?;
+    let violations: Vec<String> = shapes
+        .faults()
+        .filter(|(_, f)| f.is_case_fault() || f.is_arity_fault())
+        .map(|(id, f)| format!("item {id:#x} may fault: {f}"))
+        .collect();
+    if !violations.is_empty() {
+        return Err(FleetError::Certification(violations.join("; ")));
+    }
+    let alloc = zarf_verify::analyze_alloc(&program)
+        .map_err(|e| FleetError::Certification(e.to_string()))?;
+    let mut funs = BTreeMap::new();
+    let mut unbounded = BTreeSet::new();
+    for (i, item) in program.items().iter().enumerate() {
+        if item.is_con() {
+            continue;
+        }
+        let id = program.id_of(i);
+        funs.insert(id, item.arity);
+        if alloc.per_call_bound(id, item.arity).finite().is_none() {
+            unbounded.insert(id);
+        }
+    }
+    // Size the heap quota from the worst certified per-op bound: two
+    // generations of the worst op's allocations must fit, since the
+    // boundary collection runs after the op completes.
+    let arity_of = |id: u32| program.lookup(id).map(|it| it.arity).unwrap_or(0);
+    let sized = match alloc.max_finite_per_call(arity_of) {
+        Some(q) => heap_words.max((q as usize).saturating_mul(2)),
+        None => heap_words,
+    };
+    Ok((Certificate { funs, unbounded }, sized))
+}
+
+/// Check one op against a verified session's certificate. The abstract
+/// model the certificates were proven under is "any certified function,
+/// applied to exactly its arity, first argument an integer or a previous
+/// step result, other arguments integers" — so the op must saturate a
+/// finite-bounded function item exactly.
+fn check_op(cert: &Certificate, op: &Op) -> Result<(), FleetError> {
+    let (item, nargs) = match op {
+        Op::Eval { item, args, .. } => (*item, args.len()),
+        // Step prepends the session state as argument 0.
+        Op::Step { item, args, .. } => (*item, args.len() + 1),
+    };
+    match cert.funs.get(&item) {
+        None => Err(FleetError::UncertifiedOp {
+            item,
+            reason: "not a certified function item".into(),
+        }),
+        Some(&arity) if arity != nargs => Err(FleetError::UncertifiedOp {
+            item,
+            reason: format!("op supplies {nargs} arguments, item takes {arity}"),
+        }),
+        Some(_) if cert.unbounded.contains(&item) => Err(FleetError::UncertifiedOp {
+            item,
+            reason: "no finite per-call allocation bound".into(),
+        }),
+        Some(_) => Ok(()),
+    }
+}
 
 /// Lock a mutex, recovering the data from a poisoned lock: fleet state is
 /// committed atomically, so a panicking peer thread cannot leave a slot
@@ -58,6 +139,13 @@ pub struct SessionConfig {
     /// session's queued ops until the slice is spent, then commits and
     /// re-queues.
     pub fuel_slice: u64,
+    /// Opt-in verified load: the program must pass the static
+    /// case-fault-freedom and arity-fault-freedom certificates
+    /// (`zarf-verify`'s shape analysis under the service entry model)
+    /// before the session opens, the allocation bound sizes the heap
+    /// quota, and every injected op is checked against the certificate
+    /// (function items only, exact arity, finite allocation bound).
+    pub verified: bool,
 }
 
 impl Default for SessionConfig {
@@ -66,6 +154,7 @@ impl Default for SessionConfig {
             heap_words: DEFAULT_HEAP_WORDS,
             op_budget: 16 * WCET_ITERATION_CYCLES,
             fuel_slice: 64 * WCET_ITERATION_CYCLES,
+            verified: false,
         }
     }
 }
@@ -130,6 +219,9 @@ struct Slot {
     closed: bool,
     poisoned: Option<String>,
     injected: Vec<InjectedFault>,
+    /// Present iff the session was opened in verified mode; ops are
+    /// checked against it at inject time.
+    cert: Option<Certificate>,
 }
 
 impl Slot {
@@ -618,14 +710,20 @@ impl FleetHandle {
         words: &[Word],
         config: Option<SessionConfig>,
     ) -> Result<u64, FleetError> {
-        let config = config.unwrap_or_else(|| self.shared.cfg.session.clone());
+        let mut config = config.unwrap_or_else(|| self.shared.cfg.session.clone());
+        let mut cert = None;
+        if config.verified {
+            let (c, sized) = certify(words, config.heap_words)?;
+            config.heap_words = sized;
+            cert = Some(c);
+        }
         let hw = Hw::load_with(words, config.hw_config())
             .map_err(|e| FleetError::Load(e.to_string()))?;
         let snapshot = hw
             .hibernate()
             .map_err(|e| FleetError::Snapshot(e.to_string()))?;
         let stats = hw.stats().clone();
-        self.install(config, snapshot, stats)
+        self.install(config, snapshot, stats, cert)
     }
 
     /// Resume a session from `ZSNP` bytes (e.g. a previous fleet's
@@ -637,6 +735,13 @@ impl FleetHandle {
         config: Option<SessionConfig>,
     ) -> Result<u64, FleetError> {
         let config = config.unwrap_or_else(|| self.shared.cfg.session.clone());
+        if config.verified {
+            // Certification runs over a program image; a mid-run snapshot
+            // has no pre-admission story.
+            return Err(FleetError::Certification(
+                "snapshots cannot be verified-loaded; open the program image instead".into(),
+            ));
+        }
         let snap =
             MachineSnapshot::from_bytes(bytes).map_err(|e| FleetError::Snapshot(e.to_string()))?;
         snap.audit_self_contained()
@@ -645,7 +750,7 @@ impl FleetHandle {
             .to_hw(config.hw_config())
             .map_err(|e| FleetError::Snapshot(e.to_string()))?;
         let stats = hw.stats().clone();
-        self.install(config, bytes.to_vec(), stats)
+        self.install(config, bytes.to_vec(), stats, None)
     }
 
     fn install(
@@ -653,6 +758,7 @@ impl FleetHandle {
         config: SessionConfig,
         snapshot: Vec<u8>,
         stats: Stats,
+        cert: Option<Certificate>,
     ) -> Result<u64, FleetError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(FleetError::ShuttingDown);
@@ -676,6 +782,7 @@ impl FleetHandle {
             closed: false,
             poisoned: None,
             injected: Vec::new(),
+            cert,
         };
         lock(&self.shared.slots).insert(id, Arc::new(Mutex::new(slot)));
         self.shared
@@ -698,6 +805,9 @@ impl FleetHandle {
             }
             if s.closed {
                 return Err(FleetError::UnknownSession(id));
+            }
+            if let Some(cert) = &s.cert {
+                check_op(cert, &op)?;
             }
             s.pending.push_back(op);
             if !s.running && !s.queued {

@@ -91,6 +91,19 @@ pub enum FleetError {
     Snapshot(String),
     /// A program image failed to load.
     Load(String),
+    /// Verified load was requested and the program failed static
+    /// certification (a machine-fault-freedom certificate did not hold,
+    /// or the analysis could not complete).
+    Certification(String),
+    /// The session was opened in verified mode and the op targets an item
+    /// outside its certificate: not a function, wrong arity, or no finite
+    /// allocation bound.
+    UncertifiedOp {
+        /// The op's target item.
+        item: u32,
+        /// Why the certificate does not cover it.
+        reason: String,
+    },
     /// The fleet is shutting down and accepts no new work.
     ShuttingDown,
     /// A wait bound elapsed before the session drained.
@@ -113,6 +126,10 @@ impl fmt::Display for FleetError {
             FleetError::SessionPoisoned(msg) => write!(f, "session poisoned: {msg}"),
             FleetError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             FleetError::Load(msg) => write!(f, "program load error: {msg}"),
+            FleetError::Certification(msg) => write!(f, "certification failed: {msg}"),
+            FleetError::UncertifiedOp { item, reason } => {
+                write!(f, "op rejected: item {item:#x} is not certified ({reason})")
+            }
             FleetError::ShuttingDown => f.write_str("fleet is shutting down"),
             FleetError::WaitTimeout => f.write_str("wait bound elapsed"),
             FleetError::Wire(e) => write!(f, "wire error: {e}"),

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use crate::fleet::FleetHandle;
 use crate::wire::{
-    read_frame, write_frame, Request, Response, WireError, ERR_INTERNAL, ERR_LOAD, ERR_POISONED,
-    ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
+    read_frame, write_frame, Request, Response, WireError, ERR_CERTIFICATION, ERR_INTERNAL,
+    ERR_LOAD, ERR_POISONED, ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
 };
 use crate::FleetError;
 
@@ -18,6 +18,7 @@ fn error_response(e: FleetError) -> Response {
         FleetError::SessionPoisoned(_) => ERR_POISONED,
         FleetError::Snapshot(_) => ERR_SNAPSHOT,
         FleetError::Load(_) => ERR_LOAD,
+        FleetError::Certification(_) | FleetError::UncertifiedOp { .. } => ERR_CERTIFICATION,
         FleetError::ShuttingDown => ERR_SHUTDOWN,
         _ => ERR_INTERNAL,
     };

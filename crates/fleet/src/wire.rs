@@ -51,6 +51,9 @@ pub const ERR_LOAD: u32 = 4;
 pub const ERR_SHUTDOWN: u32 = 5;
 /// Error code: anything else.
 pub const ERR_INTERNAL: u32 = 6;
+/// Error code: verified load rejected the program (certification failed)
+/// or an op fell outside a verified session's certificate.
+pub const ERR_CERTIFICATION: u32 = 7;
 
 /// Wire-protocol failures. Typed and total: malformed input from the
 /// network can never panic the server.
@@ -332,15 +335,24 @@ fn put_config(out: &mut Vec<u8>, c: &SessionConfig) {
     put_u64(out, c.heap_words as u64);
     put_u64(out, c.op_budget);
     put_u64(out, c.fuel_slice);
+    out.push(c.verified as u8);
 }
 
 fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
     let heap_words = r.u64()?;
     let heap_words = usize::try_from(heap_words).map_err(|_| WireError::Malformed("heap size"))?;
+    let op_budget = r.u64()?;
+    let fuel_slice = r.u64()?;
+    let verified = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("verified flag")),
+    };
     Ok(SessionConfig {
         heap_words,
-        op_budget: r.u64()?,
-        fuel_slice: r.u64()?,
+        op_budget,
+        fuel_slice,
+        verified,
     })
 }
 
@@ -648,6 +660,7 @@ mod tests {
                     heap_words: 4096,
                     op_budget: 7,
                     fuel_slice: 9,
+                    verified: true,
                 },
                 snapshot: vec![0, 1, 2, 255],
             },

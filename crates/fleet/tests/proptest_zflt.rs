@@ -32,13 +32,14 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn arb_config() -> impl Strategy<Value = SessionConfig> {
-    (0u64..1 << 32, any::<u64>(), any::<u64>()).prop_map(|(heap, op_budget, fuel_slice)| {
-        SessionConfig {
+    (0u64..1 << 32, any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(heap, op_budget, fuel_slice, verified)| SessionConfig {
             heap_words: heap as usize,
             op_budget,
             fuel_slice,
-        }
-    })
+            verified,
+        },
+    )
 }
 
 fn arb_request() -> BoxedStrategy<Request> {

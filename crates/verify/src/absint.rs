@@ -1,0 +1,471 @@
+//! A generic interprocedural monotone framework (abstract interpretation
+//! engine) over machine programs.
+//!
+//! The paper's architecture (§5, Fig. 1) makes custom binary analyses easy
+//! because the λ-ISA has total control flow and no hidden state; what it
+//! does *not* give for free is the fixpoint plumbing every dataflow
+//! analysis needs. This module factors that plumbing out once: a worklist
+//! engine over **summary nodes** — usually one per function identifier,
+//! plus whatever auxiliary cells a client needs (constructor-field
+//! summaries, entry models) — with
+//!
+//! * dynamically tracked dependencies: every summary a transfer function
+//!   reads through its [`View`] is recorded, and the reader is re-enqueued
+//!   whenever that summary later changes;
+//! * monotone joins: a transfer *proposes* values which are joined into
+//!   the target summaries, so summaries only ever climb their lattice;
+//! * widening: after a node's summary has changed [`Engine::widen_after`]
+//!   times, the engine calls [`Lattice::widen`], which must jump the value
+//!   to an absorbing top — after which further joins are no-ops;
+//! * a **proven iteration bound**: with `n` nodes and widening threshold
+//!   `W`, each node's summary can change at most `W + 1` times (at most
+//!   `W` un-widened climbs, then the widening jump, after which joins
+//!   cannot change it). Every change re-enqueues at most `n` readers, and
+//!   the initial seeding enqueues `n` nodes, so the engine performs at most
+//!   `n + n² · (W + 1)` transfer evaluations. The engine enforces this
+//!   bound at runtime and reports [`AbsIntError::IterationBound`] if a
+//!   client lattice violates its contract — the property tests pin that
+//!   the bound is never reached for generated programs.
+//!
+//! Client analyses in this crate: [`crate::shape`] (constructor shapes,
+//! application arity, fault-freedom certificates) and
+//! [`crate::allocbound`] (worst-case heap words per call).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Identifier of a summary node. Clients choose the numbering; function
+/// identifiers are used directly and auxiliary cells live in disjoint
+/// high ranges.
+pub type NodeId = u64;
+
+/// A join-semilattice value with a widening operator.
+pub trait Lattice: Clone {
+    /// Join `other` into `self`; report whether `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+
+    /// Jump to an absorbing top element; report whether `self` changed.
+    /// After `widen` has been applied, `join_from` must never report a
+    /// change again — this is what makes the iteration bound provable.
+    fn widen(&mut self) -> bool;
+}
+
+/// A client analysis: which nodes exist initially and how each is
+/// recomputed from the others.
+pub trait Analysis {
+    /// The summary lattice.
+    type Value: Lattice;
+
+    /// Initial nodes and their seed values. Only seeded nodes ever run
+    /// [`Analysis::transfer`]; un-seeded nodes proposed as targets are
+    /// pure storage cells (they hold joined values but never compute).
+    fn seeds(&self) -> Vec<(NodeId, Self::Value)>;
+
+    /// Recompute `node`, reading other summaries through `view` (every
+    /// read is recorded as a dependency — a transfer that depends on its
+    /// own summary must read it through the view too). Returns proposed
+    /// updates `(target, value)`; each is joined into the target summary.
+    fn transfer(&self, node: NodeId, view: &View<'_, Self::Value>) -> Vec<(NodeId, Self::Value)>;
+}
+
+/// Read access to the current summaries, with dependency recording.
+pub struct View<'a, V> {
+    state: &'a BTreeMap<NodeId, V>,
+    reads: RefCell<BTreeSet<NodeId>>,
+}
+
+impl<'a, V> View<'a, V> {
+    /// A view over a completed state map — e.g. a [`Fixpoint`]'s values —
+    /// so clients can re-run their transfer logic as a reporting pass
+    /// after the fixpoint. Reads are recorded but go nowhere.
+    pub fn over(state: &'a BTreeMap<NodeId, V>) -> Self {
+        View {
+            state,
+            reads: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    /// The current summary of `node`, recording the read as a dependency.
+    /// `None` means the node has no value yet (bottom).
+    pub fn get(&self, node: NodeId) -> Option<&V> {
+        self.reads.borrow_mut().insert(node);
+        self.state.get(&node)
+    }
+}
+
+/// Engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsIntError {
+    /// The worklist ran past the widening-derived iteration bound — a
+    /// client lattice broke the widening contract.
+    IterationBound {
+        /// Transfer evaluations performed.
+        iterations: u64,
+        /// The bound `n + n²·(W+1)` that was exceeded.
+        bound: u64,
+    },
+}
+
+impl fmt::Display for AbsIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsIntError::IterationBound { iterations, bound } => write!(
+                f,
+                "fixpoint exceeded its iteration bound ({iterations} > {bound}): \
+                 a client lattice violated the widening contract"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AbsIntError {}
+
+/// A completed fixpoint.
+#[derive(Debug, Clone)]
+pub struct Fixpoint<V> {
+    /// Final summary of every node (seeded or proposed-to).
+    pub values: BTreeMap<NodeId, V>,
+    /// Transfer evaluations performed.
+    pub iterations: u64,
+    /// The enforced bound those iterations stayed within.
+    pub bound: u64,
+}
+
+impl<V> Fixpoint<V> {
+    /// The final summary of `node`, if it ever received a value.
+    pub fn value(&self, node: NodeId) -> Option<&V> {
+        self.values.get(&node)
+    }
+}
+
+/// Number of summary changes a node may accumulate before it is widened.
+pub const DEFAULT_WIDEN_AFTER: u64 = 64;
+
+/// The worklist fixpoint engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    widen_after: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default widening threshold.
+    pub fn new() -> Self {
+        Engine {
+            widen_after: DEFAULT_WIDEN_AFTER,
+        }
+    }
+
+    /// Override the widening threshold `W` (changes per node before the
+    /// summary is widened to top). Lower values terminate faster but lose
+    /// precision on long monotone chains.
+    pub fn widen_after(mut self, w: u64) -> Self {
+        self.widen_after = w.max(1);
+        self
+    }
+
+    /// The iteration bound the engine enforces for `nodes` summary nodes:
+    /// `n + n²·(W+1)`.
+    pub fn iteration_bound(&self, nodes: u64) -> u64 {
+        nodes.saturating_add(
+            nodes
+                .saturating_mul(nodes)
+                .saturating_mul(self.widen_after.saturating_add(1)),
+        )
+    }
+
+    /// Run `analysis` to fixpoint.
+    pub fn run<A: Analysis>(&self, analysis: &A) -> Result<Fixpoint<A::Value>, AbsIntError> {
+        let mut state: BTreeMap<NodeId, A::Value> = BTreeMap::new();
+        // node → transfers that read it (and must re-run when it changes).
+        let mut readers: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut changes: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut queued: BTreeSet<NodeId> = BTreeSet::new();
+
+        for (node, v) in analysis.seeds() {
+            match state.get_mut(&node) {
+                Some(cur) => {
+                    cur.join_from(&v);
+                }
+                None => {
+                    state.insert(node, v);
+                }
+            }
+            if queued.insert(node) {
+                queue.push_back(node);
+            }
+        }
+
+        let mut iterations: u64 = 0;
+        let mut bound = self.iteration_bound(state.len() as u64);
+        while let Some(node) = queue.pop_front() {
+            queued.remove(&node);
+            iterations += 1;
+            bound = bound.max(self.iteration_bound(state.len() as u64));
+            if iterations > bound {
+                return Err(AbsIntError::IterationBound { iterations, bound });
+            }
+
+            let proposals = {
+                let view = View {
+                    state: &state,
+                    reads: RefCell::new(BTreeSet::new()),
+                };
+                let out = analysis.transfer(node, &view);
+                for r in view.reads.into_inner() {
+                    readers.entry(r).or_default().insert(node);
+                }
+                out
+            };
+
+            for (target, v) in proposals {
+                let changed = match state.get_mut(&target) {
+                    Some(cur) => cur.join_from(&v),
+                    None => {
+                        state.insert(target, v);
+                        true
+                    }
+                };
+                if !changed {
+                    continue;
+                }
+                let count = changes.entry(target).or_insert(0);
+                *count += 1;
+                if *count > self.widen_after {
+                    if let Some(cur) = state.get_mut(&target) {
+                        cur.widen();
+                    }
+                }
+                if let Some(rs) = readers.get(&target) {
+                    for &r in rs {
+                        if queued.insert(r) {
+                            queue.push_back(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Fixpoint {
+            values: state,
+            iterations,
+            bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small integer lattice: Bot < Const(n) < Top.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Flat {
+        Bot,
+        Const(i64),
+        Top,
+    }
+
+    impl Lattice for Flat {
+        fn join_from(&mut self, other: &Self) -> bool {
+            let next = match (&*self, other) {
+                (_, Flat::Bot) => return false,
+                (Flat::Bot, o) => o.clone(),
+                (Flat::Top, _) => return false,
+                (_, Flat::Top) => Flat::Top,
+                (Flat::Const(a), Flat::Const(b)) => {
+                    if a == b {
+                        return false;
+                    }
+                    Flat::Top
+                }
+            };
+            *self = next;
+            true
+        }
+
+        fn widen(&mut self) -> bool {
+            if *self == Flat::Top {
+                false
+            } else {
+                *self = Flat::Top;
+                true
+            }
+        }
+    }
+
+    /// A chain: node i+1 copies node i; node 0 is seeded Const(7).
+    struct Chain {
+        len: u64,
+    }
+
+    impl Analysis for Chain {
+        type Value = Flat;
+
+        fn seeds(&self) -> Vec<(NodeId, Flat)> {
+            let mut s = vec![(0, Flat::Const(7))];
+            for i in 1..self.len {
+                s.push((i, Flat::Bot));
+            }
+            s
+        }
+
+        fn transfer(&self, node: NodeId, view: &View<'_, Flat>) -> Vec<(NodeId, Flat)> {
+            if node == 0 {
+                return vec![];
+            }
+            match view.get(node - 1) {
+                Some(v) => vec![(node, v.clone())],
+                None => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn chain_propagates_constants() {
+        let fp = Engine::new().run(&Chain { len: 16 }).unwrap();
+        for i in 0..16 {
+            assert_eq!(fp.value(i), Some(&Flat::Const(7)), "node {i}");
+        }
+        assert!(fp.iterations <= fp.bound);
+    }
+
+    /// A self-loop that increments its own value forever — the lattice is
+    /// deliberately broken (no widening effect), so the bound must fire.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Counter(u64);
+
+    impl Lattice for Counter {
+        fn join_from(&mut self, other: &Self) -> bool {
+            if other.0 > self.0 {
+                self.0 = other.0;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn widen(&mut self) -> bool {
+            // Broken on purpose: widening does nothing, so the ascent
+            // never stops and the engine must cut it off.
+            false
+        }
+    }
+
+    struct Runaway;
+
+    impl Analysis for Runaway {
+        type Value = Counter;
+
+        fn seeds(&self) -> Vec<(NodeId, Counter)> {
+            vec![(0, Counter(0))]
+        }
+
+        fn transfer(&self, node: NodeId, view: &View<'_, Counter>) -> Vec<(NodeId, Counter)> {
+            let cur = view.get(node).map(|c| c.0).unwrap_or(0);
+            vec![(node, Counter(cur + 1))]
+        }
+    }
+
+    #[test]
+    fn broken_widening_hits_the_iteration_bound() {
+        let err = Engine::new().widen_after(4).run(&Runaway).unwrap_err();
+        assert!(matches!(err, AbsIntError::IterationBound { .. }));
+    }
+
+    /// The same self-loop with a working widen terminates within bound.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Capped {
+        N(u64),
+        Top,
+    }
+
+    impl Lattice for Capped {
+        fn join_from(&mut self, other: &Self) -> bool {
+            match (&*self, other) {
+                (Capped::Top, _) => false,
+                (_, Capped::Top) => {
+                    *self = Capped::Top;
+                    true
+                }
+                (Capped::N(a), Capped::N(b)) => {
+                    if b > a {
+                        *self = Capped::N(*b);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+
+        fn widen(&mut self) -> bool {
+            if matches!(self, Capped::Top) {
+                false
+            } else {
+                *self = Capped::Top;
+                true
+            }
+        }
+    }
+
+    struct Ascending;
+
+    impl Analysis for Ascending {
+        type Value = Capped;
+
+        fn seeds(&self) -> Vec<(NodeId, Capped)> {
+            vec![(0, Capped::N(0))]
+        }
+
+        fn transfer(&self, node: NodeId, view: &View<'_, Capped>) -> Vec<(NodeId, Capped)> {
+            match view.get(node) {
+                Some(Capped::N(n)) => vec![(node, Capped::N(n + 1))],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn widening_caps_infinite_ascent() {
+        let fp = Engine::new().widen_after(4).run(&Ascending).unwrap();
+        assert_eq!(fp.value(0), Some(&Capped::Top));
+        assert!(fp.iterations <= fp.bound);
+    }
+
+    #[test]
+    fn dependency_rerun_reaches_late_readers() {
+        // Node 1 reads node 0 before node 0 has climbed; it must be
+        // re-enqueued when node 0 changes.
+        struct TwoPhase;
+        impl Analysis for TwoPhase {
+            type Value = Flat;
+
+            fn seeds(&self) -> Vec<(NodeId, Flat)> {
+                vec![(0, Flat::Bot), (1, Flat::Bot), (2, Flat::Bot)]
+            }
+
+            fn transfer(&self, node: NodeId, view: &View<'_, Flat>) -> Vec<(NodeId, Flat)> {
+                match node {
+                    // Node 2 feeds node 0 (processed after 0 and 1 on the
+                    // first wave, so node 1's first read of 0 sees Bot).
+                    2 => vec![(0, Flat::Const(3))],
+                    1 => match view.get(0) {
+                        Some(v) => vec![(1, v.clone())],
+                        None => vec![],
+                    },
+                    _ => vec![],
+                }
+            }
+        }
+        let fp = Engine::new().run(&TwoPhase).unwrap();
+        assert_eq!(fp.value(1), Some(&Flat::Const(3)));
+    }
+}

@@ -1,0 +1,448 @@
+//! Interprocedural worst-case heap-allocation bounds.
+//!
+//! A client of the [`crate::absint`] engine that computes, for every
+//! function item, an upper bound on the *mutator* heap words allocated by
+//! one complete evaluation of the item's body — exactly the quantity the
+//! simulator accrues in `stats.words_allocated` (collector copying is
+//! accounted separately and reclaims rather than allocates).
+//!
+//! The abstraction is eager: the cost of evaluating a thunk is charged at
+//! the `let` that creates it, even though the machine is lazy and may
+//! never force it (or may force it in a later fleet op). The resulting
+//! per-call bound is therefore sound *cumulatively*: over any run, total
+//! traced allocation ≤ the sum of the static bounds of the calls made,
+//! regardless of where laziness actually defers the work.
+//!
+//! Charged sites mirror `zarf-hw` exactly:
+//!
+//! * a `let` allocates its application thunk — `2 + nargs` words;
+//! * a bare global in operand position allocates an empty application —
+//!   2 words — plus, for a nullary function, the cost of its body when
+//!   demanded;
+//! * a saturated primitive may produce the 3-word error value (division
+//!   by zero, non-integer operand); an over-applied one may add a second
+//!   fault downstream (6 words total);
+//! * constructor saturation rewrites the thunk in place (0 words); an
+//!   over-applied constructor yields the 3-word error value;
+//! * a saturated call of function `f` costs `bound(f)`; over-application
+//!   applies an unknown result (⊤), as does applying a local or argument
+//!   closure (the machine's `pap_extend` allocates proportionally to the
+//!   unknown chain);
+//! * a `case` may produce the 3-word case-on-closure error value.
+//!
+//! Recursion shows up as a self-dependent ascending chain, which the
+//! engine's widening drives to [`Bound::Top`] — "no static bound", the
+//! honest answer for unbounded recursion. Non-recursive call DAGs deeper
+//! than the widening threshold would also widen; real programs (the
+//! kernel's step path is depth < 10) sit far below it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use zarf_core::machine::{MExpr, MProgram, Operand, Source};
+use zarf_core::prim::{PrimOp, ERROR_CON_INDEX, FIRST_USER_INDEX};
+
+use crate::absint::{AbsIntError, Analysis, Engine, Lattice, NodeId, View};
+
+/// Heap words of the machine's error-value constructor.
+const ERROR_WORDS: u64 = 3;
+
+/// An allocation bound in heap words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many words per call.
+    Finite(u64),
+    /// No static bound (unbounded recursion or untracked application).
+    Top,
+}
+
+impl Bound {
+    /// Saturating addition; ⊤ absorbs.
+    pub fn plus(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Top,
+        }
+    }
+
+    /// Pointwise maximum; ⊤ absorbs.
+    pub fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Top,
+        }
+    }
+
+    /// The finite payload, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Bound::Finite(n) => Some(n),
+            Bound::Top => None,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+impl Lattice for Bound {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let next = self.max(*other);
+        if next != *self {
+            *self = next;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn widen(&mut self) -> bool {
+        if *self == Bound::Top {
+            false
+        } else {
+            *self = Bound::Top;
+            true
+        }
+    }
+}
+
+/// The allocation-bound analysis over one program.
+pub struct AllocAnalysis<'m> {
+    program: &'m MProgram,
+}
+
+impl<'m> AllocAnalysis<'m> {
+    /// Set up the analysis over `program`.
+    pub fn new(program: &'m MProgram) -> Self {
+        AllocAnalysis { program }
+    }
+
+    /// Words a bare global operand costs when resolved and demanded.
+    fn forced_cost(&self, id: u32, view: &View<'_, Bound>) -> Bound {
+        if id == ERROR_CON_INDEX {
+            return Bound::Finite(ERROR_WORDS);
+        }
+        if PrimOp::from_index(id).is_some() {
+            // A primitive partial application is WHNF; nothing runs.
+            return Bound::Finite(0);
+        }
+        match self.program.lookup(id) {
+            Some(item) if item.is_con() => Bound::Finite(0),
+            Some(item) if item.arity == 0 => {
+                view.get(id as NodeId).copied().unwrap_or(Bound::Finite(0))
+            }
+            Some(_) => Bound::Finite(0),
+            None => Bound::Top,
+        }
+    }
+
+    /// Words one operand resolution (plus eventual demand) costs.
+    fn operand_cost(&self, op: &Operand, view: &View<'_, Bound>) -> Bound {
+        match op.source {
+            Source::Global => Bound::Finite(2).plus(self.forced_cost(op.index.max(0) as u32, view)),
+            _ => Bound::Finite(0),
+        }
+    }
+
+    /// Words the eventual demand of a `let` thunk costs, beyond the thunk
+    /// itself.
+    fn callee_cost(&self, callee: &Operand, nargs: usize, view: &View<'_, Bound>) -> Bound {
+        match callee.source {
+            // Applying an integer immediate yields the error value.
+            Source::Imm => Bound::Finite(ERROR_WORDS),
+            // Applying a local/argument closure extends an unknown chain.
+            Source::Local | Source::Arg => Bound::Top,
+            Source::Global => {
+                let id = callee.index.max(0) as u32;
+                if id == ERROR_CON_INDEX {
+                    return Bound::Finite(ERROR_WORDS);
+                }
+                if let Some(p) = PrimOp::from_index(id) {
+                    return match nargs.cmp(&p.arity()) {
+                        std::cmp::Ordering::Less => Bound::Finite(0),
+                        // The primitive may fault (3-word error value).
+                        std::cmp::Ordering::Equal => Bound::Finite(ERROR_WORDS),
+                        // …and over-application may fault a second time.
+                        std::cmp::Ordering::Greater => Bound::Finite(2 * ERROR_WORDS),
+                    };
+                }
+                let item = match self.program.lookup(id) {
+                    Some(it) => it,
+                    None => return Bound::Top,
+                };
+                if item.is_con() {
+                    return match nargs.cmp(&item.arity) {
+                        // Partial and exact saturation rewrite in place.
+                        std::cmp::Ordering::Less | std::cmp::Ordering::Equal => Bound::Finite(0),
+                        std::cmp::Ordering::Greater => Bound::Finite(ERROR_WORDS),
+                    };
+                }
+                match nargs.cmp(&item.arity) {
+                    std::cmp::Ordering::Less => Bound::Finite(0),
+                    std::cmp::Ordering::Equal => {
+                        view.get(id as NodeId).copied().unwrap_or(Bound::Finite(0))
+                    }
+                    // The callee runs, then its unknown result is applied.
+                    std::cmp::Ordering::Greater => Bound::Top,
+                }
+            }
+        }
+    }
+
+    fn expr_cost(&self, e: &MExpr, view: &View<'_, Bound>) -> Bound {
+        match e {
+            MExpr::Let { callee, args, body } => {
+                // The thunk itself: header + target + one word per arg.
+                let mut c = Bound::Finite(2 + args.len() as u64);
+                for a in args {
+                    c = c.plus(self.operand_cost(a, view));
+                }
+                c = c.plus(self.callee_cost(callee, args.len(), view));
+                c.plus(self.expr_cost(body, view))
+            }
+            MExpr::Case {
+                scrutinee,
+                branches,
+                default,
+            } => {
+                // Scrutinee demand, the possible case-fault error value,
+                // and the worst branch.
+                let mut c = self
+                    .operand_cost(scrutinee, view)
+                    .plus(Bound::Finite(ERROR_WORDS));
+                let mut worst = self.expr_cost(default, view);
+                for b in branches {
+                    worst = worst.max(self.expr_cost(&b.body, view));
+                }
+                c = c.plus(worst);
+                c
+            }
+            MExpr::Result(op) => self.operand_cost(op, view),
+        }
+    }
+}
+
+impl Analysis for AllocAnalysis<'_> {
+    type Value = Bound;
+
+    fn seeds(&self) -> Vec<(NodeId, Bound)> {
+        self.program
+            .items()
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| !it.is_con())
+            .map(|(i, _)| (self.program.id_of(i) as NodeId, Bound::Finite(0)))
+            .collect()
+    }
+
+    fn transfer(&self, node: NodeId, view: &View<'_, Bound>) -> Vec<(NodeId, Bound)> {
+        let id = node as u32;
+        let body = match self.program.lookup(id).and_then(|it| it.body()) {
+            Some(b) => b,
+            None => return Vec::new(),
+        };
+        vec![(node, self.expr_cost(body, view))]
+    }
+}
+
+/// Per-program allocation bounds.
+#[derive(Debug, Clone)]
+pub struct AllocReport {
+    /// Worst-case mutator heap words per call, for every function item.
+    pub bounds: BTreeMap<u32, Bound>,
+    /// Fixpoint iterations performed.
+    pub iterations: u64,
+    /// The engine's enforced iteration bound.
+    pub iteration_bound: u64,
+}
+
+impl AllocReport {
+    /// The per-call bound of item `id`. Constructors allocate nothing per
+    /// call; unknown identifiers are ⊤.
+    pub fn bound(&self, id: u32) -> Bound {
+        match self.bounds.get(&id) {
+            Some(b) => *b,
+            None => Bound::Finite(0),
+        }
+    }
+
+    /// The bound for one external call of item `id` with `nargs`
+    /// arguments — the fleet-op shape: the call's application record
+    /// (`2 + nargs` words) plus the body bound.
+    pub fn per_call_bound(&self, id: u32, nargs: usize) -> Bound {
+        Bound::Finite(2 + nargs as u64).plus(self.bound(id))
+    }
+
+    /// The whole-program slice bound: one standalone run of `main`
+    /// (identifier [`FIRST_USER_INDEX`]) with no arguments.
+    pub fn program_bound(&self) -> Bound {
+        self.per_call_bound(FIRST_USER_INDEX, 0)
+    }
+
+    /// The largest finite per-call bound over all function items — what a
+    /// scheduler can size a per-op heap quota from. `None` if every item
+    /// is ⊤-bounded.
+    pub fn max_finite_per_call(&self, arities: impl Fn(u32) -> usize) -> Option<u64> {
+        self.bounds
+            .iter()
+            .filter_map(|(&id, b)| match b {
+                Bound::Finite(n) => Some(n.saturating_add(2 + arities(id) as u64)),
+                Bound::Top => None,
+            })
+            .max()
+    }
+}
+
+/// Run the allocation-bound analysis to fixpoint.
+pub fn analyze_alloc(program: &MProgram) -> Result<AllocReport, AbsIntError> {
+    let analysis = AllocAnalysis::new(program);
+    let fp = Engine::new().run(&analysis)?;
+    let mut bounds = BTreeMap::new();
+    for (i, item) in program.items().iter().enumerate() {
+        if !item.is_con() {
+            let id = program.id_of(i);
+            let b = fp.value(id as NodeId).copied().unwrap_or(Bound::Finite(0));
+            bounds.insert(id, b);
+        }
+    }
+    Ok(AllocReport {
+        bounds,
+        iterations: fp.iterations,
+        iteration_bound: fp.bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_core::io::VecPorts;
+    use zarf_hw::Hw;
+
+    fn machine(src: &str) -> MProgram {
+        zarf_asm::lower(&zarf_asm::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_bound_is_exact_shape() {
+        // let thunk (2+2) + prim fault allowance (3) = 7.
+        let r = analyze_alloc(&machine("fun main =\n  let x = add 1 2 in\n  result x")).unwrap();
+        assert_eq!(r.bound(FIRST_USER_INDEX), Bound::Finite(7));
+        assert_eq!(r.program_bound(), Bound::Finite(9));
+    }
+
+    #[test]
+    fn recursion_is_top() {
+        let r = analyze_alloc(&machine(
+            r#"
+fun loop n =
+  let m = sub n 1 in
+  let x = loop m in
+  result x
+fun main =
+  let r = loop 10 in
+  result r
+"#,
+        ))
+        .unwrap();
+        let loop_id = FIRST_USER_INDEX + 1;
+        assert_eq!(r.bound(loop_id), Bound::Top);
+        assert_eq!(r.bound(FIRST_USER_INDEX), Bound::Top);
+    }
+
+    #[test]
+    fn call_dag_composes_finitely() {
+        let r = analyze_alloc(&machine(
+            r#"
+con Pair a b
+fun mk x =
+  let p = Pair x x in
+  result p
+fun main =
+  let a = mk 1 in
+  let b = mk 2 in
+  result b
+"#,
+        ))
+        .unwrap();
+        let mk = r.bound(FIRST_USER_INDEX + 2);
+        assert!(matches!(mk, Bound::Finite(_)), "{mk}");
+        let main = r.bound(FIRST_USER_INDEX);
+        // Two calls of mk plus two thunks.
+        assert!(matches!(main, Bound::Finite(_)), "{main}");
+    }
+
+    #[test]
+    fn dynamic_allocation_stays_under_static_bound() {
+        let srcs = [
+            "fun main =\n  let x = add 1 2 in\n  result x",
+            r#"
+con Pair a b
+fun mk x =
+  let p = Pair x x in
+  result p
+fun main =
+  let a = mk 1 in
+  let b = mk 7 in
+  case b of
+  | Pair u v => result u
+  else result 0
+"#,
+            r#"
+fun choose n =
+  case n of
+  | 0 =>
+    let x = add n 1 in
+    result x
+  else
+    let y = mul n n in
+    let z = sub y 1 in
+    result z
+fun main =
+  let r = choose 5 in
+  result r
+"#,
+        ];
+        for src in srcs {
+            let m = machine(src);
+            let bound = analyze_alloc(&m)
+                .unwrap()
+                .program_bound()
+                .finite()
+                .unwrap_or_else(|| panic!("expected finite bound for {src}"));
+            let mut hw = Hw::from_machine(&m).unwrap();
+            let mut ports = VecPorts::new();
+            hw.run(&mut ports).unwrap();
+            let traced = hw.stats().words_allocated;
+            assert!(
+                traced <= bound,
+                "traced {traced} > static {bound} for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_session_step_is_finitely_bounded() {
+        let m = zarf_kernel::session::session_machine();
+        let r = analyze_alloc(&m).unwrap();
+        let find = |name: &str| {
+            m.items()
+                .iter()
+                .position(|it| it.name.as_deref() == Some(name))
+                .map(|i| m.id_of(i))
+                .unwrap()
+        };
+        // The externally-stepped path must be statically bounded…
+        let step = r.bound(find("session_step"));
+        assert!(matches!(step, Bound::Finite(_)), "session_step: {step}");
+        let boot = r.bound(find("session_boot"));
+        assert!(matches!(boot, Bound::Finite(_)), "session_boot: {boot}");
+        // …while the self-driving kernel loop is honestly unbounded.
+        assert_eq!(r.bound(find("kernel_run")), Bound::Top);
+    }
+}

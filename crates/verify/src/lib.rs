@@ -19,6 +19,16 @@
 //! * [`lints`] — the "Custom Analysis" box of the paper's Figure 1 made
 //!   concrete: dead lets, shadowed bindings, duplicate (unreachable)
 //!   patterns, unused parameters, constant scrutinees.
+//! * [`absint`] — a generic interprocedural monotone framework (worklist
+//!   fixpoint over per-function summaries, dynamic dependency tracking,
+//!   widening with an enforced iteration bound) that new analyses plug
+//!   abstract domains into.
+//! * [`shape`] — constructor-shape and application-arity analysis over
+//!   [`absint`]: which tags reach each `case`, unreachable-arm detection,
+//!   and the case-fault-freedom / arity-fault-freedom certificates.
+//! * [`allocbound`] — worst-case heap words allocated per call of each
+//!   item (⊤ for unbounded recursion), composing up the call graph into
+//!   per-op and whole-program bounds the fleet sizes heap quotas from.
 //!
 //! All analyses run on the *machine form* or the named AST lifted from a
 //! binary — no source required, which is the architecture's point.
@@ -39,17 +49,23 @@
 //! assert!(verdict.is_err());
 //! ```
 
+pub mod absint;
+pub mod allocbound;
 pub mod annotated;
 pub mod callgraph;
 pub mod integrity;
 pub mod lints;
+pub mod shape;
 pub mod sigs;
 pub mod timing;
 pub mod wcet;
 
+pub use absint::{AbsIntError, Analysis, Engine, Fixpoint, Lattice, NodeId, View};
+pub use allocbound::{analyze_alloc, AllocReport, Bound};
 pub use annotated::{check_annotated, parse_annotations, AnnotError, Annotated};
 pub use callgraph::CallGraph;
 pub use integrity::{check_program, Label, Signatures, Ty, TypeError};
 pub use lints::{lint, Lint};
+pub use shape::{analyze_shapes, AbsVal, EntryModel, Fault, ShapeReport, UnreachableArm};
 pub use timing::{kernel_timing, TimingReport};
 pub use wcet::{gc_bound, iteration_wcet, Wcet, WcetError, WcetReport};

@@ -20,7 +20,6 @@
 //! * [`Lint::ConstantScrutinee`] — a `case` on an integer literal: exactly
 //!   one branch can ever run.
 
-use std::collections::HashSet;
 use std::fmt;
 
 use zarf_core::ast::{Arg, Branch, Callee, Expr, Pattern, Program};
@@ -90,74 +89,75 @@ impl fmt::Display for Lint {
     }
 }
 
-/// Names referenced by an argument.
-fn arg_uses<'a>(a: &'a Arg, out: &mut HashSet<&'a str>) {
-    if let Arg::Var(x) = a {
-        out.insert(x);
+/// One binding *occurrence* on the current scope path. Use-resolution
+/// finds the innermost occurrence of a name — the same discipline as a
+/// deterministic alpha-renaming — so shadowing cannot hide a dead outer
+/// binding (names are slot-unique after a binary lift, and the verdicts
+/// must match; the round-trip property tests pin this).
+struct Binding {
+    name: String,
+    used: bool,
+}
+
+/// Mark the innermost binding of `name` as read.
+fn mark_used(scope: &mut [Binding], name: &str) {
+    if let Some(b) = scope.iter_mut().rev().find(|b| b.name == name) {
+        b.used = true;
     }
 }
 
-/// Every variable name an expression reads.
-fn uses<'a>(e: &'a Expr, out: &mut HashSet<&'a str>) {
+fn mark_arg(scope: &mut [Binding], a: &Arg) {
+    if let Arg::Var(x) = a {
+        mark_used(scope, x);
+    }
+}
+
+fn lint_expr(function: &str, e: &Expr, scope: &mut Vec<Binding>, out: &mut Vec<Lint>) {
     match e {
-        Expr::Result(a) => arg_uses(a, out),
+        Expr::Result(a) => mark_arg(scope, a),
         Expr::Let {
-            callee, args, body, ..
+            var,
+            callee,
+            args,
+            body,
         } => {
             if let Callee::Var(x) = callee {
-                out.insert(x);
+                mark_used(scope, x);
             }
             for a in args {
-                arg_uses(a, out);
+                mark_arg(scope, a);
             }
-            uses(body, out);
-        }
-        Expr::Case {
-            scrutinee,
-            branches,
-            default,
-        } => {
-            arg_uses(scrutinee, out);
-            for b in branches {
-                uses(&b.body, out);
-            }
-            uses(default, out);
-        }
-    }
-}
-
-fn lint_expr(function: &str, e: &Expr, in_scope: &mut Vec<String>, out: &mut Vec<Lint>) {
-    match e {
-        Expr::Result(_) => {}
-        Expr::Let { var, body, .. } => {
-            let mut used = HashSet::new();
-            uses(body, &mut used);
-            if !used.contains(&**var) {
-                out.push(Lint::DeadLet {
-                    function: function.to_string(),
-                    var: var.to_string(),
-                });
-            }
-            if in_scope.iter().any(|s| s == &**var) {
+            if scope.iter().any(|b| b.name == **var) {
                 out.push(Lint::ShadowedBinding {
                     function: function.to_string(),
                     var: var.to_string(),
                 });
             }
-            in_scope.push(var.to_string());
-            lint_expr(function, body, in_scope, out);
-            in_scope.pop();
+            scope.push(Binding {
+                name: var.to_string(),
+                used: false,
+            });
+            lint_expr(function, body, scope, out);
+            if let Some(b) = scope.pop() {
+                if !b.used {
+                    out.push(Lint::DeadLet {
+                        function: function.to_string(),
+                        var: b.name,
+                    });
+                }
+            }
         }
         Expr::Case {
             scrutinee,
             branches,
             default,
         } => {
-            if let Arg::Lit(n) = scrutinee {
-                out.push(Lint::ConstantScrutinee {
+            match scrutinee {
+                Arg::Lit(n) => out.push(Lint::ConstantScrutinee {
                     function: function.to_string(),
                     value: *n,
-                });
+                }),
+                Arg::Var(_) => mark_arg(scope, scrutinee),
             }
             let mut seen: Vec<&Pattern> = Vec::new();
             for Branch { pattern, body } in branches {
@@ -173,22 +173,25 @@ fn lint_expr(function: &str, e: &Expr, in_scope: &mut Vec<String>, out: &mut Vec
                     });
                 }
                 seen.push(pattern);
-                let before = in_scope.len();
+                let before = scope.len();
                 if let Pattern::Con(_, vars) = pattern {
                     for v in vars {
-                        if in_scope.iter().any(|s| s == &**v) {
+                        if scope.iter().any(|b| b.name == **v) {
                             out.push(Lint::ShadowedBinding {
                                 function: function.to_string(),
                                 var: v.to_string(),
                             });
                         }
-                        in_scope.push(v.to_string());
+                        scope.push(Binding {
+                            name: v.to_string(),
+                            used: false,
+                        });
                     }
                 }
-                lint_expr(function, body, in_scope, out);
-                in_scope.truncate(before);
+                lint_expr(function, body, scope, out);
+                scope.truncate(before);
             }
-            lint_expr(function, default, in_scope, out);
+            lint_expr(function, default, scope, out);
         }
     }
 }
@@ -197,19 +200,23 @@ fn lint_expr(function: &str, e: &Expr, in_scope: &mut Vec<String>, out: &mut Vec
 pub fn lint(program: &Program) -> Vec<Lint> {
     let mut out = Vec::new();
     for f in program.functions() {
-        // Unused parameters.
-        let mut used = HashSet::new();
-        uses(&f.body, &mut used);
-        for p in &f.params {
-            if !used.contains(&**p) {
+        let mut scope: Vec<Binding> = f
+            .params
+            .iter()
+            .map(|p| Binding {
+                name: p.to_string(),
+                used: false,
+            })
+            .collect();
+        lint_expr(&f.name, &f.body, &mut scope, &mut out);
+        for b in &scope {
+            if !b.used {
                 out.push(Lint::UnusedParam {
                     function: f.name.to_string(),
-                    param: p.to_string(),
+                    param: b.name.clone(),
                 });
             }
         }
-        let mut scope: Vec<String> = f.params.iter().map(|p| p.to_string()).collect();
-        lint_expr(&f.name, &f.body, &mut scope, &mut out);
     }
     out
 }
@@ -292,6 +299,25 @@ fun main =
                 param: "y".into()
             }]
         );
+    }
+
+    #[test]
+    fn shadowed_dead_outer_let_detected() {
+        // The outer `x` is dead: the inner `x` shadows it before any use.
+        // A name-based use-set would miss this (and disagree with the
+        // lint verdict on the lifted binary, where names are slot-unique).
+        let l = lints_of("fun main =\n  let x = add 1 2 in\n  let x = add 3 4 in\n  result x");
+        assert!(
+            l.contains(&Lint::DeadLet {
+                function: "main".into(),
+                var: "x".into()
+            }),
+            "{l:?}"
+        );
+        assert!(l.contains(&Lint::ShadowedBinding {
+            function: "main".into(),
+            var: "x".into()
+        }));
     }
 
     #[test]

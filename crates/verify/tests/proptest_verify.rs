@@ -1,0 +1,255 @@
+//! Property-based tests for the static certification stack.
+//!
+//! * The abstract-interpretation clients are **total**: on arbitrary
+//!   generated programs — including self- and mutually-recursive ones —
+//!   the fixpoint engine converges within its widening-derived iteration
+//!   bound and returns a report, never an error and never a hang.
+//! * The lint pass is **alpha-stable**: its verdicts on a named AST
+//!   survive the assemble → binary encode → decode → lift round trip,
+//!   where every binder is renamed to a slot-unique synthetic name.
+#![cfg(feature = "proptest-tests")]
+
+use zarf_asm::{decode, encode, lift, lower, parse};
+use zarf_testkit::prelude::*;
+use zarf_testkit::rng::StdRng;
+use zarf_verify::lints::{lint, Lint};
+use zarf_verify::{analyze_alloc, analyze_shapes, EntryModel};
+
+const PRIMS2: &[&str] = &["add", "sub", "mul", "div", "eq", "lt", "max"];
+const PRIMS1: &[&str] = &["not", "neg", "abs"];
+/// A deliberately small binder pool, so shadowing (and dead shadowed
+/// outer bindings — the bug class the round trip pins) is common.
+const NAMES: &[&str] = &["x", "y", "z", "w"];
+
+struct Gen {
+    rng: StdRng,
+    /// (function name, arity); calls may target *any* entry, including
+    /// the function being generated — recursion is the point.
+    funs: Vec<(String, usize)>,
+    /// (constructor name, field count)
+    cons: Vec<(String, usize)>,
+}
+
+impl Gen {
+    fn atom(&mut self, scope: &[String]) -> String {
+        if !scope.is_empty() && self.rng.gen_bool(0.7) {
+            scope[self.rng.gen_range(0..scope.len())].clone()
+        } else {
+            format!("{}", self.rng.gen_range(-9..10))
+        }
+    }
+
+    fn binder(&mut self) -> String {
+        NAMES[self.rng.gen_range(0..NAMES.len())].to_string()
+    }
+
+    fn expr(&mut self, depth: u32, scope: &mut Vec<String>, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        if depth == 0 {
+            let a = self.atom(scope);
+            out.push_str(&format!("{pad}result {a}\n"));
+            return;
+        }
+        match self.rng.gen_range(0..10) {
+            0..=2 => {
+                // let v = prim args in …
+                let v = self.binder();
+                let call = if self.rng.gen_bool(0.8) {
+                    let p = PRIMS2[self.rng.gen_range(0..PRIMS2.len())];
+                    format!("{p} {} {}", self.atom(scope), self.atom(scope))
+                } else {
+                    let p = PRIMS1[self.rng.gen_range(0..PRIMS1.len())];
+                    format!("{p} {}", self.atom(scope))
+                };
+                out.push_str(&format!("{pad}let {v} = {call} in\n"));
+                scope.push(v);
+                self.expr(depth - 1, scope, out, indent);
+                scope.pop();
+            }
+            3..=4 => {
+                // let v = f args in … — under-, exactly-, or over-applied,
+                // so the arity analysis sees every application shape.
+                let (f, arity) = self.funs[self.rng.gen_range(0..self.funs.len())].clone();
+                let n = match self.rng.gen_range(0..6) {
+                    0 => arity.saturating_sub(1),
+                    1 => arity + 1,
+                    _ => arity,
+                };
+                let v = self.binder();
+                let args: Vec<String> = (0..n).map(|_| self.atom(scope)).collect();
+                out.push_str(&format!("{pad}let {v} = {f} {} in\n", args.join(" ")));
+                scope.push(v);
+                self.expr(depth - 1, scope, out, indent);
+                scope.pop();
+            }
+            5 if !scope.is_empty() => {
+                // Apply a bound value — abstractly an int, a PAP, or a con.
+                let callee = scope[self.rng.gen_range(0..scope.len())].clone();
+                let v = self.binder();
+                out.push_str(&format!(
+                    "{pad}let {v} = {callee} {} in\n",
+                    self.atom(scope)
+                ));
+                scope.push(v);
+                self.expr(depth - 1, scope, out, indent);
+                scope.pop();
+            }
+            6..=7 if !self.cons.is_empty() => {
+                // Allocate a constructor and case on it.
+                let (c, nfields) = self.cons[self.rng.gen_range(0..self.cons.len())].clone();
+                let v = self.binder();
+                let args: Vec<String> = (0..nfields).map(|_| self.atom(scope)).collect();
+                out.push_str(&format!("{pad}let {v} = {c} {} in\n", args.join(" ")));
+                scope.push(v.clone());
+                out.push_str(&format!("{pad}case {v} of\n"));
+                let binders: Vec<String> = (0..nfields).map(|_| self.binder()).collect();
+                out.push_str(&format!("{pad}| {c} {} =>\n", binders.join(" ")));
+                let before = scope.len();
+                scope.extend(binders);
+                self.expr(depth - 1, scope, out, indent + 1);
+                scope.truncate(before);
+                out.push_str(&format!("{pad}else\n"));
+                self.expr(depth - 1, scope, out, indent + 1);
+                scope.pop();
+            }
+            8 => {
+                // Literal case, sometimes on a constant, sometimes with a
+                // duplicated branch — lint fodder.
+                let scrut = self.atom(scope);
+                out.push_str(&format!("{pad}case {scrut} of\n"));
+                let n = self.rng.gen_range(0..3);
+                let mut pats = Vec::new();
+                for _ in 0..n {
+                    let k = if !pats.is_empty() && self.rng.gen_bool(0.3) {
+                        pats[0]
+                    } else {
+                        self.rng.gen_range(-3..4)
+                    };
+                    pats.push(k);
+                    out.push_str(&format!("{pad}| {k} =>\n"));
+                    self.expr(depth - 1, scope, out, indent + 1);
+                }
+                out.push_str(&format!("{pad}else\n"));
+                self.expr(depth - 1, scope, out, indent + 1);
+            }
+            _ => {
+                let a = self.atom(scope);
+                out.push_str(&format!("{pad}result {a}\n"));
+            }
+        }
+    }
+}
+
+/// Build a random program from a seed: constructors, `main` first (so
+/// named and lifted item orders agree), then helper functions that may
+/// call anything — themselves and each other included.
+fn gen_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ncons = rng.gen_range(0..3usize);
+    let nfuns = rng.gen_range(1..4usize);
+    let mut funs = vec![("main".to_string(), 0)];
+    for i in 0..nfuns {
+        funs.push((format!("h{i}"), rng.gen_range(1..=3usize)));
+    }
+    let cons: Vec<(String, usize)> = (0..ncons)
+        .map(|i| (format!("K{i}"), rng.gen_range(0..=2usize)))
+        .collect();
+    let mut g = Gen { rng, funs, cons };
+
+    let mut src = String::new();
+    for (c, n) in g.cons.clone() {
+        let fields: Vec<String> = (0..n).map(|k| format!("f{k}")).collect();
+        src.push_str(&format!("con {c} {}\n", fields.join(" ")));
+    }
+    for (f, arity) in g.funs.clone() {
+        let params: Vec<String> = (0..arity).map(|k| format!("p{k}")).collect();
+        if params.is_empty() {
+            src.push_str(&format!("fun {f} =\n"));
+        } else {
+            src.push_str(&format!("fun {f} {} =\n", params.join(" ")));
+        }
+        let mut scope = params;
+        let depth = g.rng.gen_range(1..=3);
+        g.expr(depth, &mut scope, &mut src, 1);
+    }
+    src
+}
+
+/// A lint's alpha-invariant signature: the kind plus any name-independent
+/// payload. `ShadowedBinding` is excluded — the lift gives every binder a
+/// slot-unique name, so shadowing is a source-only phenomenon by design.
+fn signature(lints: &[Lint]) -> Vec<String> {
+    let mut sig: Vec<String> = lints
+        .iter()
+        .filter_map(|l| match l {
+            Lint::DeadLet { .. } => Some("dead-let".to_string()),
+            Lint::DuplicatePattern { .. } => Some("duplicate-pattern".to_string()),
+            Lint::UnusedParam { .. } => Some("unused-param".to_string()),
+            Lint::ConstantScrutinee { value, .. } => Some(format!("constant-scrutinee:{value}")),
+            Lint::ShadowedBinding { .. } => None,
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+/// Guard against a vacuous round-trip property: the generator must
+/// actually produce shadowed binders (the alpha-sensitivity trigger) and
+/// programs with non-empty lint signatures, or the comparison proves
+/// nothing.
+#[test]
+fn generator_exercises_shadowing_and_lints() {
+    let mut shadowed = 0usize;
+    let mut nonempty = 0usize;
+    for seed in 0..200u64 {
+        let src = gen_source(seed);
+        let named = parse(&src).unwrap_or_else(|e| panic!("generated source invalid: {e}\n{src}"));
+        let lints = lint(&named);
+        shadowed += lints
+            .iter()
+            .any(|l| matches!(l, Lint::ShadowedBinding { .. })) as usize;
+        nonempty += (!signature(&lints).is_empty()) as usize;
+    }
+    assert!(
+        shadowed >= 20,
+        "only {shadowed}/200 programs shadow a binder"
+    );
+    assert!(nonempty >= 20, "only {nonempty}/200 programs carry lints");
+}
+
+proptest! {
+    /// Satellite: lint verdicts are identical on the named AST and on the
+    /// lift of its encoded binary. Every binder is renamed along the way,
+    /// so any name-dependence in the pass (the shadowed-dead-let bug this
+    /// PR fixed) breaks this property immediately.
+    #[test]
+    fn lint_verdicts_survive_binary_round_trip(seed in any::<u64>()) {
+        let src = gen_source(seed);
+        let named = parse(&src).unwrap_or_else(|e| panic!("generated source invalid: {e}\n{src}"));
+        let machine = lower(&named).unwrap();
+        let lifted = lift(&decode(&encode(&machine).unwrap()).unwrap()).unwrap();
+        prop_assert_eq!(
+            signature(&lint(&named)),
+            signature(&lint(&lifted)),
+            "verdicts diverged on:\n{}", src
+        );
+    }
+
+    /// Tentpole: the fixpoint engine terminates within its derived bound
+    /// on arbitrary programs — recursion widens instead of diverging, and
+    /// both clients return a report.
+    #[test]
+    fn absint_converges_within_bound(seed in any::<u64>()) {
+        let src = gen_source(seed);
+        let named = parse(&src).unwrap_or_else(|e| panic!("generated source invalid: {e}\n{src}"));
+        let machine = lower(&named).unwrap();
+        for model in [EntryModel::Standalone, EntryModel::Service] {
+            let shapes = analyze_shapes(&machine, model)
+                .unwrap_or_else(|e| panic!("shape analysis diverged ({model:?}): {e}\n{src}"));
+            prop_assert!(shapes.iterations <= shapes.iteration_bound);
+        }
+        let alloc = analyze_alloc(&machine)
+            .unwrap_or_else(|e| panic!("alloc analysis diverged: {e}\n{src}"));
+        prop_assert!(alloc.iterations <= alloc.iteration_bound);
+    }
+}

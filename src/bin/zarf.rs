@@ -15,6 +15,13 @@
 //! zarf profile <file.zf|file.zbin> [--folded]
 //!                                 run on hardware, print metrics report
 //!                                 (or folded stacks for flamegraph tools)
+//! zarf vet <file.zf|file.zbin> [--json] [--model standalone|service]
+//!                                 static certification: shape/arity
+//!                                 machine-fault-freedom, allocation
+//!                                 bounds, WCET, binary integrity, and
+//!                                 lints in one report; the last line is
+//!                                 a one-line JSON verdict and the exit
+//!                                 code is nonzero on any violation
 //! zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N]
 //!            [--policy halt|restart|degrade|rollback]
 //!                                 seeded fault-injection soak of the full
@@ -54,21 +61,279 @@ use zarf::verify::annotated::check_annotated;
 use zarf::verify::lints::lint;
 use zarf::verify::wcet::{find_id, Wcet};
 
+fn usage_text() -> &'static str {
+    "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile|vet> <file> [options]\n\
+     \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
+     \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
+     \x20      zarf serve [--listen ADDR] [--workers N]\n\
+     \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
+     run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
+     stats options: --profile (per-function cycle attribution)\n\
+     trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
+     profile options: --in PORT:v,v,…  --folded (flamegraph folded stacks)\n\
+     wcet options: --fn NAME  --exclude NAME\n\
+     vet options: --json  --model standalone|service (see `zarf vet --help`)\n\
+     chaos options: --policy halt|restart|degrade|rollback (default restart)"
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile> <file> [options]\n\
-         \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
-         \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
-         \x20      zarf serve [--listen ADDR] [--workers N]\n\
-         \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
-         run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
-         stats options: --profile (per-function cycle attribution)\n\
-         trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
-         profile options: --in PORT:v,v,…  --folded (flamegraph folded stacks)\n\
-         wcet options: --fn NAME  --exclude NAME\n\
-         chaos options: --policy halt|restart|degrade|rollback (default restart)"
-    );
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
+}
+
+fn vet_help() {
+    println!(
+        "zarf vet <file.zf|file.zbin> [--json] [--model standalone|service]\n\
+         \n\
+         Statically certify a program or binary. The report combines:\n\
+         \x20 * shape/arity analysis — case-fault-freedom and arity-fault-\n\
+         \x20   freedom certificates (possible machine faults are violations,\n\
+         \x20   value faults like divide-by-zero are warnings)\n\
+         \x20 * allocation bounds — worst-case heap words per call of each\n\
+         \x20   function, composed into a whole-program bound (⊤ = unbounded)\n\
+         \x20 * WCET — worst-case cycles of `main` when the program is\n\
+         \x20   recursion-free\n\
+         \x20 * binary integrity — the image must re-encode byte-identically\n\
+         \x20 * lints — dead lets, duplicate patterns, unused parameters, …\n\
+         \n\
+         --model standalone   analyze from `main` only (default)\n\
+         --model service      analyze every function as a fleet op target,\n\
+         \x20                  arguments unknown (what verified-load checks)\n\
+         --json               full machine-readable report on stdout\n\
+         \n\
+         The last line is always a one-line JSON verdict; the exit code is\n\
+         nonzero when any violation was found."
+    );
+}
+
+/// `zarf vet`: one static-certification report over a program or binary —
+/// the abstract-interpretation certificates (shape/arity fault freedom,
+/// allocation bounds), WCET, binary integrity, and lints. Violations are
+/// findings that void a machine-fault-freedom certificate; everything
+/// else is a warning. Exit code is nonzero on any violation.
+fn run_vet(rest: &[String]) -> ExitCode {
+    use zarf::verify::{analyze_alloc, analyze_shapes, Bound, EntryModel};
+
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        vet_help();
+        return ExitCode::SUCCESS;
+    }
+    let path = match rest.first() {
+        Some(p) if !p.starts_with('-') => p.as_str(),
+        _ => {
+            eprintln!("zarf: vet needs a <file.zf|file.zbin> argument (try `zarf vet --help`)");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = &rest[1..];
+    let json = opts.iter().any(|a| a == "--json");
+    let model = match flag_value(opts, "--model").as_deref() {
+        None | Some("standalone") => EntryModel::Standalone,
+        Some("service") => EntryModel::Service,
+        Some(other) => {
+            eprintln!("zarf: unknown model `{other}` (standalone|service)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
+
+    let machine = match load_machine(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let label = |id: u32| -> String {
+        machine
+            .lookup(id)
+            .and_then(|it| it.name.clone())
+            .unwrap_or_else(|| format!("g_{id:x}"))
+    };
+
+    // Binary integrity: the image must survive an encode/decode round trip
+    // byte-identically (for `.zbin` input, against the file's own words).
+    let words = match encode(&machine) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("zarf: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match decode(&words) {
+        Ok(_) => {}
+        Err(e) => violations.push(format!("integrity: re-decode failed: {e}")),
+    }
+
+    // Shape/arity certificates under the chosen entry model.
+    let shapes = match analyze_shapes(&machine, model) {
+        Ok(r) => r,
+        Err(e) => {
+            // The engine's iteration bound is part of the soundness story:
+            // not converging voids every certificate.
+            violations.push(format!("shape analysis did not converge: {e}"));
+            println!("violation: shape analysis did not converge");
+            println!("{{\"verdict\":\"fail\",\"violations\":1,\"warnings\":0}}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (id, f) in shapes.faults() {
+        let line = format!("{}: may fault: {f}", label(id));
+        if f.is_case_fault() || f.is_arity_fault() {
+            violations.push(line);
+        } else {
+            warnings.push(line);
+        }
+    }
+    for arm in &shapes.unreachable_arms {
+        let pat = match arm.pattern {
+            zarf::core::machine::MPattern::Lit(n) => n.to_string(),
+            zarf::core::machine::MPattern::Con(id) => format!("con {id:#x}"),
+        };
+        warnings.push(format!(
+            "{}: case {} arm {} (`{pat}`) is unreachable",
+            label(arm.function),
+            arm.case_index,
+            arm.arm_index,
+        ));
+    }
+
+    // Allocation bounds. ⊤ is not a violation — unbounded recursion is
+    // legal standalone — but it is what bars an item from verified ops.
+    let alloc = match analyze_alloc(&machine) {
+        Ok(r) => r,
+        Err(e) => {
+            violations.push(format!("allocation analysis did not converge: {e}"));
+            println!("violation: allocation analysis did not converge");
+            println!("{{\"verdict\":\"fail\",\"violations\":1,\"warnings\":0}}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program_bound = alloc.program_bound();
+
+    // WCET of `main` (finite only for recursion-free programs).
+    let cost = CostModel::default();
+    let wcet_cycles = Wcet::new(&machine, &cost)
+        .analyze(0x100)
+        .map(|r| r.cycles)
+        .ok();
+
+    // Lints over the lifted AST.
+    let lint_findings = match lift(&machine) {
+        Ok(program) => lint(&program),
+        Err(e) => {
+            violations.push(format!("integrity: lift failed: {e}"));
+            Vec::new()
+        }
+    };
+    for l in &lint_findings {
+        warnings.push(format!("lint: {l}"));
+    }
+
+    let fun_lines: Vec<(u32, String, String, String)> = shapes
+        .functions
+        .iter()
+        .map(|(&id, shape)| {
+            let nargs = machine.lookup(id).map(|it| it.arity).unwrap_or(0);
+            let faults = if shape.faults.is_empty() {
+                "fault-free".to_string()
+            } else {
+                shape
+                    .faults
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            (
+                id,
+                label(id),
+                faults,
+                alloc.per_call_bound(id, nargs).to_string(),
+            )
+        })
+        .collect();
+
+    if json {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let list = |xs: &[String]| {
+            xs.iter()
+                .map(|x| format!("\"{}\"", esc(x)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let funs = fun_lines
+            .iter()
+            .map(|(id, name, faults, bound)| {
+                format!(
+                    "{{\"id\":{id},\"name\":\"{}\",\"faults\":\"{}\",\"alloc_bound\":\"{}\"}}",
+                    esc(name),
+                    esc(faults),
+                    esc(bound)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"file\":\"{}\",\"model\":\"{:?}\",\"functions\":[{funs}],\
+             \"violations\":[{}],\"warnings\":[{}],\
+             \"case_fault_free\":{},\"arity_fault_free\":{},\
+             \"program_alloc_bound\":{},\"wcet_cycles\":{},\
+             \"iterations\":{},\"iteration_bound\":{}}}",
+            esc(path),
+            model,
+            list(&violations),
+            list(&warnings),
+            shapes.case_fault_free(),
+            shapes.arity_fault_free(),
+            match program_bound {
+                Bound::Finite(n) => n.to_string(),
+                Bound::Top => "null".to_string(),
+            },
+            wcet_cycles.map_or("null".to_string(), |c| c.to_string()),
+            shapes.iterations,
+            shapes.iteration_bound,
+        );
+    } else {
+        println!("vet report for {path} ({:?} model)", model);
+        for (id, name, faults, bound) in &fun_lines {
+            println!("  fn {id:#x} {name:<20} {faults:<28} alloc/call <= {bound}");
+        }
+        println!(
+            "certificates: case-fault-free={} arity-fault-free={}",
+            shapes.case_fault_free(),
+            shapes.arity_fault_free()
+        );
+        println!("program allocation bound: {program_bound} words");
+        match wcet_cycles {
+            Some(c) => println!("wcet(main): {c} cycles"),
+            None => println!("wcet(main): unbounded (recursion)"),
+        }
+        for v in &violations {
+            println!("violation: {v}");
+        }
+        for w in &warnings {
+            println!("warning: {w}");
+        }
+    }
+    // Machine-readable verdict, always the last line of output.
+    println!(
+        "{{\"verdict\":\"{}\",\"violations\":{},\"warnings\":{}}}",
+        if violations.is_empty() {
+            "pass"
+        } else {
+            "fail"
+        },
+        violations.len(),
+        warnings.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Seeded fault-injection soak over the full two-layer ICD system. Every
@@ -453,8 +718,17 @@ fn run_loadgen(rest: &[String]) -> ExitCode {
     }
 }
 
-/// Load a `.zf` source or `.zbin` binary into machine form.
+/// Load a `.zf` source or `.zbin` binary into machine form. The shipped
+/// images are addressable as pseudo-paths, so CI can vet exactly what the
+/// build embeds: `@kernel` (the scheduler), `@session` (the kernel as a
+/// fleet session shell), `@icd` (the detection pipeline).
 fn load_machine(path: &str) -> Result<MProgram, String> {
+    match path {
+        "@kernel" => return Ok(zarf::kernel::program::kernel_machine()),
+        "@session" => return Ok(zarf::kernel::session::session_machine()),
+        "@icd" => return Ok(zarf::icd::extract::icd_machine()),
+        _ => {}
+    }
     if path.ends_with(".zbin") {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         if bytes.len() % 4 != 0 {
@@ -502,6 +776,28 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Flag-only invocations are answered directly, never treated as a
+    // command + file pair.
+    match args.first().map(String::as_str) {
+        None => return usage(),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{}", usage_text());
+            return ExitCode::SUCCESS;
+        }
+        Some("--version") | Some("-V") => {
+            println!("zarf {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        Some(flag) if flag.starts_with('-') => {
+            eprintln!("zarf: unknown flag `{flag}`");
+            return usage();
+        }
+        _ => {}
+    }
+    // `vet` has its own option parsing and per-subcommand help.
+    if args.first().map(String::as_str) == Some("vet") {
+        return run_vet(&args[1..]);
+    }
     // `chaos` operates on the built-in ICD system, not on a program file.
     if args.first().map(String::as_str) == Some("chaos") {
         return run_chaos(&args[1..]);

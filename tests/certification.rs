@@ -1,0 +1,199 @@
+//! Dynamic soundness cross-checks for the static certification stack:
+//! every certificate the abstract interpreter issues is pinned against
+//! concrete hardware runs.
+//!
+//! * The allocation-bound analysis charges every op eagerly at creation,
+//!   so a run's traced `words_allocated` must stay at or under the static
+//!   program bound — on every seed, at every heap size, lazy or eager.
+//! * A program certified case-fault-free and arity-fault-free must never
+//!   evaluate to one of those machine-fault error codes.
+//! * One kernel-session scheduler iteration, measured under a
+//!   `MetricsSink`, must stay within the static WCET of `session_step`.
+
+mod common;
+
+use common::gen_program;
+use zarf::asm::lower;
+use zarf::core::error::RuntimeError;
+use zarf::core::value::Value;
+use zarf::core::VecPorts;
+use zarf::hw::{CostModel, HValue, Hw, HwConfig};
+use zarf::trace::{MetricsSink, SharedSink};
+use zarf::verify::wcet::find_id;
+use zarf::verify::{analyze_alloc, analyze_shapes, EntryModel, Wcet};
+
+/// Machine-fault error codes: apply-to-int, apply-to-con, case-on-closure,
+/// con-over-applied — exactly what the shape certificates rule out.
+const MACHINE_FAULT_CODES: [i32; 4] = [2, 3, 4, 5];
+
+/// The acceptance bar: every concrete run's traced allocation total stays
+/// at or under the static program bound, across ≥25 seeds and several
+/// execution regimes (big heap, small heap forcing collections, and the
+/// eager ablation, which matches the analysis' charging model exactly).
+#[test]
+fn traced_allocation_never_exceeds_static_bound() {
+    let mut checked = 0usize;
+    for seed in 7_000_000..7_000_030u64 {
+        let p = gen_program(seed);
+        let m = lower(&p).unwrap();
+        let alloc = analyze_alloc(&m).unwrap();
+        let bound = alloc
+            .program_bound()
+            .finite()
+            .expect("generated programs are recursion-free, so bounds are finite");
+        for (heap_words, eager) in [(1 << 16, false), (1 << 10, false), (1 << 16, true)] {
+            let mut hw = Hw::from_machine_with(
+                &m,
+                HwConfig {
+                    heap_words,
+                    eager,
+                    ..HwConfig::default()
+                },
+            )
+            .unwrap();
+            let mut ports = VecPorts::new();
+            // Deep-force the result too: residual thunks are part of what
+            // the eager charging model paid for up front.
+            let run = hw
+                .run(&mut ports)
+                .and_then(|v| hw.deep_value(v, &mut ports));
+            let traced = hw.stats().words_allocated;
+            assert!(
+                traced <= bound,
+                "seed {seed} heap {heap_words} eager {eager}: \
+                 traced {traced} words > static bound {bound} ({run:?})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 75, "only {checked} runs checked");
+}
+
+/// A program both certificates clear must never evaluate to a machine
+/// fault; a run that does end in one must come from a program the
+/// analysis refused to certify. (Value faults — divide-by-zero — are
+/// allowed either way.)
+#[test]
+fn certified_programs_never_raise_machine_faults() {
+    let mut certified = 0usize;
+    for seed in 8_000_000..8_000_120u64 {
+        let p = gen_program(seed);
+        let m = lower(&p).unwrap();
+        let shapes = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let clean = shapes.case_fault_free() && shapes.arity_fault_free();
+        certified += clean as usize;
+
+        let mut hw = Hw::from_machine(&m).unwrap();
+        let mut ports = VecPorts::new();
+        let outcome = hw
+            .run(&mut ports)
+            .and_then(|v| hw.deep_value(v, &mut ports));
+        if let Ok(v) = outcome {
+            if let Value::Error(e) = &*v {
+                let code = RuntimeError::code(*e);
+                assert!(
+                    !(clean && MACHINE_FAULT_CODES.contains(&code)),
+                    "seed {seed}: certified fault-free but evaluated to error {code} ({e})"
+                );
+            }
+        }
+    }
+    // The check only means something if certification regularly succeeds.
+    assert!(certified >= 30, "only {certified}/120 programs certified");
+}
+
+/// Arity-fault soundness from the other side: deliberately over-applying
+/// and under-driving functions must be caught statically. Every program
+/// here faults at runtime, so none may certify.
+#[test]
+fn faulting_programs_are_never_certified() {
+    let faulty = [
+        // Apply an integer.
+        "fun main =\n  let x = add 1 2 in\n  let r = x 3 in\n  result r",
+        // Case on a partial application.
+        "fun f a b = result a\nfun main =\n  let g = f 1 in\n  case g of\n  | 0 => result 1\n  else result 0",
+        // Over-apply a saturated constructor.
+        "con Box v\nfun main =\n  let b = Box 1 in\n  let r = b 2 in\n  result r",
+    ];
+    for src in faulty {
+        let p = zarf::asm::parse(src).unwrap();
+        let m = lower(&p).unwrap();
+        let shapes = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let clean = shapes.case_fault_free() && shapes.arity_fault_free();
+        assert!(!clean, "certified a faulting program:\n{src}");
+
+        // And the fault really happens on the hardware.
+        let mut hw = Hw::from_machine(&m).unwrap();
+        let mut ports = VecPorts::new();
+        let v = hw
+            .run(&mut ports)
+            .and_then(|v| hw.deep_value(v, &mut ports))
+            .unwrap();
+        match &*v {
+            Value::Error(e) => assert!(
+                MACHINE_FAULT_CODES.contains(&RuntimeError::code(*e)),
+                "expected a machine fault, got {e}"
+            ),
+            other => panic!("expected a machine fault, got {other}"),
+        }
+    }
+}
+
+/// The WCET/trace cross-check: drive the kernel-session scheduler loop
+/// iteration by iteration under a `MetricsSink` and hold every
+/// iteration's measured cycles under the static bound of `session_step`.
+/// The eager ablation makes the comparison exact per iteration (work
+/// cannot shift across iteration boundaries); the lazy run is checked
+/// cumulatively.
+#[test]
+fn kernel_iteration_cycles_stay_under_static_wcet() {
+    let m = zarf::kernel::session::session_machine();
+    let cost = CostModel::default();
+    let step = find_id(&m, "session_step").unwrap();
+    let boot = find_id(&m, "session_boot").unwrap();
+    let bound = Wcet::new(&m, &cost).analyze(step).unwrap().cycles;
+
+    for eager in [true, false] {
+        let shared = SharedSink::new(MetricsSink::new());
+        let mut hw = Hw::from_machine_with(
+            &m,
+            HwConfig {
+                heap_words: 1 << 20,
+                gc_auto: false,
+                eager,
+                ..HwConfig::default()
+            },
+        )
+        .unwrap();
+        hw.set_sink(Box::new(shared.clone()));
+
+        let mut ports = VecPorts::new();
+        let mut state = hw.call(boot, vec![HValue::Int(0)], &mut ports).unwrap();
+        let mut last = shared.with(|s| s.mutator_cycles());
+        let n = 16;
+        for i in 0..n {
+            use zarf::kernel::program::{PORT_CHANNEL_STATUS, PORT_ECG, PORT_TIMER};
+            ports.push_input(PORT_TIMER, vec![i]);
+            ports.push_input(PORT_ECG, vec![((i * 41) % 160) - 80]);
+            ports.push_input(PORT_CHANNEL_STATUS, vec![0]);
+            state = hw.call(step, vec![state], &mut ports).unwrap();
+            let now = shared.with(|s| s.mutator_cycles());
+            if eager {
+                assert!(
+                    now - last <= bound,
+                    "iteration {i}: {} cycles > static bound {bound}",
+                    now - last
+                );
+            }
+            last = now;
+        }
+        // Lazy or eager, n iterations stay under n bounds in total.
+        let total = shared.with(|s| s.mutator_cycles());
+        assert!(
+            total <= bound * (n as u64 + 1),
+            "{n} iterations used {total} cycles > {} ({eager})",
+            bound * (n as u64 + 1)
+        );
+        assert_eq!(shared.with(|s| s.gc_cycles()), 0, "gc_auto was off");
+    }
+}

@@ -156,3 +156,78 @@ fn bad_usage_exits_nonzero() {
     let (ok, _, _) = zarf(&["frobnicate", "/nonexistent"]);
     assert!(!ok);
 }
+
+const FAULTY_PROG: &str = "fun f x =\n  result x\nfun main =\n  let g = f in\n  case g of\n  | 0 => result 1\n  else result 0\n";
+
+#[test]
+fn vet_passes_a_clean_program() {
+    let src = write_temp("k.zf", PROG);
+    let (ok, out, err) = zarf(&["vet", &src]);
+    assert!(ok, "{err}");
+    assert!(out.contains("case-fault-free=true"), "{out}");
+    assert!(out.contains("arity-fault-free=true"), "{out}");
+    // The verdict line is always last and machine-readable.
+    let last = out.lines().last().unwrap();
+    assert!(last.starts_with("{\"verdict\":\"pass\""), "{last}");
+}
+
+#[test]
+fn vet_rejects_a_faulty_binary_with_nonzero_exit() {
+    // Vet the *binary*, not the source: assemble first, then vet the
+    // .zbin image, which must fail with an explicit violation.
+    let src = write_temp("l.zf", FAULTY_PROG);
+    let (ok, _, err) = zarf(&["asm", &src]);
+    assert!(ok, "{err}");
+    let bin = src.replace(".zf", ".zbin");
+    let (ok, out, _) = zarf(&["vet", &bin]);
+    assert!(!ok, "vet accepted a program that cases on a closure");
+    assert!(out.contains("violation:"), "{out}");
+    assert!(out.contains("case-on-closure"), "{out}");
+    let last = out.lines().last().unwrap();
+    assert!(last.starts_with("{\"verdict\":\"fail\""), "{last}");
+}
+
+#[test]
+fn vet_json_reports_bounds_and_certificates() {
+    let src = write_temp("m.zf", PROG);
+    let (ok, out, err) = zarf(&["vet", &src, "--json", "--model", "service"]);
+    assert!(ok, "{err}");
+    let report = out.lines().next().unwrap();
+    assert!(report.contains("\"case_fault_free\":true"), "{report}");
+    assert!(report.contains("\"program_alloc_bound\":"), "{report}");
+    assert!(report.contains("\"functions\":["), "{report}");
+}
+
+#[test]
+fn vet_certifies_the_shipped_images() {
+    for image in ["@kernel", "@session", "@icd"] {
+        for model in ["standalone", "service"] {
+            let (ok, out, err) = zarf(&["vet", image, "--model", model]);
+            assert!(ok, "{image} ({model}): {err}");
+            let last = out.lines().last().unwrap();
+            assert!(last.starts_with("{\"verdict\":\"pass\""), "{image}: {last}");
+        }
+    }
+}
+
+#[test]
+fn flag_only_invocations_are_handled() {
+    let (ok, out, _) = zarf(&["--help"]);
+    assert!(ok);
+    assert!(out.contains("usage"), "{out}");
+    let (ok, out, _) = zarf(&["--version"]);
+    assert!(ok);
+    assert!(out.starts_with("zarf "), "{out}");
+    let (ok, _, err) = zarf(&["--frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag"), "{err}");
+    // Per-subcommand help for vet.
+    let (ok, out, _) = zarf(&["vet", "--help"]);
+    assert!(ok);
+    assert!(out.contains("--model"), "{out}");
+    // vet with a flag where the file should be: usage error, not a read
+    // of a file literally named `--json`.
+    let (ok, _, err) = zarf(&["vet", "--json"]);
+    assert!(!ok);
+    assert!(err.contains("vet needs"), "{err}");
+}

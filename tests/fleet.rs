@@ -340,6 +340,168 @@ fn kernel_session_runs_through_the_fleet() {
     fleet.shutdown();
 }
 
+/// Verified load: the kernel session shell passes both machine-fault
+/// certificates under the service entry model, loads with `verified:
+/// true`, and behaves byte-identically to an unverified load.
+#[test]
+fn kernel_session_verified_loads_and_runs_identically() {
+    let img = session_image();
+    let ops: Vec<Op> = std::iter::once(Op::step(img.boot, vec![], vec![]))
+        .chain((0..6).map(|i| {
+            Op::step(
+                img.step,
+                vec![],
+                vec![
+                    PortFeed {
+                        port: PORT_TIMER,
+                        words: vec![i],
+                    },
+                    PortFeed {
+                        port: PORT_ECG,
+                        words: vec![i * 13 - 30],
+                    },
+                    PortFeed {
+                        port: PORT_CHANNEL_STATUS,
+                        words: vec![0],
+                    },
+                ],
+            )
+        }))
+        .collect();
+    let plain = SessionConfig::default();
+    let (want_words, _) = run_standalone(&img.words, &plain, &ops).unwrap();
+
+    let fleet = Fleet::start(FleetConfig {
+        workers: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let handle = fleet.handle();
+    let verified = SessionConfig {
+        verified: true,
+        ..plain
+    };
+    let id = handle.open_program(&img.words, Some(verified)).unwrap();
+    for op in ops {
+        handle.inject(id, op).unwrap();
+    }
+    handle.wait_idle(id, WAIT).unwrap();
+    assert_eq!(handle.poll(id).unwrap().words, want_words);
+    fleet.shutdown();
+}
+
+/// Verified load rejects a program whose shape analysis finds a possible
+/// machine fault, with a typed `Certification` error — and the same
+/// rejection surfaces as `ERR_CERTIFICATION` over the wire.
+#[test]
+fn verified_load_rejects_faulty_binary_with_typed_error() {
+    // `main` cases on a partial application: a guaranteed CaseOnClosure.
+    let faulty = zarf::asm::assemble(
+        "fun f x =\n\
+         \x20 result x\n\
+         fun main =\n\
+         \x20 let g = f in\n\
+         \x20 case g of\n\
+         \x20 | 0 => result 1\n\
+         \x20 else result 0",
+    )
+    .unwrap();
+    let fleet = Fleet::start(FleetConfig {
+        workers: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let handle = fleet.handle();
+    let verified = SessionConfig {
+        verified: true,
+        ..SessionConfig::default()
+    };
+
+    // Unverified load accepts it; verified load refuses with the typed error.
+    let ok = handle.open_program(&faulty, None).unwrap();
+    handle.close(ok).unwrap();
+    match handle.open_program(&faulty, Some(verified.clone())) {
+        Err(zarf::fleet::FleetError::Certification(msg)) => {
+            assert!(msg.contains("fault"), "unexpected message: {msg}")
+        }
+        other => panic!("expected Certification error, got {other:?}"),
+    }
+
+    // Same over ZFLT: the server answers with ERR_CERTIFICATION.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let handle = fleet.handle();
+        std::thread::spawn(move || zarf::fleet::serve(listener, handle))
+    };
+    let mut client = Client::connect(addr).unwrap();
+    match client.call(&Request::LoadProgram {
+        config: verified,
+        program: faulty,
+    }) {
+        Err(zarf::fleet::FleetError::Remote { code, .. }) => {
+            assert_eq!(code, zarf::fleet::wire::ERR_CERTIFICATION)
+        }
+        other => panic!("expected remote certification error, got {other:?}"),
+    }
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    server.join().unwrap().unwrap();
+    fleet.shutdown();
+}
+
+/// A verified session's certificate gates every op: unknown items, wrong
+/// arity, and items without a finite allocation bound are all rejected at
+/// inject with `UncertifiedOp`, while a conforming op sails through.
+#[test]
+fn verified_session_rejects_uncertified_ops() {
+    use zarf::fleet::FleetError;
+    // `burn` is recursive, so it certifies fault-free but has no finite
+    // allocation bound; `tally` (program 0) is finite.
+    let tally = zarf::asm::assemble(program_sources()[0]).unwrap();
+    let burn = zarf::asm::assemble(program_sources()[2]).unwrap();
+    let fleet = Fleet::start(FleetConfig {
+        workers: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let handle = fleet.handle();
+    let verified = SessionConfig {
+        verified: true,
+        ..SessionConfig::default()
+    };
+
+    let id = handle.open_program(&tally, Some(verified.clone())).unwrap();
+    // Wrong arity: tally takes (s, n); step supplies s implicitly.
+    match handle.inject(id, Op::step(WORK_ITEM, vec![1, 2], vec![])) {
+        Err(FleetError::UncertifiedOp { item, .. }) => assert_eq!(item, WORK_ITEM),
+        other => panic!("expected UncertifiedOp, got {other:?}"),
+    }
+    // Unknown item.
+    assert!(matches!(
+        handle.inject(id, Op::eval(0x999, vec![], vec![])),
+        Err(FleetError::UncertifiedOp { item: 0x999, .. })
+    ));
+    // A conforming op still runs.
+    handle
+        .inject(id, Op::step(WORK_ITEM, vec![5], vec![]))
+        .unwrap();
+    handle.wait_idle(id, WAIT).unwrap();
+    assert_eq!(handle.poll(id).unwrap().words.last(), Some(&5));
+
+    let id2 = handle.open_program(&burn, Some(verified)).unwrap();
+    match handle.inject(id2, Op::step(WORK_ITEM, vec![3], vec![])) {
+        Err(FleetError::UncertifiedOp { item, reason }) => {
+            assert_eq!(item, WORK_ITEM);
+            assert!(reason.contains("allocation"), "{reason}");
+        }
+        other => panic!("expected UncertifiedOp for unbounded item, got {other:?}"),
+    }
+    fleet.shutdown();
+}
+
 /// A session snapshotted out of one fleet and restored into another picks
 /// up exactly where it left off: the stitched output equals one
 /// uninterrupted standalone run.
