@@ -134,6 +134,17 @@ pub enum FaultKind {
     /// commits, forcing a rehydration from the committed snapshot on the
     /// next slice.
     ForceEvict,
+    /// The fleet frontier drops a TCP connection instead of writing the
+    /// `op`-th response it was about to queue. The client sees a dead
+    /// socket mid-pipeline; the session behind it must be unaffected.
+    /// The `op` coordinate is the frontier's response-write event index,
+    /// consulted by the serve loop itself (frontier plans are separate
+    /// from scheduler plans, whose coordinate is the session slice index).
+    ConnKill,
+    /// The frontier writes only the first half of the `op`-th response
+    /// frame and then drops the connection — a partial write mid-frame.
+    /// The truncated frame must be rejected by any decoder that sees it.
+    PartialWrite,
 }
 
 impl FaultKind {
@@ -151,7 +162,10 @@ impl FaultKind {
             }
             FaultKind::FuelCut { .. } => FaultSite::Coroutine,
             FaultKind::SnapshotCorrupt { .. } => FaultSite::Snapshot,
-            FaultKind::SessionKill | FaultKind::ForceEvict => FaultSite::Fleet,
+            FaultKind::SessionKill
+            | FaultKind::ForceEvict
+            | FaultKind::ConnKill
+            | FaultKind::PartialWrite => FaultSite::Fleet,
         }
     }
 
@@ -171,6 +185,8 @@ impl FaultKind {
             FaultKind::SnapshotCorrupt { .. } => "snapshot_corrupt",
             FaultKind::SessionKill => "session_kill",
             FaultKind::ForceEvict => "force_evict",
+            FaultKind::ConnKill => "conn_kill",
+            FaultKind::PartialWrite => "partial_write",
         }
     }
 
@@ -364,6 +380,18 @@ impl FaultPlan {
         self.schedule(op, FaultKind::ForceEvict)
     }
 
+    /// Drop the connection instead of writing the frontier's `op`-th
+    /// response (`zarf-fleet` serve loop; frontier coordinate space).
+    pub fn conn_kill_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::ConnKill)
+    }
+
+    /// Write half of the frontier's `op`-th response frame, then drop the
+    /// connection (`zarf-fleet` serve loop; frontier coordinate space).
+    pub fn partial_write_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::PartialWrite)
+    }
+
     /// Look up the fault scheduled at an exact `(site, op)` coordinate
     /// without any counter state. The fleet consults plans this way — its
     /// coordinate (the session's own slice index) is tracked by the
@@ -388,6 +416,33 @@ impl FaultPlan {
                 FaultKind::SessionKill
             } else {
                 FaultKind::ForceEvict
+            };
+            plan = plan.schedule(op, kind);
+        }
+        plan.seed = Some(seed);
+        plan
+    }
+
+    /// Derive a frontier plan of (up to) `n` connection-kill/partial-write
+    /// faults from `seed`, placed uniformly over a horizon of `events`
+    /// response-write events in the serve loop. Roughly half the faults
+    /// are kills and half are partial writes.
+    ///
+    /// Frontier plans use a different coordinate space than scheduler
+    /// plans ([`FaultPlan::seeded_fleet`]): the serve loop's own
+    /// response-write counter, not the session slice index. Keep the two
+    /// in separate [`FaultPlan`]s.
+    ///
+    /// Fully deterministic, same contract as [`FaultPlan::seeded`].
+    pub fn seeded_frontier(seed: u64, events: u64, n: usize) -> Self {
+        let mut rng = SplitMix64(seed ^ 0x5851_F42D_4C95_7F2D);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let op = rng.below(events.max(1));
+            let kind = if rng.below(2) == 0 {
+                FaultKind::ConnKill
+            } else {
+                FaultKind::PartialWrite
             };
             plan = plan.schedule(op, kind);
         }
@@ -698,6 +753,38 @@ mod tests {
         }
         assert!(kinds.contains("session_kill"));
         assert!(kinds.contains("force_evict"));
+    }
+
+    #[test]
+    fn seeded_frontier_is_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_frontier(7, 64, 6);
+        let b = FaultPlan::seeded_frontier(7, 64, 6);
+        let c = FaultPlan::seeded_frontier(8, 64, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), Some(7));
+        assert!(!a.is_empty());
+        assert!(a.len() <= 6);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            for (site, op, kind) in FaultPlan::seeded_frontier(seed, 64, 6).iter() {
+                assert_eq!(site, FaultSite::Fleet);
+                assert!(op < 64, "event {op} beyond horizon");
+                kinds.insert(kind.name());
+            }
+        }
+        assert!(kinds.contains("conn_kill"));
+        assert!(kinds.contains("partial_write"));
+        assert_eq!(
+            FaultPlan::new().conn_kill_at(2).at(FaultSite::Fleet, 2),
+            Some(FaultKind::ConnKill)
+        );
+        assert_eq!(
+            FaultPlan::new().partial_write_at(9).at(FaultSite::Fleet, 9),
+            Some(FaultKind::PartialWrite)
+        );
+        assert_eq!(FaultKind::ConnKill.detail(), 0);
+        assert_eq!(FaultKind::PartialWrite.to_string(), "partial_write");
     }
 
     #[test]

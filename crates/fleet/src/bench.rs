@@ -1,0 +1,564 @@
+//! TCP load generator for the fleet frontier (`zarf loadgen --connect`).
+//!
+//! Drives thousands of concurrent `ZFLT` connections against a serving
+//! fleet from a bounded number of driver threads. Each connection is a
+//! nonblocking client state machine (connect → load the counter program →
+//! pipeline batched injects → poll until drained → close) multiplexed by
+//! its driver the same way the server multiplexes its side, so 10k+
+//! connections need only a handful of OS threads on each end.
+//!
+//! The workload is checked, not just timed: every session runs the same
+//! counter program the in-process `zarf loadgen` uses, and a session only
+//! counts as finished when its drained output ends in the exact
+//! arithmetic sum `ops·(ops+1)/2`. The report is a *trajectory* — the
+//! same measurement at several session-count steps — so a scaling
+//! regression shows up as a curve, not a single number.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use zarf_core::{Int, Word};
+use zarf_trace::metrics::Histogram;
+
+use crate::poll::{would_block, IdleBackoff, WriteBuf};
+use crate::wire::{write_frame, FrameBuffer, Request, Response};
+use crate::{FleetError, Op, SessionConfig};
+
+/// The checked counter workload: each op threads the running sum through
+/// the session state and writes the pre-add state to port 1, so the final
+/// result word of op `k` is `1+2+…+k`. Identical to the in-process
+/// loadgen program in the `zarf` CLI.
+const LOADGEN_SRC: &str = "fun step s n =\n\
+                           \x20 let w = putint 1 s in\n\
+                           \x20 case w of else\n\
+                           \x20 let t = add s n in\n\
+                           \x20 result t\n\
+                           fun main = result 0";
+
+/// Assemble the loadgen counter program, returning its image and the
+/// item id of `step`.
+pub fn loadgen_program() -> Result<(Vec<Word>, u32), FleetError> {
+    let program = zarf_asm::parse(LOADGEN_SRC).map_err(|e| FleetError::Load(e.to_string()))?;
+    let m = zarf_asm::lower(&program).map_err(|e| FleetError::Load(e.to_string()))?;
+    let step = m
+        .items()
+        .iter()
+        .position(|it| it.name.as_deref() == Some("step"))
+        .map(|i| m.id_of(i))
+        .ok_or_else(|| FleetError::Load("loadgen program has no `step` item".into()))?;
+    let words = zarf_asm::encode(&m).map_err(|e| FleetError::Load(e.to_string()))?;
+    Ok((words, step))
+}
+
+/// Configuration for [`run_loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Address of a serving fleet (`zarf serve`).
+    pub addr: String,
+    /// Peak concurrent connections (= sessions; one session per conn).
+    pub conns: usize,
+    /// Checked counter ops per session. Keep `ops·(ops+1)/2` within
+    /// `i32`: the workload's final word is that sum.
+    pub ops_per_session: u64,
+    /// Ops per pipelined `InjectBatch` frame.
+    pub batch: usize,
+    /// Driver threads multiplexing the connections.
+    pub drivers: usize,
+    /// Session counts to measure, in order. Empty means the default
+    /// trajectory `[conns/8, conns/4, conns/2, conns]` (deduplicated).
+    pub steps: Vec<usize>,
+    /// Send `Shutdown` to the server after the last step.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7070".into(),
+            conns: 64,
+            ops_per_session: 4,
+            batch: 16,
+            drivers: 4,
+            steps: Vec::new(),
+            shutdown: false,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    fn trajectory(&self) -> Vec<usize> {
+        if !self.steps.is_empty() {
+            return self.steps.clone();
+        }
+        let mut steps: Vec<usize> = [8, 4, 2, 1]
+            .iter()
+            .map(|d| (self.conns / d).max(1))
+            .collect();
+        steps.dedup();
+        steps
+    }
+}
+
+/// One measured point of the trajectory.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Concurrent sessions (and connections) at this step.
+    pub sessions: usize,
+    /// Checked ops completed across every session.
+    pub total_ops: u64,
+    /// Wall-clock for the whole step, connect to last close.
+    pub wall_ms: f64,
+    /// Completed ops per second of wall-clock.
+    pub ops_per_sec: f64,
+    /// Median request-frame round trip, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request-frame round trip, microseconds.
+    pub p99_us: u64,
+    /// Connections that failed transport, protocol, or the arithmetic
+    /// check. Any nonzero count voids the step.
+    pub failures: u64,
+}
+
+/// The full trajectory, serializable as `BENCH_fleet.json`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Peak connection count the run was asked for.
+    pub conns: usize,
+    /// Ops per session at every step.
+    pub ops_per_session: u64,
+    /// Driver threads used.
+    pub drivers: usize,
+    /// One report per trajectory step, in measurement order.
+    pub steps: Vec<StepReport>,
+}
+
+impl BenchReport {
+    /// True when every step completed every session without failures.
+    pub fn ok(&self) -> bool {
+        !self.steps.is_empty() && self.steps.iter().all(|s| s.failures == 0)
+    }
+
+    /// Render as the `BENCH_fleet.json` document the CI gate consumes.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<String> = self
+            .steps
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"sessions\":{},\"total_ops\":{},\"wall_ms\":{:.3},\
+                     \"ops_per_sec\":{:.1},\"p50_us\":{},\"p99_us\":{},\"failures\":{}}}",
+                    s.sessions,
+                    s.total_ops,
+                    s.wall_ms,
+                    s.ops_per_sec,
+                    s.p50_us,
+                    s.p99_us,
+                    s.failures
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"fleet\",\"conns\":{},\"ops_per_session\":{},\"drivers\":{},\
+             \"ok\":{},\"steps\":[{}]}}",
+            self.conns,
+            self.ops_per_session,
+            self.drivers,
+            self.ok(),
+            steps.join(",")
+        )
+    }
+}
+
+/// Request frames a connection keeps in flight before waiting for
+/// responses: deep enough to exercise server-side pipelining, shallow
+/// enough that round-trip samples measure the server rather than the
+/// client's own queue.
+const WINDOW: usize = 8;
+
+/// New connections each driver establishes per loop pass, so connecting
+/// a large step interleaves with servicing already-open connections
+/// instead of stampeding the listener's accept backlog.
+const CONNECT_BATCH: usize = 64;
+
+/// Socket read size per attempt.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Wait between Poll frames while a session's ops are still executing.
+const POLL_COOLDOWN: Duration = Duration::from_millis(2);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Load,
+    Inject,
+    Drain,
+    Close,
+    Done,
+    Failed,
+}
+
+struct BenchConn {
+    stream: TcpStream,
+    rd: FrameBuffer,
+    wr: WriteBuf,
+    phase: Phase,
+    session: u64,
+    sent_ops: u64,
+    words: Vec<Int>,
+    inflight: VecDeque<Instant>,
+    next_poll_at: Instant,
+    hist: Histogram,
+}
+
+impl BenchConn {
+    fn open(addr: &str, program: &[Word]) -> Result<BenchConn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        let _unused = stream.set_nodelay(true);
+        let mut conn = BenchConn {
+            stream,
+            rd: FrameBuffer::new(),
+            wr: WriteBuf::new(),
+            phase: Phase::Load,
+            session: 0,
+            sent_ops: 0,
+            words: Vec::new(),
+            inflight: VecDeque::new(),
+            next_poll_at: Instant::now(),
+            hist: Histogram::new(),
+        };
+        conn.queue_request(&Request::LoadProgram {
+            config: SessionConfig::default(),
+            program: program.to_vec(),
+        });
+        Ok(conn)
+    }
+
+    fn fail(&mut self) {
+        self.phase = Phase::Failed;
+    }
+
+    fn queue_request(&mut self, req: &Request) {
+        let mut frame = Vec::new();
+        if write_frame(&mut frame, &req.encode()).is_err() {
+            self.fail();
+            return;
+        }
+        self.wr.queue(&frame);
+        self.inflight.push_back(Instant::now());
+    }
+
+    /// Keep the pipeline full for the current phase.
+    fn pump(&mut self, step_item: u32, target_ops: u64, batch: usize) {
+        if self.phase == Phase::Inject {
+            while self.inflight.len() < WINDOW && self.sent_ops < target_ops {
+                let end = (self.sent_ops + batch.max(1) as u64).min(target_ops);
+                let ops: Vec<Op> = (self.sent_ops + 1..=end)
+                    .map(|n| Op::step(step_item, vec![n as Int], vec![]))
+                    .collect();
+                self.sent_ops = end;
+                self.queue_request(&Request::InjectBatch {
+                    session: self.session,
+                    ops,
+                });
+            }
+        }
+        if self.phase == Phase::Drain
+            && self.inflight.is_empty()
+            && Instant::now() >= self.next_poll_at
+        {
+            self.queue_request(&Request::Poll {
+                session: self.session,
+            });
+        }
+    }
+
+    fn on_response(&mut self, resp: Response, target_ops: u64) {
+        if let Some(sent) = self.inflight.pop_front() {
+            let us = Instant::now().duration_since(sent).as_micros();
+            self.hist.record(us.min(u128::from(u64::MAX)) as u64);
+        }
+        match (self.phase, resp) {
+            (Phase::Load, Response::Opened { session }) => {
+                self.session = session;
+                self.phase = Phase::Inject;
+            }
+            (Phase::Inject, Response::AcceptedBatch { .. }) => {
+                if self.sent_ops == target_ops && self.inflight.is_empty() {
+                    self.phase = Phase::Drain;
+                }
+            }
+            (
+                Phase::Drain,
+                Response::Output {
+                    ops_done,
+                    pending,
+                    words,
+                    ..
+                },
+            ) => {
+                self.words.extend_from_slice(&words);
+                if ops_done >= target_ops && pending == 0 {
+                    // The checked sum: op k's result word is 1+2+…+k.
+                    let want = (target_ops * (target_ops + 1) / 2) as i64;
+                    if self.words.last().map(|&w| i64::from(w)) == Some(want) {
+                        self.phase = Phase::Close;
+                        self.queue_request(&Request::Close {
+                            session: self.session,
+                        });
+                    } else {
+                        self.fail();
+                    }
+                } else {
+                    self.next_poll_at = Instant::now() + POLL_COOLDOWN;
+                }
+            }
+            (Phase::Close, Response::Closed { .. }) => self.phase = Phase::Done,
+            _ => self.fail(),
+        }
+    }
+
+    /// One readiness pass: read and decode responses, top up the
+    /// pipeline, flush writes. Returns true if anything moved.
+    fn service(&mut self, step_item: u32, target_ops: u64, batch: usize) -> bool {
+        let mut progress = false;
+        loop {
+            loop {
+                let decoded = match self.rd.next_frame() {
+                    Ok(Some(payload)) => Response::decode(payload),
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.fail();
+                        break;
+                    }
+                };
+                progress = true;
+                match decoded {
+                    Ok(resp) => self.on_response(resp, target_ops),
+                    Err(_) => self.fail(),
+                }
+            }
+            if matches!(self.phase, Phase::Done | Phase::Failed) {
+                break;
+            }
+            match self.rd.fill_from(&mut self.stream, READ_CHUNK) {
+                Ok(0) => {
+                    self.fail();
+                    break;
+                }
+                Ok(_) => progress = true,
+                Err(ref e) if would_block(e) => break,
+                Err(_) => {
+                    self.fail();
+                    break;
+                }
+            }
+        }
+        if matches!(self.phase, Phase::Done | Phase::Failed) {
+            return progress;
+        }
+        self.pump(step_item, target_ops, batch);
+        match self.wr.try_flush(&mut self.stream) {
+            Ok(0) => {}
+            Ok(_) => progress = true,
+            Err(_) => self.fail(),
+        }
+        progress
+    }
+}
+
+struct DriverStats {
+    hist: Histogram,
+    ops_done: u64,
+    failures: u64,
+}
+
+/// Multiplex `count` connections against `addr` until each is done or
+/// failed. Connections are opened incrementally so the accept backlog
+/// sees a stream, not a stampede.
+fn drive_partition(
+    addr: &str,
+    count: usize,
+    program: &[Word],
+    step_item: u32,
+    target_ops: u64,
+    batch: usize,
+) -> DriverStats {
+    let mut stats = DriverStats {
+        hist: Histogram::new(),
+        ops_done: 0,
+        failures: 0,
+    };
+    let mut conns: Vec<BenchConn> = Vec::with_capacity(count);
+    let mut to_open = count;
+    let mut backoff = IdleBackoff::new();
+    loop {
+        let mut progress = false;
+        for _ in 0..CONNECT_BATCH.min(to_open) {
+            match BenchConn::open(addr, program) {
+                Ok(c) => conns.push(c),
+                Err(_) => stats.failures += 1,
+            }
+            to_open -= 1;
+            progress = true;
+        }
+        let mut live = 0usize;
+        for conn in conns.iter_mut() {
+            if matches!(conn.phase, Phase::Done | Phase::Failed) {
+                continue;
+            }
+            progress |= conn.service(step_item, target_ops, batch);
+            if !matches!(conn.phase, Phase::Done | Phase::Failed) {
+                live += 1;
+            }
+        }
+        if to_open == 0 && live == 0 {
+            break;
+        }
+        if progress {
+            backoff.progress();
+        } else {
+            backoff.idle();
+        }
+    }
+    for conn in &conns {
+        match conn.phase {
+            Phase::Done => {
+                stats.ops_done += target_ops;
+                stats.hist.merge(&conn.hist);
+            }
+            _ => stats.failures += 1,
+        }
+    }
+    stats
+}
+
+/// Run the TCP loadgen trajectory against a serving fleet.
+///
+/// Each trajectory step opens its own fresh set of connections and
+/// sessions, runs the checked counter workload to completion, and closes
+/// everything before the next step, so steps measure independent
+/// steady states. Transport errors and check failures are contained to
+/// their connection and surface in [`StepReport::failures`].
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<BenchReport, FleetError> {
+    let (program, step_item) = loadgen_program()?;
+    let drivers = cfg.drivers.max(1);
+    let mut report = BenchReport {
+        conns: cfg.conns,
+        ops_per_session: cfg.ops_per_session,
+        drivers,
+        steps: Vec::new(),
+    };
+    for sessions in cfg.trajectory() {
+        let start = Instant::now();
+        let mut merged = DriverStats {
+            hist: Histogram::new(),
+            ops_done: 0,
+            failures: 0,
+        };
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(drivers);
+            for d in 0..drivers {
+                // Spread the remainder so partitions differ by at most 1.
+                let share = sessions / drivers + usize::from(d < sessions % drivers);
+                if share == 0 {
+                    continue;
+                }
+                let (addr, program) = (&cfg.addr, &program);
+                let (ops, batch) = (cfg.ops_per_session, cfg.batch);
+                handles.push((
+                    share,
+                    scope.spawn(move || {
+                        drive_partition(addr, share, program, step_item, ops, batch)
+                    }),
+                ));
+            }
+            for (share, h) in handles {
+                match h.join() {
+                    Ok(s) => {
+                        merged.hist.merge(&s.hist);
+                        merged.ops_done += s.ops_done;
+                        merged.failures += s.failures;
+                    }
+                    Err(_) => merged.failures += share as u64,
+                }
+            }
+        });
+        let wall = start.elapsed();
+        report.steps.push(StepReport {
+            sessions,
+            total_ops: merged.ops_done,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            ops_per_sec: merged.ops_done as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: merged.hist.quantile(0.5),
+            p99_us: merged.hist.quantile(0.99),
+            failures: merged.failures,
+        });
+    }
+    if cfg.shutdown {
+        let mut client = crate::server::Client::connect(&cfg.addr)?;
+        client.request(&Request::Shutdown)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loadgen_program_assembles_and_names_step() {
+        let (words, step) = loadgen_program().unwrap();
+        assert!(!words.is_empty());
+        // `main` always lowers to 0x100; `step` follows.
+        assert_eq!(step, 0x101);
+    }
+
+    #[test]
+    fn default_trajectory_scales_with_conns() {
+        let cfg = LoadgenConfig {
+            conns: 80,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(cfg.trajectory(), vec![10, 20, 40, 80]);
+        let tiny = LoadgenConfig {
+            conns: 1,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(tiny.trajectory(), vec![1]);
+        let explicit = LoadgenConfig {
+            steps: vec![3, 7],
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(explicit.trajectory(), vec![3, 7]);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_gated_on_failures() {
+        let mut report = BenchReport {
+            conns: 8,
+            ops_per_session: 4,
+            drivers: 2,
+            steps: vec![StepReport {
+                sessions: 8,
+                total_ops: 32,
+                wall_ms: 1.5,
+                ops_per_sec: 21333.3,
+                p50_us: 40,
+                p99_us: 90,
+                failures: 0,
+            }],
+        };
+        assert!(report.ok());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"fleet\""));
+        assert!(json.contains("\"p99_us\":90"));
+        assert!(json.contains("\"ok\":true"));
+        report.steps[0].failures = 1;
+        assert!(!report.ok());
+        assert!(report.to_json().contains("\"ok\":false"));
+        assert!(!BenchReport::default().ok());
+    }
+}

@@ -823,6 +823,44 @@ impl FleetHandle {
         Ok(())
     }
 
+    /// Queue many ops on a session under one slot lock. Admission is
+    /// atomic: every op is checked against the certificate (when the
+    /// session is verified) before any is queued, so a rejected batch
+    /// leaves the session untouched. Returns the pending count after the
+    /// batch.
+    pub fn inject_batch(&self, id: u64, ops: Vec<Op>) -> Result<usize, FleetError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(FleetError::ShuttingDown);
+        }
+        let slot = self.shared.slot(id)?;
+        let (enqueue, pending) = {
+            let mut s = lock(&slot);
+            if let Some(msg) = &s.poisoned {
+                return Err(FleetError::SessionPoisoned(msg.clone()));
+            }
+            if s.closed {
+                return Err(FleetError::UnknownSession(id));
+            }
+            if let Some(cert) = &s.cert {
+                for op in &ops {
+                    check_op(cert, op)?;
+                }
+            }
+            s.pending.extend(ops);
+            let enqueue = if !s.pending.is_empty() && !s.running && !s.queued {
+                s.queued = true;
+                true
+            } else {
+                false
+            };
+            (enqueue, s.pending.len())
+        };
+        if enqueue {
+            self.shared.enqueue(id);
+        }
+        Ok(pending)
+    }
+
     /// Drain a session's committed output words.
     pub fn poll(&self, id: u64) -> Result<PollResult, FleetError> {
         let slot = self.shared.slot(id)?;

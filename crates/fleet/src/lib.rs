@@ -35,9 +35,18 @@
 //!   uncommitted slice, so the retry replays from the last snapshot,
 //!   byte-identically.
 //! * [`wire`] defines the `ZFLT` length-prefixed, CRC-32-guarded binary
-//!   protocol and [`server`] serves it over `std::net::TcpListener`; the
-//!   in-process [`FleetHandle`](fleet::FleetHandle) API is the same surface
-//!   without sockets.
+//!   protocol and [`server`] serves it from a single nonblocking
+//!   readiness loop ([`poll`] holds the plumbing): every connection is a
+//!   small state machine with growable read/write buffers, frames decode
+//!   zero-copy out of the read buffer, clients may pipeline many
+//!   requests (including batched injects) per round trip, and dispatch
+//!   is fair-queued so one chatty connection cannot starve the rest. The
+//!   in-process [`FleetHandle`](fleet::FleetHandle) API is the same
+//!   surface without sockets.
+//! * [`bench`] is the TCP load generator behind `zarf loadgen --connect`:
+//!   bounded driver threads multiplex thousands of pipelined client
+//!   connections and report a latency/throughput trajectory per
+//!   session-count step.
 //!
 //! ## Example
 //!
@@ -65,17 +74,20 @@
 
 use std::fmt;
 
+pub mod bench;
 pub mod fleet;
 pub mod op;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
+pub use bench::{run_loadgen, BenchReport, LoadgenConfig, StepReport};
 pub use fleet::{
     Fleet, FleetConfig, FleetHandle, FleetStats, PollResult, SessionConfig, SessionStats,
 };
 pub use op::{run_standalone, Op, PortFeed};
-pub use server::{serve, Client};
-pub use wire::{Request, Response, WireError};
+pub use server::{serve, serve_with, Client, ServeOptions};
+pub use wire::{FrameBuffer, Request, Response, WireError};
 
 /// Everything that can go wrong at the fleet API surface. All typed — the
 /// fleet is part of the robustness ratchet, so no path panics.

@@ -1,0 +1,225 @@
+//! Readiness-loop plumbing for the nonblocking frontier: a growable
+//! write buffer that flushes opportunistically, an adaptive idle
+//! backoff, and the `WouldBlock` test — all on `std` alone.
+//!
+//! The fleet frontier cannot use an OS readiness API without pulling in
+//! a dependency, so [`crate::server::serve`] instead iterates its
+//! connections attempting nonblocking reads and writes. That is cheap
+//! while traffic flows (every pass does real work) and is kept cheap
+//! while idle by [`IdleBackoff`], which escalates a short sleep whenever
+//! a full pass over the fleet made no progress.
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+/// True when a nonblocking socket op failed only because it would have
+/// blocked — the readiness-loop equivalent of "not ready, try later".
+pub fn would_block(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::Interrupted
+}
+
+/// Byte count at which a drained [`WriteBuf`] prefix is compacted away
+/// rather than left to grow the buffer without bound.
+const WRITE_BUF_COMPACT_AT: usize = 64 * 1024;
+
+/// An outbound byte queue for one nonblocking connection.
+///
+/// Responses are appended whole; [`WriteBuf::try_flush`] pushes as much
+/// as the socket will take and keeps the rest for the next pass. The
+/// consumed prefix is tracked by offset and compacted lazily so steady
+/// pipelined traffic never reallocates.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteBuf {
+    /// An empty write queue.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Bytes still waiting to reach the socket.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Queue `bytes` for transmission.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= WRITE_BUF_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Write as much queued data as the sink will take without blocking.
+    /// Returns the number of bytes written this call; `WouldBlock` is
+    /// reported as `Ok(written_so_far)`, a real transport error as `Err`.
+    pub fn try_flush<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        let mut written = 0;
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.start += n;
+                    written += n;
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.compact();
+        Ok(written)
+    }
+}
+
+/// Sleep escalation for passes that find no ready connection.
+///
+/// The first idle pass sleeps [`IdleBackoff::FLOOR`]; each further idle
+/// pass doubles the sleep up to [`IdleBackoff::CEILING`]. Any progress
+/// resets to zero, so an active fleet never sleeps at all.
+#[derive(Debug, Default)]
+pub struct IdleBackoff {
+    current: Option<Duration>,
+}
+
+impl IdleBackoff {
+    /// Shortest idle sleep: long enough to stop a hot spin, short enough
+    /// to be invisible in request latency.
+    pub const FLOOR: Duration = Duration::from_micros(100);
+    /// Longest idle sleep: bounds shutdown-flag and accept latency when
+    /// the whole fleet is quiescent.
+    pub const CEILING: Duration = Duration::from_millis(2);
+
+    /// A backoff that has not yet slept.
+    pub fn new() -> IdleBackoff {
+        IdleBackoff::default()
+    }
+
+    /// The loop made progress this pass: forget any accumulated sleep.
+    pub fn progress(&mut self) {
+        self.current = None;
+    }
+
+    /// The loop found nothing to do this pass: sleep, escalating.
+    pub fn idle(&mut self) {
+        let d = match self.current {
+            None => IdleBackoff::FLOOR,
+            Some(d) => (d * 2).min(IdleBackoff::CEILING),
+        };
+        self.current = Some(d);
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that accepts at most `cap` bytes per write call and
+    /// refuses (WouldBlock) after `limit` total bytes.
+    struct Throttled {
+        taken: Vec<u8>,
+        cap: usize,
+        limit: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.taken.len() >= self.limit {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.cap).min(self.limit - self.taken.len());
+            self.taken.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_flushes_across_partial_writes() {
+        let mut wb = WriteBuf::new();
+        wb.queue(b"hello ");
+        wb.queue(b"world");
+        let mut sink = Throttled {
+            taken: Vec::new(),
+            cap: 4,
+            limit: 8,
+        };
+        let n = wb.try_flush(&mut sink).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(wb.len(), 3);
+        assert!(!wb.is_empty());
+        sink.limit = usize::MAX;
+        let n = wb.try_flush(&mut sink).unwrap();
+        assert_eq!(n, 3);
+        assert!(wb.is_empty());
+        assert_eq!(sink.taken, b"hello world");
+    }
+
+    #[test]
+    fn write_buf_compacts_after_drain() {
+        let mut wb = WriteBuf::new();
+        wb.queue(&[7u8; 1000]);
+        let mut sink = Throttled {
+            taken: Vec::new(),
+            cap: usize::MAX,
+            limit: usize::MAX,
+        };
+        wb.try_flush(&mut sink).unwrap();
+        assert!(wb.is_empty());
+        // Internal buffer was cleared, not left holding a dead prefix.
+        assert_eq!(wb.buf.len(), 0);
+        assert_eq!(wb.start, 0);
+    }
+
+    #[test]
+    fn write_zero_is_an_error_not_a_spin() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.queue(b"x");
+        assert!(wb.try_flush(&mut Dead).is_err());
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = IdleBackoff::new();
+        assert_eq!(b.current, None);
+        b.idle();
+        assert_eq!(b.current, Some(IdleBackoff::FLOOR));
+        for _ in 0..16 {
+            b.idle();
+        }
+        assert_eq!(b.current, Some(IdleBackoff::CEILING));
+        b.progress();
+        assert_eq!(b.current, None);
+    }
+}

@@ -1,14 +1,52 @@
-//! TCP front-end for the fleet: one `ZFLT` frame per request, one per
-//! response, thread per connection, `std::net` only.
+//! Nonblocking TCP frontier for the fleet: a single readiness loop owns
+//! every connection, `std::net` only.
+//!
+//! The previous frontier spawned a blocking thread per connection, which
+//! caps concurrency at OS thread limits and needed a throwaway
+//! self-connection to unblock its acceptor on shutdown. This one puts the
+//! listener and every accepted stream into nonblocking mode and drives
+//! them all from one loop:
+//!
+//! * **Accept** — drain the listener (bounded per pass so a connect storm
+//!   cannot starve established connections).
+//! * **Read** — pull bytes into each connection's [`FrameBuffer`] and
+//!   decode complete `ZFLT` frames in place; payloads are borrowed from
+//!   the read buffer, never copied into a per-frame allocation. Decoded
+//!   requests queue in a per-connection inbox; a full inbox stops the
+//!   socket read, so TCP flow control backpressures a client that
+//!   pipelines faster than the fleet drains.
+//! * **Dispatch** — round-robin over connections with a per-connection
+//!   budget per pass, so one chatty pipelined client cannot starve the
+//!   rest. Responses are queued on a per-connection [`WriteBuf`].
+//! * **Flush** — opportunistic nonblocking writes of whatever each
+//!   socket will take.
+//!
+//! Clients may pipeline: many request frames can be in flight before any
+//! response is read, and responses to one connection's requests are
+//! written in request order. Shutdown is cooperative — a `Shutdown`
+//! frame or an external stop flag ([`ServeOptions::stop`]) flips a flag
+//! the loop checks every pass; no self-connection.
+//!
+//! Chaos: a frontier [`FaultPlan`] (see [`ServeOptions::chaos`]) is
+//! consulted once per queued response, indexed by a global response-write
+//! counter. `ConnKill` drops the connection instead of responding;
+//! `PartialWrite` sends half the response frame and then drops it. Both
+//! damage only the transport — the sessions behind the frontier must
+//! stay byte-identical to standalone runs, which `tests/fleet.rs` pins.
 
+use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zarf_chaos::{FaultKind, FaultPlan, FaultSite};
 
 use crate::fleet::FleetHandle;
+use crate::poll::{would_block, IdleBackoff, WriteBuf};
 use crate::wire::{
-    read_frame, write_frame, Request, Response, WireError, ERR_CERTIFICATION, ERR_INTERNAL,
-    ERR_LOAD, ERR_POISONED, ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
+    read_frame, write_frame, FrameBuffer, Request, Response, WireError, ERR_CERTIFICATION,
+    ERR_INTERNAL, ERR_LOAD, ERR_POISONED, ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
 };
 use crate::FleetError;
 
@@ -32,121 +70,328 @@ fn error_response(e: FleetError) -> Response {
 /// and any in-process protocol testing; `Shutdown` is handled by the
 /// caller (it terminates the serve loop, not the fleet).
 pub fn dispatch(handle: &FleetHandle, req: &Request) -> Response {
-    let outcome = match req {
-        Request::LoadProgram { config, program } => handle
-            .open_program(program, Some(config.clone()))
-            .map(|session| Response::Opened { session }),
-        Request::Restore { config, snapshot } => handle
-            .open_snapshot(snapshot, Some(config.clone()))
-            .map(|session| Response::Opened { session }),
-        Request::Inject { session, op } => handle.inject(*session, op.clone()).and_then(|()| {
-            let stats = handle.session_stats(*session)?;
-            Ok(Response::Accepted {
-                session: *session,
-                pending: stats.pending as u64,
-            })
-        }),
-        Request::Poll { session } => handle.poll(*session).map(|p| Response::Output {
-            session: *session,
-            ops_done: p.ops_done,
-            pending: p.pending as u64,
-            words: p.words,
-        }),
-        Request::Snapshot { session } => {
-            handle
-                .snapshot(*session)
-                .map(|bytes| Response::SnapshotData {
+    let outcome =
+        match req {
+            Request::LoadProgram { config, program } => handle
+                .open_program(program, Some(config.clone()))
+                .map(|session| Response::Opened { session }),
+            Request::Restore { config, snapshot } => handle
+                .open_snapshot(snapshot, Some(config.clone()))
+                .map(|session| Response::Opened { session }),
+            Request::Inject { session, op } => handle.inject(*session, op.clone()).and_then(|()| {
+                let stats = handle.session_stats(*session)?;
+                Ok(Response::Accepted {
                     session: *session,
-                    bytes,
+                    pending: stats.pending as u64,
                 })
-        }
-        Request::Stats { session } => {
-            if *session == 0 {
-                Ok(Response::StatsData {
-                    pairs: handle.stats().pairs(),
-                })
-            } else {
-                handle.session_stats(*session).map(|s| Response::StatsData {
-                    pairs: vec![
-                        ("ops_done".into(), s.ops_done),
-                        ("pending".into(), s.pending as u64),
-                        ("slices".into(), s.slices),
-                        ("kills".into(), s.kills),
-                        ("evictions".into(), s.evictions),
-                        ("rehydrations".into(), s.rehydrations),
-                        ("commit_seq".into(), s.commit_seq),
-                        ("snapshot_bytes".into(), s.snapshot_bytes as u64),
-                        ("total_cycles".into(), s.total_cycles),
-                        ("poisoned".into(), u64::from(s.poisoned.is_some())),
-                    ],
-                })
+            }),
+            Request::InjectBatch { session, ops } => handle
+                .inject_batch(*session, ops.clone())
+                .map(|pending| Response::AcceptedBatch {
+                    session: *session,
+                    accepted: ops.len() as u64,
+                    pending: pending as u64,
+                }),
+            Request::Poll { session } => handle.poll(*session).map(|p| Response::Output {
+                session: *session,
+                ops_done: p.ops_done,
+                pending: p.pending as u64,
+                words: p.words,
+            }),
+            Request::Snapshot { session } => {
+                handle
+                    .snapshot(*session)
+                    .map(|bytes| Response::SnapshotData {
+                        session: *session,
+                        bytes,
+                    })
             }
-        }
-        Request::Close { session } => handle
-            .close(*session)
-            .map(|()| Response::Closed { session: *session }),
-        Request::Shutdown => Ok(Response::Bye),
-    };
+            Request::Stats { session } => {
+                if *session == 0 {
+                    Ok(Response::StatsData {
+                        pairs: handle.stats().pairs(),
+                    })
+                } else {
+                    handle.session_stats(*session).map(|s| Response::StatsData {
+                        pairs: vec![
+                            ("ops_done".into(), s.ops_done),
+                            ("pending".into(), s.pending as u64),
+                            ("slices".into(), s.slices),
+                            ("kills".into(), s.kills),
+                            ("evictions".into(), s.evictions),
+                            ("rehydrations".into(), s.rehydrations),
+                            ("commit_seq".into(), s.commit_seq),
+                            ("snapshot_bytes".into(), s.snapshot_bytes as u64),
+                            ("total_cycles".into(), s.total_cycles),
+                            ("poisoned".into(), u64::from(s.poisoned.is_some())),
+                        ],
+                    })
+                }
+            }
+            Request::Close { session } => handle
+                .close(*session)
+                .map(|()| Response::Closed { session: *session }),
+            Request::Shutdown => Ok(Response::Bye),
+        };
     outcome.unwrap_or_else(error_response)
 }
 
-fn handle_connection(mut stream: TcpStream, handle: FleetHandle, stop: Arc<AtomicBool>) {
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            // EOF or transport damage: drop the connection. Framing means
-            // we cannot resynchronize mid-stream anyway.
-            Err(_) => return,
-        };
-        let response = match Request::decode(&payload) {
-            Ok(req) => {
-                let resp = dispatch(&handle, &req);
-                if matches!(req, Request::Shutdown) {
-                    let _unused = write_frame(&mut stream, &resp.encode());
-                    stop.store(true, Ordering::SeqCst);
-                    // Unblock the acceptor with a throwaway connection.
-                    if let Ok(addr) = stream.local_addr() {
-                        let _unused = TcpStream::connect(addr);
-                    }
-                    return;
-                }
-                resp
+/// Knobs for [`serve_with`]. `Default` is a plain production frontier:
+/// no fault injection, shutdown only via a `Shutdown` frame.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Frontier fault plan. Coordinates are `(FaultSite::Fleet, n)` where
+    /// `n` is the frontier's `n`-th queued response over its lifetime —
+    /// a different coordinate space from scheduler plans (session slice
+    /// index), so keep frontier and scheduler chaos in separate plans.
+    pub chaos: Option<FaultPlan>,
+    /// External stop flag, checked once per loop pass. Setting it makes
+    /// the loop stop accepting, drain queued work, and return.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+/// New connections accepted per loop pass; bounds accept-storm latency
+/// impact on established connections.
+const ACCEPT_BUDGET: usize = 64;
+
+/// Bytes pulled from a socket per read attempt.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Decoded-but-undispatched requests held per connection before the loop
+/// stops reading its socket (TCP flow control then backpressures the
+/// client).
+const INBOX_CAP: usize = 1024;
+
+/// Requests dispatched per connection per loop pass — the fairness
+/// quantum for pipelined clients.
+const DISPATCH_BUDGET: usize = 32;
+
+/// How long a shutting-down frontier keeps flushing responses to clients
+/// that are slow to read before it gives up and closes on them.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
+
+/// Per-connection state machine for the readiness loop.
+struct Conn {
+    stream: TcpStream,
+    rd: FrameBuffer,
+    wr: WriteBuf,
+    inbox: VecDeque<Request>,
+    /// Client half-closed its write side; keep dispatching and flushing.
+    eof: bool,
+    /// Transport is gone or poisoned; drop at end of pass.
+    dead: bool,
+    /// Close the connection once `wr` drains (Bye sent, or a chaos
+    /// partial-write truncation queued).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rd: FrameBuffer::new(),
+            wr: WriteBuf::new(),
+            inbox: VecDeque::new(),
+            eof: false,
+            dead: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Nothing left to do for this connection.
+    fn drained(&self) -> bool {
+        self.inbox.is_empty() && self.wr.is_empty()
+    }
+}
+
+/// Encode and queue one response on a connection, consulting the frontier
+/// fault plan at this write event's coordinate.
+fn queue_response(conn: &mut Conn, resp: &Response, chaos: &FaultPlan, write_events: &mut u64) {
+    let idx = *write_events;
+    *write_events += 1;
+    let mut frame = Vec::new();
+    if write_frame(&mut frame, &resp.encode()).is_err() {
+        // Response exceeds the frame size cap — nothing valid to send.
+        conn.dead = true;
+        return;
+    }
+    match chaos.at(FaultSite::Fleet, idx) {
+        Some(FaultKind::ConnKill) => conn.dead = true,
+        Some(FaultKind::PartialWrite) => {
+            conn.wr.queue(&frame[..frame.len() / 2]);
+            conn.close_after_flush = true;
+        }
+        // Scheduler fault kinds in a frontier plan have no meaning here.
+        _ => conn.wr.queue(&frame),
+    }
+}
+
+/// Decode as many buffered frames as the inbox cap allows. Frame-level
+/// damage (bad magic/version/CRC, oversize) kills the connection — the
+/// stream cannot be resynchronized. A well-framed payload that fails
+/// `Request::decode` gets an `Error` response and the connection lives.
+fn drain_frames(conn: &mut Conn, chaos: &FaultPlan, write_events: &mut u64, progress: &mut bool) {
+    while !conn.dead && !conn.close_after_flush && conn.inbox.len() < INBOX_CAP {
+        let decoded = match conn.rd.next_frame() {
+            Ok(Some(payload)) => Request::decode(payload),
+            Ok(None) => break,
+            Err(_) => {
+                conn.dead = true;
+                break;
             }
-            Err(e) => Response::Error {
-                code: ERR_INTERNAL,
-                message: e.to_string(),
-            },
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+        *progress = true;
+        match decoded {
+            Ok(req) => conn.inbox.push_back(req),
+            Err(e) => {
+                let resp = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: e.to_string(),
+                };
+                queue_response(conn, &resp, chaos, write_events);
+            }
         }
     }
 }
 
 /// Serve `ZFLT` over a listener until a client sends `Shutdown`. Blocking;
-/// connection threads are joined before returning. The fleet itself is
-/// left running — the caller owns its lifecycle.
+/// returns once queued responses are flushed. The fleet itself is left
+/// running — the caller owns its lifecycle.
 pub fn serve(listener: TcpListener, handle: FleetHandle) -> Result<(), FleetError> {
-    let stop = Arc::new(AtomicBool::new(false));
-    let mut threads = Vec::new();
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
+    serve_with(listener, handle, ServeOptions::default())
+}
+
+/// [`serve`] with explicit options: an external stop flag and/or a
+/// frontier fault plan.
+pub fn serve_with(
+    listener: TcpListener,
+    handle: FleetHandle,
+    opts: ServeOptions,
+) -> Result<(), FleetError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| FleetError::Wire(WireError::Io(e.to_string())))?;
+    let chaos = opts.chaos.unwrap_or_default();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut backoff = IdleBackoff::new();
+    let mut write_events: u64 = 0;
+    let mut cursor: usize = 0;
+    let mut shutting_down = false;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let mut progress = false;
+
+        if let Some(stop) = &opts.stop {
+            if stop.load(Ordering::SeqCst) {
+                shutting_down = true;
+            }
         }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let handle = handle.clone();
-        let stop = Arc::clone(&stop);
-        let builder = std::thread::Builder::new().name("zarf-fleet-conn".into());
-        match builder.spawn(move || handle_connection(stream, handle, stop)) {
-            Ok(t) => threads.push(t),
-            Err(e) => return Err(FleetError::Wire(WireError::Io(e.to_string()))),
+
+        // Accept phase.
+        if !shutting_down {
+            for _ in 0..ACCEPT_BUDGET {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _unused = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                    Err(ref e) if would_block(e) => break,
+                    Err(_) => break,
+                }
+            }
         }
-    }
-    for t in threads {
-        let _unused = t.join();
+
+        // Read + decode phase.
+        for conn in conns.iter_mut() {
+            loop {
+                drain_frames(conn, &chaos, &mut write_events, &mut progress);
+                if conn.dead || conn.eof || conn.close_after_flush {
+                    break;
+                }
+                if conn.inbox.len() >= INBOX_CAP {
+                    break; // backpressure: leave bytes in the socket
+                }
+                match conn.rd.fill_from(&mut conn.stream, READ_CHUNK) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        progress = true;
+                    }
+                    Ok(_) => progress = true,
+                    Err(ref e) if would_block(e) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Dispatch phase: rotate the starting connection each pass and
+        // cap requests per connection, so pipelined floods share fairly.
+        if !conns.is_empty() {
+            cursor %= conns.len();
+            for i in 0..conns.len() {
+                let idx = (cursor + i) % conns.len();
+                let conn = &mut conns[idx];
+                if conn.dead {
+                    continue;
+                }
+                for _ in 0..DISPATCH_BUDGET {
+                    let Some(req) = conn.inbox.pop_front() else {
+                        break;
+                    };
+                    progress = true;
+                    let resp = dispatch(&handle, &req);
+                    let is_shutdown = matches!(req, Request::Shutdown);
+                    queue_response(conn, &resp, &chaos, &mut write_events);
+                    if is_shutdown {
+                        conn.close_after_flush = true;
+                        shutting_down = true;
+                        break;
+                    }
+                }
+            }
+            cursor = cursor.wrapping_add(1);
+        }
+
+        // Flush phase.
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            match conn.wr.try_flush(&mut conn.stream) {
+                Ok(0) => {}
+                Ok(_) => progress = true,
+                Err(_) => {
+                    conn.dead = true;
+                    continue;
+                }
+            }
+            if conn.close_after_flush && conn.wr.is_empty() {
+                conn.dead = true;
+            }
+        }
+
+        // Reap: dropping a Conn closes its stream.
+        conns.retain(|c| !(c.dead || c.eof && c.drained()));
+
+        if shutting_down {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN);
+            if conns.iter().all(Conn::drained) || Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        if progress {
+            backoff.progress();
+        } else {
+            backoff.idle();
+        }
     }
     Ok(())
 }
@@ -163,11 +408,24 @@ impl Client {
         Ok(Client { stream })
     }
 
-    /// Send one request and wait for its response frame.
-    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, &req.encode())?;
+    /// Send one request frame without waiting for the response. Pairs
+    /// with [`Client::recv`] for pipelining: the server answers each
+    /// connection's requests in order, so `n` sends followed by `n`
+    /// recvs see matching responses.
+    pub fn send(&mut self, req: &Request) -> Result<(), WireError> {
+        write_frame(&mut self.stream, &req.encode())
+    }
+
+    /// Block for the next response frame.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
         let payload = read_frame(&mut self.stream)?;
         Response::decode(&payload)
+    }
+
+    /// Send one request and wait for its response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.send(req)?;
+        self.recv()
     }
 
     /// Like [`Client::request`], but protocol `Error` frames become

@@ -156,6 +156,15 @@ pub enum Request {
     },
     /// Stop the server.
     Shutdown,
+    /// Queue many ops on a session in one frame. Pipelining amortizes
+    /// framing and dispatch; admission is atomic — either every op passes
+    /// the certificate gate and all are queued, or none are.
+    InjectBatch {
+        /// Target session.
+        session: u64,
+        /// The ops, queued in order.
+        ops: Vec<Op>,
+    },
 }
 
 /// Server → client messages.
@@ -170,6 +179,15 @@ pub enum Response {
     Accepted {
         /// The session.
         session: u64,
+        /// Ops now pending.
+        pending: u64,
+    },
+    /// A whole [`Request::InjectBatch`] queued.
+    AcceptedBatch {
+        /// The session.
+        session: u64,
+        /// Ops queued by this batch.
+        accepted: u64,
         /// Ops now pending.
         pending: u64,
     },
@@ -399,6 +417,7 @@ const OP_SNAPSHOT: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_CLOSE: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
+const OP_INJECT_BATCH: u8 = 9;
 
 const OP_OPENED: u8 = 16;
 const OP_ACCEPTED: u8 = 17;
@@ -408,6 +427,7 @@ const OP_STATS_DATA: u8 = 20;
 const OP_CLOSED: u8 = 21;
 const OP_BYE: u8 = 22;
 const OP_ERROR: u8 = 23;
+const OP_ACCEPTED_BATCH: u8 = 24;
 
 impl Request {
     /// Serialize to a payload (opcode + body).
@@ -446,6 +466,14 @@ impl Request {
                 put_u64(&mut out, *session);
             }
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::InjectBatch { session, ops } => {
+                out.push(OP_INJECT_BATCH);
+                put_u64(&mut out, *session);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    put_op(&mut out, op);
+                }
+            }
         }
         out
     }
@@ -471,6 +499,16 @@ impl Request {
             OP_STATS => Request::Stats { session: r.u64()? },
             OP_CLOSE => Request::Close { session: r.u64()? },
             OP_SHUTDOWN => Request::Shutdown,
+            OP_INJECT_BATCH => {
+                let session = r.u64()?;
+                // Each op is at least tag + item + arg count + feed count.
+                let n = r.count(13)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(read_op(&mut r)?);
+                }
+                Request::InjectBatch { session, ops }
+            }
             op => return Err(WireError::UnknownOpcode(op)),
         };
         r.finish()?;
@@ -490,6 +528,16 @@ impl Response {
             Response::Accepted { session, pending } => {
                 out.push(OP_ACCEPTED);
                 put_u64(&mut out, *session);
+                put_u64(&mut out, *pending);
+            }
+            Response::AcceptedBatch {
+                session,
+                accepted,
+                pending,
+            } => {
+                out.push(OP_ACCEPTED_BATCH);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *accepted);
                 put_u64(&mut out, *pending);
             }
             Response::Output {
@@ -538,6 +586,11 @@ impl Response {
             OP_OPENED => Response::Opened { session: r.u64()? },
             OP_ACCEPTED => Response::Accepted {
                 session: r.u64()?,
+                pending: r.u64()?,
+            },
+            OP_ACCEPTED_BATCH => Response::AcceptedBatch {
+                session: r.u64()?,
+                accepted: r.u64()?,
                 pending: r.u64()?,
             },
             OP_OUTPUT => Response::Output {
@@ -622,6 +675,149 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError>
         .map_err(|e| WireError::Io(e.to_string()))
 }
 
+/// Where a complete frame sits at the front of a scanned buffer (byte
+/// offsets into that buffer). Returned by [`scan_frame`] so callers can
+/// borrow the payload in place instead of copying it out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// First payload byte.
+    pub payload_start: usize,
+    /// Payload length.
+    pub payload_len: usize,
+    /// Total bytes the frame occupies (consume this many to advance).
+    pub frame_len: usize,
+}
+
+/// Scan the front of `buf` for one complete `ZFLT` frame without copying.
+///
+/// * `Ok(None)` — the buffer holds a valid prefix of a frame; read more
+///   bytes and scan again.
+/// * `Ok(Some(span))` — a whole frame (magic, version, length, CRC all
+///   verified) starts at offset 0; its payload is
+///   `&buf[span.payload_start..][..span.payload_len]`.
+/// * `Err(_)` — the stream is damaged at the front of the buffer. Framing
+///   has no resync point, so the caller must drop the connection.
+///
+/// This is the incremental face of [`decode_frame`]: for any `buf` that
+/// is exactly one frame, `scan_frame` accepts iff `decode_frame` does,
+/// and yields the same payload bytes (pinned by the property suite).
+pub fn scan_frame(buf: &[u8]) -> Result<Option<FrameSpan>, WireError> {
+    // Validate the fixed header eagerly: damage is reported as soon as it
+    // is visible, not after a hostile length field forces a long wait.
+    if !buf.is_empty() && buf[0..buf.len().min(4)] != MAGIC[0..buf.len().min(4)] {
+        return Err(WireError::BadMagic);
+    }
+    if buf.len() >= 5 && buf[4] != VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    if buf.len() < 9 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize(len as u64));
+    }
+    let total = FRAME_OVERHEAD + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[9..9 + len];
+    let crc = u32::from_le_bytes([buf[9 + len], buf[10 + len], buf[11 + len], buf[12 + len]]);
+    if crc != crc32(payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    Ok(Some(FrameSpan {
+        payload_start: 9,
+        payload_len: len,
+        frame_len: total,
+    }))
+}
+
+/// Reclaim consumed-prefix space once it dominates the buffer.
+const FRAME_BUFFER_COMPACT_AT: usize = 64 * 1024;
+
+/// A growable receive buffer that yields `ZFLT` payloads **borrowed in
+/// place** — the zero-copy, nonblocking face of the frame layer. Bytes
+/// arrive in arbitrary slices ([`FrameBuffer::extend_from_slice`] or
+/// [`FrameBuffer::fill_from`]); [`FrameBuffer::next_frame`] hands back
+/// each complete verified payload as a slice of the buffer itself, with
+/// no per-frame allocation.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes before this offset belong to already-consumed frames.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Drop the consumed prefix when it is large (or the buffer is fully
+    /// drained, which makes it free).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= FRAME_BUFFER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Append raw stream bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read up to `max` bytes from `r` directly into the buffer tail (one
+    /// syscall, no intermediate copy). Returns the byte count; `Ok(0)`
+    /// means EOF.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R, max: usize) -> std::io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + max, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// The next complete frame's payload, borrowed from the buffer, or
+    /// `Ok(None)` when more bytes are needed. Errors are sticky in
+    /// practice: a damaged stream cannot be resynchronized, so the caller
+    /// should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        match scan_frame(&self.buf[self.start..])? {
+            None => Ok(None),
+            Some(span) => {
+                let at = self.start + span.payload_start;
+                self.start += span.frame_len;
+                Ok(Some(&self.buf[at..at + span.payload_len]))
+            }
+        }
+    }
+}
+
 /// Read one framed payload from a stream.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
     let mut header = [0u8; 9];
@@ -680,6 +876,24 @@ mod tests {
             Request::Stats { session: 0 },
             Request::Close { session: 9 },
             Request::Shutdown,
+            Request::InjectBatch {
+                session: 3,
+                ops: vec![
+                    Op::eval(0x100, vec![], vec![]),
+                    Op::step(
+                        0x102,
+                        vec![9],
+                        vec![PortFeed {
+                            port: 1,
+                            words: vec![4, 5],
+                        }],
+                    ),
+                ],
+            },
+            Request::InjectBatch {
+                session: 4,
+                ops: vec![],
+            },
         ]
     }
 
@@ -702,6 +916,11 @@ mod tests {
             },
             Response::StatsData {
                 pairs: vec![("ops_done".into(), 64), ("workers".into(), 2)],
+            },
+            Response::AcceptedBatch {
+                session: 7,
+                accepted: 16,
+                pending: 19,
             },
             Response::Closed { session: 7 },
             Response::Bye,
@@ -756,6 +975,42 @@ mod tests {
         let mut cursor = &buf[..];
         assert_eq!(read_frame(&mut cursor).unwrap(), payload);
         assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn frame_buffer_matches_one_shot_decoding_at_every_split() {
+        let frames: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(|r| encode_frame(&r.encode()))
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+        let payloads: Vec<Vec<u8>> = frames
+            .iter()
+            .map(|f| decode_frame(f).unwrap().to_vec())
+            .collect();
+        // Feed the coalesced stream one byte at a time; the borrowed
+        // payloads must come out identical to one-shot decoding.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            fb.extend_from_slice(&[b]);
+            while let Some(p) = fb.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, payloads);
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn scan_frame_reports_damage_as_soon_as_it_is_visible() {
+        assert_eq!(scan_frame(b"ZF"), Ok(None));
+        assert_eq!(scan_frame(b"ZX"), Err(WireError::BadMagic));
+        assert_eq!(scan_frame(b"ZFLT\x07"), Err(WireError::BadVersion(7)));
+        let mut oversize = Vec::from(MAGIC);
+        oversize.push(VERSION);
+        oversize.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(scan_frame(&oversize), Err(WireError::Oversize(_))));
     }
 
     #[test]

@@ -44,6 +44,13 @@
 //!                                 drive an in-process fleet with N
 //!                                 counter sessions × M ops each and
 //!                                 print a throughput/latency summary
+//! zarf loadgen --connect ADDR --conns N [--ops M] [--drivers D]
+//!              [--batch B] [--steps a,b,…] [--out FILE] [--shutdown]
+//!                                 drive a serving fleet over real TCP:
+//!                                 N pipelined connections from D driver
+//!                                 threads, measured at several session
+//!                                 counts; emits a BENCH_fleet.json
+//!                                 trajectory (p50/p99 latency, ops/sec)
 //! ```
 //!
 //! Source files use the assembly syntax of `zarf_asm::parse`; binary files
@@ -67,6 +74,8 @@ fn usage_text() -> &'static str {
      \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
      \x20      zarf serve [--listen ADDR] [--workers N]\n\
      \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
+     \x20      zarf loadgen --connect ADDR --conns N [--ops M] [--drivers D] [--batch B]\n\
+     \x20                   [--steps a,b,…] [--out FILE] [--shutdown]\n\
      run options: --engine big|small|hw   --in PORT:v,v,…  (repeatable)\n\
      stats options: --profile (per-function cycle attribution)\n\
      trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
@@ -596,12 +605,82 @@ fn run_serve(rest: &[String]) -> ExitCode {
     }
 }
 
+/// `zarf loadgen --connect`: drive a *serving* fleet over real TCP with
+/// pipelined nonblocking connections and emit a `BENCH_fleet.json`
+/// scaling trajectory. The workload is the same checked counter program
+/// as the in-process mode, so a wrong sum fails the run.
+fn run_loadgen_tcp(rest: &[String], addr: String) -> ExitCode {
+    use zarf::fleet::LoadgenConfig;
+
+    let result = (|| -> Result<(), String> {
+        let mut cfg = LoadgenConfig {
+            addr,
+            ..LoadgenConfig::default()
+        };
+        if let Some(v) = flag_value(rest, "--conns") {
+            cfg.conns = v.parse().map_err(|_| format!("bad --conns `{v}`"))?;
+        }
+        if let Some(v) = flag_value(rest, "--ops") {
+            cfg.ops_per_session = v.parse().map_err(|_| format!("bad --ops `{v}`"))?;
+        }
+        if let Some(v) = flag_value(rest, "--drivers") {
+            cfg.drivers = v.parse().map_err(|_| format!("bad --drivers `{v}`"))?;
+        }
+        if let Some(v) = flag_value(rest, "--batch") {
+            cfg.batch = v.parse().map_err(|_| format!("bad --batch `{v}`"))?;
+        }
+        if let Some(v) = flag_value(rest, "--steps") {
+            cfg.steps = v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().map_err(|_| format!("bad --steps entry `{s}`")))
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        cfg.shutdown = rest.iter().any(|a| a == "--shutdown");
+
+        let report = zarf::fleet::run_loadgen(&cfg).map_err(|e| e.to_string())?;
+        let json = report.to_json();
+        if let Some(path) = flag_value(rest, "--out") {
+            std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("zarf-loadgen: wrote {path}");
+        }
+        println!("{json}");
+        for s in &report.steps {
+            eprintln!(
+                "zarf-loadgen: {} sessions  {:.0} ops/s  p50 {} µs  p99 {} µs  failures {}",
+                s.sessions, s.ops_per_sec, s.p50_us, s.p99_us, s.failures
+            );
+        }
+        if report.ok() {
+            Ok(())
+        } else {
+            Err(
+                "loadgen verification failed: at least one connection failed or returned a \
+                 wrong sum"
+                    .into(),
+            )
+        }
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `zarf loadgen`: drive an in-process fleet with counter sessions and
 /// report throughput and per-op latency. The counter program is checked —
 /// every session must finish with the exact arithmetic sum — so this is a
-/// smoke test as much as a benchmark.
+/// smoke test as much as a benchmark. With `--connect ADDR`, drive a
+/// remote serving fleet over TCP instead (see [`run_loadgen_tcp`]).
 fn run_loadgen(rest: &[String]) -> ExitCode {
     use zarf::fleet::{Fleet, FleetConfig, Op};
+
+    if let Some(addr) = flag_value(rest, "--connect") {
+        return run_loadgen_tcp(rest, addr);
+    }
 
     const LOADGEN_SRC: &str = "fun step s n =\n\
                                \x20 let w = putint 1 s in\n\

@@ -27,6 +27,10 @@ const RATCHET: &[(&str, usize)] = &[
     ("crates/fleet/src/fleet.rs", 0),
     ("crates/fleet/src/wire.rs", 0),
     ("crates/fleet/src/server.rs", 0),
+    // The nonblocking frontier event loop and its load generator: a
+    // panic in the readiness loop takes down every connection at once.
+    ("crates/fleet/src/poll.rs", 0),
+    ("crates/fleet/src/bench.rs", 0),
     // The static-certification stack gates what the fleet will load, so
     // an analysis panic is a denial of service on the admission path.
     ("crates/verify/src/absint.rs", 0),
