@@ -50,6 +50,12 @@ pub enum FaultSite {
     /// coordinate is the session's own slice index, so plans are
     /// deterministic per session no matter how worker threads interleave.
     Fleet,
+    /// One I/O event in the snapshot store (`zarf-store`): a chunk,
+    /// journal, or manifest write, or an fsync. The `op` coordinate is
+    /// the store's own monotone I/O event counter, consulted by the
+    /// store itself (like fleet plans, store plans need no shared
+    /// [`ChaosHandle`]).
+    Store,
 }
 
 impl FaultSite {
@@ -62,6 +68,7 @@ impl FaultSite {
             FaultSite::Coroutine => "coroutine",
             FaultSite::Snapshot => "snapshot",
             FaultSite::Fleet => "fleet",
+            FaultSite::Store => "store",
         }
     }
 
@@ -73,12 +80,13 @@ impl FaultSite {
             FaultSite::Coroutine => 3,
             FaultSite::Snapshot => 4,
             FaultSite::Fleet => 5,
+            FaultSite::Store => 6,
         }
     }
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the per-site counters).
-const SITE_COUNT: usize = 6;
+const SITE_COUNT: usize = 7;
 
 /// The fault to inject when an operation's coordinate matches the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +153,24 @@ pub enum FaultKind {
     /// frame and then drops the connection — a partial write mid-frame.
     /// The truncated frame must be rejected by any decoder that sees it.
     PartialWrite,
+    /// The store's `op`-th I/O write lands only its first half on disk
+    /// and the store goes stalled — a crash mid-record. Recovery must
+    /// treat the torn bytes as the crash boundary, never as data.
+    TornWrite,
+    /// One bit of the store's `op`-th I/O write is flipped on its way
+    /// to disk — silent media rot. Every later read of those bytes must
+    /// surface a typed corruption error naming the damaged chunk.
+    BitRot {
+        /// Which bit of the damaged byte to flip (interpreted modulo 8).
+        bit: u8,
+    },
+    /// The store's `op`-th I/O write is silently dropped — a lost chunk.
+    /// Reads of the lost chunk must surface a typed error naming it.
+    MissingChunk,
+    /// The store's `op`-th I/O event fails as if `fsync` returned an
+    /// error; the store goes stalled and the fleet must shed load with
+    /// a typed overload error rather than accept undurable commits.
+    FsyncFail,
 }
 
 impl FaultKind {
@@ -166,6 +192,10 @@ impl FaultKind {
             | FaultKind::ForceEvict
             | FaultKind::ConnKill
             | FaultKind::PartialWrite => FaultSite::Fleet,
+            FaultKind::TornWrite
+            | FaultKind::BitRot { .. }
+            | FaultKind::MissingChunk
+            | FaultKind::FsyncFail => FaultSite::Store,
         }
     }
 
@@ -187,6 +217,10 @@ impl FaultKind {
             FaultKind::ForceEvict => "force_evict",
             FaultKind::ConnKill => "conn_kill",
             FaultKind::PartialWrite => "partial_write",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::BitRot { .. } => "bit_rot",
+            FaultKind::MissingChunk => "missing_chunk",
+            FaultKind::FsyncFail => "fsync_fail",
         }
     }
 
@@ -195,6 +229,7 @@ impl FaultKind {
     pub fn detail(self) -> i64 {
         match self {
             FaultKind::BitFlip { bit } => bit as i64,
+            FaultKind::BitRot { bit } => bit as i64,
             FaultKind::ChanCorrupt { xor } => xor as i64,
             FaultKind::EcgNoise { delta } => delta as i64,
             FaultKind::FuelCut { cycles } => cycles as i64,
@@ -209,6 +244,7 @@ impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultKind::BitFlip { bit } => write!(f, "bit_flip(bit={bit})"),
+            FaultKind::BitRot { bit } => write!(f, "bit_rot(bit={bit})"),
             FaultKind::ChanCorrupt { xor } => write!(f, "chan_corrupt(xor={xor:#x})"),
             FaultKind::EcgNoise { delta } => write!(f, "ecg_noise(delta={delta})"),
             FaultKind::FuelCut { cycles } => write!(f, "fuel_cut(cycles={cycles})"),
@@ -267,6 +303,9 @@ impl PlanShape {
             // Fleet faults are scheduled per session-slice by
             // `FaultPlan::seeded_fleet`, not by the system-run generator.
             FaultSite::Fleet => 0,
+            // Store faults are scheduled per I/O event by
+            // `FaultPlan::seeded_store`, not by the system-run generator.
+            FaultSite::Store => 0,
         }
     }
 }
@@ -392,6 +431,30 @@ impl FaultPlan {
         self.schedule(op, FaultKind::PartialWrite)
     }
 
+    /// Land only the first half of the store's `op`-th I/O write and
+    /// stall the store (`zarf-store`; store I/O event coordinate space).
+    pub fn torn_write_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::TornWrite)
+    }
+
+    /// Flip `bit` of one byte of the store's `op`-th I/O write on its
+    /// way to disk (`zarf-store`; store I/O event coordinate space).
+    pub fn bit_rot_at(self, op: u64, bit: u8) -> Self {
+        self.schedule(op, FaultKind::BitRot { bit })
+    }
+
+    /// Silently drop the store's `op`-th I/O write (`zarf-store`; store
+    /// I/O event coordinate space).
+    pub fn missing_chunk_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::MissingChunk)
+    }
+
+    /// Fail the store's `op`-th I/O event as a broken `fsync`
+    /// (`zarf-store`; store I/O event coordinate space).
+    pub fn fsync_fail_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::FsyncFail)
+    }
+
     /// Look up the fault scheduled at an exact `(site, op)` coordinate
     /// without any counter state. The fleet consults plans this way — its
     /// coordinate (the session's own slice index) is tracked by the
@@ -443,6 +506,35 @@ impl FaultPlan {
                 FaultKind::ConnKill
             } else {
                 FaultKind::PartialWrite
+            };
+            plan = plan.schedule(op, kind);
+        }
+        plan.seed = Some(seed);
+        plan
+    }
+
+    /// Derive a store plan of (up to) `n` disk faults from `seed`, placed
+    /// uniformly over a horizon of `events` store I/O events (chunk,
+    /// journal, and manifest writes plus fsyncs). Torn writes, bit rot,
+    /// lost writes, and fsync failures are drawn evenly.
+    ///
+    /// Store plans use the store's own I/O event counter as their
+    /// coordinate space; keep them in a separate [`FaultPlan`] from
+    /// scheduler and frontier plans.
+    ///
+    /// Fully deterministic, same contract as [`FaultPlan::seeded`].
+    pub fn seeded_store(seed: u64, events: u64, n: usize) -> Self {
+        let mut rng = SplitMix64(seed ^ 0x5851_F42D_4C95_7F2D);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let op = rng.below(events.max(1));
+            let kind = match rng.below(4) {
+                0 => FaultKind::TornWrite,
+                1 => FaultKind::MissingChunk,
+                2 => FaultKind::FsyncFail,
+                _ => FaultKind::BitRot {
+                    bit: rng.below(8) as u8,
+                },
             };
             plan = plan.schedule(op, kind);
         }
@@ -505,9 +597,11 @@ impl FaultPlan {
                     bit: rng.below(8) as u8,
                 },
                 // Not in `sites` (frozen — see above); fleet plans come from
-                // `seeded_fleet`. Kept total so the compiler flags any new
-                // site added without a generator arm.
+                // `seeded_fleet` and store plans from `seeded_store`. Kept
+                // total so the compiler flags any new site added without a
+                // generator arm.
                 FaultSite::Fleet => FaultKind::SessionKill,
+                FaultSite::Store => FaultKind::TornWrite,
             };
             plan = plan.schedule(op, kind);
         }
@@ -709,9 +803,13 @@ mod tests {
             for (site, _, _) in FaultPlan::seeded(seed, &shape, 8).iter() {
                 seen[site.index()] = true;
             }
-            // Fleet faults have their own generator (per session-slice
-            // coordinates); fold its coverage in alongside the system one.
+            // Fleet and store faults have their own generators (per
+            // session-slice and per I/O event coordinates); fold their
+            // coverage in alongside the system one.
             for (site, _, _) in FaultPlan::seeded_fleet(seed, 64, 4).iter() {
+                seen[site.index()] = true;
+            }
+            for (site, _, _) in FaultPlan::seeded_store(seed, 64, 4).iter() {
                 seen[site.index()] = true;
             }
         }
@@ -788,6 +886,52 @@ mod tests {
     }
 
     #[test]
+    fn seeded_store_is_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_store(7, 96, 6);
+        let b = FaultPlan::seeded_store(7, 96, 6);
+        let c = FaultPlan::seeded_store(8, 96, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), Some(7));
+        assert!(!a.is_empty());
+        assert!(a.len() <= 6);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..48 {
+            for (site, op, kind) in FaultPlan::seeded_store(seed, 96, 6).iter() {
+                assert_eq!(site, FaultSite::Store);
+                assert!(op < 96, "event {op} beyond horizon");
+                kinds.insert(kind.name());
+            }
+        }
+        for expected in ["torn_write", "bit_rot", "missing_chunk", "fsync_fail"] {
+            assert!(kinds.contains(expected), "never drew {expected}");
+        }
+    }
+
+    #[test]
+    fn store_builders_and_point_query() {
+        let plan = FaultPlan::new()
+            .torn_write_at(1)
+            .bit_rot_at(3, 5)
+            .missing_chunk_at(4)
+            .fsync_fail_at(9);
+        assert_eq!(plan.at(FaultSite::Store, 1), Some(FaultKind::TornWrite));
+        assert_eq!(
+            plan.at(FaultSite::Store, 3),
+            Some(FaultKind::BitRot { bit: 5 })
+        );
+        assert_eq!(plan.at(FaultSite::Store, 4), Some(FaultKind::MissingChunk));
+        assert_eq!(plan.at(FaultSite::Store, 9), Some(FaultKind::FsyncFail));
+        assert_eq!(plan.at(FaultSite::Store, 2), None);
+        assert_eq!(plan.at(FaultSite::Fleet, 1), None);
+        assert_eq!(FaultKind::TornWrite.site(), FaultSite::Store);
+        assert_eq!(FaultKind::BitRot { bit: 5 }.detail(), 5);
+        assert_eq!(FaultKind::BitRot { bit: 5 }.to_string(), "bit_rot(bit=5)");
+        assert_eq!(FaultKind::FsyncFail.to_string(), "fsync_fail");
+        assert_eq!(FaultSite::Store.name(), "store");
+    }
+
+    #[test]
     fn kind_metadata_is_consistent() {
         let kinds = [
             FaultKind::AllocFail,
@@ -801,6 +945,10 @@ mod tests {
             FaultKind::EcgNoise { delta: -50 },
             FaultKind::FuelCut { cycles: 99 },
             FaultKind::SnapshotCorrupt { byte: 12, bit: 5 },
+            FaultKind::TornWrite,
+            FaultKind::BitRot { bit: 2 },
+            FaultKind::MissingChunk,
+            FaultKind::FsyncFail,
         ];
         for k in kinds {
             assert!(!k.name().is_empty());
@@ -808,6 +956,7 @@ mod tests {
             // detail() round-trips the parameter for parameterised kinds.
             match k {
                 FaultKind::BitFlip { bit } => assert_eq!(k.detail(), bit as i64),
+                FaultKind::BitRot { bit } => assert_eq!(k.detail(), bit as i64),
                 FaultKind::ChanCorrupt { xor } => assert_eq!(k.detail(), xor as i64),
                 FaultKind::EcgNoise { delta } => assert_eq!(k.detail(), delta as i64),
                 FaultKind::FuelCut { cycles } => assert_eq!(k.detail(), cycles as i64),

@@ -22,7 +22,7 @@ use zarf_core::{Int, Word};
 use zarf_trace::metrics::Histogram;
 
 use crate::poll::{would_block, IdleBackoff, WriteBuf};
-use crate::wire::{write_frame, FrameBuffer, Request, Response};
+use crate::wire::{write_frame, FrameBuffer, Request, Response, RetryPolicy};
 use crate::{FleetError, Op, SessionConfig};
 
 /// The checked counter workload: each op threads the running sum through
@@ -195,6 +195,9 @@ enum Phase {
     Close,
     Done,
     Failed,
+    /// Transport died and a fresh connection has been scheduled to rerun
+    /// this slot's workload from scratch — not a failure yet.
+    Retrying,
 }
 
 struct BenchConn {
@@ -208,10 +211,17 @@ struct BenchConn {
     inflight: VecDeque<Instant>,
     next_poll_at: Instant,
     hist: Histogram,
+    /// 1-based connection attempt for this logical slot.
+    attempt: u32,
+    /// The failure (if any) was transport-level — eligible for retry on
+    /// a fresh connection. Protocol damage and arithmetic-check failures
+    /// are never retried: they indicate a broken server, not a flaky
+    /// network.
+    transport_failed: bool,
 }
 
 impl BenchConn {
-    fn open(addr: &str, program: &[Word]) -> Result<BenchConn, String> {
+    fn open(addr: &str, program: &[Word], attempt: u32) -> Result<BenchConn, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
         stream
             .set_nonblocking(true)
@@ -228,6 +238,8 @@ impl BenchConn {
             inflight: VecDeque::new(),
             next_poll_at: Instant::now(),
             hist: Histogram::new(),
+            attempt,
+            transport_failed: false,
         };
         conn.queue_request(&Request::LoadProgram {
             config: SessionConfig::default(),
@@ -237,6 +249,11 @@ impl BenchConn {
     }
 
     fn fail(&mut self) {
+        self.phase = Phase::Failed;
+    }
+
+    fn fail_transport(&mut self) {
+        self.transport_failed = true;
         self.phase = Phase::Failed;
     }
 
@@ -345,13 +362,13 @@ impl BenchConn {
             }
             match self.rd.fill_from(&mut self.stream, READ_CHUNK) {
                 Ok(0) => {
-                    self.fail();
+                    self.fail_transport();
                     break;
                 }
                 Ok(_) => progress = true,
                 Err(ref e) if would_block(e) => break,
                 Err(_) => {
-                    self.fail();
+                    self.fail_transport();
                     break;
                 }
             }
@@ -363,7 +380,7 @@ impl BenchConn {
         match self.wr.try_flush(&mut self.stream) {
             Ok(0) => {}
             Ok(_) => progress = true,
-            Err(_) => self.fail(),
+            Err(_) => self.fail_transport(),
         }
         progress
     }
@@ -377,7 +394,12 @@ struct DriverStats {
 
 /// Multiplex `count` connections against `addr` until each is done or
 /// failed. Connections are opened incrementally so the accept backlog
-/// sees a stream, not a stampede.
+/// sees a stream, not a stampede. Transport failures (connect refused,
+/// connection killed mid-workload) retry on a fresh connection under a
+/// bounded-backoff [`RetryPolicy`] — the retried slot reruns its checked
+/// workload from scratch on a new session — so a transient kill doesn't
+/// fail the driver's step. Protocol and arithmetic-check failures are
+/// terminal: retrying a broken server would only hide the bug.
 fn drive_partition(
     addr: &str,
     count: usize,
@@ -386,6 +408,7 @@ fn drive_partition(
     target_ops: u64,
     batch: usize,
 ) -> DriverStats {
+    let policy = RetryPolicy::default();
     let mut stats = DriverStats {
         hist: Histogram::new(),
         ops_done: 0,
@@ -393,12 +416,35 @@ fn drive_partition(
     };
     let mut conns: Vec<BenchConn> = Vec::with_capacity(count);
     let mut to_open = count;
+    // Logical slots whose transport died, waiting out their backoff:
+    // (ready-at instant, next 1-based attempt number).
+    let mut retries: Vec<(Instant, u32)> = Vec::new();
     let mut backoff = IdleBackoff::new();
     loop {
         let mut progress = false;
-        for _ in 0..CONNECT_BATCH.min(to_open) {
-            match BenchConn::open(addr, program) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < retries.len() {
+            if retries[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, attempt) = retries.swap_remove(i);
+            match BenchConn::open(addr, program, attempt) {
                 Ok(c) => conns.push(c),
+                Err(_) if attempt < policy.max_attempts => {
+                    retries.push((now + policy.backoff(attempt), attempt + 1));
+                }
+                Err(_) => stats.failures += 1,
+            }
+            progress = true;
+        }
+        for _ in 0..CONNECT_BATCH.min(to_open) {
+            match BenchConn::open(addr, program, 1) {
+                Ok(c) => conns.push(c),
+                Err(_) if policy.max_attempts > 1 => {
+                    retries.push((Instant::now() + policy.backoff(1), 2));
+                }
                 Err(_) => stats.failures += 1,
             }
             to_open -= 1;
@@ -410,11 +456,22 @@ fn drive_partition(
                 continue;
             }
             progress |= conn.service(step_item, target_ops, batch);
-            if !matches!(conn.phase, Phase::Done | Phase::Failed) {
+            if conn.phase == Phase::Failed
+                && conn.transport_failed
+                && conn.attempt < policy.max_attempts
+            {
+                retries.push((
+                    Instant::now() + policy.backoff(conn.attempt),
+                    conn.attempt + 1,
+                ));
+                conn.phase = Phase::Retrying;
+            }
+            if !matches!(conn.phase, Phase::Done | Phase::Failed | Phase::Retrying) {
                 live += 1;
             }
         }
-        if to_open == 0 && live == 0 {
+        conns.retain(|c| c.phase != Phase::Retrying);
+        if to_open == 0 && live == 0 && retries.is_empty() {
             break;
         }
         if progress {

@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 
 use zarf_chaos::{FaultKind, FaultPlan, FaultSite, InjectedFault};
 use zarf_core::{Int, Word};
-use zarf_hw::{Hw, HwConfig, MachineSnapshot, Stats, DEFAULT_HEAP_WORDS};
+use zarf_hw::{verify_container, Hw, HwConfig, MachineSnapshot, Stats, DEFAULT_HEAP_WORDS};
+use zarf_store::{SessionMeta, Store};
 use zarf_trace::metrics::{Histogram, MetricsSink};
 use zarf_trace::SharedSink;
 
@@ -178,6 +179,10 @@ pub struct FleetConfig {
     /// Deterministic fault plan; the fleet consults
     /// [`FaultSite::Fleet`] at each session's own slice index.
     pub chaos: Option<FaultPlan>,
+    /// Durable snapshot store. When present, every slice commit writes
+    /// through to it, eviction holds a store handle instead of resident
+    /// bytes, and [`Fleet::start`] recovers every committed session.
+    pub store: Option<Arc<Store>>,
 }
 
 impl FleetConfig {
@@ -190,11 +195,31 @@ impl FleetConfig {
     }
 }
 
+/// Where a session's last committed snapshot lives.
+enum Backing {
+    /// In the slot, as plain `ZSNP` bytes: store-less fleets, and the
+    /// no-state-loss fallback when a store write fails.
+    Resident(Vec<u8>),
+    /// In the durable store, fetched (verified end to end) on demand;
+    /// the slot keeps only the byte length for stats.
+    Stored { len: usize },
+}
+
+impl Backing {
+    fn len(&self) -> usize {
+        match self {
+            Backing::Resident(b) => b.len(),
+            Backing::Stored { len } => *len,
+        }
+    }
+}
+
 /// One session's authoritative state.
 struct Slot {
     config: SessionConfig,
-    /// Last committed quiescent state (`ZSNP` bytes); always present.
-    snapshot: Vec<u8>,
+    /// Last committed quiescent state; always present (resident bytes
+    /// or a durable-store handle).
+    snapshot: Backing,
     /// Machine statistics at the last commit.
     stats: Stats,
     /// Aggregated per-session metrics (merged at each commit).
@@ -362,6 +387,28 @@ impl Shared {
             .ok_or(FleetError::UnknownSession(id))
     }
 
+    /// The committed `ZSNP` bytes for a slot, wherever they live. A
+    /// store-backed fetch is hash-verified chunk by chunk inside the
+    /// store, then structurally re-verified here on arrival (the
+    /// snapshot transport seam) — damage is always a typed error,
+    /// never bytes handed to `rehydrate`.
+    fn committed_bytes(&self, id: u64, s: &Slot) -> Result<Vec<u8>, FleetError> {
+        match &s.snapshot {
+            Backing::Resident(b) => Ok(b.clone()),
+            Backing::Stored { .. } => {
+                let store =
+                    self.cfg.store.as_ref().ok_or_else(|| {
+                        FleetError::Snapshot("stored backing without a store".into())
+                    })?;
+                let bytes = store.get_snapshot(id)?;
+                verify_container(&bytes).map_err(|e| {
+                    FleetError::Snapshot(format!("store returned damaged container: {e}"))
+                })?;
+                Ok(bytes)
+            }
+        }
+    }
+
     fn enqueue(&self, id: u64) {
         let shard = (id as usize) % self.shards.len();
         lock(&self.shards[shard]).push_back(id);
@@ -504,7 +551,18 @@ impl Worker {
             {
                 None
             } else {
-                Some(s.snapshot.clone())
+                match self.shared.committed_bytes(id, &s) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        // The committed state is unreadable (store
+                        // corruption): poison with the typed cause.
+                        s.running = false;
+                        s.poisoned = Some(format!("snapshot fetch: {e}"));
+                        drop(s);
+                        self.shared.notify_idle();
+                        return;
+                    }
+                }
             };
             (
                 bytes,
@@ -549,7 +607,6 @@ impl Worker {
                         metrics,
                     } = *commit;
                     if !s.closed {
-                        s.snapshot = snapshot;
                         s.stats = stats;
                         s.metrics.merge(&metrics);
                         for _ in 0..executed {
@@ -558,6 +615,30 @@ impl Worker {
                         s.outputs.extend(out);
                         s.ops_done += executed as u64;
                         s.commit_seq += 1;
+                        // Durability: write the commit through the store.
+                        // On failure the bytes stay resident in the slot —
+                        // no state is lost — and the stalled store sheds
+                        // new work at the inject boundary.
+                        s.snapshot = match &self.shared.cfg.store {
+                            Some(store) => {
+                                let meta = SessionMeta {
+                                    id,
+                                    commit_seq: s.commit_seq,
+                                    ops_done: s.ops_done,
+                                    heap_words: s.config.heap_words as u64,
+                                    op_budget: s.config.op_budget,
+                                    fuel_slice: s.config.fuel_slice,
+                                    verified: s.config.verified,
+                                };
+                                match store.put_session(&meta, &snapshot) {
+                                    Ok(()) => Backing::Stored {
+                                        len: snapshot.len(),
+                                    },
+                                    Err(_) => Backing::Resident(snapshot),
+                                }
+                            }
+                            None => Backing::Resident(snapshot),
+                        };
                         self.shared
                             .counters
                             .ops_done
@@ -630,7 +711,13 @@ impl Worker {
                     let Ok(slot) = self.shared.slot(id) else {
                         return SliceRun::Killed;
                     };
-                    let bytes = lock(&slot).snapshot.clone();
+                    let bytes = {
+                        let s = lock(&slot);
+                        match self.shared.committed_bytes(id, &s) {
+                            Ok(b) => b,
+                            Err(e) => return SliceRun::Poison(format!("snapshot fetch: {e}")),
+                        }
+                    };
                     match Hw::rehydrate(&bytes, config.hw_config()) {
                         Ok(hw) => hw,
                         Err(e) => return SliceRun::Poison(format!("rehydrate: {e}")),
@@ -764,6 +851,26 @@ impl FleetHandle {
             return Err(FleetError::ShuttingDown);
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        // A durable fleet persists the initial state before the session
+        // becomes visible — a session that ever existed is recoverable.
+        let snapshot = match &self.shared.cfg.store {
+            Some(store) => {
+                let meta = SessionMeta {
+                    id,
+                    commit_seq: 0,
+                    ops_done: 0,
+                    heap_words: config.heap_words as u64,
+                    op_budget: config.op_budget,
+                    fuel_slice: config.fuel_slice,
+                    verified: config.verified,
+                };
+                store.put_session(&meta, &snapshot)?;
+                Backing::Stored {
+                    len: snapshot.len(),
+                }
+            }
+            None => Backing::Resident(snapshot),
+        };
         let slot = Slot {
             config,
             snapshot,
@@ -792,10 +899,18 @@ impl FleetHandle {
         Ok(id)
     }
 
-    /// Queue one op on a session.
+    /// Queue one op on a session. A fleet whose durable store has
+    /// stalled sheds the op instead ([`FleetError::Overloaded`]):
+    /// accepting work that can never commit durably would silently
+    /// widen the window of state the store cannot recover.
     pub fn inject(&self, id: u64, op: Op) -> Result<(), FleetError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(FleetError::ShuttingDown);
+        }
+        if let Some(store) = &self.shared.cfg.store {
+            if let Some(detail) = store.stalled() {
+                return Err(FleetError::Overloaded(detail));
+            }
         }
         let slot = self.shared.slot(id)?;
         let enqueue = {
@@ -831,6 +946,11 @@ impl FleetHandle {
     pub fn inject_batch(&self, id: u64, ops: Vec<Op>) -> Result<usize, FleetError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(FleetError::ShuttingDown);
+        }
+        if let Some(store) = &self.shared.cfg.store {
+            if let Some(detail) = store.stalled() {
+                return Err(FleetError::Overloaded(detail));
+            }
         }
         let slot = self.shared.slot(id)?;
         let (enqueue, pending) = {
@@ -875,11 +995,12 @@ impl FleetHandle {
         })
     }
 
-    /// The session's last committed state as `ZSNP` bytes.
+    /// The session's last committed state as `ZSNP` bytes (fetched and
+    /// verified from the durable store when the fleet has one).
     pub fn snapshot(&self, id: u64) -> Result<Vec<u8>, FleetError> {
         let slot = self.shared.slot(id)?;
-        let bytes = lock(&slot).snapshot.clone();
-        Ok(bytes)
+        let s = lock(&slot);
+        self.shared.committed_bytes(id, &s)
     }
 
     /// Point-in-time statistics for one session.
@@ -979,6 +1100,11 @@ impl FleetHandle {
             .counters
             .sessions_closed
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.shared.cfg.store {
+            // Best-effort: a stalled store just leaves the record (and
+            // its chunks) for `zarf store gc` to collect later.
+            let _ = store.remove_session(id);
+        }
         Ok(())
     }
 
@@ -1036,6 +1162,59 @@ impl Fleet {
             latency_us: Mutex::new(Histogram::new()),
             cfg,
         });
+        // A durable fleet resumes every committed session before any
+        // worker starts: each slot is rebuilt as a store handle (the
+        // bytes rehydrate lazily, through the store's residency tiers),
+        // and the id counter continues past everything the store has
+        // ever issued so recovered and new sessions can never collide.
+        if let Some(store) = shared.cfg.store.clone() {
+            let mut recovered = 0u64;
+            {
+                let mut slots = lock(&shared.slots);
+                for rec in store.sessions() {
+                    let config = SessionConfig {
+                        heap_words: rec.heap_words as usize,
+                        op_budget: rec.op_budget,
+                        fuel_slice: rec.fuel_slice,
+                        verified: rec.verified,
+                    };
+                    let slot = Slot {
+                        config,
+                        snapshot: Backing::Stored {
+                            len: rec.snap_len as usize,
+                        },
+                        stats: Stats::default(),
+                        metrics: MetricsSink::new(),
+                        pending: VecDeque::new(),
+                        outputs: Vec::new(),
+                        ops_done: rec.ops_done,
+                        commit_seq: rec.commit_seq,
+                        slices: 0,
+                        kills: 0,
+                        evictions: 0,
+                        rehydrations: 0,
+                        running: false,
+                        queued: false,
+                        closed: false,
+                        poisoned: None,
+                        injected: Vec::new(),
+                        // The certificate is rebuilt only from a program
+                        // image; a recovered verified session keeps its
+                        // flag but admits ops uncertified.
+                        cert: None,
+                    };
+                    slots.insert(rec.id, Arc::new(Mutex::new(slot)));
+                    recovered += 1;
+                }
+            }
+            shared
+                .counters
+                .sessions_opened
+                .fetch_add(recovered, Ordering::Relaxed);
+            shared
+                .next_id
+                .store(store.next_session_floor(), Ordering::SeqCst);
+        }
         let mut workers = Vec::with_capacity(n);
         for index in 0..n {
             let shared = Arc::clone(&shared);

@@ -87,7 +87,7 @@ pub use fleet::{
 };
 pub use op::{run_standalone, Op, PortFeed};
 pub use server::{serve, serve_with, Client, ServeOptions};
-pub use wire::{FrameBuffer, Request, Response, WireError};
+pub use wire::{read_frame, write_frame, FrameBuffer, Request, Response, RetryPolicy, WireError};
 
 /// Everything that can go wrong at the fleet API surface. All typed — the
 /// fleet is part of the robustness ratchet, so no path panics.
@@ -129,6 +129,13 @@ pub enum FleetError {
         /// Human-readable cause.
         message: String,
     },
+    /// The snapshot store failed; the variant carries the store's own
+    /// typed error (corrupt chunk, missing chunk, stalled, …).
+    Store(zarf_store::StoreError),
+    /// The fleet is shedding new work because its durable store has
+    /// stalled (a failed or injected disk write); committed state is
+    /// still readable and existing outputs still drain.
+    Overloaded(String),
 }
 
 impl fmt::Display for FleetError {
@@ -148,6 +155,8 @@ impl fmt::Display for FleetError {
             FleetError::Remote { code, message } => {
                 write!(f, "remote error {code}: {message}")
             }
+            FleetError::Store(e) => write!(f, "store error: {e}"),
+            FleetError::Overloaded(msg) => write!(f, "fleet overloaded: {msg}"),
         }
     }
 }
@@ -157,5 +166,15 @@ impl std::error::Error for FleetError {}
 impl From<WireError> for FleetError {
     fn from(e: WireError) -> Self {
         FleetError::Wire(e)
+    }
+}
+
+impl From<zarf_store::StoreError> for FleetError {
+    fn from(e: zarf_store::StoreError) -> Self {
+        // A stalled store is a load-shedding condition, not a data error.
+        match e {
+            zarf_store::StoreError::Stalled { detail } => FleetError::Overloaded(detail),
+            other => FleetError::Store(other),
+        }
     }
 }

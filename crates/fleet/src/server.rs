@@ -45,8 +45,9 @@ use zarf_chaos::{FaultKind, FaultPlan, FaultSite};
 use crate::fleet::FleetHandle;
 use crate::poll::{would_block, IdleBackoff, WriteBuf};
 use crate::wire::{
-    read_frame, write_frame, FrameBuffer, Request, Response, WireError, ERR_CERTIFICATION,
-    ERR_INTERNAL, ERR_LOAD, ERR_POISONED, ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION,
+    read_frame, write_frame, FrameBuffer, Request, Response, RetryPolicy, WireError,
+    ERR_CERTIFICATION, ERR_INTERNAL, ERR_LOAD, ERR_OVERLOADED, ERR_POISONED, ERR_SHUTDOWN,
+    ERR_SNAPSHOT, ERR_UNKNOWN_SESSION, MAX_FRAME_PAYLOAD,
 };
 use crate::FleetError;
 
@@ -58,6 +59,9 @@ fn error_response(e: FleetError) -> Response {
         FleetError::Load(_) => ERR_LOAD,
         FleetError::Certification(_) | FleetError::UncertifiedOp { .. } => ERR_CERTIFICATION,
         FleetError::ShuttingDown => ERR_SHUTDOWN,
+        // Load shedding while the durable store is stalled: transient by
+        // design, so it gets its own code a client can retry on.
+        FleetError::Overloaded(_) => ERR_OVERLOADED,
         _ => ERR_INTERNAL,
     };
     Response::Error {
@@ -148,6 +152,11 @@ pub struct ServeOptions {
     /// External stop flag, checked once per loop pass. Setting it makes
     /// the loop stop accepting, drain queued work, and return.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Per-connection cap on accepted frame payload bytes (default: the
+    /// protocol-wide [`MAX_FRAME_PAYLOAD`]). A frame declaring more gets
+    /// a typed `Error` response and a clean close, and the receive
+    /// buffer provably never grows past `max_frame + FRAME_OVERHEAD`.
+    pub max_frame: Option<usize>,
 }
 
 /// New connections accepted per loop pass; bounds accept-storm latency
@@ -186,10 +195,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, max_frame: usize) -> Conn {
         Conn {
             stream,
-            rd: FrameBuffer::new(),
+            rd: FrameBuffer::with_max_payload(max_frame),
             wr: WriteBuf::new(),
             inbox: VecDeque::new(),
             eof: false,
@@ -227,14 +236,30 @@ fn queue_response(conn: &mut Conn, resp: &Response, chaos: &FaultPlan, write_eve
 }
 
 /// Decode as many buffered frames as the inbox cap allows. Frame-level
-/// damage (bad magic/version/CRC, oversize) kills the connection — the
-/// stream cannot be resynchronized. A well-framed payload that fails
+/// damage (bad magic/version/CRC) kills the connection — the stream
+/// cannot be resynchronized. A frame declaring more than the
+/// per-connection cap gets a typed `Error` response and a clean close
+/// (flush then FIN), since the header itself was well-formed and the
+/// peer can act on the reason. A well-framed payload that fails
 /// `Request::decode` gets an `Error` response and the connection lives.
 fn drain_frames(conn: &mut Conn, chaos: &FaultPlan, write_events: &mut u64, progress: &mut bool) {
     while !conn.dead && !conn.close_after_flush && conn.inbox.len() < INBOX_CAP {
         let decoded = match conn.rd.next_frame() {
             Ok(Some(payload)) => Request::decode(payload),
             Ok(None) => break,
+            Err(WireError::Oversize(n)) => {
+                *progress = true;
+                let resp = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: format!(
+                        "frame payload of {n} bytes exceeds this connection's cap of {} bytes",
+                        conn.rd.max_payload()
+                    ),
+                };
+                queue_response(conn, &resp, chaos, write_events);
+                conn.close_after_flush = true;
+                break;
+            }
             Err(_) => {
                 conn.dead = true;
                 break;
@@ -272,6 +297,7 @@ pub fn serve_with(
         .set_nonblocking(true)
         .map_err(|e| FleetError::Wire(WireError::Io(e.to_string())))?;
     let chaos = opts.chaos.unwrap_or_default();
+    let max_frame = opts.max_frame.unwrap_or(MAX_FRAME_PAYLOAD);
     let mut conns: Vec<Conn> = Vec::new();
     let mut backoff = IdleBackoff::new();
     let mut write_events: u64 = 0;
@@ -297,7 +323,7 @@ pub fn serve_with(
                             continue;
                         }
                         let _unused = stream.set_nodelay(true);
-                        conns.push(Conn::new(stream));
+                        conns.push(Conn::new(stream, max_frame));
                         progress = true;
                     }
                     Err(ref e) if would_block(e) => break,
@@ -396,16 +422,55 @@ pub fn serve_with(
     Ok(())
 }
 
-/// A minimal blocking `ZFLT` client.
+/// A minimal blocking `ZFLT` client with a per-operation deadline: every
+/// blocking send/receive is bounded by the connect policy's
+/// `op_deadline`, so a stalled server fails the call with a typed
+/// [`WireError::Io`] instead of hanging the calling thread forever.
 pub struct Client {
     stream: TcpStream,
 }
 
 impl Client {
-    /// Connect to a serving fleet.
+    /// Connect to a serving fleet under [`RetryPolicy::default`]:
+    /// transient connect failures are retried with bounded exponential
+    /// backoff, and the socket gets a 10 s per-op deadline.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
-        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
-        Ok(Client { stream })
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// [`Client::connect`] with an explicit policy. Makes up to
+    /// `policy.max_attempts` connection attempts, sleeping
+    /// `policy.backoff(n)` between them, and installs
+    /// `policy.op_deadline` as the socket read/write timeout (a zero
+    /// deadline means block forever).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        policy: RetryPolicy,
+    ) -> Result<Client, WireError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = String::from("no connection attempt made");
+        for attempt in 1..=attempts {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    let deadline =
+                        (policy.op_deadline > Duration::ZERO).then_some(policy.op_deadline);
+                    stream
+                        .set_read_timeout(deadline)
+                        .and_then(|()| stream.set_write_timeout(deadline))
+                        .map_err(|e| WireError::Io(e.to_string()))?;
+                    return Ok(Client { stream });
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    if attempt < attempts {
+                        std::thread::sleep(policy.backoff(attempt));
+                    }
+                }
+            }
+        }
+        Err(WireError::Io(format!(
+            "connect failed after {attempts} attempts: {last}"
+        )))
     }
 
     /// Send one request frame without waiting for the response. Pairs

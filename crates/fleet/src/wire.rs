@@ -21,6 +21,7 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 use zarf_core::{Int, Word};
 use zarf_hw::crc32;
@@ -54,6 +55,10 @@ pub const ERR_INTERNAL: u32 = 6;
 /// Error code: verified load rejected the program (certification failed)
 /// or an op fell outside a verified session's certificate.
 pub const ERR_CERTIFICATION: u32 = 7;
+/// Error code: the fleet is shedding work (its durable store has
+/// stalled). Transient by design — the client should back off and
+/// retry, or reconnect after the operator restarts the server.
+pub const ERR_OVERLOADED: u32 = 8;
 
 /// Wire-protocol failures. Typed and total: malformed input from the
 /// network can never panic the server.
@@ -702,6 +707,15 @@ pub struct FrameSpan {
 /// is exactly one frame, `scan_frame` accepts iff `decode_frame` does,
 /// and yields the same payload bytes (pinned by the property suite).
 pub fn scan_frame(buf: &[u8]) -> Result<Option<FrameSpan>, WireError> {
+    scan_frame_bounded(buf, MAX_FRAME_PAYLOAD)
+}
+
+/// [`scan_frame`] with a caller-chosen payload ceiling (clamped to the
+/// protocol-wide [`MAX_FRAME_PAYLOAD`]). A declared length above the
+/// ceiling is rejected as [`WireError::Oversize`] the moment the header
+/// is visible — before any buffer grows to hold the body — which is how
+/// a server bounds per-connection memory against hostile peers.
+pub fn scan_frame_bounded(buf: &[u8], max_payload: usize) -> Result<Option<FrameSpan>, WireError> {
     // Validate the fixed header eagerly: damage is reported as soon as it
     // is visible, not after a hostile length field forces a long wait.
     if !buf.is_empty() && buf[0..buf.len().min(4)] != MAGIC[0..buf.len().min(4)] {
@@ -714,7 +728,7 @@ pub fn scan_frame(buf: &[u8]) -> Result<Option<FrameSpan>, WireError> {
         return Ok(None);
     }
     let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
-    if len > MAX_FRAME_PAYLOAD {
+    if len > max_payload.min(MAX_FRAME_PAYLOAD) {
         return Err(WireError::Oversize(len as u64));
     }
     let total = FRAME_OVERHEAD + len;
@@ -742,17 +756,46 @@ const FRAME_BUFFER_COMPACT_AT: usize = 64 * 1024;
 /// [`FrameBuffer::fill_from`]); [`FrameBuffer::next_frame`] hands back
 /// each complete verified payload as a slice of the buffer itself, with
 /// no per-frame allocation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
     /// Bytes before this offset belong to already-consumed frames.
     start: usize,
+    /// Per-connection payload ceiling; frames declaring more are
+    /// rejected and [`FrameBuffer::fill_from`] never buffers beyond
+    /// `max_payload + FRAME_OVERHEAD` unconsumed bytes.
+    max_payload: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer {
+            buf: Vec::new(),
+            start: 0,
+            max_payload: MAX_FRAME_PAYLOAD,
+        }
+    }
 }
 
 impl FrameBuffer {
-    /// An empty buffer.
+    /// An empty buffer accepting payloads up to [`MAX_FRAME_PAYLOAD`].
     pub fn new() -> Self {
         FrameBuffer::default()
+    }
+
+    /// An empty buffer that rejects frames declaring more than
+    /// `max_payload` bytes (clamped to [`MAX_FRAME_PAYLOAD`]) and whose
+    /// growth is bounded accordingly.
+    pub fn with_max_payload(max_payload: usize) -> Self {
+        FrameBuffer {
+            max_payload: max_payload.min(MAX_FRAME_PAYLOAD),
+            ..FrameBuffer::default()
+        }
+    }
+
+    /// The payload ceiling this buffer enforces.
+    pub fn max_payload(&self) -> usize {
+        self.max_payload
     }
 
     /// Unconsumed bytes currently buffered.
@@ -785,9 +828,19 @@ impl FrameBuffer {
 
     /// Read up to `max` bytes from `r` directly into the buffer tail (one
     /// syscall, no intermediate copy). Returns the byte count; `Ok(0)`
-    /// means EOF.
+    /// means EOF — or that the buffer already holds a full ceiling-sized
+    /// frame's worth of unconsumed bytes, in which case
+    /// [`FrameBuffer::next_frame`] will either yield that frame or report
+    /// the damage. The clamp makes memory growth per connection provably
+    /// bounded by `max_payload + FRAME_OVERHEAD` no matter what the peer
+    /// sends.
     pub fn fill_from<R: Read>(&mut self, r: &mut R, max: usize) -> std::io::Result<usize> {
         self.compact();
+        let budget = (self.max_payload + FRAME_OVERHEAD).saturating_sub(self.len());
+        let max = max.min(budget);
+        if max == 0 {
+            return Ok(0);
+        }
         let old = self.buf.len();
         self.buf.resize(old + max, 0);
         match r.read(&mut self.buf[old..]) {
@@ -807,7 +860,7 @@ impl FrameBuffer {
     /// practice: a damaged stream cannot be resynchronized, so the caller
     /// should drop the connection.
     pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
-        match scan_frame(&self.buf[self.start..])? {
+        match scan_frame_bounded(&self.buf[self.start..], self.max_payload)? {
             None => Ok(None),
             Some(span) => {
                 let at = self.start + span.payload_start;
@@ -815,6 +868,60 @@ impl FrameBuffer {
                 Ok(Some(&self.buf[at..at + span.payload_len]))
             }
         }
+    }
+}
+
+/// Client-side robustness knobs: a per-operation deadline plus bounded
+/// exponential backoff for reconnects. Used by the blocking
+/// [`crate::server::Client`] so that a stalled or restarting server
+/// fails a driver thread with a typed error after a bounded wait —
+/// never a hang — and transient connection kills are retried instead of
+/// surfacing as load-generator failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wall-clock bound on any single blocking send or receive; applied
+    /// as the socket read/write timeout.
+    pub op_deadline: Duration,
+    /// Total connection attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub backoff_floor: Duration,
+    /// Ceiling the doubling saturates at.
+    pub backoff_ceiling: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            op_deadline: Duration::from_secs(10),
+            max_attempts: 5,
+            backoff_floor: Duration::from_millis(50),
+            backoff_ceiling: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never waits — the pre-policy
+    /// behaviour, useful in tests that want a failure to be immediate.
+    pub fn immediate() -> Self {
+        RetryPolicy {
+            op_deadline: Duration::from_secs(10),
+            max_attempts: 1,
+            backoff_floor: Duration::ZERO,
+            backoff_ceiling: Duration::ZERO,
+        }
+    }
+
+    /// Sleep duration before retry number `attempt` (1-based: the wait
+    /// after the first failure is `backoff(1)`). Bounded exponential:
+    /// `floor * 2^(attempt-1)`, saturating at the ceiling.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .backoff_floor
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX));
+        raw.min(self.backoff_ceiling)
     }
 }
 
@@ -1044,5 +1151,71 @@ mod tests {
             Request::decode(decode_frame(&padded).unwrap()),
             Err(WireError::TrailingBytes)
         );
+    }
+
+    #[test]
+    fn bounded_frame_buffer_rejects_hostile_length_before_buffering_it() {
+        // A peer declares a 12 MiB payload against a 4 KiB ceiling: the
+        // rejection must come from the 9 header bytes alone.
+        let mut fb = FrameBuffer::with_max_payload(4096);
+        let mut header = Vec::from(MAGIC);
+        header.push(VERSION);
+        header.extend_from_slice(&(12u32 << 20).to_le_bytes());
+        fb.extend_from_slice(&header);
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversize(n)) if n == 12 << 20));
+        // An in-bound frame on a fresh buffer with the same ceiling works.
+        let mut fb = FrameBuffer::with_max_payload(4096);
+        fb.extend_from_slice(&encode_frame(&[7u8; 4096]));
+        assert_eq!(fb.next_frame().unwrap().unwrap(), &[7u8; 4096][..]);
+        // One past the ceiling is rejected even though the protocol-wide
+        // MAX_FRAME_PAYLOAD would accept it.
+        let mut fb = FrameBuffer::with_max_payload(4096);
+        fb.extend_from_slice(&encode_frame(&[7u8; 4097]));
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversize(4097))));
+    }
+
+    #[test]
+    fn bounded_fill_from_never_buffers_past_the_ceiling() {
+        // A peer that streams unbounded garbage after a valid header must
+        // not grow the buffer past max_payload + FRAME_OVERHEAD.
+        let mut fb = FrameBuffer::with_max_payload(1024);
+        let mut flood = encode_frame(&[1u8; 1024]);
+        flood.extend_from_slice(&vec![0xAA; 1 << 20]);
+        let mut cursor = &flood[..];
+        let mut drained = Vec::new();
+        loop {
+            let n = fb.fill_from(&mut cursor, 64 * 1024).unwrap();
+            assert!(fb.len() <= 1024 + FRAME_OVERHEAD, "buffer grew past cap");
+            match fb.next_frame() {
+                Ok(Some(p)) => drained.push(p.to_vec()),
+                Ok(None) => {
+                    if n == 0 {
+                        // Budget exhausted with no frame: the stream is
+                        // damaged or stalled — caller drops it. Here the
+                        // garbage tail trips BadMagic first, so reaching
+                        // this branch with bytes left would be a bug.
+                        assert!(cursor.is_empty(), "clamp starved a live stream");
+                        break;
+                    }
+                }
+                Err(e) => {
+                    assert_eq!(e, WireError::BadMagic);
+                    break;
+                }
+            }
+        }
+        assert_eq!(drained, vec![vec![1u8; 1024]]);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Duration::from_millis(50));
+        assert_eq!(p.backoff(2), Duration::from_millis(100));
+        assert_eq!(p.backoff(3), Duration::from_millis(200));
+        // Saturates at the ceiling rather than growing without bound.
+        assert_eq!(p.backoff(20), p.backoff_ceiling);
+        assert_eq!(p.backoff(u32::MAX), p.backoff_ceiling);
+        assert_eq!(RetryPolicy::immediate().backoff(3), Duration::ZERO);
     }
 }

@@ -49,6 +49,7 @@ pub use machine::{Hw, HwConfig, HwError, DEFAULT_HEAP_WORDS};
 pub use obj::{AppTarget, HValue, HeapObj, HeapRef};
 pub use resources::LambdaLayerModel;
 pub use snapshot::{
-    crc32, read_sections, MachineSnapshot, SectionWriter, SnapshotError, FIRST_EMBEDDER_TAG,
+    crc32, read_sections, verify_container, MachineSnapshot, SectionWriter, SnapshotError,
+    FIRST_EMBEDDER_TAG,
 };
 pub use stats::{Class, ClassStats, Stats};

@@ -231,6 +231,14 @@ pub fn read_sections(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, SnapshotError> {
     Ok(sections)
 }
 
+/// Cheap structural check of a `ZSNP` container: magic, version, section
+/// framing, per-section CRCs, no trailing bytes. The transport seam for
+/// snapshot movers (durable stores, fleet-to-fleet sync): verify bytes on
+/// arrival without paying for a full decode.
+pub fn verify_container(bytes: &[u8]) -> Result<(), SnapshotError> {
+    read_sections(bytes).map(|_| ())
+}
+
 /// Bounds-checked little-endian reader over a byte slice.
 struct Reader<'a> {
     buf: &'a [u8],

@@ -1,0 +1,132 @@
+//! Content-defined chunking: split a snapshot into chunks whose
+//! boundaries are decided by the *content*, not by fixed offsets.
+//!
+//! The splitter is a Gear rolling hash: one table lookup and a shift
+//! per byte, with a boundary declared whenever the high bits of the
+//! rolling state hit zero. Because the boundary depends only on the
+//! last few dozen bytes of content, inserting or removing bytes early
+//! in a snapshot re-chunks only the neighbourhood of the edit — the
+//! chunks after it realign and dedup against the previous commit.
+//! That is the property that makes the store's dedup work across
+//! commit seqs: a session whose heap grew by one allocation shares
+//! almost every chunk with its previous snapshot.
+//!
+//! Bounds: no chunk is smaller than [`MIN_CHUNK`] (boundaries inside
+//! the minimum are ignored) or larger than [`MAX_CHUNK`] (a boundary
+//! is forced). The average lands near 8 KiB under the 13-bit mask.
+
+use crate::hash::splitmix64;
+
+/// Smallest chunk the splitter will emit (except the final tail).
+pub const MIN_CHUNK: usize = 2 * 1024;
+/// Largest chunk the splitter will emit; a boundary is forced here.
+pub const MAX_CHUNK: usize = 64 * 1024;
+/// Boundary mask over the high bits of the Gear state: 13 bits set
+/// gives an expected chunk size of `MIN_CHUNK + 8 KiB`.
+const BOUNDARY_MASK: u64 = 0x1FFF_0000_0000_0000;
+
+/// The 256-entry Gear table, derived deterministically from a fixed
+/// SplitMix64 seed so chunk boundaries are stable across builds.
+fn gear_table() -> [u64; 256] {
+    let mut state = 0x5A52_4643_4443_5F31u64;
+    let mut table = [0u64; 256];
+    for slot in table.iter_mut() {
+        *slot = splitmix64(&mut state);
+    }
+    table
+}
+
+/// Split `bytes` into content-defined chunk ranges covering the whole
+/// input in order. Empty input yields no chunks.
+pub fn split(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let table = gear_table();
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut hash = 0u64;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        hash = (hash << 1).wrapping_add(table[bytes[i] as usize]);
+        i += 1;
+        let len = i - start;
+        if (len >= MIN_CHUNK && hash & BOUNDARY_MASK == 0) || len >= MAX_CHUNK {
+            chunks.push(start..i);
+            start = i;
+            hash = 0;
+        }
+    }
+    if start < bytes.len() {
+        chunks.push(start..bytes.len());
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deterministic_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len).map(|_| splitmix64(&mut state) as u8).collect()
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly_in_order() {
+        for len in [0, 1, MIN_CHUNK - 1, MIN_CHUNK, 100_000, 300_000] {
+            let data = deterministic_bytes(len, 7);
+            let chunks = split(&data);
+            let mut pos = 0;
+            for c in &chunks {
+                assert_eq!(c.start, pos, "gap or overlap at {pos}");
+                assert!(c.end > c.start);
+                assert!(c.end - c.start <= MAX_CHUNK);
+                pos = c.end;
+            }
+            assert_eq!(pos, len, "chunks must cover the whole input");
+            if len == 0 {
+                assert!(chunks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_is_deterministic() {
+        let data = deterministic_bytes(200_000, 42);
+        assert_eq!(split(&data), split(&data));
+    }
+
+    #[test]
+    fn large_random_input_produces_multiple_bounded_chunks() {
+        let data = deterministic_bytes(256 * 1024, 3);
+        let chunks = split(&data);
+        assert!(
+            chunks.len() > 4,
+            "expected several chunks, got {}",
+            chunks.len()
+        );
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.end - c.start >= MIN_CHUNK);
+        }
+    }
+
+    #[test]
+    fn edit_early_in_input_preserves_later_chunks() {
+        // The whole point of content-defined chunking: a prefix edit
+        // must not re-chunk the entire remainder.
+        let a = deterministic_bytes(256 * 1024, 11);
+        let mut b = a.clone();
+        b.splice(100..100, [0xEE; 37]); // insert 37 bytes near the front
+        let ha: std::collections::HashSet<_> = split(&a)
+            .into_iter()
+            .map(|r| crate::hash::content_hash(&a[r]))
+            .collect();
+        let shared = split(&b)
+            .into_iter()
+            .filter(|r| ha.contains(&crate::hash::content_hash(&b[r.clone()])))
+            .count();
+        assert!(
+            shared >= ha.len() / 2,
+            "only {shared} of {} chunks realigned",
+            ha.len()
+        );
+    }
+}

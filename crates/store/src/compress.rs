@@ -1,0 +1,200 @@
+//! The middle residency tier's codec: a small, dependency-free LZ.
+//!
+//! Evicted chunks are held compressed in memory before they fall back
+//! to disk, so the codec optimises for ZSNP payloads — long zero runs
+//! in sparse heaps and repeated section structure — while staying
+//! honest on incompressible data via a raw escape.
+//!
+//! Stream format (`decompress` rejects anything else with a typed
+//! reason):
+//!
+//! ```text
+//! tag 0x00 | raw bytes...                      -- stored verbatim
+//! tag 0x01 | tokens...                         -- LZ stream
+//!   token ctrl < 0x80: literal run of ctrl+1 bytes follows
+//!   token ctrl >= 0x80: match of (ctrl & 0x7F) + 4 bytes at
+//!                       distance u16-LE (1..=65535) back in output
+//! ```
+//!
+//! `compress` always returns the smaller of the raw and LZ encodings,
+//! so `compress(x).len() <= x.len() + 1` and round-tripping is total.
+
+/// Shortest back-reference worth encoding (break-even is 3 bytes).
+const MIN_MATCH: usize = 4;
+/// Longest back-reference one control byte can express.
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+/// Largest distance a u16 can express; also the effective window.
+const MAX_DISTANCE: usize = u16::MAX as usize;
+/// Longest literal run one control byte can express.
+const MAX_LITERAL: usize = 0x80;
+
+const TAG_RAW: u8 = 0;
+const TAG_LZ: u8 = 1;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & 0x7FFF
+}
+
+fn flush_literals(out: &mut Vec<u8>, pending: &[u8]) {
+    for run in pending.chunks(MAX_LITERAL) {
+        out.push((run.len() - 1) as u8);
+        out.extend_from_slice(run);
+    }
+}
+
+/// Compress `input`; never grows the data by more than the 1-byte tag.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(TAG_LZ);
+    // Single-probe hash table of candidate positions for each 4-byte
+    // prefix. One slot is enough: snapshots are dominated by runs, and
+    // a missed match only costs ratio, never correctness.
+    let mut table = [u32::MAX; 1 << 15];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let cand = table[h] as usize;
+        table[h] = i as u32;
+        let dist = i.wrapping_sub(cand);
+        if cand != u32::MAX as usize && (1..=MAX_DISTANCE).contains(&dist) {
+            let limit = (input.len() - i).min(MAX_MATCH);
+            let mut len = 0;
+            while len < limit && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH {
+                flush_literals(&mut out, &input[lit_start..i]);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                out.extend_from_slice(&(dist as u16).to_le_bytes());
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flush_literals(&mut out, &input[lit_start..]);
+    if out.len() > input.len() {
+        let mut raw = Vec::with_capacity(input.len() + 1);
+        raw.push(TAG_RAW);
+        raw.extend_from_slice(input);
+        return raw;
+    }
+    out
+}
+
+/// Decompress a stream produced by [`compress`]. Every structural
+/// violation is a typed reason, never a panic or a wrong answer.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, &'static str> {
+    let (&tag, body) = match stream.split_first() {
+        Some(x) => x,
+        None => return Err("empty stream"),
+    };
+    match tag {
+        TAG_RAW => Ok(body.to_vec()),
+        TAG_LZ => {
+            let mut out = Vec::with_capacity(body.len() * 2);
+            let mut i = 0usize;
+            while i < body.len() {
+                let ctrl = body[i];
+                i += 1;
+                if ctrl < 0x80 {
+                    let len = ctrl as usize + 1;
+                    let run = body.get(i..i + len).ok_or("truncated literal run")?;
+                    out.extend_from_slice(run);
+                    i += len;
+                } else {
+                    let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+                    let d = body.get(i..i + 2).ok_or("truncated match distance")?;
+                    let dist = u16::from_le_bytes([d[0], d[1]]) as usize;
+                    i += 2;
+                    if dist == 0 || dist > out.len() {
+                        return Err("match distance out of range");
+                    }
+                    let from = out.len() - dist;
+                    // Byte-at-a-time: overlapping matches (dist < len)
+                    // are legal and encode repetition.
+                    for k in 0..len {
+                        let b = out[from + k];
+                        out.push(b);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        _ => Err("unknown stream tag"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::splitmix64;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert!(
+            c.len() <= data.len() + 1,
+            "grew {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).as_deref(), Ok(data), "len {}", data.len());
+    }
+
+    #[test]
+    fn round_trips_structured_and_hostile_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(&[0u8; 100_000]);
+        roundtrip(&b"abcd".repeat(10_000));
+        let mut state = 99u64;
+        let random: Vec<u8> = (0..70_000).map(|_| splitmix64(&mut state) as u8).collect();
+        roundtrip(&random);
+        // Zero-heavy with sparse structure, like a mostly-empty heap.
+        let mut sparse = vec![0u8; 50_000];
+        for i in (0..sparse.len()).step_by(1013) {
+            sparse[i] = (i % 251) as u8;
+        }
+        roundtrip(&sparse);
+    }
+
+    #[test]
+    fn compresses_runs_substantially() {
+        let c = compress(&[0u8; 64 * 1024]);
+        assert!(
+            c.len() < 4 * 1024,
+            "zero run compressed to {} bytes",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn decompress_rejects_malformed_streams_with_typed_reasons() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[9, 1, 2]).is_err());
+        // Literal run promising more bytes than remain.
+        assert!(decompress(&[TAG_LZ, 0x05, b'a']).is_err());
+        // Match with no history.
+        assert!(decompress(&[TAG_LZ, 0x80, 1, 0]).is_err());
+        // Match distance zero.
+        assert!(decompress(&[TAG_LZ, 0x00, b'x', 0x80, 0, 0]).is_err());
+        // Truncated distance.
+        assert!(decompress(&[TAG_LZ, 0x00, b'x', 0x80, 1]).is_err());
+    }
+
+    #[test]
+    fn decompress_never_panics_on_mutated_streams() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(64);
+        let c = compress(&data);
+        for i in 0..c.len() {
+            for bit in 0..8 {
+                let mut m = c.clone();
+                m[i] ^= 1 << bit;
+                let _ = decompress(&m); // must return, Ok or Err
+            }
+        }
+    }
+}

@@ -36,10 +36,17 @@
 //!                                 restore a snapshot and print its root
 //! zarf snapshot audit <file.zsnp> print a one-line JSON audit verdict
 //!                                 (exit code 1 when the snapshot is bad)
-//! zarf serve [--listen ADDR] [--workers N]
+//! zarf serve [--listen ADDR] [--workers N] [--data-dir DIR] [--no-fsync]
 //!                                 run a fleet and serve the ZFLT wire
 //!                                 protocol over TCP until a client sends
-//!                                 Shutdown
+//!                                 Shutdown; with --data-dir every slice
+//!                                 commit is persisted in a durable chunk
+//!                                 store and a restart recovers every
+//!                                 committed session
+//! zarf store <fsck|gc> <DIR> [--json]
+//!                                 verify (fsck, read-only) or compact
+//!                                 (gc) a fleet data directory; fsck
+//!                                 exits nonzero on any damage
 //! zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]
 //!                                 drive an in-process fleet with N
 //!                                 counter sessions × M ops each and
@@ -72,7 +79,8 @@ fn usage_text() -> &'static str {
     "usage: zarf <asm|run|dis|hex|wcet|lint|check|stats|trace|profile|vet> <file> [options]\n\
      \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
      \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
-     \x20      zarf serve [--listen ADDR] [--workers N]\n\
+     \x20      zarf serve [--listen ADDR] [--workers N] [--data-dir DIR] [--no-fsync]\n\
+     \x20      zarf store <fsck|gc> <DIR> [--json]\n\
      \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
      \x20      zarf loadgen --connect ADDR --conns N [--ops M] [--drivers D] [--batch B]\n\
      \x20                   [--steps a,b,…] [--out FILE] [--shutdown]\n\
@@ -564,15 +572,34 @@ fn run_snapshot(rest: &[String]) -> ExitCode {
 }
 
 /// `zarf serve`: run a fleet and answer `ZFLT` requests over TCP until a
-/// client sends `Shutdown`.
+/// client sends `Shutdown`. With `--data-dir DIR` every slice commit is
+/// written through a durable content-addressed chunk store, and a
+/// restarted server recovers every committed session from disk.
 fn run_serve(rest: &[String]) -> ExitCode {
     use zarf::fleet::{serve, Fleet, FleetConfig};
+    use zarf::store::{Store, StoreConfig};
 
     let result = (|| -> Result<(), String> {
         let addr = flag_value(rest, "--listen").unwrap_or_else(|| "127.0.0.1:7070".into());
         let workers: usize = match flag_value(rest, "--workers") {
             Some(v) => v.parse().map_err(|_| format!("bad --workers `{v}`"))?,
             None => 4,
+        };
+        let store = match flag_value(rest, "--data-dir") {
+            Some(dir) => {
+                let cfg = StoreConfig {
+                    fsync: !rest.iter().any(|a| a == "--no-fsync"),
+                    ..StoreConfig::default()
+                };
+                let store = Store::open(std::path::Path::new(&dir), cfg)
+                    .map_err(|e| format!("open store {dir}: {e}"))?;
+                let recovered = store.sessions().len();
+                if recovered > 0 {
+                    eprintln!("zarf-fleet: recovered {recovered} committed session(s) from {dir}");
+                }
+                Some(std::sync::Arc::new(store))
+            }
+            None => None,
         };
         let listener =
             std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -582,6 +609,7 @@ fn run_serve(rest: &[String]) -> ExitCode {
             .to_string();
         let fleet = Fleet::start(FleetConfig {
             workers,
+            store,
             ..FleetConfig::default()
         })
         .map_err(|e| e.to_string())?;
@@ -602,6 +630,85 @@ fn run_serve(rest: &[String]) -> ExitCode {
             eprintln!("zarf: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `zarf store fsck|gc <DIR>`: offline maintenance of a fleet data dir.
+/// `fsck` is a read-only sweep that verifies every chunk record, the
+/// manifest, and the journal, and cross-checks each committed session's
+/// chunk references; `gc` rewrites live chunks into a fresh segment and
+/// drops everything unreferenced.
+fn run_store(rest: &[String]) -> ExitCode {
+    use zarf::store::{fsck, gc};
+
+    let json = rest.iter().any(|a| a == "--json");
+    let (verb, dir) = match (rest.first(), rest.get(1)) {
+        (Some(v), Some(d)) if v == "fsck" || v == "gc" => (v.as_str(), std::path::Path::new(d)),
+        _ => {
+            eprintln!("usage: zarf store <fsck|gc> <DIR> [--json]");
+            return ExitCode::from(2);
+        }
+    };
+    match verb {
+        "fsck" => match fsck(dir) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!(
+                        "zarf-store: {} session(s), {} record(s) in {} segment(s); \
+                         {} torn tail(s), {} damaged segment(s), {} bad session(s), \
+                         {} unreferenced chunk(s) ({} bytes)",
+                        report.sessions,
+                        report.records,
+                        report.segments,
+                        report.torn_segments,
+                        report.damaged_segments.len(),
+                        report.bad_sessions.len(),
+                        report.unreferenced_chunks,
+                        report.unreferenced_bytes
+                    );
+                    for (seg, offset, reason) in &report.damaged_segments {
+                        println!("  damaged segment {seg} at offset {offset}: {reason}");
+                    }
+                    for (id, reason) in &report.bad_sessions {
+                        println!("  bad session {id}: {reason}");
+                    }
+                }
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("zarf: fsck: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => match gc(dir) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!(
+                        "zarf-store: kept {} live chunk(s) ({} bytes), dropped {} \
+                         ({} bytes reclaimed), {} segment(s) -> {}",
+                        report.live_chunks,
+                        report.live_bytes,
+                        report.dropped_chunks,
+                        report.reclaimed_bytes,
+                        report.segments_before,
+                        report.segments_after
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("zarf: gc: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }
 
@@ -891,6 +998,10 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         return run_loadgen(&args[1..]);
+    }
+    // `store` operates on a fleet data directory.
+    if args.first().map(String::as_str) == Some("store") {
+        return run_store(&args[1..]);
     }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),

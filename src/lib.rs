@@ -22,6 +22,7 @@
 //! | [`kernel`] | `zarf-kernel` | the cooperative-coroutine microkernel, system devices, monitor program, the unverified imperative baseline, and full-system integration |
 //! | [`verify`] | `zarf-verify` | the binary analyses: integrity type system (non-interference), WCET, GC bounds, system timing |
 //! | [`fleet`] | `zarf-fleet` | multi-session execution server: fuel-sliced scheduling, snapshot-backed eviction, `ZFLT` wire protocol |
+//! | [`store`] | `zarf-store` | crash-consistent content-addressed chunk store: dedup snapshot persistence, journaled manifest, tiered residency, `fsck`/`gc` |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use zarf_hw as hw;
 pub use zarf_icd as icd;
 pub use zarf_imperative as imperative;
 pub use zarf_kernel as kernel;
+pub use zarf_store as store;
 pub use zarf_trace as trace;
 pub use zarf_verify as verify;
 

@@ -105,6 +105,7 @@ fn fleet_is_byte_identical_to_standalone_under_forced_eviction() {
             resident_per_worker: Some(0),
             session: cfg.clone(),
             chaos: None,
+            store: None,
         })
         .unwrap();
         let handle = fleet.handle();
@@ -251,6 +252,7 @@ fn chaos_killed_sessions_recover_byte_identically() {
             resident_per_worker: Some(1),
             session: cfg.clone(),
             chaos: Some(plan),
+            store: None,
         })
         .unwrap();
         let handle = fleet.handle();
@@ -322,6 +324,7 @@ fn kernel_session_runs_through_the_fleet() {
             ..cfg
         },
         chaos: None,
+        store: None,
     })
     .unwrap();
     let handle = fleet.handle();

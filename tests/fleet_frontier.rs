@@ -230,6 +230,7 @@ fn run_chaotic_frontier(frontier: FaultPlan, scheduler: Option<FaultPlan>) -> u6
         let opts = ServeOptions {
             chaos: Some(frontier),
             stop: Some(Arc::clone(&stop)),
+            ..ServeOptions::default()
         };
         std::thread::spawn(move || serve_with(listener, handle, opts))
     };
@@ -338,4 +339,76 @@ fn seeded_frontier_chaos_soak_stays_byte_identical() {
         let scheduler = FaultPlan::seeded_fleet(seed ^ 0xF1EE7, 24, 4);
         let _reconnects = run_chaotic_frontier(frontier, Some(scheduler));
     }
+}
+
+/// Satellite regression: a frame declaring a payload past the server's
+/// per-connection cap ([`ServeOptions::max_frame`]) must get a typed
+/// `Error` response and a clean close — no unbounded buffering, no
+/// reset — and the server must keep serving other clients afterwards.
+#[test]
+fn oversize_frame_gets_typed_error_and_clean_close() {
+    use std::io::{Read, Write};
+
+    let words = zarf::asm::assemble(TALLY_SRC).unwrap();
+    let fleet = Fleet::start(FleetConfig {
+        workers: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let handle = fleet.handle();
+        let opts = ServeOptions {
+            max_frame: Some(4096),
+            stop: Some(Arc::clone(&stop)),
+            ..ServeOptions::default()
+        };
+        std::thread::spawn(move || serve_with(listener, handle, opts))
+    };
+
+    // A well-formed ZFLT header declaring a 1 MiB payload: the server
+    // must reject it from the 9 header bytes alone.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let mut hdr = Vec::from(&b"ZFLT"[..]);
+    hdr.push(1); // protocol version
+    hdr.extend_from_slice(&(1u32 << 20).to_le_bytes());
+    raw.write_all(&hdr).unwrap();
+    match Response::decode(&zarf::fleet::read_frame(&mut raw).unwrap()).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, 6, "oversize rejection should be ERR_INTERNAL");
+            assert!(
+                message.contains("4096"),
+                "error should name the cap: {message}"
+            );
+        }
+        other => panic!("expected an Error response, got {other:?}"),
+    }
+    // Clean close: an orderly FIN after the error flushes, not a reset.
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no bytes expected after the error frame");
+
+    // The frontier survives the hostile client: an in-bound request on a
+    // fresh connection still round-trips.
+    let mut client = Client::connect(addr).unwrap();
+    let session = match client
+        .call(&Request::LoadProgram {
+            config: SessionConfig::default(),
+            program: words,
+        })
+        .unwrap()
+    {
+        Response::Opened { session } => session,
+        other => panic!("unexpected response {other:?}"),
+    };
+    match client.call(&Request::Close { session }).unwrap() {
+        Response::Closed { session: sid } => assert_eq!(sid, session),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    server.join().unwrap().unwrap();
+    fleet.shutdown();
 }
