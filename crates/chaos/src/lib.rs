@@ -56,6 +56,12 @@ pub enum FaultSite {
     /// store itself (like fleet plans, store plans need no shared
     /// [`ChaosHandle`]).
     Store,
+    /// One frame sent on a `ZREP` replication or migration link
+    /// (`zarf-fleet`'s replicator pump and `zarf migrate`). The `op`
+    /// coordinate is the sender's own monotone frame counter, consulted
+    /// by the replication pump itself (like fleet and store plans, repl
+    /// plans need no shared [`ChaosHandle`]).
+    Repl,
 }
 
 impl FaultSite {
@@ -69,6 +75,7 @@ impl FaultSite {
             FaultSite::Snapshot => "snapshot",
             FaultSite::Fleet => "fleet",
             FaultSite::Store => "store",
+            FaultSite::Repl => "repl",
         }
     }
 
@@ -81,12 +88,13 @@ impl FaultSite {
             FaultSite::Snapshot => 4,
             FaultSite::Fleet => 5,
             FaultSite::Store => 6,
+            FaultSite::Repl => 7,
         }
     }
 }
 
 /// Number of distinct [`FaultSite`]s (sizes the per-site counters).
-const SITE_COUNT: usize = 7;
+const SITE_COUNT: usize = 8;
 
 /// The fault to inject when an operation's coordinate matches the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +179,25 @@ pub enum FaultKind {
     /// error; the store goes stalled and the fleet must shed load with
     /// a typed overload error rather than accept undurable commits.
     FsyncFail,
+    /// The replication link drops instead of sending its `op`-th frame:
+    /// the socket closes mid-stream and the sender must reconnect with
+    /// bounded backoff and resume from the last acknowledged commit.
+    LinkDrop,
+    /// The sender stalls before its `op`-th frame — a slow or wedged
+    /// link. Ack lag grows; once it crosses the bound the primary must
+    /// shed load with a typed overload error, never buffer unboundedly.
+    ReplStall,
+    /// The sender's `op`-th frame is held back and sent *after* the
+    /// following frame — out-of-order delivery. The receiver's
+    /// idempotent apply discipline must converge to the same manifest.
+    Reorder,
+    /// Only the first half of the `op`-th frame is written before the
+    /// link drops — a truncated stream. The receiver must reject the
+    /// partial frame (CRC/length guard) and resync on reconnect.
+    TruncatedStream,
+    /// The `op`-th frame is delivered twice. Content-addressed chunk
+    /// writes and idempotent commit apply must make the dup a no-op.
+    DupDeliver,
 }
 
 impl FaultKind {
@@ -196,6 +223,11 @@ impl FaultKind {
             | FaultKind::BitRot { .. }
             | FaultKind::MissingChunk
             | FaultKind::FsyncFail => FaultSite::Store,
+            FaultKind::LinkDrop
+            | FaultKind::ReplStall
+            | FaultKind::Reorder
+            | FaultKind::TruncatedStream
+            | FaultKind::DupDeliver => FaultSite::Repl,
         }
     }
 
@@ -221,6 +253,11 @@ impl FaultKind {
             FaultKind::BitRot { .. } => "bit_rot",
             FaultKind::MissingChunk => "missing_chunk",
             FaultKind::FsyncFail => "fsync_fail",
+            FaultKind::LinkDrop => "link_drop",
+            FaultKind::ReplStall => "repl_stall",
+            FaultKind::Reorder => "reorder",
+            FaultKind::TruncatedStream => "truncated_stream",
+            FaultKind::DupDeliver => "dup_deliver",
         }
     }
 
@@ -306,6 +343,9 @@ impl PlanShape {
             // Store faults are scheduled per I/O event by
             // `FaultPlan::seeded_store`, not by the system-run generator.
             FaultSite::Store => 0,
+            // Repl faults are scheduled per sent frame by
+            // `FaultPlan::seeded_repl`, not by the system-run generator.
+            FaultSite::Repl => 0,
         }
     }
 }
@@ -455,6 +495,36 @@ impl FaultPlan {
         self.schedule(op, FaultKind::FsyncFail)
     }
 
+    /// Drop the replication link instead of sending its `op`-th frame
+    /// (`zarf-fleet` replicator; repl frame coordinate space).
+    pub fn link_drop_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::LinkDrop)
+    }
+
+    /// Stall the sender before its `op`-th replication frame
+    /// (`zarf-fleet` replicator; repl frame coordinate space).
+    pub fn repl_stall_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::ReplStall)
+    }
+
+    /// Deliver the `op`-th replication frame after its successor
+    /// (`zarf-fleet` replicator; repl frame coordinate space).
+    pub fn reorder_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::Reorder)
+    }
+
+    /// Write half of the `op`-th replication frame, then drop the link
+    /// (`zarf-fleet` replicator; repl frame coordinate space).
+    pub fn truncated_stream_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::TruncatedStream)
+    }
+
+    /// Deliver the `op`-th replication frame twice
+    /// (`zarf-fleet` replicator; repl frame coordinate space).
+    pub fn dup_deliver_at(self, op: u64) -> Self {
+        self.schedule(op, FaultKind::DupDeliver)
+    }
+
     /// Look up the fault scheduled at an exact `(site, op)` coordinate
     /// without any counter state. The fleet consults plans this way — its
     /// coordinate (the session's own slice index) is tracked by the
@@ -542,6 +612,34 @@ impl FaultPlan {
         plan
     }
 
+    /// Derive a replication-link plan of (up to) `n` faults from `seed`,
+    /// placed uniformly over a horizon of `events` sent frames. Link
+    /// drops, stalls, reorders, truncated streams, and duplicate
+    /// deliveries are drawn evenly.
+    ///
+    /// Repl plans use the sender's own frame counter as their coordinate
+    /// space; keep them in a separate [`FaultPlan`] from scheduler,
+    /// frontier, and store plans.
+    ///
+    /// Fully deterministic, same contract as [`FaultPlan::seeded`].
+    pub fn seeded_repl(seed: u64, events: u64, n: usize) -> Self {
+        let mut rng = SplitMix64(seed ^ 0x5851_F42D_4C95_7F2D);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let op = rng.below(events.max(1));
+            let kind = match rng.below(5) {
+                0 => FaultKind::LinkDrop,
+                1 => FaultKind::ReplStall,
+                2 => FaultKind::Reorder,
+                3 => FaultKind::TruncatedStream,
+                _ => FaultKind::DupDeliver,
+            };
+            plan = plan.schedule(op, kind);
+        }
+        plan.seed = Some(seed);
+        plan
+    }
+
     /// Derive a plan of (up to) `n` faults from `seed`, placed uniformly
     /// over the operation horizons in `shape`.
     ///
@@ -597,11 +695,12 @@ impl FaultPlan {
                     bit: rng.below(8) as u8,
                 },
                 // Not in `sites` (frozen — see above); fleet plans come from
-                // `seeded_fleet` and store plans from `seeded_store`. Kept
-                // total so the compiler flags any new site added without a
-                // generator arm.
+                // `seeded_fleet`, store plans from `seeded_store`, and repl
+                // plans from `seeded_repl`. Kept total so the compiler flags
+                // any new site added without a generator arm.
                 FaultSite::Fleet => FaultKind::SessionKill,
                 FaultSite::Store => FaultKind::TornWrite,
+                FaultSite::Repl => FaultKind::LinkDrop,
             };
             plan = plan.schedule(op, kind);
         }
@@ -812,6 +911,9 @@ mod tests {
             for (site, _, _) in FaultPlan::seeded_store(seed, 64, 4).iter() {
                 seen[site.index()] = true;
             }
+            for (site, _, _) in FaultPlan::seeded_repl(seed, 64, 4).iter() {
+                seen[site.index()] = true;
+            }
         }
         assert_eq!(
             seen, [true; SITE_COUNT],
@@ -932,6 +1034,59 @@ mod tests {
     }
 
     #[test]
+    fn seeded_repl_is_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_repl(7, 128, 6);
+        let b = FaultPlan::seeded_repl(7, 128, 6);
+        let c = FaultPlan::seeded_repl(8, 128, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), Some(7));
+        assert!(!a.is_empty());
+        assert!(a.len() <= 6);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            for (site, op, kind) in FaultPlan::seeded_repl(seed, 128, 6).iter() {
+                assert_eq!(site, FaultSite::Repl);
+                assert!(op < 128, "frame {op} beyond horizon");
+                kinds.insert(kind.name());
+            }
+        }
+        for expected in [
+            "link_drop",
+            "repl_stall",
+            "reorder",
+            "truncated_stream",
+            "dup_deliver",
+        ] {
+            assert!(kinds.contains(expected), "never drew {expected}");
+        }
+    }
+
+    #[test]
+    fn repl_builders_and_point_query() {
+        let plan = FaultPlan::new()
+            .link_drop_at(0)
+            .repl_stall_at(2)
+            .reorder_at(3)
+            .truncated_stream_at(5)
+            .dup_deliver_at(8);
+        assert_eq!(plan.at(FaultSite::Repl, 0), Some(FaultKind::LinkDrop));
+        assert_eq!(plan.at(FaultSite::Repl, 2), Some(FaultKind::ReplStall));
+        assert_eq!(plan.at(FaultSite::Repl, 3), Some(FaultKind::Reorder));
+        assert_eq!(
+            plan.at(FaultSite::Repl, 5),
+            Some(FaultKind::TruncatedStream)
+        );
+        assert_eq!(plan.at(FaultSite::Repl, 8), Some(FaultKind::DupDeliver));
+        assert_eq!(plan.at(FaultSite::Repl, 1), None);
+        assert_eq!(plan.at(FaultSite::Store, 0), None);
+        assert_eq!(FaultKind::LinkDrop.site(), FaultSite::Repl);
+        assert_eq!(FaultKind::DupDeliver.detail(), 0);
+        assert_eq!(FaultKind::TruncatedStream.to_string(), "truncated_stream");
+        assert_eq!(FaultSite::Repl.name(), "repl");
+    }
+
+    #[test]
     fn kind_metadata_is_consistent() {
         let kinds = [
             FaultKind::AllocFail,
@@ -949,6 +1104,11 @@ mod tests {
             FaultKind::BitRot { bit: 2 },
             FaultKind::MissingChunk,
             FaultKind::FsyncFail,
+            FaultKind::LinkDrop,
+            FaultKind::ReplStall,
+            FaultKind::Reorder,
+            FaultKind::TruncatedStream,
+            FaultKind::DupDeliver,
         ];
         for k in kinds {
             assert!(!k.name().is_empty());

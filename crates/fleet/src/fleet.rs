@@ -29,9 +29,10 @@ use zarf_core::{Int, Word};
 use zarf_hw::{verify_container, Hw, HwConfig, MachineSnapshot, Stats, DEFAULT_HEAP_WORDS};
 use zarf_store::{SessionMeta, Store};
 use zarf_trace::metrics::{Histogram, MetricsSink};
-use zarf_trace::SharedSink;
+use zarf_trace::{Event, SharedSink, TraceSink};
 
 use crate::op::{apply_op, hw_config, Op};
+use crate::repl::ReplSink;
 use crate::FleetError;
 
 /// The kernel's measured worst-case iteration cost (`zarf-kernel`
@@ -183,6 +184,11 @@ pub struct FleetConfig {
     /// through to it, eviction holds a store handle instead of resident
     /// bytes, and [`Fleet::start`] recovers every committed session.
     pub store: Option<Arc<Store>>,
+    /// Replication sink. When present (it requires `store`), every
+    /// committed slice is noted for the replication pump to ship to the
+    /// standby, and injects are shed with [`FleetError::Overloaded`]
+    /// while the standby's acknowledged lag exceeds the sink's cap.
+    pub repl: Option<Arc<ReplSink>>,
 }
 
 impl FleetConfig {
@@ -241,6 +247,9 @@ struct Slot {
     running: bool,
     /// The id is in (or headed for) a run queue.
     queued: bool,
+    /// Frozen for migration: queued ops still drain (the quiesce waits
+    /// for that), but new injects are rejected typed until released.
+    frozen: bool,
     closed: bool,
     poisoned: Option<String>,
     injected: Vec<InjectedFault>,
@@ -313,6 +322,9 @@ pub struct FleetStats {
     pub evictions: u64,
     /// Rehydrations from snapshot.
     pub rehydrations: u64,
+    /// Slice commits whose store write-through failed (the session fell
+    /// back to resident-only backing; recovery will miss that commit).
+    pub store_write_fails: u64,
     /// Per-op wall-clock latency distribution, in microseconds.
     pub latency_us: Histogram,
 }
@@ -331,6 +343,7 @@ impl FleetStats {
             ("kills".into(), self.kills),
             ("evictions".into(), self.evictions),
             ("rehydrations".into(), self.rehydrations),
+            ("store_write_fails".into(), self.store_write_fails),
             ("latency_ops".into(), self.latency_us.count()),
             ("latency_p50_us".into(), self.latency_us.quantile(0.5)),
             ("latency_p99_us".into(), self.latency_us.quantile(0.99)),
@@ -346,6 +359,7 @@ struct Counters {
     rehydrations: AtomicU64,
     sessions_opened: AtomicU64,
     sessions_closed: AtomicU64,
+    store_write_fails: AtomicU64,
 }
 
 impl Counters {
@@ -358,6 +372,7 @@ impl Counters {
             rehydrations: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
+            store_write_fails: AtomicU64::new(0),
         }
     }
 }
@@ -617,13 +632,17 @@ impl Worker {
                         s.commit_seq += 1;
                         // Durability: write the commit through the store.
                         // On failure the bytes stay resident in the slot —
-                        // no state is lost — and the stalled store sheds
-                        // new work at the inject boundary.
+                        // no state is lost — but the degradation is loud:
+                        // a trace event and a fleet-wide counter record
+                        // that recovery will miss this commit, and the
+                        // stalled store sheds new work at the inject
+                        // boundary.
+                        let commit_seq = s.commit_seq;
                         s.snapshot = match &self.shared.cfg.store {
                             Some(store) => {
                                 let meta = SessionMeta {
                                     id,
-                                    commit_seq: s.commit_seq,
+                                    commit_seq,
                                     ops_done: s.ops_done,
                                     heap_words: s.config.heap_words as u64,
                                     op_budget: s.config.op_budget,
@@ -631,10 +650,26 @@ impl Worker {
                                     verified: s.config.verified,
                                 };
                                 match store.put_session(&meta, &snapshot) {
-                                    Ok(()) => Backing::Stored {
-                                        len: snapshot.len(),
-                                    },
-                                    Err(_) => Backing::Resident(snapshot),
+                                    Ok(()) => {
+                                        if let Some(repl) = &self.shared.cfg.repl {
+                                            repl.note_commit(id, commit_seq);
+                                        }
+                                        Backing::Stored {
+                                            len: snapshot.len(),
+                                        }
+                                    }
+                                    Err(e) => {
+                                        s.metrics.event(&Event::StoreWriteFail {
+                                            session: id,
+                                            commit_seq,
+                                            error: e.kind(),
+                                        });
+                                        self.shared
+                                            .counters
+                                            .store_write_fails
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        Backing::Resident(snapshot)
+                                    }
                                 }
                             }
                             None => Backing::Resident(snapshot),
@@ -865,6 +900,11 @@ impl FleetHandle {
                     verified: config.verified,
                 };
                 store.put_session(&meta, &snapshot)?;
+                // The initial state must reach the standby too, or a
+                // freshly opened session would be invisible to failover.
+                if let Some(repl) = &self.shared.cfg.repl {
+                    repl.note_commit(id, 0);
+                }
                 Backing::Stored {
                     len: snapshot.len(),
                 }
@@ -886,6 +926,7 @@ impl FleetHandle {
             rehydrations: 0,
             running: false,
             queued: false,
+            frozen: false,
             closed: false,
             poisoned: None,
             injected: Vec::new(),
@@ -912,6 +953,11 @@ impl FleetHandle {
                 return Err(FleetError::Overloaded(detail));
             }
         }
+        if let Some(repl) = &self.shared.cfg.repl {
+            if let Some(detail) = repl.overloaded() {
+                return Err(FleetError::Overloaded(detail));
+            }
+        }
         let slot = self.shared.slot(id)?;
         let enqueue = {
             let mut s = lock(&slot);
@@ -920,6 +966,9 @@ impl FleetHandle {
             }
             if s.closed {
                 return Err(FleetError::UnknownSession(id));
+            }
+            if s.frozen {
+                return Err(FleetError::SessionFrozen(id));
             }
             if let Some(cert) = &s.cert {
                 check_op(cert, &op)?;
@@ -952,6 +1001,11 @@ impl FleetHandle {
                 return Err(FleetError::Overloaded(detail));
             }
         }
+        if let Some(repl) = &self.shared.cfg.repl {
+            if let Some(detail) = repl.overloaded() {
+                return Err(FleetError::Overloaded(detail));
+            }
+        }
         let slot = self.shared.slot(id)?;
         let (enqueue, pending) = {
             let mut s = lock(&slot);
@@ -960,6 +1014,9 @@ impl FleetHandle {
             }
             if s.closed {
                 return Err(FleetError::UnknownSession(id));
+            }
+            if s.frozen {
+                return Err(FleetError::SessionFrozen(id));
             }
             if let Some(cert) = &s.cert {
                 for op in &ops {
@@ -1105,7 +1162,61 @@ impl FleetHandle {
             // its chunks) for `zarf store gc` to collect later.
             let _ = store.remove_session(id);
         }
+        if let Some(repl) = &self.shared.cfg.repl {
+            repl.note_close(id);
+        }
         Ok(())
+    }
+
+    /// Freeze a session for migration: new injects are rejected with
+    /// [`FleetError::SessionFrozen`] while queued ops drain, and the
+    /// call returns the commit sequence the session quiesced at. On any
+    /// failure (timeout, poison) the session is unfrozen before the
+    /// error surfaces, so a failed quiesce never wedges a session.
+    pub fn quiesce(&self, id: u64, timeout: Duration) -> Result<u64, FleetError> {
+        {
+            let slot = self.shared.slot(id)?;
+            let mut s = lock(&slot);
+            if let Some(msg) = &s.poisoned {
+                return Err(FleetError::SessionPoisoned(msg.clone()));
+            }
+            if s.closed {
+                return Err(FleetError::UnknownSession(id));
+            }
+            s.frozen = true;
+        }
+        match self.wait_idle(id, timeout) {
+            Ok(()) => {
+                let slot = self.shared.slot(id)?;
+                let s = lock(&slot);
+                Ok(s.commit_seq)
+            }
+            Err(e) => {
+                if let Ok(slot) = self.shared.slot(id) {
+                    lock(&slot).frozen = false;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// End a migration on a frozen session: `resume` thaws it (the
+    /// source stays authoritative), `!resume` closes it (the
+    /// destination acknowledged the cutover and now owns the session).
+    pub fn release(&self, id: u64, resume: bool) -> Result<(), FleetError> {
+        if resume {
+            let slot = self.shared.slot(id)?;
+            lock(&slot).frozen = false;
+            Ok(())
+        } else {
+            self.close(id)
+        }
+    }
+
+    /// The fleet's durable store, when it has one. Migration endpoints
+    /// serve manifest records and chunks straight from it.
+    pub fn store(&self) -> Option<Arc<Store>> {
+        self.shared.cfg.store.clone()
     }
 
     /// Fleet-wide statistics.
@@ -1121,6 +1232,7 @@ impl FleetHandle {
             kills: c.kills.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
             rehydrations: c.rehydrations.load(Ordering::Relaxed),
+            store_write_fails: c.store_write_fails.load(Ordering::Relaxed),
             latency_us: lock(&self.shared.latency_us).clone(),
         }
     }
@@ -1195,6 +1307,7 @@ impl Fleet {
                         rehydrations: 0,
                         running: false,
                         queued: false,
+                        frozen: false,
                         closed: false,
                         poisoned: None,
                         injected: Vec::new(),

@@ -78,6 +78,7 @@ pub mod bench;
 pub mod fleet;
 pub mod op;
 pub mod poll;
+pub mod repl;
 pub mod server;
 pub mod wire;
 
@@ -86,6 +87,10 @@ pub use fleet::{
     Fleet, FleetConfig, FleetHandle, FleetStats, PollResult, SessionConfig, SessionStats,
 };
 pub use op::{run_standalone, Op, PortFeed};
+pub use repl::{
+    migrate_session, serve_repl, spawn_replicator, MigrateReport, ReplReceiverStats, ReplSink,
+    ReplicatorConfig,
+};
 pub use server::{serve, serve_with, Client, ServeOptions};
 pub use wire::{read_frame, write_frame, FrameBuffer, Request, Response, RetryPolicy, WireError};
 
@@ -133,9 +138,13 @@ pub enum FleetError {
     /// typed error (corrupt chunk, missing chunk, stalled, …).
     Store(zarf_store::StoreError),
     /// The fleet is shedding new work because its durable store has
-    /// stalled (a failed or injected disk write); committed state is
-    /// still readable and existing outputs still drain.
+    /// stalled (a failed or injected disk write) or its replication
+    /// link is too far behind; committed state is still readable and
+    /// existing outputs still drain.
     Overloaded(String),
+    /// The session is frozen at a slice boundary for migration; new
+    /// ops are rejected until the migration releases or closes it.
+    SessionFrozen(u64),
 }
 
 impl fmt::Display for FleetError {
@@ -157,6 +166,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::Store(e) => write!(f, "store error: {e}"),
             FleetError::Overloaded(msg) => write!(f, "fleet overloaded: {msg}"),
+            FleetError::SessionFrozen(id) => {
+                write!(f, "session {id} is frozen for migration")
+            }
         }
     }
 }

@@ -46,10 +46,14 @@ use crate::fleet::FleetHandle;
 use crate::poll::{would_block, IdleBackoff, WriteBuf};
 use crate::wire::{
     read_frame, write_frame, FrameBuffer, Request, Response, RetryPolicy, WireError,
-    ERR_CERTIFICATION, ERR_INTERNAL, ERR_LOAD, ERR_OVERLOADED, ERR_POISONED, ERR_SHUTDOWN,
-    ERR_SNAPSHOT, ERR_UNKNOWN_SESSION, MAX_FRAME_PAYLOAD,
+    ERR_CERTIFICATION, ERR_FROZEN, ERR_INTERNAL, ERR_LOAD, ERR_OVERLOADED, ERR_POISONED,
+    ERR_SHUTDOWN, ERR_SNAPSHOT, ERR_UNKNOWN_SESSION, MAX_FRAME_PAYLOAD,
 };
 use crate::FleetError;
+
+/// How long a `Quiesce` request waits for the session's queued ops to
+/// drain before reporting a timeout (the session is unfrozen again).
+const QUIESCE_WAIT: Duration = Duration::from_secs(30);
 
 fn error_response(e: FleetError) -> Response {
     let code = match &e {
@@ -62,6 +66,7 @@ fn error_response(e: FleetError) -> Response {
         // Load shedding while the durable store is stalled: transient by
         // design, so it gets its own code a client can retry on.
         FleetError::Overloaded(_) => ERR_OVERLOADED,
+        FleetError::SessionFrozen(_) => ERR_FROZEN,
         _ => ERR_INTERNAL,
     };
     Response::Error {
@@ -135,6 +140,49 @@ pub fn dispatch(handle: &FleetHandle, req: &Request) -> Response {
             Request::Close { session } => handle
                 .close(*session)
                 .map(|()| Response::Closed { session: *session }),
+            Request::Quiesce { session } => {
+                handle
+                    .quiesce(*session, QUIESCE_WAIT)
+                    .map(|commit_seq| Response::Quiesced {
+                        session: *session,
+                        commit_seq,
+                    })
+            }
+            Request::SessionManifest { session } => handle
+                .store()
+                .ok_or_else(|| {
+                    FleetError::Snapshot("fleet has no durable store to migrate from".into())
+                })
+                .and_then(|store| {
+                    store
+                        .sessions()
+                        .into_iter()
+                        .find(|rec| rec.id == *session)
+                        .ok_or(FleetError::UnknownSession(*session))
+                })
+                .map(|rec| Response::ManifestData {
+                    session: *session,
+                    record: crate::repl::encode_record(&rec),
+                }),
+            Request::FetchChunk { id } => handle
+                .store()
+                .ok_or_else(|| {
+                    FleetError::Snapshot("fleet has no durable store to migrate from".into())
+                })
+                .and_then(|store| {
+                    store
+                        .get_chunk_bytes(zarf_store::ChunkId(*id))
+                        .map_err(FleetError::from)
+                })
+                .map(|bytes| Response::ChunkData { bytes }),
+            Request::Release { session, resume } => {
+                handle
+                    .release(*session, *resume)
+                    .map(|()| Response::Released {
+                        session: *session,
+                        resumed: *resume,
+                    })
+            }
             Request::Shutdown => Ok(Response::Bye),
         };
     outcome.unwrap_or_else(error_response)

@@ -56,9 +56,13 @@ pub const ERR_INTERNAL: u32 = 6;
 /// or an op fell outside a verified session's certificate.
 pub const ERR_CERTIFICATION: u32 = 7;
 /// Error code: the fleet is shedding work (its durable store has
-/// stalled). Transient by design — the client should back off and
-/// retry, or reconnect after the operator restarts the server.
+/// stalled or its replication link is too far behind). Transient by
+/// design — the client should back off and retry, or reconnect after
+/// the operator restarts the server.
 pub const ERR_OVERLOADED: u32 = 8;
+/// Error code: the session is frozen for migration — no new ops are
+/// admitted until the migration releases or closes it.
+pub const ERR_FROZEN: u32 = 9;
 
 /// Wire-protocol failures. Typed and total: malformed input from the
 /// network can never panic the server.
@@ -170,6 +174,33 @@ pub enum Request {
         /// The ops, queued in order.
         ops: Vec<Op>,
     },
+    /// Freeze a session at its next slice boundary for migration: new
+    /// ops are rejected with [`ERR_FROZEN`] and the reply carries the
+    /// commit sequence the session quiesced at.
+    Quiesce {
+        /// Target session.
+        session: u64,
+    },
+    /// Fetch a frozen session's durable manifest record (its chunk list
+    /// and commit metadata) so a migration can plan a chunk-sync.
+    SessionManifest {
+        /// Target session.
+        session: u64,
+    },
+    /// Fetch one content-addressed chunk from the server's store.
+    FetchChunk {
+        /// The chunk's content address.
+        id: [u8; 16],
+    },
+    /// End a migration: either resume the frozen session (`resume` —
+    /// the migration failed and the source stays authoritative) or
+    /// close it (`!resume` — the destination acknowledged the cutover).
+    Release {
+        /// Target session.
+        session: u64,
+        /// Resume instead of close.
+        resume: bool,
+    },
 }
 
 /// Server → client messages.
@@ -233,21 +264,51 @@ pub enum Response {
         /// Human-readable cause.
         message: String,
     },
+    /// The session is frozen at a slice boundary.
+    Quiesced {
+        /// The session.
+        session: u64,
+        /// The commit sequence it quiesced at.
+        commit_seq: u64,
+    },
+    /// A session's durable manifest record, encoded by the `ZREP`
+    /// record codec (opaque at this layer).
+    ManifestData {
+        /// The session.
+        session: u64,
+        /// The encoded record.
+        record: Vec<u8>,
+    },
+    /// One content-addressed chunk's bytes.
+    ChunkData {
+        /// The chunk payload.
+        bytes: Vec<u8>,
+    },
+    /// A migration ended; the session was resumed or closed.
+    Released {
+        /// The session.
+        session: u64,
+        /// True when the session resumed on the source.
+        resumed: bool,
+    },
 }
 
 // -- primitive readers/writers ----------------------------------------------
 
-struct Reader<'a> {
+/// Exact-consume cursor over a payload. Shared with the `ZREP`
+/// replication codec (`crate::repl`), which reuses the same primitive
+/// discipline on its own frames.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
         if end > self.buf.len() {
             return Err(WireError::Truncated);
@@ -257,29 +318,29 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn i32(&mut self) -> Result<i32, WireError> {
+    pub(crate) fn i32(&mut self) -> Result<i32, WireError> {
         Ok(self.u32()? as i32)
     }
 
     /// A u32 count that must be plausible for `elem_bytes`-sized elements
     /// in the remaining buffer (rejects hostile lengths before allocating).
-    fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+    pub(crate) fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
         let n = self.u32()? as usize;
         let need = n.checked_mul(elem_bytes).ok_or(WireError::Truncated)?;
         if need > self.buf.len().saturating_sub(self.pos) {
@@ -288,27 +349,27 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let n = self.count(1)?;
         Ok(self.take(n)?.to_vec())
     }
 
-    fn ints(&mut self) -> Result<Vec<Int>, WireError> {
+    pub(crate) fn ints(&mut self) -> Result<Vec<Int>, WireError> {
         let n = self.count(4)?;
         (0..n).map(|_| self.i32()).collect()
     }
 
-    fn words(&mut self) -> Result<Vec<Word>, WireError> {
+    pub(crate) fn words(&mut self) -> Result<Vec<Word>, WireError> {
         let n = self.count(4)?;
         (0..n).map(|_| self.u32()).collect()
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
         let b = self.bytes()?;
         String::from_utf8(b).map_err(|_| WireError::Malformed("invalid UTF-8"))
     }
 
-    fn finish(self) -> Result<(), WireError> {
+    pub(crate) fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -317,38 +378,38 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i32(out: &mut Vec<u8>, v: i32) {
+pub(crate) fn put_i32(out: &mut Vec<u8>, v: i32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u32(out, b.len() as u32);
     out.extend_from_slice(b);
 }
 
-fn put_ints(out: &mut Vec<u8>, xs: &[Int]) {
+pub(crate) fn put_ints(out: &mut Vec<u8>, xs: &[Int]) {
     put_u32(out, xs.len() as u32);
     for &x in xs {
         put_i32(out, x);
     }
 }
 
-fn put_words(out: &mut Vec<u8>, xs: &[Word]) {
+pub(crate) fn put_words(out: &mut Vec<u8>, xs: &[Word]) {
     put_u32(out, xs.len() as u32);
     for &x in xs {
         put_u32(out, x);
     }
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
 }
 
@@ -423,6 +484,10 @@ const OP_STATS: u8 = 6;
 const OP_CLOSE: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
 const OP_INJECT_BATCH: u8 = 9;
+const OP_QUIESCE: u8 = 10;
+const OP_SESSION_MANIFEST: u8 = 11;
+const OP_FETCH_CHUNK: u8 = 12;
+const OP_RELEASE: u8 = 13;
 
 const OP_OPENED: u8 = 16;
 const OP_ACCEPTED: u8 = 17;
@@ -433,6 +498,10 @@ const OP_CLOSED: u8 = 21;
 const OP_BYE: u8 = 22;
 const OP_ERROR: u8 = 23;
 const OP_ACCEPTED_BATCH: u8 = 24;
+const OP_QUIESCED: u8 = 25;
+const OP_MANIFEST_DATA: u8 = 26;
+const OP_CHUNK_DATA: u8 = 27;
+const OP_RELEASED: u8 = 28;
 
 impl Request {
     /// Serialize to a payload (opcode + body).
@@ -479,6 +548,23 @@ impl Request {
                     put_op(&mut out, op);
                 }
             }
+            Request::Quiesce { session } => {
+                out.push(OP_QUIESCE);
+                put_u64(&mut out, *session);
+            }
+            Request::SessionManifest { session } => {
+                out.push(OP_SESSION_MANIFEST);
+                put_u64(&mut out, *session);
+            }
+            Request::FetchChunk { id } => {
+                out.push(OP_FETCH_CHUNK);
+                out.extend_from_slice(id);
+            }
+            Request::Release { session, resume } => {
+                out.push(OP_RELEASE);
+                put_u64(&mut out, *session);
+                out.push(*resume as u8);
+            }
         }
         out
     }
@@ -514,6 +600,22 @@ impl Request {
                 }
                 Request::InjectBatch { session, ops }
             }
+            OP_QUIESCE => Request::Quiesce { session: r.u64()? },
+            OP_SESSION_MANIFEST => Request::SessionManifest { session: r.u64()? },
+            OP_FETCH_CHUNK => {
+                let b = r.take(16)?;
+                let mut id = [0u8; 16];
+                id.copy_from_slice(b);
+                Request::FetchChunk { id }
+            }
+            OP_RELEASE => Request::Release {
+                session: r.u64()?,
+                resume: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("resume flag")),
+                },
+            },
             op => return Err(WireError::UnknownOpcode(op)),
         };
         r.finish()?;
@@ -580,6 +682,28 @@ impl Response {
                 put_u32(&mut out, *code);
                 put_string(&mut out, message);
             }
+            Response::Quiesced {
+                session,
+                commit_seq,
+            } => {
+                out.push(OP_QUIESCED);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *commit_seq);
+            }
+            Response::ManifestData { session, record } => {
+                out.push(OP_MANIFEST_DATA);
+                put_u64(&mut out, *session);
+                put_bytes(&mut out, record);
+            }
+            Response::ChunkData { bytes } => {
+                out.push(OP_CHUNK_DATA);
+                put_bytes(&mut out, bytes);
+            }
+            Response::Released { session, resumed } => {
+                out.push(OP_RELEASED);
+                put_u64(&mut out, *session);
+                out.push(*resumed as u8);
+            }
         }
         out
     }
@@ -623,6 +747,23 @@ impl Response {
             OP_ERROR => Response::Error {
                 code: r.u32()?,
                 message: r.string()?,
+            },
+            OP_QUIESCED => Response::Quiesced {
+                session: r.u64()?,
+                commit_seq: r.u64()?,
+            },
+            OP_MANIFEST_DATA => Response::ManifestData {
+                session: r.u64()?,
+                record: r.bytes()?,
+            },
+            OP_CHUNK_DATA => Response::ChunkData { bytes: r.bytes()? },
+            OP_RELEASED => Response::Released {
+                session: r.u64()?,
+                resumed: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("resumed flag")),
+                },
             },
             op => return Err(WireError::UnknownOpcode(op)),
         };
@@ -1001,6 +1142,19 @@ mod tests {
                 session: 4,
                 ops: vec![],
             },
+            Request::Quiesce { session: 11 },
+            Request::SessionManifest { session: 11 },
+            Request::FetchChunk {
+                id: [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 255],
+            },
+            Request::Release {
+                session: 11,
+                resume: true,
+            },
+            Request::Release {
+                session: 12,
+                resume: false,
+            },
         ]
     }
 
@@ -1034,6 +1188,19 @@ mod tests {
             Response::Error {
                 code: ERR_POISONED,
                 message: "boom".into(),
+            },
+            Response::Quiesced {
+                session: 11,
+                commit_seq: 40,
+            },
+            Response::ManifestData {
+                session: 11,
+                record: vec![1, 2, 3, 4],
+            },
+            Response::ChunkData { bytes: vec![9; 33] },
+            Response::Released {
+                session: 11,
+                resumed: false,
             },
         ]
     }

@@ -104,6 +104,9 @@ pub struct StoreStats {
     pub resident_bytes: u64,
     pub compressed_bytes: u64,
     pub commits: u64,
+    pub alias_commits: u64,
+    pub delta_commits: u64,
+    pub delta_chunked_bytes: u64,
     pub checkpoints: u64,
     pub dedup_hits: u64,
     pub disk_reads: u64,
@@ -123,7 +126,9 @@ impl StoreStats {
             concat!(
                 "{{\"sessions\":{},\"chunks\":{},\"chunk_bytes\":{},",
                 "\"resident_bytes\":{},\"compressed_bytes\":{},",
-                "\"commits\":{},\"checkpoints\":{},\"dedup_hits\":{},",
+                "\"commits\":{},\"alias_commits\":{},\"delta_commits\":{},",
+                "\"delta_chunked_bytes\":{},",
+                "\"checkpoints\":{},\"dedup_hits\":{},",
                 "\"disk_reads\":{},\"resident_hits\":{},\"compressed_hits\":{},",
                 "\"io_events\":{},\"injected_faults\":{},",
                 "\"journal_replayed\":{},\"recovered_sessions\":{},\"stalled\":{}}}"
@@ -134,6 +139,9 @@ impl StoreStats {
             self.resident_bytes,
             self.compressed_bytes,
             self.commits,
+            self.alias_commits,
+            self.delta_commits,
+            self.delta_chunked_bytes,
             self.checkpoints,
             self.dedup_hits,
             self.disk_reads,
@@ -244,6 +252,9 @@ fn io_err(op: &'static str, e: &std::io::Error) -> StoreError {
 
 struct Counters {
     commits: u64,
+    alias_commits: u64,
+    delta_commits: u64,
+    delta_chunked_bytes: u64,
     checkpoints: u64,
     dedup_hits: u64,
     disk_reads: u64,
@@ -478,6 +489,9 @@ impl Store {
             commits_since_ckpt: 0,
             stats: Counters {
                 commits: 0,
+                alias_commits: 0,
+                delta_commits: 0,
+                delta_chunked_bytes: 0,
                 checkpoints: 0,
                 dedup_hits: 0,
                 disk_reads: 0,
@@ -494,6 +508,16 @@ impl Store {
     /// Persist one committed session state. Chunks reach disk before
     /// the journal record that references them; the call returns only
     /// after the commit is durable (under `fsync: true`).
+    ///
+    /// Commits are incremental against the session's previous manifest
+    /// entry. Byte-identical snapshots journal an *alias* of the
+    /// previous chunk list without touching the chunker or the segment
+    /// files; otherwise only the dirtied window between the longest
+    /// reusable chunk prefix and suffix is re-chunked, so a mostly
+    /// idle session re-checkpoints in O(delta), not O(snapshot). The
+    /// manifest format is unchanged — every record still carries its
+    /// complete ordered chunk list, so reads, `fsck`, and `gc` are
+    /// oblivious to how a record was produced.
     pub fn put_session(&self, meta: &SessionMeta, snapshot: &[u8]) -> Result<(), StoreError> {
         let mut g = lock(&self.inner);
         let inner = &mut *g;
@@ -501,69 +525,126 @@ impl Store {
             return Err(StoreError::Stalled { detail });
         }
         let snap_hash = content_hash(snapshot);
-        let ranges = chunk::split(snapshot);
-        let mut chunk_ids = Vec::with_capacity(ranges.len());
+        let prev = inner.manifest.sessions.get(&meta.id).cloned();
+        if let Some(prev) = &prev {
+            if prev.snap_hash == snap_hash && prev.snap_len == snapshot.len() as u64 {
+                let record =
+                    session_record(meta, snapshot.len() as u64, snap_hash, prev.chunks.clone());
+                append_journal(inner, &JournalRecord::Commit(record))?;
+                inner.stats.commits += 1;
+                inner.stats.alias_commits += 1;
+                return Ok(());
+            }
+        }
+        let (mut chunk_ids, dirty, suffix) =
+            match prev.as_ref().and_then(|p| delta_plan(inner, p, snapshot)) {
+                Some(plan) => {
+                    inner.stats.delta_commits += 1;
+                    inner.stats.delta_chunked_bytes += (plan.dirty.end - plan.dirty.start) as u64;
+                    (plan.prefix, plan.dirty, plan.suffix)
+                }
+                None => (Vec::new(), 0..snapshot.len(), Vec::new()),
+            };
+        let window = &snapshot[dirty];
         let mut wrote_chunk = false;
-        for range in ranges {
-            let payload = &snapshot[range];
+        for range in chunk::split(window) {
+            let payload = &window[range];
             let id = content_hash(payload);
             chunk_ids.push(id);
             if inner.chunks.contains_key(&id) {
                 inner.stats.dedup_hits += 1;
                 continue;
             }
-            ensure_segment(inner)?;
-            let rec = encode_record(id, payload);
-            let loc = ChunkLoc {
-                segment: inner.seg_index,
-                offset: inner.seg_len,
-                len: payload.len() as u32,
-            };
-            let file = match inner.seg_file.as_mut() {
-                Some(f) => f,
-                None => {
-                    return Err(StoreError::Io {
-                        op: "segment append",
-                        detail: "no active segment".to_string(),
-                    })
-                }
-            };
-            let written = guarded_write(&mut inner.ctl, file, &rec, true, "chunk write")?;
-            if written {
-                inner.seg_len += rec.len() as u64;
-                inner.chunk_bytes += rec.len() as u64;
+            if write_chunk(inner, id, payload)? {
                 wrote_chunk = true;
             }
-            // Index and cache even an injected lost write: that is
-            // exactly the shape of a lost write in the wild — the
-            // writer believes it happened, and only a later read (or
-            // restart) discovers the truth as a typed error.
-            inner.chunks.insert(id, loc);
-            inner.cache.insert(id, payload.to_vec());
-            if inner.seg_len >= inner.cfg.segment_bytes {
-                inner.seg_index += 1;
-                inner.seg_file = None;
-                inner.seg_len = 0;
-            }
         }
+        chunk_ids.extend(suffix);
         if wrote_chunk && inner.cfg.fsync {
             if let Some(f) = inner.seg_file.as_ref() {
                 guarded_fsync(&mut inner.ctl, f, "segment fsync")?;
             }
         }
-        let record = SessionRecord {
-            id: meta.id,
-            commit_seq: meta.commit_seq,
-            ops_done: meta.ops_done,
-            heap_words: meta.heap_words,
-            op_budget: meta.op_budget,
-            fuel_slice: meta.fuel_slice,
-            verified: meta.verified,
-            snap_len: snapshot.len() as u64,
-            snap_hash,
-            chunks: chunk_ids,
-        };
+        let record = session_record(meta, snapshot.len() as u64, snap_hash, chunk_ids);
         append_journal(inner, &JournalRecord::Commit(record))?;
+        inner.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Whether the store holds (an index entry for) this chunk — the
+    /// receiver side of chunk-sync negotiation advertises with this.
+    pub fn has_chunk(&self, id: ChunkId) -> bool {
+        lock(&self.inner).chunks.contains_key(&id)
+    }
+
+    /// One chunk's verified bytes (cache tiers first, then the CRC- and
+    /// content-hash-checked disk read) — the sender side of chunk sync.
+    pub fn get_chunk_bytes(&self, id: ChunkId) -> Result<Vec<u8>, StoreError> {
+        let mut g = lock(&self.inner);
+        get_chunk(&mut g, id)
+    }
+
+    /// Append one raw chunk (content-addressed), returning its id. An
+    /// already-present chunk is a dedup hit with no I/O. The chunk is
+    /// unreferenced until a session record adopts it — [`gc`] collects
+    /// orphans — which is exactly the replication receiver's staging
+    /// discipline: chunks land first, the record only after they all
+    /// verify.
+    pub fn put_chunk(&self, payload: &[u8]) -> Result<ChunkId, StoreError> {
+        let mut g = lock(&self.inner);
+        let inner = &mut *g;
+        if let Some(detail) = inner.ctl.stalled.clone() {
+            return Err(StoreError::Stalled { detail });
+        }
+        let id = content_hash(payload);
+        if inner.chunks.contains_key(&id) {
+            inner.stats.dedup_hits += 1;
+            return Ok(id);
+        }
+        let wrote = write_chunk(inner, id, payload)?;
+        if wrote && inner.cfg.fsync {
+            if let Some(f) = inner.seg_file.as_ref() {
+                guarded_fsync(&mut inner.ctl, f, "segment fsync")?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Install a session record whose chunks are already present — the
+    /// receiving end of replication and migration. The record is
+    /// admitted only after the full end-to-end check: every chunk it
+    /// names is fetched and verified, and the reassembly must match the
+    /// record's length and whole-snapshot hash. On success the commit
+    /// is journaled exactly like a local [`Store::put_session`]; on any
+    /// failure the store is untouched and the error names the damage.
+    pub fn adopt_session(&self, rec: &SessionRecord) -> Result<(), StoreError> {
+        let mut g = lock(&self.inner);
+        let inner = &mut *g;
+        if let Some(detail) = inner.ctl.stalled.clone() {
+            return Err(StoreError::Stalled { detail });
+        }
+        let mut assembled = Vec::with_capacity((rec.snap_len as usize).min(64 << 20));
+        for chunk_id in &rec.chunks {
+            let bytes = get_chunk(inner, *chunk_id)?;
+            assembled.extend_from_slice(&bytes);
+        }
+        if assembled.len() as u64 != rec.snap_len {
+            return Err(StoreError::SnapshotMismatch {
+                session: rec.id,
+                detail: format!(
+                    "adopted chunks reassemble to {} bytes, record says {}",
+                    assembled.len(),
+                    rec.snap_len
+                ),
+            });
+        }
+        if content_hash(&assembled) != rec.snap_hash {
+            return Err(StoreError::SnapshotMismatch {
+                session: rec.id,
+                detail: "adopted snapshot content hash mismatch".to_string(),
+            });
+        }
+        append_journal(inner, &JournalRecord::Commit(rec.clone()))?;
         inner.stats.commits += 1;
         Ok(())
     }
@@ -664,6 +745,9 @@ impl Store {
             resident_bytes: g.cache.resident_bytes() as u64,
             compressed_bytes: g.cache.compressed_bytes() as u64,
             commits: g.stats.commits,
+            alias_commits: g.stats.alias_commits,
+            delta_commits: g.stats.delta_commits,
+            delta_chunked_bytes: g.stats.delta_chunked_bytes,
             checkpoints: g.stats.checkpoints,
             dedup_hits: g.stats.dedup_hits,
             disk_reads: g.stats.disk_reads,
@@ -688,6 +772,120 @@ impl Drop for Store {
             let _ = checkpoint(inner);
         }
     }
+}
+
+fn session_record(
+    meta: &SessionMeta,
+    snap_len: u64,
+    snap_hash: ChunkId,
+    chunks: Vec<ChunkId>,
+) -> SessionRecord {
+    SessionRecord {
+        id: meta.id,
+        commit_seq: meta.commit_seq,
+        ops_done: meta.ops_done,
+        heap_words: meta.heap_words,
+        op_budget: meta.op_budget,
+        fuel_slice: meta.fuel_slice,
+        verified: meta.verified,
+        snap_len,
+        snap_hash,
+        chunks,
+    }
+}
+
+/// Append one chunk record to the active segment and index it. Returns
+/// whether the bytes were (nominally) written — `false` only for an
+/// injected lost write.
+fn write_chunk(inner: &mut Inner, id: ChunkId, payload: &[u8]) -> Result<bool, StoreError> {
+    ensure_segment(inner)?;
+    let rec = encode_record(id, payload);
+    let loc = ChunkLoc {
+        segment: inner.seg_index,
+        offset: inner.seg_len,
+        len: payload.len() as u32,
+    };
+    let file = match inner.seg_file.as_mut() {
+        Some(f) => f,
+        None => {
+            return Err(StoreError::Io {
+                op: "segment append",
+                detail: "no active segment".to_string(),
+            })
+        }
+    };
+    let written = guarded_write(&mut inner.ctl, file, &rec, true, "chunk write")?;
+    if written {
+        inner.seg_len += rec.len() as u64;
+        inner.chunk_bytes += rec.len() as u64;
+    }
+    // Index and cache even an injected lost write: that is exactly the
+    // shape of a lost write in the wild — the writer believes it
+    // happened, and only a later read (or restart) discovers the truth
+    // as a typed error.
+    inner.chunks.insert(id, loc);
+    inner.cache.insert(id, payload.to_vec());
+    if inner.seg_len >= inner.cfg.segment_bytes {
+        inner.seg_index += 1;
+        inner.seg_file = None;
+        inner.seg_len = 0;
+    }
+    Ok(written)
+}
+
+/// How a new snapshot maps onto its predecessor's chunk list: the
+/// longest prefix and suffix of previous chunks whose content hashes
+/// match the new bytes in place are reused verbatim, and only the
+/// window between them is handed back to the chunker. Reuse is decided
+/// purely by content address — hashing the candidate span against the
+/// recorded chunk id — never by trusting offsets, so a reused chunk is
+/// correct by the same argument that makes dedup correct.
+struct DeltaPlan {
+    /// Previous chunks covering `[0, dirty.start)` of the new snapshot.
+    prefix: Vec<ChunkId>,
+    /// The dirtied byte window to re-chunk.
+    dirty: std::ops::Range<usize>,
+    /// Previous chunks covering `[dirty.end, len)` of the new snapshot.
+    suffix: Vec<ChunkId>,
+}
+
+fn delta_plan(inner: &Inner, prev: &SessionRecord, snapshot: &[u8]) -> Option<DeltaPlan> {
+    let new_len = snapshot.len();
+    let mut prefix = Vec::new();
+    let mut p = 0usize;
+    for id in &prev.chunks {
+        // An unindexed chunk (e.g. a lost write) just ends the reusable
+        // region; the rest of the snapshot is re-chunked normally.
+        let Some(len) = inner.chunks.get(id).map(|l| l.len as usize) else {
+            break;
+        };
+        if len == 0 || p + len > new_len || content_hash(&snapshot[p..p + len]) != *id {
+            break;
+        }
+        prefix.push(*id);
+        p += len;
+    }
+    let mut suffix_rev = Vec::new();
+    let mut q = new_len;
+    for id in prev.chunks.iter().skip(prefix.len()).rev() {
+        let Some(len) = inner.chunks.get(id).map(|l| l.len as usize) else {
+            break;
+        };
+        if len == 0 || q < p + len || content_hash(&snapshot[q - len..q]) != *id {
+            break;
+        }
+        suffix_rev.push(*id);
+        q -= len;
+    }
+    if prefix.is_empty() && suffix_rev.is_empty() {
+        return None;
+    }
+    suffix_rev.reverse();
+    Some(DeltaPlan {
+        prefix,
+        dirty: p..q,
+        suffix: suffix_rev,
+    })
 }
 
 /// Open (creating if needed) the active segment for appending.
@@ -1174,7 +1372,12 @@ mod tests {
         store.put_session(&meta(1, 2), &snap_b).expect("put 2");
         assert_eq!(store.get_snapshot(1).expect("get 2"), snap_b);
         let stats = store.stats();
-        assert!(stats.dedup_hits > 0, "shared chunks must dedup: {stats:?}");
+        // Shared content is reused either by the delta planner (chunk
+        // prefix/suffix reuse) or by plain dedup — never re-stored.
+        assert!(
+            stats.delta_commits > 0 || stats.dedup_hits > 0,
+            "shared chunks must be reused: {stats:?}"
+        );
         assert_eq!(stats.sessions, 1);
     }
 
@@ -1393,6 +1596,161 @@ mod tests {
         let store = Store::open(dir.path(), small_cfg()).expect("reopen after gc");
         assert_eq!(store.get_snapshot(1).expect("survivor"), keep);
         assert_eq!(store.next_session_floor(), 3);
+    }
+
+    #[test]
+    fn identical_commit_is_an_alias_with_no_chunking_io() {
+        let dir = TempDir::new("alias");
+        let store = Store::open(dir.path(), small_cfg()).expect("open");
+        let snap = snapshot(21, 120 << 10);
+        store.put_session(&meta(1, 1), &snap).expect("put 1");
+        let before = store.stats();
+        // An idle session re-checkpoints the same bytes: the commit
+        // must journal an alias without touching the chunker or the
+        // segment files.
+        store.put_session(&meta(1, 2), &snap).expect("put 2");
+        let after = store.stats();
+        assert_eq!(after.alias_commits, 1);
+        assert_eq!(after.chunks, before.chunks, "no new chunks");
+        assert_eq!(
+            after.dedup_hits, before.dedup_hits,
+            "no chunk lookups at all"
+        );
+        assert!(
+            after.io_events - before.io_events <= 2,
+            "an alias is one journal append (+ fsync), got {} io events",
+            after.io_events - before.io_events
+        );
+        assert_eq!(store.get_snapshot(1).expect("get"), snap);
+        let rec = store.session(1).expect("rec");
+        assert_eq!(rec.commit_seq, 2);
+        assert_eq!(rec.ops_done, 8);
+    }
+
+    #[test]
+    fn small_edit_re_chunks_only_the_dirty_window() {
+        let dir = TempDir::new("delta");
+        let store = Store::open(dir.path(), small_cfg()).expect("open");
+        let snap = snapshot(31, 256 << 10);
+        store.put_session(&meta(1, 1), &snap).expect("put 1");
+        let mut edited = snap.clone();
+        let mid = edited.len() / 2;
+        edited[mid] ^= 0x5A;
+        store.put_session(&meta(1, 2), &edited).expect("put 2");
+        let stats = store.stats();
+        assert_eq!(stats.delta_commits, 1, "{stats:?}");
+        assert!(
+            stats.delta_chunked_bytes > 0
+                && (stats.delta_chunked_bytes as usize) < edited.len() / 2,
+            "a one-byte edit must not re-chunk half the snapshot: {stats:?}"
+        );
+        assert_eq!(store.get_snapshot(1).expect("get"), edited);
+        // Appends are the common tally-session shape: the whole old
+        // snapshot is the reusable prefix.
+        let mut grown = edited.clone();
+        grown.extend_from_slice(&snapshot(32, 8 << 10));
+        store.put_session(&meta(1, 3), &grown).expect("put 3");
+        assert_eq!(store.stats().delta_commits, 2);
+        assert_eq!(store.get_snapshot(1).expect("get grown"), grown);
+    }
+
+    #[test]
+    fn gc_preserves_delta_chain_chunks_and_floor_never_regresses() {
+        let dir = TempDir::new("delta_gc");
+        let base = snapshot(41, 96 << 10);
+        let mut edited = base.clone();
+        edited[100] ^= 1;
+        {
+            let store = Store::open(dir.path(), small_cfg()).expect("open");
+            store.put_session(&meta(1, 1), &base).expect("put base");
+            store.put_session(&meta(1, 2), &edited).expect("put delta");
+            store.put_session(&meta(1, 3), &edited).expect("put alias");
+            store
+                .put_session(&meta(2, 1), &snapshot(42, 32 << 10))
+                .expect("put other");
+            store.remove_session(2).expect("close 2");
+        }
+        // gc must keep every chunk the live delta-chain record
+        // references (reused prefix/suffix chunks included) while
+        // reclaiming the closed session.
+        let report = gc(dir.path()).expect("gc");
+        assert!(report.dropped_chunks > 0, "closed session reclaimed");
+        let store = Store::open(dir.path(), small_cfg()).expect("reopen");
+        assert_eq!(
+            store.get_snapshot(1).expect("delta chain survives gc"),
+            edited
+        );
+        assert_eq!(
+            store.next_session_floor(),
+            3,
+            "ids never reused after remove + gc + reopen"
+        );
+        // And deltas keep working against the gc-rewritten segments.
+        let mut again = edited.clone();
+        let last = again.len() - 1;
+        again[last] ^= 0xF0;
+        store
+            .put_session(&meta(1, 4), &again)
+            .expect("post-gc delta");
+        assert_eq!(store.get_snapshot(1).expect("get"), again);
+        assert_eq!(store.stats().delta_commits, 1);
+        let report = fsck(dir.path()).expect("fsck");
+        assert!(report.clean(), "post-gc store: {}", report.to_json());
+    }
+
+    #[test]
+    fn chunk_sync_ships_only_missing_chunks_and_adopt_verifies_end_to_end() {
+        let src_dir = TempDir::new("sync_src");
+        let dst_dir = TempDir::new("sync_dst");
+        let src = Store::open(src_dir.path(), small_cfg()).expect("open src");
+        let dst = Store::open(dst_dir.path(), small_cfg()).expect("open dst");
+        let base = snapshot(51, 1 << 20);
+        src.put_session(&meta(7, 1), &base).expect("put base");
+        // Warm the receiver with the prior commit, as replication would.
+        let rec1 = src.session(7).expect("rec1");
+        for id in &rec1.chunks {
+            dst.put_chunk(&src.get_chunk_bytes(*id).expect("read"))
+                .expect("ship");
+        }
+        dst.adopt_session(&rec1).expect("adopt seq 1");
+        assert_eq!(dst.get_snapshot(7).expect("dst read"), base);
+        // Dirty a small window and sync again: only the missing chunks
+        // cross the wire.
+        let mut edited = base.clone();
+        edited[1000] ^= 0xAA;
+        src.put_session(&meta(7, 2), &edited).expect("put edit");
+        let rec2 = src.session(7).expect("rec2");
+        let mut shipped = 0usize;
+        for id in &rec2.chunks {
+            if !dst.has_chunk(*id) {
+                let bytes = src.get_chunk_bytes(*id).expect("read");
+                shipped += bytes.len();
+                dst.put_chunk(&bytes).expect("ship");
+            }
+        }
+        assert!(shipped > 0);
+        assert!(
+            shipped < base.len() / 10,
+            "warm sync must ship under 10%: {shipped} of {}",
+            base.len()
+        );
+        dst.adopt_session(&rec2).expect("adopt seq 2");
+        assert_eq!(dst.get_snapshot(7).expect("dst read 2"), edited);
+        // A record naming a chunk the receiver never got is refused.
+        let mut bogus = rec2.clone();
+        bogus.id = 99;
+        bogus.chunks.push(content_hash(b"never shipped"));
+        bogus.snap_len += 13;
+        let err = dst.adopt_session(&bogus).expect_err("missing chunk");
+        assert_eq!(err.kind(), "missing_chunk");
+        assert!(dst.session(99).is_none());
+        // A record lying about its hash is refused before journaling.
+        let mut liar = rec2.clone();
+        liar.id = 98;
+        liar.snap_hash = content_hash(b"wrong");
+        let err = dst.adopt_session(&liar).expect_err("hash mismatch");
+        assert_eq!(err.kind(), "snapshot_mismatch");
+        assert!(dst.session(98).is_none());
     }
 
     #[test]

@@ -80,6 +80,9 @@ fn usage_text() -> &'static str {
      \x20      zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N] [--policy P]\n\
      \x20      zarf snapshot <save|restore|audit> <file> [--out FILE] [--in …]\n\
      \x20      zarf serve [--listen ADDR] [--workers N] [--data-dir DIR] [--no-fsync]\n\
+     \x20                 [--replicate-to ADDR] [--repl-lag-cap N]\n\
+     \x20      zarf standby [--listen ADDR] --data-dir DIR [--no-fsync]\n\
+     \x20      zarf migrate --from ADDR --to ADDR --session N\n\
      \x20      zarf store <fsck|gc> <DIR> [--json]\n\
      \x20      zarf loadgen [--sessions N] [--ops M] [--workers W] [--json]\n\
      \x20      zarf loadgen --connect ADDR --conns N [--ops M] [--drivers D] [--batch B]\n\
@@ -574,9 +577,13 @@ fn run_snapshot(rest: &[String]) -> ExitCode {
 /// `zarf serve`: run a fleet and answer `ZFLT` requests over TCP until a
 /// client sends `Shutdown`. With `--data-dir DIR` every slice commit is
 /// written through a durable content-addressed chunk store, and a
-/// restarted server recovers every committed session from disk.
+/// restarted server recovers every committed session from disk. With
+/// `--replicate-to ADDR` every commit is additionally streamed to a
+/// standby (`zarf standby`) over `ZREP`; if the standby falls more than
+/// `--repl-lag-cap` commits behind, new injects are shed typed rather
+/// than silently widening the failover loss window.
 fn run_serve(rest: &[String]) -> ExitCode {
-    use zarf::fleet::{serve, Fleet, FleetConfig};
+    use zarf::fleet::{serve, Fleet, FleetConfig, ReplSink, ReplicatorConfig, RetryPolicy};
     use zarf::store::{Store, StoreConfig};
 
     let result = (|| -> Result<(), String> {
@@ -601,6 +608,17 @@ fn run_serve(rest: &[String]) -> ExitCode {
             }
             None => None,
         };
+        let repl_target = flag_value(rest, "--replicate-to");
+        let lag_cap: u64 = match flag_value(rest, "--repl-lag-cap") {
+            Some(v) => v.parse().map_err(|_| format!("bad --repl-lag-cap `{v}`"))?,
+            None => 64,
+        };
+        if repl_target.is_some() && store.is_none() {
+            return Err(
+                "--replicate-to requires --data-dir (replication ships the durable store)".into(),
+            );
+        }
+        let sink = repl_target.as_ref().map(|_| ReplSink::new(lag_cap));
         let listener =
             std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let local = listener
@@ -609,19 +627,142 @@ fn run_serve(rest: &[String]) -> ExitCode {
             .to_string();
         let fleet = Fleet::start(FleetConfig {
             workers,
-            store,
+            store: store.clone(),
+            repl: sink.clone(),
             ..FleetConfig::default()
         })
         .map_err(|e| e.to_string())?;
+        let pump = match (&repl_target, &sink, &store) {
+            (Some(target), Some(sink), Some(store)) => {
+                eprintln!("zarf-fleet: replicating to {target} (lag cap {lag_cap})");
+                Some(
+                    zarf::fleet::spawn_replicator(
+                        store.clone(),
+                        sink.clone(),
+                        ReplicatorConfig {
+                            target: target.clone(),
+                            policy: RetryPolicy::default(),
+                            chaos: None,
+                        },
+                    )
+                    .map_err(|e| e.to_string())?,
+                )
+            }
+            _ => None,
+        };
         eprintln!("zarf-fleet: serving ZFLT on {local} with {workers} worker(s)");
         serve(listener, fleet.handle()).map_err(|e| e.to_string())?;
         let stats = fleet.shutdown();
+        if let Some(sink) = &sink {
+            sink.shutdown();
+        }
+        if let Some(pump) = pump {
+            let _ = pump.join();
+        }
         let pairs: Vec<String> = stats
             .pairs()
             .iter()
             .map(|(k, v)| format!("\"{k}\":{v}"))
             .collect();
         println!("{{{}}}", pairs.join(","));
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `zarf standby`: receive a primary's `ZREP` replication stream into a
+/// local data dir. Every chunk is re-hashed on arrival and every commit
+/// is reassembled, hash-verified, and structurally audited before it is
+/// acknowledged, so the directory is at all times a valid fleet store:
+/// promotion after the primary dies is just `zarf serve --data-dir DIR`
+/// over it, and every acknowledged session resumes byte-identically.
+fn run_standby(rest: &[String]) -> ExitCode {
+    use zarf::fleet::serve_repl;
+    use zarf::store::{Store, StoreConfig};
+
+    let result = (|| -> Result<(), String> {
+        let addr = flag_value(rest, "--listen").unwrap_or_else(|| "127.0.0.1:7080".into());
+        let dir = flag_value(rest, "--data-dir")
+            .ok_or_else(|| "zarf standby requires --data-dir DIR".to_string())?;
+        let cfg = StoreConfig {
+            fsync: !rest.iter().any(|a| a == "--no-fsync"),
+            ..StoreConfig::default()
+        };
+        let store = Store::open(std::path::Path::new(&dir), cfg)
+            .map_err(|e| format!("open store {dir}: {e}"))?;
+        let held = store.sessions().len();
+        if held > 0 {
+            eprintln!("zarf-standby: holding {held} committed session(s) from {dir}");
+        }
+        let listener =
+            std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+        eprintln!("zarf-standby: serving ZREP on {local} into {dir}");
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stats =
+            serve_repl(listener, std::sync::Arc::new(store), stop).map_err(|e| e.to_string())?;
+        println!(
+            "{{\"commits\":{},\"chunks\":{},\"bytes\":{},\"closes\":{},\"rejects\":{}}}",
+            stats.commits, stats.chunks, stats.bytes, stats.closes, stats.rejects
+        );
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `zarf migrate`: move one live session between serving fleets with
+/// exactly-once cutover. `--from` is the source fleet's `ZFLT` address;
+/// `--to` is the destination's `ZREP` (standby) listener. The source
+/// quiesces the session at a slice boundary, the destination receives
+/// only the chunks it is missing and verifies the snapshot end-to-end,
+/// and only after its acknowledgement does the source retire its copy —
+/// any earlier failure resumes the session on the source.
+fn run_migrate(rest: &[String]) -> ExitCode {
+    use zarf::fleet::{migrate_session, RetryPolicy};
+
+    let result = (|| -> Result<(), String> {
+        let from = flag_value(rest, "--from")
+            .ok_or_else(|| "zarf migrate requires --from ADDR".to_string())?;
+        let to = flag_value(rest, "--to")
+            .ok_or_else(|| "zarf migrate requires --to ADDR".to_string())?;
+        let session: u64 = match flag_value(rest, "--session") {
+            Some(v) => v.parse().map_err(|_| format!("bad --session `{v}`"))?,
+            None => return Err("zarf migrate requires --session N".into()),
+        };
+        let report = migrate_session(&from, &to, session, &RetryPolicy::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "zarf-migrate: session {} moved at seq {} ({} chunk(s), {} byte(s) of {} on the wire)",
+            report.session,
+            report.commit_seq,
+            report.chunks_shipped,
+            report.bytes_shipped,
+            report.snap_len
+        );
+        println!(
+            "{{\"session\":{},\"commit_seq\":{},\"already\":{},\"chunks_shipped\":{},\"bytes_shipped\":{},\"snap_len\":{}}}",
+            report.session,
+            report.commit_seq,
+            report.already,
+            report.chunks_shipped,
+            report.bytes_shipped,
+            report.snap_len
+        );
         Ok(())
     })();
     match result {
@@ -995,6 +1136,12 @@ fn main() -> ExitCode {
     // `serve` and `loadgen` operate on a fleet, not on a program file.
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("standby") {
+        return run_standby(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("migrate") {
+        return run_migrate(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         return run_loadgen(&args[1..]);

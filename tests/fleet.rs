@@ -106,6 +106,7 @@ fn fleet_is_byte_identical_to_standalone_under_forced_eviction() {
             session: cfg.clone(),
             chaos: None,
             store: None,
+            repl: None,
         })
         .unwrap();
         let handle = fleet.handle();
@@ -253,6 +254,7 @@ fn chaos_killed_sessions_recover_byte_identically() {
             session: cfg.clone(),
             chaos: Some(plan),
             store: None,
+            repl: None,
         })
         .unwrap();
         let handle = fleet.handle();
@@ -325,6 +327,7 @@ fn kernel_session_runs_through_the_fleet() {
         },
         chaos: None,
         store: None,
+        repl: None,
     })
     .unwrap();
     let handle = fleet.handle();

@@ -31,6 +31,9 @@ const RATCHET: &[(&str, usize)] = &[
     // panic in the readiness loop takes down every connection at once.
     ("crates/fleet/src/poll.rs", 0),
     ("crates/fleet/src/bench.rs", 0),
+    // The replication link and migration cutover: a panic here strands
+    // a quiesced session or a half-shipped snapshot on the wire.
+    ("crates/fleet/src/repl.rs", 0),
     // The static-certification stack gates what the fleet will load, so
     // an analysis panic is a denial of service on the admission path.
     ("crates/verify/src/absint.rs", 0),
