@@ -114,6 +114,9 @@ pub enum EvalError {
     /// The configured fuel (reduction-step budget) was exhausted; the
     /// program may diverge.
     OutOfFuel,
+    /// The configured Zarf call-depth bound was exceeded; the program
+    /// recurses deeper than the host agreed to absorb on its stack.
+    CallDepthExceeded,
     /// The I/O device reported a failure (e.g. reading an empty port).
     Io(IoError),
 }
@@ -124,6 +127,7 @@ impl fmt::Display for EvalError {
             EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
             EvalError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),
             EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+            EvalError::CallDepthExceeded => write!(f, "call-depth bound exceeded"),
             EvalError::Io(e) => write!(f, "I/O failure: {e}"),
         }
     }

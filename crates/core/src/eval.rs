@@ -29,6 +29,17 @@ use crate::value::{ClosureTarget, Value, V};
 /// still catching accidental divergence in tests.
 pub const DEFAULT_FUEL: u64 = 500_000_000;
 
+/// Default Zarf call-depth bound. Host stack depth tracks Zarf call depth
+/// (one `apply` → `eval` pair per call), so the default is generous enough
+/// for every workload in the workspace; callers replaying *untrusted
+/// guesses* — e.g. candidate witnesses — should install a bound their
+/// stack can actually absorb via [`Evaluator::with_call_depth`].
+pub const DEFAULT_CALL_DEPTH: u32 = 1 << 20;
+
+/// Cap on the number of fault events retained per evaluator (the probe is
+/// for witness replay, not for unbounded logging).
+const FAULT_LOG_CAP: usize = 1024;
+
 /// Outcome of one `case` reduction: continue at a branch, or short-circuit
 /// with a value (error scrutinee / case-on-closure).
 enum CaseStep<'e> {
@@ -41,22 +52,36 @@ enum CaseStep<'e> {
 pub struct Evaluator<'p> {
     program: &'p Program,
     fuel: u64,
+    depth: u32,
+    max_depth: u32,
     sink: SinkHandle,
+    faults: Vec<RuntimeError>,
 }
 
 impl<'p> Evaluator<'p> {
-    /// Create an evaluator with [`DEFAULT_FUEL`].
+    /// Create an evaluator with [`DEFAULT_FUEL`] and [`DEFAULT_CALL_DEPTH`].
     pub fn new(program: &'p Program) -> Self {
         Evaluator {
             program,
             fuel: DEFAULT_FUEL,
+            depth: 0,
+            max_depth: DEFAULT_CALL_DEPTH,
             sink: SinkHandle::none(),
+            faults: Vec::new(),
         }
     }
 
     /// Replace the fuel budget (number of instruction reductions permitted).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Replace the Zarf call-depth bound (number of nested calls permitted).
+    /// Exceeding it aborts the run with [`EvalError::CallDepthExceeded`]
+    /// before the host stack — one frame pair per Zarf call — overflows.
+    pub fn with_call_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = max_depth;
         self
     }
 
@@ -80,6 +105,28 @@ impl<'p> Evaluator<'p> {
     /// Remove and return the installed sink, if any.
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.sink.take()
+    }
+
+    /// Every runtime fault *constructed* during evaluation so far, in
+    /// construction order. An error value may later be discarded by an
+    /// unused binding, so observing the final result alone under-reports
+    /// faults; witness replay asserts against this probe instead.
+    pub fn faults_fired(&self) -> &[RuntimeError] {
+        &self.faults
+    }
+
+    /// Reset the fault probe (e.g. between the argument-building phase and
+    /// the entry call of a witness replay).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Record a fault construction and build the error value for it.
+    fn fault(&mut self, e: RuntimeError) -> V {
+        if self.faults.len() < FAULT_LOG_CAP {
+            self.faults.push(e);
+        }
+        Value::error(e)
     }
 
     // Emission helpers are cold and never inlined: `eval` recurses on the
@@ -287,7 +334,7 @@ impl<'p> Evaluator<'p> {
                     None => Ok(CaseStep::Branch(default)),
                 }
             }
-            Value::Closure { .. } => Ok(CaseStep::Value(Value::error(RuntimeError::CaseOnClosure))),
+            Value::Closure { .. } => Ok(CaseStep::Value(self.fault(RuntimeError::CaseOnClosure))),
             Value::Error(_) => Ok(CaseStep::Value(v)),
         }
     }
@@ -304,7 +351,7 @@ impl<'p> Evaluator<'p> {
             std::cmp::Ordering::Less => {
                 Ok(Value::closure(ClosureTarget::Con(con.name.clone()), args))
             }
-            std::cmp::Ordering::Greater => Ok(Value::error(RuntimeError::ConOverApplied)),
+            std::cmp::Ordering::Greater => Ok(self.fault(RuntimeError::ConOverApplied)),
         }
     }
 
@@ -326,14 +373,14 @@ impl<'p> Evaluator<'p> {
                     return if args.is_empty() {
                         Ok(target)
                     } else {
-                        Ok(Value::error(RuntimeError::ApplyToInt))
+                        Ok(self.fault(RuntimeError::ApplyToInt))
                     }
                 }
                 Value::Con { .. } => {
                     return if args.is_empty() {
                         Ok(target)
                     } else {
-                        Ok(Value::error(RuntimeError::ApplyToCon))
+                        Ok(self.fault(RuntimeError::ApplyToCon))
                     }
                 }
             };
@@ -362,7 +409,13 @@ impl<'p> Evaluator<'p> {
                         .function(name)
                         .ok_or_else(|| EvalError::UnknownGlobal(name.to_string()))?;
                     let frame = Env::frame(&f.params, &sat);
-                    self.eval(frame, &f.body, ports)?
+                    if self.depth >= self.max_depth {
+                        return Err(EvalError::CallDepthExceeded);
+                    }
+                    self.depth += 1;
+                    let r = self.eval(frame, &f.body, ports);
+                    self.depth -= 1;
+                    r?
                 }
                 ClosureTarget::Con(name) => self.apply_cn(name, sat)?,
                 ClosureTarget::Prim(op) => self.invoke_prim(*op, &sat, ports)?,
@@ -408,7 +461,7 @@ impl<'p> Evaluator<'p> {
             match &**a {
                 Value::Int(n) => ints.push(*n),
                 Value::Error(_) => return Ok(a.clone()),
-                _ => return Ok(Value::error(RuntimeError::PrimOnNonInt)),
+                _ => return Ok(self.fault(RuntimeError::PrimOnNonInt)),
             }
         }
         match op {
@@ -423,7 +476,7 @@ impl<'p> Evaluator<'p> {
             PrimOp::Gc => Ok(Value::int(0)),
             _ => match op.eval_pure(&ints) {
                 Ok(n) => Ok(Value::int(n)),
-                Err(e) => Ok(Value::error(e)),
+                Err(e) => Ok(self.fault(e)),
             },
         }
     }
@@ -811,6 +864,32 @@ mod tests {
     }
 
     #[test]
+    fn call_depth_bound_aborts_before_the_host_stack() {
+        // Recursion must abort with the typed depth error — fuel would be
+        // reached only after far more host frames than a tight stack has.
+        let looping = Decl::Fun(FunDecl::new(
+            "looper",
+            &[] as &[&str],
+            Expr::let_fn("x", "looper", vec![], Expr::result(Arg::var("x"))),
+        ));
+        let p = Program::new(vec![
+            looping,
+            Decl::main(Expr::let_fn(
+                "x",
+                "looper",
+                vec![],
+                Expr::result(Arg::var("x")),
+            )),
+        ])
+        .unwrap();
+        let err = Evaluator::new(&p)
+            .with_call_depth(8)
+            .run(&mut NullPorts)
+            .unwrap_err();
+        assert_eq!(err, EvalError::CallDepthExceeded);
+    }
+
+    #[test]
     fn call_entry_point_applies_values() {
         let double = Decl::Fun(FunDecl::new(
             "double",
@@ -827,6 +906,44 @@ mod tests {
             .call("double", vec![Value::int(21)], &mut NullPorts)
             .unwrap();
         assert_eq!(v.as_int(), Some(42));
+    }
+
+    #[test]
+    fn fault_probe_records_discarded_errors() {
+        // x = 1/0 is bound but never used: the final result is clean, yet
+        // the probe must still record the division fault's construction.
+        let p = Program::new(vec![Decl::main(Expr::let_prim(
+            "x",
+            "div",
+            vec![Arg::lit(1), Arg::lit(0)],
+            Expr::result(Arg::lit(7)),
+        ))])
+        .unwrap();
+        let mut ev = Evaluator::new(&p);
+        let v = ev.run(&mut NullPorts).unwrap();
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(ev.faults_fired(), &[RuntimeError::DivideByZero]);
+        ev.clear_faults();
+        assert!(ev.faults_fired().is_empty());
+    }
+
+    #[test]
+    fn fault_probe_records_each_class() {
+        // case on closure
+        let p = Program::new(vec![Decl::main(Expr::let_prim(
+            "c",
+            "add",
+            vec![Arg::lit(1)],
+            Expr::case_(
+                Arg::var("c"),
+                vec![Branch::lit(0, Expr::result(Arg::lit(0)))],
+                Expr::result(Arg::lit(1)),
+            ),
+        ))])
+        .unwrap();
+        let mut ev = Evaluator::new(&p);
+        let _ = ev.run(&mut NullPorts).unwrap();
+        assert_eq!(ev.faults_fired(), &[RuntimeError::CaseOnClosure]);
     }
 
     #[test]

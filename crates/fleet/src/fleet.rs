@@ -66,7 +66,9 @@ fn certify(words: &[Word], heap_words: usize) -> Result<(Certificate, usize), Fl
         .map(|(id, f)| format!("item {id:#x} may fault: {f}"))
         .collect();
     if !violations.is_empty() {
-        return Err(FleetError::Certification(violations.join("; ")));
+        return Err(FleetError::Certification(violation_detail(
+            &program, &shapes, violations,
+        )));
     }
     let alloc = zarf_verify::analyze_alloc(&program)
         .map_err(|e| FleetError::Certification(e.to_string()))?;
@@ -91,6 +93,28 @@ fn certify(words: &[Word], heap_words: usize) -> Result<(Certificate, usize), Fl
         None => heap_words,
     };
     Ok((Certificate { funs, unbounded }, sized))
+}
+
+/// Render a certification failure, attaching a concrete counterexample
+/// witness to each violation the symbolic executor can realize within a
+/// small budget. A witness upgrades "the analysis thinks this item may
+/// fault" to "this exact op sequence faults on the reference
+/// interpreter" — the difference between rejecting a binary on suspicion
+/// and rejecting it with evidence.
+fn violation_detail(
+    program: &zarf_core::machine::MProgram,
+    shapes: &zarf_verify::ShapeReport,
+    violations: Vec<String>,
+) -> String {
+    let queries = zarf_verify::queries::violation_queries(program, shapes);
+    let rep = zarf_symex::decide(program, shapes, &queries, zarf_symex::SymexBudget::small());
+    let mut parts = violations;
+    for v in &rep.verdicts {
+        if let zarf_symex::Status::Witnessed(spec) = &v.status {
+            parts.push(format!("witness: {spec}"));
+        }
+    }
+    parts.join("; ")
 }
 
 /// Check one op against a verified session's certificate. The abstract

@@ -1,0 +1,133 @@
+//! Exploration budgets and typed incompleteness.
+//!
+//! Every loop in the executor is bounded by a [`SymexBudget`] field, so a
+//! `decide` call is *total*: it terminates on every program, including
+//! divergent ones, and reports *why* it stopped short through
+//! [`Incompleteness`] markers instead of silently under-exploring. A query
+//! can only be answered "spurious" when its exploration carries no marker
+//! at all.
+
+use std::fmt;
+
+/// Resource bounds for one `decide` run. All bounds are hard: exceeding
+/// one truncates the offending path (or seed) with a typed
+/// [`Incompleteness`] marker rather than diverging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymexBudget {
+    /// Maximum Zarf call depth before a call is truncated.
+    pub max_depth: usize,
+    /// Maximum `let`/`case` steps per entry exploration.
+    pub max_steps: u64,
+    /// Maximum completed paths per entry exploration.
+    pub max_paths: usize,
+    /// Maximum concrete model candidates the solver verifies per query.
+    pub solver_effort: u32,
+    /// Producer-discovery rounds for service-entry witness search.
+    pub producer_rounds: usize,
+    /// Maximum argument combinations per function per phase.
+    pub max_combos: usize,
+    /// Maximum constructor nesting depth when instantiating the
+    /// over-approximating envelope from the shape analysis.
+    pub seed_depth: usize,
+    /// Maximum paths a memoized summary may hold.
+    pub max_summary_paths: usize,
+    /// Maximum faulting/arm-hitting candidates solved per query.
+    pub max_witness_attempts: usize,
+}
+
+impl Default for SymexBudget {
+    fn default() -> Self {
+        SymexBudget {
+            max_depth: 48,
+            max_steps: 400_000,
+            max_paths: 2_048,
+            solver_effort: 4_000,
+            producer_rounds: 3,
+            max_combos: 48,
+            seed_depth: 4,
+            max_summary_paths: 256,
+            max_witness_attempts: 16,
+        }
+    }
+}
+
+impl SymexBudget {
+    /// A tight budget for inline use on a hot path (the fleet attaches
+    /// witnesses to certification failures under this).
+    pub fn small() -> Self {
+        SymexBudget {
+            max_depth: 16,
+            max_steps: 40_000,
+            max_paths: 256,
+            solver_effort: 500,
+            producer_rounds: 2,
+            max_combos: 12,
+            seed_depth: 3,
+            max_summary_paths: 64,
+            max_witness_attempts: 4,
+        }
+    }
+}
+
+/// Why an exploration (or a seed construction) fell short of covering all
+/// behaviors. Any marker on a query's exploration downgrades "no fault
+/// found" from a spuriousness proof to "undecided".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Incompleteness {
+    /// A call exceeded the depth bound.
+    CallDepth,
+    /// The per-exploration step budget ran out.
+    StepBudget,
+    /// The per-exploration path cap was reached.
+    PathBudget,
+    /// The shape analysis reported `Tags::Any` for a value the envelope
+    /// had to instantiate — no finite constructor set to enumerate.
+    EnvelopeAnyCon,
+    /// A closure may flow into an entry argument; the envelope cannot
+    /// enumerate closures.
+    EnvelopeClosure,
+    /// An error value may flow into an entry argument.
+    EnvelopeError,
+    /// Constructor nesting in the envelope exceeded the seed depth.
+    EnvelopeDepth,
+    /// Too many envelope alternatives; some were dropped.
+    EnvelopeWidth,
+    /// The shape analysis had no information for a needed value.
+    EnvelopeGap,
+    /// A nullary function flowed as a data operand (a lazy thunk on the
+    /// hardware); the eager reference semantics cannot replay it.
+    GlobalThunk,
+    /// An operand referred to a local slot not bound on this path.
+    InvalidOperand,
+    /// The binary could not be lifted to the named form for replay.
+    LiftFailed,
+    /// A faulting path was neither proved unsatisfiable nor concretely
+    /// satisfied within the solver effort.
+    SolverInconclusive,
+    /// A satisfiable path exhibiting the warned behavior exists, but no
+    /// replayable input vector could be assembled for it (e.g. the
+    /// producer pool lacks a recipe for a needed value).
+    WitnessUnrealized,
+}
+
+impl fmt::Display for Incompleteness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Incompleteness::CallDepth => "call-depth",
+            Incompleteness::StepBudget => "step-budget",
+            Incompleteness::PathBudget => "path-budget",
+            Incompleteness::EnvelopeAnyCon => "envelope-any-con",
+            Incompleteness::EnvelopeClosure => "envelope-closure",
+            Incompleteness::EnvelopeError => "envelope-error",
+            Incompleteness::EnvelopeDepth => "envelope-depth",
+            Incompleteness::EnvelopeWidth => "envelope-width",
+            Incompleteness::EnvelopeGap => "envelope-gap",
+            Incompleteness::GlobalThunk => "global-thunk",
+            Incompleteness::InvalidOperand => "invalid-operand",
+            Incompleteness::LiftFailed => "lift-failed",
+            Incompleteness::SolverInconclusive => "solver-inconclusive",
+            Incompleteness::WitnessUnrealized => "witness-unrealized",
+        };
+        f.write_str(s)
+    }
+}

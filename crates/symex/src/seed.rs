@@ -1,0 +1,291 @@
+//! Envelope seeding: over-approximating symbolic entry arguments derived
+//! from the shape analysis.
+//!
+//! To *discharge* a warning (prove it spurious), the executor must explore
+//! every input the vet contract admits. The shape analysis already
+//! over-approximates exactly that: [`FunSummary::args`] joins everything
+//! that can reach each parameter, and [`ShapeReport::cells`] joins
+//! everything ever stored into each constructor field. The envelope
+//! instantiates those abstract values as symbolic arguments:
+//!
+//! * `Ints::Consts{…}` → one alternative per constant (precision: a guard
+//!   over a finite set stays finite); `Ints::Any` → a fresh variable;
+//! * `Tags::Known{…}` → one alternative per tag, fields instantiated
+//!   recursively from the cells, bounded by `seed_depth`;
+//! * a possible error value → one representative error (errors are opaque
+//!   to control flow on this ISA, so one covers the class);
+//! * anything the envelope cannot finitely enumerate — `Tags::Any`,
+//!   closures, exhausted depth or width — adds a typed
+//!   [`Incompleteness`] marker, which downgrades "no fault found" from a
+//!   proof to "undecided".
+//!
+//! Soundness: every alternative list either covers the abstract value it
+//! instantiates or carries a marker saying it might not. A spuriousness
+//! proof requires a marker-free envelope.
+
+use std::collections::BTreeSet;
+
+use zarf_core::error::RuntimeError;
+use zarf_core::machine::MProgram;
+use zarf_verify::shape::{AbsVal, Clos, Ints, ShapeReport, Tags};
+
+use crate::budget::{Incompleteness, SymexBudget};
+use crate::term::TermStore;
+use crate::value::{SymVal, SV};
+
+/// Per-level cap on field-combination fan-out inside one constructor.
+const FIELD_COMBO_CAP: usize = 8;
+
+/// The instantiated envelope for one entry function.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Argument vectors to explore (cross product of per-arg alternatives,
+    /// capped by `max_combos`).
+    pub combos: Vec<Vec<SV>>,
+    /// Everything the envelope could not cover.
+    pub incomplete: BTreeSet<Incompleteness>,
+}
+
+/// Cross product of alternative lists, in mixed-radix order, capped.
+/// Returns the combinations and whether the cap truncated the product.
+pub fn cross<T: Clone>(alts: &[Vec<T>], cap: usize) -> (Vec<Vec<T>>, bool) {
+    if alts.iter().any(Vec::is_empty) {
+        return (Vec::new(), false);
+    }
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; alts.len()];
+    loop {
+        if out.len() >= cap {
+            return (out, true);
+        }
+        out.push(alts.iter().zip(&idx).map(|(a, &i)| a[i].clone()).collect());
+        let mut carry = true;
+        for i in (0..idx.len()).rev() {
+            if carry {
+                idx[i] += 1;
+                if idx[i] >= alts[i].len() {
+                    idx[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            return (out, false);
+        }
+        if idx.is_empty() {
+            return (out, false);
+        }
+    }
+}
+
+/// Build the envelope argument combinations for entry function `f`.
+pub fn envelope_args(
+    store: &mut TermStore,
+    program: &MProgram,
+    report: &ShapeReport,
+    f: u32,
+    budget: &SymexBudget,
+) -> Envelope {
+    let mut inc = BTreeSet::new();
+    let summary = match report.functions.get(&f) {
+        Some(fs) => &fs.summary,
+        None => {
+            inc.insert(Incompleteness::EnvelopeGap);
+            return Envelope {
+                combos: Vec::new(),
+                incomplete: inc,
+            };
+        }
+    };
+    let alts: Vec<Vec<SV>> = summary
+        .args
+        .iter()
+        .map(|av| alts_of(store, program, report, av, budget.seed_depth, &mut inc))
+        .collect();
+    let (combos, over) = cross(&alts, budget.max_combos);
+    if over {
+        inc.insert(Incompleteness::EnvelopeWidth);
+    }
+    Envelope {
+        combos,
+        incomplete: inc,
+    }
+}
+
+/// All alternatives covering one abstract value, markers for the rest.
+fn alts_of(
+    store: &mut TermStore,
+    program: &MProgram,
+    report: &ShapeReport,
+    av: &AbsVal,
+    depth: usize,
+    inc: &mut BTreeSet<Incompleteness>,
+) -> Vec<SV> {
+    let mut alts: Vec<SV> = Vec::new();
+    match &av.ints {
+        Ints::Bot => {}
+        Ints::Consts(s) => {
+            for &n in s {
+                let t = store.constant(n);
+                alts.push(SymVal::int(t));
+            }
+        }
+        Ints::Any => {
+            let (_, t) = store.fresh_var();
+            alts.push(SymVal::int(t));
+        }
+    }
+    match &av.cons {
+        Tags::Bot => {}
+        Tags::Known(tags) => {
+            for &tag in tags {
+                if depth == 0 {
+                    inc.insert(Incompleteness::EnvelopeDepth);
+                    continue;
+                }
+                let arity = match program.lookup(tag) {
+                    Some(item) if item.is_con() => item.arity,
+                    _ => {
+                        inc.insert(Incompleteness::EnvelopeGap);
+                        continue;
+                    }
+                };
+                let mut field_alts: Vec<Vec<SV>> = Vec::with_capacity(arity);
+                let mut gap = false;
+                for i in 0..arity {
+                    match report.cells.get(&(tag, i)) {
+                        Some(cell) => {
+                            field_alts.push(alts_of(store, program, report, cell, depth - 1, inc))
+                        }
+                        None => {
+                            // A reaching tag whose field was never stored:
+                            // nothing to instantiate it from.
+                            inc.insert(Incompleteness::EnvelopeGap);
+                            gap = true;
+                            break;
+                        }
+                    }
+                }
+                if gap {
+                    continue;
+                }
+                let (combos, over) = cross(&field_alts, FIELD_COMBO_CAP);
+                if over {
+                    inc.insert(Incompleteness::EnvelopeWidth);
+                }
+                if combos.is_empty() && arity > 0 {
+                    // A field had no coverable alternative; its markers are
+                    // already recorded.
+                    continue;
+                }
+                for fields in combos {
+                    alts.push(SymVal::con(tag, fields));
+                }
+            }
+        }
+        Tags::Any => {
+            inc.insert(Incompleteness::EnvelopeAnyCon);
+        }
+    }
+    match &av.clos {
+        Clos::Bot => {}
+        _ => {
+            inc.insert(Incompleteness::EnvelopeClosure);
+        }
+    }
+    if av.error {
+        // Error values are opaque to control flow on this ISA — `case`,
+        // application, and primitives all propagate them unchanged without
+        // inspecting the code — so one representative covers the class.
+        alts.push(SymVal::error(RuntimeError::Propagated));
+    }
+    if av.is_bot() {
+        // Absint says nothing reaches here at all; an empty alternative
+        // list would silently kill every combo, so record why.
+        inc.insert(Incompleteness::EnvelopeGap);
+    }
+    alts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_asm::{lower, parse};
+    use zarf_verify::shape::{analyze_shapes, EntryModel};
+
+    fn machine(src: &str) -> MProgram {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn by_name(m: &MProgram, n: &str) -> u32 {
+        m.items()
+            .iter()
+            .position(|i| i.name.as_deref() == Some(n))
+            .map(|i| m.id_of(i))
+            .unwrap()
+    }
+
+    #[test]
+    fn cross_product_orders_and_caps() {
+        let (all, over) = cross(&[vec![1, 2], vec![10, 20]], 100);
+        assert_eq!(
+            all,
+            vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]
+        );
+        assert!(!over);
+        let (some, over) = cross(&[vec![1, 2], vec![10, 20]], 3);
+        assert_eq!(some.len(), 3);
+        assert!(over);
+        let (none, over) = cross(&[vec![1], Vec::<i32>::new()], 10);
+        assert!(none.is_empty() && !over);
+        let (unit, _) = cross::<i32>(&[], 10);
+        assert_eq!(unit, vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn service_envelope_instantiates_known_cons_from_cells() {
+        // Under the Service model, `step` can receive its own Box result
+        // back as argument 0; the cell for Box.0 holds what main stored.
+        let m = machine(
+            "con Box v\n\
+             fun step b =\n case b of\n | Box v => result v\n else result 0\n\
+             fun main =\n let b = Box 41 in\n let r = step b in\n result r\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Service).unwrap();
+        let mut store = TermStore::new();
+        let step = by_name(&m, "step");
+        let env = envelope_args(&mut store, &m, &r, step, &SymexBudget::default());
+        assert!(!env.combos.is_empty());
+        let boxid = by_name(&m, "Box");
+        assert!(
+            env.combos
+                .iter()
+                .any(|c| matches!(&*c[0], SymVal::Con { tag, .. } if *tag == boxid)),
+            "envelope should contain a Box alternative: {env:?}"
+        );
+    }
+
+    #[test]
+    fn closure_args_mark_the_envelope() {
+        let m = machine(
+            "fun appl f =\n let x = f 1 in\n result x\n\
+             fun main =\n let c = add 1 in\n let r = appl c in\n result r\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let mut store = TermStore::new();
+        let appl = by_name(&m, "appl");
+        let env = envelope_args(&mut store, &m, &r, appl, &SymexBudget::default());
+        assert!(env.incomplete.contains(&Incompleteness::EnvelopeClosure));
+    }
+
+    #[test]
+    fn unknown_function_is_a_gap() {
+        let m = machine("fun main =\n result 0\n");
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let mut store = TermStore::new();
+        let env = envelope_args(&mut store, &m, &r, 0xbeef, &SymexBudget::default());
+        assert!(env.combos.is_empty());
+        assert!(env.incomplete.contains(&Incompleteness::EnvelopeGap));
+    }
+}

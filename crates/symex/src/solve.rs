@@ -1,0 +1,1070 @@
+//! The in-repo incremental constraint solver.
+//!
+//! Path conditions are conjunctions of literals `term == c` / `term != c`
+//! over the interned term DAG. There is no external SMT solver in this
+//! workspace (the container is offline by design), so satisfiability is
+//! decided by a two-stage engine:
+//!
+//! 1. **Propagation** (sound for UNSAT): forward interval analysis over
+//!    the DAG in topological (ascending-id) order, backward narrowing from
+//!    pinned results, disequality sets, and congruence facts harvested
+//!    from `mod`-by-constant terms. All arithmetic runs in `i64`;
+//!    refinements are only applied when the underlying 32-bit wrapping
+//!    operation provably cannot wrap, so an empty interval is a *proof*
+//!    of unsatisfiability.
+//! 2. **Model search** (sound for SAT): deterministic candidate
+//!    generation per variable (pinned values, interval endpoints,
+//!    literal right-hand sides, congruence representatives,
+//!    disequality neighbors) followed by seeded SplitMix64 sampling, with
+//!    every candidate *verified concretely* through
+//!    [`TermStore::eval`] — the same wrapping semantics the interpreter
+//!    uses. A returned model therefore satisfies the condition by
+//!    construction.
+//!
+//! Anything else is [`Verdict::Unknown`]: the caller must not treat it as
+//! either proof.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use zarf_core::prim::PrimOp;
+use zarf_core::Int;
+
+use crate::term::{Term, TermId, TermStore};
+
+/// A concrete variable assignment.
+pub type Model = BTreeMap<u32, Int>;
+
+/// One path-condition literal: `term == rhs` (when `eq`) or `term != rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lit {
+    /// The constrained term.
+    pub term: TermId,
+    /// Equality (`true`) or disequality (`false`).
+    pub eq: bool,
+    /// The literal right-hand side.
+    pub rhs: Int,
+}
+
+impl Lit {
+    /// `term == rhs`.
+    pub fn eq(term: TermId, rhs: Int) -> Self {
+        Lit {
+            term,
+            eq: true,
+            rhs,
+        }
+    }
+
+    /// `term != rhs`.
+    pub fn ne(term: TermId, rhs: Int) -> Self {
+        Lit {
+            term,
+            eq: false,
+            rhs,
+        }
+    }
+}
+
+/// The solver's answer for one conjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable, with a concretely verified witness model.
+    Sat(Model),
+    /// Proved unsatisfiable by sound propagation.
+    Unsat,
+    /// Neither proof found within the effort budget.
+    Unknown,
+}
+
+const I32_LO: i64 = i32::MIN as i64;
+const I32_HI: i64 = i32::MAX as i64;
+const PROP_ROUNDS: usize = 24;
+const NE_CAP: usize = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+impl Interval {
+    fn top() -> Self {
+        Interval {
+            lo: I32_LO,
+            hi: I32_HI,
+        }
+    }
+
+    fn point(n: i64) -> Self {
+        Interval { lo: n, hi: n }
+    }
+
+    fn empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn pinned(&self) -> Option<i64> {
+        if self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    fn meet(&mut self, other: Interval) -> bool {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        let changed = lo != self.lo || hi != self.hi;
+        self.lo = lo;
+        self.hi = hi;
+        changed
+    }
+
+    fn in_i32(&self) -> bool {
+        self.lo >= I32_LO && self.hi <= I32_HI
+    }
+}
+
+/// Propagation state over the subgraph reachable from the literals.
+struct Prop {
+    iv: HashMap<TermId, Interval>,
+    ne: HashMap<TermId, BTreeSet<i64>>,
+    /// `term ≡ residue (mod modulus)` hints for the model search; never
+    /// used to refute.
+    cong: HashMap<TermId, (i64, i64)>,
+    /// Terms whose forward computation is exact (cannot wrap) under the
+    /// current child intervals — prerequisite for backward narrowing.
+    exact: BTreeSet<TermId>,
+    order: Vec<TermId>,
+    unsat: bool,
+}
+
+impl Prop {
+    fn interval(&self, t: TermId) -> Interval {
+        self.iv.get(&t).copied().unwrap_or_else(Interval::top)
+    }
+
+    fn narrow(&mut self, t: TermId, want: Interval) -> bool {
+        let mut cur = self.interval(t);
+        let changed = cur.meet(want);
+        if cur.empty() {
+            self.unsat = true;
+        }
+        self.iv.insert(t, cur);
+        changed
+    }
+
+    fn exclude(&mut self, t: TermId, n: i64) {
+        let cur = self.interval(t);
+        if cur.pinned() == Some(n) {
+            self.unsat = true;
+            return;
+        }
+        // Shave endpoints where possible — that keeps the exclusion inside
+        // the interval domain.
+        if cur.lo == n {
+            self.narrow(
+                t,
+                Interval {
+                    lo: n + 1,
+                    hi: cur.hi,
+                },
+            );
+            return;
+        }
+        if cur.hi == n {
+            self.narrow(
+                t,
+                Interval {
+                    lo: cur.lo,
+                    hi: n - 1,
+                },
+            );
+            return;
+        }
+        let set = self.ne.entry(t).or_default();
+        if set.len() < NE_CAP {
+            set.insert(n);
+        }
+    }
+}
+
+fn reachable_terms(store: &TermStore, lits: &[Lit]) -> Vec<TermId> {
+    let mut needed: BTreeSet<TermId> = BTreeSet::new();
+    let mut stack: Vec<TermId> = lits.iter().map(|l| l.term).collect();
+    while let Some(t) = stack.pop() {
+        if !needed.insert(t) {
+            continue;
+        }
+        if let Term::App(_, args) = store.term(t) {
+            stack.extend(args);
+        }
+    }
+    needed.into_iter().collect()
+}
+
+/// One forward pass: recompute each term's interval from its children.
+/// Ascending id order is topological, so a single pass reaches fixpoint
+/// relative to the current child intervals.
+fn forward(store: &TermStore, p: &mut Prop) {
+    let order = p.order.clone();
+    for t in order {
+        let term = store.term(t);
+        let (iv, exact) = match &term {
+            Term::Const(n) => (Interval::point(*n as i64), true),
+            Term::Var(_) => (p.interval(t), true),
+            Term::App(op, args) => forward_app(*op, args, p),
+        };
+        if exact {
+            p.exact.insert(t);
+        } else {
+            p.exact.remove(&t);
+        }
+        p.narrow(t, iv);
+        if p.unsat {
+            return;
+        }
+    }
+}
+
+/// Forward interval for one application. Returns `(interval, exact)`,
+/// where `exact` means the wrapping op equals the ideal op for every
+/// value in the child intervals (so backward narrowing is sound).
+fn forward_app(op: PrimOp, args: &[TermId], p: &Prop) -> (Interval, bool) {
+    let a = args
+        .first()
+        .map(|&x| p.interval(x))
+        .unwrap_or_else(Interval::top);
+    let b = args
+        .get(1)
+        .map(|&x| p.interval(x))
+        .unwrap_or_else(Interval::top);
+    let wide = |lo: i64, hi: i64| -> (Interval, bool) {
+        let iv = Interval { lo, hi };
+        if iv.in_i32() {
+            (iv, true)
+        } else {
+            (Interval::top(), false)
+        }
+    };
+    match op {
+        PrimOp::Add => wide(a.lo + b.lo, a.hi + b.hi),
+        PrimOp::Sub => wide(a.lo - b.hi, a.hi - b.lo),
+        PrimOp::Mul => {
+            let ps = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            let lo = ps.iter().copied().min().unwrap_or(I32_LO);
+            let hi = ps.iter().copied().max().unwrap_or(I32_HI);
+            wide(lo, hi)
+        }
+        PrimOp::Div => {
+            // |a / b| <= |a| for |b| >= 1; the b == 0 case is a separate
+            // fault path, never a value. The MIN/-1 wrap stays inside the
+            // bound in i64.
+            let m = a.lo.abs().max(a.hi.abs());
+            (
+                Interval {
+                    lo: (-m).max(I32_LO),
+                    hi: m.min(I32_HI),
+                },
+                false,
+            )
+        }
+        PrimOp::Mod => {
+            let mb = b.lo.abs().max(b.hi.abs()).max(1);
+            let ma = a.lo.abs().max(a.hi.abs());
+            let m = (mb - 1).min(ma);
+            (
+                Interval {
+                    lo: (-m).max(I32_LO),
+                    hi: m.min(I32_HI),
+                },
+                false,
+            )
+        }
+        PrimOp::Not => (
+            Interval {
+                lo: -a.hi - 1,
+                hi: -a.lo - 1,
+            },
+            true,
+        ),
+        PrimOp::Neg => {
+            if a.lo > I32_LO {
+                (
+                    Interval {
+                        lo: -a.hi,
+                        hi: -a.lo,
+                    },
+                    true,
+                )
+            } else {
+                (Interval::top(), false)
+            }
+        }
+        PrimOp::Abs => {
+            if a.lo > I32_LO {
+                let lo = if a.lo >= 0 {
+                    a.lo
+                } else if a.hi <= 0 {
+                    -a.hi
+                } else {
+                    0
+                };
+                (
+                    Interval {
+                        lo,
+                        hi: a.lo.abs().max(a.hi.abs()),
+                    },
+                    true,
+                )
+            } else {
+                (Interval::top(), false)
+            }
+        }
+        PrimOp::Min => (
+            Interval {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.min(b.hi),
+            },
+            true,
+        ),
+        PrimOp::Max => (
+            Interval {
+                lo: a.lo.max(b.lo),
+                hi: a.hi.max(b.hi),
+            },
+            true,
+        ),
+        PrimOp::Eq => bool_iv(a.hi < b.lo || b.hi < a.lo, pinned_eq(a, b)),
+        PrimOp::Ne => bool_iv(pinned_eq(a, b), a.hi < b.lo || b.hi < a.lo),
+        PrimOp::Lt => bool_iv(a.lo >= b.hi, a.hi < b.lo),
+        PrimOp::Le => bool_iv(a.lo > b.hi, a.hi <= b.lo),
+        PrimOp::Gt => bool_iv(a.hi <= b.lo, a.lo > b.hi),
+        PrimOp::Ge => bool_iv(a.hi < b.lo, a.lo >= b.hi),
+        PrimOp::And => {
+            if a.lo >= 0 && b.lo >= 0 {
+                (
+                    Interval {
+                        lo: 0,
+                        hi: a.hi.min(b.hi),
+                    },
+                    false,
+                )
+            } else {
+                (Interval::top(), false)
+            }
+        }
+        PrimOp::Or | PrimOp::Xor => {
+            if a.lo >= 0 && b.lo >= 0 {
+                (Interval { lo: 0, hi: I32_HI }, false)
+            } else {
+                (Interval::top(), false)
+            }
+        }
+        PrimOp::Shr => {
+            if let Some(k) = b.pinned() {
+                let k = (k as u32) & 31;
+                (
+                    Interval {
+                        lo: a.lo >> k,
+                        hi: a.hi >> k,
+                    },
+                    true,
+                )
+            } else {
+                (Interval::top(), false)
+            }
+        }
+        PrimOp::Shl | PrimOp::GetInt | PrimOp::PutInt | PrimOp::Gc => (Interval::top(), false),
+    }
+}
+
+fn pinned_eq(a: Interval, b: Interval) -> bool {
+    match (a.pinned(), b.pinned()) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// `(definitely 0, definitely 1)` → boolean interval. Exact: comparisons
+/// never wrap.
+fn bool_iv(zero: bool, one: bool) -> (Interval, bool) {
+    if one {
+        (Interval::point(1), true)
+    } else if zero {
+        (Interval::point(0), true)
+    } else {
+        (Interval { lo: 0, hi: 1 }, true)
+    }
+}
+
+/// One backward pass: push pinned/narrowed results into children, in
+/// descending (reverse-topological) order. Only applied to `exact` terms.
+fn backward(store: &TermStore, p: &mut Prop) {
+    let order: Vec<TermId> = p.order.iter().rev().copied().collect();
+    for t in order {
+        if p.unsat {
+            return;
+        }
+        let (op, args) = match store.term(t) {
+            Term::App(op, args) => (op, args),
+            _ => continue,
+        };
+        let r = p.interval(t);
+        let a = args.first().copied();
+        let b = args.get(1).copied();
+        let (x, y) = match (a, b) {
+            (Some(x), Some(y)) => (x, y),
+            (Some(x), None) => (x, x),
+            _ => continue,
+        };
+        let xa = p.interval(x);
+        let ya = p.interval(y);
+        // Wrapping add/sub/neg/xor are bijections in each operand, so the
+        // fully-pinned inversions below are sound even when the interval
+        // (non-wrapping) narrowing of the `exact` arms is not.
+        let pin = |p: &mut Prop, t: TermId, n: i32| {
+            p.narrow(t, Interval::point(n as i64));
+        };
+        match op {
+            PrimOp::Add => {
+                if let Some(rv) = r.pinned() {
+                    if let Some(yv) = ya.pinned() {
+                        pin(p, x, (rv as i32).wrapping_sub(yv as i32));
+                    } else if let Some(xv) = xa.pinned() {
+                        pin(p, y, (rv as i32).wrapping_sub(xv as i32));
+                    }
+                }
+                if p.exact.contains(&t) {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: r.lo - ya.hi,
+                            hi: r.hi - ya.lo,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: r.lo - xa.hi,
+                            hi: r.hi - xa.lo,
+                        },
+                    );
+                }
+            }
+            PrimOp::Sub => {
+                if let Some(rv) = r.pinned() {
+                    if let Some(yv) = ya.pinned() {
+                        pin(p, x, (rv as i32).wrapping_add(yv as i32));
+                    } else if let Some(xv) = xa.pinned() {
+                        pin(p, y, (xv as i32).wrapping_sub(rv as i32));
+                    }
+                }
+                if p.exact.contains(&t) {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: r.lo + ya.lo,
+                            hi: r.hi + ya.hi,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: xa.lo - r.hi,
+                            hi: xa.hi - r.lo,
+                        },
+                    );
+                }
+            }
+            PrimOp::Neg => {
+                if let Some(rv) = r.pinned() {
+                    pin(p, x, (rv as i32).wrapping_neg());
+                } else if p.exact.contains(&t) {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: -r.hi,
+                            hi: -r.lo,
+                        },
+                    );
+                }
+            }
+            PrimOp::Xor => {
+                if let Some(rv) = r.pinned() {
+                    if let Some(yv) = ya.pinned() {
+                        pin(p, x, rv as i32 ^ yv as i32);
+                    } else if let Some(xv) = xa.pinned() {
+                        pin(p, y, rv as i32 ^ xv as i32);
+                    }
+                }
+            }
+            PrimOp::Not => {
+                p.narrow(
+                    x,
+                    Interval {
+                        lo: -r.hi - 1,
+                        hi: -r.lo - 1,
+                    },
+                );
+            }
+            PrimOp::Eq => match r.pinned() {
+                Some(1) => {
+                    p.narrow(x, ya);
+                    p.narrow(y, xa);
+                }
+                Some(0) => {
+                    if let Some(c) = ya.pinned() {
+                        p.exclude(x, c);
+                    }
+                    if let Some(c) = xa.pinned() {
+                        p.exclude(y, c);
+                    }
+                }
+                _ => {}
+            },
+            PrimOp::Ne => match r.pinned() {
+                Some(0) => {
+                    p.narrow(x, ya);
+                    p.narrow(y, xa);
+                }
+                Some(1) => {
+                    if let Some(c) = ya.pinned() {
+                        p.exclude(x, c);
+                    }
+                    if let Some(c) = xa.pinned() {
+                        p.exclude(y, c);
+                    }
+                }
+                _ => {}
+            },
+            PrimOp::Lt => match r.pinned() {
+                Some(1) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: I32_LO,
+                            hi: ya.hi - 1,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: xa.lo + 1,
+                            hi: I32_HI,
+                        },
+                    );
+                }
+                Some(0) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: ya.lo,
+                            hi: I32_HI,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: I32_LO,
+                            hi: xa.hi,
+                        },
+                    );
+                }
+                _ => {}
+            },
+            PrimOp::Le => match r.pinned() {
+                Some(1) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: I32_LO,
+                            hi: ya.hi,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: xa.lo,
+                            hi: I32_HI,
+                        },
+                    );
+                }
+                Some(0) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: ya.lo + 1,
+                            hi: I32_HI,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: I32_LO,
+                            hi: xa.hi - 1,
+                        },
+                    );
+                }
+                _ => {}
+            },
+            PrimOp::Gt => match r.pinned() {
+                Some(1) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: ya.lo + 1,
+                            hi: I32_HI,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: I32_LO,
+                            hi: xa.hi - 1,
+                        },
+                    );
+                }
+                Some(0) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: I32_LO,
+                            hi: ya.hi,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: xa.lo,
+                            hi: I32_HI,
+                        },
+                    );
+                }
+                _ => {}
+            },
+            PrimOp::Ge => match r.pinned() {
+                Some(1) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: ya.lo,
+                            hi: I32_HI,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: I32_LO,
+                            hi: xa.hi,
+                        },
+                    );
+                }
+                Some(0) => {
+                    p.narrow(
+                        x,
+                        Interval {
+                            lo: I32_LO,
+                            hi: ya.hi - 1,
+                        },
+                    );
+                    p.narrow(
+                        y,
+                        Interval {
+                            lo: xa.lo + 1,
+                            hi: I32_HI,
+                        },
+                    );
+                }
+                _ => {}
+            },
+            PrimOp::Mod => {
+                // Congruence hint only: x ≡ r (mod m) when both the result
+                // and the (positive) modulus are pinned and x is known
+                // non-negative, where `wrapping_rem` equals mathematical
+                // mod. Never used to refute — search guidance only.
+                if let (Some(res), Some(m)) = (r.pinned(), ya.pinned()) {
+                    if m > 0 && xa.lo >= 0 {
+                        p.cong.insert(x, (m, res.rem_euclid(m)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run propagation to a bounded fixpoint. `None` means proved UNSAT.
+fn propagate(store: &TermStore, lits: &[Lit]) -> Option<Prop> {
+    let mut p = Prop {
+        iv: HashMap::new(),
+        ne: HashMap::new(),
+        cong: HashMap::new(),
+        exact: BTreeSet::new(),
+        order: reachable_terms(store, lits),
+        unsat: false,
+    };
+    forward(store, &mut p);
+    for lit in lits {
+        if lit.eq {
+            p.narrow(lit.term, Interval::point(lit.rhs as i64));
+        } else {
+            p.exclude(lit.term, lit.rhs as i64);
+        }
+        if p.unsat {
+            return None;
+        }
+    }
+    for _ in 0..PROP_ROUNDS {
+        let before: Vec<Interval> = p.order.iter().map(|&t| p.interval(t)).collect();
+        backward(store, &mut p);
+        if p.unsat {
+            return None;
+        }
+        forward(store, &mut p);
+        if p.unsat {
+            return None;
+        }
+        // Re-check disequalities against newly pinned intervals.
+        let pins: Vec<(TermId, i64)> =
+            p.ne.iter()
+                .filter_map(|(&t, set)| {
+                    p.iv.get(&t)
+                        .and_then(|iv| iv.pinned())
+                        .filter(|n| set.contains(n))
+                        .map(|n| (t, n))
+                })
+                .collect();
+        if !pins.is_empty() {
+            return None;
+        }
+        let after: Vec<Interval> = p.order.iter().map(|&t| p.interval(t)).collect();
+        if before == after {
+            break;
+        }
+    }
+    Some(p)
+}
+
+/// Propagation-only satisfiability pre-check: `true` means the conjunction
+/// is *provably* unsatisfiable (sound — usable to prune forks and to
+/// discharge warnings).
+pub fn quick_unsat(store: &TermStore, lits: &[Lit]) -> bool {
+    propagate(store, lits).is_none()
+}
+
+/// Verify a candidate model against every literal, concretely.
+fn check_model(store: &TermStore, lits: &[Lit], model: &Model) -> bool {
+    for lit in lits {
+        match store.eval(lit.term, model) {
+            Ok(v) => {
+                if lit.eq != (v == lit.rhs) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// SplitMix64 — the workspace's standard deterministic stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn clamp_i32(n: i64) -> Int {
+    n.clamp(I32_LO, I32_HI) as Int
+}
+
+/// Candidate values for one variable, deterministic and ordered from most
+/// to least informed.
+fn candidates(p: &Prop, store: &TermStore, lits: &[Lit], vt: TermId) -> Vec<Int> {
+    let iv = p.interval(vt);
+    let mut out: Vec<Int> = Vec::new();
+    let mut push = |n: i64| {
+        if n >= iv.lo && n <= iv.hi {
+            let n = clamp_i32(n);
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    };
+    if let Some(n) = iv.pinned() {
+        push(n);
+        return out;
+    }
+    // Congruence representatives first: smallest in-interval member of the
+    // residue class, then a couple more.
+    if let Some(&(m, r)) = p.cong.get(&vt) {
+        if m > 0 {
+            let base = iv.lo + (r - iv.lo).rem_euclid(m);
+            push(base);
+            push(base + m);
+            push(base + 2 * m);
+        }
+    }
+    push(iv.lo);
+    push(iv.hi);
+    push(0);
+    push(1);
+    push(-1);
+    push(2);
+    // Literal right-hand sides on this very variable, and their neighbors.
+    for lit in lits {
+        if lit.term == vt {
+            push(lit.rhs as i64);
+            push(lit.rhs as i64 + 1);
+            push(lit.rhs as i64 - 1);
+        }
+    }
+    // Step around excluded points.
+    if let Some(set) = p.ne.get(&vt) {
+        for &n in set.iter().take(8) {
+            push(n + 1);
+            push(n - 1);
+        }
+    }
+    let _ = store;
+    out
+}
+
+/// Decide one conjunction. `effort` bounds the number of candidate models
+/// verified.
+pub fn solve(store: &TermStore, lits: &[Lit], effort: u32) -> Verdict {
+    let p = match propagate(store, lits) {
+        Some(p) => p,
+        None => return Verdict::Unsat,
+    };
+    let mut vars: BTreeSet<u32> = BTreeSet::new();
+    for lit in lits {
+        store.vars_of(lit.term, &mut vars);
+    }
+    let vars: Vec<u32> = vars.into_iter().collect();
+    if vars.is_empty() {
+        // Ground condition: evaluate directly.
+        let empty = Model::new();
+        return if check_model(store, lits, &empty) {
+            Verdict::Sat(empty)
+        } else {
+            // Ground but false and propagation missed it (e.g. a faulting
+            // sub-term). Not a soundness proof of unsat.
+            Verdict::Unknown
+        };
+    }
+    // Per-variable candidate lists need the variable's *term* id; it may
+    // not be interned if the variable only appears inside applications —
+    // reachable_terms covered those, and Var terms are interned whenever
+    // fresh_var ran, so look them up through the propagation order.
+    let mut var_term: BTreeMap<u32, TermId> = BTreeMap::new();
+    for &t in &p.order {
+        if let Term::Var(v) = store.term(t) {
+            var_term.insert(v, t);
+        }
+    }
+    let cand: Vec<Vec<Int>> = vars
+        .iter()
+        .map(|v| match var_term.get(v) {
+            Some(&t) => {
+                let c = candidates(&p, store, lits, t);
+                if c.is_empty() {
+                    vec![0]
+                } else {
+                    c
+                }
+            }
+            None => vec![0, 1, -1],
+        })
+        .collect();
+    let mut tried = 0u32;
+    let mut model = Model::new();
+    // Pass 1: base assignment (first candidate each).
+    for (i, v) in vars.iter().enumerate() {
+        model.insert(*v, cand[i].first().copied().unwrap_or(0));
+    }
+    tried += 1;
+    if check_model(store, lits, &model) {
+        return Verdict::Sat(model);
+    }
+    // Pass 2: single-variable sweeps over candidate lists.
+    for (i, v) in vars.iter().enumerate() {
+        for &c in cand[i].iter().skip(1) {
+            if tried >= effort {
+                return Verdict::Unknown;
+            }
+            let mut m = model.clone();
+            m.insert(*v, c);
+            tried += 1;
+            if check_model(store, lits, &m) {
+                return Verdict::Sat(m);
+            }
+        }
+    }
+    // Pass 3: full cross product for small problems.
+    let product: usize = cand.iter().map(|c| c.len()).product();
+    if vars.len() <= 3 && product <= effort as usize {
+        let mut idx = vec![0usize; vars.len()];
+        loop {
+            let mut m = Model::new();
+            for (i, v) in vars.iter().enumerate() {
+                m.insert(*v, cand[i].get(idx[i]).copied().unwrap_or(0));
+            }
+            tried += 1;
+            if check_model(store, lits, &m) {
+                return Verdict::Sat(m);
+            }
+            if tried >= effort {
+                return Verdict::Unknown;
+            }
+            let mut carry = true;
+            for i in 0..idx.len() {
+                if carry {
+                    idx[i] += 1;
+                    if idx[i] >= cand[i].len() {
+                        idx[i] = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+    // Pass 4: seeded random sampling inside each variable's interval.
+    let mut rng: u64 = 0x005E_ED0F_5EED ^ (lits.len() as u64) << 32 ^ vars.len() as u64;
+    while tried < effort {
+        let mut m = Model::new();
+        for v in &vars {
+            let iv = var_term
+                .get(v)
+                .map(|&t| p.interval(t))
+                .unwrap_or_else(Interval::top);
+            let width = (iv.hi - iv.lo + 1).max(1) as u64;
+            let r = splitmix(&mut rng) % width;
+            m.insert(*v, clamp_i32(iv.lo + r as i64));
+        }
+        tried += 1;
+        if check_model(store, lits, &m) {
+            return Verdict::Sat(m);
+        }
+    }
+    Verdict::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_var() -> (TermStore, u32, TermId) {
+        let mut s = TermStore::new();
+        let (v, t) = s.fresh_var();
+        (s, v, t)
+    }
+
+    #[test]
+    fn pinned_equalities_solve() {
+        let (mut s, v, t) = store_with_var();
+        let c = s.constant(5);
+        let sum = s.app(PrimOp::Add, vec![t, c]);
+        // x + 5 == 12  =>  x == 7
+        match solve(&s, &[Lit::eq(sum, 12)], 100) {
+            Verdict::Sat(m) => assert_eq!(m.get(&v), Some(&7)),
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let (mut s, _v, t) = store_with_var();
+        let c = s.constant(1);
+        let sum = s.app(PrimOp::Add, vec![t, c]);
+        // x == 3 && x + 1 == 7 is unsat.
+        assert_eq!(
+            solve(&s, &[Lit::eq(t, 3), Lit::eq(sum, 7)], 100),
+            Verdict::Unsat
+        );
+        assert!(quick_unsat(&s, &[Lit::eq(t, 3), Lit::eq(sum, 7)]));
+    }
+
+    #[test]
+    fn disequality_with_pin_is_unsat() {
+        let (s, _v, t) = store_with_var();
+        assert_eq!(
+            solve(&s, &[Lit::eq(t, 3), Lit::ne(t, 3)], 100),
+            Verdict::Unsat
+        );
+    }
+
+    #[test]
+    fn comparison_narrowing() {
+        let (mut s, v, t) = store_with_var();
+        let c = s.constant(10);
+        let lt = s.app(PrimOp::Lt, vec![t, c]);
+        let zero = s.constant(0);
+        let ge0 = s.app(PrimOp::Ge, vec![t, zero]);
+        // x < 10 && x >= 0 && x != 0..8 => x == 9
+        let mut lits = vec![Lit::eq(lt, 1), Lit::eq(ge0, 1)];
+        for n in 0..9 {
+            lits.push(Lit::ne(t, n));
+        }
+        match solve(&s, &lits, 2000) {
+            Verdict::Sat(m) => assert_eq!(m.get(&v), Some(&9)),
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrapping_is_respected_not_refuted() {
+        // x + 1 == i32::MIN has the solution x == i32::MAX (wrapping);
+        // the solver must not claim unsat, and a found model must verify.
+        let (mut s, v, t) = store_with_var();
+        let one = s.constant(1);
+        let sum = s.app(PrimOp::Add, vec![t, one]);
+        match solve(&s, &[Lit::eq(sum, i32::MIN)], 4000) {
+            Verdict::Sat(m) => assert_eq!(m.get(&v), Some(&i32::MAX)),
+            Verdict::Unsat => panic!("wrapping solution exists"),
+            Verdict::Unknown => {} // acceptable: never unsound
+        }
+    }
+
+    #[test]
+    fn congruence_guides_mod_queries() {
+        let (mut s, v, t) = store_with_var();
+        let zero = s.constant(0);
+        let ge0 = s.app(PrimOp::Ge, vec![t, zero]);
+        let m7 = s.constant(7);
+        let md = s.app(PrimOp::Mod, vec![t, m7]);
+        // x >= 0 && x % 7 == 3 && x != 3
+        let lits = [Lit::eq(ge0, 1), Lit::eq(md, 3), Lit::ne(t, 3)];
+        match solve(&s, &lits, 4000) {
+            Verdict::Sat(m) => {
+                let x = m.get(&v).copied().unwrap_or(0);
+                assert!(x >= 0 && x % 7 == 3 && x != 3, "x = {x}");
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_split_terms() {
+        let (mut s, v, t) = store_with_var();
+        let c = s.constant(4);
+        let eq4 = s.app(PrimOp::Eq, vec![t, c]);
+        // (x == 4) == 1  =>  x pinned to 4.
+        match solve(&s, &[Lit::eq(eq4, 1)], 50) {
+            Verdict::Sat(m) => assert_eq!(m.get(&v), Some(&4)),
+            other => panic!("expected sat: {other:?}"),
+        }
+        // (x == 4) == 0 && x == 4 is unsat.
+        assert_eq!(
+            solve(&s, &[Lit::eq(eq4, 0), Lit::eq(t, 4)], 50),
+            Verdict::Unsat
+        );
+    }
+}

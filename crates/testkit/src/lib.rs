@@ -20,10 +20,18 @@
 //!   `benchmark_group`, `iter`/`iter_batched`, [`criterion_group!`] /
 //!   [`criterion_main!`]) that wall-clock-times each routine and prints
 //!   one line per benchmark.
+//! * [`replay`] — concrete witness replay: run a [`replay::WitnessSpec`]
+//!   (entry item + argument recipes + scripted port feed) on the big-step
+//!   reference interpreter and report every runtime fault the call
+//!   constructs, via the evaluator's fault probe. This is how every
+//!   counterexample the symbolic executor emits is validated.
 
 pub mod crit;
 pub mod prop;
+pub mod replay;
 pub mod rng;
+
+pub use replay::{replay_witness, ReplayOutcome, WArg, WitnessSpec};
 
 /// Everything a property-test file needs: `use zarf_testkit::prelude::*;`.
 pub mod prelude {

@@ -1,0 +1,313 @@
+//! Concrete witness replay against the reference interpreter.
+//!
+//! A *witness* is a concrete input vector for one entry-point call: the
+//! entry item, its argument recipes, and a scripted per-port input feed.
+//! Arguments are either literal integers or nested calls to other items of
+//! the same program (the way a service client materializes a constructor
+//! value is by calling a producer item and feeding its result back in).
+//!
+//! [`replay_witness`] executes the recipe on the big-step reference
+//! [`Evaluator`] and reports every runtime fault the entry call constructs
+//! — via the evaluator's fault probe, so faults swallowed by unused
+//! bindings are still observed. The symbolic executor (`zarf-symex`)
+//! validates every candidate through [`replay_witness_bounded`] (tight
+//! fuel and call-depth bounds — candidates may diverge) before emitting
+//! it, and `tests/symex_witness.rs` re-validates emitted witnesses end to
+//! end through [`replay_witness`].
+
+use std::fmt;
+
+use zarf_core::eval::Evaluator;
+use zarf_core::io::VecPorts;
+use zarf_core::value::V;
+use zarf_core::{EvalError, Int, Program};
+
+/// Fuel for one replay: far beyond any witness produced by a bounded
+/// symbolic exploration, while still terminating on adversarial recipes.
+pub const REPLAY_FUEL: u64 = 50_000_000;
+
+/// One argument of a witness call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WArg {
+    /// A literal integer.
+    Int(Int),
+    /// The value of applying `function` to `args` (under-application
+    /// deliberately yields a closure-valued argument).
+    Call {
+        /// Item to call, by its lifted name.
+        function: String,
+        /// Argument recipes, evaluated left to right.
+        args: Vec<WArg>,
+    },
+}
+
+/// A complete concrete input vector: entry item, argument recipes, and the
+/// scripted input words each port serves in read order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WitnessSpec {
+    /// Entry item, by its lifted name.
+    pub entry: String,
+    /// Argument recipes for the entry call.
+    pub args: Vec<WArg>,
+    /// `(port, words)` input script, applied before any evaluation.
+    pub port_feed: Vec<(Int, Vec<Int>)>,
+}
+
+/// What a replay observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Fault codes constructed during the entry call, in order. Faults
+    /// fired while building argument values are not included.
+    pub faults: Vec<Int>,
+    /// The entry call's result, rendered, or the abort reason if the
+    /// interpreter stopped with a host-level error (empty port, fuel).
+    pub result: Result<String, String>,
+}
+
+impl ReplayOutcome {
+    /// Whether the entry call constructed a fault with `code`.
+    pub fn fired(&self, code: Int) -> bool {
+        self.faults.contains(&code)
+    }
+}
+
+impl fmt::Display for WArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WArg::Int(n) => write!(f, "{n}"),
+            WArg::Call { function, args } => {
+                write!(f, "{function}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for WitnessSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.entry)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if !self.port_feed.is_empty() {
+            write!(f, " ports{{")?;
+            for (i, (port, words)) in self.port_feed.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{port}:{words:?}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+fn build_arg(ev: &mut Evaluator<'_>, arg: &WArg, ports: &mut VecPorts) -> Result<V, EvalError> {
+    match arg {
+        WArg::Int(n) => Ok(zarf_core::Value::int(*n)),
+        WArg::Call { function, args } => {
+            let mut vs = Vec::with_capacity(args.len());
+            for a in args {
+                vs.push(build_arg(ev, a, ports)?);
+            }
+            ev.call(function, vs, ports)
+        }
+    }
+}
+
+/// Run a witness on the reference interpreter and report the faults the
+/// entry call constructed. `Err` is returned only for *structural*
+/// failures (unknown entry or producer item); an interpreter abort during
+/// the entry call is reported inside [`ReplayOutcome::result`] so that
+/// faults fired before the abort are still visible.
+pub fn replay_witness(program: &Program, spec: &WitnessSpec) -> Result<ReplayOutcome, String> {
+    replay_witness_bounded(
+        program,
+        spec,
+        REPLAY_FUEL,
+        zarf_core::eval::DEFAULT_CALL_DEPTH,
+    )
+}
+
+/// [`replay_witness`] with explicit fuel and call-depth bounds. The
+/// interpreter recurses on the host stack once per Zarf call, so a caller
+/// validating *candidate* witnesses — which may diverge — must pick a
+/// call-depth bound its stack can absorb; both exhaustions surface as a
+/// host-level `Err` inside [`ReplayOutcome::result`].
+pub fn replay_witness_bounded(
+    program: &Program,
+    spec: &WitnessSpec,
+    fuel: u64,
+    call_depth: u32,
+) -> Result<ReplayOutcome, String> {
+    let mut ports = VecPorts::new();
+    for (port, words) in &spec.port_feed {
+        ports.push_input(*port, words.iter().copied());
+    }
+    let mut ev = Evaluator::new(program)
+        .with_fuel(fuel)
+        .with_call_depth(call_depth);
+    let mut args = Vec::with_capacity(spec.args.len());
+    for a in &spec.args {
+        args.push(
+            build_arg(&mut ev, a, &mut ports)
+                .map_err(|e| format!("building argument `{a}`: {e}"))?,
+        );
+    }
+    // Producers ran on the same evaluator; only the entry call's faults
+    // constitute the witnessed behavior.
+    ev.clear_faults();
+    let result = match ev.call(&spec.entry, args, &mut ports) {
+        Ok(v) => Ok(v.to_string()),
+        Err(EvalError::UnknownGlobal(g)) => return Err(format!("unknown entry item `{g}`")),
+        Err(e) => Err(e.to_string()),
+    };
+    let faults = ev.faults_fired().iter().map(|e| e.code()).collect();
+    Ok(ReplayOutcome { faults, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_core::ast::{Arg, ConDecl, Decl, Expr, FunDecl};
+
+    fn program() -> Program {
+        // boom d = div 10 d          (faults iff d == 0)
+        // mk    = Pair 1 2           (a constructor producer)
+        // use p = div p 4            (prim-on-non-int when p is a Pair)
+        Program::new(vec![
+            Decl::Con(ConDecl::new("Pair", &["a", "b"])),
+            Decl::Fun(FunDecl::new(
+                "boom",
+                &["d"],
+                Expr::let_prim(
+                    "x",
+                    "div",
+                    vec![Arg::lit(10), Arg::var("d")],
+                    Expr::result(Arg::var("x")),
+                ),
+            )),
+            Decl::Fun(FunDecl::new(
+                "mk",
+                &[] as &[&str],
+                Expr::let_con(
+                    "p",
+                    "Pair",
+                    vec![Arg::lit(1), Arg::lit(2)],
+                    Expr::result(Arg::var("p")),
+                ),
+            )),
+            Decl::Fun(FunDecl::new(
+                "use",
+                &["p"],
+                Expr::let_prim(
+                    "x",
+                    "div",
+                    vec![Arg::var("p"), Arg::lit(4)],
+                    Expr::result(Arg::var("x")),
+                ),
+            )),
+            Decl::Fun(FunDecl::new(
+                "echo",
+                &[] as &[&str],
+                Expr::let_prim(
+                    "a",
+                    "getint",
+                    vec![Arg::lit(3)],
+                    Expr::result(Arg::var("a")),
+                ),
+            )),
+            Decl::main(Expr::result(Arg::lit(0))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn int_witness_fires_exact_code() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "boom".into(),
+            args: vec![WArg::Int(0)],
+            port_feed: vec![],
+        };
+        let out = replay_witness(&p, &spec).unwrap();
+        assert!(out.fired(1), "divide-by-zero is code 1: {out:?}");
+        assert_eq!(spec.to_string(), "boom(0)");
+    }
+
+    #[test]
+    fn non_faulting_input_fires_nothing() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "boom".into(),
+            args: vec![WArg::Int(5)],
+            port_feed: vec![],
+        };
+        let out = replay_witness(&p, &spec).unwrap();
+        assert!(out.faults.is_empty());
+        assert_eq!(out.result, Ok("2".to_string()));
+    }
+
+    #[test]
+    fn producer_call_builds_constructor_argument() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "use".into(),
+            args: vec![WArg::Call {
+                function: "mk".into(),
+                args: vec![],
+            }],
+            port_feed: vec![],
+        };
+        let out = replay_witness(&p, &spec).unwrap();
+        assert!(out.fired(7), "prim-on-non-int is code 7: {out:?}");
+        assert_eq!(spec.to_string(), "use(mk())");
+    }
+
+    #[test]
+    fn port_feed_is_scripted_and_shown() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "echo".into(),
+            args: vec![],
+            port_feed: vec![(3, vec![41])],
+        };
+        let out = replay_witness(&p, &spec).unwrap();
+        assert_eq!(out.result, Ok("41".to_string()));
+        assert_eq!(spec.to_string(), "echo() ports{3:[41]}");
+    }
+
+    #[test]
+    fn empty_port_aborts_but_reports_prior_faults() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "echo".into(),
+            args: vec![],
+            port_feed: vec![],
+        };
+        let out = replay_witness(&p, &spec).unwrap();
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn unknown_entry_is_structural_error() {
+        let p = program();
+        let spec = WitnessSpec {
+            entry: "nope".into(),
+            args: vec![],
+            port_feed: vec![],
+        };
+        assert!(replay_witness(&p, &spec).is_err());
+    }
+}

@@ -29,6 +29,9 @@
 //! * [`allocbound`] — worst-case heap words allocated per call of each
 //!   item (⊤ for unbounded recursion), composing up the call graph into
 //!   per-op and whole-program bounds the fleet sizes heap quotas from.
+//! * [`queries`] — the bridge from shape findings to the symbolic
+//!   executor: each warning/violation as a [`queries::VetQuery`] that
+//!   `zarf-symex` answers with a witness or a spuriousness proof.
 //!
 //! All analyses run on the *machine form* or the named AST lifted from a
 //! binary — no source required, which is the architecture's point.
@@ -55,6 +58,7 @@ pub mod annotated;
 pub mod callgraph;
 pub mod integrity;
 pub mod lints;
+pub mod queries;
 pub mod shape;
 pub mod sigs;
 pub mod timing;
@@ -66,6 +70,7 @@ pub use annotated::{check_annotated, parse_annotations, AnnotError, Annotated};
 pub use callgraph::CallGraph;
 pub use integrity::{check_program, Label, Signatures, Ty, TypeError};
 pub use lints::{lint, Lint};
+pub use queries::{violation_queries, warning_queries, QueryKind, VetQuery};
 pub use shape::{analyze_shapes, AbsVal, EntryModel, Fault, ShapeReport, UnreachableArm};
 pub use timing::{kernel_timing, TimingReport};
 pub use wcet::{gc_bound, iteration_wcet, Wcet, WcetError, WcetReport};

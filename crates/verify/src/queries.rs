@@ -1,0 +1,189 @@
+//! Warning → query bridge between the shape analysis and the symbolic
+//! executor.
+//!
+//! `zarf vet` classifies [`ShapeReport`] findings into *violations*
+//! (case/arity faults — certificate breakers) and *warnings* (value faults
+//! and unreachable arms — advisory). Each finding becomes a [`VetQuery`],
+//! the unit of work `zarf-symex` decides: it answers with a concrete
+//! counterexample witness, a spuriousness proof, or a typed "undecided".
+//!
+//! Keeping the query type here (rather than in `zarf-symex`) lets the
+//! fleet's verified-load path and the CLI build queries without caring
+//! which engine answers them.
+
+use std::fmt;
+
+use crate::shape::{Fault, ShapeReport};
+use zarf_core::machine::MProgram;
+use zarf_core::prim::FIRST_USER_INDEX;
+
+/// What a query asks about one function.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryKind {
+    /// "May this function construct a runtime fault of this class?"
+    ValueFault(Fault),
+    /// "Is this case arm really unreachable?" Indices use the shape
+    /// analysis's numbering: cases pre-order within the function, arms by
+    /// position within the case.
+    UnreachableArm {
+        /// Pre-order index of the case within the function.
+        case_index: usize,
+        /// Arm position within the case.
+        arm_index: usize,
+    },
+}
+
+/// One decidable question derived from a vet finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VetQuery {
+    /// The function the finding is about (global identifier).
+    pub function: u32,
+    /// Human-readable function label (retained symbol or `g_…`), matching
+    /// the lifter's naming so witnesses replay by this name.
+    pub label: String,
+    /// The question.
+    pub kind: QueryKind,
+}
+
+impl fmt::Display for VetQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            QueryKind::ValueFault(fault) => write!(f, "{}: may fault: {fault}", self.label),
+            QueryKind::UnreachableArm {
+                case_index,
+                arm_index,
+            } => write!(
+                f,
+                "{}: case {case_index} arm {arm_index} unreachable",
+                self.label
+            ),
+        }
+    }
+}
+
+/// The label the binary lifter would assign to this item: its retained
+/// symbol, `main` for item 0, or `g_<id>` otherwise.
+pub fn item_label(program: &MProgram, id: u32) -> String {
+    match program.lookup(id).and_then(|it| it.name.clone()) {
+        Some(n) => n,
+        None if id == FIRST_USER_INDEX => "main".to_string(),
+        None => format!("g_{id:x}"),
+    }
+}
+
+/// Whether a fault class is reported as a *warning* (value fault) rather
+/// than a certificate-breaking violation.
+pub fn is_warning_fault(fault: Fault) -> bool {
+    !fault.is_case_fault() && !fault.is_arity_fault()
+}
+
+/// All warning-class queries of a report: value-fault warnings plus
+/// unreachable arms, in a stable order.
+pub fn warning_queries(program: &MProgram, report: &ShapeReport) -> Vec<VetQuery> {
+    let mut out = Vec::new();
+    for (id, fault) in report.faults() {
+        if is_warning_fault(fault) {
+            out.push(VetQuery {
+                function: id,
+                label: item_label(program, id),
+                kind: QueryKind::ValueFault(fault),
+            });
+        }
+    }
+    for arm in &report.unreachable_arms {
+        out.push(VetQuery {
+            function: arm.function,
+            label: item_label(program, arm.function),
+            kind: QueryKind::UnreachableArm {
+                case_index: arm.case_index,
+                arm_index: arm.arm_index,
+            },
+        });
+    }
+    out.sort();
+    out
+}
+
+/// All violation-class queries of a report: case/arity faults. The fleet's
+/// verified-load path asks the symbolic executor to attach a concrete
+/// witness to these before rejecting a binary.
+pub fn violation_queries(program: &MProgram, report: &ShapeReport) -> Vec<VetQuery> {
+    let mut out: Vec<VetQuery> = report
+        .faults()
+        .filter(|&(_, fault)| !is_warning_fault(fault))
+        .map(|(id, fault)| VetQuery {
+            function: id,
+            label: item_label(program, id),
+            kind: QueryKind::ValueFault(fault),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{analyze_shapes, EntryModel};
+    use zarf_asm::{lower, parse};
+
+    fn machine(src: &str) -> MProgram {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn warnings_and_violations_split_by_fault_class() {
+        // f may divide by zero (warning); g cases on a closure (violation).
+        let m = machine(
+            "fun f a =\n let x = div 10 a in\n result x\n\
+             fun g =\n let c = add 1 in\n case c of\n | 0 => result 0\n else result 1\n\
+             fun main =\n result 0\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Service).unwrap();
+        let warns = warning_queries(&m, &r);
+        let viols = violation_queries(&m, &r);
+        assert!(warns
+            .iter()
+            .any(|q| q.label == "f" && q.kind == QueryKind::ValueFault(Fault::DivideByZero)));
+        assert!(viols
+            .iter()
+            .any(|q| q.label == "g" && q.kind == QueryKind::ValueFault(Fault::CaseOnClosure)));
+        assert!(!warns
+            .iter()
+            .any(|q| q.label == "g"
+                && matches!(q.kind, QueryKind::ValueFault(f) if f.is_case_fault())));
+    }
+
+    #[test]
+    fn unreachable_arms_become_queries() {
+        let m = machine(
+            "fun main =\n let x = add 1 1 in\n case x of\n | 2 => result 0\n | 3 => result 1\n else result 2\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let warns = warning_queries(&m, &r);
+        assert!(
+            warns
+                .iter()
+                .any(|q| matches!(q.kind, QueryKind::UnreachableArm { .. })),
+            "constant scrutinee should leave an unreachable arm: {warns:?}"
+        );
+    }
+
+    #[test]
+    fn labels_follow_lifter_naming() {
+        let m = machine("fun main =\n result 0\n");
+        assert_eq!(item_label(&m, 0x100), "main");
+        assert_eq!(item_label(&m, 0x999), "g_999");
+    }
+
+    #[test]
+    fn cells_are_exported() {
+        let m = machine(
+            "con Box v\nfun main =\n let b = Box 7 in\n case b of\n | Box v => result v\n else result 0\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let boxid = 0x101;
+        let cell = r.cells.get(&(boxid, 0)).expect("Box field cell exported");
+        assert!(matches!(&cell.ints, crate::shape::Ints::Consts(s) if s.contains(&7)));
+    }
+}

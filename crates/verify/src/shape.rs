@@ -507,6 +507,10 @@ pub struct ShapeReport {
     pub functions: BTreeMap<u32, FunShape>,
     /// Arms no reaching value can match.
     pub unreachable_arms: Vec<UnreachableArm>,
+    /// Flow-insensitive per-`(constructor, field)` shape cells: everything
+    /// the fixpoint saw stored into each constructor field. The symbolic
+    /// executor instantiates nested entry shapes from these.
+    pub cells: BTreeMap<(u32, usize), AbsVal>,
     /// Fixpoint iterations performed.
     pub iterations: u64,
     /// The engine's enforced iteration bound.
@@ -753,6 +757,18 @@ impl Analysis for ShapeAnalysis<'_> {
 
 /// One abstract execution of a function body: used both as the engine's
 /// transfer function and, after the fixpoint, as the reporting pass.
+/// Number of `case` nodes in a subtree (for pre-order numbering of
+/// skipped branches).
+fn count_cases(e: &MExpr) -> usize {
+    let mut n = 0;
+    e.walk(&mut |x| {
+        if matches!(x, MExpr::Case { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
 struct Walker<'a, 'm> {
     an: &'a ShapeAnalysis<'m>,
     view: &'a View<'a, ShapeVal>,
@@ -1082,6 +1098,11 @@ impl<'a, 'm> Walker<'a, 'm> {
                         if !s.is_bot() {
                             self.arms.push((case_index, arm_index, b.pattern));
                         }
+                        // Keep the numbering pure pre-order over the syntax:
+                        // cases inside the pruned body still take indices, so
+                        // downstream tools (the symbolic executor) can number
+                        // cases without re-deriving reachability.
+                        self.case_counter += count_cases(&b.body);
                         continue;
                     }
                     let before = env.len();
@@ -1107,6 +1128,8 @@ impl<'a, 'm> Walker<'a, 'm> {
                 };
                 if default_reachable {
                     self.eval_expr(default, env, args, ret);
+                } else {
+                    self.case_counter += count_cases(default);
                 }
             }
             MExpr::Result(op) => {
@@ -1152,10 +1175,21 @@ pub fn analyze_shapes(program: &MProgram, model: EntryModel) -> Result<ShapeRepo
             },
         );
     }
+    let mut cells = BTreeMap::new();
+    for (&node, val) in &fp.values {
+        if (CELL_BASE..SERVICE_NODE).contains(&node) {
+            if let ShapeVal::Cell(v) = val {
+                let con = ((node - CELL_BASE) >> 16) as u32;
+                let field = (node & 0xFFFF) as usize;
+                cells.insert((con, field), v.clone());
+            }
+        }
+    }
     Ok(ShapeReport {
         model,
         functions,
         unreachable_arms,
+        cells,
         iterations: fp.iterations,
         iteration_bound: fp.bound,
     })

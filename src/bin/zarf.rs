@@ -16,12 +16,17 @@
 //!                                 run on hardware, print metrics report
 //!                                 (or folded stacks for flamegraph tools)
 //! zarf vet <file.zf|file.zbin> [--json] [--model standalone|service]
+//!          [--symex]
 //!                                 static certification: shape/arity
 //!                                 machine-fault-freedom, allocation
 //!                                 bounds, WCET, binary integrity, and
 //!                                 lints in one report; the last line is
 //!                                 a one-line JSON verdict and the exit
-//!                                 code is nonzero on any violation
+//!                                 code is nonzero on any violation;
+//!                                 --symex decides each warning into a
+//!                                 replay-validated concrete witness, a
+//!                                 spuriousness proof, or a typed
+//!                                 undecided marker (DESIGN.md §15)
 //! zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N]
 //!            [--policy halt|restart|degrade|rollback]
 //!                                 seeded fault-injection soak of the full
@@ -92,7 +97,7 @@ fn usage_text() -> &'static str {
      trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
      profile options: --in PORT:v,v,…  --folded (flamegraph folded stacks)\n\
      wcet options: --fn NAME  --exclude NAME\n\
-     vet options: --json  --model standalone|service (see `zarf vet --help`)\n\
+     vet options: --json  --model standalone|service  --symex (see `zarf vet --help`)\n\
      chaos options: --policy halt|restart|degrade|rollback (default restart)"
 }
 
@@ -103,7 +108,7 @@ fn usage() -> ExitCode {
 
 fn vet_help() {
     println!(
-        "zarf vet <file.zf|file.zbin> [--json] [--model standalone|service]\n\
+        "zarf vet <file.zf|file.zbin> [--json] [--model standalone|service] [--symex]\n\
          \n\
          Statically certify a program or binary. The report combines:\n\
          \x20 * shape/arity analysis — case-fault-freedom and arity-fault-\n\
@@ -119,6 +124,11 @@ fn vet_help() {
          --model standalone   analyze from `main` only (default)\n\
          --model service      analyze every function as a fleet op target,\n\
          \x20                  arguments unknown (what verified-load checks)\n\
+         --symex              decide each warning by symbolic execution:\n\
+         \x20                  annotate it with a concrete replayable\n\
+         \x20                  counterexample [witness=…], a [proved-spurious]\n\
+         \x20                  proof, or a typed [undecided(…)]; unreachable-arm\n\
+         \x20                  warnings refuted by a witness are dropped\n\
          --json               full machine-readable report on stdout\n\
          \n\
          The last line is always a one-line JSON verdict; the exit code is\n\
@@ -147,6 +157,7 @@ fn run_vet(rest: &[String]) -> ExitCode {
     };
     let opts = &rest[1..];
     let json = opts.iter().any(|a| a == "--json");
+    let symex_on = opts.iter().any(|a| a == "--symex");
     let model = match flag_value(opts, "--model").as_deref() {
         None | Some("standalone") => EntryModel::Standalone,
         Some("service") => EntryModel::Service,
@@ -199,12 +210,38 @@ fn run_vet(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Decide the warnings symbolically before rendering them, so each
+    // line carries its verdict: a replayable counterexample, a
+    // spuriousness proof, or a typed "undecided".
+    let symex_report = if symex_on {
+        use zarf::verify::queries::warning_queries;
+        let queries = warning_queries(&machine, &shapes);
+        Some(zarf::symex::decide(
+            &machine,
+            &shapes,
+            &queries,
+            zarf::symex::SymexBudget::default(),
+        ))
+    } else {
+        None
+    };
+    let verdict_of = |function: u32, kind: zarf::verify::queries::QueryKind| {
+        symex_report.as_ref().and_then(|r| {
+            r.verdicts
+                .iter()
+                .find(|v| v.query.function == function && v.query.kind == kind)
+        })
+    };
+
     for (id, f) in shapes.faults() {
         let line = format!("{}: may fault: {f}", label(id));
         if f.is_case_fault() || f.is_arity_fault() {
             violations.push(line);
         } else {
-            warnings.push(line);
+            match verdict_of(id, zarf::verify::queries::QueryKind::ValueFault(f)) {
+                Some(v) => warnings.push(format!("{line} [{}]", v.status)),
+                None => warnings.push(line),
+            }
         }
     }
     for arm in &shapes.unreachable_arms {
@@ -212,12 +249,23 @@ fn run_vet(rest: &[String]) -> ExitCode {
             zarf::core::machine::MPattern::Lit(n) => n.to_string(),
             zarf::core::machine::MPattern::Con(id) => format!("con {id:#x}"),
         };
-        warnings.push(format!(
+        let line = format!(
             "{}: case {} arm {} (`{pat}`) is unreachable",
             label(arm.function),
             arm.case_index,
             arm.arm_index,
-        ));
+        );
+        let kind = zarf::verify::queries::QueryKind::UnreachableArm {
+            case_index: arm.case_index,
+            arm_index: arm.arm_index,
+        };
+        match verdict_of(arm.function, kind) {
+            // A witness reaching the arm refutes the dead-code claim:
+            // the warning was spurious, so it is dropped outright.
+            Some(v) if v.discharges() => {}
+            Some(v) => warnings.push(format!("{line} [{}]", v.status)),
+            None => warnings.push(line),
+        }
     }
 
     // Allocation bounds. ⊤ is not a violation — unbounded recursion is
@@ -296,12 +344,25 @@ fn run_vet(rest: &[String]) -> ExitCode {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let symex_json = symex_report.as_ref().map_or(String::new(), |r| {
+            format!(
+                ",\"symex\":{{\"witnesses\":{},\"discharged\":{},\"undecided\":{},\
+                 \"pool\":{},\"paths\":{},\"summary_hits\":{},\"summary_misses\":{}}}",
+                r.witnesses(),
+                r.discharged(),
+                r.undecided(),
+                r.stats.pool,
+                r.stats.paths,
+                r.stats.summary_hits,
+                r.stats.summary_misses,
+            )
+        });
         println!(
             "{{\"file\":\"{}\",\"model\":\"{:?}\",\"functions\":[{funs}],\
              \"violations\":[{}],\"warnings\":[{}],\
              \"case_fault_free\":{},\"arity_fault_free\":{},\
              \"program_alloc_bound\":{},\"wcet_cycles\":{},\
-             \"iterations\":{},\"iteration_bound\":{}}}",
+             \"iterations\":{},\"iteration_bound\":{}{symex_json}}}",
             esc(path),
             model,
             list(&violations),
@@ -339,8 +400,16 @@ fn run_vet(rest: &[String]) -> ExitCode {
         }
     }
     // Machine-readable verdict, always the last line of output.
+    let symex_verdict = symex_report.as_ref().map_or(String::new(), |r| {
+        format!(
+            ",\"witnesses\":{},\"discharged\":{},\"undecided\":{}",
+            r.witnesses(),
+            r.discharged(),
+            r.undecided()
+        )
+    });
     println!(
-        "{{\"verdict\":\"{}\",\"violations\":{},\"warnings\":{}}}",
+        "{{\"verdict\":\"{}\",\"violations\":{},\"warnings\":{}{symex_verdict}}}",
         if violations.is_empty() {
             "pass"
         } else {

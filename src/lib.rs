@@ -55,6 +55,7 @@ pub use zarf_icd as icd;
 pub use zarf_imperative as imperative;
 pub use zarf_kernel as kernel;
 pub use zarf_store as store;
+pub use zarf_symex as symex;
 pub use zarf_trace as trace;
 pub use zarf_verify as verify;
 

@@ -428,7 +428,13 @@ fn verified_load_rejects_faulty_binary_with_typed_error() {
     handle.close(ok).unwrap();
     match handle.open_program(&faulty, Some(verified.clone())) {
         Err(zarf::fleet::FleetError::Certification(msg)) => {
-            assert!(msg.contains("fault"), "unexpected message: {msg}")
+            assert!(msg.contains("fault"), "unexpected message: {msg}");
+            // The rejection carries evidence: a concrete op the symbolic
+            // executor found and replayed to the fault on the interpreter.
+            assert!(
+                msg.contains("witness: main()"),
+                "certification error should attach a witness: {msg}"
+            );
         }
         other => panic!("expected Certification error, got {other:?}"),
     }

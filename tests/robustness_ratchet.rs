@@ -39,6 +39,22 @@ const RATCHET: &[(&str, usize)] = &[
     ("crates/verify/src/absint.rs", 0),
     ("crates/verify/src/shape.rs", 0),
     ("crates/verify/src/allocbound.rs", 0),
+    // The symbolic executor runs on the fleet admission path (witnesses
+    // for certification refusals) and inside `zarf vet`; an analysis
+    // panic is a denial of service on admission, so the whole crate —
+    // and the replay/query seams it leans on — holds the line at zero.
+    ("crates/symex/src/budget.rs", 0),
+    ("crates/symex/src/exec.rs", 0),
+    ("crates/symex/src/lib.rs", 0),
+    ("crates/symex/src/report.rs", 0),
+    ("crates/symex/src/seed.rs", 0),
+    ("crates/symex/src/solve.rs", 0),
+    ("crates/symex/src/summary.rs", 0),
+    ("crates/symex/src/term.rs", 0),
+    ("crates/symex/src/value.rs", 0),
+    ("crates/symex/src/witness.rs", 0),
+    ("crates/testkit/src/replay.rs", 0),
+    ("crates/verify/src/queries.rs", 0),
     // The durable store holds every committed session; a panic here is
     // data loss for the whole fleet, so every module holds at zero.
     ("crates/store/src/lib.rs", 0),
