@@ -3,14 +3,32 @@
 
 use zarf_bench::{header, row, vt_workload};
 use zarf_hw::CostModel;
-use zarf_kernel::baseline::baseline_cpu;
+use zarf_kernel::baseline::{baseline_cpu, baseline_program, BASELINE_MEM_WORDS};
 use zarf_kernel::devices::HeartPorts;
+use zarf_kernel::program::{PORT_BOOT, PORT_ECG, PORT_PACE, PORT_TIMER};
 use zarf_kernel::system::System;
+use zarf_verify::risc::{certify, RiscSpec};
 use zarf_verify::timing::{kernel_timing, CLOCK_HZ, DEADLINE_CYCLES};
 
 fn main() {
     let samples = vt_workload(120.0);
     let n = samples.len() as u64;
+
+    // The unverified-C stand-in is not unvetted: certify the image the
+    // timing run is about to execute (fault freedom + cycle bounds),
+    // exactly what `zarf vet --risc @monitor` checks.
+    let spec =
+        RiscSpec::new(BASELINE_MEM_WORDS).with_ports([PORT_BOOT, PORT_TIMER, PORT_PACE, PORT_ECG]);
+    let report = certify(&baseline_program(), &spec).expect("baseline analyzes");
+    assert!(
+        report.certified(),
+        "baseline image failed certification:\n{}",
+        report.human()
+    );
+    let steady = report
+        .wcet
+        .steady
+        .expect("certified reactive image has a steady-state bound");
 
     // λ-execution layer (50 MHz).
     let mut sys = System::new(samples.clone()).expect("system boots");
@@ -41,6 +59,11 @@ fn main() {
         "<1,000",
         "cycles",
     );
+    assert!(
+        blaze_per_iter <= steady,
+        "observed {blaze_per_iter} cycles/iter exceeds the static bound {steady}"
+    );
+    row("imperative core, static worst/iter", steady, "-", "cycles");
     row("λ-layer, mean cycles/iter", lambda_per_iter, "-", "cycles");
     row(
         "λ-layer, worst-case cycles/iter",

@@ -62,7 +62,15 @@ enum BranchKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AsmError {
     /// A branch or jump references an undefined label.
-    UndefinedLabel(String),
+    UndefinedLabel {
+        /// The unresolved label.
+        label: String,
+        /// Instruction index of the referencing instruction.
+        pc: usize,
+        /// The offending instruction, rendered in `Instr`'s `Display`
+        /// grammar with the unresolved label in target position.
+        instr: String,
+    },
     /// The same label was defined twice.
     DuplicateLabel(String),
 }
@@ -70,7 +78,9 @@ pub enum AsmError {
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::UndefinedLabel { label, pc, instr } => {
+                write!(f, "undefined label `{label}` at pc {pc}: `{instr}`")
+            }
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
         }
     }
@@ -274,32 +284,47 @@ impl Asm {
         if let Some(d) = self.duplicate {
             return Err(AsmError::DuplicateLabel(d));
         }
-        let resolve = |label: &str| -> Result<usize, AsmError> {
-            self.labels
-                .get(label)
-                .copied()
-                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        // Materialize a pending instruction with a placeholder target, so
+        // error messages can cite the instruction in `Display` grammar.
+        let materialize = |p: &Pending, target: usize| -> Instr {
+            match p {
+                Pending::Ready(i) => *i,
+                Pending::Branch { kind, s, t, .. } => match kind {
+                    BranchKind::Beq => Instr::Beq(*s, *t, target),
+                    BranchKind::Bne => Instr::Bne(*s, *t, target),
+                    BranchKind::Blt => Instr::Blt(*s, *t, target),
+                    BranchKind::Bge => Instr::Bge(*s, *t, target),
+                },
+                Pending::Jump { link: true, .. } => Instr::Jal(target),
+                Pending::Jump { link: false, .. } => Instr::Jmp(target),
+            }
         };
         self.instrs
             .iter()
-            .map(|p| match p {
-                Pending::Ready(i) => Ok(*i),
-                Pending::Branch { kind, s, t, label } => {
-                    let target = resolve(label)?;
-                    Ok(match kind {
-                        BranchKind::Beq => Instr::Beq(*s, *t, target),
-                        BranchKind::Bne => Instr::Bne(*s, *t, target),
-                        BranchKind::Blt => Instr::Blt(*s, *t, target),
-                        BranchKind::Bge => Instr::Bge(*s, *t, target),
-                    })
-                }
-                Pending::Jump { link, label } => {
-                    let target = resolve(label)?;
-                    Ok(if *link {
-                        Instr::Jal(target)
-                    } else {
-                        Instr::Jmp(target)
-                    })
+            .enumerate()
+            .map(|(pc, p)| {
+                let label = match p {
+                    Pending::Ready(i) => return Ok(*i),
+                    Pending::Branch { label, .. } | Pending::Jump { label, .. } => label,
+                };
+                match self.labels.get(label.as_str()).copied() {
+                    Some(target) => Ok(materialize(p, target)),
+                    None => {
+                        // Render with target 0, then put the label where the
+                        // placeholder index landed.
+                        let rendered = materialize(p, 0).to_string();
+                        let instr = match rendered.rfind('0') {
+                            Some(at) => {
+                                format!("{}`{label}`{}", &rendered[..at], &rendered[at + 1..])
+                            }
+                            None => rendered,
+                        };
+                        Err(AsmError::UndefinedLabel {
+                            label: label.clone(),
+                            pc,
+                            instr,
+                        })
+                    }
                 }
             })
             .collect()
@@ -331,10 +356,20 @@ mod tests {
     #[test]
     fn undefined_label_rejected() {
         let mut a = Asm::new();
-        a.jmp("nowhere");
+        a.addi(Reg(1), R0, 1);
+        a.beq(Reg(1), R0, "nowhere");
+        let err = a.assemble().unwrap_err();
+        match &err {
+            AsmError::UndefinedLabel { label, pc, instr } => {
+                assert_eq!(label, "nowhere");
+                assert_eq!(*pc, 1);
+                assert_eq!(instr, "beq r1, r0, `nowhere`");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
         assert_eq!(
-            a.assemble().unwrap_err(),
-            AsmError::UndefinedLabel("nowhere".into())
+            err.to_string(),
+            "undefined label `nowhere` at pc 1: `beq r1, r0, `nowhere``"
         );
     }
 

@@ -96,6 +96,174 @@ pub enum Instr {
     Halt,
 }
 
+impl Instr {
+    /// The register this instruction writes, if any. `Jal` writes the
+    /// link register `r15`. Writes to `r0` are architectural no-ops but
+    /// are still reported (the analysis bakes the hardwired zero into its
+    /// transfer functions instead).
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Instr::Add(d, ..)
+            | Instr::Sub(d, ..)
+            | Instr::Mul(d, ..)
+            | Instr::Div(d, ..)
+            | Instr::Rem(d, ..)
+            | Instr::And(d, ..)
+            | Instr::Or(d, ..)
+            | Instr::Xor(d, ..)
+            | Instr::Slt(d, ..)
+            | Instr::Sll(d, ..)
+            | Instr::Sra(d, ..)
+            | Instr::Addi(d, ..)
+            | Instr::Muli(d, ..)
+            | Instr::Slti(d, ..)
+            | Instr::Lw(d, ..)
+            | Instr::In(d, _) => Some(d),
+            Instr::Jal(_) => Some(Reg(15)),
+            Instr::Sw(..)
+            | Instr::Beq(..)
+            | Instr::Bne(..)
+            | Instr::Blt(..)
+            | Instr::Bge(..)
+            | Instr::Jmp(_)
+            | Instr::Jr(_)
+            | Instr::Out(..)
+            | Instr::Halt => None,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order (at most
+    /// two; unused slots are `None`).
+    pub fn uses(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Add(_, s, t)
+            | Instr::Sub(_, s, t)
+            | Instr::Mul(_, s, t)
+            | Instr::Div(_, s, t)
+            | Instr::Rem(_, s, t)
+            | Instr::And(_, s, t)
+            | Instr::Or(_, s, t)
+            | Instr::Xor(_, s, t)
+            | Instr::Slt(_, s, t)
+            | Instr::Sll(_, s, t)
+            | Instr::Sra(_, s, t)
+            | Instr::Beq(s, t, _)
+            | Instr::Bne(s, t, _)
+            | Instr::Blt(s, t, _)
+            | Instr::Bge(s, t, _) => [Some(s), Some(t)],
+            Instr::Sw(t, s, _) => [Some(t), Some(s)],
+            Instr::Addi(_, s, _)
+            | Instr::Muli(_, s, _)
+            | Instr::Slti(_, s, _)
+            | Instr::Lw(_, s, _)
+            | Instr::Jr(s)
+            | Instr::Out(s, _) => [Some(s), None],
+            Instr::Jmp(_) | Instr::Jal(_) | Instr::In(..) | Instr::Halt => [None, None],
+        }
+    }
+
+    /// The static control-flow target (absolute instruction index) of a
+    /// branch, jump, or call, if any. `Jr` has no static target.
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            Instr::Beq(_, _, t)
+            | Instr::Bne(_, _, t)
+            | Instr::Blt(_, _, t)
+            | Instr::Bge(_, _, t)
+            | Instr::Jmp(t)
+            | Instr::Jal(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether control may continue at `pc + 1` after this instruction.
+    /// True for straight-line code and not-taken conditional branches;
+    /// false for `Jmp`, `Jal`, `Jr`, and `Halt`.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Jmp(_) | Instr::Jal(_) | Instr::Jr(_) | Instr::Halt
+        )
+    }
+
+    /// The I/O port an `In`/`Out` instruction touches, if any.
+    pub fn port(&self) -> Option<Int> {
+        match *self {
+            Instr::In(_, p) | Instr::Out(_, p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Add(..) => "add",
+            Instr::Sub(..) => "sub",
+            Instr::Mul(..) => "mul",
+            Instr::Div(..) => "div",
+            Instr::Rem(..) => "rem",
+            Instr::And(..) => "and",
+            Instr::Or(..) => "or",
+            Instr::Xor(..) => "xor",
+            Instr::Slt(..) => "slt",
+            Instr::Sll(..) => "sll",
+            Instr::Sra(..) => "sra",
+            Instr::Addi(..) => "addi",
+            Instr::Muli(..) => "muli",
+            Instr::Slti(..) => "slti",
+            Instr::Lw(..) => "lw",
+            Instr::Sw(..) => "sw",
+            Instr::Beq(..) => "beq",
+            Instr::Bne(..) => "bne",
+            Instr::Blt(..) => "blt",
+            Instr::Bge(..) => "bge",
+            Instr::Jmp(_) => "jmp",
+            Instr::Jal(_) => "jal",
+            Instr::Jr(_) => "jr",
+            Instr::In(..) => "in",
+            Instr::Out(..) => "out",
+            Instr::Halt => "halt",
+        }
+    }
+}
+
+/// Textual rendering: `add r1, r2, r3` / `lw r1, 3(r2)` /
+/// `beq r1, r2, 12` / `in r1, 7` / `halt`. Branch and jump targets render
+/// as the resolved absolute instruction index. [`crate::disasm`] parses
+/// exactly this grammar back, so `Display` round-trips.
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match *self {
+            Instr::Add(d, s, t)
+            | Instr::Sub(d, s, t)
+            | Instr::Mul(d, s, t)
+            | Instr::Div(d, s, t)
+            | Instr::Rem(d, s, t)
+            | Instr::And(d, s, t)
+            | Instr::Or(d, s, t)
+            | Instr::Xor(d, s, t)
+            | Instr::Slt(d, s, t)
+            | Instr::Sll(d, s, t)
+            | Instr::Sra(d, s, t) => write!(f, "{m} {d}, {s}, {t}"),
+            Instr::Addi(d, s, imm) | Instr::Muli(d, s, imm) | Instr::Slti(d, s, imm) => {
+                write!(f, "{m} {d}, {s}, {imm}")
+            }
+            Instr::Lw(d, s, off) => write!(f, "{m} {d}, {off}({s})"),
+            Instr::Sw(t, s, off) => write!(f, "{m} {t}, {off}({s})"),
+            Instr::Beq(s, t, target)
+            | Instr::Bne(s, t, target)
+            | Instr::Blt(s, t, target)
+            | Instr::Bge(s, t, target) => write!(f, "{m} {s}, {t}, {target}"),
+            Instr::Jmp(target) | Instr::Jal(target) => write!(f, "{m} {target}"),
+            Instr::Jr(s) => write!(f, "{m} {s}"),
+            Instr::In(d, port) => write!(f, "{m} {d}, {port}"),
+            Instr::Out(s, port) => write!(f, "{m} {s}, {port}"),
+            Instr::Halt => write!(f, "{m}"),
+        }
+    }
+}
+
 /// Per-instruction-kind cycle costs for the 3-stage in-order pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CpuCost {
@@ -125,6 +293,25 @@ impl Default for CpuCost {
             branch_not_taken: 1,
             branch_taken: 3,
             io: 2,
+        }
+    }
+}
+
+impl CpuCost {
+    /// The worst-case cycle cost of one instruction under this model.
+    /// Conditional branches cost the max of their taken/not-taken costs;
+    /// everything else has a single cost class.
+    pub fn worst(&self, i: &Instr) -> u64 {
+        match i {
+            Instr::Mul(..) | Instr::Muli(..) => self.mul,
+            Instr::Div(..) | Instr::Rem(..) => self.div,
+            Instr::Lw(..) | Instr::Sw(..) => self.mem,
+            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..) | Instr::Bge(..) => {
+                self.branch_taken.max(self.branch_not_taken)
+            }
+            Instr::Jmp(_) | Instr::Jal(_) | Instr::Jr(_) => self.branch_taken,
+            Instr::In(..) | Instr::Out(..) => self.io,
+            _ => self.alu,
         }
     }
 }
@@ -557,6 +744,59 @@ mod tests {
         let mut cpu = Cpu::new(prog, 0);
         let err = cpu.run(&mut NullPorts, 100).unwrap_err();
         assert_eq!(err, CpuError::StepLimit(100));
+    }
+
+    #[test]
+    fn def_use_target_metadata() {
+        let i = Instr::Add(r(1), r(2), r(3));
+        assert_eq!(i.def(), Some(r(1)));
+        assert_eq!(i.uses(), [Some(r(2)), Some(r(3))]);
+        assert_eq!(i.target(), None);
+        assert!(i.falls_through());
+
+        let sw = Instr::Sw(r(4), r(5), 2);
+        assert_eq!(sw.def(), None);
+        assert_eq!(sw.uses(), [Some(r(4)), Some(r(5))]);
+
+        let b = Instr::Beq(r(1), R0, 9);
+        assert_eq!(b.target(), Some(9));
+        assert!(b.falls_through());
+
+        let j = Instr::Jal(4);
+        assert_eq!(j.def(), Some(Reg(15)));
+        assert_eq!(j.target(), Some(4));
+        assert!(!j.falls_through());
+
+        assert_eq!(Instr::Jr(Reg(15)).uses(), [Some(Reg(15)), None]);
+        assert!(!Instr::Halt.falls_through());
+        assert_eq!(Instr::In(r(1), 7).port(), Some(7));
+        assert_eq!(Instr::Out(r(2), 1).port(), Some(1));
+        assert_eq!(Instr::Add(r(1), r(2), r(3)).port(), None);
+    }
+
+    #[test]
+    fn display_renders_every_form() {
+        assert_eq!(Instr::Add(r(1), r(2), r(3)).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::Addi(r(1), R0, -5).to_string(), "addi r1, r0, -5");
+        assert_eq!(Instr::Lw(r(2), r(3), 7).to_string(), "lw r2, 7(r3)");
+        assert_eq!(Instr::Sw(r(2), r(3), -1).to_string(), "sw r2, -1(r3)");
+        assert_eq!(Instr::Beq(r(1), R0, 12).to_string(), "beq r1, r0, 12");
+        assert_eq!(Instr::Jmp(3).to_string(), "jmp 3");
+        assert_eq!(Instr::Jal(4).to_string(), "jal 4");
+        assert_eq!(Instr::Jr(Reg(15)).to_string(), "jr r15");
+        assert_eq!(Instr::In(r(1), 3).to_string(), "in r1, 3");
+        assert_eq!(Instr::Out(r(1), 1).to_string(), "out r1, 1");
+        assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+
+    #[test]
+    fn worst_cost_matches_step_cost() {
+        let cost = CpuCost::default();
+        assert_eq!(cost.worst(&Instr::Mul(r(1), r(1), r(1))), 3);
+        assert_eq!(cost.worst(&Instr::Div(r(1), r(1), r(2))), 32);
+        assert_eq!(cost.worst(&Instr::Lw(r(1), R0, 0)), 2);
+        assert_eq!(cost.worst(&Instr::Beq(r(1), R0, 0)), 3);
+        assert_eq!(cost.worst(&Instr::Halt), 1);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Textual (dis)assembly for the imperative core.
+//!
+//! [`disasm`] renders a program one instruction per line in exactly the
+//! grammar of `Instr`'s `Display` impl; [`parse_program`] reads it back.
+//! Branch targets are absolute instruction indices (labels are a builder
+//! construct, already resolved by the time a `Vec<Instr>` exists), so the
+//! format round-trips losslessly: `parse_program(&disasm(p)) == p`.
+//!
+//! The format is what `zarf vet --risc <file>` loads, and what analysis
+//! reports cite. Blank lines and `#`-to-end-of-line comments are ignored
+//! on input.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use zarf_core::Int;
+
+use crate::cpu::{Instr, Reg};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// What a line failed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The mnemonic is not one of the ISA's.
+    UnknownMnemonic(String),
+    /// Operand list malformed for this mnemonic.
+    BadOperands(String),
+    /// A register name outside `r0`–`r15`.
+    BadRegister(String),
+    /// A number failed to parse.
+    BadNumber(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnknownMnemonic(m) => {
+                write!(f, "line {}: unknown mnemonic `{m}`", self.line)
+            }
+            ParseErrorKind::BadOperands(s) => {
+                write!(f, "line {}: malformed operands `{s}`", self.line)
+            }
+            ParseErrorKind::BadRegister(r) => {
+                write!(
+                    f,
+                    "line {}: bad register `{r}` (expected r0..r15)",
+                    self.line
+                )
+            }
+            ParseErrorKind::BadNumber(n) => write!(f, "line {}: bad number `{n}`", self.line),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render a program, one instruction per line, prefixed by nothing —
+/// exactly the `Display` grammar, so the result re-parses.
+pub fn disasm(program: &[Instr]) -> String {
+    let mut out = String::new();
+    for i in program {
+        let _ = writeln!(out, "{i}");
+    }
+    out
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let bad = || ParseError {
+        line,
+        kind: ParseErrorKind::BadRegister(tok.to_string()),
+    };
+    let digits = tok.strip_prefix('r').ok_or_else(bad)?;
+    let n: u8 = digits.parse().map_err(|_| bad())?;
+    if n > 15 {
+        return Err(bad());
+    }
+    Ok(Reg(n))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<Int, ParseError> {
+    tok.parse().map_err(|_| ParseError {
+        line,
+        kind: ParseErrorKind::BadNumber(tok.to_string()),
+    })
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<usize, ParseError> {
+    tok.parse().map_err(|_| ParseError {
+        line,
+        kind: ParseErrorKind::BadNumber(tok.to_string()),
+    })
+}
+
+/// Split `off(rs)` into the offset and base register.
+fn parse_mem(tok: &str, line: usize) -> Result<(Int, Reg), ParseError> {
+    let bad = || ParseError {
+        line,
+        kind: ParseErrorKind::BadOperands(tok.to_string()),
+    };
+    let open = tok.find('(').ok_or_else(bad)?;
+    let close = tok.strip_suffix(')').ok_or_else(bad)?;
+    let off = parse_int(&tok[..open], line)?;
+    let reg = parse_reg(&close[open + 1..], line)?;
+    Ok((off, reg))
+}
+
+/// Parse one instruction line (comments/blank already stripped).
+fn parse_line(text: &str, line: usize) -> Result<Instr, ParseError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let bad_ops = || ParseError {
+        line,
+        kind: ParseErrorKind::BadOperands(rest.to_string()),
+    };
+
+    let three_regs = |ops: &[&str]| -> Result<(Reg, Reg, Reg), ParseError> {
+        if ops.len() != 3 {
+            return Err(bad_ops());
+        }
+        Ok((
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_reg(ops[2], line)?,
+        ))
+    };
+    let reg_reg_imm = |ops: &[&str]| -> Result<(Reg, Reg, Int), ParseError> {
+        if ops.len() != 3 {
+            return Err(bad_ops());
+        }
+        Ok((
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_int(ops[2], line)?,
+        ))
+    };
+    let reg_mem = |ops: &[&str]| -> Result<(Reg, Int, Reg), ParseError> {
+        if ops.len() != 2 {
+            return Err(bad_ops());
+        }
+        let r = parse_reg(ops[0], line)?;
+        let (off, base) = parse_mem(ops[1], line)?;
+        Ok((r, off, base))
+    };
+    let branch = |ops: &[&str]| -> Result<(Reg, Reg, usize), ParseError> {
+        if ops.len() != 3 {
+            return Err(bad_ops());
+        }
+        Ok((
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_target(ops[2], line)?,
+        ))
+    };
+    let reg_port = |ops: &[&str]| -> Result<(Reg, Int), ParseError> {
+        if ops.len() != 2 {
+            return Err(bad_ops());
+        }
+        Ok((parse_reg(ops[0], line)?, parse_int(ops[1], line)?))
+    };
+
+    match mnemonic {
+        "add" => three_regs(&ops).map(|(d, s, t)| Instr::Add(d, s, t)),
+        "sub" => three_regs(&ops).map(|(d, s, t)| Instr::Sub(d, s, t)),
+        "mul" => three_regs(&ops).map(|(d, s, t)| Instr::Mul(d, s, t)),
+        "div" => three_regs(&ops).map(|(d, s, t)| Instr::Div(d, s, t)),
+        "rem" => three_regs(&ops).map(|(d, s, t)| Instr::Rem(d, s, t)),
+        "and" => three_regs(&ops).map(|(d, s, t)| Instr::And(d, s, t)),
+        "or" => three_regs(&ops).map(|(d, s, t)| Instr::Or(d, s, t)),
+        "xor" => three_regs(&ops).map(|(d, s, t)| Instr::Xor(d, s, t)),
+        "slt" => three_regs(&ops).map(|(d, s, t)| Instr::Slt(d, s, t)),
+        "sll" => three_regs(&ops).map(|(d, s, t)| Instr::Sll(d, s, t)),
+        "sra" => three_regs(&ops).map(|(d, s, t)| Instr::Sra(d, s, t)),
+        "addi" => reg_reg_imm(&ops).map(|(d, s, i)| Instr::Addi(d, s, i)),
+        "muli" => reg_reg_imm(&ops).map(|(d, s, i)| Instr::Muli(d, s, i)),
+        "slti" => reg_reg_imm(&ops).map(|(d, s, i)| Instr::Slti(d, s, i)),
+        "lw" => reg_mem(&ops).map(|(d, off, s)| Instr::Lw(d, s, off)),
+        "sw" => reg_mem(&ops).map(|(t, off, s)| Instr::Sw(t, s, off)),
+        "beq" => branch(&ops).map(|(s, t, tg)| Instr::Beq(s, t, tg)),
+        "bne" => branch(&ops).map(|(s, t, tg)| Instr::Bne(s, t, tg)),
+        "blt" => branch(&ops).map(|(s, t, tg)| Instr::Blt(s, t, tg)),
+        "bge" => branch(&ops).map(|(s, t, tg)| Instr::Bge(s, t, tg)),
+        "jmp" => {
+            if ops.len() != 1 {
+                return Err(bad_ops());
+            }
+            Ok(Instr::Jmp(parse_target(ops[0], line)?))
+        }
+        "jal" => {
+            if ops.len() != 1 {
+                return Err(bad_ops());
+            }
+            Ok(Instr::Jal(parse_target(ops[0], line)?))
+        }
+        "jr" => {
+            if ops.len() != 1 {
+                return Err(bad_ops());
+            }
+            Ok(Instr::Jr(parse_reg(ops[0], line)?))
+        }
+        "in" => reg_port(&ops).map(|(d, p)| Instr::In(d, p)),
+        "out" => reg_port(&ops).map(|(s, p)| Instr::Out(s, p)),
+        "halt" => {
+            if !ops.is_empty() {
+                return Err(bad_ops());
+            }
+            Ok(Instr::Halt)
+        }
+        other => Err(ParseError {
+            line,
+            kind: ParseErrorKind::UnknownMnemonic(other.to_string()),
+        }),
+    }
+}
+
+/// Parse a whole program: one instruction per line, blank lines and
+/// `#` comments ignored.
+pub fn parse_program(src: &str) -> Result<Vec<Instr>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        out.push(parse_line(text, idx + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::R0;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let prog = vec![
+            Instr::Addi(Reg(1), R0, -3),
+            Instr::Add(Reg(2), Reg(1), Reg(1)),
+            Instr::Mul(Reg(3), Reg(2), Reg(2)),
+            Instr::Div(Reg(4), Reg(3), Reg(1)),
+            Instr::Rem(Reg(4), Reg(3), Reg(1)),
+            Instr::And(Reg(5), Reg(4), Reg(1)),
+            Instr::Or(Reg(5), Reg(4), Reg(1)),
+            Instr::Xor(Reg(5), Reg(4), Reg(1)),
+            Instr::Slt(Reg(6), Reg(5), Reg(4)),
+            Instr::Sll(Reg(6), Reg(5), Reg(4)),
+            Instr::Sra(Reg(6), Reg(5), Reg(4)),
+            Instr::Muli(Reg(7), Reg(6), 12),
+            Instr::Slti(Reg(7), Reg(6), -12),
+            Instr::Lw(Reg(8), Reg(7), 4),
+            Instr::Sw(Reg(8), Reg(7), -4),
+            Instr::Beq(Reg(1), R0, 20),
+            Instr::Bne(Reg(1), R0, 20),
+            Instr::Blt(Reg(1), Reg(2), 20),
+            Instr::Bge(Reg(1), Reg(2), 20),
+            Instr::Jmp(0),
+            Instr::Jal(3),
+            Instr::Jr(Reg(15)),
+            Instr::In(Reg(9), 7),
+            Instr::Out(Reg(9), 1),
+            Instr::Halt,
+        ];
+        let text = disasm(&prog);
+        assert_eq!(parse_program(&text).unwrap(), prog);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# boot\n\naddi r1, r0, 5   # five\nhalt\n";
+        assert_eq!(
+            parse_program(src).unwrap(),
+            vec![Instr::Addi(Reg(1), R0, 5), Instr::Halt]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("addi r1, r0, 1\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownMnemonic(_)));
+
+        let err = parse_program("add r1, r99, r0\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadRegister(_)));
+
+        let err = parse_program("lw r1, r2\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadOperands(_)));
+
+        let err = parse_program("addi r1, r0, many\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadNumber(_)));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod builder;
 pub mod channel;
 pub mod cpu;
+pub mod disasm;
 
 pub use builder::{Asm, AsmError};
 pub use channel::{
@@ -29,3 +30,4 @@ pub use channel::{
     CHANNEL_STATUS_PORT, DEFAULT_CHANNEL_CAPACITY,
 };
 pub use cpu::{Cpu, CpuCost, CpuError, Instr, Reg, R0};
+pub use disasm::{disasm, parse_program, ParseError, ParseErrorKind};

@@ -26,9 +26,9 @@ pub struct SymexBudget {
     pub producer_rounds: usize,
     /// Maximum argument combinations per function per phase.
     pub max_combos: usize,
-    /// Maximum constructor nesting depth when instantiating the
-    /// over-approximating envelope from the shape analysis.
-    pub seed_depth: usize,
+    /// Maximum field combinations when the executor lazily expands an
+    /// opaque constructor from the shape report's cells.
+    pub max_expand_combos: usize,
     /// Maximum paths a memoized summary may hold.
     pub max_summary_paths: usize,
     /// Maximum faulting/arm-hitting candidates solved per query.
@@ -43,8 +43,8 @@ impl Default for SymexBudget {
             max_paths: 2_048,
             solver_effort: 4_000,
             producer_rounds: 3,
-            max_combos: 48,
-            seed_depth: 4,
+            max_combos: 128,
+            max_expand_combos: 64,
             max_summary_paths: 256,
             max_witness_attempts: 16,
         }
@@ -62,7 +62,7 @@ impl SymexBudget {
             solver_effort: 500,
             producer_rounds: 2,
             max_combos: 12,
-            seed_depth: 3,
+            max_expand_combos: 16,
             max_summary_paths: 64,
             max_witness_attempts: 4,
         }
@@ -88,8 +88,10 @@ pub enum Incompleteness {
     EnvelopeClosure,
     /// An error value may flow into an entry argument.
     EnvelopeError,
-    /// Constructor nesting in the envelope exceeded the seed depth.
-    EnvelopeDepth,
+    /// A path projected the fields of an opaque constructor that could
+    /// not be expanded: no expansion context was installed, a field cell
+    /// was missing or infinite, or the field cross blew the expansion cap.
+    OpaqueFields,
     /// Too many envelope alternatives; some were dropped.
     EnvelopeWidth,
     /// The shape analysis had no information for a needed value.
@@ -119,7 +121,7 @@ impl fmt::Display for Incompleteness {
             Incompleteness::EnvelopeAnyCon => "envelope-any-con",
             Incompleteness::EnvelopeClosure => "envelope-closure",
             Incompleteness::EnvelopeError => "envelope-error",
-            Incompleteness::EnvelopeDepth => "envelope-depth",
+            Incompleteness::OpaqueFields => "opaque-fields",
             Incompleteness::EnvelopeWidth => "envelope-width",
             Incompleteness::EnvelopeGap => "envelope-gap",
             Incompleteness::GlobalThunk => "global-thunk",

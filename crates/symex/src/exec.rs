@@ -29,6 +29,7 @@ use zarf_core::machine::{MExpr, MPattern, MProgram, Operand, Source};
 use zarf_core::prim::PrimOp;
 
 use crate::budget::{Incompleteness, SymexBudget};
+use crate::seed::{cross, materialize_tag, EnvCtx, FieldAlt};
 use crate::solve::{quick_unsat, Lit};
 use crate::summary::{Summaries, Summary, SummaryPath};
 use crate::term::{TermId, TermStore};
@@ -99,6 +100,14 @@ pub struct Exec<'p> {
     steps_left: u64,
     paths_done: usize,
     case_maps: HashMap<u32, Rc<HashMap<usize, usize>>>,
+    /// The envelope context, when the envelope phase is active: enables
+    /// lazy opaque expansion and recursion loop-summaries.
+    env_ctx: Option<Rc<EnvCtx>>,
+    /// The inline symbolic call stack (function identifiers of bodies
+    /// currently being explored), for recursion detection.
+    stack: Vec<u32>,
+    /// How many recursion loop-summaries have fired (taint tracking).
+    loop_fires: u64,
 }
 
 impl<'p> Exec<'p> {
@@ -114,7 +123,21 @@ impl<'p> Exec<'p> {
             steps_left: 0,
             paths_done: 0,
             case_maps: HashMap::new(),
+            env_ctx: None,
+            stack: Vec::new(),
+            loop_fires: 0,
         }
+    }
+
+    /// Install (or clear) the envelope context. With a context installed,
+    /// opaque constructors expand lazily from the shape cells and calls to
+    /// functions already on the symbolic call stack fork over the callee's
+    /// abstract return instead of inlining — sound only under the envelope
+    /// phase's per-activation coverage argument (every activation of the
+    /// summarized frame is separately covered by its own entry or
+    /// call-site family), so witness search must run with it cleared.
+    pub fn set_env_ctx(&mut self, ctx: Option<Rc<EnvCtx>>) {
+        self.env_ctx = ctx;
     }
 
     /// Explore one entry application of `f` to `args`. Step and path
@@ -122,6 +145,7 @@ impl<'p> Exec<'p> {
     pub fn explore(&mut self, f: u32, args: Vec<SV>) -> Vec<Outcome> {
         self.steps_left = self.budget.max_steps;
         self.paths_done = 0;
+        self.stack.clear();
         let clo = SymVal::closure(CTarget::Item(f), vec![]);
         let res = self.apply(f, clo, args, PathState::default(), 0);
         self.total_steps += self.budget.max_steps - self.steps_left;
@@ -343,6 +367,42 @@ impl<'p> Exec<'p> {
                             None => self.eval_expr(f, default, env, st, depth, out),
                         }
                     }
+                    SymVal::Opaque { tag } => {
+                        // The tag is concrete, so dispatch is exact; only a
+                        // matching field-binding arm demands the fields, and
+                        // only then are they materialized from the shape
+                        // cells — one fork per field combination. The forks
+                        // cover every storable field value (the cells are an
+                        // over-approximation) but are not necessarily
+                        // disjoint; extra overlap only widens the
+                        // exploration, which is sound for spuriousness
+                        // proofs. Aliases of the scrutinee elsewhere on the
+                        // path stay opaque and would re-expand independently
+                        // — again a widening, never a narrowing.
+                        let tag = *tag;
+                        let hit = branches
+                            .iter()
+                            .enumerate()
+                            .find_map(|(i, b)| match b.pattern {
+                                MPattern::Con(id) if id == tag => Some((i, &b.body)),
+                                _ => None,
+                            });
+                        match hit {
+                            Some((i, body)) => match self.expand_opaque(tag) {
+                                Ok(expansions) => {
+                                    for fields in expansions {
+                                        let mut st2 = st.clone();
+                                        st2.arm_hits.push((f, ci, i));
+                                        let mut env2 = env.clone();
+                                        env2.locals.extend(fields);
+                                        self.eval_expr(f, body, env2, st2, depth, out);
+                                    }
+                                }
+                                Err(why) => out.push(Self::truncated(st, why)),
+                            },
+                            None => self.eval_expr(f, default, env, st, depth, out),
+                        }
+                    }
                     SymVal::Int(t) => {
                         let t = *t;
                         if let Some(n) = self.store.const_of(t) {
@@ -443,7 +503,7 @@ impl<'p> Exec<'p> {
                     vec![(st, Some(SymVal::error(RuntimeError::ApplyToInt)))]
                 };
             }
-            SymVal::Con { .. } => {
+            SymVal::Con { .. } | SymVal::Opaque { .. } => {
                 return if args.is_empty() {
                     vec![(st, Some(target))]
                 } else {
@@ -556,9 +616,95 @@ impl<'p> Exec<'p> {
         }
     }
 
+    /// Expand one opaque constructor from the envelope context's cells:
+    /// every combination of per-field alternatives, capped. `Err` when
+    /// full coverage is impossible — the caller truncates with the marker.
+    fn expand_opaque(&mut self, tag: u32) -> Result<Vec<Vec<SV>>, Incompleteness> {
+        let ctx = match &self.env_ctx {
+            Some(c) => c.clone(),
+            None => return Err(Incompleteness::OpaqueFields),
+        };
+        let arity = match self.program.lookup(tag) {
+            Some(item) if item.is_con() => item.arity,
+            _ => return Err(Incompleteness::EnvelopeGap),
+        };
+        let mut per_field: Vec<Vec<SV>> = Vec::with_capacity(arity);
+        for i in 0..arity {
+            let alts = match ctx.cells.get(&(tag, i)) {
+                Some(a) if !a.is_empty() => a,
+                // A never-written (or unknown) field: nothing to cover
+                // the projection with.
+                _ => return Err(Incompleteness::EnvelopeGap),
+            };
+            let mut vs: Vec<SV> = Vec::with_capacity(alts.len());
+            for a in alts {
+                vs.push(match a {
+                    FieldAlt::AnyInt => {
+                        let (_, t) = self.store.fresh_var();
+                        SymVal::int(t)
+                    }
+                    FieldAlt::Const(n) => SymVal::int(self.store.constant(*n)),
+                    FieldAlt::Tag(t) => materialize_tag(self.program, *t),
+                    FieldAlt::Unknown(why) => return Err(*why),
+                });
+            }
+            per_field.push(vs);
+        }
+        let (combos, over) = cross(&per_field, self.budget.max_expand_combos);
+        if over {
+            return Err(Incompleteness::OpaqueFields);
+        }
+        Ok(combos)
+    }
+
+    /// The loop-summary rule: a call to a function already on the symbolic
+    /// call stack forks over the callee's abstract return alternatives
+    /// instead of inlining. Sound in the envelope phase only: each
+    /// activation of the summarized frame enters through an entry or
+    /// call-site family and is covered by its own exploration, so the
+    /// caller only needs an over-approximation of the *value* flowing
+    /// back — which the shape fixpoint's return summary is. Faults and arm
+    /// hits inside the summarized frame belong to those separately-covered
+    /// activations, not to this path.
+    fn summarize_recursive_call(&mut self, id: u32, st: PathState) -> AppRes {
+        let ctx = match &self.env_ctx {
+            Some(c) => c.clone(),
+            None => return vec![Self::truncated(st, Incompleteness::CallDepth)],
+        };
+        let alts = match ctx.rets.get(&id) {
+            Some(a) => a,
+            None => return vec![Self::truncated(st, Incompleteness::EnvelopeGap)],
+        };
+        self.loop_fires += 1;
+        let mut out = AppRes::new();
+        for a in alts {
+            match a {
+                FieldAlt::AnyInt => {
+                    let (_, t) = self.store.fresh_var();
+                    out.push((st.clone(), Some(SymVal::int(t))));
+                }
+                FieldAlt::Const(n) => {
+                    let t = self.store.constant(*n);
+                    out.push((st.clone(), Some(SymVal::int(t))));
+                }
+                FieldAlt::Tag(t) => {
+                    out.push((st.clone(), Some(materialize_tag(self.program, *t))));
+                }
+                FieldAlt::Unknown(why) => return vec![Self::truncated(st, *why)],
+            }
+        }
+        // An empty alternative list is a ⊥ return: the fixpoint saw no
+        // value come back, so the continuation is dead — zero paths.
+        out
+    }
+
     /// Call a user function: through a memoized shape-keyed summary when
-    /// possible, inline otherwise.
+    /// possible, inline otherwise. Under the envelope context, recursive
+    /// calls are answered by [`Self::summarize_recursive_call`].
     fn call_fun(&mut self, id: u32, args: Vec<SV>, st: PathState, depth: usize) -> AppRes {
+        if self.env_ctx.is_some() && self.stack.contains(&id) {
+            return self.summarize_recursive_call(id, st);
+        }
         if depth >= self.budget.max_depth {
             return vec![Self::truncated(st, Incompleteness::CallDepth)];
         }
@@ -569,7 +715,10 @@ impl<'p> Exec<'p> {
         if self.summaries.summarizable(id) {
             let keys: Option<Vec<ShapeKey>> = args.iter().map(shape_key).collect();
             if let Some(keys) = keys {
-                let summary = match self.summaries.lookup(id, &keys) {
+                // Tainted summaries embed envelope-phase loop summaries;
+                // outside that phase they must be recomputed exactly.
+                let allow_tainted = self.env_ctx.is_some();
+                let summary = match self.summaries.lookup(id, &keys, allow_tainted) {
                     Some(s) => s,
                     None => self.compute_summary(id, body, &keys, depth),
                 };
@@ -581,7 +730,9 @@ impl<'p> Exec<'p> {
             locals: Vec::new(),
         };
         let mut out = AppRes::new();
+        self.stack.push(id);
         self.eval_expr(id, body, env, st, depth + 1, &mut out);
+        self.stack.pop();
         out
     }
 
@@ -608,8 +759,11 @@ impl<'p> Exec<'p> {
         // Summaries are context-free: the exploration starts from an empty
         // path state; call sites conjoin the (substituted) callee literals
         // onto their own condition.
+        let fires_before = self.loop_fires;
         let mut res = AppRes::new();
+        self.stack.push(id);
         self.eval_expr(id, body, env, PathState::default(), depth + 1, &mut res);
+        self.stack.pop();
         let mut paths: Vec<SummaryPath> = Vec::with_capacity(res.len());
         let over = res.len() > self.budget.max_summary_paths;
         for (st, val) in res.into_iter().take(self.budget.max_summary_paths) {
@@ -633,8 +787,15 @@ impl<'p> Exec<'p> {
                 val: None,
             });
         }
-        self.summaries
-            .insert(id, keys.to_vec(), Summary { canon_vars, paths })
+        self.summaries.insert(
+            id,
+            keys.to_vec(),
+            Summary {
+                canon_vars,
+                paths,
+                tainted: self.loop_fires > fires_before,
+            },
+        )
     }
 
     /// Replay a cached summary at a call site: substitute the site's leaf

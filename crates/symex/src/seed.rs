@@ -3,47 +3,108 @@
 //!
 //! To *discharge* a warning (prove it spurious), the executor must explore
 //! every input the vet contract admits. The shape analysis already
-//! over-approximates exactly that: [`FunSummary::args`] joins everything
-//! that can reach each parameter, and [`ShapeReport::cells`] joins
-//! everything ever stored into each constructor field. The envelope
-//! instantiates those abstract values as symbolic arguments:
+//! over-approximates exactly that — but its per-function argument summary
+//! is a *join* over every caller, and naively crossing the joined
+//! alternatives manufactures argument combinations no caller ever
+//! produces while blowing up on cyclic constructor cells (a driver loop
+//! that threads its own state back through a field is a cycle in the cell
+//! graph, which no finite instantiation depth can unroll). The envelope
+//! therefore decomposes into two cooperating halves:
 //!
-//! * `Ints::Consts{…}` → one alternative per constant (precision: a guard
-//!   over a finite set stays finite); `Ints::Any` → a fresh variable;
-//! * `Tags::Known{…}` → one alternative per tag, fields instantiated
-//!   recursively from the cells, bounded by `seed_depth`;
-//! * a possible error value → one representative error (errors are opaque
-//!   to control flow on this ISA, so one covers the class);
-//! * anything the envelope cannot finitely enumerate — `Tags::Any`,
-//!   closures, exhausted depth or width — adds a typed
-//!   [`Incompleteness`] marker, which downgrades "no fault found" from a
-//!   proof to "undecided".
+//! * **Per-site families** ([`envelope_args`]). A function's concrete
+//!   activations enter either through the entry model (the vet contract)
+//!   or through one of its recorded internal call sites
+//!   ([`ShapeReport::call_sites`]). Each family's argument vector is
+//!   instantiated *separately* — the relational precision the fixpoint
+//!   join discarded — and the union of families covers every activation.
+//!   Functions whose closures escape ([`ShapeReport::addr_taken`]) have
+//!   unenumerable call sites and fall back to a typed marker.
+//! * **Shallow alternatives + lazy expansion** ([`EnvCtx`]). Constructor
+//!   alternatives are seeded as *opaque* values ([`SymVal::Opaque`]) —
+//!   a tag with no materialized fields. The executor expands an opaque
+//!   value from [`ShapeReport::cells`] only when a path actually projects
+//!   its fields (a matching case arm of nonzero arity), one level at a
+//!   time. Instantiation depth is thus bounded by what the program walks,
+//!   not by the cell graph — a cyclic cell costs nothing unless some path
+//!   keeps projecting through the cycle, in which case the path budget
+//!   (not the seed) bounds the walk.
+//!
+//! # The error-absorption lemma
+//!
+//! Abstract values carry a "may be an error" flag, and on this ISA error
+//! values are *absorbing*: a `case` on an error returns it without taking
+//! any arm, applying it returns it, and a primitive propagates the first
+//! error it scans without constructing a fault (the evaluator's scan is
+//! order-sensitive, and a constructor operand ahead of the error faults
+//! identically under any instantiation of the error). By induction over
+//! the first point each error-derived value influences execution, every
+//! fault constructed and every arm hit on a run with error-valued inputs
+//! also occurs on a run with those inputs replaced by *unconstrained
+//! integers*. The envelope therefore instantiates a possible error as a
+//! fresh integer variable instead of crossing an error alternative into
+//! every position (which squared the combo count per flagged field): the
+//! integer alternatives it already explores cover every error behavior.
 //!
 //! Soundness: every alternative list either covers the abstract value it
-//! instantiates or carries a marker saying it might not. A spuriousness
-//! proof requires a marker-free envelope.
+//! instantiates or carries a marker saying it might not, and the executor
+//! charges [`Incompleteness::OpaqueFields`] to any path that projects an
+//! opaque it cannot expand. A spuriousness proof requires a marker-free
+//! exploration.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use zarf_core::error::RuntimeError;
 use zarf_core::machine::MProgram;
-use zarf_verify::shape::{AbsVal, Clos, Ints, ShapeReport, Tags};
+use zarf_core::prim::FIRST_USER_INDEX;
+use zarf_core::Int;
+use zarf_verify::shape::{AbsVal, Clos, EntryModel, Ints, ShapeReport, Tags};
 
 use crate::budget::{Incompleteness, SymexBudget};
 use crate::term::TermStore;
 use crate::value::{SymVal, SV};
 
-/// Per-level cap on field-combination fan-out inside one constructor.
-const FIELD_COMBO_CAP: usize = 8;
-
 /// The instantiated envelope for one entry function.
 #[derive(Debug, Clone)]
 pub struct Envelope {
-    /// Argument vectors to explore (cross product of per-arg alternatives,
-    /// capped by `max_combos`).
+    /// Argument vectors to explore: the union over entry/call-site
+    /// families of each family's per-argument cross product, capped by
+    /// `max_combos`.
     pub combos: Vec<Vec<SV>>,
     /// Everything the envelope could not cover.
     pub incomplete: BTreeSet<Incompleteness>,
+}
+
+/// One alternative for a lazily-expanded constructor field (or for the
+/// summarized return of a recursive call): how the executor materializes
+/// it when demanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldAlt {
+    /// A fresh unconstrained integer variable.
+    AnyInt,
+    /// A known integer constant.
+    Const(Int),
+    /// A constructor tag — nullary tags materialize saturated, the rest
+    /// as further opaque values.
+    Tag(u32),
+    /// The abstraction cannot finitely enumerate this position; any path
+    /// demanding it truncates with the given marker.
+    Unknown(Incompleteness),
+}
+
+/// The executor's envelope context: everything lazy expansion and
+/// recursion summarization need, precomputed from one shape report.
+/// Installed on the executor for the envelope phase only — witness search
+/// runs on concrete values and never consults it.
+#[derive(Debug, Clone, Default)]
+pub struct EnvCtx {
+    /// Per-`(constructor, field)` alternatives, from the report's cells.
+    pub cells: BTreeMap<(u32, usize), Vec<FieldAlt>>,
+    /// Per-function return alternatives, from the report's summaries. A
+    /// call to a function already on the symbolic call stack forks over
+    /// these instead of inlining — the loop-summary rule that keeps
+    /// self-recursive drivers from truncating the envelope at the depth
+    /// bound. An empty list means the fixpoint saw no return at all (the
+    /// callee diverges), so the caller's continuation is dead.
+    pub rets: BTreeMap<u32, Vec<FieldAlt>>,
 }
 
 /// Cross product of alternative lists, in mixed-radix order, capped.
@@ -79,7 +140,9 @@ pub fn cross<T: Clone>(alts: &[Vec<T>], cap: usize) -> (Vec<Vec<T>>, bool) {
     }
 }
 
-/// Build the envelope argument combinations for entry function `f`.
+/// Build the envelope argument combinations for entry function `f`: one
+/// family per way an activation of `f` can arise (the entry model, plus
+/// each recorded internal call site), instantiated shallowly.
 pub fn envelope_args(
     store: &mut TermStore,
     program: &MProgram,
@@ -98,14 +161,59 @@ pub fn envelope_args(
             };
         }
     };
-    let alts: Vec<Vec<SV>> = summary
-        .args
-        .iter()
-        .map(|av| alts_of(store, program, report, av, budget.seed_depth, &mut inc))
-        .collect();
-    let (combos, over) = cross(&alts, budget.max_combos);
-    if over {
-        inc.insert(Incompleteness::EnvelopeWidth);
+    if report.addr_taken.contains(&f) {
+        // Escaping closures: activations can arise through untracked
+        // applications, so the per-site decomposition is not exhaustive.
+        inc.insert(Incompleteness::EnvelopeClosure);
+        return Envelope {
+            combos: Vec::new(),
+            incomplete: inc,
+        };
+    }
+    let arity = summary.args.len();
+
+    // The entry model's own family.
+    let mut families: Vec<Vec<AbsVal>> = Vec::new();
+    match report.model {
+        EntryModel::Service => {
+            // The fleet applies any op to integers, argument 0 doubling as
+            // the previous step result.
+            let mut env = vec![AbsVal::any_int(); arity];
+            if let Some(a0) = env.first_mut() {
+                *a0 = report.service_state();
+            }
+            families.push(env);
+        }
+        EntryModel::Standalone => {
+            if f == FIRST_USER_INDEX {
+                // `main` runs with no environment-supplied arguments.
+                families.push(vec![AbsVal::bot(); arity]);
+            }
+        }
+    }
+    // One family per recorded internal call site.
+    if let Some(sites) = report.call_sites.get(&f) {
+        families.extend(sites.iter().cloned());
+    }
+
+    let mut combos: Vec<Vec<SV>> = Vec::new();
+    for fam in &families {
+        let alts: Vec<Vec<SV>> = fam
+            .iter()
+            .map(|av| shallow_alts(store, program, av, &mut inc))
+            .collect();
+        if alts.iter().any(Vec::is_empty) {
+            // An argument position with no coverable alternative: its
+            // markers (if any) are already recorded; a genuinely-⊥
+            // position means this family is dead.
+            continue;
+        }
+        let remaining = budget.max_combos.saturating_sub(combos.len());
+        let (c, over) = cross(&alts, remaining);
+        if over {
+            inc.insert(Incompleteness::EnvelopeWidth);
+        }
+        combos.extend(c);
     }
     Envelope {
         combos,
@@ -113,16 +221,18 @@ pub fn envelope_args(
     }
 }
 
-/// All alternatives covering one abstract value, markers for the rest.
-fn alts_of(
+/// Shallow alternatives covering one abstract value: integers inline,
+/// constructors as opaque tags, markers for the rest. The error flag is
+/// covered by an unconstrained integer (see the error-absorption lemma in
+/// the module docs).
+fn shallow_alts(
     store: &mut TermStore,
     program: &MProgram,
-    report: &ShapeReport,
     av: &AbsVal,
-    depth: usize,
     inc: &mut BTreeSet<Incompleteness>,
 ) -> Vec<SV> {
     let mut alts: Vec<SV> = Vec::new();
+    let mut any_int = false;
     match &av.ints {
         Ints::Bot => {}
         Ints::Consts(s) => {
@@ -132,55 +242,27 @@ fn alts_of(
             }
         }
         Ints::Any => {
+            any_int = true;
             let (_, t) = store.fresh_var();
             alts.push(SymVal::int(t));
         }
+    }
+    if av.error && !any_int {
+        // Error-absorption: a fresh integer covers every error behavior.
+        let (_, t) = store.fresh_var();
+        alts.push(SymVal::int(t));
     }
     match &av.cons {
         Tags::Bot => {}
         Tags::Known(tags) => {
             for &tag in tags {
-                if depth == 0 {
-                    inc.insert(Incompleteness::EnvelopeDepth);
-                    continue;
-                }
-                let arity = match program.lookup(tag) {
-                    Some(item) if item.is_con() => item.arity,
+                match program.lookup(tag) {
+                    Some(item) if item.is_con() => {
+                        alts.push(materialize_tag(program, tag));
+                    }
                     _ => {
                         inc.insert(Incompleteness::EnvelopeGap);
-                        continue;
                     }
-                };
-                let mut field_alts: Vec<Vec<SV>> = Vec::with_capacity(arity);
-                let mut gap = false;
-                for i in 0..arity {
-                    match report.cells.get(&(tag, i)) {
-                        Some(cell) => {
-                            field_alts.push(alts_of(store, program, report, cell, depth - 1, inc))
-                        }
-                        None => {
-                            // A reaching tag whose field was never stored:
-                            // nothing to instantiate it from.
-                            inc.insert(Incompleteness::EnvelopeGap);
-                            gap = true;
-                            break;
-                        }
-                    }
-                }
-                if gap {
-                    continue;
-                }
-                let (combos, over) = cross(&field_alts, FIELD_COMBO_CAP);
-                if over {
-                    inc.insert(Incompleteness::EnvelopeWidth);
-                }
-                if combos.is_empty() && arity > 0 {
-                    // A field had no coverable alternative; its markers are
-                    // already recorded.
-                    continue;
-                }
-                for fields in combos {
-                    alts.push(SymVal::con(tag, fields));
                 }
             }
         }
@@ -188,22 +270,72 @@ fn alts_of(
             inc.insert(Incompleteness::EnvelopeAnyCon);
         }
     }
-    match &av.clos {
-        Clos::Bot => {}
-        _ => {
-            inc.insert(Incompleteness::EnvelopeClosure);
-        }
-    }
-    if av.error {
-        // Error values are opaque to control flow on this ISA — `case`,
-        // application, and primitives all propagate them unchanged without
-        // inspecting the code — so one representative covers the class.
-        alts.push(SymVal::error(RuntimeError::Propagated));
+    if !matches!(av.clos, Clos::Bot) {
+        inc.insert(Incompleteness::EnvelopeClosure);
     }
     if av.is_bot() {
-        // Absint says nothing reaches here at all; an empty alternative
-        // list would silently kill every combo, so record why.
         inc.insert(Incompleteness::EnvelopeGap);
+    }
+    alts
+}
+
+/// A constructor alternative: saturated when nullary, opaque otherwise.
+pub fn materialize_tag(program: &MProgram, tag: u32) -> SV {
+    if program.lookup(tag).map(|it| it.arity).unwrap_or(0) == 0 {
+        SymVal::con(tag, Vec::new())
+    } else {
+        SymVal::opaque(tag)
+    }
+}
+
+/// Precompute the envelope context — field and return alternatives — from
+/// one shape report.
+pub fn build_env_ctx(program: &MProgram, report: &ShapeReport) -> EnvCtx {
+    let cells = report
+        .cells
+        .iter()
+        .map(|(&k, av)| (k, field_alts(program, av)))
+        .collect();
+    let rets = report
+        .functions
+        .iter()
+        .map(|(&id, fs)| (id, field_alts(program, &fs.summary.ret)))
+        .collect();
+    EnvCtx { cells, rets }
+}
+
+/// The [`FieldAlt`] counterpart of [`shallow_alts`], for positions the
+/// executor materializes on demand.
+fn field_alts(program: &MProgram, av: &AbsVal) -> Vec<FieldAlt> {
+    let mut alts: Vec<FieldAlt> = Vec::new();
+    let mut any_int = false;
+    match &av.ints {
+        Ints::Bot => {}
+        Ints::Consts(s) => alts.extend(s.iter().map(|&n| FieldAlt::Const(n))),
+        Ints::Any => {
+            any_int = true;
+            alts.push(FieldAlt::AnyInt);
+        }
+    }
+    if av.error && !any_int {
+        // Error-absorption: a fresh integer covers every error behavior.
+        alts.push(FieldAlt::AnyInt);
+    }
+    match &av.cons {
+        Tags::Bot => {}
+        Tags::Known(tags) => {
+            for &tag in tags {
+                if program.lookup(tag).is_some_and(|it| it.is_con()) {
+                    alts.push(FieldAlt::Tag(tag));
+                } else {
+                    alts.push(FieldAlt::Unknown(Incompleteness::EnvelopeGap));
+                }
+            }
+        }
+        Tags::Any => alts.push(FieldAlt::Unknown(Incompleteness::EnvelopeAnyCon)),
+    }
+    if !matches!(av.clos, Clos::Bot) {
+        alts.push(FieldAlt::Unknown(Incompleteness::EnvelopeClosure));
     }
     alts
 }
@@ -212,7 +344,7 @@ fn alts_of(
 mod tests {
     use super::*;
     use zarf_asm::{lower, parse};
-    use zarf_verify::shape::{analyze_shapes, EntryModel};
+    use zarf_verify::shape::analyze_shapes;
 
     fn machine(src: &str) -> MProgram {
         lower(&parse(src).unwrap()).unwrap()
@@ -244,9 +376,10 @@ mod tests {
     }
 
     #[test]
-    fn service_envelope_instantiates_known_cons_from_cells() {
+    fn service_envelope_seeds_known_cons_shallowly() {
         // Under the Service model, `step` can receive its own Box result
-        // back as argument 0; the cell for Box.0 holds what main stored.
+        // back as argument 0 — seeded as an opaque Box, with Box.0's cell
+        // alternatives reserved for lazy expansion.
         let m = machine(
             "con Box v\n\
              fun step b =\n case b of\n | Box v => result v\n else result 0\n\
@@ -256,14 +389,77 @@ mod tests {
         let mut store = TermStore::new();
         let step = by_name(&m, "step");
         let env = envelope_args(&mut store, &m, &r, step, &SymexBudget::default());
-        assert!(!env.combos.is_empty());
+        assert!(env.incomplete.is_empty(), "{env:?}");
         let boxid = by_name(&m, "Box");
         assert!(
             env.combos
                 .iter()
-                .any(|c| matches!(&*c[0], SymVal::Con { tag, .. } if *tag == boxid)),
-            "envelope should contain a Box alternative: {env:?}"
+                .any(|c| matches!(&*c[0], SymVal::Opaque { tag } if *tag == boxid)),
+            "envelope should contain an opaque Box alternative: {env:?}"
         );
+        // And the context carries Box.0's stored constant for expansion.
+        let ctx = build_env_ctx(&m, &r);
+        let cell = ctx.cells.get(&(boxid, 0)).expect("Box.0 cell");
+        assert!(cell.contains(&FieldAlt::Const(41)), "{cell:?}");
+    }
+
+    #[test]
+    fn call_site_families_stay_relational() {
+        // g's joined summary sees {0} and {Box .} across its two callers;
+        // per-site families must not cross them into (never-occurring)
+        // combinations, and each family shows up as seeded.
+        let m = machine(
+            "con Box v\n\
+             fun g a b =\n result b\n\
+             fun main =\n let x = Box 7 in\n let p = g 0 1 in\n let q = g x 2 in\n result q\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let mut store = TermStore::new();
+        let g = by_name(&m, "g");
+        let boxid = by_name(&m, "Box");
+        let env = envelope_args(&mut store, &m, &r, g, &SymexBudget::default());
+        assert!(env.incomplete.is_empty(), "{env:?}");
+        // Exactly the two recorded sites: (0, 1) and (opq Box, 2).
+        assert_eq!(env.combos.len(), 2, "{env:?}");
+        assert!(env
+            .combos
+            .iter()
+            .any(|c| matches!(&*c[0], SymVal::Opaque { tag } if *tag == boxid)));
+        // No combo pairs the Box with the literal 1 (the relational point).
+        for c in &env.combos {
+            if matches!(&*c[0], SymVal::Opaque { .. }) {
+                assert!(
+                    !matches!(&*c[1], SymVal::Int(t) if store.const_of(*t) == Some(1)),
+                    "crossed families: {env:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_flag_is_absorbed_into_an_integer_alternative() {
+        // h's argument may be an error (div can fault) — the envelope
+        // covers it with an unconstrained integer, not an error combo.
+        let m = machine(
+            "fun h x =\n result x\n\
+             fun main =\n let d = div 1 0 in\n let r = h d in\n result r\n",
+        );
+        let r = analyze_shapes(&m, EntryModel::Standalone).unwrap();
+        let mut store = TermStore::new();
+        let h = by_name(&m, "h");
+        let env = envelope_args(&mut store, &m, &r, h, &SymexBudget::default());
+        assert!(env.incomplete.is_empty(), "{env:?}");
+        assert!(!env.combos.is_empty());
+        assert!(
+            env.combos
+                .iter()
+                .all(|c| !matches!(&*c[0], SymVal::Error(_))),
+            "errors must be absorbed, not enumerated: {env:?}"
+        );
+        assert!(env
+            .combos
+            .iter()
+            .any(|c| matches!(&*c[0], SymVal::Int(t) if store.const_of(*t).is_none())));
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct Summary {
     pub canon_vars: Vec<u32>,
     /// All explored paths.
     pub paths: Vec<SummaryPath>,
+    /// Whether a recursion loop-summary fired while computing this
+    /// summary. Loop summaries over-approximate returns from the shape
+    /// report and are only sound under the envelope phase's per-activation
+    /// coverage argument; a tainted summary must not answer calls outside
+    /// that phase (witness search needs exact path semantics).
+    pub tainted: bool,
 }
 
 /// The summary cache, plus the precomputed set of summarizable functions.
@@ -93,9 +99,21 @@ impl Summaries {
         self.summarizable.contains(&id)
     }
 
-    /// Look up a cached summary, counting a hit on success.
-    pub fn lookup(&mut self, id: u32, keys: &[ShapeKey]) -> Option<Rc<Summary>> {
-        let got = self.cache.get(&(id, keys.to_vec())).cloned();
+    /// Look up a cached summary, counting a hit on success. Tainted
+    /// summaries (computed under envelope-phase loop summarization) are
+    /// only served when the caller accepts them; a skip recomputes and
+    /// overwrites with the exact version.
+    pub fn lookup(
+        &mut self,
+        id: u32,
+        keys: &[ShapeKey],
+        allow_tainted: bool,
+    ) -> Option<Rc<Summary>> {
+        let got = self
+            .cache
+            .get(&(id, keys.to_vec()))
+            .filter(|s| allow_tainted || !s.tainted)
+            .cloned();
         if got.is_some() {
             self.hits += 1;
         }
@@ -159,18 +177,39 @@ mod tests {
         let m = machine("fun main =\n result 0\n");
         let mut s = Summaries::new(&m);
         let keys = vec![ShapeKey::Int];
-        assert!(s.lookup(0x100, &keys).is_none());
+        assert!(s.lookup(0x100, &keys, true).is_none());
         s.insert(
             0x100,
             keys.clone(),
             Summary {
                 canon_vars: vec![0],
                 paths: vec![],
+                tainted: false,
             },
         );
-        assert!(s.lookup(0x100, &keys).is_some());
-        assert!(s.lookup(0x100, &[ShapeKey::Con(0x101, vec![])]).is_none());
+        assert!(s.lookup(0x100, &keys, true).is_some());
+        assert!(s
+            .lookup(0x100, &[ShapeKey::Con(0x101, vec![])], true)
+            .is_none());
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tainted_summaries_are_skipped_unless_allowed() {
+        let m = machine("fun main =\n result 0\n");
+        let mut s = Summaries::new(&m);
+        let keys = vec![ShapeKey::Int];
+        s.insert(
+            0x100,
+            keys.clone(),
+            Summary {
+                canon_vars: vec![0],
+                paths: vec![],
+                tainted: true,
+            },
+        );
+        assert!(s.lookup(0x100, &keys, false).is_none());
+        assert!(s.lookup(0x100, &keys, true).is_some());
     }
 }

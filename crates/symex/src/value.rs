@@ -56,6 +56,17 @@ pub enum SymVal {
     },
     /// The reserved runtime-error value.
     Error(RuntimeError),
+    /// A constructor whose *fields are not yet materialized*. The envelope
+    /// seeds one `Opaque` per abstractly-known tag instead of recursively
+    /// instantiating cell contents; the executor expands it lazily from the
+    /// shape report's cells only when a path actually projects the fields
+    /// (a matching case arm with arity > 0). This is what keeps cyclic
+    /// cell graphs — state-feedback loops in drivers — finite: depth is
+    /// bounded by what the program walks, not by the cell graph.
+    Opaque {
+        /// Constructor identifier.
+        tag: u32,
+    },
 }
 
 impl SymVal {
@@ -77,6 +88,11 @@ impl SymVal {
     /// Wrap an error.
     pub fn error(e: RuntimeError) -> SV {
         Rc::new(SymVal::Error(e))
+    }
+
+    /// Wrap an opaque (fields-not-materialized) constructor.
+    pub fn opaque(tag: u32) -> SV {
+        Rc::new(SymVal::Opaque { tag })
     }
 
     /// Render for reports: `(Con 5 (sub v0 1))`-style.
@@ -106,6 +122,7 @@ impl SymVal {
                 s
             }
             SymVal::Error(e) => format!("(error {})", e.code()),
+            SymVal::Opaque { tag } => format!("(opq:{tag:#x})"),
         }
     }
 }
@@ -153,7 +170,7 @@ pub fn shape_key(v: &SV) -> Option<ShapeKey> {
                         work.push(Frame::Visit(f));
                     }
                 }
-                SymVal::Closure { .. } | SymVal::Error(_) => return None,
+                SymVal::Closure { .. } | SymVal::Error(_) | SymVal::Opaque { .. } => return None,
             },
             Frame::Build(tag, n) => {
                 let at = done.len().checked_sub(n)?;
@@ -207,7 +224,7 @@ pub fn leaf_terms(v: &SV, out: &mut Vec<TermId>) -> Option<()> {
             }
             Some(())
         }
-        SymVal::Closure { .. } | SymVal::Error(_) => None,
+        SymVal::Closure { .. } | SymVal::Error(_) | SymVal::Opaque { .. } => None,
     }
 }
 
@@ -235,6 +252,7 @@ pub fn subst_sv(
                 .collect(),
         ),
         SymVal::Error(e) => SymVal::error(*e),
+        SymVal::Opaque { tag } => SymVal::opaque(*tag),
     }
 }
 

@@ -23,6 +23,8 @@
 //! producers), mirroring the fleet contract that argument 0 of a step
 //! may be any previous step result.
 
+use std::rc::Rc;
+
 use zarf_core::{Int, Program};
 use zarf_testkit::replay::{replay_witness_bounded, ReplayOutcome, WArg, WitnessSpec};
 use zarf_verify::queries::{item_label, QueryKind, VetQuery};
@@ -31,7 +33,7 @@ use zarf_verify::shape::{EntryModel, ShapeReport};
 use crate::budget::Incompleteness;
 use crate::exec::{Exec, Outcome, PathState};
 use crate::report::Status;
-use crate::seed::envelope_args;
+use crate::seed::{build_env_ctx, envelope_args};
 use crate::solve::{solve, Model, Verdict};
 use crate::term::{TermId, TermStore};
 use crate::value::{SymVal, SV};
@@ -158,6 +160,9 @@ fn concretize(store: &mut TermStore, v: &SV, model: &Model, depth: usize) -> Opt
             Some(SymVal::closure(*target, fs))
         }
         SymVal::Error(_) => None,
+        // Opaque values only arise from envelope seeding, never from the
+        // concrete-argument explorations that feed the pool.
+        SymVal::Opaque { .. } => None,
     }
 }
 
@@ -431,6 +436,11 @@ pub fn envelope_check(ex: &mut Exec, report: &ShapeReport, q: &VetQuery) -> Stat
     if env.combos.is_empty() && inc.is_empty() {
         inc.insert(Incompleteness::EnvelopeGap);
     }
+    // The envelope phase runs with the context installed: opaque seeds
+    // expand lazily from the cells, and recursive calls summarize over
+    // the shape fixpoint's returns instead of truncating at the depth
+    // bound. Cleared before returning — witness search must not see it.
+    ex.set_env_ctx(Some(Rc::new(build_env_ctx(ex.program, report))));
     let mut sat_found = false;
     let mut solves_left = ex.budget.max_witness_attempts.saturating_mul(4);
     'combos: for combo in env.combos {
@@ -457,6 +467,7 @@ pub fn envelope_check(ex: &mut Exec, report: &ShapeReport, q: &VetQuery) -> Stat
             }
         }
     }
+    ex.set_env_ctx(None);
     if sat_found {
         inc.insert(Incompleteness::WitnessUnrealized);
         return Status::Undecided(inc);

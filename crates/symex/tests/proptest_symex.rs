@@ -317,7 +317,7 @@ fn tiny() -> SymexBudget {
         solver_effort: 40,
         producer_rounds: 1,
         max_combos: 3,
-        seed_depth: 1,
+        max_expand_combos: 2,
         max_summary_paths: 4,
         max_witness_attempts: 2,
     }

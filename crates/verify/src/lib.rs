@@ -32,6 +32,11 @@
 //! * [`queries`] — the bridge from shape findings to the symbolic
 //!   executor: each warning/violation as a [`queries::VetQuery`] that
 //!   `zarf-symex` answers with a witness or a spuriousness proof.
+//! * [`risc`] — the same [`absint`] engine pointed at the **imperative
+//!   core**: Macaw-style CFG recovery over raw `Vec<Instr>` programs,
+//!   a register×memory interval/congruence domain, and certification
+//!   clients (divide-by-zero freedom, memory bounds, port discipline,
+//!   per-loop cycle WCET) behind `zarf vet --risc`.
 //!
 //! All analyses run on the *machine form* or the named AST lifted from a
 //! binary — no source required, which is the architecture's point.
@@ -59,6 +64,7 @@ pub mod callgraph;
 pub mod integrity;
 pub mod lints;
 pub mod queries;
+pub mod risc;
 pub mod shape;
 pub mod sigs;
 pub mod timing;

@@ -1,0 +1,767 @@
+//! CFG recovery from a RISC instruction stream.
+//!
+//! The Macaw-style front half of the binary analysis: given a bare
+//! `Vec<Instr>`, recover basic blocks, intraprocedural edges, `Jal`
+//! call-site function partitioning, dominators, and natural loops — or
+//! reject the program with a *typed* reason when its control flow cannot
+//! be recovered statically. Rejection is a feature: the certification
+//! contract is "analyzable or refused", never "guessed".
+//!
+//! Recovery rules:
+//!
+//! * **Blocks** start at pc 0, at every static branch/jump/call target,
+//!   and after every control-transfer instruction.
+//! * **`Jal` targets partition functions.** The entry function starts at
+//!   pc 0; every distinct `Jal` target starts a callee. `Jr r15` is the
+//!   return instruction. Calls are depth-1: a callee containing another
+//!   `Jal` is rejected ([`CfgError::NestedCall`]), and any non-`Jal`
+//!   write to the link register is rejected
+//!   ([`CfgError::LinkClobbered`]) — together these make every `Jr r15`
+//!   target statically known (the continuation of each call site).
+//! * **Computed control flow is rejected**: `Jr` through any register
+//!   but `r15` has no static target ([`CfgError::ComputedJump`]).
+//! * **Irreducible loops are rejected**: every retreating edge must
+//!   target a dominator of its source ([`CfgError::Irreducible`]), so
+//!   natural-loop trip bounds and WCET composition are well defined.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use zarf_imperative::cpu::{Instr, Reg};
+
+/// Index of a basic block in [`Cfg::blocks`].
+pub type BlockId = usize;
+
+/// Index of a function in [`Cfg::funcs`].
+pub type FuncId = usize;
+
+/// Why CFG recovery refused a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// The program has no instructions.
+    Empty,
+    /// A branch/jump/call target lies outside the program.
+    TargetOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// Control can fall off the end of the instruction stream.
+    FallsOffEnd {
+        /// The last instruction's index.
+        pc: usize,
+    },
+    /// An indirect jump through a register other than the link register:
+    /// no static target exists.
+    ComputedJump {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A non-`Jal` instruction writes the link register in a program
+    /// that uses `Jr r15`, so return targets cannot be trusted.
+    LinkClobbered {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A `Jal` inside a callee: only depth-1 calls have statically known
+    /// returns on a machine with no stack.
+    NestedCall {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A `Jr r15` reachable in the entry function, where no call ever
+    /// set the link register.
+    ReturnOutsideCallee {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A block is reachable from two different function entries.
+    OverlappingFunctions {
+        /// Start pc of the shared block.
+        pc: usize,
+    },
+    /// A retreating edge targets a non-dominator: the loop structure is
+    /// irreducible and trip bounds are undefined.
+    Irreducible {
+        /// Start pc of a block on the irreducible cycle.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Empty => write!(f, "empty program"),
+            CfgError::TargetOutOfRange { pc, target } => {
+                write!(f, "pc {pc}: branch target {target} outside program")
+            }
+            CfgError::FallsOffEnd { pc } => {
+                write!(f, "pc {pc}: control can fall off the end of the program")
+            }
+            CfgError::ComputedJump { pc } => {
+                write!(f, "pc {pc}: computed jump (jr through a non-link register)")
+            }
+            CfgError::LinkClobbered { pc } => {
+                write!(f, "pc {pc}: link register r15 written outside jal")
+            }
+            CfgError::NestedCall { pc } => {
+                write!(
+                    f,
+                    "pc {pc}: jal inside a callee (only depth-1 calls are analyzable)"
+                )
+            }
+            CfgError::ReturnOutsideCallee { pc } => {
+                write!(
+                    f,
+                    "pc {pc}: jr r15 outside any callee (link register never set)"
+                )
+            }
+            CfgError::OverlappingFunctions { pc } => {
+                write!(f, "pc {pc}: block shared between two functions")
+            }
+            CfgError::Irreducible { pc } => {
+                write!(
+                    f,
+                    "pc {pc}: irreducible loop (retreating edge to a non-dominator)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// One basic block: the pcs `start..=end`.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// Last instruction index (inclusive).
+    pub end: usize,
+    /// Intraprocedural successors. A call block's successor is its
+    /// continuation (the call "falls through" the callee); a return or
+    /// halt block has none.
+    pub succs: Vec<BlockId>,
+    /// The callee this block calls, if it ends in `Jal` (filled after
+    /// function partitioning).
+    pub call: Option<FuncId>,
+    /// Whether this block ends in `Jr r15`.
+    pub is_return: bool,
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop head (target of the back edges; dominates the body).
+    pub head: BlockId,
+    /// All blocks of the loop, head included.
+    pub body: BTreeSet<BlockId>,
+    /// Back-edge source blocks.
+    pub back_edges: Vec<BlockId>,
+}
+
+/// One recovered function.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Entry block.
+    pub entry: BlockId,
+    /// Blocks of this function, ascending.
+    pub blocks: Vec<BlockId>,
+    /// Immediate dominators within this function (entry maps to itself).
+    pub idom: BTreeMap<BlockId, BlockId>,
+    /// Natural loops, outermost first (sorted by descending body size).
+    pub loops: Vec<Loop>,
+}
+
+impl Func {
+    /// Whether block `a` dominates block `b` within this function.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The innermost loop containing `b`, as an index into
+    /// [`Func::loops`] (`None` when `b` is outside every loop). With
+    /// reducible control flow, loops with distinct heads are disjoint or
+    /// nested, so the smallest containing body is the innermost.
+    pub fn innermost_loop(&self, b: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.body.contains(&b))
+            .min_by_key(|(_, l)| l.body.len())
+            .map(|(i, _)| i)
+    }
+}
+
+/// One call site.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Block ending in the `Jal`.
+    pub caller: BlockId,
+    /// The called function.
+    pub callee: FuncId,
+    /// The block execution resumes at after the callee returns.
+    pub ret: BlockId,
+}
+
+/// The recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order.
+    pub blocks: Vec<Block>,
+    /// Per-pc owning block.
+    pub block_of: Vec<BlockId>,
+    /// Functions; index 0 is the entry function.
+    pub funcs: Vec<Func>,
+    /// Per-block owning function (`None` for dead code reachable from no
+    /// entry).
+    pub func_of: Vec<Option<FuncId>>,
+    /// All call sites.
+    pub calls: Vec<CallSite>,
+    /// Per-block return continuations: for a block ending in `Jr r15`,
+    /// the continuation blocks of every call site of its function.
+    pub ret_to: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Recover the CFG or reject the program with a typed reason.
+    pub fn build(prog: &[Instr]) -> Result<Cfg, CfgError> {
+        if prog.is_empty() {
+            return Err(CfgError::Empty);
+        }
+        let n = prog.len();
+
+        // Instruction-level validation.
+        let has_return = prog.iter().any(|i| matches!(i, Instr::Jr(Reg(15))));
+        let has_call = prog.iter().any(|i| matches!(i, Instr::Jal(_)));
+        for (pc, i) in prog.iter().enumerate() {
+            if let Some(t) = i.target() {
+                if t >= n {
+                    return Err(CfgError::TargetOutOfRange { pc, target: t });
+                }
+            }
+            if let Instr::Jr(r) = i {
+                if r.0 != 15 {
+                    return Err(CfgError::ComputedJump { pc });
+                }
+            }
+            if (has_return || has_call) && !matches!(i, Instr::Jal(_)) && i.def() == Some(Reg(15)) {
+                return Err(CfgError::LinkClobbered { pc });
+            }
+        }
+        let last = n - 1;
+        if prog[last].falls_through() {
+            return Err(CfgError::FallsOffEnd { pc: last });
+        }
+
+        // Leaders → blocks.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, i) in prog.iter().enumerate() {
+            if let Some(t) = i.target() {
+                leader[t] = true;
+            }
+            let ends_block = i.target().is_some() || !i.falls_through();
+            if ends_block && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(Block {
+                    start: pc,
+                    end: pc,
+                    succs: Vec::new(),
+                    call: None,
+                    is_return: false,
+                });
+            }
+            let b = blocks.len() - 1;
+            block_of[pc] = b;
+            blocks[b].end = pc;
+        }
+
+        // Intraprocedural edges.
+        let mut jal_targets: BTreeSet<usize> = BTreeSet::new();
+        let mut raw_calls: Vec<(BlockId, usize, BlockId)> = Vec::new();
+        for (b, blk) in blocks.iter_mut().enumerate() {
+            let end = blk.end;
+            match prog[end] {
+                Instr::Beq(_, _, t)
+                | Instr::Bne(_, _, t)
+                | Instr::Blt(_, _, t)
+                | Instr::Bge(_, _, t) => {
+                    // Taken edge first, fall-through second. `end + 1 < n`
+                    // holds because the last instruction cannot fall
+                    // through (checked above).
+                    blk.succs = vec![block_of[t], block_of[end + 1]];
+                }
+                Instr::Jmp(t) => blk.succs = vec![block_of[t]],
+                Instr::Jal(t) => {
+                    jal_targets.insert(t);
+                    let ret = block_of[end + 1];
+                    blk.succs = vec![ret];
+                    raw_calls.push((b, t, ret));
+                }
+                Instr::Jr(_) => blk.is_return = true,
+                Instr::Halt => {}
+                _ => blk.succs = vec![block_of[end + 1]],
+            }
+        }
+
+        // Function partitioning: reachability from each entry over intra
+        // edges (returns stop; calls are not followed).
+        let mut entries: Vec<BlockId> = vec![block_of[0]];
+        for &t in &jal_targets {
+            let eb = block_of[t];
+            if !entries.contains(&eb) {
+                entries.push(eb);
+            }
+        }
+        let mut func_of: Vec<Option<FuncId>> = vec![None; blocks.len()];
+        let mut funcs: Vec<Func> = Vec::new();
+        for (fid, &entry) in entries.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![entry];
+            while let Some(b) = stack.pop() {
+                if !seen.insert(b) {
+                    continue;
+                }
+                match func_of[b] {
+                    Some(other) if other != fid => {
+                        return Err(CfgError::OverlappingFunctions {
+                            pc: blocks[b].start,
+                        });
+                    }
+                    _ => func_of[b] = Some(fid),
+                }
+                for &s in &blocks[b].succs {
+                    stack.push(s);
+                }
+            }
+            funcs.push(Func {
+                entry,
+                blocks: seen.into_iter().collect(),
+                idom: BTreeMap::new(),
+                loops: Vec::new(),
+            });
+        }
+
+        // Call discipline.
+        for f in funcs.iter().skip(1) {
+            for &b in &f.blocks {
+                if matches!(prog[blocks[b].end], Instr::Jal(_)) {
+                    return Err(CfgError::NestedCall { pc: blocks[b].end });
+                }
+            }
+        }
+        for &b in &funcs[0].blocks {
+            if blocks[b].is_return {
+                return Err(CfgError::ReturnOutsideCallee { pc: blocks[b].end });
+            }
+        }
+
+        // Resolve call sites to function ids.
+        let fid_of_entry: BTreeMap<BlockId, FuncId> = entries
+            .iter()
+            .enumerate()
+            .map(|(fid, &e)| (e, fid))
+            .collect();
+        let mut calls = Vec::new();
+        for (caller, target_pc, ret) in raw_calls {
+            let callee = fid_of_entry[&block_of[target_pc]];
+            blocks[caller].call = Some(callee);
+            calls.push(CallSite {
+                caller,
+                callee,
+                ret,
+            });
+        }
+
+        // Return continuations per returning block.
+        let mut ret_to: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        for (fid, f) in funcs.iter().enumerate() {
+            let conts: Vec<BlockId> = calls
+                .iter()
+                .filter(|c| c.callee == fid)
+                .map(|c| c.ret)
+                .collect();
+            for &b in &f.blocks {
+                if blocks[b].is_return {
+                    ret_to[b] = conts.clone();
+                }
+            }
+        }
+
+        // Dominators + natural loops per function.
+        for f in funcs.iter_mut() {
+            f.idom = dominators(&blocks, f.entry, &f.blocks);
+            f.loops = natural_loops(&blocks, f)?;
+        }
+
+        Ok(Cfg {
+            blocks,
+            block_of,
+            funcs,
+            func_of,
+            calls,
+            ret_to,
+        })
+    }
+
+    /// Dead blocks: in no function (statically unreachable from every
+    /// entry), by start pc.
+    pub fn dead_blocks(&self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&b| self.func_of[b].is_none())
+            .map(|b| self.blocks[b].start)
+            .collect()
+    }
+}
+
+/// Iterative immediate-dominator computation (Cooper–Harvey–Kennedy)
+/// over one function's blocks.
+fn dominators(blocks: &[Block], entry: BlockId, members: &[BlockId]) -> BTreeMap<BlockId, BlockId> {
+    let member: BTreeSet<BlockId> = members.iter().copied().collect();
+    // Reverse postorder.
+    let mut order: Vec<BlockId> = Vec::new();
+    let mut state: BTreeMap<BlockId, u8> = BTreeMap::new();
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        if *i == 0 {
+            state.insert(b, 1);
+        }
+        let succs = &blocks[b].succs;
+        let mut advanced = false;
+        while *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if member.contains(&s) && !state.contains_key(&s) {
+                stack.push((s, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced && stack.last().map(|&(bb, ii)| bb == b && ii >= succs.len()) == Some(true) {
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    let rpo_index: BTreeMap<BlockId, usize> =
+        order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    let mut preds: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+    for &b in &order {
+        for &s in &blocks[b].succs {
+            if member.contains(&s) {
+                preds.entry(s).or_default().push(b);
+            }
+        }
+    }
+
+    let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    idom.insert(entry, entry);
+    let intersect = |idom: &BTreeMap<BlockId, BlockId>, mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[&a];
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in preds.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Natural loops of one function; rejects irreducible cycles.
+fn natural_loops(blocks: &[Block], f: &Func) -> Result<Vec<Loop>, CfgError> {
+    // Back edges: u → h where h dominates u.
+    let mut by_head: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+    let mut back: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+    for &u in &f.blocks {
+        for &v in &blocks[u].succs {
+            if f.blocks.binary_search(&v).is_ok() && f.dominates(v, u) {
+                by_head.entry(v).or_default().push(u);
+                back.insert((u, v));
+            }
+        }
+    }
+
+    // Reducibility: removing back edges must leave the function acyclic.
+    let members: BTreeSet<BlockId> = f.blocks.iter().copied().collect();
+    let mut indeg: BTreeMap<BlockId, usize> = f.blocks.iter().map(|&b| (b, 0)).collect();
+    for &u in &f.blocks {
+        for &v in &blocks[u].succs {
+            if members.contains(&v) && !back.contains(&(u, v)) {
+                *indeg.entry(v).or_default() += 1;
+            }
+        }
+    }
+    let mut queue: Vec<BlockId> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&b, _)| b)
+        .collect();
+    let mut removed = 0usize;
+    while let Some(b) = queue.pop() {
+        removed += 1;
+        for &v in &blocks[b].succs {
+            if members.contains(&v) && !back.contains(&(b, v)) {
+                let d = indeg.entry(v).or_default();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    if removed != f.blocks.len() {
+        // Some block sits on a cycle with no dominating head.
+        let stuck = indeg
+            .iter()
+            .find(|&(_, &d)| d > 0)
+            .map(|(&b, _)| blocks[b].start)
+            .unwrap_or(blocks[f.entry].start);
+        return Err(CfgError::Irreducible { pc: stuck });
+    }
+
+    // Loop bodies: reverse reachability from back-edge sources, stopping
+    // at the head.
+    let mut preds: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+    for &u in &f.blocks {
+        for &v in &blocks[u].succs {
+            if members.contains(&v) {
+                preds.entry(v).or_default().push(u);
+            }
+        }
+    }
+    let mut loops = Vec::new();
+    for (head, sources) in by_head {
+        let mut body: BTreeSet<BlockId> = BTreeSet::new();
+        body.insert(head);
+        let mut stack: Vec<BlockId> = sources.clone();
+        while let Some(b) = stack.pop() {
+            if body.insert(b) {
+                for &p in preds.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+                    stack.push(p);
+                }
+            }
+        }
+        loops.push(Loop {
+            head,
+            body,
+            back_edges: sources,
+        });
+    }
+    loops.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
+    Ok(loops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zarf_imperative::builder::Asm;
+    use zarf_imperative::cpu::{Reg, R0};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let prog = vec![
+            Instr::Addi(r(1), R0, 1),
+            Instr::Add(r(2), r(1), r(1)),
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&prog).unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.funcs.len(), 1);
+        assert!(cfg.funcs[0].loops.is_empty());
+    }
+
+    #[test]
+    fn loop_is_recovered() {
+        let mut a = Asm::new();
+        a.addi(r(1), R0, 10);
+        a.label("top");
+        a.beq(r(1), R0, "done");
+        a.addi(r(1), r(1), -1);
+        a.jmp("top");
+        a.label("done");
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        assert_eq!(cfg.funcs[0].loops.len(), 1);
+        let l = &cfg.funcs[0].loops[0];
+        assert_eq!(cfg.blocks[l.head].start, 1);
+        assert_eq!(l.body.len(), 2);
+    }
+
+    #[test]
+    fn jal_partitions_functions() {
+        let mut a = Asm::new();
+        a.jal("leaf");
+        a.halt();
+        a.label("leaf");
+        a.addi(r(1), R0, 9);
+        a.jr(Reg(15));
+        let prog = a.assemble().unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        assert_eq!(cfg.funcs.len(), 2);
+        assert_eq!(cfg.calls.len(), 1);
+        let call = cfg.calls[0];
+        assert_eq!(call.callee, 1);
+        // The leaf's return continues at the caller's halt block.
+        let jr_block = cfg.funcs[1]
+            .blocks
+            .iter()
+            .copied()
+            .find(|&b| cfg.blocks[b].is_return)
+            .unwrap();
+        assert_eq!(cfg.ret_to[jr_block], vec![call.ret]);
+    }
+
+    #[test]
+    fn computed_jump_rejected() {
+        let prog = vec![Instr::Jr(r(3)), Instr::Halt];
+        assert_eq!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::ComputedJump { pc: 0 }
+        );
+    }
+
+    #[test]
+    fn link_clobber_rejected() {
+        let prog = vec![
+            Instr::Jal(3),
+            Instr::Addi(Reg(15), R0, 7),
+            Instr::Halt,
+            Instr::Jr(Reg(15)),
+        ];
+        assert_eq!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::LinkClobbered { pc: 1 }
+        );
+    }
+
+    #[test]
+    fn nested_call_rejected() {
+        let mut a = Asm::new();
+        a.jal("f");
+        a.halt();
+        a.label("f");
+        a.jal("g");
+        a.jr(Reg(15));
+        a.label("g");
+        a.jr(Reg(15));
+        let prog = a.assemble().unwrap();
+        assert!(matches!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::NestedCall { .. }
+        ));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let prog = vec![Instr::Addi(r(1), R0, 1)];
+        assert_eq!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::FallsOffEnd { pc: 0 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let prog = vec![Instr::Jmp(99), Instr::Halt];
+        assert_eq!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::TargetOutOfRange { pc: 0, target: 99 }
+        );
+    }
+
+    #[test]
+    fn irreducible_flow_rejected() {
+        // Two mutually-jumping blocks entered at both points: classic
+        // irreducible diamond.
+        let prog = vec![
+            Instr::Beq(r(1), R0, 3),  // 0: entry → 3 or fall to 1
+            Instr::Addi(r(2), R0, 1), // 1: region A
+            Instr::Jmp(4),            // 2: → B tail
+            Instr::Addi(r(3), R0, 2), // 3: region B head
+            Instr::Beq(r(2), R0, 1),  // 4: back into A (retreating, no dominance)
+            Instr::Halt,              // 5
+        ];
+        assert!(matches!(
+            Cfg::build(&prog).unwrap_err(),
+            CfgError::Irreducible { .. }
+        ));
+    }
+
+    #[test]
+    fn dead_code_is_reported_not_rejected() {
+        let prog = vec![
+            Instr::Jmp(2),
+            Instr::Addi(r(1), R0, 1), // unreachable
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&prog).unwrap();
+        assert_eq!(cfg.dead_blocks(), vec![1]);
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        let mut a = Asm::new();
+        a.beq(r(1), R0, "right");
+        a.addi(r(2), R0, 1);
+        a.jmp("join");
+        a.label("right");
+        a.addi(r(2), R0, 2);
+        a.label("join");
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        let f = &cfg.funcs[0];
+        let join = cfg.block_of[4];
+        let entry = cfg.block_of[0];
+        assert!(f.dominates(entry, join));
+        assert!(!f.dominates(cfg.block_of[1], join));
+    }
+}

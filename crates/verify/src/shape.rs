@@ -511,6 +511,20 @@ pub struct ShapeReport {
     /// the fixpoint saw stored into each constructor field. The symbolic
     /// executor instantiates nested entry shapes from these.
     pub cells: BTreeMap<(u32, usize), AbsVal>,
+    /// Deduplicated internal call-site argument vectors per callee: the
+    /// abstract arguments of every *saturated, direct* call from an
+    /// analyzed body. Together with the entry model's own contribution
+    /// these decompose a function's joined argument summary back into the
+    /// relational per-site vectors the fixpoint blurred together — the
+    /// symbolic executor's envelope instantiates each family separately
+    /// instead of crossing the join (which manufactures argument
+    /// combinations no caller ever produces).
+    pub call_sites: BTreeMap<u32, Vec<Vec<AbsVal>>>,
+    /// Items whose closures may escape tracking (referenced as values or
+    /// partially applied). Their summaries are ⊤-seeded and their call
+    /// sites are not fully enumerable, so the per-site decomposition
+    /// above is *not* exhaustive for them.
+    pub addr_taken: BTreeSet<u32>,
     /// Fixpoint iterations performed.
     pub iterations: u64,
     /// The engine's enforced iteration bound.
@@ -534,6 +548,19 @@ impl ShapeReport {
     /// (`ApplyToInt`, `ApplyToCon`, `ConOverApplied`).
     pub fn arity_fault_free(&self) -> bool {
         !self.faults().any(|(_, f)| f.is_arity_fault())
+    }
+
+    /// The service entry's step-feedback state: any integer joined with
+    /// every analyzed function's return. Mirrors exactly what the service
+    /// fixpoint node threads into argument 0 of each op, so envelope
+    /// construction can reproduce the environment's contribution to a
+    /// function's argument summary without re-running the fixpoint.
+    pub fn service_state(&self) -> AbsVal {
+        let mut state = AbsVal::any_int();
+        for f in self.functions.values() {
+            state.join(&f.summary.ret);
+        }
+        state
     }
 }
 
@@ -776,6 +803,8 @@ struct Walker<'a, 'm> {
     faults: BTreeSet<Fault>,
     arms: Vec<(usize, usize, MPattern)>,
     case_counter: usize,
+    /// Saturated direct-call sites seen in this body: `(callee, args)`.
+    call_sites: Vec<(u32, Vec<AbsVal>)>,
 }
 
 impl<'a, 'm> Walker<'a, 'm> {
@@ -787,6 +816,7 @@ impl<'a, 'm> Walker<'a, 'm> {
             faults: BTreeSet::new(),
             arms: Vec::new(),
             case_counter: 0,
+            call_sites: Vec::new(),
         }
     }
 
@@ -942,6 +972,17 @@ impl<'a, 'm> Walker<'a, 'm> {
             }
             if any {
                 self.props.push((fun_node(target), ShapeVal::Fun(s)));
+            }
+            // A fully-tracked saturated call: record the per-site argument
+            // vector for the report's relational decomposition. Partial
+            // completions (`applied > 0`) go untracked — but creating such
+            // a closure marked the callee addr-taken, which is exactly the
+            // report's "not exhaustive" flag.
+            if applied == 0 && args.len() >= arity {
+                let site: Vec<AbsVal> = args[..arity].to_vec();
+                if !site.iter().any(|a| a.is_bot()) {
+                    self.call_sites.push((target, site));
+                }
             }
         }
         let ret = match self.view.get(fun_node(target)) {
@@ -1147,6 +1188,7 @@ pub fn analyze_shapes(program: &MProgram, model: EntryModel) -> Result<ShapeRepo
     let view = View::over(&fp.values);
     let mut functions = BTreeMap::new();
     let mut unreachable_arms = Vec::new();
+    let mut call_sites: BTreeMap<u32, Vec<Vec<AbsVal>>> = BTreeMap::new();
     for &id in &analysis.analyzed {
         let item = match program.lookup(id) {
             Some(it) => it,
@@ -1158,6 +1200,12 @@ pub fn analyze_shapes(program: &MProgram, model: EntryModel) -> Result<ShapeRepo
         };
         let mut w = Walker::new(&analysis, &view);
         w.eval_fun(item, &summary.args);
+        for (callee, site) in w.call_sites.drain(..) {
+            let sites = call_sites.entry(callee).or_default();
+            if !sites.contains(&site) {
+                sites.push(site);
+            }
+        }
         for (case_index, arm_index, pattern) in w.arms {
             unreachable_arms.push(UnreachableArm {
                 function: id,
@@ -1190,6 +1238,8 @@ pub fn analyze_shapes(program: &MProgram, model: EntryModel) -> Result<ShapeRepo
         functions,
         unreachable_arms,
         cells,
+        call_sites,
+        addr_taken: analysis.addr_taken.clone(),
         iterations: fp.iterations,
         iteration_bound: fp.bound,
     })

@@ -1,0 +1,240 @@
+//! Property-based soundness tests for the RISC certification pipeline.
+//!
+//! A seeded generator emits structured `Asm` programs — straight-line
+//! arithmetic, masked loads/stores, constant-trip counting loops, port
+//! reads, guaranteed-nonzero divisions — and every static claim is
+//! pinned against concrete runs of the same binary:
+//!
+//! * every executed pc lies inside a recovered basic block the fixpoint
+//!   reached (CFG recovery loses no live code);
+//! * at every executed pc, each concrete register and memory word is a
+//!   member of the abstract pre-state (the clamp-free fixpoint is a
+//!   sound over-approximation of the machine);
+//! * programs that certify never fault across 100+ seeded traced runs
+//!   with adversarial port inputs.
+#![cfg(feature = "proptest-tests")]
+
+use std::collections::BTreeMap;
+
+use zarf_core::error::IoError;
+use zarf_core::io::IoPorts;
+use zarf_core::Int;
+use zarf_imperative::{Asm, Cpu, Instr, Reg, R0};
+use zarf_testkit::prelude::*;
+use zarf_testkit::rng::StdRng;
+use zarf_verify::risc::domain::exec_block;
+use zarf_verify::risc::{analyze, certify, AbsState, Cfg, RiscSpec};
+
+const MEM_WORDS: usize = 8;
+/// Registers the generator computes into; r8 holds the address mask,
+/// r9 the loop counters.
+const WORK: [u8; 5] = [1, 2, 3, 4, 5];
+
+/// Serves seeded small words on every input port.
+struct RngPorts(StdRng);
+
+impl IoPorts for RngPorts {
+    fn getint(&mut self, _port: Int) -> Result<Int, IoError> {
+        Ok(self.0.gen_range(-9..10))
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    a: Asm,
+    labels: usize,
+}
+
+impl Gen {
+    fn reg(&mut self) -> Reg {
+        Reg(WORK[self.rng.gen_range(0..WORK.len())])
+    }
+
+    /// One non-faulting straight-line instruction.
+    fn op(&mut self) {
+        let (d, s, t) = (self.reg(), self.reg(), self.reg());
+        match self.rng.gen_range(0..9u32) {
+            0 => self.a.add(d, s, t),
+            1 => self.a.sub(d, s, t),
+            2 => self.a.and(d, s, t),
+            3 => self.a.or(d, s, t),
+            4 => self.a.slt(d, s, t),
+            5 => self.a.addi(d, s, self.rng.gen_range(-9..10)),
+            6 => self.a.slti(d, s, self.rng.gen_range(-9..10)),
+            7 => {
+                // Division whose divisor was just pinned nonzero — the
+                // pattern the div client must discharge.
+                let k = self.rng.gen_range(1..8);
+                self.a.addi(t, R0, k);
+                self.a.div(d, s, t);
+            }
+            _ => {
+                // Masked memory access: `and` with the exact mask in r8
+                // bounds the address into [0, MEM_WORDS).
+                let addr = self.reg();
+                self.a.and(addr, s, Reg(8));
+                if self.rng.gen_bool(0.5) {
+                    self.a.lw(d, addr, 0);
+                } else {
+                    self.a.sw(d, addr, 0);
+                }
+            }
+        }
+    }
+
+    fn segment(&mut self) {
+        match self.rng.gen_range(0..4u32) {
+            // A constant-trip counting loop with a short body.
+            0 => {
+                let l = format!("l{}", self.labels);
+                self.labels += 1;
+                let trip = self.rng.gen_range(1..6);
+                self.a.addi(Reg(9), R0, trip);
+                self.a.label(&l);
+                for _ in 0..self.rng.gen_range(1..4u32) {
+                    self.op();
+                }
+                self.a.addi(Reg(9), Reg(9), -1);
+                self.a.bne(Reg(9), R0, &l);
+            }
+            // An untrusted port read.
+            1 => {
+                let d = self.reg();
+                self.a.inp(d, self.rng.gen_range(0..2));
+            }
+            _ => {
+                for _ in 0..self.rng.gen_range(1..5u32) {
+                    self.op();
+                }
+            }
+        }
+    }
+}
+
+/// Build a random terminating program. Every divisor is pinned nonzero
+/// and every address masked, so the generated population is dominated
+/// by certifiable programs — the "certified never faults" property has
+/// a real support set.
+fn gen_program(seed: u64) -> Vec<Instr> {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        a: Asm::new(),
+        labels: 0,
+    };
+    g.a.addi(Reg(8), R0, MEM_WORDS as Int - 1);
+    let n = g.rng.gen_range(2..6u32);
+    for _ in 0..n {
+        g.segment();
+    }
+    g.a.halt();
+    g.a.assemble().expect("generated program assembles")
+}
+
+/// Per-pc abstract pre-states of the clamp-free (phase-A) fixpoint —
+/// sound with no loop-fact side conditions.
+fn pre_states(prog: &[Instr], cfg: &Cfg) -> BTreeMap<usize, AbsState> {
+    let fp = analyze(prog, cfg, MEM_WORDS, &BTreeMap::new()).expect("fixpoint converges");
+    let mut at = BTreeMap::new();
+    for (&b, entry) in &fp.entries {
+        exec_block(prog, cfg, b, entry.clone(), &mut |pc, st| {
+            at.insert(pc, st.clone());
+        });
+    }
+    at
+}
+
+/// Non-vacuity guard: the generator must mostly produce programs that
+/// certify, or the dynamic fault-freedom property tests nothing.
+#[test]
+fn generator_mostly_certifies() {
+    let mut certified = 0usize;
+    for seed in 0..100u64 {
+        let prog = gen_program(seed);
+        let report = certify(&prog, &RiscSpec::new(MEM_WORDS)).expect("program analyzes");
+        certified += report.certified() as usize;
+    }
+    assert!(
+        certified >= 80,
+        "only {certified}/100 generated programs certify"
+    );
+}
+
+/// Certified programs never fault: across 100+ traced runs (several
+/// adversarial port streams per certified program), the CPU halts
+/// cleanly — no divide fault, no bad address, no runaway.
+#[test]
+fn certified_programs_never_fault_under_seeded_runs() {
+    let mut runs = 0usize;
+    let mut seed = 0u64;
+    while runs < 120 {
+        let prog = gen_program(seed);
+        seed += 1;
+        let report = certify(&prog, &RiscSpec::new(MEM_WORDS)).expect("program analyzes");
+        if !report.certified() {
+            continue;
+        }
+        for port_seed in 0..3u64 {
+            let mut cpu = Cpu::new(prog.clone(), MEM_WORDS);
+            let mut ports = RngPorts(StdRng::seed_from_u64(seed ^ (port_seed << 32)));
+            cpu.run(&mut ports, 1_000_000)
+                .unwrap_or_else(|e| panic!("certified program (seed {}) faulted: {e}", seed - 1));
+            runs += 1;
+        }
+    }
+}
+
+proptest! {
+    /// CFG recovery loses no live code: every pc a concrete run executes
+    /// belongs to a recovered block the fixpoint reached.
+    #[test]
+    fn executed_pcs_lie_in_reached_blocks(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let cfg = Cfg::build(&prog).expect("generated control flow is recoverable");
+        let fp = analyze(&prog, &cfg, MEM_WORDS, &BTreeMap::new()).expect("fixpoint converges");
+        let mut cpu = Cpu::new(prog.clone(), MEM_WORDS);
+        let mut ports = RngPorts(StdRng::seed_from_u64(!seed));
+        while !cpu.halted() {
+            let pc = cpu.pc();
+            prop_assert!(pc < prog.len(), "pc {pc} outside program");
+            let b = cfg.block_of[pc];
+            prop_assert!(
+                fp.entries.contains_key(&b),
+                "executed pc {pc} is in block {b}, which the fixpoint calls unreachable"
+            );
+            cpu.step(&mut ports).expect("generated programs do not fault");
+        }
+    }
+
+    /// The fixpoint abstracts the machine: at every executed pc, each
+    /// concrete register and memory word is contained in the abstract
+    /// pre-state's interval and congruence for that slot.
+    #[test]
+    fn concrete_states_are_members_of_abstract_pre_states(seed in any::<u64>()) {
+        let prog = gen_program(seed);
+        let cfg = Cfg::build(&prog).expect("generated control flow is recoverable");
+        let at = pre_states(&prog, &cfg);
+        let mut cpu = Cpu::new(prog.clone(), MEM_WORDS);
+        let mut ports = RngPorts(StdRng::seed_from_u64(seed.rotate_left(17)));
+        while !cpu.halted() {
+            let pc = cpu.pc();
+            let st = at.get(&pc).unwrap_or_else(|| panic!("no abstract state at executed pc {pc}"));
+            for r in 1..16u8 {
+                let v = cpu.reg(Reg(r)) as i64;
+                let abs = st.regs[r as usize];
+                prop_assert!(
+                    abs.iv.contains(v) && abs.cg.contains(v),
+                    "pc {pc}: r{r} = {v} outside abstract {abs} (seed {seed})"
+                );
+            }
+            for w in 0..MEM_WORDS {
+                let v = cpu.mem(w) as i64;
+                let abs = st.mem[w];
+                prop_assert!(
+                    abs.iv.contains(v) && abs.cg.contains(v),
+                    "pc {pc}: mem[{w}] = {v} outside abstract {abs} (seed {seed})"
+                );
+            }
+            cpu.step(&mut ports).expect("generated programs do not fault");
+        }
+    }
+}

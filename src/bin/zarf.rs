@@ -26,7 +26,9 @@
 //!                                 --symex decides each warning into a
 //!                                 replay-validated concrete witness, a
 //!                                 spuriousness proof, or a typed
-//!                                 undecided marker (DESIGN.md §15)
+//!                                 undecided marker (DESIGN.md §15);
+//!                                 --risc certifies an imperative-core
+//!                                 RISC binary instead (DESIGN.md §16)
 //! zarf chaos [--seeds N] [--base-seed S] [--seconds F] [--faults N]
 //!            [--policy halt|restart|degrade|rollback]
 //!                                 seeded fault-injection soak of the full
@@ -97,7 +99,7 @@ fn usage_text() -> &'static str {
      trace options: --engine big|small|hw  --out FILE (default stdout)  --in …\n\
      profile options: --in PORT:v,v,…  --folded (flamegraph folded stacks)\n\
      wcet options: --fn NAME  --exclude NAME\n\
-     vet options: --json  --model standalone|service  --symex (see `zarf vet --help`)\n\
+     vet options: --json  --model standalone|service  --symex  --risc (see `zarf vet --help`)\n\
      chaos options: --policy halt|restart|degrade|rollback (default restart)"
 }
 
@@ -109,6 +111,7 @@ fn usage() -> ExitCode {
 fn vet_help() {
     println!(
         "zarf vet <file.zf|file.zbin> [--json] [--model standalone|service] [--symex]\n\
+         zarf vet --risc <file.zr|@monitor|@chanmon> [--json] [--mem N]\n\
          \n\
          Statically certify a program or binary. The report combines:\n\
          \x20 * shape/arity analysis — case-fault-freedom and arity-fault-\n\
@@ -131,9 +134,125 @@ fn vet_help() {
          \x20                  warnings refuted by a witness are dropped\n\
          --json               full machine-readable report on stdout\n\
          \n\
+         --risc               certify an imperative-core RISC binary instead:\n\
+         \x20                  CFG recovery (computed/irreducible control flow\n\
+         \x20                  is a typed rejection), divide-by-zero freedom,\n\
+         \x20                  memory-bounds freedom, port discipline, and a\n\
+         \x20                  loop-bound-aware worst-case cycle bound.\n\
+         \x20                  `@monitor` is the shipped ICD baseline image,\n\
+         \x20                  `@chanmon` the channel monitor; a file is parsed\n\
+         \x20                  as `zarf dis`-style RISC assembly (--mem N sets\n\
+         \x20                  its data-memory words, default 128)\n\
+         \n\
          The last line is always a one-line JSON verdict; the exit code is\n\
          nonzero when any violation was found."
     );
+}
+
+/// `zarf vet --risc`: the same certification contract pointed at the
+/// imperative core — recover control flow from a raw RISC program,
+/// run the interval×congruence fixpoint, and certify divide-by-zero
+/// freedom, memory bounds, port discipline, and cycle bounds.
+fn run_vet_risc(rest: &[String]) -> ExitCode {
+    use zarf::verify::risc::certify;
+
+    let path = match rest.iter().find(|a| !a.starts_with('-')) {
+        Some(p) => p.as_str(),
+        None => {
+            eprintln!("zarf: vet --risc needs a <file.zr|@monitor|@chanmon> argument");
+            return ExitCode::from(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    let (prog, spec) = match load_risc(path, rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("zarf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match certify(&prog, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            // A typed refusal (computed jump, irreducible flow, engine
+            // divergence): certification cannot even start.
+            if json {
+                let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+                println!(
+                    "{{\"file\":\"{}\",\"risc\":true,\"error\":\"{}\"}}",
+                    esc(path),
+                    esc(&e.to_string())
+                );
+            } else {
+                println!("violation: {e}");
+            }
+            println!("{{\"verdict\":\"fail\",\"violations\":1,\"warnings\":0}}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json(path));
+    } else {
+        print!("{}", report.human());
+    }
+    let verdict = if report.certified() { "pass" } else { "fail" };
+    println!(
+        "{{\"verdict\":\"{verdict}\",\"violations\":{},\"warnings\":{}}}",
+        report.violations.len(),
+        report.dead_blocks.len()
+    );
+    if report.certified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Resolve a `vet --risc` target: a shipped image by pseudo-path, or a
+/// RISC assembly file in the `zarf_imperative::disasm` grammar.
+fn load_risc(
+    path: &str,
+    opts: &[String],
+) -> Result<(Vec<zarf::imperative::Instr>, zarf::verify::risc::RiscSpec), String> {
+    use zarf::verify::risc::RiscSpec;
+
+    match path {
+        "@monitor" => {
+            use zarf::kernel::baseline::{baseline_program, BASELINE_MEM_WORDS};
+            use zarf::kernel::program::{PORT_BOOT, PORT_ECG, PORT_PACE, PORT_TIMER};
+            let spec = RiscSpec::new(BASELINE_MEM_WORDS)
+                .with_ports([PORT_BOOT, PORT_TIMER, PORT_PACE, PORT_ECG]);
+            Ok((baseline_program(), spec))
+        }
+        "@chanmon" => {
+            use zarf::imperative::{CHANNEL_PORT, CHANNEL_STATUS_PORT};
+            use zarf::kernel::devices::{PORT_CMD, PORT_CMD_STATUS, PORT_RESP};
+            use zarf::kernel::monitor::monitor_program;
+            // 64 scratch words, matching `monitor_cpu`.
+            let spec = RiscSpec::new(64).with_ports([
+                CHANNEL_STATUS_PORT,
+                CHANNEL_PORT,
+                PORT_CMD_STATUS,
+                PORT_CMD,
+                PORT_RESP,
+            ]);
+            Ok((monitor_program(), spec))
+        }
+        _ => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let prog = zarf::imperative::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+            let mem = match flag_value(opts, "--mem") {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --mem value `{s}`"))?,
+                None => 128,
+            };
+            Ok((prog, RiscSpec::new(mem)))
+        }
+    }
 }
 
 /// `zarf vet`: one static-certification report over a program or binary —
@@ -147,6 +266,9 @@ fn run_vet(rest: &[String]) -> ExitCode {
     if rest.iter().any(|a| a == "--help" || a == "-h") {
         vet_help();
         return ExitCode::SUCCESS;
+    }
+    if rest.iter().any(|a| a == "--risc") {
+        return run_vet_risc(rest);
     }
     let path = match rest.first() {
         Some(p) if !p.starts_with('-') => p.as_str(),

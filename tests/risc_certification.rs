@@ -1,0 +1,157 @@
+//! Dynamic soundness pins for the `zarf vet --risc` certification stack:
+//! every static claim the RISC abstract interpreter issues is checked
+//! against concrete runs of the same CPU it certified.
+//!
+//! * The shipped monitor baseline certifies — no divide, bounds, or port
+//!   violations, finite steady-state cycle bound — and a traced run over
+//!   a synthesized VT episode never faults, while each loop iteration's
+//!   observed cycle count stays at or under the static steady bound.
+//! * A bounded-loop program's whole run stays under its static program
+//!   WCET.
+//! * A deliberately faulty program (`in r1,0 ; div r2,r3,r1`) fails
+//!   certification with a typed `DivMayBeZero` report pinned to the
+//!   `div`, and the same binary concretely faults on the CPU when the
+//!   port serves zero.
+
+use zarf::core::error::IoError;
+use zarf::core::io::IoPorts;
+use zarf::core::Int;
+use zarf::icd::signal::{vt_episode, EcgConfig};
+use zarf::imperative::{Asm, Cpu, CpuError, Reg, R0};
+use zarf::kernel::baseline::{baseline_cpu, baseline_program, BASELINE_MEM_WORDS};
+use zarf::kernel::devices::HeartPorts;
+use zarf::kernel::program::{PORT_BOOT, PORT_ECG, PORT_PACE, PORT_TIMER};
+use zarf::verify::risc::{certify, RiscSpec, Violation};
+
+fn monitor_spec() -> RiscSpec {
+    RiscSpec::new(BASELINE_MEM_WORDS).with_ports([PORT_BOOT, PORT_TIMER, PORT_PACE, PORT_ECG])
+}
+
+/// The acceptance bar for the monitor image: the static steady-state
+/// bound dominates the *observed* cycles of every loop iteration of a
+/// faithful run, and the run never faults.
+#[test]
+fn certified_monitor_never_faults_and_iterations_stay_under_steady_bound() {
+    let report = certify(&baseline_program(), &monitor_spec()).expect("baseline analyzes");
+    assert!(
+        report.certified(),
+        "monitor image failed certification:\n{}",
+        report.human()
+    );
+    let steady = report
+        .wcet
+        .steady
+        .expect("certified reactive image has a steady-state bound");
+
+    let (mut gen, _) = vt_episode(EcgConfig {
+        noise: 0,
+        ..EcgConfig::default()
+    });
+    let samples = gen.take(6_000);
+    let n = samples.len();
+    let mut ports = HeartPorts::new(samples);
+    let mut cpu = baseline_cpu();
+
+    // Step instruction-by-instruction; each pace-port output marks the
+    // end of one monitor loop iteration. Boot code runs before the first
+    // output, so dominance is asserted on the deltas after it.
+    let mut last_cycles = None;
+    let mut max_iter_cycles = 0u64;
+    let mut iterations = 0usize;
+    while !cpu.halted() {
+        if let Err(e) = cpu.step(&mut ports) {
+            panic!("certified monitor faulted concretely: {e}");
+        }
+        let outputs = ports.pace_log().len();
+        if outputs > iterations {
+            iterations = outputs;
+            let now = cpu.cycles();
+            if let Some(prev) = last_cycles {
+                max_iter_cycles = max_iter_cycles.max(now - prev);
+            }
+            last_cycles = Some(now);
+        }
+    }
+    assert_eq!(iterations, n, "monitor must emit one word per sample");
+    assert!(
+        max_iter_cycles <= steady,
+        "observed iteration of {max_iter_cycles} cycles exceeds static steady bound {steady}"
+    );
+}
+
+/// A terminating loop: the static program WCET dominates the full
+/// concrete run, and the run computes what the program says it does.
+#[test]
+fn program_wcet_dominates_a_bounded_loop_run() {
+    let (r1, r2) = (Reg(1), Reg(2));
+    let mut a = Asm::new();
+    a.addi(r1, R0, 10);
+    a.label("loop");
+    a.beq(r1, R0, "done");
+    a.add(r2, r2, r1);
+    a.addi(r1, r1, -1);
+    a.jmp("loop");
+    a.label("done");
+    a.sw(r2, R0, 0);
+    a.halt();
+    let prog = a.assemble().expect("loop assembles");
+
+    let report = certify(&prog, &RiscSpec::new(4)).expect("loop analyzes");
+    assert!(
+        report.certified(),
+        "bounded loop must certify:\n{}",
+        report.human()
+    );
+    let bound = report
+        .wcet
+        .program
+        .expect("terminating program has a whole-program WCET");
+
+    let mut cpu = Cpu::new(prog, 4);
+    cpu.run(&mut zarf::core::NullPorts, 10_000)
+        .expect("loop halts");
+    assert_eq!(cpu.mem(0), 55);
+    assert!(
+        cpu.cycles() <= bound,
+        "run took {} cycles, static program WCET is {bound}",
+        cpu.cycles()
+    );
+}
+
+/// Serves zero on every input port.
+struct ZeroPorts;
+
+impl IoPorts for ZeroPorts {
+    fn getint(&mut self, _port: Int) -> Result<Int, IoError> {
+        Ok(0)
+    }
+}
+
+/// The negative pin: an unvettable divisor is rejected statically with a
+/// typed report, and the rejection is no false alarm — the same binary
+/// faults on real hardware under the inputs the analysis could not
+/// exclude.
+#[test]
+fn faulty_program_fails_certification_and_faults_concretely() {
+    let (r1, r2, r3) = (Reg(1), Reg(2), Reg(3));
+    let mut a = Asm::new();
+    a.inp(r1, 0);
+    a.div(r2, r3, r1);
+    a.halt();
+    let prog = a.assemble().expect("faulty program assembles");
+
+    let report = certify(&prog, &RiscSpec::new(4)).expect("faulty program analyzes");
+    assert!(!report.certified(), "a port-fed divisor must not certify");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DivMayBeZero { pc: 1, .. })),
+        "expected DivMayBeZero at pc 1, got: {:?}",
+        report.violations
+    );
+
+    let mut cpu = Cpu::new(prog, 4);
+    let err = cpu.run(&mut ZeroPorts, 1_000).expect_err("division faults");
+    assert_eq!(err, CpuError::DivideByZero { pc: 1 });
+}
